@@ -1,0 +1,52 @@
+//! Criterion micro-benches of the code front-end: parse, standardize,
+//! X-SBT linearization, tokenization, MPI removal — the per-keystroke cost
+//! budget of the paper's IDE-assistant deployment.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use mpirical::tokenize_code;
+use mpirical_corpus::{generate_program, remove_mpi_calls};
+use mpirical_cparse::{lex, parse_strict, parse_tolerant, print_program};
+use mpirical_xsbt::{sbt, xsbt};
+
+fn sample_source() -> String {
+    // A representative mid-size corpus program (~50 lines).
+    let (_, src) = generate_program(0xBEEF, 17);
+    src
+}
+
+fn bench_frontend(c: &mut Criterion) {
+    let src = sample_source();
+    let bytes = src.len() as u64;
+    let prog = parse_strict(&src).unwrap();
+
+    let mut g = c.benchmark_group("frontend");
+    g.throughput(Throughput::Bytes(bytes));
+    g.bench_function("lex", |b| b.iter(|| lex(black_box(&src))));
+    g.bench_function("parse_strict", |b| {
+        b.iter(|| parse_strict(black_box(&src)).unwrap())
+    });
+    g.bench_function("parse_tolerant", |b| b.iter(|| parse_tolerant(black_box(&src))));
+    g.bench_function("print_program", |b| b.iter(|| print_program(black_box(&prog))));
+    g.bench_function("xsbt", |b| b.iter(|| xsbt(black_box(&prog))));
+    g.bench_function("sbt", |b| b.iter(|| sbt(black_box(&prog))));
+    g.bench_function("tokenize_code", |b| b.iter(|| tokenize_code(black_box(&src))));
+    g.bench_function("remove_mpi_calls", |b| {
+        b.iter(|| remove_mpi_calls(black_box(&prog)))
+    });
+    g.finish();
+}
+
+fn bench_corpus_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("corpus");
+    g.bench_function("generate_program", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            generate_program(black_box(42), black_box(i))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_frontend, bench_corpus_generation);
+criterion_main!(benches);

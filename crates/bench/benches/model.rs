@@ -1,0 +1,108 @@
+//! Criterion benches of the model stack: matmul kernel, encoder forward,
+//! one train step, and end-to-end suggestion latency — the numbers behind
+//! the paper's "SPT-Code is small enough for IDE fusion" argument (§IV-A).
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use mpirical_model::{
+    build_params, transformer::encode, transformer::ForwardMode, Example, ModelConfig, TrainConfig,
+    Vocab,
+};
+use mpirical_tensor::{matmul, Adam, ParamStore, Tape, Tensor};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tensor");
+    for n in [32usize, 64, 128] {
+        let a = Tensor::full(&[n, n], 0.5);
+        let b = Tensor::full(&[n, n], -0.25);
+        g.bench_function(format!("matmul_{n}x{n}"), |bch| {
+            bch.iter(|| matmul(black_box(&a), black_box(&b)))
+        });
+    }
+    g.finish();
+}
+
+fn small_model() -> (ModelConfig, ParamStore, mpirical_model::TransformerParams) {
+    let mut cfg = ModelConfig::default();
+    cfg.vocab_size = 512;
+    cfg.max_enc_len = 256;
+    cfg.max_dec_len = 232;
+    let mut store = ParamStore::new();
+    let params = build_params(&cfg, &mut store, 1);
+    (cfg, store, params)
+}
+
+fn bench_model(c: &mut Criterion) {
+    let (cfg, store, params) = small_model();
+    let src: Vec<usize> = (0..128).map(|i| 6 + (i % 200)).collect();
+
+    let mut g = c.benchmark_group("model");
+    g.sample_size(10);
+    g.bench_function("encoder_forward_128tok", |b| {
+        b.iter(|| {
+            let mut tape = Tape::new();
+            encode(
+                &mut tape,
+                black_box(&store),
+                &params,
+                &cfg,
+                black_box(&src),
+                ForwardMode::inference(),
+            )
+        })
+    });
+
+    g.bench_function("train_step_batch4_64tok", |b| {
+        let examples: Vec<Example> = (0..4)
+            .map(|k| Example {
+                src: (0..64).map(|i| 6 + ((i + k) % 100)).collect(),
+                tgt: (0..48).map(|i| 6 + ((i * 3 + k) % 100)).collect(),
+            })
+            .collect();
+        b.iter_batched(
+            || (store.clone(), Adam::new(1e-4)),
+            |(mut st, mut adam)| {
+                let batch: Vec<&Example> = examples.iter().collect();
+                mpirical_model::train::train_step(
+                    &mut st, &params, &cfg, &mut adam, &batch, 1, 1.0, 7,
+                )
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_suggestion_latency(c: &mut Criterion) {
+    // End-to-end: raw source → suggestions, via an untrained (but real-size)
+    // assistant — latency is architecture-, not weight-, dependent.
+    let tokens: Vec<Vec<String>> = vec![
+        ["int", "main", "(", ")", "{", "}", ";", "rank", "size", "MPI_Init", "MPI_Finalize",
+         "MPI_Comm_rank", "=", "0", "1", "&", ",", "printf", "return", "<nl>"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+    ];
+    let vocab = Vocab::build(tokens.iter(), 1, 4096);
+    let mut cfg = ModelConfig::default();
+    cfg.max_enc_len = 256;
+    cfg.max_dec_len = 64; // cap generation for a stable latency number
+    let model = mpirical_model::Seq2SeqModel::new(cfg, vocab, 3);
+    let assistant = mpirical::MpiRical {
+        model,
+        input_format: mpirical::InputFormat::CodeXsbt,
+    };
+    let src = "int main(int argc, char **argv) {\n    int rank, size;\n    double local = 0.0;\n    for (int i = 0; i < 100; i++) { local += i; }\n    printf(\"%f\\n\", local);\n    return 0;\n}\n";
+
+    let mut g = c.benchmark_group("assistant");
+    g.sample_size(10);
+    g.bench_function("suggest_e2e", |b| b.iter(|| assistant.suggest(black_box(src))));
+    g.bench_function("encode_source", |b| {
+        b.iter(|| assistant.encode_source(black_box(src)))
+    });
+    g.finish();
+
+    let _ = TrainConfig::default(); // keep the import exercised at all scales
+}
+
+criterion_group!(benches, bench_matmul, bench_model, bench_suggestion_latency);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Criterion benches of the simulated MPI runtime and the C interpreter —
+//! the §VI-C validation substrate. Collective latency scaling across world
+//! sizes, p2p ping-pong, and interpreted-program throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mpirical_interp::{run_program, RunConfig};
+use mpirical_sim::{ReduceOp, Source, Tag, World};
+
+fn bench_p2p(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mpisim_p2p");
+    g.sample_size(10);
+    for msg in [1usize, 64, 1024] {
+        g.bench_function(format!("pingpong_{msg}_doubles"), |b| {
+            b.iter(|| {
+                World::run(2, |comm| {
+                    let buf = vec![1.0f64; msg];
+                    let mut rbuf = vec![0.0f64; msg];
+                    if comm.rank() == 0 {
+                        comm.send(&buf, 1, 0)?;
+                        comm.recv(&mut rbuf, Source::Rank(1), Tag::Value(1))?;
+                    } else {
+                        comm.recv(&mut rbuf, Source::Rank(0), Tag::Value(0))?;
+                        comm.send(&buf, 0, 1)?;
+                    }
+                    Ok(())
+                })
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mpisim_collectives");
+    g.sample_size(10);
+    for nranks in [2usize, 4, 8] {
+        g.bench_function(format!("allreduce_{nranks}ranks"), |b| {
+            b.iter(|| {
+                World::run(nranks, |comm| {
+                    let x = [comm.rank() as f64; 16];
+                    let mut out = [0.0f64; 16];
+                    comm.allreduce(&x, &mut out, ReduceOp::Sum)?;
+                    Ok(black_box(out[0]))
+                })
+                .unwrap()
+            })
+        });
+        g.bench_function(format!("barrier_{nranks}ranks"), |b| {
+            b.iter(|| {
+                World::run(nranks, |comm| {
+                    for _ in 0..8 {
+                        comm.barrier()?;
+                    }
+                    Ok(())
+                })
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_interpreter(c: &mut Criterion) {
+    let pi_src = r#"#include <mpi.h>
+int main(int argc, char **argv) {
+    int rank, size, i;
+    int n = 2000;
+    double local = 0.0, pi, x, step;
+    MPI_Init(&argc, &argv);
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    MPI_Comm_size(MPI_COMM_WORLD, &size);
+    step = 1.0 / (double)n;
+    for (i = rank; i < n; i += size) {
+        x = (i + 0.5) * step;
+        local += 4.0 / (1.0 + x * x);
+    }
+    local = local * step;
+    MPI_Reduce(&local, &pi, 1, MPI_DOUBLE, MPI_SUM, 0, MPI_COMM_WORLD);
+    if (rank == 0) { printf("%.6f\n", pi); }
+    MPI_Finalize();
+    return 0;
+}"#;
+    let prog = mpirical_cparse::parse_strict(pi_src).unwrap();
+    let mut g = c.benchmark_group("cinterp");
+    g.sample_size(10);
+    for nranks in [1usize, 4] {
+        g.bench_function(format!("pi_riemann_n2000_{nranks}ranks"), |b| {
+            b.iter(|| run_program(black_box(&prog), &RunConfig::new(nranks)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_p2p, bench_collectives, bench_interpreter);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Interpreter errors.
+
+use mpirical_sim::SimError;
+use std::fmt;
+
+/// A runtime fault in the interpreted program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InterpError {
+    /// Name lookup failed.
+    Undefined { name: String, line: u32 },
+    /// Operation applied to an incompatible value.
+    TypeError { detail: String, line: u32 },
+    /// Out-of-bounds memory access.
+    OutOfBounds { detail: String, line: u32 },
+    /// Integer division by zero.
+    DivideByZero { line: u32 },
+    /// The per-rank step budget was exhausted (runaway loop).
+    StepLimit { limit: u64 },
+    /// Unsupported construct reached at runtime.
+    Unsupported { detail: String, line: u32 },
+    /// Error raised by the simulated MPI runtime.
+    Mpi(SimError),
+}
+
+impl InterpError {
+    pub fn line(&self) -> u32 {
+        match self {
+            InterpError::Undefined { line, .. }
+            | InterpError::TypeError { line, .. }
+            | InterpError::OutOfBounds { line, .. }
+            | InterpError::DivideByZero { line }
+            | InterpError::Unsupported { line, .. } => *line,
+            InterpError::StepLimit { .. } | InterpError::Mpi(_) => 0,
+        }
+    }
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::Undefined { name, line } => {
+                write!(f, "line {line}: `{name}` is not defined")
+            }
+            InterpError::TypeError { detail, line } => {
+                write!(f, "line {line}: type error: {detail}")
+            }
+            InterpError::OutOfBounds { detail, line } => {
+                write!(f, "line {line}: out-of-bounds access: {detail}")
+            }
+            InterpError::DivideByZero { line } => {
+                write!(f, "line {line}: division by zero")
+            }
+            InterpError::StepLimit { limit } => {
+                write!(f, "step limit of {limit} exceeded (runaway loop?)")
+            }
+            InterpError::Unsupported { detail, line } => {
+                write!(f, "line {line}: unsupported: {detail}")
+            }
+            InterpError::Mpi(e) => write!(f, "MPI: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+impl From<SimError> for InterpError {
+    fn from(e: SimError) -> InterpError {
+        InterpError::Mpi(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = InterpError::Undefined {
+            name: "foo".into(),
+            line: 3,
+        };
+        assert!(e.to_string().contains("foo"));
+        assert_eq!(e.line(), 3);
+        let m: InterpError = SimError::Aborted { rank: 1, code: 2 }.into();
+        assert!(m.to_string().contains("MPI"));
+        assert_eq!(m.line(), 0);
+    }
+}

@@ -1,0 +1,409 @@
+//! Value and memory model.
+//!
+//! All storage is a flat vector of dynamically-typed [`Cell`]s; every
+//! variable, array and `malloc` block occupies a contiguous cell range.
+//! Pointers are cell indices, so `&x`, pointer arithmetic, array decay and
+//! `MPI_Status` field access all reduce to integer offsets. Each simulated
+//! rank owns a private [`Memory`] — the distributed-memory model is real.
+
+use crate::error::InterpError;
+use std::collections::HashMap;
+
+/// One memory cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Cell {
+    Int(i64),
+    Double(f64),
+    /// Allocated but never written.
+    Unset,
+}
+
+/// A runtime value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    Int(i64),
+    Double(f64),
+    /// Pointer = absolute cell index.
+    Ptr(usize),
+}
+
+impl Value {
+    /// Truthiness (C semantics).
+    pub fn truthy(self) -> bool {
+        match self {
+            Value::Int(v) => v != 0,
+            Value::Double(v) => v != 0.0,
+            Value::Ptr(p) => p != 0,
+        }
+    }
+
+    /// Numeric coercion to f64.
+    pub fn as_f64(self, line: u32) -> Result<f64, InterpError> {
+        match self {
+            Value::Int(v) => Ok(v as f64),
+            Value::Double(v) => Ok(v),
+            Value::Ptr(_) => Err(InterpError::TypeError {
+                detail: "pointer used as number".into(),
+                line,
+            }),
+        }
+    }
+
+    /// Numeric coercion to i64 (doubles truncate, like a C cast).
+    pub fn as_i64(self, line: u32) -> Result<i64, InterpError> {
+        match self {
+            Value::Int(v) => Ok(v),
+            Value::Double(v) => Ok(v as i64),
+            Value::Ptr(_) => Err(InterpError::TypeError {
+                detail: "pointer used as integer".into(),
+                line,
+            }),
+        }
+    }
+
+    /// Pointer extraction. Integers interconvert with pointers (cells store
+    /// pointers as their index), matching C's lax pointer/integer boundary.
+    pub fn as_ptr(self, line: u32) -> Result<usize, InterpError> {
+        match self {
+            Value::Ptr(p) => Ok(p),
+            Value::Int(v) if v >= 0 => Ok(v as usize),
+            other => Err(InterpError::TypeError {
+                detail: format!("expected pointer, got {other:?}"),
+                line,
+            }),
+        }
+    }
+
+    /// Store form: what a cell holds after assigning this value.
+    pub fn to_cell(self) -> Cell {
+        match self {
+            Value::Int(v) => Cell::Int(v),
+            Value::Double(v) => Cell::Double(v),
+            // Pointers are stored as integers (cell index).
+            Value::Ptr(p) => Cell::Int(p as i64),
+        }
+    }
+}
+
+impl Cell {
+    /// Load form; `Unset` reads as integer 0 (deterministic stand-in for C's
+    /// uninitialized garbage, keeps generated programs runnable).
+    pub fn to_value(self) -> Value {
+        match self {
+            Cell::Int(v) => Value::Int(v),
+            Cell::Double(v) => Value::Double(v),
+            Cell::Unset => Value::Int(0),
+        }
+    }
+}
+
+/// Static type of a declared variable (drives MPI datatype mapping and
+/// float-vs-int arithmetic on stores).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CType {
+    Int,
+    Long,
+    Double,
+    Float,
+    Char,
+    /// `MPI_Status` (3 int cells), `MPI_Request` (1 cell), …
+    Struct,
+    Void,
+}
+
+impl CType {
+    pub fn from_words(words: &[String]) -> CType {
+        let joined = words.join(" ");
+        if joined.contains("double") {
+            CType::Double
+        } else if joined.contains("float") {
+            CType::Float
+        } else if joined.contains("long") {
+            CType::Long
+        } else if joined.contains("char") {
+            CType::Char
+        } else if joined.contains("void") {
+            CType::Void
+        } else if joined.contains("MPI_Status") || joined.contains("MPI_Request") {
+            CType::Struct
+        } else {
+            // int, short, unsigned, size_t, typedefs — integer-like.
+            CType::Int
+        }
+    }
+
+    /// `sizeof` in bytes (C ABI-ish; used by `sizeof` and malloc sizing).
+    pub fn size_bytes(self) -> usize {
+        match self {
+            CType::Char => 1,
+            CType::Int | CType::Float => 4,
+            CType::Long | CType::Double => 8,
+            CType::Struct => 12,
+            CType::Void => 1,
+        }
+    }
+
+    /// Is this a floating type (stores coerce to `Cell::Double`)?
+    pub fn is_float(self) -> bool {
+        matches!(self, CType::Double | CType::Float)
+    }
+
+    /// Cells occupied by one element of this type.
+    pub fn cells(self) -> usize {
+        match self {
+            CType::Struct => 3, // MPI_Status{source, tag, count}
+            _ => 1,
+        }
+    }
+}
+
+/// Metadata of a named variable.
+#[derive(Debug, Clone)]
+pub struct VarInfo {
+    pub addr: usize,
+    pub ctype: CType,
+    /// Array dims; empty = scalar. `int a[3][4]` → `[3, 4]`.
+    pub dims: Vec<usize>,
+    /// Declared with `*` (pointer variable)?
+    pub is_pointer: bool,
+}
+
+impl VarInfo {
+    /// Total cells occupied.
+    pub fn total_cells(&self) -> usize {
+        let elems: usize = self.dims.iter().product::<usize>().max(1);
+        elems * self.ctype.cells()
+    }
+}
+
+/// Flat memory plus scope stack.
+pub struct Memory {
+    cells: Vec<Cell>,
+    /// Scope stack; each scope maps name → VarInfo. Index 0 is globals.
+    scopes: Vec<HashMap<String, VarInfo>>,
+    /// Frame boundaries for function calls: scopes below the boundary are
+    /// invisible to the current function (except globals).
+    frames: Vec<usize>,
+}
+
+impl Memory {
+    pub fn new() -> Memory {
+        Memory {
+            // Cell 0 is reserved so that address 0 == NULL.
+            cells: vec![Cell::Unset],
+            scopes: vec![HashMap::new()],
+            frames: vec![],
+        }
+    }
+
+    /// Allocate `n` cells, returning the base address.
+    pub fn alloc(&mut self, n: usize) -> usize {
+        let base = self.cells.len();
+        self.cells.resize(base + n.max(1), Cell::Unset);
+        base
+    }
+
+    pub fn load(&self, addr: usize, line: u32) -> Result<Value, InterpError> {
+        self.cells
+            .get(addr)
+            .map(|c| c.to_value())
+            .ok_or(InterpError::OutOfBounds {
+                detail: format!("load at {addr} (memory size {})", self.cells.len()),
+                line,
+            })
+    }
+
+    pub fn store(&mut self, addr: usize, v: Value, line: u32) -> Result<(), InterpError> {
+        if addr == 0 {
+            return Err(InterpError::OutOfBounds {
+                detail: "write through NULL".into(),
+                line,
+            });
+        }
+        match self.cells.get_mut(addr) {
+            Some(c) => {
+                *c = v.to_cell();
+                Ok(())
+            }
+            None => Err(InterpError::OutOfBounds {
+                detail: format!("store at {addr} (memory size {})", self.cells.len()),
+                line,
+            }),
+        }
+    }
+
+    /// Store with the declared type's coercion (double slots keep doubles).
+    pub fn store_typed(
+        &mut self,
+        addr: usize,
+        v: Value,
+        ctype: CType,
+        line: u32,
+    ) -> Result<(), InterpError> {
+        let coerced = match (ctype.is_float(), v) {
+            (true, Value::Int(i)) => Value::Double(i as f64),
+            (false, Value::Double(d)) if ctype != CType::Struct => Value::Int(d as i64),
+            _ => v,
+        };
+        self.store(addr, coerced, line)
+    }
+
+    // -- scopes --------------------------------------------------------------
+
+    pub fn push_scope(&mut self) {
+        self.scopes.push(HashMap::new());
+    }
+
+    pub fn pop_scope(&mut self) {
+        assert!(self.scopes.len() > 1, "cannot pop the global scope");
+        self.scopes.pop();
+    }
+
+    /// Enter a function frame: locals of callers become invisible.
+    pub fn push_frame(&mut self) {
+        self.frames.push(self.scopes.len());
+        self.scopes.push(HashMap::new());
+    }
+
+    pub fn pop_frame(&mut self) {
+        let boundary = self.frames.pop().expect("frame underflow");
+        self.scopes.truncate(boundary);
+    }
+
+    /// Define a variable in the innermost scope.
+    pub fn define(&mut self, name: &str, info: VarInfo) {
+        self.scopes
+            .last_mut()
+            .expect("at least one scope")
+            .insert(name.to_string(), info);
+    }
+
+    /// Resolve a name: innermost visible scope outward, stopping at the
+    /// current frame boundary, then globals.
+    pub fn lookup(&self, name: &str) -> Option<&VarInfo> {
+        let floor = self.frames.last().copied().unwrap_or(1);
+        for scope in self.scopes[floor..].iter().rev() {
+            if let Some(v) = scope.get(name) {
+                return Some(v);
+            }
+        }
+        self.scopes[0].get(name)
+    }
+
+    /// Number of live cells (diagnostics).
+    pub fn size(&self) -> usize {
+        self.cells.len()
+    }
+}
+
+impl Default for Memory {
+    fn default() -> Self {
+        Memory::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_coercions() {
+        assert_eq!(Value::Int(3).as_f64(1).unwrap(), 3.0);
+        assert_eq!(Value::Double(2.7).as_i64(1).unwrap(), 2);
+        assert!(Value::Ptr(5).as_f64(1).is_err());
+        assert_eq!(Value::Int(0).as_ptr(1).unwrap(), 0, "NULL interop");
+        assert_eq!(Value::Int(3).as_ptr(1).unwrap(), 3, "int/pointer interop");
+        assert!(Value::Int(-1).as_ptr(1).is_err());
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(Value::Int(1).truthy());
+        assert!(!Value::Int(0).truthy());
+        assert!(Value::Double(0.1).truthy());
+        assert!(!Value::Double(0.0).truthy());
+        assert!(!Value::Ptr(0).truthy());
+    }
+
+    #[test]
+    fn ctype_classification() {
+        let w = |s: &str| -> Vec<String> { s.split(' ').map(str::to_string).collect() };
+        assert_eq!(CType::from_words(&w("int")), CType::Int);
+        assert_eq!(CType::from_words(&w("unsigned long")), CType::Long);
+        assert_eq!(CType::from_words(&w("double")), CType::Double);
+        assert_eq!(CType::from_words(&w("MPI_Status")), CType::Struct);
+        assert_eq!(CType::from_words(&w("size_t")), CType::Int);
+        assert_eq!(CType::Double.size_bytes(), 8);
+        assert_eq!(CType::Int.size_bytes(), 4);
+        assert!(CType::Float.is_float());
+        assert_eq!(CType::Struct.cells(), 3);
+    }
+
+    #[test]
+    fn alloc_load_store() {
+        let mut m = Memory::new();
+        let a = m.alloc(4);
+        assert!(a > 0, "address 0 is NULL");
+        m.store(a, Value::Double(1.5), 1).unwrap();
+        assert_eq!(m.load(a, 1).unwrap(), Value::Double(1.5));
+        assert_eq!(m.load(a + 1, 1).unwrap(), Value::Int(0), "unset reads 0");
+        assert!(m.load(a + 100, 1).is_err());
+        assert!(m.store(0, Value::Int(1), 1).is_err(), "NULL write");
+    }
+
+    #[test]
+    fn typed_store_coerces() {
+        let mut m = Memory::new();
+        let a = m.alloc(2);
+        m.store_typed(a, Value::Int(3), CType::Double, 1).unwrap();
+        assert_eq!(m.load(a, 1).unwrap(), Value::Double(3.0));
+        m.store_typed(a + 1, Value::Double(2.9), CType::Int, 1).unwrap();
+        assert_eq!(m.load(a + 1, 1).unwrap(), Value::Int(2), "C truncation");
+    }
+
+    #[test]
+    fn scope_shadowing() {
+        let mut m = Memory::new();
+        let a1 = m.alloc(1);
+        m.define("x", VarInfo { addr: a1, ctype: CType::Int, dims: vec![], is_pointer: false });
+        m.push_scope();
+        let a2 = m.alloc(1);
+        m.define("x", VarInfo { addr: a2, ctype: CType::Double, dims: vec![], is_pointer: false });
+        assert_eq!(m.lookup("x").unwrap().addr, a2);
+        m.pop_scope();
+        assert_eq!(m.lookup("x").unwrap().addr, a1);
+    }
+
+    #[test]
+    fn frames_hide_caller_locals_but_not_globals() {
+        let mut m = Memory::new();
+        let g = m.alloc(1);
+        m.define("global", VarInfo { addr: g, ctype: CType::Int, dims: vec![], is_pointer: false });
+        m.push_scope(); // main's locals
+        let l = m.alloc(1);
+        m.define("local", VarInfo { addr: l, ctype: CType::Int, dims: vec![], is_pointer: false });
+        m.push_frame(); // call into helper
+        assert!(m.lookup("local").is_none(), "caller locals invisible");
+        assert!(m.lookup("global").is_some(), "globals visible");
+        m.pop_frame();
+        assert!(m.lookup("local").is_some());
+    }
+
+    #[test]
+    fn varinfo_cells() {
+        let v = VarInfo {
+            addr: 1,
+            ctype: CType::Double,
+            dims: vec![3, 4],
+            is_pointer: false,
+        };
+        assert_eq!(v.total_cells(), 12);
+        let s = VarInfo {
+            addr: 1,
+            ctype: CType::Struct,
+            dims: vec![],
+            is_pointer: false,
+        };
+        assert_eq!(s.total_cells(), 3);
+    }
+}

@@ -1,0 +1,221 @@
+//! Record → model example encoding: `<sos> code <sep> x-sbt <eos>` on the
+//! encoder side (paper Fig. 1b), `<sos> label` on the decoder side.
+
+use crate::tokenize::tokenize_code;
+use mpirical_corpus::{Dataset, Record};
+use mpirical_model::vocab::{EOS, SEP, SOS};
+use mpirical_model::{Example, ModelConfig, Vocab};
+use serde::{Deserialize, Serialize};
+
+/// Encoder input composition — the X-SBT ablation knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InputFormat {
+    /// Code tokens only.
+    CodeOnly,
+    /// Code `[SEP]` X-SBT — the paper's configuration.
+    CodeXsbt,
+}
+
+impl InputFormat {
+    pub fn name(self) -> &'static str {
+        match self {
+            InputFormat::CodeOnly => "code-only",
+            InputFormat::CodeXsbt => "code+xsbt",
+        }
+    }
+}
+
+/// Token sequences of one record (pre-vocabulary).
+#[derive(Debug, Clone)]
+pub struct RecordTokens {
+    pub input_code: Vec<String>,
+    pub input_xsbt: Vec<String>,
+    pub label: Vec<String>,
+}
+
+/// Tokenize a record once (used for vocab building and encoding).
+pub fn record_tokens(record: &Record) -> RecordTokens {
+    RecordTokens {
+        input_code: tokenize_code(&record.input_code),
+        input_xsbt: record
+            .input_xsbt
+            .split_whitespace()
+            .map(|s| s.to_string())
+            .collect(),
+        label: tokenize_code(&record.label_code),
+    }
+}
+
+/// Build a vocabulary over a dataset's token streams (inputs, X-SBT tags and
+/// labels all contribute).
+pub fn build_vocab(dataset: &Dataset, min_freq: usize, max_size: usize) -> Vocab {
+    let mut seqs: Vec<Vec<String>> = Vec::with_capacity(dataset.len() * 3);
+    for r in &dataset.records {
+        let t = record_tokens(r);
+        seqs.push(t.input_code);
+        seqs.push(t.input_xsbt);
+        seqs.push(t.label);
+    }
+    Vocab::build(seqs.iter(), min_freq, max_size)
+}
+
+/// Encode one record into a training example. Returns `None` when the label
+/// cannot fit the decoder window (the example would train on a truncated —
+/// i.e. wrong — target).
+pub fn encode_record(
+    record: &Record,
+    vocab: &Vocab,
+    cfg: &ModelConfig,
+    format: InputFormat,
+) -> Option<Example> {
+    let toks = record_tokens(record);
+
+    // Decoder side: <sos> + label must fit max_dec_len (the final position
+    // predicts <eos>).
+    if toks.label.len() + 1 > cfg.max_dec_len {
+        return None;
+    }
+    let mut tgt = Vec::with_capacity(toks.label.len() + 1);
+    tgt.push(SOS);
+    tgt.extend(vocab.encode(&toks.label));
+
+    // Encoder side: budget split between code and X-SBT.
+    let budget = cfg.max_enc_len.saturating_sub(3); // <sos>, <sep>, <eos>
+    let (code_toks, xsbt_toks) = match format {
+        InputFormat::CodeOnly => (toks.input_code.as_slice(), [].as_slice()),
+        InputFormat::CodeXsbt => (toks.input_code.as_slice(), toks.input_xsbt.as_slice()),
+    };
+    // Code gets priority; X-SBT fills what remains.
+    let code_take = code_toks.len().min(budget);
+    let xsbt_take = xsbt_toks.len().min(budget - code_take);
+
+    let mut src = Vec::with_capacity(code_take + xsbt_take + 3);
+    src.push(SOS);
+    src.extend(vocab.encode(&code_toks[..code_take]));
+    src.push(SEP);
+    src.extend(vocab.encode(&xsbt_toks[..xsbt_take]));
+    src.push(EOS);
+
+    Some(Example { src, tgt })
+}
+
+/// Encode a whole dataset; drops records whose labels exceed the decoder
+/// window and reports how many were kept.
+pub fn encode_dataset(
+    dataset: &Dataset,
+    vocab: &Vocab,
+    cfg: &ModelConfig,
+    format: InputFormat,
+) -> (Vec<Example>, usize) {
+    let mut out = Vec::with_capacity(dataset.len());
+    let mut dropped = 0usize;
+    for r in &dataset.records {
+        match encode_record(r, vocab, cfg, format) {
+            Some(ex) => out.push(ex),
+            None => dropped += 1,
+        }
+    }
+    (out, dropped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpirical_corpus::{generate_dataset, CorpusConfig};
+
+    fn small_dataset() -> Dataset {
+        let cfg = CorpusConfig {
+            programs: 60,
+            seed: 11,
+            max_tokens: 320,
+            threads: 1,
+        };
+        let (_, ds, _) = generate_dataset(&cfg);
+        assert!(!ds.is_empty());
+        ds
+    }
+
+    #[test]
+    fn vocab_covers_mpi_functions() {
+        let ds = small_dataset();
+        let vocab = build_vocab(&ds, 1, 20_000);
+        assert!(vocab.contains("MPI_Init"));
+        assert!(vocab.contains("MPI_Finalize"));
+        assert!(vocab.contains("<function_definition>"));
+        assert!(vocab.contains("<nl>") || vocab.id("<nl>") == mpirical_model::vocab::NL);
+    }
+
+    #[test]
+    fn encode_structure() {
+        let ds = small_dataset();
+        let vocab = build_vocab(&ds, 1, 20_000);
+        let mut cfg = ModelConfig::default();
+        cfg.vocab_size = vocab.len();
+        cfg.max_enc_len = 512;
+        cfg.max_dec_len = 512;
+        let ex = encode_record(&ds.records[0], &vocab, &cfg, InputFormat::CodeXsbt)
+            .expect("fits");
+        assert_eq!(ex.src[0], SOS);
+        assert_eq!(*ex.src.last().unwrap(), EOS);
+        assert!(ex.src.contains(&SEP));
+        assert_eq!(ex.tgt[0], SOS);
+        assert!(ex.src.len() <= cfg.max_enc_len);
+        assert!(ex.tgt.len() < cfg.max_dec_len);
+    }
+
+    #[test]
+    fn code_only_has_empty_xsbt_segment() {
+        let ds = small_dataset();
+        let vocab = build_vocab(&ds, 1, 20_000);
+        let mut cfg = ModelConfig::default();
+        cfg.vocab_size = vocab.len();
+        cfg.max_enc_len = 512;
+        cfg.max_dec_len = 512;
+        let with = encode_record(&ds.records[0], &vocab, &cfg, InputFormat::CodeXsbt).unwrap();
+        let without = encode_record(&ds.records[0], &vocab, &cfg, InputFormat::CodeOnly).unwrap();
+        assert!(without.src.len() < with.src.len());
+        let sep_pos = without.src.iter().position(|&t| t == SEP).unwrap();
+        assert_eq!(without.src[sep_pos + 1], EOS, "nothing after <sep>");
+    }
+
+    #[test]
+    fn truncation_respects_budget() {
+        let ds = small_dataset();
+        let vocab = build_vocab(&ds, 1, 20_000);
+        let mut cfg = ModelConfig::default();
+        cfg.vocab_size = vocab.len();
+        cfg.max_enc_len = 48;
+        cfg.max_dec_len = 4096;
+        for r in ds.records.iter().take(10) {
+            let ex = encode_record(r, &vocab, &cfg, InputFormat::CodeXsbt).unwrap();
+            assert!(ex.src.len() <= 48, "len {}", ex.src.len());
+        }
+    }
+
+    #[test]
+    fn oversized_labels_dropped() {
+        let ds = small_dataset();
+        let vocab = build_vocab(&ds, 1, 20_000);
+        let mut cfg = ModelConfig::default();
+        cfg.vocab_size = vocab.len();
+        cfg.max_dec_len = 8; // absurdly small
+        let (examples, dropped) = encode_dataset(&ds, &vocab, &cfg, InputFormat::CodeXsbt);
+        assert!(examples.is_empty());
+        assert_eq!(dropped, ds.len());
+    }
+
+    #[test]
+    fn label_decodes_back_to_source_tokens() {
+        let ds = small_dataset();
+        let vocab = build_vocab(&ds, 1, 50_000);
+        let mut cfg = ModelConfig::default();
+        cfg.vocab_size = vocab.len();
+        cfg.max_enc_len = 2048;
+        cfg.max_dec_len = 2048;
+        let r = &ds.records[0];
+        let ex = encode_record(r, &vocab, &cfg, InputFormat::CodeXsbt).unwrap();
+        let decoded = vocab.decode(&ex.tgt[1..]);
+        let original = tokenize_code(&r.label_code);
+        assert_eq!(decoded, original, "no <unk> at min_freq=1 on the same data");
+    }
+}

@@ -1,0 +1,69 @@
+//! # mpirical
+//!
+//! The MPI-RICAL system (Schneider et al., SC 2023): a data-driven
+//! programming-assistance tool that suggests **MPI functions and the lines
+//! to insert them at** for domain-decomposition C programs — reproduced in
+//! Rust, end to end:
+//!
+//! | Paper component | Here |
+//! |---|---|
+//! | MPICodeCorpus (mined GitHub) | [`mpirical_corpus`] synthetic generator + Figure-4 pipeline |
+//! | pycparser / TreeSitter | [`mpirical_cparse`] error-tolerant C front-end |
+//! | X-SBT linearized AST | [`mpirical_xsbt`] |
+//! | SPT-Code seq2seq transformer | [`mpirical_model`] on [`mpirical_tensor`] |
+//! | ±1-line F1, BLEU/METEOR/ROUGE-L/ACC | [`mpirical_metrics`] |
+//! | compile-and-run validation | [`mpirical_sim`] + [`mpirical_interp`] |
+//!
+//! The high-level entry points live here:
+//!
+//! * [`MpiRical::train`] — corpus → vocabulary → transformer fine-tuning;
+//! * [`MpiRical::suggest`] — RQ1+RQ2 assistance: which MPI function, which
+//!   line;
+//! * [`MpiRical::translate`] — full predicted parallel program;
+//! * [`evaluate_dataset`] — Table II metrics over a test split;
+//! * [`benchmark11`] — the eleven numerical-computation programs of
+//!   Table III, validated on the simulated MPI runtime.
+//!
+//! ```no_run
+//! use mpirical::{MpiRical, MpiRicalConfig};
+//! use mpirical_corpus::{generate_dataset, CorpusConfig};
+//!
+//! let (_, dataset, _) = generate_dataset(&CorpusConfig::default());
+//! let splits = dataset.split(42);
+//! let cfg = MpiRicalConfig::default();
+//! let (assistant, _report) = MpiRical::train(&splits.train, &splits.val, &cfg, |e| {
+//!     println!("epoch {}: loss {:.3}", e.epoch, e.train_loss);
+//! });
+//! let serial = "int main(int argc, char **argv) { int rank; return 0; }";
+//! for s in assistant.suggest(serial) {
+//!     println!("insert {} at line {}", s.function, s.line);
+//! }
+//! ```
+
+pub mod assistant;
+pub mod baseline;
+pub mod benchmark11;
+pub mod encode;
+pub mod evaluate;
+pub mod report;
+pub mod tokenize;
+
+pub use assistant::{MpiRical, MpiRicalConfig, Suggestion};
+pub use baseline::{evaluate_baseline, insert_scaffolding, rule_based_predict};
+pub use benchmark11::{benchmark_programs, validate_program, BenchProgram, Validation};
+pub use encode::{build_vocab, encode_dataset, encode_record, InputFormat};
+pub use evaluate::{
+    evaluate_dataset, evaluate_dataset_with_tolerance, EvalReport, Prediction,
+};
+pub use report::{histogram, render_table_two, table, two_column_table};
+pub use tokenize::{calls_from_ids, calls_from_tokens, detokenize, tokenize_code};
+
+// Re-export the substrate crates under their paper roles for discoverability.
+pub use mpirical_corpus as corpus;
+pub use mpirical_cparse as cparse;
+pub use mpirical_interp as interp;
+pub use mpirical_metrics as metrics;
+pub use mpirical_model as model;
+pub use mpirical_sim as sim;
+pub use mpirical_tensor as tensor;
+pub use mpirical_xsbt as xsbt;

@@ -1,0 +1,152 @@
+//! Plain-text table rendering for the reproduction harness (`repro` binary,
+//! examples, EXPERIMENTS.md generation).
+
+use mpirical_metrics::TableTwo;
+
+/// Render a two-column table with a header, padded to the widest cell.
+pub fn two_column_table(title: &str, rows: &[(String, String)]) -> String {
+    let w0 = rows
+        .iter()
+        .map(|(a, _)| a.len())
+        .chain([title.len()])
+        .max()
+        .unwrap_or(8);
+    let w1 = rows.iter().map(|(_, b)| b.len()).max().unwrap_or(8);
+    let mut out = String::new();
+    out.push_str(&format!("{:<w0$} | {:>w1$}\n", title, "value"));
+    out.push_str(&format!("{}-+-{}\n", "-".repeat(w0), "-".repeat(w1.max(5))));
+    for (a, b) in rows {
+        out.push_str(&format!("{a:<w0$} | {b:>w1$}\n"));
+    }
+    out
+}
+
+/// Render an N-column table with headers.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect::<Vec<_>>()
+            .join(" | ")
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(
+        &widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("-+-"),
+    );
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Render Table II rows in the paper's order.
+pub fn render_table_two(t: &TableTwo) -> String {
+    let rows = vec![
+        ("M-F1".to_string(), format!("{:.2}", t.m_f1)),
+        ("M-Precision".to_string(), format!("{:.2}", t.m_precision)),
+        ("M-Recall".to_string(), format!("{:.2}", t.m_recall)),
+        ("MCC-F1".to_string(), format!("{:.2}", t.mcc_f1)),
+        ("MCC-Precision".to_string(), format!("{:.2}", t.mcc_precision)),
+        ("MCC-Recall".to_string(), format!("{:.2}", t.mcc_recall)),
+        ("BLEU".to_string(), format!("{:.2}", t.bleu)),
+        ("Meteor".to_string(), format!("{:.2}", t.meteor)),
+        ("Rouge-l".to_string(), format!("{:.2}", t.rouge_l)),
+        ("ACC".to_string(), format!("{:.2}", t.acc)),
+    ];
+    two_column_table("Quality Measure", &rows)
+}
+
+/// An ASCII histogram (for Figure 3).
+pub fn histogram(bins: &[usize], labels: &[String], width: usize) -> String {
+    let max = bins.iter().copied().max().unwrap_or(1).max(1);
+    let mut out = String::new();
+    for (bin, label) in bins.iter().zip(labels) {
+        let bar = "#".repeat(bin * width / max);
+        out.push_str(&format!("{label:>9} | {bar} {bin}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_column_alignment() {
+        let rows = vec![
+            ("alpha".to_string(), "1".to_string()),
+            ("a-much-longer-name".to_string(), "12345".to_string()),
+        ];
+        let t = two_column_table("metric", &rows);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines equal width at the separator column.
+        let bar_positions: Vec<usize> = lines
+            .iter()
+            .filter_map(|l| l.find(['|', '+']))
+            .collect();
+        assert!(bar_positions.windows(2).all(|w| w[0] == w[1]), "{t}");
+    }
+
+    #[test]
+    fn ncolumn_table() {
+        let t = table(
+            &["Code", "M-F1", "M-Precision"],
+            &[
+                vec!["Pi".into(), "1.0".into(), "1.0".into()],
+                vec!["Merge Sort".into(), "0.88".into(), "0.9".into()],
+            ],
+        );
+        assert!(t.contains("Merge Sort"));
+        assert!(t.lines().count() == 4);
+    }
+
+    #[test]
+    fn table_two_rendering() {
+        let t = TableTwo {
+            m_f1: 0.87,
+            m_precision: 0.85,
+            m_recall: 0.89,
+            mcc_f1: 0.89,
+            mcc_precision: 0.91,
+            mcc_recall: 0.87,
+            bleu: 0.93,
+            meteor: 0.62,
+            rouge_l: 0.95,
+            acc: 0.57,
+        };
+        let s = render_table_two(&t);
+        assert!(s.contains("M-F1") && s.contains("0.87"));
+        assert!(s.contains("Rouge-l") && s.contains("0.95"));
+        assert_eq!(s.lines().count(), 12);
+    }
+
+    #[test]
+    fn histogram_renders() {
+        let h = histogram(
+            &[1, 4, 2],
+            &["0.0-0.1".to_string(), "0.1-0.2".to_string(), "0.2-0.3".to_string()],
+            20,
+        );
+        assert_eq!(h.lines().count(), 3);
+        assert!(h.contains("####"));
+    }
+}

@@ -1,0 +1,201 @@
+//! Code ↔ token-sequence bridge.
+//!
+//! The model consumes flat token sequences; the paper's "location" is a
+//! line number (§III RQ2). Both facts meet here: source is lexed into
+//! rendered tokens with explicit `<nl>` markers at line breaks, so a token's
+//! line is recoverable as `1 + #⟨nl before it⟩`, and MPI call sites can be
+//! read straight off a decoded token stream without re-parsing (predicted
+//! code does not need to parse for RQ1/RQ2 scoring — matching the paper,
+//! which scores names and lines, not compilability).
+
+use mpirical_cparse::{lex, TokenKind};
+use mpirical_metrics::CallSite;
+use mpirical_model::vocab::NL;
+
+/// The newline marker token (must equal the vocab special).
+pub const NL_TOKEN: &str = "<nl>";
+
+/// Maximum consecutive `<nl>` emitted for a run of blank lines. Line
+/// numbering of standardized code never needs more (the printer emits at
+/// most one blank line between items).
+const MAX_NL_RUN: u32 = 2;
+
+/// Tokenize C source into rendered tokens with `<nl>` line markers.
+pub fn tokenize_code(src: &str) -> Vec<String> {
+    let lexed = lex(src);
+    let mut out = Vec::with_capacity(lexed.tokens.len() + 32);
+    let mut line = 1u32;
+    for t in &lexed.tokens {
+        if matches!(t.kind, TokenKind::Eof) {
+            break;
+        }
+        if t.line > line {
+            let run = (t.line - line).min(MAX_NL_RUN);
+            for _ in 0..run {
+                out.push(NL_TOKEN.to_string());
+            }
+            line = t.line;
+        }
+        out.push(t.kind.render());
+    }
+    out
+}
+
+/// Reassemble tokens into displayable source: spaces between tokens, `<nl>`
+/// becomes a newline. The result re-lexes to the same token sequence.
+pub fn detokenize(tokens: &[String]) -> String {
+    let mut out = String::with_capacity(tokens.len() * 4);
+    let mut at_line_start = true;
+    for t in tokens {
+        if t == NL_TOKEN {
+            out.push('\n');
+            at_line_start = true;
+            continue;
+        }
+        if !at_line_start {
+            out.push(' ');
+        }
+        out.push_str(t);
+        at_line_start = false;
+    }
+    if !out.ends_with('\n') {
+        out.push('\n');
+    }
+    out
+}
+
+/// Extract `(MPI function, line)` call sites from a token stream: a token
+/// with MPI function-name shape immediately followed by `(`.
+pub fn calls_from_tokens(tokens: &[String]) -> Vec<CallSite> {
+    let mut out = Vec::new();
+    let mut line = 1u32;
+    for (i, t) in tokens.iter().enumerate() {
+        if t == NL_TOKEN {
+            line += 1;
+            continue;
+        }
+        if mpirical_model::vocab::is_mpi_function_name(t)
+            && tokens.get(i + 1).map(|n| n == "(").unwrap_or(false)
+        {
+            out.push(CallSite::new(t.clone(), line));
+        }
+    }
+    out
+}
+
+/// Extract call sites from decoded model ids.
+pub fn calls_from_ids(ids: &[usize], vocab: &mpirical_model::Vocab) -> Vec<CallSite> {
+    let mut out = Vec::new();
+    let mut line = 1u32;
+    let mut prev_is_mpi: Option<String> = None;
+    for &id in ids {
+        if id == NL {
+            line += 1;
+            prev_is_mpi = None;
+            continue;
+        }
+        let tok = vocab.token(id);
+        if let Some(name) = prev_is_mpi.take() {
+            if tok == "(" {
+                out.push(CallSite::new(name, line));
+            }
+        }
+        if mpirical_model::vocab::is_mpi_function_name(tok) {
+            prev_is_mpi = Some(tok.to_string());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "#include <mpi.h>\nint main(int argc, char **argv) {\n    MPI_Init(&argc, &argv);\n    int x = 1;\n    MPI_Finalize();\n    return x;\n}\n";
+
+    #[test]
+    fn tokenize_inserts_nl_markers() {
+        let toks = tokenize_code(SRC);
+        assert_eq!(toks[0], "#include <mpi.h>");
+        assert_eq!(toks[1], NL_TOKEN);
+        assert!(toks.contains(&"MPI_Init".to_string()));
+        let nls = toks.iter().filter(|t| *t == NL_TOKEN).count();
+        assert_eq!(nls, 6, "one per line break");
+    }
+
+    #[test]
+    fn line_recovery_matches_lexer() {
+        let toks = tokenize_code(SRC);
+        let calls = calls_from_tokens(&toks);
+        assert_eq!(calls.len(), 2);
+        assert_eq!(calls[0], CallSite::new("MPI_Init", 3));
+        assert_eq!(calls[1], CallSite::new("MPI_Finalize", 5));
+    }
+
+    #[test]
+    fn constants_are_not_calls() {
+        let toks = tokenize_code("int main() { int x = MPI_COMM_WORLD; MPI_Barrier(MPI_COMM_WORLD); return 0; }");
+        let calls = calls_from_tokens(&toks);
+        assert_eq!(calls.len(), 1);
+        assert_eq!(calls[0].name, "MPI_Barrier");
+    }
+
+    #[test]
+    fn function_name_without_call_parens_ignored() {
+        let toks: Vec<String> = ["MPI_Send", ";"].iter().map(|s| s.to_string()).collect();
+        assert!(calls_from_tokens(&toks).is_empty());
+    }
+
+    #[test]
+    fn detokenize_roundtrip_relexes() {
+        let toks = tokenize_code(SRC);
+        let text = detokenize(&toks);
+        let toks2 = tokenize_code(&text);
+        assert_eq!(toks, toks2, "tokenize ∘ detokenize is a fixed point");
+    }
+
+    #[test]
+    fn detokenized_code_reparses() {
+        let toks = tokenize_code(SRC);
+        let text = detokenize(&toks);
+        mpirical_cparse::parse_strict(&text).expect("detokenized code parses");
+    }
+
+    #[test]
+    fn blank_line_runs_capped() {
+        let toks = tokenize_code("int a;\n\n\n\n\nint b;");
+        let nls = toks.iter().filter(|t| *t == NL_TOKEN).count();
+        assert_eq!(nls, MAX_NL_RUN as usize);
+    }
+
+    #[test]
+    fn calls_from_ids_matches_token_version() {
+        let toks = tokenize_code(SRC);
+        let vocab = mpirical_model::Vocab::build([toks.iter()], 1, 10_000);
+        let ids = vocab.encode(&toks);
+        let a = calls_from_tokens(&toks);
+        let b = calls_from_ids(&ids, &vocab);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn standardized_corpus_record_roundtrips() {
+        let (_, src) = mpirical_corpus::generate_program(2, 2);
+        let prog = mpirical_cparse::parse_strict(&src).unwrap();
+        let std_text = mpirical_cparse::print_program(&prog);
+        let toks = tokenize_code(&std_text);
+        let back = detokenize(&toks);
+        // Token-level fixed point (whitespace may differ from the printer's).
+        assert_eq!(tokenize_code(&back), toks);
+        // MPI call lines agree with the AST extraction.
+        let ast_calls = mpirical_corpus::extract_mpi_calls(
+            &mpirical_cparse::parse_strict(&std_text).unwrap(),
+        );
+        let tok_calls = calls_from_tokens(&toks);
+        assert_eq!(ast_calls.len(), tok_calls.len());
+        for (a, t) in ast_calls.iter().zip(&tok_calls) {
+            assert_eq!(a.name, t.name);
+            assert_eq!(a.line, t.line);
+        }
+    }
+}

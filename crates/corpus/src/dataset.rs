@@ -1,0 +1,269 @@
+//! Dataset records, splits, and JSONL (de)serialization.
+//!
+//! One [`Record`] corresponds to one corpus example after the paper's
+//! Figure 4 pipeline: the standardized original program (label), the
+//! MPI-stripped standardized program (input), and the X-SBT of the input.
+//! The train/val/test split follows the paper's 80:10:10 ratio (§VI Setup).
+
+use crate::removal::MpiCall;
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, Write};
+use std::path::Path;
+
+/// One supervised example.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Record {
+    /// Stable id (the generation index).
+    pub id: u64,
+    /// Generating schema name (synthetic-corpus provenance; the mined corpus
+    /// has no equivalent — used only for analysis, never as a model input).
+    pub schema: String,
+    /// Standardized program with MPI calls removed — model input, part 1.
+    pub input_code: String,
+    /// X-SBT of `input_code` — model input, part 2 (joined with spaces).
+    pub input_xsbt: String,
+    /// Standardized original program — the label.
+    pub label_code: String,
+    /// MPI calls of the label, `(name, line)` in `label_code` numbering.
+    pub mpi_calls: Vec<MpiCall>,
+    /// Code-token count of the input (≤ the exclusion bound).
+    pub input_tokens: usize,
+    /// Code-token count of the label.
+    pub label_tokens: usize,
+}
+
+/// A dataset: an ordered collection of records.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Dataset {
+    pub records: Vec<Record>,
+}
+
+/// The three standard splits.
+#[derive(Debug, Clone)]
+pub struct Splits {
+    pub train: Dataset,
+    pub val: Dataset,
+    pub test: Dataset,
+}
+
+impl Dataset {
+    pub fn new(records: Vec<Record>) -> Self {
+        Dataset { records }
+    }
+
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Deterministic 80:10:10 split: records are shuffled by a seeded
+    /// Fisher–Yates then partitioned. The same `(seed, len)` always yields
+    /// the same split regardless of platform.
+    pub fn split(&self, seed: u64) -> Splits {
+        self.split_with_ratio(seed, 0.8, 0.1)
+    }
+
+    /// Split with explicit train/val fractions (test takes the remainder).
+    pub fn split_with_ratio(&self, seed: u64, train_frac: f64, val_frac: f64) -> Splits {
+        assert!(train_frac + val_frac <= 1.0, "fractions exceed 1.0");
+        let mut order: Vec<usize> = (0..self.records.len()).collect();
+        // Seeded Fisher–Yates with an explicit LCG so the permutation is
+        // stable across rand crate versions.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        for i in (1..order.len()).rev() {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            order.swap(i, j);
+        }
+        let n = order.len();
+        let n_train = (n as f64 * train_frac).round() as usize;
+        let n_val = (n as f64 * val_frac).round() as usize;
+        let take = |idxs: &[usize]| {
+            Dataset::new(idxs.iter().map(|&i| self.records[i].clone()).collect())
+        };
+        Splits {
+            train: take(&order[..n_train.min(n)]),
+            val: take(&order[n_train.min(n)..(n_train + n_val).min(n)]),
+            test: take(&order[(n_train + n_val).min(n)..]),
+        }
+    }
+
+    /// Serialize as JSON-lines.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            out.push_str(&serde_json::to_string(r).expect("record serializes"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse from JSON-lines (blank lines skipped).
+    pub fn from_jsonl(text: &str) -> Result<Dataset, serde_json::Error> {
+        let mut records = Vec::new();
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            records.push(serde_json::from_str(line)?);
+        }
+        Ok(Dataset { records })
+    }
+
+    /// Write to a JSONL file.
+    pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        for r in &self.records {
+            serde_json::to_writer(&mut f, r)?;
+            f.write_all(b"\n")?;
+        }
+        Ok(())
+    }
+
+    /// Read from a JSONL file.
+    pub fn load(path: impl AsRef<Path>) -> std::io::Result<Dataset> {
+        let f = std::io::BufReader::new(std::fs::File::open(path)?);
+        let mut records = Vec::new();
+        for line in f.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            records.push(serde_json::from_str(&line).map_err(std::io::Error::other)?);
+        }
+        Ok(Dataset { records })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(id: u64) -> Record {
+        Record {
+            id,
+            schema: "pi_riemann".into(),
+            input_code: format!("int main() {{ return {id}; }}"),
+            input_xsbt: "<function_definition> </function_definition>".into(),
+            label_code: format!("int main() {{ MPI_Init(0, 0); return {id}; }}"),
+            mpi_calls: vec![MpiCall {
+                name: "MPI_Init".into(),
+                line: 2,
+            }],
+            input_tokens: 9,
+            label_tokens: 18,
+        }
+    }
+
+    fn dataset(n: u64) -> Dataset {
+        Dataset::new((0..n).map(record).collect())
+    }
+
+    #[test]
+    fn split_ratios() {
+        let ds = dataset(1000);
+        let s = ds.split(42);
+        assert_eq!(s.train.len(), 800);
+        assert_eq!(s.val.len(), 100);
+        assert_eq!(s.test.len(), 100);
+    }
+
+    #[test]
+    fn split_is_a_partition() {
+        let ds = dataset(97);
+        let s = ds.split(7);
+        let mut ids: Vec<u64> = s
+            .train
+            .records
+            .iter()
+            .chain(&s.val.records)
+            .chain(&s.test.records)
+            .map(|r| r.id)
+            .collect();
+        ids.sort();
+        assert_eq!(ids, (0..97).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_deterministic() {
+        let ds = dataset(50);
+        let a = ds.split(9);
+        let b = ds.split(9);
+        assert_eq!(
+            a.test.records.iter().map(|r| r.id).collect::<Vec<_>>(),
+            b.test.records.iter().map(|r| r.id).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn split_varies_with_seed() {
+        let ds = dataset(200);
+        let a = ds.split(1);
+        let b = ds.split(2);
+        assert_ne!(
+            a.test.records.iter().map(|r| r.id).collect::<Vec<_>>(),
+            b.test.records.iter().map(|r| r.id).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn split_shuffles() {
+        let ds = dataset(100);
+        let s = ds.split(3);
+        let train_ids: Vec<u64> = s.train.records.iter().map(|r| r.id).collect();
+        let sorted = {
+            let mut v = train_ids.clone();
+            v.sort();
+            v
+        };
+        assert_ne!(train_ids, sorted, "train split must be shuffled");
+    }
+
+    #[test]
+    fn jsonl_roundtrip() {
+        let ds = dataset(5);
+        let text = ds.to_jsonl();
+        let back = Dataset::from_jsonl(&text).unwrap();
+        assert_eq!(ds.records, back.records);
+    }
+
+    #[test]
+    fn jsonl_skips_blank_lines() {
+        let ds = dataset(2);
+        let text = format!("\n{}\n\n", ds.to_jsonl());
+        let back = Dataset::from_jsonl(&text).unwrap();
+        assert_eq!(back.len(), 2);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let ds = dataset(3);
+        let dir = std::env::temp_dir().join("mpirical_corpus_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ds.jsonl");
+        ds.save(&path).unwrap();
+        let back = Dataset::load(&path).unwrap();
+        assert_eq!(ds.records, back.records);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn custom_ratio() {
+        let ds = dataset(100);
+        let s = ds.split_with_ratio(1, 0.5, 0.25);
+        assert_eq!(s.train.len(), 50);
+        assert_eq!(s.val.len(), 25);
+        assert_eq!(s.test.len(), 25);
+    }
+
+    #[test]
+    #[should_panic(expected = "fractions exceed")]
+    fn bad_ratio_panics() {
+        dataset(10).split_with_ratio(1, 0.9, 0.2);
+    }
+}

@@ -1,0 +1,361 @@
+//! Generation context: seeded RNG helpers, identifier pools, and noise
+//! injection shared by all program schemas.
+//!
+//! The design goal is that two programs from the same schema differ in
+//! identifiers, constants, loop shapes, padding code and incidental structure
+//! — so the model must learn *where MPI calls go structurally*, not memorize
+//! surface strings. This mirrors the diversity of the paper's mined corpus.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-program generation context.
+pub struct GenCtx {
+    pub rng: StdRng,
+    /// Monotonic counter for unique auxiliary identifiers.
+    aux_counter: u32,
+}
+
+impl GenCtx {
+    /// Derive a context for program `index` from the corpus master seed.
+    /// The derivation is a fixed mix so generation order / thread count
+    /// cannot change program contents.
+    pub fn for_program(master_seed: u64, index: u64) -> Self {
+        let mixed = splitmix64(master_seed ^ splitmix64(index.wrapping_add(0x9E3779B97F4A7C15)));
+        GenCtx {
+            rng: StdRng::seed_from_u64(mixed),
+            aux_counter: 0,
+        }
+    }
+
+    /// Uniform pick from a slice.
+    pub fn pick<'a, T>(&mut self, options: &'a [T]) -> &'a T {
+        &options[self.rng.gen_range(0..options.len())]
+    }
+
+    /// Pick an owned String from str options.
+    pub fn pick_s(&mut self, options: &[&str]) -> String {
+        self.pick(options).to_string()
+    }
+
+    /// Uniform integer in `[lo, hi]`.
+    pub fn int(&mut self, lo: i64, hi: i64) -> i64 {
+        self.rng.gen_range(lo..=hi)
+    }
+
+    /// Bernoulli with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.rng.gen_bool(p)
+    }
+
+    /// A "nice" problem size: round-ish numbers across magnitudes.
+    pub fn problem_size(&mut self) -> i64 {
+        let base = *self.pick(&[8, 10, 12, 16, 20, 24, 32, 48, 64, 100, 128, 200, 256, 500, 512, 1000, 1024, 2048, 4096, 10000]);
+        if self.chance(0.2) {
+            base * *self.pick(&[2, 4, 10])
+        } else {
+            base
+        }
+    }
+
+    /// A fresh auxiliary identifier, unique within the program.
+    pub fn aux_name(&mut self, stem: &str) -> String {
+        self.aux_counter += 1;
+        format!("{stem}{}", self.aux_counter)
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// Identifier pool for the recurring MPI scaffolding variables. Drawn once
+/// per program so a program is internally consistent.
+#[derive(Debug, Clone)]
+pub struct Names {
+    pub rank: String,
+    pub size: String,
+    pub loop_i: String,
+    pub loop_j: String,
+    pub n: String,
+    pub buf: String,
+    pub local: String,
+    pub global: String,
+    pub tmp: String,
+}
+
+impl Names {
+    pub fn draw(ctx: &mut GenCtx) -> Names {
+        let rank = ctx.pick_s(&["rank", "myid", "my_rank", "pid", "world_rank", "me", "taskid"]);
+        let size = ctx.pick_s(&["size", "nprocs", "numprocs", "world_size", "ntasks", "np", "comm_size"]);
+        let loop_i = ctx.pick_s(&["i", "k", "idx", "ii"]);
+        let loop_j = ctx.pick_s(&["j", "m", "jj", "p"]);
+        let n = ctx.pick_s(&["n", "N", "count", "num_elements", "total", "len"]);
+        let buf = ctx.pick_s(&["data", "buf", "array", "values", "vec", "a", "arr"]);
+        let local = ctx.pick_s(&["local", "local_sum", "partial", "my_part", "local_result", "lsum"]);
+        let global = ctx.pick_s(&["global", "result", "total_sum", "answer", "global_result", "gsum"]);
+        let tmp = ctx.pick_s(&["tmp", "t", "val", "x0", "acc"]);
+        Names {
+            rank,
+            size,
+            loop_i,
+            loop_j,
+            n,
+            buf,
+            local,
+            global,
+            tmp,
+        }
+    }
+}
+
+/// Accumulates the body of `main` as statement lines, then renders the full
+/// translation unit. Schemas only push statements; headers and the
+/// `main(int argc, char **argv)` wrapper are standard.
+pub struct ProgramBuilder {
+    pub headers: Vec<String>,
+    pub defines: Vec<String>,
+    pub globals: Vec<String>,
+    pub helper_functions: Vec<String>,
+    pub body: Vec<String>,
+}
+
+impl ProgramBuilder {
+    pub fn new(ctx: &mut GenCtx) -> Self {
+        let mut headers = vec!["#include <mpi.h>".to_string(), "#include <stdio.h>".to_string()];
+        if ctx.chance(0.6) {
+            headers.push("#include <stdlib.h>".to_string());
+        }
+        if ctx.chance(0.3) {
+            headers.push("#include <math.h>".to_string());
+        }
+        ProgramBuilder {
+            headers,
+            defines: Vec::new(),
+            globals: Vec::new(),
+            helper_functions: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    pub fn stmt(&mut self, s: impl Into<String>) {
+        self.body.push(s.into());
+    }
+
+    /// Push the canonical MPI prologue: Init + Comm_rank (+ Comm_size).
+    /// `with_size == false` models the many real programs that never query
+    /// the communicator size (and keeps Table Ib's rank > size ordering).
+    pub fn mpi_prologue(&mut self, ctx: &mut GenCtx, names: &Names, with_size: bool) {
+        // A small fraction of mined files are snippets missing MPI_Init —
+        // reproduce that corpus noise so per-file counts keep the paper's
+        // Finalize > … > Init ordering (Table Ib).
+        if !ctx.chance(0.06) {
+            if ctx.chance(0.85) {
+                self.stmt("MPI_Init(&argc, &argv);");
+            } else {
+                self.stmt("MPI_Init(NULL, NULL);");
+            }
+        }
+        self.stmt(format!("MPI_Comm_rank(MPI_COMM_WORLD, &{});", names.rank));
+        if with_size {
+            self.stmt(format!("MPI_Comm_size(MPI_COMM_WORLD, &{});", names.size));
+        }
+    }
+
+    pub fn mpi_epilogue(&mut self) {
+        self.stmt("MPI_Finalize();");
+        self.stmt("return 0;");
+    }
+
+    /// Render the complete C source (un-standardized; the pipeline
+    /// standardizes via parse + print).
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        for h in &self.headers {
+            out.push_str(h);
+            out.push('\n');
+        }
+        for d in &self.defines {
+            out.push_str(d);
+            out.push('\n');
+        }
+        for g in &self.globals {
+            out.push_str(g);
+            out.push('\n');
+        }
+        for f in &self.helper_functions {
+            out.push_str(f);
+            out.push('\n');
+        }
+        out.push_str("int main(int argc, char **argv) {\n");
+        for s in &self.body {
+            out.push_str(s);
+            out.push('\n');
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// One group of serial "distractor" statements: code that does local work
+/// unrelated to communication. Returns 1–4 statement lines.
+pub fn distractor_group(ctx: &mut GenCtx) -> Vec<String> {
+    let v = ctx.aux_name("aux");
+    match ctx.int(0, 5) {
+        0 => {
+            let init = ctx.int(0, 9);
+            let mul = ctx.int(2, 7);
+            vec![
+                format!("int {v} = {init};"),
+                format!("{v} = {v} * {mul} + 1;"),
+            ]
+        }
+        1 => {
+            let w = ctx.aux_name("w");
+            let bound = ctx.int(3, 16);
+            vec![
+                format!("double {v} = 0.0;"),
+                format!("for (int {w} = 0; {w} < {bound}; {w}++) {{ {v} += {w} * 0.5; }}"),
+            ]
+        }
+        2 => {
+            let c = ctx.int(1, 100);
+            vec![
+                format!("int {v} = {c};"),
+                format!("if ({v} % 2 == 0) {{ {v} = {v} / 2; }} else {{ {v} = 3 * {v} + 1; }}"),
+            ]
+        }
+        3 => {
+            let dim = ctx.int(4, 32);
+            let w = ctx.aux_name("w");
+            vec![
+                format!("double {v}[{dim}];"),
+                format!("for (int {w} = 0; {w} < {dim}; {w}++) {{ {v}[{w}] = {w} * 1.5; }}"),
+            ]
+        }
+        4 => {
+            let a = ctx.int(2, 50);
+            let b = ctx.int(2, 50);
+            vec![format!("long {v} = (long){a} * {b};"), format!("{v} = {v} % 97;")]
+        }
+        _ => {
+            let x = ctx.int(1, 9);
+            vec![
+                format!("double {v} = {x}.0;"),
+                format!("{v} = {v} * {v} - 1.0;"),
+                format!("{v} = {v} / 2.0;"),
+            ]
+        }
+    }
+}
+
+/// Insert `groups` distractor groups at random positions in `body`,
+/// avoiding position 0 (before declarations) and the final two statements
+/// (Finalize / return).
+pub fn inject_distractors(ctx: &mut GenCtx, body: &mut Vec<String>, groups: usize) {
+    for _ in 0..groups {
+        let lines = distractor_group(ctx);
+        let lo = body.len().min(1);
+        let hi = body.len().saturating_sub(2).max(lo);
+        let at = ctx.int(lo as i64, hi as i64) as usize;
+        for (off, l) in lines.into_iter().enumerate() {
+            body.insert(at + off, l);
+        }
+    }
+}
+
+/// A C comment line, occasionally inserted into raw sources. Standardization
+/// strips comments, so these only affect the *raw* corpus text — like the
+/// mined GitHub files, which carry comments the pipeline normalizes away.
+pub fn comment_line(ctx: &mut GenCtx) -> String {
+    ctx.pick_s(&[
+        "// compute local contribution",
+        "// distribute work across ranks",
+        "/* gather partial results */",
+        "// synchronize before timing",
+        "/* domain decomposition loop */",
+        "// root prints the answer",
+        "// TODO: tune chunk size",
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctx_is_deterministic_per_index() {
+        let mut a = GenCtx::for_program(42, 7);
+        let mut b = GenCtx::for_program(42, 7);
+        for _ in 0..32 {
+            assert_eq!(a.int(0, 1000), b.int(0, 1000));
+        }
+    }
+
+    #[test]
+    fn ctx_differs_across_indices() {
+        let mut a = GenCtx::for_program(42, 1);
+        let mut b = GenCtx::for_program(42, 2);
+        let va: Vec<i64> = (0..8).map(|_| a.int(0, 1_000_000)).collect();
+        let vb: Vec<i64> = (0..8).map(|_| b.int(0, 1_000_000)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn aux_names_unique() {
+        let mut ctx = GenCtx::for_program(1, 1);
+        let a = ctx.aux_name("aux");
+        let b = ctx.aux_name("aux");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn builder_renders_valid_c() {
+        let mut ctx = GenCtx::for_program(3, 3);
+        let names = Names::draw(&mut ctx);
+        let mut b = ProgramBuilder::new(&mut ctx);
+        b.stmt(format!("int {}, {};", names.rank, names.size));
+        b.mpi_prologue(&mut ctx, &names, true);
+        b.mpi_epilogue();
+        let src = b.render();
+        mpirical_cparse::parse_strict(&src).expect("builder output parses");
+    }
+
+    #[test]
+    fn distractors_parse() {
+        let mut ctx = GenCtx::for_program(9, 9);
+        for _ in 0..64 {
+            let group = distractor_group(&mut ctx);
+            let src = format!("int main() {{\n{}\nreturn 0;\n}}", group.join("\n"));
+            mpirical_cparse::parse_strict(&src)
+                .unwrap_or_else(|e| panic!("distractor must parse: {e}\n{src}"));
+        }
+    }
+
+    #[test]
+    fn injection_respects_bounds() {
+        let mut ctx = GenCtx::for_program(5, 5);
+        let mut body: Vec<String> = vec![
+            "int rank;".into(),
+            "MPI_Init(&argc, &argv);".into(),
+            "MPI_Finalize();".into(),
+            "return 0;".into(),
+        ];
+        inject_distractors(&mut ctx, &mut body, 4);
+        assert_eq!(body.first().unwrap(), "int rank;");
+        assert_eq!(body.last().unwrap(), "return 0;");
+        assert!(body.len() > 4);
+    }
+
+    #[test]
+    fn problem_sizes_plausible() {
+        let mut ctx = GenCtx::for_program(11, 0);
+        for _ in 0..100 {
+            let n = ctx.problem_size();
+            assert!((8..=100_000).contains(&n), "size {n} out of range");
+        }
+    }
+}

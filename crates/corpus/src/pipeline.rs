@@ -1,0 +1,368 @@
+//! End-to-end corpus → dataset pipeline (paper Figure 4):
+//!
+//! 1. generate raw programs (the "mined corpus" substitute);
+//! 2. **inclusion gate**: strict parse (pycparser's role);
+//! 3. **exclusion gate**: ≤ `max_tokens` code tokens (hardware limit, §V-A2);
+//! 4. **standardization**: regenerate from AST (§V-A3);
+//! 5. **removal**: strip MPI calls, record labels;
+//! 6. emit [`Record`]s with code, X-SBT and labels.
+//!
+//! Generation is parallelized with crossbeam scoped threads; every program
+//! is derived from `(seed, index)` alone, so results are identical for any
+//! thread count.
+
+use crate::dataset::{Dataset, Record};
+use crate::removal::{extract_mpi_calls, remove_mpi_calls};
+use crate::schemas::{generate_program, Schema};
+use crate::stats::CorpusStats;
+use mpirical_cparse::{count_code_tokens, parse_strict, print_program};
+use serde::{Deserialize, Serialize};
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CorpusConfig {
+    /// Number of raw programs to generate (the paper mined 59,446; the
+    /// default here is laptop-scale).
+    pub programs: usize,
+    /// Master seed; all randomness derives from it.
+    pub seed: u64,
+    /// Token exclusion bound (paper: 320).
+    pub max_tokens: usize,
+    /// Worker threads for generation (`0` = available parallelism).
+    pub threads: usize,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        CorpusConfig {
+            programs: 2000,
+            seed: 0xC0FFEE,
+            max_tokens: 320,
+            threads: 0,
+        }
+    }
+}
+
+impl CorpusConfig {
+    /// Paper-scale configuration (~50k raw programs).
+    pub fn paper_scale() -> Self {
+        CorpusConfig {
+            programs: 50_000,
+            ..Default::default()
+        }
+    }
+
+    fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
+        }
+    }
+}
+
+/// One raw generated program (pre-gating).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RawProgram {
+    pub index: u64,
+    pub schema: Schema,
+    pub source: String,
+}
+
+/// The raw corpus — the MPICodeCorpus substitute.
+#[derive(Debug, Clone, Default)]
+pub struct Corpus {
+    pub programs: Vec<RawProgram>,
+}
+
+impl Corpus {
+    pub fn len(&self) -> usize {
+        self.programs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.programs.is_empty()
+    }
+
+    /// Corpus-level statistics (Tables Ia/Ib, Figure 3).
+    pub fn stats(&self) -> CorpusStats {
+        CorpusStats::compute(self.programs.iter().map(|p| p.source.as_str()))
+    }
+}
+
+/// Generate the raw corpus in parallel.
+pub fn generate_corpus(cfg: &CorpusConfig) -> Corpus {
+    let n = cfg.programs;
+    let threads = cfg.effective_threads().max(1).min(n.max(1));
+    let mut programs: Vec<Option<RawProgram>> = vec![None; n];
+
+    if threads <= 1 || n < 64 {
+        for (i, slot) in programs.iter_mut().enumerate() {
+            let (schema, source) = generate_program(cfg.seed, i as u64);
+            *slot = Some(RawProgram {
+                index: i as u64,
+                schema,
+                source,
+            });
+        }
+    } else {
+        let chunk = n.div_ceil(threads);
+        crossbeam::scope(|scope| {
+            for (t, slice) in programs.chunks_mut(chunk).enumerate() {
+                let seed = cfg.seed;
+                scope.spawn(move |_| {
+                    let base = t * chunk;
+                    for (off, slot) in slice.iter_mut().enumerate() {
+                        let idx = (base + off) as u64;
+                        let (schema, source) = generate_program(seed, idx);
+                        *slot = Some(RawProgram {
+                            index: idx,
+                            schema,
+                            source,
+                        });
+                    }
+                });
+            }
+        })
+        .expect("generation threads do not panic");
+    }
+
+    Corpus {
+        programs: programs.into_iter().map(|p| p.expect("filled")).collect(),
+    }
+}
+
+/// Why a raw program was excluded from the dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Exclusion {
+    /// Failed the strict parse (inclusion criterion 1).
+    ParseFailure,
+    /// Exceeded the token bound (exclusion criterion).
+    TooManyTokens,
+    /// Contained no MPI calls at all (nothing to learn).
+    NoMpiCalls,
+}
+
+/// Dataset-construction report: what survived, what was dropped and why.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PipelineReport {
+    pub raw_programs: usize,
+    pub parse_failures: usize,
+    pub token_exclusions: usize,
+    pub no_mpi_exclusions: usize,
+    pub dataset_records: usize,
+}
+
+/// Run the Figure-4 pipeline over a corpus.
+pub fn build_dataset(corpus: &Corpus, cfg: &CorpusConfig) -> (Dataset, PipelineReport) {
+    let mut report = PipelineReport {
+        raw_programs: corpus.len(),
+        ..Default::default()
+    };
+    let threads = cfg.effective_threads().max(1);
+    let results: Vec<Result<Record, Exclusion>> = if threads <= 1 || corpus.len() < 64 {
+        corpus
+            .programs
+            .iter()
+            .map(|p| process_program(p, cfg))
+            .collect()
+    } else {
+        let chunk = corpus.len().div_ceil(threads);
+        let mut slots: Vec<Option<Result<Record, Exclusion>>> = vec![None; corpus.len()];
+        crossbeam::scope(|scope| {
+            for (slice_in, slice_out) in corpus
+                .programs
+                .chunks(chunk)
+                .zip(slots.chunks_mut(chunk))
+            {
+                scope.spawn(move |_| {
+                    for (p, slot) in slice_in.iter().zip(slice_out.iter_mut()) {
+                        *slot = Some(process_program(p, cfg));
+                    }
+                });
+            }
+        })
+        .expect("pipeline threads do not panic");
+        slots.into_iter().map(|s| s.expect("filled")).collect()
+    };
+
+    let mut records = Vec::new();
+    for r in results {
+        match r {
+            Ok(rec) => records.push(rec),
+            Err(Exclusion::ParseFailure) => report.parse_failures += 1,
+            Err(Exclusion::TooManyTokens) => report.token_exclusions += 1,
+            Err(Exclusion::NoMpiCalls) => report.no_mpi_exclusions += 1,
+        }
+    }
+    report.dataset_records = records.len();
+    (Dataset::new(records), report)
+}
+
+/// Process one raw program through gates + standardization + removal.
+pub fn process_program(p: &RawProgram, cfg: &CorpusConfig) -> Result<Record, Exclusion> {
+    // Inclusion: strict parse.
+    let prog = parse_strict(&p.source).map_err(|_| Exclusion::ParseFailure)?;
+
+    // Exclusion: token budget, applied to the raw text like the paper.
+    let raw_tokens = count_code_tokens(&p.source);
+    if raw_tokens > cfg.max_tokens {
+        return Err(Exclusion::TooManyTokens);
+    }
+
+    // Standardization: regenerate from AST; labels use canonical lines.
+    let label_code = print_program(&prog);
+    let label_prog = parse_strict(&label_code).map_err(|_| Exclusion::ParseFailure)?;
+    let mpi_calls = extract_mpi_calls(&label_prog);
+    if mpi_calls.is_empty() {
+        return Err(Exclusion::NoMpiCalls);
+    }
+
+    // Removal + re-standardization of the input side.
+    let removal = remove_mpi_calls(&label_prog);
+    let input_code = print_program(&removal.stripped);
+    let input_prog =
+        parse_strict(&input_code).map_err(|_| Exclusion::ParseFailure)?;
+    let input_xsbt = mpirical_xsbt::xsbt_string(&input_prog);
+
+    Ok(Record {
+        id: p.index,
+        schema: p.schema.name().to_string(),
+        input_tokens: count_code_tokens(&input_code),
+        label_tokens: count_code_tokens(&label_code),
+        input_code,
+        input_xsbt,
+        label_code,
+        mpi_calls,
+    })
+}
+
+/// Convenience: generate a corpus and build its dataset in one call.
+pub fn generate_dataset(cfg: &CorpusConfig) -> (Corpus, Dataset, PipelineReport) {
+    let corpus = generate_corpus(cfg);
+    let (dataset, report) = build_dataset(&corpus, cfg);
+    (corpus, dataset, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> CorpusConfig {
+        CorpusConfig {
+            programs: 120,
+            seed: 7,
+            max_tokens: 320,
+            threads: 2,
+        }
+    }
+
+    #[test]
+    fn corpus_generation_deterministic_across_threads() {
+        let mut cfg = small_cfg();
+        cfg.threads = 1;
+        let a = generate_corpus(&cfg);
+        cfg.threads = 4;
+        let b = generate_corpus(&cfg);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.programs.iter().zip(&b.programs) {
+            assert_eq!(x.source, y.source, "program {} differs by thread count", x.index);
+        }
+    }
+
+    #[test]
+    fn pipeline_produces_records() {
+        let cfg = small_cfg();
+        let (corpus, dataset, report) = generate_dataset(&cfg);
+        assert_eq!(corpus.len(), cfg.programs);
+        assert_eq!(report.raw_programs, cfg.programs);
+        assert!(report.dataset_records > 0);
+        assert_eq!(
+            report.dataset_records
+                + report.parse_failures
+                + report.token_exclusions
+                + report.no_mpi_exclusions,
+            report.raw_programs
+        );
+        // Synthetic programs always parse; only the token gate drops them.
+        assert_eq!(report.parse_failures, 0);
+        assert_eq!(dataset.len(), report.dataset_records);
+    }
+
+    #[test]
+    fn token_gate_enforced() {
+        let cfg = small_cfg();
+        let (_, dataset, report) = generate_dataset(&cfg);
+        assert!(report.token_exclusions > 0, "long programs must be dropped");
+        for r in &dataset.records {
+            // The gate applies to raw text; standardized text stays close.
+            assert!(
+                r.label_tokens <= cfg.max_tokens + 16,
+                "record {} has {} tokens",
+                r.id,
+                r.label_tokens
+            );
+        }
+    }
+
+    #[test]
+    fn records_have_no_mpi_in_input() {
+        let cfg = small_cfg();
+        let (_, dataset, _) = generate_dataset(&cfg);
+        for r in dataset.records.iter().take(40) {
+            let prog = parse_strict(&r.input_code).expect("input parses");
+            let calls = prog.calls_matching(|n| n.starts_with("MPI_"));
+            assert!(calls.is_empty(), "record {} input still has MPI: {calls:?}", r.id);
+            assert!(!r.mpi_calls.is_empty());
+        }
+    }
+
+    #[test]
+    fn record_labels_point_at_mpi_lines() {
+        let cfg = small_cfg();
+        let (_, dataset, _) = generate_dataset(&cfg);
+        for r in dataset.records.iter().take(40) {
+            let lines: Vec<&str> = r.label_code.lines().collect();
+            for call in &r.mpi_calls {
+                let line = lines[(call.line - 1) as usize];
+                assert!(
+                    line.contains(&call.name),
+                    "record {}: line {} = {line:?} lacks {}",
+                    r.id,
+                    call.line,
+                    call.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn xsbt_present_and_tagged() {
+        let cfg = small_cfg();
+        let (_, dataset, _) = generate_dataset(&cfg);
+        for r in dataset.records.iter().take(20) {
+            assert!(r.input_xsbt.contains("<function_definition>"), "{}", r.id);
+        }
+    }
+
+    #[test]
+    fn exclusion_reasons_partition() {
+        // A program with no MPI is excluded with NoMpiCalls.
+        let p = RawProgram {
+            index: 0,
+            schema: Schema::HelloRank,
+            source: "int main() { return 0; }".into(),
+        };
+        let cfg = small_cfg();
+        assert_eq!(process_program(&p, &cfg), Err(Exclusion::NoMpiCalls));
+
+        let bad = RawProgram {
+            index: 1,
+            schema: Schema::HelloRank,
+            source: "int main() { = = ; }".into(),
+        };
+        assert_eq!(process_program(&bad, &cfg), Err(Exclusion::ParseFailure));
+    }
+}

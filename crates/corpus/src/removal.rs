@@ -1,0 +1,410 @@
+//! MPI-call removal — the dataset transformation of paper §V-B / Figure 4:
+//! "each MPI function in the MPI-based parallel code is replaced with an
+//! empty string (removed); hence, information about both functions and
+//! locations is lost."
+//!
+//! Removal operates on the AST of the *standardized* program:
+//!
+//! * an expression statement whose expression contains an MPI call is
+//!   dropped entirely (covers `MPI_Send(…);` and `err = MPI_Send(…);`);
+//! * a declaration whose initializer contains an MPI call keeps the
+//!   declarator but loses the initializer (covers `double t = MPI_Wtime();`);
+//! * MPI *type* declarations (`MPI_Status st;`) are kept — the paper removes
+//!   functions, not declarations;
+//! * control-flow statements survive; MPI calls in their bodies are removed
+//!   recursively. An `if`/loop whose *condition* contains an MPI call is out
+//!   of scope for the generator and left untouched (documented limitation).
+
+use mpirical_cparse::{Block, Declaration, Expr, ForInit, Init, Item, Program, Stmt};
+use serde::{Deserialize, Serialize};
+
+/// One removed (or labelled) MPI call: function name + 1-based line in the
+/// standardized original program.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MpiCall {
+    pub name: String,
+    pub line: u32,
+}
+
+/// Result of removing MPI calls from a program.
+#[derive(Debug, Clone)]
+pub struct RemovalResult {
+    /// The program with MPI calls removed (lines unchanged relative to the
+    /// input AST; re-standardize to compact them).
+    pub stripped: Program,
+    /// Every removed call, in source order.
+    pub removed: Vec<MpiCall>,
+}
+
+fn expr_has_mpi(e: &Expr) -> bool {
+    let mut found = false;
+    e.walk(&mut |x| {
+        if let Expr::Call { callee, .. } = x {
+            if callee.starts_with("MPI_") {
+                found = true;
+            }
+        }
+    });
+    found
+}
+
+fn record_mpi_calls(e: &Expr, out: &mut Vec<MpiCall>) {
+    e.walk(&mut |x| {
+        if let Expr::Call { callee, line, .. } = x {
+            if callee.starts_with("MPI_") {
+                out.push(MpiCall {
+                    name: callee.clone(),
+                    line: *line,
+                });
+            }
+        }
+    });
+}
+
+/// Remove all MPI function calls from `prog`, returning the stripped program
+/// and the ordered list of removed calls.
+pub fn remove_mpi_calls(prog: &Program) -> RemovalResult {
+    let mut removed = Vec::new();
+    let items = prog
+        .items
+        .iter()
+        .map(|item| match item {
+            Item::Function(f) => {
+                let mut f = f.clone();
+                f.body = strip_block(&f.body, &mut removed);
+                Item::Function(f)
+            }
+            other => other.clone(),
+        })
+        .collect();
+    RemovalResult {
+        stripped: Program {
+            directives: prog.directives.clone(),
+            items,
+        },
+        removed,
+    }
+}
+
+fn strip_block(b: &Block, removed: &mut Vec<MpiCall>) -> Block {
+    let mut stmts = Vec::with_capacity(b.stmts.len());
+    for s in &b.stmts {
+        if let Some(kept) = strip_stmt(s, removed) {
+            stmts.push(kept);
+        }
+    }
+    Block { stmts }
+}
+
+/// Returns `None` when the whole statement is removed.
+fn strip_stmt(s: &Stmt, removed: &mut Vec<MpiCall>) -> Option<Stmt> {
+    match s {
+        Stmt::Expr { expr: Some(e), line } => {
+            if expr_has_mpi(e) {
+                record_mpi_calls(e, removed);
+                None
+            } else {
+                Some(Stmt::Expr {
+                    expr: Some(e.clone()),
+                    line: *line,
+                })
+            }
+        }
+        Stmt::Decl(d) => Some(Stmt::Decl(strip_declaration(d, removed))),
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+            line,
+        } => {
+            let then_branch = Box::new(
+                strip_stmt(then_branch, removed).unwrap_or(Stmt::Block(Block::empty())),
+            );
+            let else_branch = else_branch
+                .as_ref()
+                .map(|e| strip_stmt(e, removed).unwrap_or(Stmt::Block(Block::empty())))
+                .map(Box::new);
+            // An if whose branches became empty blocks after removal is
+            // itself dropped when its condition is pure — this mirrors the
+            // paper's examples where `if (rank == 0) MPI_Send(...);`
+            // disappears wholesale.
+            let then_empty = is_empty_stmt(&then_branch);
+            let else_empty = else_branch.as_deref().map(is_empty_stmt).unwrap_or(true);
+            if then_empty && else_empty && !expr_has_mpi(cond) {
+                return None;
+            }
+            Some(Stmt::If {
+                cond: cond.clone(),
+                then_branch,
+                else_branch,
+                line: *line,
+            })
+        }
+        Stmt::While { cond, body, line } => {
+            let body =
+                Box::new(strip_stmt(body, removed).unwrap_or(Stmt::Block(Block::empty())));
+            Some(Stmt::While {
+                cond: cond.clone(),
+                body,
+                line: *line,
+            })
+        }
+        Stmt::DoWhile { body, cond, line } => {
+            let body =
+                Box::new(strip_stmt(body, removed).unwrap_or(Stmt::Block(Block::empty())));
+            Some(Stmt::DoWhile {
+                body,
+                cond: cond.clone(),
+                line: *line,
+            })
+        }
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+            line,
+        } => {
+            let body =
+                Box::new(strip_stmt(body, removed).unwrap_or(Stmt::Block(Block::empty())));
+            Some(Stmt::For {
+                init: init.clone(),
+                cond: cond.clone(),
+                step: step.clone(),
+                body,
+                line: *line,
+            })
+        }
+        Stmt::Block(b) => {
+            let stripped = strip_block(b, removed);
+            Some(Stmt::Block(stripped))
+        }
+        other => Some(other.clone()),
+    }
+}
+
+fn is_empty_stmt(s: &Stmt) -> bool {
+    match s {
+        Stmt::Block(b) => b.stmts.iter().all(is_empty_stmt),
+        Stmt::Expr { expr: None, .. } => true,
+        _ => false,
+    }
+}
+
+fn strip_declaration(d: &Declaration, removed: &mut Vec<MpiCall>) -> Declaration {
+    let mut d = d.clone();
+    for decl in &mut d.declarators {
+        let has_mpi = match &decl.init {
+            Some(Init::Expr(e)) => expr_has_mpi(e),
+            _ => false,
+        };
+        if has_mpi {
+            if let Some(Init::Expr(e)) = &decl.init {
+                record_mpi_calls(e, removed);
+            }
+            decl.init = None;
+        }
+    }
+    d
+}
+
+/// Extract the MPI-call labels of a program without removing anything —
+/// `(name, line)` pairs in source order. Used on both ground-truth and
+/// model-predicted programs during evaluation.
+pub fn extract_mpi_calls(prog: &Program) -> Vec<MpiCall> {
+    prog.calls_matching(|n| n.starts_with("MPI_"))
+        .into_iter()
+        .map(|(name, line)| MpiCall { name, line })
+        .collect()
+}
+
+/// For-init clauses never carry MPI calls in the corpus; assert in debug.
+#[allow(dead_code)]
+fn debug_check_forinit(init: &ForInit) {
+    if let ForInit::Expr(e) = init {
+        debug_assert!(!expr_has_mpi(e));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpirical_cparse::{parse_strict, print_program};
+
+    const SRC: &str = r#"#include <mpi.h>
+int main(int argc, char **argv) {
+    int rank, size;
+    double local = 1.0, global;
+    MPI_Init(&argc, &argv);
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    MPI_Comm_size(MPI_COMM_WORLD, &size);
+    double t0 = MPI_Wtime();
+    MPI_Reduce(&local, &global, 1, MPI_DOUBLE, MPI_SUM, 0, MPI_COMM_WORLD);
+    if (rank == 0) {
+        printf("%f\n", global);
+    }
+    MPI_Finalize();
+    return 0;
+}
+"#;
+
+    #[test]
+    fn removes_all_mpi_calls() {
+        let prog = parse_strict(SRC).unwrap();
+        let result = remove_mpi_calls(&prog);
+        let leftover = extract_mpi_calls(&result.stripped);
+        assert!(leftover.is_empty(), "leftover: {leftover:?}");
+        let names: Vec<&str> = result.removed.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "MPI_Init",
+                "MPI_Comm_rank",
+                "MPI_Comm_size",
+                "MPI_Wtime",
+                "MPI_Reduce",
+                "MPI_Finalize"
+            ]
+        );
+    }
+
+    #[test]
+    fn wtime_initializer_keeps_declaration() {
+        let prog = parse_strict(SRC).unwrap();
+        let result = remove_mpi_calls(&prog);
+        let printed = print_program(&result.stripped);
+        assert!(printed.contains("double t0;"), "decl kept sans init: {printed}");
+        assert!(!printed.contains("MPI_Wtime"));
+    }
+
+    #[test]
+    fn non_mpi_code_untouched() {
+        let prog = parse_strict(SRC).unwrap();
+        let result = remove_mpi_calls(&prog);
+        let printed = print_program(&result.stripped);
+        assert!(printed.contains("printf"));
+        assert!(printed.contains("int rank, size;"));
+        assert!(printed.contains("return 0;"));
+    }
+
+    #[test]
+    fn guarded_single_mpi_call_drops_guard() {
+        let src = r#"int main(int argc, char **argv) {
+    int rank = 0;
+    if (rank != 0) {
+        MPI_Send(&rank, 1, MPI_INT, 0, 0, MPI_COMM_WORLD);
+    }
+    return 0;
+}
+"#;
+        let prog = parse_strict(src).unwrap();
+        let result = remove_mpi_calls(&prog);
+        let printed = print_program(&result.stripped);
+        assert!(!printed.contains("if (rank != 0)"), "empty guard dropped: {printed}");
+        assert_eq!(result.removed.len(), 1);
+    }
+
+    #[test]
+    fn guard_with_mixed_body_survives() {
+        let src = r#"int main(int argc, char **argv) {
+    int rank = 0;
+    if (rank == 0) {
+        printf("root\n");
+        MPI_Send(&rank, 1, MPI_INT, 1, 0, MPI_COMM_WORLD);
+    }
+    return 0;
+}
+"#;
+        let prog = parse_strict(src).unwrap();
+        let result = remove_mpi_calls(&prog);
+        let printed = print_program(&result.stripped);
+        assert!(printed.contains("if (rank == 0)"));
+        assert!(printed.contains("printf"));
+        assert!(!printed.contains("MPI_Send"));
+    }
+
+    #[test]
+    fn mpi_calls_inside_loops_removed() {
+        let src = r#"int main(int argc, char **argv) {
+    int i;
+    int token = 0;
+    for (i = 0; i < 5; i++) {
+        token = token + 1;
+        MPI_Send(&token, 1, MPI_INT, 1, 0, MPI_COMM_WORLD);
+    }
+    while (token < 10) {
+        MPI_Bcast(&token, 1, MPI_INT, 0, MPI_COMM_WORLD);
+        token = token + 2;
+    }
+    return 0;
+}
+"#;
+        let prog = parse_strict(src).unwrap();
+        let result = remove_mpi_calls(&prog);
+        assert_eq!(result.removed.len(), 2);
+        let printed = print_program(&result.stripped);
+        assert!(printed.contains("for (i = 0; i < 5; i++)"));
+        assert!(printed.contains("token = token + 1;"));
+        assert!(printed.contains("while (token < 10)"));
+        assert!(!printed.contains("MPI_"));
+    }
+
+    #[test]
+    fn status_declarations_kept() {
+        let src = "int main() { MPI_Status st; MPI_Recv(0, 1, MPI_INT, 0, 0, MPI_COMM_WORLD, &st); return 0; }";
+        let prog = parse_strict(src).unwrap();
+        let result = remove_mpi_calls(&prog);
+        let printed = print_program(&result.stripped);
+        assert!(printed.contains("MPI_Status st;"), "{printed}");
+        assert!(!printed.contains("MPI_Recv"));
+    }
+
+    #[test]
+    fn assignment_wrapped_call_removed() {
+        let src = "int main() { int err; err = MPI_Barrier(MPI_COMM_WORLD); return err; }";
+        let prog = parse_strict(src).unwrap();
+        let result = remove_mpi_calls(&prog);
+        assert_eq!(result.removed.len(), 1);
+        assert_eq!(result.removed[0].name, "MPI_Barrier");
+        let printed = print_program(&result.stripped);
+        assert!(!printed.contains("MPI_Barrier"));
+        assert!(printed.contains("int err;"));
+    }
+
+    #[test]
+    fn stripped_program_reparses() {
+        for seed in 0..20u64 {
+            let (_, src) = crate::schemas::generate_program(777, seed);
+            let prog = parse_strict(&src).unwrap();
+            let result = remove_mpi_calls(&prog);
+            let printed = print_program(&result.stripped);
+            parse_strict(&printed)
+                .unwrap_or_else(|e| panic!("stripped program reparses: {e}\n{printed}"));
+        }
+    }
+
+    #[test]
+    fn removal_is_idempotent() {
+        let prog = parse_strict(SRC).unwrap();
+        let once = remove_mpi_calls(&prog);
+        let twice = remove_mpi_calls(&once.stripped);
+        assert!(twice.removed.is_empty());
+        assert_eq!(
+            print_program(&once.stripped),
+            print_program(&twice.stripped)
+        );
+    }
+
+    #[test]
+    fn extract_matches_removed_names() {
+        for seed in 0..10u64 {
+            let (_, src) = crate::schemas::generate_program(555, seed);
+            let prog = parse_strict(&src).unwrap();
+            let labels = extract_mpi_calls(&prog);
+            let removal = remove_mpi_calls(&prog);
+            let removed_names: Vec<&String> = removal.removed.iter().map(|c| &c.name).collect();
+            let label_names: Vec<&String> = labels.iter().map(|c| &c.name).collect();
+            assert_eq!(removed_names, label_names);
+        }
+    }
+}

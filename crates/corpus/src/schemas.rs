@@ -1,0 +1,1022 @@
+//! Program schemas: parameterized generators of MPI C programs.
+//!
+//! Each schema models one domain-decomposition or communication pattern that
+//! recurs in the mined MPICodeCorpus (pi integration, dot products, halo
+//! exchanges, master/worker farms, …). Schemas randomize identifiers,
+//! constants, loop shapes and incidental structure via [`GenCtx`], so two
+//! draws of the same schema differ everywhere except the communication
+//! skeleton — which is exactly what MPI-RICAL must learn to restore.
+//!
+//! Sampling weights are tuned so the per-file MPI function frequencies
+//! reproduce the ordering of the paper's Table Ib: Finalize ≥ Comm_rank ≥
+//! Comm_size ≥ Init ≫ Recv ≈ Send > Reduce > Bcast, with an exponentially
+//! decreasing tail of rarer functions.
+
+use crate::generator::{comment_line, inject_distractors, GenCtx, Names, ProgramBuilder};
+use serde::{Deserialize, Serialize};
+
+/// All program schemas known to the generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Schema {
+    HelloRank,
+    PiRiemann,
+    PiMonteCarlo,
+    Trapezoid,
+    DotProduct,
+    ArrayAverage,
+    MinMax,
+    MatVec,
+    SumReduceGather,
+    MergeSortScatter,
+    Factorial,
+    Fibonacci,
+    RingPass,
+    HaloExchange,
+    MasterWorker,
+    BcastConfig,
+    ScatterWork,
+    AllreduceNorm,
+    PrefixSum,
+    TimedStencil,
+}
+
+impl Schema {
+    /// Every schema, in a fixed order.
+    pub const ALL: [Schema; 20] = [
+        Schema::HelloRank,
+        Schema::PiRiemann,
+        Schema::PiMonteCarlo,
+        Schema::Trapezoid,
+        Schema::DotProduct,
+        Schema::ArrayAverage,
+        Schema::MinMax,
+        Schema::MatVec,
+        Schema::SumReduceGather,
+        Schema::MergeSortScatter,
+        Schema::Factorial,
+        Schema::Fibonacci,
+        Schema::RingPass,
+        Schema::HaloExchange,
+        Schema::MasterWorker,
+        Schema::BcastConfig,
+        Schema::ScatterWork,
+        Schema::AllreduceNorm,
+        Schema::PrefixSum,
+        Schema::TimedStencil,
+    ];
+
+    /// Sampling weight (relative frequency in the corpus).
+    pub fn weight(self) -> u32 {
+        use Schema::*;
+        match self {
+            HelloRank => 14,
+            PiRiemann => 7,
+            PiMonteCarlo => 6,
+            Trapezoid => 6,
+            DotProduct => 7,
+            ArrayAverage => 7,
+            MinMax => 5,
+            MatVec => 5,
+            SumReduceGather => 5,
+            MergeSortScatter => 4,
+            Factorial => 4,
+            Fibonacci => 4,
+            RingPass => 8,
+            HaloExchange => 7,
+            MasterWorker => 8,
+            BcastConfig => 5,
+            ScatterWork => 5,
+            AllreduceNorm => 3,
+            PrefixSum => 5,
+            TimedStencil => 4,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        use Schema::*;
+        match self {
+            HelloRank => "hello_rank",
+            PiRiemann => "pi_riemann",
+            PiMonteCarlo => "pi_monte_carlo",
+            Trapezoid => "trapezoid",
+            DotProduct => "dot_product",
+            ArrayAverage => "array_average",
+            MinMax => "min_max",
+            MatVec => "mat_vec",
+            SumReduceGather => "sum_reduce_gather",
+            MergeSortScatter => "merge_sort_scatter",
+            Factorial => "factorial",
+            Fibonacci => "fibonacci",
+            RingPass => "ring_pass",
+            HaloExchange => "halo_exchange",
+            MasterWorker => "master_worker",
+            BcastConfig => "bcast_config",
+            ScatterWork => "scatter_work",
+            AllreduceNorm => "allreduce_norm",
+            PrefixSum => "prefix_sum",
+            TimedStencil => "timed_stencil",
+        }
+    }
+
+    /// Sample a schema according to the weights.
+    pub fn sample(ctx: &mut GenCtx) -> Schema {
+        let total: u32 = Schema::ALL.iter().map(|s| s.weight()).sum();
+        let mut roll = ctx.int(0, total as i64 - 1) as u32;
+        for s in Schema::ALL {
+            let w = s.weight();
+            if roll < w {
+                return s;
+            }
+            roll -= w;
+        }
+        Schema::HelloRank
+    }
+
+    /// Generate one program from this schema.
+    pub fn generate(self, ctx: &mut GenCtx) -> String {
+        use Schema::*;
+        match self {
+            HelloRank => gen_hello_rank(ctx),
+            PiRiemann => gen_pi_riemann(ctx),
+            PiMonteCarlo => gen_pi_monte_carlo(ctx),
+            Trapezoid => gen_trapezoid(ctx),
+            DotProduct => gen_dot_product(ctx),
+            ArrayAverage => gen_array_average(ctx),
+            MinMax => gen_min_max(ctx),
+            MatVec => gen_mat_vec(ctx),
+            SumReduceGather => gen_sum_reduce_gather(ctx),
+            MergeSortScatter => gen_merge_sort_scatter(ctx),
+            Factorial => gen_factorial(ctx),
+            Fibonacci => gen_fibonacci(ctx),
+            RingPass => gen_ring_pass(ctx),
+            HaloExchange => gen_halo_exchange(ctx),
+            MasterWorker => gen_master_worker(ctx),
+            BcastConfig => gen_bcast_config(ctx),
+            ScatterWork => gen_scatter_work(ctx),
+            AllreduceNorm => gen_allreduce_norm(ctx),
+            PrefixSum => gen_prefix_sum(ctx),
+            TimedStencil => gen_timed_stencil(ctx),
+        }
+    }
+}
+
+/// Generate the raw source for program `index` of a corpus seeded with
+/// `master_seed`: sample a schema, build the body, pad with distractor
+/// groups toward a target length drawn from the paper's Table Ia
+/// distribution, and sprinkle comments.
+pub fn generate_program(master_seed: u64, index: u64) -> (Schema, String) {
+    let mut ctx = GenCtx::for_program(master_seed, index);
+    let schema = Schema::sample(&mut ctx);
+    let src = generate_with_schema(&mut ctx, schema);
+    (schema, src)
+}
+
+/// Generate with a fixed schema (used by tests and ablations).
+pub fn generate_with_schema(ctx: &mut GenCtx, schema: Schema) -> String {
+    let mut src = schema.generate(ctx);
+
+    // Pad toward a target line count drawn from the Table Ia shape:
+    // ≤10: 5%, 11–50: 45%, 51–99: 28%, ≥100: 22%.
+    let roll = ctx.int(0, 99);
+    let target_lines = if roll < 5 {
+        ctx.int(6, 10)
+    } else if roll < 50 {
+        ctx.int(11, 50)
+    } else if roll < 78 {
+        ctx.int(51, 99)
+    } else {
+        ctx.int(100, 220)
+    } as usize;
+
+    let current = src.lines().count();
+    if target_lines > current + 3 {
+        // Re-open the rendered main body and inject distractors. We operate
+        // on the line list: body spans from the line after "int main" to the
+        // final "}".
+        let mut lines: Vec<String> = src.lines().map(|l| l.to_string()).collect();
+        let main_at = lines
+            .iter()
+            .position(|l| l.starts_with("int main"))
+            .unwrap_or(0);
+        let close_at = lines.len() - 1;
+        let mut body: Vec<String> = lines[main_at + 1..close_at].to_vec();
+        let deficit = target_lines - current;
+        let groups = (deficit / 2).max(1);
+        inject_distractors(ctx, &mut body, groups);
+        lines.splice(main_at + 1..close_at, body);
+        src = lines.join("\n");
+        src.push('\n');
+    }
+
+    // Comment noise in the raw text (standardization strips it).
+    if ctx.chance(0.5) {
+        let mut lines: Vec<String> = src.lines().map(|l| l.to_string()).collect();
+        let n_comments = ctx.int(1, 3);
+        for _ in 0..n_comments {
+            let at = ctx.int(1, lines.len() as i64 - 2) as usize;
+            let c = comment_line(ctx);
+            lines.insert(at, c);
+        }
+        src = lines.join("\n");
+        src.push('\n');
+    }
+    src
+}
+
+// ---------------------------------------------------------------------------
+// Schema implementations
+// ---------------------------------------------------------------------------
+
+fn gen_hello_rank(ctx: &mut GenCtx) -> String {
+    let names = Names::draw(ctx);
+    let mut b = ProgramBuilder::new(ctx);
+    let with_size = ctx.chance(0.7);
+    if with_size {
+        b.stmt(format!("int {}, {};", names.rank, names.size));
+    } else {
+        b.stmt(format!("int {};", names.rank));
+    }
+    b.mpi_prologue(ctx, &names, with_size);
+    if with_size {
+        b.stmt(format!(
+            "printf(\"hello from rank %d of %d\\n\", {}, {});",
+            names.rank, names.size
+        ));
+    } else {
+        b.stmt(format!("printf(\"hello from rank %d\\n\", {});", names.rank));
+    }
+    if ctx.chance(0.3) {
+        b.stmt("MPI_Barrier(MPI_COMM_WORLD);");
+        b.stmt(format!(
+            "if ({} == 0) {{ printf(\"all ranks reported\\n\"); }}",
+            names.rank
+        ));
+    }
+    b.mpi_epilogue();
+    b.render()
+}
+
+fn gen_pi_riemann(ctx: &mut GenCtx) -> String {
+    let names = Names::draw(ctx);
+    let n_val = ctx.problem_size() * 100;
+    let mut b = ProgramBuilder::new(ctx);
+    let (i, n, rank, size) = (&names.loop_i, &names.n, &names.rank, &names.size);
+    let (local, global) = (&names.local, &names.global);
+    b.stmt(format!("int {rank}, {size}, {i};"));
+    b.stmt(format!("int {n} = {n_val};"));
+    b.stmt(format!("double {local} = 0.0, {global}, x, step;"));
+    b.mpi_prologue(ctx, &names, true);
+    b.stmt(format!("step = 1.0 / (double){n};"));
+    b.stmt(format!("for ({i} = {rank}; {i} < {n}; {i} += {size}) {{"));
+    b.stmt(format!("x = ({i} + 0.5) * step;"));
+    b.stmt(format!("{local} += 4.0 / (1.0 + x * x);"));
+    b.stmt("}".to_string());
+    b.stmt(format!("{local} = {local} * step;"));
+    b.stmt(format!(
+        "MPI_Reduce(&{local}, &{global}, 1, MPI_DOUBLE, MPI_SUM, 0, MPI_COMM_WORLD);"
+    ));
+    b.stmt(format!(
+        "if ({rank} == 0) {{ printf(\"pi = %.10f\\n\", {global}); }}"
+    ));
+    b.mpi_epilogue();
+    b.render()
+}
+
+fn gen_pi_monte_carlo(ctx: &mut GenCtx) -> String {
+    let names = Names::draw(ctx);
+    let trials = ctx.problem_size() * 10;
+    let mut b = ProgramBuilder::new(ctx);
+    let (i, rank, size) = (&names.loop_i, &names.rank, &names.size);
+    let hits = ctx.aux_name("hits");
+    let total = ctx.aux_name("total_hits");
+    b.stmt(format!("int {rank}, {size}, {i};"));
+    b.stmt(format!("long {hits} = 0, {total} = 0;"));
+    b.stmt(format!("int trials = {trials};"));
+    b.mpi_prologue(ctx, &names, true);
+    b.stmt(format!("srand({rank} + 1);"));
+    b.stmt(format!("for ({i} = {rank}; {i} < trials; {i} += {size}) {{"));
+    b.stmt("double px = (double)rand() / RAND_MAX;");
+    b.stmt("double py = (double)rand() / RAND_MAX;");
+    b.stmt(format!("if (px * px + py * py <= 1.0) {{ {hits} = {hits} + 1; }}"));
+    b.stmt("}".to_string());
+    b.stmt(format!(
+        "MPI_Reduce(&{hits}, &{total}, 1, MPI_LONG, MPI_SUM, 0, MPI_COMM_WORLD);"
+    ));
+    b.stmt(format!(
+        "if ({rank} == 0) {{ printf(\"pi approx %f\\n\", 4.0 * {total} / trials); }}"
+    ));
+    b.mpi_epilogue();
+    b.render()
+}
+
+fn gen_trapezoid(ctx: &mut GenCtx) -> String {
+    let names = Names::draw(ctx);
+    let n_val = ctx.problem_size() * 10;
+    let (a, bnd) = (ctx.int(0, 2), ctx.int(3, 10));
+    let mut b = ProgramBuilder::new(ctx);
+    b.helper_functions.push(
+        "double f(double x) {\nreturn x * x + 1.0;\n}\n".to_string(),
+    );
+    let (i, n, rank, size) = (&names.loop_i, &names.n, &names.rank, &names.size);
+    let (local, global) = (&names.local, &names.global);
+    b.stmt(format!("int {rank}, {size}, {i};"));
+    b.stmt(format!("int {n} = {n_val};"));
+    b.stmt(format!("double a = {a}.0, b = {bnd}.0, h, {local} = 0.0, {global};"));
+    b.mpi_prologue(ctx, &names, true);
+    b.stmt(format!("h = (b - a) / {n};"));
+    b.stmt(format!("int chunk = {n} / {size};"));
+    b.stmt(format!("int first = {rank} * chunk;"));
+    b.stmt(format!(
+        "int last = ({rank} == {size} - 1) ? {n} : first + chunk;"
+    ));
+    b.stmt(format!("for ({i} = first; {i} < last; {i}++) {{"));
+    b.stmt(format!("double xl = a + {i} * h;"));
+    b.stmt(format!("{local} += 0.5 * (f(xl) + f(xl + h)) * h;"));
+    b.stmt("}".to_string());
+    b.stmt(format!(
+        "MPI_Reduce(&{local}, &{global}, 1, MPI_DOUBLE, MPI_SUM, 0, MPI_COMM_WORLD);"
+    ));
+    b.stmt(format!(
+        "if ({rank} == 0) {{ printf(\"integral = %f\\n\", {global}); }}"
+    ));
+    b.mpi_epilogue();
+    b.render()
+}
+
+fn gen_dot_product(ctx: &mut GenCtx) -> String {
+    let names = Names::draw(ctx);
+    let n_val = ctx.problem_size();
+    let mut b = ProgramBuilder::new(ctx);
+    let (i, n, rank, size) = (&names.loop_i, &names.n, &names.rank, &names.size);
+    let (local, global, buf) = (&names.local, &names.global, &names.buf);
+    let vb = ctx.aux_name("v");
+    b.stmt(format!("int {rank}, {size}, {i};"));
+    b.stmt(format!("int {n} = {n_val};"));
+    b.stmt(format!("double {buf}[{n_val}], {vb}[{n_val}];"));
+    b.stmt(format!("double {local} = 0.0, {global} = 0.0;"));
+    b.mpi_prologue(ctx, &names, true);
+    b.stmt(format!("for ({i} = 0; {i} < {n}; {i}++) {{"));
+    b.stmt(format!("{buf}[{i}] = {i} * 0.5;"));
+    b.stmt(format!("{vb}[{i}] = {n} - {i};"));
+    b.stmt("}".to_string());
+    b.stmt(format!("for ({i} = {rank}; {i} < {n}; {i} += {size}) {{"));
+    b.stmt(format!("{local} += {buf}[{i}] * {vb}[{i}];"));
+    b.stmt("}".to_string());
+    if ctx.chance(0.3) {
+        b.stmt(format!(
+            "MPI_Allreduce(&{local}, &{global}, 1, MPI_DOUBLE, MPI_SUM, MPI_COMM_WORLD);"
+        ));
+        b.stmt(format!("printf(\"rank %d sees dot = %f\\n\", {rank}, {global});"));
+    } else {
+        b.stmt(format!(
+            "MPI_Reduce(&{local}, &{global}, 1, MPI_DOUBLE, MPI_SUM, 0, MPI_COMM_WORLD);"
+        ));
+        b.stmt(format!(
+            "if ({rank} == 0) {{ printf(\"dot = %f\\n\", {global}); }}"
+        ));
+    }
+    b.mpi_epilogue();
+    b.render()
+}
+
+fn gen_array_average(ctx: &mut GenCtx) -> String {
+    let names = Names::draw(ctx);
+    let n_val = ctx.problem_size();
+    let mut b = ProgramBuilder::new(ctx);
+    let (i, n, rank, size) = (&names.loop_i, &names.n, &names.rank, &names.size);
+    let (local, global, buf) = (&names.local, &names.global, &names.buf);
+    b.stmt(format!("int {rank}, {size}, {i};"));
+    b.stmt(format!("int {n} = {n_val};"));
+    b.stmt(format!("double {buf}[{n_val}];"));
+    b.stmt(format!("double {local} = 0.0, {global};"));
+    b.mpi_prologue(ctx, &names, true);
+    b.stmt(format!(
+        "for ({i} = 0; {i} < {n}; {i}++) {{ {buf}[{i}] = {i} + 1.0; }}"
+    ));
+    b.stmt(format!("int chunk = {n} / {size};"));
+    b.stmt(format!("int start = {rank} * chunk;"));
+    b.stmt(format!(
+        "int stop = ({rank} == {size} - 1) ? {n} : start + chunk;"
+    ));
+    b.stmt(format!(
+        "for ({i} = start; {i} < stop; {i}++) {{ {local} += {buf}[{i}]; }}"
+    ));
+    if ctx.chance(0.4) {
+        // Manual send/recv reduction to root.
+        let st = ctx.aux_name("st");
+        b.stmt(format!("if ({rank} != 0) {{"));
+        b.stmt(format!(
+            "MPI_Send(&{local}, 1, MPI_DOUBLE, 0, 0, MPI_COMM_WORLD);"
+        ));
+        b.stmt("} else {".to_string());
+        b.stmt(format!("{global} = {local};"));
+        b.stmt(format!("MPI_Status {st};"));
+        b.stmt(format!("double incoming;"));
+        b.stmt(format!("for ({i} = 1; {i} < {size}; {i}++) {{"));
+        b.stmt(format!(
+            "MPI_Recv(&incoming, 1, MPI_DOUBLE, {i}, 0, MPI_COMM_WORLD, &{st});"
+        ));
+        b.stmt(format!("{global} += incoming;"));
+        b.stmt("}".to_string());
+        b.stmt(format!(
+            "printf(\"average = %f\\n\", {global} / {n});"
+        ));
+        b.stmt("}".to_string());
+    } else {
+        b.stmt(format!(
+            "MPI_Reduce(&{local}, &{global}, 1, MPI_DOUBLE, MPI_SUM, 0, MPI_COMM_WORLD);"
+        ));
+        b.stmt(format!(
+            "if ({rank} == 0) {{ printf(\"average = %f\\n\", {global} / {n}); }}"
+        ));
+    }
+    b.mpi_epilogue();
+    b.render()
+}
+
+fn gen_min_max(ctx: &mut GenCtx) -> String {
+    let names = Names::draw(ctx);
+    let n_val = ctx.problem_size();
+    let mut b = ProgramBuilder::new(ctx);
+    let (i, n, rank, size) = (&names.loop_i, &names.n, &names.rank, &names.size);
+    let buf = &names.buf;
+    b.stmt(format!("int {rank}, {size}, {i};"));
+    b.stmt(format!("int {n} = {n_val};"));
+    b.stmt(format!("double {buf}[{n_val}];"));
+    b.stmt("double local_min, local_max, global_min, global_max;".to_string());
+    b.mpi_prologue(ctx, &names, true);
+    b.stmt(format!(
+        "for ({i} = 0; {i} < {n}; {i}++) {{ {buf}[{i}] = ({i} * 37 + {rank} * 11) % 101; }}"
+    ));
+    b.stmt(format!("local_min = {buf}[0];"));
+    b.stmt(format!("local_max = {buf}[0];"));
+    b.stmt(format!("for ({i} = 1; {i} < {n}; {i}++) {{"));
+    b.stmt(format!(
+        "if ({buf}[{i}] < local_min) {{ local_min = {buf}[{i}]; }}"
+    ));
+    b.stmt(format!(
+        "if ({buf}[{i}] > local_max) {{ local_max = {buf}[{i}]; }}"
+    ));
+    b.stmt("}".to_string());
+    b.stmt(format!(
+        "MPI_Reduce(&local_min, &global_min, 1, MPI_DOUBLE, MPI_MIN, 0, MPI_COMM_WORLD);"
+    ));
+    b.stmt(format!(
+        "MPI_Reduce(&local_max, &global_max, 1, MPI_DOUBLE, MPI_MAX, 0, MPI_COMM_WORLD);"
+    ));
+    b.stmt(format!(
+        "if ({rank} == 0) {{ printf(\"min %f max %f\\n\", global_min, global_max); }}"
+    ));
+    b.mpi_epilogue();
+    b.render()
+}
+
+fn gen_mat_vec(ctx: &mut GenCtx) -> String {
+    let names = Names::draw(ctx);
+    let rows = *ctx.pick(&[8i64, 16, 32, 64]);
+    let cols = *ctx.pick(&[8i64, 16, 32]);
+    let mut b = ProgramBuilder::new(ctx);
+    let (i, j, rank, size) = (&names.loop_i, &names.loop_j, &names.rank, &names.size);
+    b.stmt(format!("int {rank}, {size}, {i}, {j};"));
+    b.stmt(format!("double mat[{rows}][{cols}], vec[{cols}], out[{rows}];"));
+    b.stmt(format!("double local_out[{rows}];"));
+    b.mpi_prologue(ctx, &names, true);
+    b.stmt(format!("if ({rank} == 0) {{"));
+    b.stmt(format!("for ({i} = 0; {i} < {rows}; {i}++) {{"));
+    b.stmt(format!(
+        "for ({j} = 0; {j} < {cols}; {j}++) {{ mat[{i}][{j}] = {i} + {j}; }}"
+    ));
+    b.stmt("}".to_string());
+    b.stmt(format!(
+        "for ({j} = 0; {j} < {cols}; {j}++) {{ vec[{j}] = 1.0; }}"
+    ));
+    b.stmt("}".to_string());
+    b.stmt(format!(
+        "MPI_Bcast(vec, {cols}, MPI_DOUBLE, 0, MPI_COMM_WORLD);"
+    ));
+    b.stmt(format!("int rows_per = {rows} / {size};"));
+    b.stmt(format!("double my_rows[{rows}][{cols}];"));
+    b.stmt(format!(
+        "MPI_Scatter(mat, rows_per * {cols}, MPI_DOUBLE, my_rows, rows_per * {cols}, MPI_DOUBLE, 0, MPI_COMM_WORLD);"
+    ));
+    b.stmt(format!("for ({i} = 0; {i} < rows_per; {i}++) {{"));
+    b.stmt(format!("local_out[{i}] = 0.0;"));
+    b.stmt(format!(
+        "for ({j} = 0; {j} < {cols}; {j}++) {{ local_out[{i}] += my_rows[{i}][{j}] * vec[{j}]; }}"
+    ));
+    b.stmt("}".to_string());
+    b.stmt(format!(
+        "MPI_Gather(local_out, rows_per, MPI_DOUBLE, out, rows_per, MPI_DOUBLE, 0, MPI_COMM_WORLD);"
+    ));
+    b.stmt(format!(
+        "if ({rank} == 0) {{ printf(\"out[0] = %f\\n\", out[0]); }}"
+    ));
+    b.mpi_epilogue();
+    b.render()
+}
+
+fn gen_sum_reduce_gather(ctx: &mut GenCtx) -> String {
+    let names = Names::draw(ctx);
+    let n_val = ctx.problem_size();
+    let mut b = ProgramBuilder::new(ctx);
+    let (i, rank, size) = (&names.loop_i, &names.rank, &names.size);
+    let (local, global) = (&names.local, &names.global);
+    b.stmt(format!("int {rank}, {size}, {i};"));
+    b.stmt(format!("double {local} = 0.0, {global};"));
+    b.stmt(format!("double partials[64];"));
+    b.mpi_prologue(ctx, &names, true);
+    b.stmt(format!(
+        "for ({i} = 0; {i} < {n_val}; {i}++) {{ {local} += ({i} + {rank}) * 0.25; }}"
+    ));
+    b.stmt(format!(
+        "MPI_Reduce(&{local}, &{global}, 1, MPI_DOUBLE, MPI_SUM, 0, MPI_COMM_WORLD);"
+    ));
+    b.stmt(format!(
+        "MPI_Gather(&{local}, 1, MPI_DOUBLE, partials, 1, MPI_DOUBLE, 0, MPI_COMM_WORLD);"
+    ));
+    b.stmt(format!("if ({rank} == 0) {{"));
+    b.stmt(format!("printf(\"sum = %f\\n\", {global});"));
+    b.stmt(format!(
+        "for ({i} = 0; {i} < {size}; {i}++) {{ printf(\"part %d: %f\\n\", {i}, partials[{i}]); }}"
+    ));
+    b.stmt("}".to_string());
+    b.mpi_epilogue();
+    b.render()
+}
+
+fn gen_merge_sort_scatter(ctx: &mut GenCtx) -> String {
+    let names = Names::draw(ctx);
+    let n_val = *ctx.pick(&[64i64, 128, 256]);
+    let mut b = ProgramBuilder::new(ctx);
+    b.helper_functions.push(
+        "void local_sort(int *a, int len) {\nint i, j;\nfor (i = 0; i < len; i++) {\nfor (j = i + 1; j < len; j++) {\nif (a[j] < a[i]) {\nint t = a[i];\na[i] = a[j];\na[j] = t;\n}\n}\n}\n}\n"
+            .to_string(),
+    );
+    let (i, rank, size, buf) = (&names.loop_i, &names.rank, &names.size, &names.buf);
+    b.stmt(format!("int {rank}, {size}, {i};"));
+    b.stmt(format!("int {buf}[{n_val}], chunk[{n_val}];"));
+    b.mpi_prologue(ctx, &names, true);
+    b.stmt(format!("if ({rank} == 0) {{"));
+    b.stmt(format!(
+        "for ({i} = 0; {i} < {n_val}; {i}++) {{ {buf}[{i}] = ({i} * 7919 + 13) % 1000; }}"
+    ));
+    b.stmt("}".to_string());
+    b.stmt(format!("int per = {n_val} / {size};"));
+    b.stmt(format!(
+        "MPI_Scatter({buf}, per, MPI_INT, chunk, per, MPI_INT, 0, MPI_COMM_WORLD);"
+    ));
+    b.stmt("local_sort(chunk, per);".to_string());
+    b.stmt(format!(
+        "MPI_Gather(chunk, per, MPI_INT, {buf}, per, MPI_INT, 0, MPI_COMM_WORLD);"
+    ));
+    b.stmt(format!("if ({rank} == 0) {{"));
+    b.stmt(format!("local_sort({buf}, {n_val});"));
+    b.stmt(format!(
+        "printf(\"first %d last %d\\n\", {buf}[0], {buf}[{n_val} - 1]);"
+    ));
+    b.stmt("}".to_string());
+    b.mpi_epilogue();
+    b.render()
+}
+
+fn gen_factorial(ctx: &mut GenCtx) -> String {
+    let names = Names::draw(ctx);
+    let n_val = ctx.int(8, 20);
+    let mut b = ProgramBuilder::new(ctx);
+    let (i, rank, size) = (&names.loop_i, &names.rank, &names.size);
+    b.stmt(format!("int {rank}, {size}, {i};"));
+    b.stmt("long local_prod = 1, global_prod = 1;".to_string());
+    b.stmt(format!("int n = {n_val};"));
+    b.mpi_prologue(ctx, &names, true);
+    b.stmt(format!("for ({i} = {rank} + 1; {i} <= n; {i} += {size}) {{"));
+    b.stmt(format!("local_prod = local_prod * {i};"));
+    b.stmt("}".to_string());
+    b.stmt(
+        "MPI_Reduce(&local_prod, &global_prod, 1, MPI_LONG, MPI_PROD, 0, MPI_COMM_WORLD);"
+            .to_string(),
+    );
+    b.stmt(format!(
+        "if ({rank} == 0) {{ printf(\"%d! = %ld\\n\", n, global_prod); }}"
+    ));
+    b.mpi_epilogue();
+    b.render()
+}
+
+fn gen_fibonacci(ctx: &mut GenCtx) -> String {
+    let names = Names::draw(ctx);
+    let n_val = ctx.int(10, 40);
+    let mut b = ProgramBuilder::new(ctx);
+    let (i, rank, size) = (&names.loop_i, &names.rank, &names.size);
+    b.stmt(format!("int {rank}, {size}, {i};"));
+    b.stmt(format!("long fib = 0;"));
+    b.stmt(format!("int n = {n_val};"));
+    b.mpi_prologue(ctx, &names, true);
+    b.stmt(format!("if ({rank} == 0) {{"));
+    b.stmt("long a = 0, c = 1;".to_string());
+    b.stmt(format!("for ({i} = 0; {i} < n; {i}++) {{"));
+    b.stmt("long next = a + c;".to_string());
+    b.stmt("a = c;".to_string());
+    b.stmt("c = next;".to_string());
+    b.stmt("}".to_string());
+    b.stmt("fib = a;".to_string());
+    b.stmt("}".to_string());
+    b.stmt("MPI_Bcast(&fib, 1, MPI_LONG, 0, MPI_COMM_WORLD);".to_string());
+    b.stmt(format!(
+        "printf(\"rank %d knows fib(%d) = %ld\\n\", {rank}, n, fib);"
+    ));
+    b.mpi_epilogue();
+    b.render()
+}
+
+fn gen_ring_pass(ctx: &mut GenCtx) -> String {
+    let names = Names::draw(ctx);
+    let rounds = ctx.int(1, 5);
+    let mut b = ProgramBuilder::new(ctx);
+    let (rank, size) = (&names.rank, &names.size);
+    let token = ctx.aux_name("token");
+    let st = ctx.aux_name("st");
+    b.stmt(format!("int {rank}, {size};"));
+    b.stmt(format!("int {token} = 0;"));
+    b.mpi_prologue(ctx, &names, true);
+    b.stmt(format!("int next = ({rank} + 1) % {size};"));
+    b.stmt(format!("int prev = ({rank} + {size} - 1) % {size};"));
+    b.stmt(format!("MPI_Status {st};"));
+    b.stmt(format!("int r;"));
+    b.stmt(format!("for (r = 0; r < {rounds}; r++) {{"));
+    b.stmt(format!("if ({rank} == 0) {{"));
+    b.stmt(format!("{token} = {token} + 1;"));
+    b.stmt(format!("MPI_Send(&{token}, 1, MPI_INT, next, 99, MPI_COMM_WORLD);"));
+    b.stmt(format!(
+        "MPI_Recv(&{token}, 1, MPI_INT, prev, 99, MPI_COMM_WORLD, &{st});"
+    ));
+    b.stmt("} else {".to_string());
+    b.stmt(format!(
+        "MPI_Recv(&{token}, 1, MPI_INT, prev, 99, MPI_COMM_WORLD, &{st});"
+    ));
+    b.stmt(format!("{token} = {token} + 1;"));
+    b.stmt(format!("MPI_Send(&{token}, 1, MPI_INT, next, 99, MPI_COMM_WORLD);"));
+    b.stmt("}".to_string());
+    b.stmt("}".to_string());
+    b.stmt(format!(
+        "if ({rank} == 0) {{ printf(\"token = %d\\n\", {token}); }}"
+    ));
+    b.mpi_epilogue();
+    b.render()
+}
+
+fn gen_halo_exchange(ctx: &mut GenCtx) -> String {
+    let names = Names::draw(ctx);
+    let cells = *ctx.pick(&[16i64, 32, 64]);
+    let steps = ctx.int(2, 8);
+    let use_sendrecv = ctx.chance(0.35);
+    let mut b = ProgramBuilder::new(ctx);
+    let (i, rank, size, buf) = (&names.loop_i, &names.rank, &names.size, &names.buf);
+    let st = ctx.aux_name("st");
+    b.stmt(format!("int {rank}, {size}, {i}, step;"));
+    b.stmt(format!("double {buf}[{}];", cells + 2));
+    b.stmt(format!("double newbuf[{}];", cells + 2));
+    b.mpi_prologue(ctx, &names, true);
+    b.stmt(format!("MPI_Status {st};"));
+    b.stmt(format!(
+        "for ({i} = 0; {i} < {}; {i}++) {{ {buf}[{i}] = {rank}; }}",
+        cells + 2
+    ));
+    b.stmt(format!("int left = {rank} - 1;"));
+    b.stmt(format!("int right = {rank} + 1;"));
+    b.stmt(format!("for (step = 0; step < {steps}; step++) {{"));
+    if use_sendrecv {
+        b.stmt(format!(
+            "if (right < {size}) {{ MPI_Sendrecv(&{buf}[{cells}], 1, MPI_DOUBLE, right, 1, &{buf}[{}], 1, MPI_DOUBLE, right, 2, MPI_COMM_WORLD, &{st}); }}",
+            cells + 1
+        ));
+        b.stmt(format!(
+            "if (left >= 0) {{ MPI_Sendrecv(&{buf}[1], 1, MPI_DOUBLE, left, 2, &{buf}[0], 1, MPI_DOUBLE, left, 1, MPI_COMM_WORLD, &{st}); }}"
+        ));
+    } else {
+        b.stmt(format!(
+            "if (right < {size}) {{ MPI_Send(&{buf}[{cells}], 1, MPI_DOUBLE, right, 1, MPI_COMM_WORLD); }}"
+        ));
+        b.stmt(format!(
+            "if (left >= 0) {{ MPI_Recv(&{buf}[0], 1, MPI_DOUBLE, left, 1, MPI_COMM_WORLD, &{st}); }}"
+        ));
+        b.stmt(format!(
+            "if (left >= 0) {{ MPI_Send(&{buf}[1], 1, MPI_DOUBLE, left, 2, MPI_COMM_WORLD); }}"
+        ));
+        b.stmt(format!(
+            "if (right < {size}) {{ MPI_Recv(&{buf}[{}], 1, MPI_DOUBLE, right, 2, MPI_COMM_WORLD, &{st}); }}",
+            cells + 1
+        ));
+    }
+    b.stmt(format!("for ({i} = 1; {i} <= {cells}; {i}++) {{"));
+    b.stmt(format!(
+        "newbuf[{i}] = 0.25 * {buf}[{i} - 1] + 0.5 * {buf}[{i}] + 0.25 * {buf}[{i} + 1];"
+    ));
+    b.stmt("}".to_string());
+    b.stmt(format!(
+        "for ({i} = 1; {i} <= {cells}; {i}++) {{ {buf}[{i}] = newbuf[{i}]; }}"
+    ));
+    b.stmt("}".to_string());
+    b.stmt(format!(
+        "printf(\"rank %d center %f\\n\", {rank}, {buf}[{}]);",
+        cells / 2
+    ));
+    b.mpi_epilogue();
+    b.render()
+}
+
+fn gen_master_worker(ctx: &mut GenCtx) -> String {
+    let names = Names::draw(ctx);
+    let jobs_per = ctx.int(2, 6);
+    let use_isend = ctx.chance(0.15);
+    let mut b = ProgramBuilder::new(ctx);
+    let (i, rank, size) = (&names.loop_i, &names.rank, &names.size);
+    let st = ctx.aux_name("st");
+    b.stmt(format!("int {rank}, {size}, {i};"));
+    b.stmt("double task_result;".to_string());
+    b.mpi_prologue(ctx, &names, true);
+    b.stmt(format!("MPI_Status {st};"));
+    b.stmt(format!("if ({rank} == 0) {{"));
+    b.stmt("double grand = 0.0;".to_string());
+    // Root receives exactly (size - 1) * jobs_per results from the workers.
+    b.stmt(format!(
+        "for ({i} = 1; {i} <= ({size} - 1) * {jobs_per}; {i}++) {{"
+    ));
+    b.stmt(format!(
+        "MPI_Recv(&task_result, 1, MPI_DOUBLE, MPI_ANY_SOURCE, MPI_ANY_TAG, MPI_COMM_WORLD, &{st});"
+    ));
+    b.stmt("grand += task_result;".to_string());
+    b.stmt("}".to_string());
+    b.stmt("printf(\"grand total %f\\n\", grand);".to_string());
+    b.stmt("} else {".to_string());
+    b.stmt(format!("for ({i} = 0; {i} < {jobs_per}; {i}++) {{"));
+    b.stmt(format!("task_result = {rank} * 100.0 + {i};"));
+    if use_isend {
+        let req = ctx.aux_name("req");
+        b.stmt(format!("MPI_Request {req};"));
+        b.stmt(format!(
+            "MPI_Isend(&task_result, 1, MPI_DOUBLE, 0, {i}, MPI_COMM_WORLD, &{req});"
+        ));
+        b.stmt(format!("MPI_Wait(&{req}, &{st});"));
+    } else {
+        b.stmt(format!(
+            "MPI_Send(&task_result, 1, MPI_DOUBLE, 0, {i}, MPI_COMM_WORLD);"
+        ));
+    }
+    b.stmt("}".to_string());
+    b.stmt("}".to_string());
+    b.mpi_epilogue();
+    b.render()
+}
+
+fn gen_bcast_config(ctx: &mut GenCtx) -> String {
+    let names = Names::draw(ctx);
+    let n_val = ctx.problem_size();
+    let mut b = ProgramBuilder::new(ctx);
+    let (i, rank, size) = (&names.loop_i, &names.rank, &names.size);
+    b.stmt(format!("int {rank}, {size}, {i};"));
+    b.stmt("int params[3];".to_string());
+    b.stmt("double scale = 0.0;".to_string());
+    b.mpi_prologue(ctx, &names, true);
+    b.stmt(format!("if ({rank} == 0) {{"));
+    b.stmt(format!("params[0] = {n_val};"));
+    b.stmt(format!("params[1] = {};", ctx.int(1, 16)));
+    b.stmt(format!("params[2] = {};", ctx.int(100, 999)));
+    b.stmt("scale = 1.5;".to_string());
+    b.stmt("}".to_string());
+    b.stmt("MPI_Bcast(params, 3, MPI_INT, 0, MPI_COMM_WORLD);".to_string());
+    b.stmt("MPI_Bcast(&scale, 1, MPI_DOUBLE, 0, MPI_COMM_WORLD);".to_string());
+    b.stmt("double acc2 = 0.0;".to_string());
+    b.stmt(format!(
+        "for ({i} = {rank}; {i} < params[0]; {i} += {size}) {{ acc2 += {i} * scale; }}"
+    ));
+    b.stmt(format!(
+        "printf(\"rank %d acc %f seed %d\\n\", {rank}, acc2, params[2]);"
+    ));
+    b.mpi_epilogue();
+    b.render()
+}
+
+fn gen_scatter_work(ctx: &mut GenCtx) -> String {
+    let names = Names::draw(ctx);
+    let n_val = *ctx.pick(&[64i64, 128, 256, 512]);
+    let mut b = ProgramBuilder::new(ctx);
+    let (i, rank, size, buf) = (&names.loop_i, &names.rank, &names.size, &names.buf);
+    b.stmt(format!("int {rank}, {size}, {i};"));
+    b.stmt(format!("double {buf}[{n_val}], mine[{n_val}], squared[{n_val}];"));
+    b.mpi_prologue(ctx, &names, true);
+    b.stmt(format!("if ({rank} == 0) {{"));
+    b.stmt(format!(
+        "for ({i} = 0; {i} < {n_val}; {i}++) {{ {buf}[{i}] = {i} * 0.1; }}"
+    ));
+    b.stmt("}".to_string());
+    b.stmt(format!("int per = {n_val} / {size};"));
+    b.stmt(format!(
+        "MPI_Scatter({buf}, per, MPI_DOUBLE, mine, per, MPI_DOUBLE, 0, MPI_COMM_WORLD);"
+    ));
+    b.stmt(format!(
+        "for ({i} = 0; {i} < per; {i}++) {{ squared[{i}] = mine[{i}] * mine[{i}]; }}"
+    ));
+    if ctx.chance(0.3) {
+        b.stmt(format!(
+            "MPI_Allgather(squared, per, MPI_DOUBLE, {buf}, per, MPI_DOUBLE, MPI_COMM_WORLD);"
+        ));
+        b.stmt(format!(
+            "printf(\"rank %d sees %f\\n\", {rank}, {buf}[0]);"
+        ));
+    } else {
+        b.stmt(format!(
+            "MPI_Gather(squared, per, MPI_DOUBLE, {buf}, per, MPI_DOUBLE, 0, MPI_COMM_WORLD);"
+        ));
+        b.stmt(format!(
+            "if ({rank} == 0) {{ printf(\"%f .. %f\\n\", {buf}[0], {buf}[{n_val} - 1]); }}"
+        ));
+    }
+    b.mpi_epilogue();
+    b.render()
+}
+
+fn gen_allreduce_norm(ctx: &mut GenCtx) -> String {
+    let names = Names::draw(ctx);
+    let n_val = ctx.problem_size();
+    let mut b = ProgramBuilder::new(ctx);
+    b.headers.push("#include <math.h>".to_string());
+    let (i, rank, size, buf) = (&names.loop_i, &names.rank, &names.size, &names.buf);
+    b.stmt(format!("int {rank}, {size}, {i};"));
+    b.stmt(format!("double {buf}[{n_val}];"));
+    b.stmt("double local_sq = 0.0, norm_sq = 0.0;".to_string());
+    b.mpi_prologue(ctx, &names, true);
+    b.stmt(format!(
+        "for ({i} = 0; {i} < {n_val}; {i}++) {{ {buf}[{i}] = ({i} + {rank}) * 0.01; }}"
+    ));
+    b.stmt(format!(
+        "for ({i} = {rank}; {i} < {n_val}; {i} += {size}) {{ local_sq += {buf}[{i}] * {buf}[{i}]; }}"
+    ));
+    b.stmt(
+        "MPI_Allreduce(&local_sq, &norm_sq, 1, MPI_DOUBLE, MPI_SUM, MPI_COMM_WORLD);".to_string(),
+    );
+    b.stmt(format!(
+        "printf(\"rank %d norm %f\\n\", {rank}, sqrt(norm_sq));"
+    ));
+    b.mpi_epilogue();
+    b.render()
+}
+
+fn gen_prefix_sum(ctx: &mut GenCtx) -> String {
+    let names = Names::draw(ctx);
+    let mut b = ProgramBuilder::new(ctx);
+    let (rank, size) = (&names.rank, &names.size);
+    let st = ctx.aux_name("st");
+    b.stmt(format!("int {rank}, {size};"));
+    b.stmt("long running = 0;".to_string());
+    b.stmt("long mine = 0;".to_string());
+    b.mpi_prologue(ctx, &names, true);
+    b.stmt(format!("MPI_Status {st};"));
+    b.stmt(format!("mine = ({rank} + 1) * 10;"));
+    b.stmt(format!("if ({rank} > 0) {{"));
+    b.stmt(format!(
+        "MPI_Recv(&running, 1, MPI_LONG, {rank} - 1, 7, MPI_COMM_WORLD, &{st});"
+    ));
+    b.stmt("}".to_string());
+    b.stmt("running = running + mine;".to_string());
+    b.stmt(format!("if ({rank} < {size} - 1) {{"));
+    b.stmt(format!(
+        "MPI_Send(&running, 1, MPI_LONG, {rank} + 1, 7, MPI_COMM_WORLD);"
+    ));
+    b.stmt("}".to_string());
+    b.stmt(format!(
+        "printf(\"rank %d prefix %ld\\n\", {rank}, running);"
+    ));
+    b.mpi_epilogue();
+    b.render()
+}
+
+fn gen_timed_stencil(ctx: &mut GenCtx) -> String {
+    let names = Names::draw(ctx);
+    let n_val = *ctx.pick(&[32i64, 64, 128]);
+    let iters = ctx.int(4, 16);
+    let mut b = ProgramBuilder::new(ctx);
+    let (i, rank, size, buf) = (&names.loop_i, &names.rank, &names.size, &names.buf);
+    b.stmt(format!("int {rank}, {size}, {i}, it;"));
+    b.stmt(format!("double {buf}[{n_val}], scratch[{n_val}];"));
+    b.stmt("double t_start, t_end;".to_string());
+    b.mpi_prologue(ctx, &names, true);
+    b.stmt("MPI_Barrier(MPI_COMM_WORLD);".to_string());
+    b.stmt("t_start = MPI_Wtime();".to_string());
+    b.stmt(format!(
+        "for ({i} = 0; {i} < {n_val}; {i}++) {{ {buf}[{i}] = {i} % 17; }}"
+    ));
+    b.stmt(format!("for (it = 0; it < {iters}; it++) {{"));
+    b.stmt(format!("for ({i} = 1; {i} < {n_val} - 1; {i}++) {{"));
+    b.stmt(format!(
+        "scratch[{i}] = ({buf}[{i} - 1] + {buf}[{i} + 1]) * 0.5;"
+    ));
+    b.stmt("}".to_string());
+    b.stmt(format!(
+        "for ({i} = 1; {i} < {n_val} - 1; {i}++) {{ {buf}[{i}] = scratch[{i}]; }}"
+    ));
+    b.stmt("}".to_string());
+    b.stmt("MPI_Barrier(MPI_COMM_WORLD);".to_string());
+    b.stmt("t_end = MPI_Wtime();".to_string());
+    b.stmt(format!(
+        "if ({rank} == 0) {{ printf(\"elapsed %f\\n\", t_end - t_start); }}"
+    ));
+    b.mpi_epilogue();
+    b.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpirical_cparse::parse_strict;
+
+    #[test]
+    fn every_schema_parses_over_many_seeds() {
+        for schema in Schema::ALL {
+            for seed in 0..25u64 {
+                let mut ctx = GenCtx::for_program(1234, seed * 31 + schema.weight() as u64);
+                let src = schema.generate(&mut ctx);
+                parse_strict(&src).unwrap_or_else(|e| {
+                    panic!("schema {} seed {seed} failed: {e}\n{src}", schema.name())
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn every_schema_contains_finalize() {
+        for schema in Schema::ALL {
+            let mut ctx = GenCtx::for_program(7, 7);
+            let src = schema.generate(&mut ctx);
+            assert!(
+                src.contains("MPI_Finalize"),
+                "{} missing Finalize",
+                schema.name()
+            );
+        }
+    }
+
+    #[test]
+    fn generate_program_is_deterministic() {
+        let (s1, p1) = generate_program(99, 5);
+        let (s2, p2) = generate_program(99, 5);
+        assert_eq!(s1, s2);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn generate_program_varies_by_index() {
+        let (_, p1) = generate_program(99, 1);
+        let (_, p2) = generate_program(99, 2);
+        assert_ne!(p1, p2);
+    }
+
+    #[test]
+    fn padded_programs_parse() {
+        for idx in 0..60u64 {
+            let (schema, src) = generate_program(4242, idx);
+            parse_strict(&src).unwrap_or_else(|e| {
+                panic!("program {idx} (schema {}) failed: {e}\n{src}", schema.name())
+            });
+        }
+    }
+
+    #[test]
+    fn schema_sampling_covers_all() {
+        let mut seen = std::collections::HashSet::new();
+        for idx in 0..600u64 {
+            let mut ctx = GenCtx::for_program(5, idx);
+            seen.insert(Schema::sample(&mut ctx));
+        }
+        assert_eq!(seen.len(), Schema::ALL.len(), "all schemas sampled: {seen:?}");
+    }
+
+    #[test]
+    fn weights_sum_positive() {
+        let total: u32 = Schema::ALL.iter().map(|s| s.weight()).sum();
+        assert!(total > 50);
+    }
+
+    #[test]
+    fn length_distribution_spans_buckets() {
+        let mut buckets = [0usize; 4];
+        for idx in 0..200u64 {
+            let (_, src) = generate_program(31337, idx);
+            let lines = src.lines().count();
+            let b = if lines <= 10 {
+                0
+            } else if lines <= 50 {
+                1
+            } else if lines <= 99 {
+                2
+            } else {
+                3
+            };
+            buckets[b] += 1;
+        }
+        // Mid buckets dominate; extremes exist (Table Ia shape).
+        assert!(buckets[1] > 0, "11-50 bucket populated: {buckets:?}");
+        assert!(buckets[2] > 0, "51-99 bucket populated: {buckets:?}");
+        assert!(buckets[3] > 0, ">=100 bucket populated: {buckets:?}");
+        assert!(buckets[1] + buckets[2] > buckets[0], "{buckets:?}");
+    }
+}

@@ -1,0 +1,283 @@
+//! Corpus statistics: everything the paper reports about MPICodeCorpus —
+//! Table Ia (code lengths), Table Ib (MPI Common Core per-file counts) and
+//! Figure 3 (Init–Finalize span ratio histogram).
+
+use mpirical_cparse::{lex, TokenKind};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The eight "MPI Common Core" functions of Table Ib, in the paper's order.
+pub const MPI_COMMON_CORE: [&str; 8] = [
+    "MPI_Finalize",
+    "MPI_Comm_rank",
+    "MPI_Comm_size",
+    "MPI_Init",
+    "MPI_Recv",
+    "MPI_Send",
+    "MPI_Reduce",
+    "MPI_Bcast",
+];
+
+/// True if `name` belongs to the MPI Common Core set.
+pub fn is_common_core(name: &str) -> bool {
+    MPI_COMMON_CORE.contains(&name)
+}
+
+/// Table Ia: line-count buckets.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LengthBuckets {
+    pub le_10: usize,
+    pub from_11_to_50: usize,
+    pub from_51_to_99: usize,
+    pub ge_100: usize,
+}
+
+impl LengthBuckets {
+    pub fn add(&mut self, lines: usize) {
+        if lines <= 10 {
+            self.le_10 += 1;
+        } else if lines <= 50 {
+            self.from_11_to_50 += 1;
+        } else if lines <= 99 {
+            self.from_51_to_99 += 1;
+        } else {
+            self.ge_100 += 1;
+        }
+    }
+
+    pub fn total(&self) -> usize {
+        self.le_10 + self.from_11_to_50 + self.from_51_to_99 + self.ge_100
+    }
+}
+
+/// Full corpus statistics.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CorpusStats {
+    /// Number of programs analyzed.
+    pub programs: usize,
+    /// Table Ia.
+    pub lengths: LengthBuckets,
+    /// Per-file counts for *all* MPI functions seen (function → #files
+    /// containing at least one call). Table Ib restricts this to the
+    /// common core.
+    pub per_file_counts: BTreeMap<String, usize>,
+    /// Figure 3: histogram (10 bins over [0, 1]) of the ratio
+    /// (lines between MPI_Init and MPI_Finalize) / (total program lines).
+    pub init_finalize_ratio_hist: [usize; 10],
+    /// Number of files containing both MPI_Init and MPI_Finalize
+    /// (paper: 20,228 of the raw corpus).
+    pub files_with_init_and_finalize: usize,
+}
+
+impl CorpusStats {
+    /// Analyze a corpus of raw source texts.
+    pub fn compute<'a>(sources: impl IntoIterator<Item = &'a str>) -> CorpusStats {
+        let mut stats = CorpusStats::default();
+        for src in sources {
+            stats.add_source(src);
+        }
+        stats
+    }
+
+    /// Fold one program into the statistics. Works on the token stream, so
+    /// it tolerates files our parser would reject (like the mined corpus,
+    /// where stats are computed before the AST gate).
+    pub fn add_source(&mut self, src: &str) {
+        self.programs += 1;
+        let line_count = src.lines().filter(|l| !l.trim().is_empty()).count();
+        self.lengths.add(line_count);
+
+        let lexed = lex(src);
+        let mut seen_in_file: std::collections::BTreeSet<&str> = Default::default();
+        let mut init_line: Option<u32> = None;
+        let mut finalize_line: Option<u32> = None;
+        let mut iter = lexed.tokens.iter().peekable();
+        while let Some(t) = iter.next() {
+            if let TokenKind::Ident(name) = &t.kind {
+                if name.starts_with("MPI_") {
+                    // Count *calls* only: identifier followed by `(`.
+                    let is_call = matches!(
+                        iter.peek().map(|n| &n.kind),
+                        Some(TokenKind::Punct(mpirical_cparse::Punct::LParen))
+                    );
+                    if is_call {
+                        if seen_in_file.insert(leak_name(name)) {
+                            *self.per_file_counts.entry(name.clone()).or_insert(0) += 1;
+                        }
+                        if name == "MPI_Init" && init_line.is_none() {
+                            init_line = Some(t.line);
+                        }
+                        if name == "MPI_Finalize" {
+                            finalize_line = Some(t.line);
+                        }
+                    }
+                }
+            }
+        }
+        if let (Some(init), Some(fin)) = (init_line, finalize_line) {
+            self.files_with_init_and_finalize += 1;
+            let total = src.lines().count().max(1) as f64;
+            let span = (fin.saturating_sub(init)) as f64;
+            let ratio = (span / total).clamp(0.0, 1.0);
+            let bin = ((ratio * 10.0) as usize).min(9);
+            self.init_finalize_ratio_hist[bin] += 1;
+        }
+    }
+
+    /// Table Ib rows: `(function, files)` for the common core, in the
+    /// paper's fixed order.
+    pub fn common_core_rows(&self) -> Vec<(&'static str, usize)> {
+        MPI_COMMON_CORE
+            .iter()
+            .map(|&f| (f, self.per_file_counts.get(f).copied().unwrap_or(0)))
+            .collect()
+    }
+
+    /// Fraction of Init–Finalize files whose parallel span covers more than
+    /// half the program (the paper's headline observation on Figure 3).
+    pub fn fraction_ratio_above_half(&self) -> f64 {
+        let total: usize = self.init_finalize_ratio_hist.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let above: usize = self.init_finalize_ratio_hist[5..].iter().sum();
+        above as f64 / total as f64
+    }
+}
+
+/// Intern common-core names to 'static for the per-file seen set.
+fn leak_name(name: &str) -> &'static str {
+    // Only a small closed set of MPI names occurs; intern via a static table
+    // where possible, otherwise leak (bounded by the MPI universe size).
+    for &cc in &MPI_COMMON_CORE {
+        if cc == name {
+            return cc;
+        }
+    }
+    match name {
+        "MPI_Allreduce" => "MPI_Allreduce",
+        "MPI_Scatter" => "MPI_Scatter",
+        "MPI_Gather" => "MPI_Gather",
+        "MPI_Allgather" => "MPI_Allgather",
+        "MPI_Barrier" => "MPI_Barrier",
+        "MPI_Wtime" => "MPI_Wtime",
+        "MPI_Sendrecv" => "MPI_Sendrecv",
+        "MPI_Isend" => "MPI_Isend",
+        "MPI_Irecv" => "MPI_Irecv",
+        "MPI_Wait" => "MPI_Wait",
+        "MPI_Abort" => "MPI_Abort",
+        other => Box::leak(other.to_string().into_boxed_str()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = r#"#include <mpi.h>
+int main(int argc, char **argv) {
+    int rank;
+    MPI_Init(&argc, &argv);
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    MPI_Send(&rank, 1, MPI_INT, 0, 0, MPI_COMM_WORLD);
+    MPI_Send(&rank, 1, MPI_INT, 1, 0, MPI_COMM_WORLD);
+    MPI_Finalize();
+    return 0;
+}
+"#;
+
+    #[test]
+    fn per_file_counts_once() {
+        let stats = CorpusStats::compute([SRC]);
+        // Two MPI_Send calls count as one file.
+        assert_eq!(stats.per_file_counts.get("MPI_Send"), Some(&1));
+        assert_eq!(stats.per_file_counts.get("MPI_Init"), Some(&1));
+        assert_eq!(stats.per_file_counts.get("MPI_Recv"), None);
+    }
+
+    #[test]
+    fn constants_not_counted_as_calls() {
+        let stats = CorpusStats::compute([SRC]);
+        // MPI_COMM_WORLD / MPI_INT appear as arguments, not calls.
+        assert!(!stats.per_file_counts.contains_key("MPI_COMM_WORLD"));
+        assert!(!stats.per_file_counts.contains_key("MPI_INT"));
+    }
+
+    #[test]
+    fn length_buckets() {
+        let mut b = LengthBuckets::default();
+        b.add(5);
+        b.add(10);
+        b.add(11);
+        b.add(50);
+        b.add(51);
+        b.add(99);
+        b.add(100);
+        b.add(400);
+        assert_eq!(b.le_10, 2);
+        assert_eq!(b.from_11_to_50, 2);
+        assert_eq!(b.from_51_to_99, 2);
+        assert_eq!(b.ge_100, 2);
+        assert_eq!(b.total(), 8);
+    }
+
+    #[test]
+    fn init_finalize_ratio() {
+        let stats = CorpusStats::compute([SRC]);
+        assert_eq!(stats.files_with_init_and_finalize, 1);
+        // Init at line 4, Finalize at line 8, 10 lines total → ratio 0.4.
+        assert_eq!(stats.init_finalize_ratio_hist[4], 1);
+    }
+
+    #[test]
+    fn no_init_no_ratio() {
+        let stats = CorpusStats::compute(["int main() { MPI_Finalize(); return 0; }"]);
+        assert_eq!(stats.files_with_init_and_finalize, 0);
+        assert_eq!(stats.init_finalize_ratio_hist.iter().sum::<usize>(), 0);
+    }
+
+    #[test]
+    fn common_core_rows_order() {
+        let stats = CorpusStats::compute([SRC]);
+        let rows = stats.common_core_rows();
+        assert_eq!(rows[0].0, "MPI_Finalize");
+        assert_eq!(rows[5], ("MPI_Send", 1));
+        assert_eq!(rows[4], ("MPI_Recv", 0));
+    }
+
+    #[test]
+    fn fraction_above_half() {
+        let mut stats = CorpusStats::default();
+        stats.init_finalize_ratio_hist = [0, 0, 0, 0, 1, 1, 0, 0, 0, 2];
+        assert!((stats.fraction_ratio_above_half() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn corpus_scale_shape() {
+        // Generate a small corpus and check the Table Ib ordering holds:
+        // Finalize >= Comm_rank >= Comm_size >= Init, and the comm tail is
+        // smaller than the scaffolding counts.
+        let sources: Vec<String> = (0..300)
+            .map(|i| crate::schemas::generate_program(2024, i).1)
+            .collect();
+        let stats = CorpusStats::compute(sources.iter().map(|s| s.as_str()));
+        let rows = stats.common_core_rows();
+        let get = |name: &str| {
+            rows.iter()
+                .find(|(f, _)| *f == name)
+                .map(|(_, c)| *c)
+                .unwrap()
+        };
+        assert!(get("MPI_Finalize") >= get("MPI_Comm_rank"), "{rows:?}");
+        assert!(get("MPI_Comm_rank") >= get("MPI_Comm_size"), "{rows:?}");
+        assert!(get("MPI_Comm_size") >= get("MPI_Init"), "{rows:?}");
+        assert!(get("MPI_Init") > get("MPI_Send"), "{rows:?}");
+        assert!(get("MPI_Send") > get("MPI_Bcast"), "{rows:?}");
+        // Figure 3 shape: most parallel spans cover > half the program.
+        assert!(
+            stats.fraction_ratio_above_half() > 0.5,
+            "ratio hist: {:?}",
+            stats.init_finalize_ratio_hist
+        );
+    }
+}

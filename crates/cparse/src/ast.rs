@@ -1,0 +1,698 @@
+//! Abstract syntax tree for the C subset.
+//!
+//! Every statement and call expression carries the 1-based source line it
+//! started on. Line numbers are the paper's notion of "location" (§III, RQ2),
+//! so they are first-class here: MPI-call extraction, removal, and suggestion
+//! placement all operate on them.
+
+use serde::{Deserialize, Serialize};
+
+/// A full translation unit: leading preprocessor directives followed by
+/// top-level items (functions and global declarations).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    pub directives: Vec<String>,
+    pub items: Vec<Item>,
+}
+
+impl Program {
+    /// Iterate over every function definition in the program.
+    pub fn functions(&self) -> impl Iterator<Item = &FunctionDef> {
+        self.items.iter().filter_map(|i| match i {
+            Item::Function(f) => Some(f),
+            _ => None,
+        })
+    }
+
+    /// Find the definition of `main`, if present. A "program" in the paper's
+    /// corpus sense must contain one (§V-A).
+    pub fn main(&self) -> Option<&FunctionDef> {
+        self.functions().find(|f| f.name == "main")
+    }
+
+    /// Collect `(function_name, line)` for every call whose callee name
+    /// satisfies `pred`, in source order. With `pred = |n| n.starts_with("MPI_")`
+    /// this is exactly the label-extraction the evaluation uses.
+    pub fn calls_matching(&self, pred: impl Fn(&str) -> bool + Copy) -> Vec<(String, u32)> {
+        let mut out = Vec::new();
+        for item in &self.items {
+            match item {
+                Item::Function(f) => collect_calls_block(&f.body, pred, &mut out),
+                Item::Declaration(d) => {
+                    for decl in &d.declarators {
+                        if let Some(init) = &decl.init {
+                            collect_calls_init(init, pred, &mut out);
+                        }
+                    }
+                }
+                Item::Error { .. } => {}
+            }
+        }
+        out
+    }
+}
+
+/// A top-level item.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Item {
+    Function(FunctionDef),
+    Declaration(Declaration),
+    /// Unparseable region, retained verbatim for tolerance.
+    Error { line: u32, text: String },
+}
+
+/// A function definition (declarations-without-body are modelled as
+/// [`Declaration`]s by the parser and dropped from this subset).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FunctionDef {
+    pub return_type: TypeSpec,
+    pub name: String,
+    pub params: Vec<Param>,
+    pub body: Block,
+    pub line: u32,
+}
+
+/// A function parameter, e.g. `char **argv`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Param {
+    pub type_spec: TypeSpec,
+    pub pointer_depth: u8,
+    pub name: String,
+    /// Trailing `[]` as in `int argv[]` (semantically a pointer).
+    pub array: bool,
+}
+
+/// A (possibly qualified) type specifier. The subset keeps qualifiers as
+/// leading words, e.g. `unsigned long long` or `const double`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TypeSpec {
+    /// Space-separated specifier words in source order, e.g.
+    /// `["unsigned", "long"]` or `["MPI_Status"]` for typedef-style names.
+    pub words: Vec<String>,
+}
+
+impl TypeSpec {
+    pub fn new(words: &[&str]) -> Self {
+        TypeSpec {
+            words: words.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    pub fn named(name: &str) -> Self {
+        TypeSpec {
+            words: vec![name.to_string()],
+        }
+    }
+
+    pub fn render(&self) -> String {
+        self.words.join(" ")
+    }
+
+    /// True for `void` (and nothing else).
+    pub fn is_void(&self) -> bool {
+        self.words.len() == 1 && self.words[0] == "void"
+    }
+}
+
+/// A declaration statement: one type specifier plus one or more declarators,
+/// e.g. `int a = 5, *p, buf[10];`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Declaration {
+    pub type_spec: TypeSpec,
+    pub declarators: Vec<Declarator>,
+    pub line: u32,
+}
+
+/// One declared entity within a [`Declaration`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Declarator {
+    pub name: String,
+    pub pointer_depth: u8,
+    /// Array dimensions; `None` means an unsized dimension `[]`.
+    pub arrays: Vec<Option<Expr>>,
+    pub init: Option<Init>,
+}
+
+/// An initializer: a plain expression or a brace list.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Init {
+    Expr(Expr),
+    List(Vec<Init>),
+}
+
+/// A `{ ... }` block.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Block {
+    pub stmts: Vec<Stmt>,
+}
+
+impl Block {
+    pub fn empty() -> Self {
+        Block { stmts: Vec::new() }
+    }
+}
+
+/// Statements of the subset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Stmt {
+    Decl(Declaration),
+    /// Expression statement; `expr == None` is the empty statement `;`.
+    Expr { expr: Option<Expr>, line: u32 },
+    If {
+        cond: Expr,
+        then_branch: Box<Stmt>,
+        else_branch: Option<Box<Stmt>>,
+        line: u32,
+    },
+    While {
+        cond: Expr,
+        body: Box<Stmt>,
+        line: u32,
+    },
+    DoWhile {
+        body: Box<Stmt>,
+        cond: Expr,
+        line: u32,
+    },
+    For {
+        init: ForInit,
+        cond: Option<Expr>,
+        step: Option<Expr>,
+        body: Box<Stmt>,
+        line: u32,
+    },
+    Return { expr: Option<Expr>, line: u32 },
+    Break { line: u32 },
+    Continue { line: u32 },
+    Block(Block),
+    /// Unparseable statement region retained verbatim.
+    Error { line: u32, text: String },
+}
+
+impl Stmt {
+    /// The source line the statement starts on.
+    pub fn line(&self) -> u32 {
+        match self {
+            Stmt::Decl(d) => d.line,
+            Stmt::Expr { line, .. }
+            | Stmt::If { line, .. }
+            | Stmt::While { line, .. }
+            | Stmt::DoWhile { line, .. }
+            | Stmt::For { line, .. }
+            | Stmt::Return { line, .. }
+            | Stmt::Break { line }
+            | Stmt::Continue { line }
+            | Stmt::Error { line, .. } => *line,
+            Stmt::Block(b) => b.stmts.first().map(Stmt::line).unwrap_or(0),
+        }
+    }
+}
+
+/// The init clause of a `for` statement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ForInit {
+    None,
+    Decl(Declaration),
+    Expr(Expr),
+}
+
+/// Binary operators with C semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    Eq,
+    Ne,
+    And,
+    Or,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Shl,
+    Shr,
+}
+
+impl BinOp {
+    pub fn as_str(self) -> &'static str {
+        use BinOp::*;
+        match self {
+            Add => "+",
+            Sub => "-",
+            Mul => "*",
+            Div => "/",
+            Rem => "%",
+            Lt => "<",
+            Gt => ">",
+            Le => "<=",
+            Ge => ">=",
+            Eq => "==",
+            Ne => "!=",
+            And => "&&",
+            Or => "||",
+            BitAnd => "&",
+            BitOr => "|",
+            BitXor => "^",
+            Shl => "<<",
+            Shr => ">>",
+        }
+    }
+
+    /// Binding power for the pretty-printer (higher binds tighter). Matches
+    /// the precedence table used by the parser.
+    pub fn precedence(self) -> u8 {
+        use BinOp::*;
+        match self {
+            Or => 1,
+            And => 2,
+            BitOr => 3,
+            BitXor => 4,
+            BitAnd => 5,
+            Eq | Ne => 6,
+            Lt | Gt | Le | Ge => 7,
+            Shl | Shr => 8,
+            Add | Sub => 9,
+            Mul | Div | Rem => 10,
+        }
+    }
+}
+
+/// Prefix/postfix unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UnOp {
+    Neg,
+    Not,
+    BitNot,
+    Deref,
+    AddrOf,
+    PreInc,
+    PreDec,
+    PostInc,
+    PostDec,
+}
+
+impl UnOp {
+    pub fn as_str(self) -> &'static str {
+        use UnOp::*;
+        match self {
+            Neg => "-",
+            Not => "!",
+            BitNot => "~",
+            Deref => "*",
+            AddrOf => "&",
+            PreInc | PostInc => "++",
+            PreDec | PostDec => "--",
+        }
+    }
+
+    pub fn is_postfix(self) -> bool {
+        matches!(self, UnOp::PostInc | UnOp::PostDec)
+    }
+}
+
+/// Compound-assignment operators (`=` is `None` in [`Expr::Assign`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AssignOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Shl,
+    Shr,
+}
+
+impl AssignOp {
+    pub fn as_str(self) -> &'static str {
+        use AssignOp::*;
+        match self {
+            Add => "+=",
+            Sub => "-=",
+            Mul => "*=",
+            Div => "/=",
+            Rem => "%=",
+            BitAnd => "&=",
+            BitOr => "|=",
+            BitXor => "^=",
+            Shl => "<<=",
+            Shr => ">>=",
+        }
+    }
+
+    /// The underlying binary operator of the compound assignment.
+    pub fn to_binop(self) -> BinOp {
+        use AssignOp::*;
+        match self {
+            Add => BinOp::Add,
+            Sub => BinOp::Sub,
+            Mul => BinOp::Mul,
+            Div => BinOp::Div,
+            Rem => BinOp::Rem,
+            BitAnd => BinOp::BitAnd,
+            BitOr => BinOp::BitOr,
+            BitXor => BinOp::BitXor,
+            Shl => BinOp::Shl,
+            Shr => BinOp::Shr,
+        }
+    }
+}
+
+/// Expressions of the subset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    IntLit(i64),
+    FloatLit(f64),
+    StrLit(String),
+    CharLit(char),
+    Ident(String),
+    Call {
+        callee: String,
+        args: Vec<Expr>,
+        line: u32,
+    },
+    Binary {
+        op: BinOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
+    Unary {
+        op: UnOp,
+        operand: Box<Expr>,
+    },
+    Assign {
+        op: Option<AssignOp>,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
+    Index {
+        base: Box<Expr>,
+        index: Box<Expr>,
+    },
+    Member {
+        base: Box<Expr>,
+        field: String,
+        arrow: bool,
+    },
+    Cast {
+        ty: TypeSpec,
+        pointer_depth: u8,
+        operand: Box<Expr>,
+    },
+    Ternary {
+        cond: Box<Expr>,
+        then_expr: Box<Expr>,
+        else_expr: Box<Expr>,
+    },
+    /// `sizeof(type)` — `sizeof expr` is normalized to a cast-free form at
+    /// parse time by evaluating the operand's rendered type when possible.
+    SizeofType { ty: TypeSpec, pointer_depth: u8 },
+    Comma {
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// If this expression is a direct call, its callee name.
+    pub fn call_name(&self) -> Option<&str> {
+        match self {
+            Expr::Call { callee, .. } => Some(callee),
+            _ => None,
+        }
+    }
+
+    /// Visit every sub-expression (including `self`), pre-order.
+    pub fn walk(&self, f: &mut impl FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::Call { args, .. } => {
+                for a in args {
+                    a.walk(f);
+                }
+            }
+            Expr::Binary { lhs, rhs, .. }
+            | Expr::Assign { lhs, rhs, .. }
+            | Expr::Comma { lhs, rhs } => {
+                lhs.walk(f);
+                rhs.walk(f);
+            }
+            Expr::Unary { operand, .. } | Expr::Cast { operand, .. } => operand.walk(f),
+            Expr::Index { base, index } => {
+                base.walk(f);
+                index.walk(f);
+            }
+            Expr::Member { base, .. } => base.walk(f),
+            Expr::Ternary {
+                cond,
+                then_expr,
+                else_expr,
+            } => {
+                cond.walk(f);
+                then_expr.walk(f);
+                else_expr.walk(f);
+            }
+            Expr::IntLit(_)
+            | Expr::FloatLit(_)
+            | Expr::StrLit(_)
+            | Expr::CharLit(_)
+            | Expr::Ident(_)
+            | Expr::SizeofType { .. } => {}
+        }
+    }
+}
+
+fn collect_calls_block(
+    block: &Block,
+    pred: impl Fn(&str) -> bool + Copy,
+    out: &mut Vec<(String, u32)>,
+) {
+    for stmt in &block.stmts {
+        collect_calls_stmt(stmt, pred, out);
+    }
+}
+
+fn collect_calls_stmt(
+    stmt: &Stmt,
+    pred: impl Fn(&str) -> bool + Copy,
+    out: &mut Vec<(String, u32)>,
+) {
+    match stmt {
+        Stmt::Decl(d) => {
+            for decl in &d.declarators {
+                if let Some(init) = &decl.init {
+                    collect_calls_init(init, pred, out);
+                }
+                for dim in decl.arrays.iter().flatten() {
+                    collect_calls_expr(dim, pred, out);
+                }
+            }
+        }
+        Stmt::Expr { expr, .. } => {
+            if let Some(e) = expr {
+                collect_calls_expr(e, pred, out);
+            }
+        }
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            collect_calls_expr(cond, pred, out);
+            collect_calls_stmt(then_branch, pred, out);
+            if let Some(e) = else_branch {
+                collect_calls_stmt(e, pred, out);
+            }
+        }
+        Stmt::While { cond, body, .. } => {
+            collect_calls_expr(cond, pred, out);
+            collect_calls_stmt(body, pred, out);
+        }
+        Stmt::DoWhile { body, cond, .. } => {
+            collect_calls_stmt(body, pred, out);
+            collect_calls_expr(cond, pred, out);
+        }
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+            ..
+        } => {
+            match init {
+                ForInit::Decl(d) => {
+                    for decl in &d.declarators {
+                        if let Some(i) = &decl.init {
+                            collect_calls_init(i, pred, out);
+                        }
+                    }
+                }
+                ForInit::Expr(e) => collect_calls_expr(e, pred, out),
+                ForInit::None => {}
+            }
+            if let Some(c) = cond {
+                collect_calls_expr(c, pred, out);
+            }
+            if let Some(s) = step {
+                collect_calls_expr(s, pred, out);
+            }
+            collect_calls_stmt(body, pred, out);
+        }
+        Stmt::Return { expr, .. } => {
+            if let Some(e) = expr {
+                collect_calls_expr(e, pred, out);
+            }
+        }
+        Stmt::Block(b) => collect_calls_block(b, pred, out),
+        Stmt::Break { .. } | Stmt::Continue { .. } | Stmt::Error { .. } => {}
+    }
+}
+
+pub(crate) fn collect_calls_init(
+    init: &Init,
+    pred: impl Fn(&str) -> bool + Copy,
+    out: &mut Vec<(String, u32)>,
+) {
+    match init {
+        Init::Expr(e) => collect_calls_expr(e, pred, out),
+        Init::List(items) => {
+            for i in items {
+                collect_calls_init(i, pred, out);
+            }
+        }
+    }
+}
+
+fn collect_calls_expr(
+    expr: &Expr,
+    pred: impl Fn(&str) -> bool + Copy,
+    out: &mut Vec<(String, u32)>,
+) {
+    expr.walk(&mut |e| {
+        if let Expr::Call { callee, line, .. } = e {
+            if pred(callee) {
+                out.push((callee.clone(), *line));
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn call(name: &str, line: u32) -> Expr {
+        Expr::Call {
+            callee: name.into(),
+            args: vec![],
+            line,
+        }
+    }
+
+    #[test]
+    fn typespec_render() {
+        assert_eq!(TypeSpec::new(&["unsigned", "long"]).render(), "unsigned long");
+        assert!(TypeSpec::named("void").is_void());
+        assert!(!TypeSpec::new(&["void", "*"]).is_void());
+    }
+
+    #[test]
+    fn binop_precedence_ordering() {
+        assert!(BinOp::Mul.precedence() > BinOp::Add.precedence());
+        assert!(BinOp::Add.precedence() > BinOp::Shl.precedence());
+        assert!(BinOp::Lt.precedence() > BinOp::Eq.precedence());
+        assert!(BinOp::And.precedence() > BinOp::Or.precedence());
+        assert!(BinOp::BitAnd.precedence() > BinOp::BitOr.precedence());
+    }
+
+    #[test]
+    fn assignop_to_binop() {
+        assert_eq!(AssignOp::Add.to_binop(), BinOp::Add);
+        assert_eq!(AssignOp::Shl.to_binop(), BinOp::Shl);
+    }
+
+    #[test]
+    fn walk_visits_nested_calls() {
+        let e = Expr::Binary {
+            op: BinOp::Add,
+            lhs: Box::new(call("f", 1)),
+            rhs: Box::new(Expr::Ternary {
+                cond: Box::new(call("g", 2)),
+                then_expr: Box::new(Expr::IntLit(1)),
+                else_expr: Box::new(call("h", 3)),
+            }),
+        };
+        let mut names = Vec::new();
+        e.walk(&mut |x| {
+            if let Some(n) = x.call_name() {
+                names.push(n.to_string());
+            }
+        });
+        assert_eq!(names, vec!["f", "g", "h"]);
+    }
+
+    #[test]
+    fn calls_matching_extracts_in_order() {
+        let prog = Program {
+            directives: vec![],
+            items: vec![Item::Function(FunctionDef {
+                return_type: TypeSpec::named("int"),
+                name: "main".into(),
+                params: vec![],
+                body: Block {
+                    stmts: vec![
+                        Stmt::Expr {
+                            expr: Some(call("MPI_Init", 3)),
+                            line: 3,
+                        },
+                        Stmt::If {
+                            cond: Expr::IntLit(1),
+                            then_branch: Box::new(Stmt::Expr {
+                                expr: Some(call("MPI_Send", 5)),
+                                line: 5,
+                            }),
+                            else_branch: None,
+                            line: 4,
+                        },
+                        Stmt::Expr {
+                            expr: Some(call("printf", 6)),
+                            line: 6,
+                        },
+                        Stmt::Expr {
+                            expr: Some(call("MPI_Finalize", 7)),
+                            line: 7,
+                        },
+                    ],
+                },
+                line: 1,
+            })],
+        };
+        let mpi = prog.calls_matching(|n| n.starts_with("MPI_"));
+        assert_eq!(
+            mpi,
+            vec![
+                ("MPI_Init".to_string(), 3),
+                ("MPI_Send".to_string(), 5),
+                ("MPI_Finalize".to_string(), 7)
+            ]
+        );
+        assert!(prog.main().is_some());
+    }
+
+    #[test]
+    fn stmt_line_accessor() {
+        let s = Stmt::Return { expr: None, line: 9 };
+        assert_eq!(s.line(), 9);
+        let b = Stmt::Block(Block::empty());
+        assert_eq!(b.line(), 0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Diagnostics shared by the lexer and parser.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How severe a diagnostic is. Tolerant parsing never aborts on either level;
+/// strict parsing ([`crate::parse_strict`]) fails on [`Severity::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Severity {
+    Warning,
+    Error,
+}
+
+/// A single lexer or parser diagnostic, anchored to a 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Diagnostic {
+    pub severity: Severity,
+    pub line: u32,
+    pub message: String,
+}
+
+impl Diagnostic {
+    pub fn new(severity: Severity, line: u32, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity,
+            line,
+            message: message.into(),
+        }
+    }
+
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sev = match self.severity {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        };
+        write!(f, "{}:{}: {}", sev, self.line, self.message)
+    }
+}
+
+/// Error returned by [`crate::parse_strict`] when the source contains
+/// constructs outside the supported subset or malformed syntax.
+#[derive(Debug, Clone)]
+pub struct ParseError {
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let first_err = self.diagnostics.iter().find(|d| d.is_error());
+        match first_err {
+            Some(d) => write!(
+                f,
+                "parse failed: {} ({} diagnostics total)",
+                d,
+                self.diagnostics.len()
+            ),
+            None => write!(f, "parse failed"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let d = Diagnostic::new(Severity::Error, 7, "bad token");
+        assert_eq!(d.to_string(), "error:7: bad token");
+        let w = Diagnostic::new(Severity::Warning, 2, "odd");
+        assert_eq!(w.to_string(), "warning:2: odd");
+    }
+
+    #[test]
+    fn parse_error_reports_first_error() {
+        let e = ParseError {
+            diagnostics: vec![
+                Diagnostic::new(Severity::Warning, 1, "w"),
+                Diagnostic::new(Severity::Error, 3, "boom"),
+            ],
+        };
+        let s = e.to_string();
+        assert!(s.contains("error:3: boom"));
+        assert!(s.contains("2 diagnostics"));
+    }
+}

@@ -1,0 +1,632 @@
+//! Hand-written lexer for the C subset.
+//!
+//! Mirrors the role TreeSitter plays in the paper: it never fails — bytes it
+//! cannot interpret are skipped and reported as diagnostics, so incomplete
+//! code (the live-IDE scenario the paper motivates) still produces a usable
+//! token stream.
+
+use crate::error::{Diagnostic, Severity};
+use crate::token::{Keyword, Punct, Token, TokenKind};
+
+/// Output of [`lex`]: the token stream plus any diagnostics produced while
+/// scanning. The stream always ends with a single [`TokenKind::Eof`].
+#[derive(Debug, Clone)]
+pub struct LexOutput {
+    pub tokens: Vec<Token>,
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LexOutput {
+    /// Number of *code* tokens: everything except preprocessor directives and
+    /// the EOF sentinel. This is the count the corpus inclusion criterion
+    /// (≤ 320 tokens, paper §V-A2) is applied to.
+    pub fn code_token_count(&self) -> usize {
+        self.tokens
+            .iter()
+            .filter(|t| !matches!(t.kind, TokenKind::Directive(_) | TokenKind::Eof))
+            .count()
+    }
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+    diagnostics: Vec<Diagnostic>,
+    at_line_start: bool,
+}
+
+/// Lex `source` into tokens. Never fails; unknown bytes are skipped with a
+/// diagnostic.
+pub fn lex(source: &str) -> LexOutput {
+    let mut lx = Lexer {
+        src: source.as_bytes(),
+        pos: 0,
+        line: 1,
+        tokens: Vec::with_capacity(source.len() / 4),
+        diagnostics: Vec::new(),
+        at_line_start: true,
+    };
+    lx.run();
+    LexOutput {
+        tokens: lx.tokens,
+        diagnostics: lx.diagnostics,
+    }
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self) -> u8 {
+        *self.src.get(self.pos).unwrap_or(&0)
+    }
+
+    fn peek2(&self) -> u8 {
+        *self.src.get(self.pos + 1).unwrap_or(&0)
+    }
+
+    fn peek3(&self) -> u8 {
+        *self.src.get(self.pos + 2).unwrap_or(&0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let c = self.peek();
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.at_line_start = true;
+        } else if !c.is_ascii_whitespace() {
+            self.at_line_start = false;
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokenKind, line: u32) {
+        self.tokens.push(Token::new(kind, line));
+    }
+
+    fn run(&mut self) {
+        loop {
+            self.skip_ws_and_comments();
+            if self.pos >= self.src.len() {
+                break;
+            }
+            let line = self.line;
+            let c = self.peek();
+            match c {
+                b'#' if self.at_line_start => self.lex_directive(line),
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.lex_ident(line),
+                b'0'..=b'9' => self.lex_number(line),
+                b'.' if self.peek2().is_ascii_digit() => self.lex_number(line),
+                b'"' => self.lex_string(line),
+                b'\'' => self.lex_char(line),
+                _ => self.lex_punct(line),
+            }
+        }
+        let line = self.line;
+        self.push(TokenKind::Eof, line);
+    }
+
+    fn skip_ws_and_comments(&mut self) {
+        loop {
+            let c = self.peek();
+            if c.is_ascii_whitespace() {
+                self.bump();
+            } else if c == b'/' && self.peek2() == b'/' {
+                while self.pos < self.src.len() && self.peek() != b'\n' {
+                    self.bump();
+                }
+            } else if c == b'/' && self.peek2() == b'*' {
+                let start_line = self.line;
+                self.bump();
+                self.bump();
+                let mut closed = false;
+                while self.pos < self.src.len() {
+                    if self.peek() == b'*' && self.peek2() == b'/' {
+                        self.bump();
+                        self.bump();
+                        closed = true;
+                        break;
+                    }
+                    self.bump();
+                }
+                if !closed {
+                    self.diagnostics.push(Diagnostic::new(
+                        Severity::Warning,
+                        start_line,
+                        "unterminated block comment",
+                    ));
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn lex_directive(&mut self, line: u32) {
+        let start = self.pos;
+        while self.pos < self.src.len() && self.peek() != b'\n' {
+            // Line continuations keep the directive going.
+            if self.peek() == b'\\' && self.peek2() == b'\n' {
+                self.bump();
+                self.bump();
+                continue;
+            }
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos])
+            .trim_end()
+            .to_string();
+        self.push(TokenKind::Directive(text), line);
+    }
+
+    fn lex_ident(&mut self, line: u32) {
+        let start = self.pos;
+        while matches!(self.peek(), b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_') {
+            self.bump();
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap_or("");
+        let kind = match Keyword::from_str(text) {
+            Some(kw) => TokenKind::Keyword(kw),
+            None => TokenKind::Ident(text.to_string()),
+        };
+        self.push(kind, line);
+    }
+
+    fn lex_number(&mut self, line: u32) {
+        let start = self.pos;
+        let mut is_float = false;
+        if self.peek() == b'0' && matches!(self.peek2(), b'x' | b'X') {
+            self.bump();
+            self.bump();
+            while self.peek().is_ascii_hexdigit() {
+                self.bump();
+            }
+        } else {
+            while self.peek().is_ascii_digit() {
+                self.bump();
+            }
+            if self.peek() == b'.' && self.peek2() != b'.' {
+                is_float = true;
+                self.bump();
+                while self.peek().is_ascii_digit() {
+                    self.bump();
+                }
+            }
+            if matches!(self.peek(), b'e' | b'E')
+                && (self.peek2().is_ascii_digit()
+                    || (matches!(self.peek2(), b'+' | b'-') && self.peek3().is_ascii_digit()))
+            {
+                is_float = true;
+                self.bump();
+                if matches!(self.peek(), b'+' | b'-') {
+                    self.bump();
+                }
+                while self.peek().is_ascii_digit() {
+                    self.bump();
+                }
+            }
+        }
+        let body_end = self.pos;
+        // Consume and discard integer/float suffixes.
+        while matches!(self.peek(), b'u' | b'U' | b'l' | b'L' | b'f' | b'F') {
+            if matches!(self.peek(), b'f' | b'F') {
+                is_float = true;
+            }
+            self.bump();
+        }
+        let text = std::str::from_utf8(&self.src[start..body_end]).unwrap_or("0");
+        if is_float {
+            match text.parse::<f64>() {
+                Ok(v) => self.push(TokenKind::FloatLit(v), line),
+                Err(_) => {
+                    self.diagnostics.push(Diagnostic::new(
+                        Severity::Error,
+                        line,
+                        format!("invalid float literal `{text}`"),
+                    ));
+                    self.push(TokenKind::FloatLit(0.0), line);
+                }
+            }
+        } else {
+            let value = if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+                i64::from_str_radix(hex, 16)
+            } else if text.len() > 1 && text.starts_with('0') {
+                i64::from_str_radix(&text[1..], 8)
+            } else {
+                text.parse::<i64>()
+            };
+            match value {
+                Ok(v) => self.push(TokenKind::IntLit(v), line),
+                Err(_) => {
+                    self.diagnostics.push(Diagnostic::new(
+                        Severity::Error,
+                        line,
+                        format!("invalid integer literal `{text}`"),
+                    ));
+                    self.push(TokenKind::IntLit(0), line);
+                }
+            }
+        }
+    }
+
+    fn lex_string(&mut self, line: u32) {
+        self.bump(); // opening quote
+        let mut value = String::new();
+        loop {
+            if self.pos >= self.src.len() || self.peek() == b'\n' {
+                self.diagnostics.push(Diagnostic::new(
+                    Severity::Error,
+                    line,
+                    "unterminated string literal",
+                ));
+                break;
+            }
+            let c = self.bump();
+            match c {
+                b'"' => break,
+                b'\\' => value.push(self.unescape()),
+                other => value.push(other as char),
+            }
+        }
+        self.push(TokenKind::StrLit(value), line);
+    }
+
+    fn lex_char(&mut self, line: u32) {
+        self.bump(); // opening quote
+        let value = if self.peek() == b'\\' {
+            self.bump();
+            self.unescape()
+        } else if self.pos < self.src.len() && self.peek() != b'\'' {
+            self.bump() as char
+        } else {
+            self.diagnostics
+                .push(Diagnostic::new(Severity::Error, line, "empty char literal"));
+            '\0'
+        };
+        if self.peek() == b'\'' {
+            self.bump();
+        } else {
+            self.diagnostics.push(Diagnostic::new(
+                Severity::Error,
+                line,
+                "unterminated char literal",
+            ));
+        }
+        self.push(TokenKind::CharLit(value), line);
+    }
+
+    /// Called with the backslash already consumed.
+    fn unescape(&mut self) -> char {
+        let c = self.bump();
+        match c {
+            b'n' => '\n',
+            b't' => '\t',
+            b'r' => '\r',
+            b'0' => '\0',
+            b'\\' => '\\',
+            b'\'' => '\'',
+            b'"' => '"',
+            other => other as char,
+        }
+    }
+
+    fn lex_punct(&mut self, line: u32) {
+        use Punct::*;
+        let c = self.bump();
+        let two = self.peek();
+        let kind = match c {
+            b'(' => Some(LParen),
+            b')' => Some(RParen),
+            b'{' => Some(LBrace),
+            b'}' => Some(RBrace),
+            b'[' => Some(LBracket),
+            b']' => Some(RBracket),
+            b';' => Some(Semicolon),
+            b',' => Some(Comma),
+            b'.' => Some(Dot),
+            b'~' => Some(Tilde),
+            b'?' => Some(Question),
+            b':' => Some(Colon),
+            b'+' => Some(match two {
+                b'+' => {
+                    self.bump();
+                    Inc
+                }
+                b'=' => {
+                    self.bump();
+                    PlusAssign
+                }
+                _ => Plus,
+            }),
+            b'-' => Some(match two {
+                b'-' => {
+                    self.bump();
+                    Dec
+                }
+                b'=' => {
+                    self.bump();
+                    MinusAssign
+                }
+                b'>' => {
+                    self.bump();
+                    Arrow
+                }
+                _ => Minus,
+            }),
+            b'*' => Some(match two {
+                b'=' => {
+                    self.bump();
+                    StarAssign
+                }
+                _ => Star,
+            }),
+            b'/' => Some(match two {
+                b'=' => {
+                    self.bump();
+                    SlashAssign
+                }
+                _ => Slash,
+            }),
+            b'%' => Some(match two {
+                b'=' => {
+                    self.bump();
+                    PercentAssign
+                }
+                _ => Percent,
+            }),
+            b'&' => Some(match two {
+                b'&' => {
+                    self.bump();
+                    AndAnd
+                }
+                b'=' => {
+                    self.bump();
+                    AmpAssign
+                }
+                _ => Amp,
+            }),
+            b'|' => Some(match two {
+                b'|' => {
+                    self.bump();
+                    OrOr
+                }
+                b'=' => {
+                    self.bump();
+                    PipeAssign
+                }
+                _ => Pipe,
+            }),
+            b'^' => Some(match two {
+                b'=' => {
+                    self.bump();
+                    CaretAssign
+                }
+                _ => Caret,
+            }),
+            b'!' => Some(match two {
+                b'=' => {
+                    self.bump();
+                    Ne
+                }
+                _ => Bang,
+            }),
+            b'=' => Some(match two {
+                b'=' => {
+                    self.bump();
+                    Eq
+                }
+                _ => Assign,
+            }),
+            b'<' => Some(match (two, self.peek2()) {
+                (b'<', b'=') => {
+                    self.bump();
+                    self.bump();
+                    ShlAssign
+                }
+                (b'<', _) => {
+                    self.bump();
+                    Shl
+                }
+                (b'=', _) => {
+                    self.bump();
+                    Le
+                }
+                _ => Lt,
+            }),
+            b'>' => Some(match (two, self.peek2()) {
+                (b'>', b'=') => {
+                    self.bump();
+                    self.bump();
+                    ShrAssign
+                }
+                (b'>', _) => {
+                    self.bump();
+                    Shr
+                }
+                (b'=', _) => {
+                    self.bump();
+                    Ge
+                }
+                _ => Gt,
+            }),
+            _ => None,
+        };
+        match kind {
+            Some(p) => self.push(TokenKind::Punct(p), line),
+            None => self.diagnostics.push(Diagnostic::new(
+                Severity::Warning,
+                line,
+                format!("skipping unexpected byte 0x{c:02x}"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::{Keyword, Punct, TokenKind};
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).tokens.into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn empty_input_yields_eof() {
+        let out = lex("");
+        assert_eq!(out.tokens.len(), 1);
+        assert_eq!(out.tokens[0].kind, TokenKind::Eof);
+        assert!(out.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        let ks = kinds("int rank; double MPI_Wtime");
+        assert_eq!(ks[0], TokenKind::Keyword(Keyword::Int));
+        assert_eq!(ks[1], TokenKind::Ident("rank".into()));
+        assert_eq!(ks[2], TokenKind::Punct(Punct::Semicolon));
+        assert_eq!(ks[3], TokenKind::Keyword(Keyword::Double));
+        assert_eq!(ks[4], TokenKind::Ident("MPI_Wtime".into()));
+    }
+
+    #[test]
+    fn integer_literal_bases() {
+        assert_eq!(kinds("42")[0], TokenKind::IntLit(42));
+        assert_eq!(kinds("0x1F")[0], TokenKind::IntLit(31));
+        assert_eq!(kinds("010")[0], TokenKind::IntLit(8));
+        assert_eq!(kinds("0")[0], TokenKind::IntLit(0));
+        assert_eq!(kinds("100L")[0], TokenKind::IntLit(100));
+        assert_eq!(kinds("7u")[0], TokenKind::IntLit(7));
+    }
+
+    #[test]
+    fn float_literals() {
+        assert_eq!(kinds("3.14")[0], TokenKind::FloatLit(3.14));
+        assert_eq!(kinds("1e3")[0], TokenKind::FloatLit(1000.0));
+        assert_eq!(kinds("2.5e-2")[0], TokenKind::FloatLit(0.025));
+        assert_eq!(kinds(".5")[0], TokenKind::FloatLit(0.5));
+        assert_eq!(kinds("1.0f")[0], TokenKind::FloatLit(1.0));
+        assert_eq!(kinds("4f")[0], TokenKind::FloatLit(4.0), "f-suffix forces float");
+    }
+
+    #[test]
+    fn float_does_not_eat_member_access() {
+        // `a.b` must not be lexed as a float.
+        let ks = kinds("a.b");
+        assert_eq!(ks[0], TokenKind::Ident("a".into()));
+        assert_eq!(ks[1], TokenKind::Punct(Punct::Dot));
+        assert_eq!(ks[2], TokenKind::Ident("b".into()));
+    }
+
+    #[test]
+    fn string_and_char_literals() {
+        assert_eq!(kinds("\"hi\\n\"")[0], TokenKind::StrLit("hi\n".into()));
+        assert_eq!(kinds("'x'")[0], TokenKind::CharLit('x'));
+        assert_eq!(kinds("'\\t'")[0], TokenKind::CharLit('\t'));
+    }
+
+    #[test]
+    fn unterminated_string_is_tolerated() {
+        let out = lex("\"oops\nint x;");
+        assert!(out
+            .diagnostics
+            .iter()
+            .any(|d| d.message.contains("unterminated string")));
+        // Lexing continues on the next line.
+        assert!(out
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Keyword(Keyword::Int)));
+    }
+
+    #[test]
+    fn multi_char_operators() {
+        use Punct::*;
+        let ks = kinds("a <<= b >>= c << d >> e <= f >= g -> h ++ -- && || != ==");
+        let ps: Vec<Punct> = ks
+            .iter()
+            .filter_map(|k| match k {
+                TokenKind::Punct(p) => Some(*p),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            ps,
+            vec![ShlAssign, ShrAssign, Shl, Shr, Le, Ge, Arrow, Inc, Dec, AndAnd, OrOr, Ne, Eq]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let ks = kinds("int a; // trailing\n/* block\ncomment */ int b;");
+        let idents: Vec<_> = ks
+            .iter()
+            .filter(|k| matches!(k, TokenKind::Ident(_)))
+            .collect();
+        assert_eq!(idents.len(), 2);
+    }
+
+    #[test]
+    fn directive_capture() {
+        let out = lex("#include <mpi.h>\n#define N 100\nint main() {}");
+        let dirs: Vec<_> = out
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokenKind::Directive(d) => Some(d.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(dirs, vec!["#include <mpi.h>", "#define N 100"]);
+    }
+
+    #[test]
+    fn hash_mid_line_is_not_directive() {
+        let out = lex("int a; #what");
+        // `#` mid-line is skipped with a warning, not treated as directive.
+        assert!(!out
+            .tokens
+            .iter()
+            .any(|t| matches!(t.kind, TokenKind::Directive(_))));
+        assert!(!out.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn line_numbers() {
+        let out = lex("int a;\nint b;\n\nint c;");
+        let lines: Vec<u32> = out
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.kind, TokenKind::Ident(_)))
+            .map(|t| t.line)
+            .collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn code_token_count_excludes_directives() {
+        let out = lex("#include <mpi.h>\nint main() { return 0; }");
+        // int main ( ) { return 0 ; } = 9 tokens
+        assert_eq!(out.code_token_count(), 9);
+    }
+
+    #[test]
+    fn unknown_bytes_skipped() {
+        let out = lex("int a @ b;");
+        assert!(out.diagnostics.iter().any(|d| d.message.contains("0x40")));
+        let idents = out
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.kind, TokenKind::Ident(_)))
+            .count();
+        assert_eq!(idents, 2);
+    }
+
+    #[test]
+    fn mpi_call_tokens() {
+        let ks = kinds("MPI_Init(&argc, &argv);");
+        assert_eq!(ks[0], TokenKind::Ident("MPI_Init".into()));
+        assert_eq!(ks[1], TokenKind::Punct(Punct::LParen));
+        assert_eq!(ks[2], TokenKind::Punct(Punct::Amp));
+    }
+}

@@ -1,0 +1,1257 @@
+//! Error-tolerant recursive-descent parser for the C subset.
+//!
+//! Tolerance strategy (mirroring TreeSitter's behaviour that the paper relies
+//! on for live advising): a malformed statement or top-level item is consumed
+//! up to the next plausible synchronization point (`;` at depth zero or a
+//! closing `}`), recorded as an `Error` node holding the raw text, and parsing
+//! continues. [`parse_tolerant`] therefore always yields a [`Program`];
+//! [`parse_strict`] additionally fails if any error diagnostic was produced —
+//! this is the corpus inclusion gate (paper §V-A1, pycparser's role).
+
+use crate::ast::*;
+use crate::error::{Diagnostic, ParseError, Severity};
+use crate::lexer::{lex, LexOutput};
+use crate::token::{Keyword, Punct, Token, TokenKind};
+
+/// Result of a tolerant parse: the program plus all diagnostics.
+#[derive(Debug, Clone)]
+pub struct ParseOutput {
+    pub program: Program,
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl ParseOutput {
+    /// True if no error-severity diagnostic was produced and no `Error` node
+    /// is present in the tree.
+    pub fn is_clean(&self) -> bool {
+        !self.diagnostics.iter().any(|d| d.is_error()) && !has_error_nodes(&self.program)
+    }
+}
+
+fn has_error_nodes(p: &Program) -> bool {
+    fn stmt_has_error(s: &Stmt) -> bool {
+        match s {
+            Stmt::Error { .. } => true,
+            Stmt::Block(b) => b.stmts.iter().any(stmt_has_error),
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                stmt_has_error(then_branch)
+                    || else_branch.as_deref().map(stmt_has_error).unwrap_or(false)
+            }
+            Stmt::While { body, .. } | Stmt::DoWhile { body, .. } | Stmt::For { body, .. } => {
+                stmt_has_error(body)
+            }
+            _ => false,
+        }
+    }
+    p.items.iter().any(|i| match i {
+        Item::Error { .. } => true,
+        Item::Function(f) => f.body.stmts.iter().any(stmt_has_error),
+        Item::Declaration(_) => false,
+    })
+}
+
+/// Parse tolerantly; never fails.
+pub fn parse_tolerant(source: &str) -> ParseOutput {
+    let lexed = lex(source);
+    Parser::new(lexed).parse_program()
+}
+
+/// Parse strictly; fails if the source does not fit the subset cleanly.
+pub fn parse_strict(source: &str) -> Result<Program, ParseError> {
+    let out = parse_tolerant(source);
+    if out.is_clean() {
+        Ok(out.program)
+    } else {
+        let mut diagnostics = out.diagnostics;
+        if diagnostics.iter().all(|d| !d.is_error()) {
+            diagnostics.push(Diagnostic::new(
+                Severity::Error,
+                1,
+                "program contains unparseable regions",
+            ));
+        }
+        Err(ParseError { diagnostics })
+    }
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    diagnostics: Vec<Diagnostic>,
+    /// Names introduced by `typedef`-style usage (we treat any identifier
+    /// followed by another identifier at declaration position as a type name;
+    /// this set seeds the well-known MPI typedefs).
+    known_types: Vec<String>,
+}
+
+const MPI_TYPES: &[&str] = &[
+    "MPI_Status",
+    "MPI_Request",
+    "MPI_Comm",
+    "MPI_Datatype",
+    "MPI_Op",
+    "MPI_Group",
+    "size_t",
+    "FILE",
+    "time_t",
+];
+
+impl Parser {
+    fn new(lexed: LexOutput) -> Self {
+        Parser {
+            tokens: lexed.tokens,
+            pos: 0,
+            diagnostics: lexed.diagnostics,
+            known_types: MPI_TYPES.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn peek_at(&self, off: usize) -> &Token {
+        &self.tokens[(self.pos + off).min(self.tokens.len() - 1)]
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek().kind, TokenKind::Eof)
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.peek().clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, p: Punct) -> bool {
+        if self.peek().is_punct(p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: Punct) -> bool {
+        if self.eat_punct(p) {
+            true
+        } else {
+            let line = self.peek().line;
+            let found = self.peek().kind.render();
+            self.error(line, format!("expected `{}`, found `{}`", p.as_str(), found));
+            false
+        }
+    }
+
+    fn error(&mut self, line: u32, msg: impl Into<String>) {
+        self.diagnostics
+            .push(Diagnostic::new(Severity::Error, line, msg));
+    }
+
+    // ---- program level ----------------------------------------------------
+
+    fn parse_program(mut self) -> ParseOutput {
+        let mut directives = Vec::new();
+        let mut items = Vec::new();
+        while !self.at_eof() {
+            if let TokenKind::Directive(d) = &self.peek().kind {
+                directives.push(d.clone());
+                self.bump();
+                continue;
+            }
+            match self.parse_item() {
+                Some(item) => items.push(item),
+                None => {
+                    // Unrecoverable at this token: skip to a sync point.
+                    let line = self.peek().line;
+                    let text = self.skip_to_sync();
+                    if !text.is_empty() {
+                        items.push(Item::Error { line, text });
+                    }
+                }
+            }
+        }
+        ParseOutput {
+            program: Program { directives, items },
+            diagnostics: self.diagnostics,
+        }
+    }
+
+    /// Skip tokens until after a `;` at brace depth 0 or a balancing `}`,
+    /// returning the skipped text (for `Error` nodes).
+    fn skip_to_sync(&mut self) -> String {
+        let mut parts = Vec::new();
+        let mut depth = 0i32;
+        while !self.at_eof() {
+            let t = self.bump();
+            match &t.kind {
+                TokenKind::Punct(Punct::LBrace) => depth += 1,
+                TokenKind::Punct(Punct::RBrace) => {
+                    parts.push(t.kind.render());
+                    depth -= 1;
+                    if depth <= 0 {
+                        break;
+                    }
+                    continue;
+                }
+                TokenKind::Punct(Punct::Semicolon) if depth == 0 => {
+                    parts.push(t.kind.render());
+                    break;
+                }
+                _ => {}
+            }
+            parts.push(t.kind.render());
+        }
+        parts.join(" ")
+    }
+
+    fn at_type_start(&self) -> bool {
+        match &self.peek().kind {
+            TokenKind::Keyword(k) => k.starts_type(),
+            TokenKind::Ident(name) => {
+                self.known_types.iter().any(|t| t == name)
+                    // Heuristic: `Ident Ident` at declaration position is a
+                    // typedef'd declaration (e.g. `uint32_t n;`).
+                    || matches!(&self.peek_at(1).kind, TokenKind::Ident(_))
+                        && !matches!(&self.peek_at(2).kind, TokenKind::Punct(Punct::LParen))
+                        && matches!(
+                            &self.peek_at(2).kind,
+                            TokenKind::Punct(Punct::Semicolon)
+                                | TokenKind::Punct(Punct::Assign)
+                                | TokenKind::Punct(Punct::Comma)
+                                | TokenKind::Punct(Punct::LBracket)
+                        )
+            }
+            _ => false,
+        }
+    }
+
+    fn parse_item(&mut self) -> Option<Item> {
+        if !self.at_type_start() {
+            let line = self.peek().line;
+            let found = self.peek().kind.render();
+            self.error(line, format!("expected declaration or function, found `{found}`"));
+            return None;
+        }
+        let type_spec = self.parse_type_spec()?;
+        // Lookahead: pointer stars then name then `(` → function definition.
+        let save = self.pos;
+        let mut pointer_depth = 0u8;
+        while self.eat_punct(Punct::Star) {
+            pointer_depth = pointer_depth.saturating_add(1);
+        }
+        let name = match &self.peek().kind {
+            TokenKind::Ident(n) => {
+                let n = n.clone();
+                self.bump();
+                n
+            }
+            _ => {
+                let line = self.peek().line;
+                let found = self.peek().kind.render();
+                self.error(line, format!("expected identifier, found `{found}`"));
+                return None;
+            }
+        };
+        if self.peek().is_punct(Punct::LParen) && !name.is_empty() {
+            let line = self.peek().line;
+            self.bump(); // (
+            let params = self.parse_params()?;
+            if self.peek().is_punct(Punct::LBrace) {
+                let body = self.parse_block()?;
+                return Some(Item::Function(FunctionDef {
+                    return_type: type_spec,
+                    name,
+                    params,
+                    body,
+                    line,
+                }));
+            }
+            // Function *declaration* (prototype): consume the `;`, model as a
+            // no-declarator Declaration so the printer can re-emit it.
+            self.expect_punct(Punct::Semicolon);
+            return Some(Item::Declaration(Declaration {
+                type_spec: TypeSpec {
+                    words: {
+                        let mut w = type_spec.words;
+                        w.push(format!(
+                            "/*proto*/ {}({})",
+                            name,
+                            params
+                                .iter()
+                                .map(render_param)
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        ));
+                        w
+                    },
+                },
+                declarators: vec![],
+                line,
+            }));
+        }
+        // Otherwise: global declaration. Rewind to re-parse declarators
+        // uniformly (pointer depth + name already consumed above).
+        self.pos = save;
+        let decl = self.parse_declaration_body(type_spec)?;
+        Some(Item::Declaration(decl))
+    }
+
+    fn parse_type_spec(&mut self) -> Option<TypeSpec> {
+        let mut words = Vec::new();
+        loop {
+            match &self.peek().kind {
+                TokenKind::Keyword(k) if k.starts_type() => {
+                    // `struct`/`union`/`enum` are followed by a tag name.
+                    words.push(k.as_str().to_string());
+                    let is_tagged =
+                        matches!(k, Keyword::Struct | Keyword::Union | Keyword::Enum);
+                    self.bump();
+                    if is_tagged {
+                        if let TokenKind::Ident(tag) = &self.peek().kind {
+                            words.push(tag.clone());
+                            self.bump();
+                        }
+                    }
+                }
+                TokenKind::Ident(name)
+                    if words.is_empty()
+                        && (self.known_types.iter().any(|t| t == name)
+                            || matches!(&self.peek_at(1).kind, TokenKind::Ident(_))) =>
+                {
+                    words.push(name.clone());
+                    self.bump();
+                    break;
+                }
+                _ => break,
+            }
+        }
+        if words.is_empty() {
+            let line = self.peek().line;
+            self.error(line, "expected type specifier");
+            None
+        } else {
+            Some(TypeSpec { words })
+        }
+    }
+
+    fn parse_params(&mut self) -> Option<Vec<Param>> {
+        let mut params = Vec::new();
+        if self.eat_punct(Punct::RParen) {
+            return Some(params);
+        }
+        // `(void)` parameter list.
+        if self.peek().is_keyword(Keyword::Void) && self.peek_at(1).is_punct(Punct::RParen) {
+            self.bump();
+            self.bump();
+            return Some(params);
+        }
+        loop {
+            let type_spec = self.parse_type_spec()?;
+            let mut pointer_depth = 0u8;
+            while self.eat_punct(Punct::Star) {
+                pointer_depth = pointer_depth.saturating_add(1);
+            }
+            let name = match &self.peek().kind {
+                TokenKind::Ident(n) => {
+                    let n = n.clone();
+                    self.bump();
+                    n
+                }
+                _ => String::new(), // unnamed parameter in prototypes
+            };
+            let mut array = false;
+            if self.eat_punct(Punct::LBracket) {
+                // Skip an optional fixed size inside the brackets.
+                if !self.peek().is_punct(Punct::RBracket) {
+                    self.parse_expr()?;
+                }
+                self.expect_punct(Punct::RBracket);
+                array = true;
+            }
+            params.push(Param {
+                type_spec,
+                pointer_depth,
+                name,
+                array,
+            });
+            if self.eat_punct(Punct::Comma) {
+                continue;
+            }
+            self.expect_punct(Punct::RParen);
+            break;
+        }
+        Some(params)
+    }
+
+    fn parse_block(&mut self) -> Option<Block> {
+        self.expect_punct(Punct::LBrace);
+        let mut stmts = Vec::new();
+        while !self.at_eof() && !self.peek().is_punct(Punct::RBrace) {
+            match self.parse_stmt() {
+                Some(s) => stmts.push(s),
+                None => {
+                    let line = self.peek().line;
+                    let text = self.skip_stmt_error();
+                    stmts.push(Stmt::Error { line, text });
+                }
+            }
+        }
+        self.expect_punct(Punct::RBrace);
+        Some(Block { stmts })
+    }
+
+    /// On a statement-level error, consume up to and including the next `;`
+    /// at the current depth (or stop before `}`), returning the skipped text.
+    fn skip_stmt_error(&mut self) -> String {
+        let mut parts = Vec::new();
+        let mut depth = 0i32;
+        while !self.at_eof() {
+            if depth == 0 && self.peek().is_punct(Punct::RBrace) {
+                break;
+            }
+            let t = self.bump();
+            match &t.kind {
+                TokenKind::Punct(Punct::LBrace) | TokenKind::Punct(Punct::LParen) => depth += 1,
+                TokenKind::Punct(Punct::RBrace) | TokenKind::Punct(Punct::RParen) => depth -= 1,
+                TokenKind::Punct(Punct::Semicolon) if depth <= 0 => {
+                    parts.push(t.kind.render());
+                    break;
+                }
+                _ => {}
+            }
+            parts.push(t.kind.render());
+        }
+        parts.join(" ")
+    }
+
+    fn parse_stmt(&mut self) -> Option<Stmt> {
+        let line = self.peek().line;
+        match &self.peek().kind {
+            TokenKind::Punct(Punct::LBrace) => Some(Stmt::Block(self.parse_block()?)),
+            TokenKind::Punct(Punct::Semicolon) => {
+                self.bump();
+                Some(Stmt::Expr { expr: None, line })
+            }
+            TokenKind::Keyword(Keyword::If) => {
+                self.bump();
+                self.expect_punct(Punct::LParen);
+                let cond = self.parse_expr()?;
+                self.expect_punct(Punct::RParen);
+                let then_branch = Box::new(self.parse_stmt()?);
+                let else_branch = if self.peek().is_keyword(Keyword::Else) {
+                    self.bump();
+                    Some(Box::new(self.parse_stmt()?))
+                } else {
+                    None
+                };
+                Some(Stmt::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                    line,
+                })
+            }
+            TokenKind::Keyword(Keyword::While) => {
+                self.bump();
+                self.expect_punct(Punct::LParen);
+                let cond = self.parse_expr()?;
+                self.expect_punct(Punct::RParen);
+                let body = Box::new(self.parse_stmt()?);
+                Some(Stmt::While { cond, body, line })
+            }
+            TokenKind::Keyword(Keyword::Do) => {
+                self.bump();
+                let body = Box::new(self.parse_stmt()?);
+                if !self.peek().is_keyword(Keyword::While) {
+                    self.error(self.peek().line, "expected `while` after do-body");
+                    return None;
+                }
+                self.bump();
+                self.expect_punct(Punct::LParen);
+                let cond = self.parse_expr()?;
+                self.expect_punct(Punct::RParen);
+                self.expect_punct(Punct::Semicolon);
+                Some(Stmt::DoWhile { body, cond, line })
+            }
+            TokenKind::Keyword(Keyword::For) => {
+                self.bump();
+                self.expect_punct(Punct::LParen);
+                let init = if self.peek().is_punct(Punct::Semicolon) {
+                    self.bump();
+                    ForInit::None
+                } else if self.at_type_start() {
+                    let ts = self.parse_type_spec()?;
+                    let d = self.parse_declaration_body(ts)?;
+                    ForInit::Decl(d)
+                } else {
+                    let e = self.parse_expr()?;
+                    self.expect_punct(Punct::Semicolon);
+                    ForInit::Expr(e)
+                };
+                let cond = if self.peek().is_punct(Punct::Semicolon) {
+                    None
+                } else {
+                    Some(self.parse_expr()?)
+                };
+                self.expect_punct(Punct::Semicolon);
+                let step = if self.peek().is_punct(Punct::RParen) {
+                    None
+                } else {
+                    Some(self.parse_expr()?)
+                };
+                self.expect_punct(Punct::RParen);
+                let body = Box::new(self.parse_stmt()?);
+                Some(Stmt::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                    line,
+                })
+            }
+            TokenKind::Keyword(Keyword::Return) => {
+                self.bump();
+                let expr = if self.peek().is_punct(Punct::Semicolon) {
+                    None
+                } else {
+                    Some(self.parse_expr()?)
+                };
+                self.expect_punct(Punct::Semicolon);
+                Some(Stmt::Return { expr, line })
+            }
+            TokenKind::Keyword(Keyword::Break) => {
+                self.bump();
+                self.expect_punct(Punct::Semicolon);
+                Some(Stmt::Break { line })
+            }
+            TokenKind::Keyword(Keyword::Continue) => {
+                self.bump();
+                self.expect_punct(Punct::Semicolon);
+                Some(Stmt::Continue { line })
+            }
+            _ if self.at_type_start() => {
+                let ts = self.parse_type_spec()?;
+                let d = self.parse_declaration_body(ts)?;
+                Some(Stmt::Decl(d))
+            }
+            _ => {
+                let expr = self.parse_expr()?;
+                self.expect_punct(Punct::Semicolon);
+                Some(Stmt::Expr {
+                    expr: Some(expr),
+                    line,
+                })
+            }
+        }
+    }
+
+    /// Parse `declarator (, declarator)* ;` after the type specifier.
+    fn parse_declaration_body(&mut self, type_spec: TypeSpec) -> Option<Declaration> {
+        let line = self.peek().line;
+        let mut declarators = Vec::new();
+        loop {
+            let mut pointer_depth = 0u8;
+            while self.eat_punct(Punct::Star) {
+                pointer_depth = pointer_depth.saturating_add(1);
+            }
+            let name = match &self.peek().kind {
+                TokenKind::Ident(n) => {
+                    let n = n.clone();
+                    self.bump();
+                    n
+                }
+                _ => {
+                    let l = self.peek().line;
+                    let found = self.peek().kind.render();
+                    self.error(l, format!("expected declarator name, found `{found}`"));
+                    return None;
+                }
+            };
+            let mut arrays = Vec::new();
+            while self.eat_punct(Punct::LBracket) {
+                if self.peek().is_punct(Punct::RBracket) {
+                    arrays.push(None);
+                } else {
+                    arrays.push(Some(self.parse_assign_expr()?));
+                }
+                self.expect_punct(Punct::RBracket);
+            }
+            let init = if self.eat_punct(Punct::Assign) {
+                Some(self.parse_initializer()?)
+            } else {
+                None
+            };
+            declarators.push(Declarator {
+                name,
+                pointer_depth,
+                arrays,
+                init,
+            });
+            if self.eat_punct(Punct::Comma) {
+                continue;
+            }
+            self.expect_punct(Punct::Semicolon);
+            break;
+        }
+        Some(Declaration {
+            type_spec,
+            declarators,
+            line,
+        })
+    }
+
+    fn parse_initializer(&mut self) -> Option<Init> {
+        if self.eat_punct(Punct::LBrace) {
+            let mut items = Vec::new();
+            if !self.peek().is_punct(Punct::RBrace) {
+                loop {
+                    items.push(self.parse_initializer()?);
+                    if self.eat_punct(Punct::Comma) {
+                        if self.peek().is_punct(Punct::RBrace) {
+                            break; // trailing comma
+                        }
+                        continue;
+                    }
+                    break;
+                }
+            }
+            self.expect_punct(Punct::RBrace);
+            Some(Init::List(items))
+        } else {
+            Some(Init::Expr(self.parse_assign_expr()?))
+        }
+    }
+
+    // ---- expressions (precedence climbing) --------------------------------
+
+    fn parse_expr(&mut self) -> Option<Expr> {
+        let mut e = self.parse_assign_expr()?;
+        while self.peek().is_punct(Punct::Comma) {
+            self.bump();
+            let rhs = self.parse_assign_expr()?;
+            e = Expr::Comma {
+                lhs: Box::new(e),
+                rhs: Box::new(rhs),
+            };
+        }
+        Some(e)
+    }
+
+    fn parse_assign_expr(&mut self) -> Option<Expr> {
+        let lhs = self.parse_ternary()?;
+        let op = match &self.peek().kind {
+            TokenKind::Punct(Punct::Assign) => Some(None),
+            TokenKind::Punct(Punct::PlusAssign) => Some(Some(AssignOp::Add)),
+            TokenKind::Punct(Punct::MinusAssign) => Some(Some(AssignOp::Sub)),
+            TokenKind::Punct(Punct::StarAssign) => Some(Some(AssignOp::Mul)),
+            TokenKind::Punct(Punct::SlashAssign) => Some(Some(AssignOp::Div)),
+            TokenKind::Punct(Punct::PercentAssign) => Some(Some(AssignOp::Rem)),
+            TokenKind::Punct(Punct::AmpAssign) => Some(Some(AssignOp::BitAnd)),
+            TokenKind::Punct(Punct::PipeAssign) => Some(Some(AssignOp::BitOr)),
+            TokenKind::Punct(Punct::CaretAssign) => Some(Some(AssignOp::BitXor)),
+            TokenKind::Punct(Punct::ShlAssign) => Some(Some(AssignOp::Shl)),
+            TokenKind::Punct(Punct::ShrAssign) => Some(Some(AssignOp::Shr)),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let rhs = self.parse_assign_expr()?; // right-associative
+            Some(Expr::Assign {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            })
+        } else {
+            Some(lhs)
+        }
+    }
+
+    fn parse_ternary(&mut self) -> Option<Expr> {
+        let cond = self.parse_binary(0)?;
+        if self.eat_punct(Punct::Question) {
+            let then_expr = self.parse_expr()?;
+            self.expect_punct(Punct::Colon);
+            let else_expr = self.parse_assign_expr()?;
+            Some(Expr::Ternary {
+                cond: Box::new(cond),
+                then_expr: Box::new(then_expr),
+                else_expr: Box::new(else_expr),
+            })
+        } else {
+            Some(cond)
+        }
+    }
+
+    fn binop_at(&self) -> Option<BinOp> {
+        let p = match &self.peek().kind {
+            TokenKind::Punct(p) => *p,
+            _ => return None,
+        };
+        Some(match p {
+            Punct::OrOr => BinOp::Or,
+            Punct::AndAnd => BinOp::And,
+            Punct::Pipe => BinOp::BitOr,
+            Punct::Caret => BinOp::BitXor,
+            Punct::Amp => BinOp::BitAnd,
+            Punct::Eq => BinOp::Eq,
+            Punct::Ne => BinOp::Ne,
+            Punct::Lt => BinOp::Lt,
+            Punct::Gt => BinOp::Gt,
+            Punct::Le => BinOp::Le,
+            Punct::Ge => BinOp::Ge,
+            Punct::Shl => BinOp::Shl,
+            Punct::Shr => BinOp::Shr,
+            Punct::Plus => BinOp::Add,
+            Punct::Minus => BinOp::Sub,
+            Punct::Star => BinOp::Mul,
+            Punct::Slash => BinOp::Div,
+            Punct::Percent => BinOp::Rem,
+            _ => return None,
+        })
+    }
+
+    fn parse_binary(&mut self, min_prec: u8) -> Option<Expr> {
+        let mut lhs = self.parse_unary()?;
+        while let Some(op) = self.binop_at() {
+            let prec = op.precedence();
+            if prec < min_prec {
+                break;
+            }
+            self.bump();
+            let rhs = self.parse_binary(prec + 1)?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Some(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Option<Expr> {
+        let line = self.peek().line;
+        let op = match &self.peek().kind {
+            TokenKind::Punct(Punct::Minus) => Some(UnOp::Neg),
+            TokenKind::Punct(Punct::Bang) => Some(UnOp::Not),
+            TokenKind::Punct(Punct::Tilde) => Some(UnOp::BitNot),
+            TokenKind::Punct(Punct::Star) => Some(UnOp::Deref),
+            TokenKind::Punct(Punct::Amp) => Some(UnOp::AddrOf),
+            TokenKind::Punct(Punct::Inc) => Some(UnOp::PreInc),
+            TokenKind::Punct(Punct::Dec) => Some(UnOp::PreDec),
+            TokenKind::Punct(Punct::Plus) => {
+                // Unary plus is a no-op; consume and recurse.
+                self.bump();
+                return self.parse_unary();
+            }
+            TokenKind::Keyword(Keyword::Sizeof) => {
+                self.bump();
+                if self.peek().is_punct(Punct::LParen) && self.type_in_parens() {
+                    self.bump(); // (
+                    let ty = self.parse_type_spec()?;
+                    let mut pointer_depth = 0u8;
+                    while self.eat_punct(Punct::Star) {
+                        pointer_depth = pointer_depth.saturating_add(1);
+                    }
+                    self.expect_punct(Punct::RParen);
+                    return Some(Expr::SizeofType { ty, pointer_depth });
+                }
+                // `sizeof expr` → approximate with sizeof(int) to stay total.
+                let _ = self.parse_unary()?;
+                return Some(Expr::SizeofType {
+                    ty: TypeSpec::named("int"),
+                    pointer_depth: 0,
+                });
+            }
+            TokenKind::Punct(Punct::LParen) if self.type_in_parens() => {
+                self.bump(); // (
+                let ty = self.parse_type_spec()?;
+                let mut pointer_depth = 0u8;
+                while self.eat_punct(Punct::Star) {
+                    pointer_depth = pointer_depth.saturating_add(1);
+                }
+                self.expect_punct(Punct::RParen);
+                let operand = self.parse_unary()?;
+                return Some(Expr::Cast {
+                    ty,
+                    pointer_depth,
+                    operand: Box::new(operand),
+                });
+            }
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let operand = self.parse_unary()?;
+            return Some(Expr::Unary {
+                op,
+                operand: Box::new(operand),
+            });
+        }
+        self.parse_postfix(line)
+    }
+
+    /// Lookahead: does `(` open a type (cast / sizeof-type)?
+    fn type_in_parens(&self) -> bool {
+        if !self.peek().is_punct(Punct::LParen) {
+            return false;
+        }
+        match &self.peek_at(1).kind {
+            TokenKind::Keyword(k) if k.starts_type() => true,
+            TokenKind::Ident(name) => {
+                self.known_types.iter().any(|t| t == name)
+                    && matches!(
+                        &self.peek_at(2).kind,
+                        TokenKind::Punct(Punct::RParen) | TokenKind::Punct(Punct::Star)
+                    )
+            }
+            _ => false,
+        }
+    }
+
+    fn parse_postfix(&mut self, line: u32) -> Option<Expr> {
+        let mut e = self.parse_primary(line)?;
+        loop {
+            match &self.peek().kind {
+                TokenKind::Punct(Punct::LParen) => {
+                    // Only identifier callees in the subset.
+                    let callee = match &e {
+                        Expr::Ident(n) => n.clone(),
+                        _ => {
+                            let l = self.peek().line;
+                            self.error(l, "indirect calls are outside the subset");
+                            return None;
+                        }
+                    };
+                    let call_line = self.peek().line;
+                    self.bump();
+                    let mut args = Vec::new();
+                    if !self.peek().is_punct(Punct::RParen) {
+                        loop {
+                            args.push(self.parse_assign_expr()?);
+                            if self.eat_punct(Punct::Comma) {
+                                continue;
+                            }
+                            break;
+                        }
+                    }
+                    self.expect_punct(Punct::RParen);
+                    e = Expr::Call {
+                        callee,
+                        args,
+                        line: call_line,
+                    };
+                }
+                TokenKind::Punct(Punct::LBracket) => {
+                    self.bump();
+                    let idx = self.parse_expr()?;
+                    self.expect_punct(Punct::RBracket);
+                    e = Expr::Index {
+                        base: Box::new(e),
+                        index: Box::new(idx),
+                    };
+                }
+                TokenKind::Punct(Punct::Dot) => {
+                    self.bump();
+                    let field = self.expect_ident()?;
+                    e = Expr::Member {
+                        base: Box::new(e),
+                        field,
+                        arrow: false,
+                    };
+                }
+                TokenKind::Punct(Punct::Arrow) => {
+                    self.bump();
+                    let field = self.expect_ident()?;
+                    e = Expr::Member {
+                        base: Box::new(e),
+                        field,
+                        arrow: true,
+                    };
+                }
+                TokenKind::Punct(Punct::Inc) => {
+                    self.bump();
+                    e = Expr::Unary {
+                        op: UnOp::PostInc,
+                        operand: Box::new(e),
+                    };
+                }
+                TokenKind::Punct(Punct::Dec) => {
+                    self.bump();
+                    e = Expr::Unary {
+                        op: UnOp::PostDec,
+                        operand: Box::new(e),
+                    };
+                }
+                _ => break,
+            }
+        }
+        Some(e)
+    }
+
+    fn expect_ident(&mut self) -> Option<String> {
+        match &self.peek().kind {
+            TokenKind::Ident(n) => {
+                let n = n.clone();
+                self.bump();
+                Some(n)
+            }
+            _ => {
+                let line = self.peek().line;
+                let found = self.peek().kind.render();
+                self.error(line, format!("expected identifier, found `{found}`"));
+                None
+            }
+        }
+    }
+
+    fn parse_primary(&mut self, _line: u32) -> Option<Expr> {
+        let t = self.peek().clone();
+        match t.kind {
+            TokenKind::IntLit(v) => {
+                self.bump();
+                Some(Expr::IntLit(v))
+            }
+            TokenKind::FloatLit(v) => {
+                self.bump();
+                Some(Expr::FloatLit(v))
+            }
+            TokenKind::StrLit(s) => {
+                self.bump();
+                // Adjacent string literals concatenate.
+                let mut full = s;
+                while let TokenKind::StrLit(next) = &self.peek().kind {
+                    full.push_str(next);
+                    self.bump();
+                }
+                Some(Expr::StrLit(full))
+            }
+            TokenKind::CharLit(c) => {
+                self.bump();
+                Some(Expr::CharLit(c))
+            }
+            TokenKind::Ident(n) => {
+                self.bump();
+                Some(Expr::Ident(n))
+            }
+            TokenKind::Punct(Punct::LParen) => {
+                self.bump();
+                let e = self.parse_expr()?;
+                self.expect_punct(Punct::RParen);
+                Some(e)
+            }
+            _ => {
+                self.error(t.line, format!("expected expression, found `{}`", t.kind.render()));
+                None
+            }
+        }
+    }
+}
+
+fn render_param(p: &Param) -> String {
+    let mut s = p.type_spec.render();
+    s.push(' ');
+    for _ in 0..p.pointer_depth {
+        s.push('*');
+    }
+    s.push_str(&p.name);
+    if p.array {
+        s.push_str("[]");
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PI_SRC: &str = r#"#include <mpi.h>
+#include <stdio.h>
+int main(int argc, char **argv) {
+    int rank, size, i;
+    double sum = 0.0, pi, x, step;
+    int n = 100000;
+    MPI_Init(&argc, &argv);
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    MPI_Comm_size(MPI_COMM_WORLD, &size);
+    step = 1.0 / (double)n;
+    for (i = rank; i < n; i += size) {
+        x = (i + 0.5) * step;
+        sum += 4.0 / (1.0 + x * x);
+    }
+    double local = sum * step;
+    MPI_Reduce(&local, &pi, 1, MPI_DOUBLE, MPI_SUM, 0, MPI_COMM_WORLD);
+    if (rank == 0) {
+        printf("pi = %f\n", pi);
+    }
+    MPI_Finalize();
+    return 0;
+}
+"#;
+
+    #[test]
+    fn parses_pi_program_cleanly() {
+        let prog = parse_strict(PI_SRC).expect("pi program must parse");
+        assert_eq!(prog.directives.len(), 2);
+        let main = prog.main().expect("has main");
+        assert_eq!(main.params.len(), 2);
+        assert_eq!(main.params[1].pointer_depth, 2);
+        let mpi = prog.calls_matching(|n| n.starts_with("MPI_"));
+        let names: Vec<&str> = mpi.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "MPI_Init",
+                "MPI_Comm_rank",
+                "MPI_Comm_size",
+                "MPI_Reduce",
+                "MPI_Finalize"
+            ]
+        );
+    }
+
+    #[test]
+    fn call_lines_match_source() {
+        let prog = parse_strict(PI_SRC).unwrap();
+        let mpi = prog.calls_matching(|n| n.starts_with("MPI_"));
+        assert_eq!(mpi[0], ("MPI_Init".to_string(), 7));
+        assert_eq!(mpi[4].0, "MPI_Finalize");
+        assert_eq!(mpi[4].1, 20);
+    }
+
+    #[test]
+    fn declaration_multi_declarator() {
+        let prog = parse_strict("int main() { int a = 1, b[10], *p; return a; }").unwrap();
+        let main = prog.main().unwrap();
+        match &main.body.stmts[0] {
+            Stmt::Decl(d) => {
+                assert_eq!(d.declarators.len(), 3);
+                assert_eq!(d.declarators[0].name, "a");
+                assert!(d.declarators[0].init.is_some());
+                assert_eq!(d.declarators[1].arrays.len(), 1);
+                assert_eq!(d.declarators[2].pointer_depth, 1);
+            }
+            other => panic!("expected decl, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn for_loop_variants() {
+        let src = "int main() { for (;;) break; for (int i = 0; i < 3; i++) continue; int j; for (j = 0; j < 2; ) j++; return 0; }";
+        let prog = parse_strict(src).unwrap();
+        let main = prog.main().unwrap();
+        assert!(matches!(
+            &main.body.stmts[0],
+            Stmt::For { init: ForInit::None, cond: None, step: None, .. }
+        ));
+        assert!(matches!(
+            &main.body.stmts[1],
+            Stmt::For { init: ForInit::Decl(_), .. }
+        ));
+        assert!(matches!(
+            &main.body.stmts[3],
+            Stmt::For { init: ForInit::Expr(_), step: None, .. }
+        ));
+    }
+
+    #[test]
+    fn operator_precedence_shape() {
+        let prog = parse_strict("int main() { int x = 1 + 2 * 3; return x; }").unwrap();
+        let main = prog.main().unwrap();
+        match &main.body.stmts[0] {
+            Stmt::Decl(d) => match d.declarators[0].init.as_ref().unwrap() {
+                Init::Expr(Expr::Binary { op: BinOp::Add, rhs, .. }) => {
+                    assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
+                }
+                other => panic!("unexpected init {other:?}"),
+            },
+            other => panic!("expected decl, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn assignment_right_associative() {
+        let prog = parse_strict("int main() { int a, b, c; a = b = c = 1; return a; }").unwrap();
+        let main = prog.main().unwrap();
+        match &main.body.stmts[1] {
+            Stmt::Expr { expr: Some(Expr::Assign { rhs, .. }), .. } => {
+                assert!(matches!(**rhs, Expr::Assign { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dangling_else_binds_inner() {
+        let prog =
+            parse_strict("int main() { if (1) if (2) return 1; else return 2; return 0; }")
+                .unwrap();
+        let main = prog.main().unwrap();
+        match &main.body.stmts[0] {
+            Stmt::If { else_branch, then_branch, .. } => {
+                assert!(else_branch.is_none(), "else binds to the inner if");
+                assert!(matches!(**then_branch, Stmt::If { ref else_branch, .. } if else_branch.is_some()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn casts_and_sizeof() {
+        let prog = parse_strict(
+            "int main() { double d = (double)3; int n = sizeof(double); int *p = (int *)0; return n; }",
+        )
+        .unwrap();
+        let main = prog.main().unwrap();
+        assert_eq!(main.body.stmts.len(), 4);
+        match &main.body.stmts[1] {
+            Stmt::Decl(d) => match d.declarators[0].init.as_ref().unwrap() {
+                Init::Expr(Expr::SizeofType { ty, .. }) => assert_eq!(ty.render(), "double"),
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mpi_status_declaration() {
+        let prog = parse_strict("int main() { MPI_Status status; return 0; }").unwrap();
+        let main = prog.main().unwrap();
+        match &main.body.stmts[0] {
+            Stmt::Decl(d) => assert_eq!(d.type_spec.render(), "MPI_Status"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn member_access_on_status() {
+        let prog = parse_strict(
+            "int main() { MPI_Status st; int src = st.MPI_SOURCE; return src; }",
+        )
+        .unwrap();
+        let main = prog.main().unwrap();
+        match &main.body.stmts[1] {
+            Stmt::Decl(d) => match d.declarators[0].init.as_ref().unwrap() {
+                Init::Expr(Expr::Member { field, arrow, .. }) => {
+                    assert_eq!(field, "MPI_SOURCE");
+                    assert!(!arrow);
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tolerant_parse_recovers_from_bad_stmt() {
+        let src = "int main() { int a = 1; = = garbage = ; int b = 2; return a + b; }";
+        let out = parse_tolerant(src);
+        assert!(!out.is_clean());
+        let main = out.program.main().unwrap();
+        // a-decl, error node, b-decl, return
+        assert!(main.body.stmts.iter().any(|s| matches!(s, Stmt::Error { .. })));
+        let decls = main
+            .body
+            .stmts
+            .iter()
+            .filter(|s| matches!(s, Stmt::Decl(_)))
+            .count();
+        assert_eq!(decls, 2, "statements after the error are still parsed");
+    }
+
+    #[test]
+    fn strict_parse_rejects_garbage() {
+        assert!(parse_strict("int main() { @!#; }").is_err());
+        assert!(parse_strict("}{").is_err());
+    }
+
+    #[test]
+    fn tolerant_never_panics_on_truncated_input() {
+        for src in [
+            "int main() {",
+            "int main() { if (x",
+            "int main() { for (int i = 0;",
+            "int",
+            "(",
+            "int main() { MPI_Send(",
+        ] {
+            let _ = parse_tolerant(src);
+        }
+    }
+
+    #[test]
+    fn empty_statement_and_blocks() {
+        let prog = parse_strict("int main() { ; { int x = 1; } return 0; }").unwrap();
+        let main = prog.main().unwrap();
+        assert!(matches!(main.body.stmts[0], Stmt::Expr { expr: None, .. }));
+        assert!(matches!(main.body.stmts[1], Stmt::Block(_)));
+    }
+
+    #[test]
+    fn do_while_and_ternary() {
+        let prog = parse_strict(
+            "int main() { int i = 0; do { i++; } while (i < 10); int m = i > 5 ? 1 : 0; return m; }",
+        )
+        .unwrap();
+        let main = prog.main().unwrap();
+        assert!(matches!(main.body.stmts[1], Stmt::DoWhile { .. }));
+    }
+
+    #[test]
+    fn function_prototype_tolerated() {
+        let prog = parse_strict("double f(double x);\nint main() { return 0; }").unwrap();
+        assert_eq!(prog.items.len(), 2);
+    }
+
+    #[test]
+    fn global_declarations() {
+        let prog = parse_strict("int N = 100;\ndouble data[64];\nint main() { return N; }").unwrap();
+        let globals = prog
+            .items
+            .iter()
+            .filter(|i| matches!(i, Item::Declaration(d) if !d.declarators.is_empty()))
+            .count();
+        assert_eq!(globals, 2);
+    }
+
+    #[test]
+    fn comma_in_for_step() {
+        let prog =
+            parse_strict("int main() { int i, j; for (i = 0, j = 9; i < j; i++, j--) ; return 0; }")
+                .unwrap();
+        let main = prog.main().unwrap();
+        match &main.body.stmts[1] {
+            Stmt::For { init: ForInit::Expr(e), step: Some(s), .. } => {
+                assert!(matches!(e, Expr::Comma { .. }));
+                assert!(matches!(s, Expr::Comma { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn adjacent_string_literals_concatenate() {
+        let prog = parse_strict(r#"int main() { printf("a" "b"); return 0; }"#).unwrap();
+        let main = prog.main().unwrap();
+        match &main.body.stmts[0] {
+            Stmt::Expr { expr: Some(Expr::Call { args, .. }), .. } => {
+                assert_eq!(args[0], Expr::StrLit("ab".into()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn helper_function_definitions() {
+        let src = "double square(double x) { return x * x; }\nint main() { double y = square(2.0); return 0; }";
+        let prog = parse_strict(src).unwrap();
+        assert_eq!(prog.functions().count(), 2);
+    }
+}

@@ -1,0 +1,565 @@
+//! AST pretty-printer — the paper's "code standardization" step (§V-A3):
+//! programs are regenerated from the AST with canonical indentation, one
+//! statement per line, normalized spacing.
+//!
+//! The printed text defines the *canonical line numbering* used everywhere
+//! downstream: labels, removal records, and model suggestions all refer to
+//! lines of the standardized form. `print_program` also returns a relined
+//! AST whose nodes carry the canonical line numbers.
+
+use crate::ast::*;
+
+/// Render `f64` the way a C programmer would write it: always with a decimal
+/// point or exponent so it re-lexes as a float.
+pub fn format_float(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{:.1}", v)
+    } else if v != 0.0 && (v.abs() >= 1e15 || v.abs() < 1e-4) {
+        format!("{:e}", v)
+    } else {
+        let s = format!("{}", v);
+        if s.contains('.') {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    }
+}
+
+/// Standardize a program: returns the canonical source text.
+pub fn print_program(prog: &Program) -> String {
+    let mut p = Printer::new();
+    p.program(prog);
+    p.out
+}
+
+/// Standardize and re-parse to obtain an AST whose line numbers refer to the
+/// canonical text. Panics only if the printer emits text the parser rejects,
+/// which would be a bug (covered by roundtrip tests).
+pub fn standardize(prog: &Program) -> (String, Program) {
+    let text = print_program(prog);
+    let reparsed = crate::parser::parse_tolerant(&text);
+    (text, reparsed.program)
+}
+
+struct Printer {
+    out: String,
+    indent: usize,
+}
+
+const INDENT: &str = "    ";
+
+impl Printer {
+    fn new() -> Self {
+        Printer {
+            out: String::with_capacity(1024),
+            indent: 0,
+        }
+    }
+
+    fn line(&mut self, text: &str) {
+        for _ in 0..self.indent {
+            self.out.push_str(INDENT);
+        }
+        self.out.push_str(text);
+        self.out.push('\n');
+    }
+
+    fn program(&mut self, prog: &Program) {
+        for d in &prog.directives {
+            self.line(d);
+        }
+        for item in &prog.items {
+            match item {
+                Item::Function(f) => {
+                    // One blank line before each function, except at the very
+                    // start of the file.
+                    if !self.out.is_empty() {
+                        self.out.push('\n');
+                    }
+                    self.function(f);
+                }
+                Item::Declaration(d) => self.declaration_line(d),
+                Item::Error { text, .. } => self.line(text),
+            }
+        }
+    }
+
+    fn function(&mut self, f: &FunctionDef) {
+        let params = if f.params.is_empty() {
+            "()".to_string()
+        } else {
+            let ps: Vec<String> = f.params.iter().map(render_param).collect();
+            format!("({})", ps.join(", "))
+        };
+        self.line(&format!("{} {}{} {{", f.return_type.render(), f.name, params));
+        self.indent += 1;
+        for s in &f.body.stmts {
+            self.stmt(s);
+        }
+        self.indent -= 1;
+        self.line("}");
+    }
+
+    fn declaration_line(&mut self, d: &Declaration) {
+        self.line(&(render_declaration(d) + ";"));
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Decl(d) => self.declaration_line(d),
+            Stmt::Expr { expr, .. } => match expr {
+                Some(e) => self.line(&format!("{};", render_expr(e))),
+                None => self.line(";"),
+            },
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                self.line(&format!("if ({}) {{", render_expr(cond)));
+                self.indent += 1;
+                self.stmt_flattened(then_branch);
+                self.indent -= 1;
+                match else_branch {
+                    Some(e) => {
+                        // `else if` chains stay flat.
+                        if let Stmt::If { .. } = **e {
+                            self.line_no_nl("} else ");
+                            self.stmt_else_if(e);
+                        } else {
+                            self.line("} else {");
+                            self.indent += 1;
+                            self.stmt_flattened(e);
+                            self.indent -= 1;
+                            self.line("}");
+                        }
+                    }
+                    None => self.line("}"),
+                }
+            }
+            Stmt::While { cond, body, .. } => {
+                self.line(&format!("while ({}) {{", render_expr(cond)));
+                self.indent += 1;
+                self.stmt_flattened(body);
+                self.indent -= 1;
+                self.line("}");
+            }
+            Stmt::DoWhile { body, cond, .. } => {
+                self.line("do {");
+                self.indent += 1;
+                self.stmt_flattened(body);
+                self.indent -= 1;
+                self.line(&format!("}} while ({});", render_expr(cond)));
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => {
+                let init_s = match init {
+                    ForInit::None => String::new(),
+                    ForInit::Decl(d) => render_declaration(d),
+                    ForInit::Expr(e) => render_expr(e),
+                };
+                let cond_s = cond.as_ref().map(render_expr).unwrap_or_default();
+                let step_s = step.as_ref().map(render_expr).unwrap_or_default();
+                self.line(&format!("for ({init_s}; {cond_s}; {step_s}) {{"));
+                self.indent += 1;
+                self.stmt_flattened(body);
+                self.indent -= 1;
+                self.line("}");
+            }
+            Stmt::Return { expr, .. } => match expr {
+                Some(e) => self.line(&format!("return {};", render_expr(e))),
+                None => self.line("return;"),
+            },
+            Stmt::Break { .. } => self.line("break;"),
+            Stmt::Continue { .. } => self.line("continue;"),
+            Stmt::Block(b) => {
+                self.line("{");
+                self.indent += 1;
+                for s in &b.stmts {
+                    self.stmt(s);
+                }
+                self.indent -= 1;
+                self.line("}");
+            }
+            Stmt::Error { text, .. } => self.line(text),
+        }
+    }
+
+    /// Inside an `if`/`while`/`for` body we always brace, so a nested block
+    /// statement is flattened rather than double-braced.
+    fn stmt_flattened(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Block(b) => {
+                for inner in &b.stmts {
+                    self.stmt(inner);
+                }
+            }
+            other => self.stmt(other),
+        }
+    }
+
+    fn line_no_nl(&mut self, text: &str) {
+        for _ in 0..self.indent {
+            self.out.push_str(INDENT);
+        }
+        self.out.push_str(text);
+    }
+
+    /// Print the `if` of an `else if` chain continuing the current line.
+    fn stmt_else_if(&mut self, s: &Stmt) {
+        if let Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+            ..
+        } = s
+        {
+            self.out.push_str(&format!("if ({}) {{\n", render_expr(cond)));
+            self.indent += 1;
+            self.stmt_flattened(then_branch);
+            self.indent -= 1;
+            match else_branch {
+                Some(e) => {
+                    if let Stmt::If { .. } = **e {
+                        self.line_no_nl("} else ");
+                        self.stmt_else_if(e);
+                    } else {
+                        self.line("} else {");
+                        self.indent += 1;
+                        self.stmt_flattened(e);
+                        self.indent -= 1;
+                        self.line("}");
+                    }
+                }
+                None => self.line("}"),
+            }
+        }
+    }
+}
+
+fn render_param(p: &Param) -> String {
+    let mut s = p.type_spec.render();
+    s.push(' ');
+    for _ in 0..p.pointer_depth {
+        s.push('*');
+    }
+    s.push_str(&p.name);
+    if p.array {
+        s.push_str("[]");
+    }
+    s
+}
+
+fn render_declaration(d: &Declaration) -> String {
+    let decls: Vec<String> = d.declarators.iter().map(render_declarator).collect();
+    if decls.is_empty() {
+        d.type_spec.render()
+    } else {
+        format!("{} {}", d.type_spec.render(), decls.join(", "))
+    }
+}
+
+fn render_declarator(d: &Declarator) -> String {
+    let mut s = String::new();
+    for _ in 0..d.pointer_depth {
+        s.push('*');
+    }
+    s.push_str(&d.name);
+    for dim in &d.arrays {
+        match dim {
+            Some(e) => s.push_str(&format!("[{}]", render_expr(e))),
+            None => s.push_str("[]"),
+        }
+    }
+    if let Some(init) = &d.init {
+        s.push_str(" = ");
+        s.push_str(&render_init(init));
+    }
+    s
+}
+
+fn render_init(i: &Init) -> String {
+    match i {
+        Init::Expr(e) => render_expr(e),
+        Init::List(items) => {
+            let parts: Vec<String> = items.iter().map(render_init).collect();
+            format!("{{{}}}", parts.join(", "))
+        }
+    }
+}
+
+/// Render an expression with minimal parentheses (parenthesizing exactly when
+/// a child binds looser than its context requires).
+pub fn render_expr(e: &Expr) -> String {
+    render_prec(e, 0)
+}
+
+/// Precedence levels used for printing:
+/// 0 comma, 1 assignment, 2 ternary, 3..=12 binary (BinOp::precedence()+2),
+/// 13 unary, 14 postfix/primary.
+fn expr_level(e: &Expr) -> u8 {
+    match e {
+        Expr::Comma { .. } => 0,
+        Expr::Assign { .. } => 1,
+        Expr::Ternary { .. } => 2,
+        Expr::Binary { op, .. } => op.precedence() + 2,
+        Expr::Unary { op, .. } => {
+            if op.is_postfix() {
+                14
+            } else {
+                13
+            }
+        }
+        Expr::Cast { .. } => 13,
+        Expr::IntLit(_)
+        | Expr::FloatLit(_)
+        | Expr::StrLit(_)
+        | Expr::CharLit(_)
+        | Expr::Ident(_)
+        | Expr::Call { .. }
+        | Expr::Index { .. }
+        | Expr::Member { .. }
+        | Expr::SizeofType { .. } => 14,
+    }
+}
+
+fn render_prec(e: &Expr, min: u8) -> String {
+    let level = expr_level(e);
+    let body = match e {
+        Expr::IntLit(v) => v.to_string(),
+        Expr::FloatLit(v) => format_float(*v),
+        Expr::StrLit(s) => format!("\"{}\"", crate::token::escape_string(s)),
+        Expr::CharLit(c) => format!("'{}'", crate::token::escape_char(*c)),
+        Expr::Ident(n) => n.clone(),
+        Expr::Call { callee, args, .. } => {
+            let parts: Vec<String> = args.iter().map(|a| render_prec(a, 1)).collect();
+            format!("{}({})", callee, parts.join(", "))
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            // Left-associative: rhs needs strictly higher level.
+            format!(
+                "{} {} {}",
+                render_prec(lhs, level),
+                op.as_str(),
+                render_prec(rhs, level + 1)
+            )
+        }
+        Expr::Unary { op, operand } => {
+            if op.is_postfix() {
+                format!("{}{}", render_prec(operand, 14), op.as_str())
+            } else {
+                // Guard `- -x` and `& &x` from token-merging.
+                let inner = render_prec(operand, 13);
+                let sep = match (op, inner.as_bytes().first()) {
+                    (UnOp::Neg, Some(b'-')) | (UnOp::AddrOf, Some(b'&')) => " ",
+                    _ => "",
+                };
+                format!("{}{}{}", op.as_str(), sep, inner)
+            }
+        }
+        Expr::Assign { op, lhs, rhs } => {
+            let op_s = op.map(|o| o.as_str()).unwrap_or("=");
+            format!(
+                "{} {} {}",
+                render_prec(lhs, 14),
+                op_s,
+                render_prec(rhs, 1) // right-associative
+            )
+        }
+        Expr::Index { base, index } => {
+            format!("{}[{}]", render_prec(base, 14), render_prec(index, 0))
+        }
+        Expr::Member { base, field, arrow } => {
+            format!(
+                "{}{}{}",
+                render_prec(base, 14),
+                if *arrow { "->" } else { "." },
+                field
+            )
+        }
+        Expr::Cast {
+            ty,
+            pointer_depth,
+            operand,
+        } => {
+            let stars: String = std::iter::repeat('*').take(*pointer_depth as usize).collect();
+            let sep = if stars.is_empty() { "" } else { " " };
+            format!("({}{sep}{stars}){}", ty.render(), render_prec(operand, 13))
+        }
+        Expr::Ternary {
+            cond,
+            then_expr,
+            else_expr,
+        } => format!(
+            "{} ? {} : {}",
+            render_prec(cond, 3),
+            render_prec(then_expr, 0),
+            render_prec(else_expr, 2)
+        ),
+        Expr::SizeofType { ty, pointer_depth } => {
+            let stars: String = std::iter::repeat('*').take(*pointer_depth as usize).collect();
+            let sep = if stars.is_empty() { "" } else { " " };
+            format!("sizeof({}{sep}{stars})", ty.render())
+        }
+        Expr::Comma { lhs, rhs } => {
+            format!("{}, {}", render_prec(lhs, 1), render_prec(rhs, 1))
+        }
+    };
+    if level < min {
+        format!("({body})")
+    } else {
+        body
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_strict, parse_tolerant};
+
+    fn roundtrip(src: &str) -> String {
+        let prog = parse_strict(src).expect("input parses");
+        print_program(&prog)
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(format_float(1.0), "1.0");
+        assert_eq!(format_float(0.5), "0.5");
+        assert_eq!(format_float(3.14), "3.14");
+        assert_eq!(format_float(-2.0), "-2.0");
+        assert_eq!(format_float(1e300), "1e300");
+    }
+
+    #[test]
+    fn standardization_is_idempotent() {
+        let src = "int   main(  ){int a=1;\n\n\n if(a) { a ++ ; }\nreturn a;}";
+        let once = roundtrip(src);
+        let twice = roundtrip(&once);
+        assert_eq!(once, twice, "printing a printed program is a fixed point");
+    }
+
+    #[test]
+    fn roundtrip_preserves_semantics_ast() {
+        let src = r#"#include <mpi.h>
+int main(int argc, char **argv) {
+    int rank;
+    MPI_Init(&argc, &argv);
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    if (rank == 0) { printf("hello\n"); }
+    MPI_Finalize();
+    return 0;
+}
+"#;
+        let prog = parse_strict(src).unwrap();
+        let printed = print_program(&prog);
+        let reparsed = parse_strict(&printed).expect("printed output parses");
+        // MPI call sequence is invariant under standardization.
+        assert_eq!(
+            prog.calls_matching(|n| n.starts_with("MPI_"))
+                .iter()
+                .map(|(n, _)| n.clone())
+                .collect::<Vec<_>>(),
+            reparsed
+                .calls_matching(|n| n.starts_with("MPI_"))
+                .iter()
+                .map(|(n, _)| n.clone())
+                .collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn minimal_parens() {
+        let src = "int main() { int x = (1 + 2) * 3; int y = 1 + 2 + 3; int z = -(1 + 2); return x; }";
+        let out = roundtrip(src);
+        assert!(out.contains("(1 + 2) * 3"), "needed parens kept: {out}");
+        assert!(out.contains("1 + 2 + 3"), "redundant parens dropped: {out}");
+        assert!(out.contains("-(1 + 2)"), "unary parens kept: {out}");
+    }
+
+    #[test]
+    fn left_associativity_parens() {
+        // a - (b - c) must keep parens; (a - b) - c must not.
+        let prog = parse_strict("int main() { int r = 10 - (5 - 2); return r; }").unwrap();
+        let out = print_program(&prog);
+        assert!(out.contains("10 - (5 - 2)"), "{out}");
+    }
+
+    #[test]
+    fn standardize_relines() {
+        let src = "int main() { MPI_Init(0, 0); MPI_Finalize(); return 0; }";
+        let prog = parse_strict(src).unwrap();
+        let (text, relined) = standardize(&prog);
+        let calls = relined.calls_matching(|n| n.starts_with("MPI_"));
+        // In canonical text, main(){ is line 1, first stmt is line 2.
+        assert_eq!(calls[0].1, 2, "text was: {text}");
+        assert_eq!(calls[1].1, 3);
+    }
+
+    #[test]
+    fn else_if_chain_stays_flat() {
+        let src = "int main() { int x = 1; if (x == 0) return 0; else if (x == 1) return 1; else return 2; }";
+        let out = roundtrip(src);
+        assert!(out.contains("} else if (x == 1) {"), "{out}");
+    }
+
+    #[test]
+    fn nested_blocks_in_loop_bodies_flatten() {
+        let out = roundtrip("int main() { for (int i = 0; i < 3; i++) { { int x = i; } } return 0; }");
+        // Inner explicit block survives, loop braces are single.
+        let opens = out.matches('{').count();
+        let closes = out.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn double_negation_spaced() {
+        let prog = parse_strict("int main() { int x = 1; int y = - -x; return y; }").unwrap();
+        let out = print_program(&prog);
+        assert!(out.contains("- -x"), "must not merge into `--x`: {out}");
+        parse_strict(&out).expect("still parses");
+    }
+
+    #[test]
+    fn error_nodes_print_verbatim() {
+        let out = parse_tolerant("int main() { int a = 1; $$$bad$$$; return a; }");
+        let printed = print_program(&out.program);
+        assert!(printed.contains("bad"));
+    }
+
+    #[test]
+    fn comma_expr_roundtrip() {
+        let out = roundtrip("int main() { int i, j; for (i = 0, j = 5; i < j; i++, j--) ; return 0; }");
+        assert!(out.contains("i = 0, j = 5"), "{out}");
+        parse_strict(&out).unwrap();
+    }
+
+    #[test]
+    fn ternary_roundtrip() {
+        let out = roundtrip("int main() { int a = 1; int b = a > 0 ? a : -a; return b; }");
+        assert!(out.contains("a > 0 ? a : -a"), "{out}");
+        parse_strict(&out).unwrap();
+    }
+
+    #[test]
+    fn cast_pointer_roundtrip() {
+        let out = roundtrip("int main() { int *p = (int *)malloc(4 * sizeof(int)); return 0; }");
+        assert!(out.contains("(int *)malloc"), "{out}");
+        parse_strict(&out).unwrap();
+    }
+
+    #[test]
+    fn init_list_roundtrip() {
+        let out = roundtrip("int main() { int a[3] = {1, 2, 3}; double m[2][2] = {{1.0, 0.0}, {0.0, 1.0}}; return 0; }");
+        assert!(out.contains("{1, 2, 3}"), "{out}");
+        assert!(out.contains("{{1.0, 0.0}, {0.0, 1.0}}"), "{out}");
+        parse_strict(&out).unwrap();
+    }
+}

@@ -1,0 +1,455 @@
+//! Token definitions for the C subset.
+//!
+//! The lexer produces a flat stream of [`Token`]s; every token carries the
+//! 1-based line it started on so downstream consumers (MPI call location
+//! extraction, suggestion placement) can reason about source positions.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A C keyword recognized by the lexer.
+///
+/// Identifiers matching one of these strings are lexed as [`TokenKind::Keyword`];
+/// everything else becomes [`TokenKind::Ident`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Keyword {
+    Int,
+    Long,
+    Short,
+    Char,
+    Float,
+    Double,
+    Void,
+    Unsigned,
+    Signed,
+    Const,
+    Static,
+    Extern,
+    Struct,
+    Union,
+    Enum,
+    Typedef,
+    If,
+    Else,
+    For,
+    While,
+    Do,
+    Return,
+    Break,
+    Continue,
+    Switch,
+    Case,
+    Default,
+    Sizeof,
+    Goto,
+}
+
+impl Keyword {
+    /// Look up a keyword from its source spelling.
+    pub fn from_str(s: &str) -> Option<Keyword> {
+        use Keyword::*;
+        Some(match s {
+            "int" => Int,
+            "long" => Long,
+            "short" => Short,
+            "char" => Char,
+            "float" => Float,
+            "double" => Double,
+            "void" => Void,
+            "unsigned" => Unsigned,
+            "signed" => Signed,
+            "const" => Const,
+            "static" => Static,
+            "extern" => Extern,
+            "struct" => Struct,
+            "union" => Union,
+            "enum" => Enum,
+            "typedef" => Typedef,
+            "if" => If,
+            "else" => Else,
+            "for" => For,
+            "while" => While,
+            "do" => Do,
+            "return" => Return,
+            "break" => Break,
+            "continue" => Continue,
+            "switch" => Switch,
+            "case" => Case,
+            "default" => Default,
+            "sizeof" => Sizeof,
+            "goto" => Goto,
+            _ => return None,
+        })
+    }
+
+    /// The canonical source spelling of the keyword.
+    pub fn as_str(self) -> &'static str {
+        use Keyword::*;
+        match self {
+            Int => "int",
+            Long => "long",
+            Short => "short",
+            Char => "char",
+            Float => "float",
+            Double => "double",
+            Void => "void",
+            Unsigned => "unsigned",
+            Signed => "signed",
+            Const => "const",
+            Static => "static",
+            Extern => "extern",
+            Struct => "struct",
+            Union => "union",
+            Enum => "enum",
+            Typedef => "typedef",
+            If => "if",
+            Else => "else",
+            For => "for",
+            While => "while",
+            Do => "do",
+            Return => "return",
+            Break => "break",
+            Continue => "continue",
+            Switch => "switch",
+            Case => "case",
+            Default => "default",
+            Sizeof => "sizeof",
+            Goto => "goto",
+        }
+    }
+
+    /// True for keywords that can begin a type specifier.
+    pub fn starts_type(self) -> bool {
+        use Keyword::*;
+        matches!(
+            self,
+            Int | Long
+                | Short
+                | Char
+                | Float
+                | Double
+                | Void
+                | Unsigned
+                | Signed
+                | Const
+                | Static
+                | Extern
+                | Struct
+                | Union
+                | Enum
+        )
+    }
+}
+
+/// Punctuation and operator tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Punct {
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semicolon,
+    Comma,
+    Dot,
+    Arrow,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Bang,
+    Question,
+    Colon,
+    Assign,
+    PlusAssign,
+    MinusAssign,
+    StarAssign,
+    SlashAssign,
+    PercentAssign,
+    AmpAssign,
+    PipeAssign,
+    CaretAssign,
+    ShlAssign,
+    ShrAssign,
+    Eq,
+    Ne,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    AndAnd,
+    OrOr,
+    Shl,
+    Shr,
+    Inc,
+    Dec,
+}
+
+impl Punct {
+    /// The source spelling of the punctuator.
+    pub fn as_str(self) -> &'static str {
+        use Punct::*;
+        match self {
+            LParen => "(",
+            RParen => ")",
+            LBrace => "{",
+            RBrace => "}",
+            LBracket => "[",
+            RBracket => "]",
+            Semicolon => ";",
+            Comma => ",",
+            Dot => ".",
+            Arrow => "->",
+            Plus => "+",
+            Minus => "-",
+            Star => "*",
+            Slash => "/",
+            Percent => "%",
+            Amp => "&",
+            Pipe => "|",
+            Caret => "^",
+            Tilde => "~",
+            Bang => "!",
+            Question => "?",
+            Colon => ":",
+            Assign => "=",
+            PlusAssign => "+=",
+            MinusAssign => "-=",
+            StarAssign => "*=",
+            SlashAssign => "/=",
+            PercentAssign => "%=",
+            AmpAssign => "&=",
+            PipeAssign => "|=",
+            CaretAssign => "^=",
+            ShlAssign => "<<=",
+            ShrAssign => ">>=",
+            Eq => "==",
+            Ne => "!=",
+            Lt => "<",
+            Gt => ">",
+            Le => "<=",
+            Ge => ">=",
+            AndAnd => "&&",
+            OrOr => "||",
+            Shl => "<<",
+            Shr => ">>",
+            Inc => "++",
+            Dec => "--",
+        }
+    }
+}
+
+/// The kind of a lexed token.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TokenKind {
+    /// An identifier (not a keyword), e.g. `rank`, `MPI_Send`.
+    Ident(String),
+    /// A reserved keyword.
+    Keyword(Keyword),
+    /// An integer literal with its parsed value. Suffixes (`L`, `U`) are
+    /// accepted and dropped.
+    IntLit(i64),
+    /// A floating-point literal with its parsed value. Suffixes (`f`, `F`,
+    /// `l`, `L`) are accepted and dropped.
+    FloatLit(f64),
+    /// A string literal; the value is the *unescaped* content.
+    StrLit(String),
+    /// A character literal; the value is the unescaped character.
+    CharLit(char),
+    /// Punctuation / operator.
+    Punct(Punct),
+    /// A whole-line preprocessor directive, e.g. `#include <mpi.h>`.
+    /// The string excludes the trailing newline.
+    Directive(String),
+    /// End of input sentinel (always the final token).
+    Eof,
+}
+
+impl TokenKind {
+    /// Render the token as it would appear in source text.
+    pub fn render(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => s.clone(),
+            TokenKind::Keyword(k) => k.as_str().to_string(),
+            TokenKind::IntLit(v) => v.to_string(),
+            TokenKind::FloatLit(v) => crate::printer::format_float(*v),
+            TokenKind::StrLit(s) => format!("\"{}\"", escape_string(s)),
+            TokenKind::CharLit(c) => format!("'{}'", escape_char(*c)),
+            TokenKind::Punct(p) => p.as_str().to_string(),
+            TokenKind::Directive(d) => d.clone(),
+            TokenKind::Eof => String::new(),
+        }
+    }
+}
+
+/// Escape a string-literal body for re-emission in C source.
+pub fn escape_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            '\0' => out.push_str("\\0"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Escape a char-literal body for re-emission in C source.
+pub fn escape_char(c: char) -> String {
+    match c {
+        '\'' => "\\'".to_string(),
+        '\\' => "\\\\".to_string(),
+        '\n' => "\\n".to_string(),
+        '\t' => "\\t".to_string(),
+        '\r' => "\\r".to_string(),
+        '\0' => "\\0".to_string(),
+        other => other.to_string(),
+    }
+}
+
+/// A token together with the 1-based source line it begins on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: u32,
+}
+
+impl Token {
+    pub fn new(kind: TokenKind, line: u32) -> Self {
+        Token { kind, line }
+    }
+
+    /// True if this token is the given punctuator.
+    pub fn is_punct(&self, p: Punct) -> bool {
+        matches!(&self.kind, TokenKind::Punct(q) if *q == p)
+    }
+
+    /// True if this token is the given keyword.
+    pub fn is_keyword(&self, k: Keyword) -> bool {
+        matches!(&self.kind, TokenKind::Keyword(q) if *q == k)
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.kind.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_roundtrip() {
+        for kw in [
+            Keyword::Int,
+            Keyword::Double,
+            Keyword::While,
+            Keyword::Sizeof,
+            Keyword::Typedef,
+            Keyword::Goto,
+        ] {
+            assert_eq!(Keyword::from_str(kw.as_str()), Some(kw));
+        }
+    }
+
+    #[test]
+    fn keyword_unknown() {
+        assert_eq!(Keyword::from_str("mpirical"), None);
+        assert_eq!(Keyword::from_str(""), None);
+        assert_eq!(Keyword::from_str("Int"), None, "keywords are case-sensitive");
+    }
+
+    #[test]
+    fn type_starting_keywords() {
+        assert!(Keyword::Int.starts_type());
+        assert!(Keyword::Unsigned.starts_type());
+        assert!(Keyword::Struct.starts_type());
+        assert!(!Keyword::If.starts_type());
+        assert!(!Keyword::Return.starts_type());
+        assert!(!Keyword::Sizeof.starts_type());
+    }
+
+    #[test]
+    fn punct_spellings_distinct() {
+        use std::collections::HashSet;
+        let all = [
+            Punct::LParen,
+            Punct::RParen,
+            Punct::LBrace,
+            Punct::RBrace,
+            Punct::LBracket,
+            Punct::RBracket,
+            Punct::Semicolon,
+            Punct::Comma,
+            Punct::Dot,
+            Punct::Arrow,
+            Punct::Plus,
+            Punct::Minus,
+            Punct::Star,
+            Punct::Slash,
+            Punct::Percent,
+            Punct::Amp,
+            Punct::Pipe,
+            Punct::Caret,
+            Punct::Tilde,
+            Punct::Bang,
+            Punct::Question,
+            Punct::Colon,
+            Punct::Assign,
+            Punct::PlusAssign,
+            Punct::MinusAssign,
+            Punct::StarAssign,
+            Punct::SlashAssign,
+            Punct::PercentAssign,
+            Punct::AmpAssign,
+            Punct::PipeAssign,
+            Punct::CaretAssign,
+            Punct::ShlAssign,
+            Punct::ShrAssign,
+            Punct::Eq,
+            Punct::Ne,
+            Punct::Lt,
+            Punct::Gt,
+            Punct::Le,
+            Punct::Ge,
+            Punct::AndAnd,
+            Punct::OrOr,
+            Punct::Shl,
+            Punct::Shr,
+            Punct::Inc,
+            Punct::Dec,
+        ];
+        let set: HashSet<&str> = all.iter().map(|p| p.as_str()).collect();
+        assert_eq!(set.len(), all.len());
+    }
+
+    #[test]
+    fn render_tokens() {
+        assert_eq!(TokenKind::Ident("rank".into()).render(), "rank");
+        assert_eq!(TokenKind::IntLit(42).render(), "42");
+        assert_eq!(TokenKind::StrLit("a\nb".into()).render(), "\"a\\nb\"");
+        assert_eq!(TokenKind::CharLit('\'').render(), "'\\''");
+        assert_eq!(TokenKind::Punct(Punct::Arrow).render(), "->");
+    }
+
+    #[test]
+    fn escape_roundtrip_basics() {
+        assert_eq!(escape_string("plain"), "plain");
+        assert_eq!(escape_string("q\"q"), "q\\\"q");
+        assert_eq!(escape_char('a'), "a");
+        assert_eq!(escape_char('\n'), "\\n");
+    }
+}

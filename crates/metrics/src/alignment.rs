@@ -1,0 +1,226 @@
+//! TP/FP/FN alignment between ground-truth and predicted MPI calls with the
+//! paper's one-line location tolerance (§VI-A).
+//!
+//! Definitions (paper, Figure 6):
+//! * **TP** — a predicted call whose function name matches a ground-truth
+//!   call within ±`tolerance` lines;
+//! * **FP** — a predicted call with no such ground-truth partner (wrong
+//!   function, or right function at a non-matching location);
+//! * **FN** — a ground-truth call no prediction claimed.
+//!
+//! Matching is per function name: both lists are sorted by line and matched
+//! with a two-pointer sweep, which is optimal for window matching on a line
+//! (a classic exchange argument: pairing the earliest compatible pair never
+//! reduces the maximum matching).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A labelled or predicted call site: function name + 1-based line.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CallSite {
+    pub name: String,
+    pub line: u32,
+}
+
+impl CallSite {
+    pub fn new(name: impl Into<String>, line: u32) -> CallSite {
+        CallSite {
+            name: name.into(),
+            line,
+        }
+    }
+}
+
+/// Outcome counts of one alignment.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counts {
+    pub tp: usize,
+    pub fp: usize,
+    pub fn_: usize,
+}
+
+impl Counts {
+    pub fn add(&mut self, other: Counts) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.fn_ += other.fn_;
+    }
+}
+
+/// Detailed alignment: matched pairs and leftovers (for reporting, e.g. the
+/// worked Figure-6 example).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Alignment {
+    /// `(truth, prediction)` matched within tolerance.
+    pub matches: Vec<(CallSite, CallSite)>,
+    /// Predictions with no partner (false positives).
+    pub unmatched_pred: Vec<CallSite>,
+    /// Ground truth with no partner (false negatives).
+    pub unmatched_truth: Vec<CallSite>,
+}
+
+impl Alignment {
+    pub fn counts(&self) -> Counts {
+        Counts {
+            tp: self.matches.len(),
+            fp: self.unmatched_pred.len(),
+            fn_: self.unmatched_truth.len(),
+        }
+    }
+}
+
+/// Align `pred` against `truth` with ±`tolerance` lines.
+pub fn align(truth: &[CallSite], pred: &[CallSite], tolerance: u32) -> Alignment {
+    // Partition by function name.
+    let mut truth_by: BTreeMap<&str, Vec<&CallSite>> = BTreeMap::new();
+    for c in truth {
+        truth_by.entry(c.name.as_str()).or_default().push(c);
+    }
+    let mut pred_by: BTreeMap<&str, Vec<&CallSite>> = BTreeMap::new();
+    for c in pred {
+        pred_by.entry(c.name.as_str()).or_default().push(c);
+    }
+
+    let mut out = Alignment::default();
+    let names: std::collections::BTreeSet<&str> = truth_by
+        .keys()
+        .chain(pred_by.keys())
+        .copied()
+        .collect();
+    for name in names {
+        let mut ts: Vec<&CallSite> = truth_by.remove(name).unwrap_or_default();
+        let mut ps: Vec<&CallSite> = pred_by.remove(name).unwrap_or_default();
+        ts.sort_by_key(|c| c.line);
+        ps.sort_by_key(|c| c.line);
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < ts.len() && j < ps.len() {
+            let t = ts[i];
+            let p = ps[j];
+            let diff = t.line.abs_diff(p.line);
+            if diff <= tolerance {
+                out.matches.push((t.clone(), p.clone()));
+                i += 1;
+                j += 1;
+            } else if p.line < t.line {
+                out.unmatched_pred.push(p.clone());
+                j += 1;
+            } else {
+                out.unmatched_truth.push(t.clone());
+                i += 1;
+            }
+        }
+        out.unmatched_truth.extend(ts[i..].iter().map(|c| (*c).clone()));
+        out.unmatched_pred.extend(ps[j..].iter().map(|c| (*c).clone()));
+    }
+    out
+}
+
+/// Convenience: align and return counts only.
+pub fn align_counts(truth: &[CallSite], pred: &[CallSite], tolerance: u32) -> Counts {
+    align(truth, pred, tolerance).counts()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(name: &str, line: u32) -> CallSite {
+        CallSite::new(name, line)
+    }
+
+    #[test]
+    fn exact_match() {
+        let truth = [c("MPI_Init", 4), c("MPI_Finalize", 10)];
+        let pred = [c("MPI_Init", 4), c("MPI_Finalize", 10)];
+        let counts = align_counts(&truth, &pred, 1);
+        assert_eq!(counts, Counts { tp: 2, fp: 0, fn_: 0 });
+    }
+
+    #[test]
+    fn one_line_tolerance() {
+        let truth = [c("MPI_Send", 7)];
+        assert_eq!(align_counts(&truth, &[c("MPI_Send", 8)], 1).tp, 1);
+        assert_eq!(align_counts(&truth, &[c("MPI_Send", 6)], 1).tp, 1);
+        let off2 = align_counts(&truth, &[c("MPI_Send", 9)], 1);
+        assert_eq!(off2, Counts { tp: 0, fp: 1, fn_: 1 });
+    }
+
+    #[test]
+    fn zero_tolerance() {
+        let truth = [c("MPI_Send", 7)];
+        assert_eq!(align_counts(&truth, &[c("MPI_Send", 8)], 0).tp, 0);
+        assert_eq!(align_counts(&truth, &[c("MPI_Send", 7)], 0).tp, 1);
+    }
+
+    #[test]
+    fn wrong_function_is_fp_and_fn() {
+        let truth = [c("MPI_Send", 7)];
+        let pred = [c("MPI_Recv", 7)];
+        let counts = align_counts(&truth, &pred, 1);
+        assert_eq!(counts, Counts { tp: 0, fp: 1, fn_: 1 });
+    }
+
+    #[test]
+    fn each_truth_matched_at_most_once() {
+        let truth = [c("MPI_Send", 5)];
+        let pred = [c("MPI_Send", 5), c("MPI_Send", 6)];
+        let counts = align_counts(&truth, &pred, 1);
+        assert_eq!(counts, Counts { tp: 1, fp: 1, fn_: 0 });
+    }
+
+    #[test]
+    fn swapped_adjacent_calls_both_match() {
+        // The paper's motivation for tolerance: swapping two nearby MPI
+        // calls usually doesn't change semantics.
+        let truth = [c("MPI_Comm_rank", 5), c("MPI_Comm_size", 6)];
+        let pred = [c("MPI_Comm_size", 5), c("MPI_Comm_rank", 6)];
+        let counts = align_counts(&truth, &pred, 1);
+        assert_eq!(counts, Counts { tp: 2, fp: 0, fn_: 0 });
+    }
+
+    #[test]
+    fn two_pointer_is_maximal() {
+        // truth at 1, 3; preds at 2 — only one can match, no double-count.
+        let truth = [c("MPI_Send", 1), c("MPI_Send", 3)];
+        let pred = [c("MPI_Send", 2)];
+        let counts = align_counts(&truth, &pred, 1);
+        assert_eq!(counts, Counts { tp: 1, fp: 0, fn_: 1 });
+
+        // preds at 0 and 2: both should match (0↔1, 2↔3).
+        let pred2 = [c("MPI_Send", 0), c("MPI_Send", 2)];
+        assert_eq!(align_counts(&truth, &pred2, 1).tp, 2);
+    }
+
+    #[test]
+    fn empty_sides() {
+        assert_eq!(align_counts(&[], &[], 1), Counts::default());
+        let truth = [c("MPI_Init", 1)];
+        assert_eq!(align_counts(&truth, &[], 1), Counts { tp: 0, fp: 0, fn_: 1 });
+        assert_eq!(align_counts(&[], &truth, 1), Counts { tp: 0, fp: 1, fn_: 0 });
+    }
+
+    #[test]
+    fn alignment_detail_partition() {
+        let truth = [c("MPI_Init", 2), c("MPI_Send", 5), c("MPI_Finalize", 9)];
+        let pred = [c("MPI_Init", 2), c("MPI_Recv", 5)];
+        let a = align(&truth, &pred, 1);
+        assert_eq!(a.matches.len(), 1);
+        assert_eq!(a.unmatched_pred, vec![c("MPI_Recv", 5)]);
+        assert_eq!(
+            a.unmatched_truth,
+            vec![c("MPI_Finalize", 9), c("MPI_Send", 5)]
+        );
+        // counts consistent with sizes
+        let counts = a.counts();
+        assert_eq!(counts.tp + counts.fn_, truth.len());
+        assert_eq!(counts.tp + counts.fp, pred.len());
+    }
+
+    #[test]
+    fn counts_add() {
+        let mut a = Counts { tp: 1, fp: 2, fn_: 3 };
+        a.add(Counts { tp: 10, fp: 20, fn_: 30 });
+        assert_eq!(a, Counts { tp: 11, fp: 22, fn_: 33 });
+    }
+}

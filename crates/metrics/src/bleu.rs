@@ -1,0 +1,147 @@
+//! Corpus-level BLEU-4 (Papineni et al. 2002) with add-one smoothing on
+//! higher-order n-grams — the translation-quality number of Table II.
+
+use std::collections::HashMap;
+
+/// Modified n-gram precision numerator/denominator for one order.
+fn ngram_overlap(reference: &[String], candidate: &[String], n: usize) -> (usize, usize) {
+    if candidate.len() < n {
+        return (0, 0);
+    }
+    let mut ref_counts: HashMap<&[String], usize> = HashMap::new();
+    if reference.len() >= n {
+        for w in reference.windows(n) {
+            *ref_counts.entry(w).or_insert(0) += 1;
+        }
+    }
+    let mut matched = 0usize;
+    let mut cand_counts: HashMap<&[String], usize> = HashMap::new();
+    for w in candidate.windows(n) {
+        *cand_counts.entry(w).or_insert(0) += 1;
+    }
+    for (gram, count) in cand_counts {
+        let limit = ref_counts.get(gram).copied().unwrap_or(0);
+        matched += count.min(limit);
+    }
+    (matched, candidate.len() - n + 1)
+}
+
+/// Corpus BLEU over `(reference, candidate)` token-sequence pairs.
+/// Uses up to 4-grams, geometric mean, brevity penalty, and +1 smoothing on
+/// orders ≥ 2 (so short-but-correct outputs don't zero out).
+pub fn corpus_bleu(pairs: &[(Vec<String>, Vec<String>)]) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    let max_n = 4;
+    let mut num = vec![0usize; max_n];
+    let mut den = vec![0usize; max_n];
+    let mut ref_len = 0usize;
+    let mut cand_len = 0usize;
+    for (reference, candidate) in pairs {
+        ref_len += reference.len();
+        cand_len += candidate.len();
+        for n in 1..=max_n {
+            let (m, t) = ngram_overlap(reference, candidate, n);
+            num[n - 1] += m;
+            den[n - 1] += t;
+        }
+    }
+    if cand_len == 0 {
+        return 0.0;
+    }
+    let mut log_sum = 0.0f64;
+    for n in 0..max_n {
+        let (mut m, mut t) = (num[n] as f64, den[n] as f64);
+        if n > 0 {
+            // add-one smoothing for higher orders
+            m += 1.0;
+            t += 1.0;
+        }
+        if m == 0.0 || t == 0.0 {
+            return 0.0;
+        }
+        log_sum += (m / t).ln();
+    }
+    let geo = (log_sum / max_n as f64).exp();
+    let bp = if cand_len >= ref_len {
+        1.0
+    } else {
+        (1.0 - ref_len as f64 / cand_len as f64).exp()
+    };
+    (bp * geo).clamp(0.0, 1.0)
+}
+
+/// Sentence BLEU, convenience wrapper.
+pub fn sentence_bleu(reference: &[String], candidate: &[String]) -> f64 {
+    corpus_bleu(&[(reference.to_vec(), candidate.to_vec())])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|t| t.to_string()).collect()
+    }
+
+    #[test]
+    fn identical_is_one() {
+        let r = toks("int main ( ) { return 0 ; }");
+        assert!((sentence_bleu(&r, &r) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_is_zero() {
+        let r = toks("a b c d e");
+        let c = toks("v w x y z");
+        assert!(sentence_bleu(&r, &c) < 0.05);
+    }
+
+    #[test]
+    fn partial_overlap_between() {
+        let r = toks("MPI_Init ( & argc , & argv ) ; MPI_Finalize ( ) ;");
+        let c = toks("MPI_Init ( & argc , & argv ) ;");
+        let b = sentence_bleu(&r, &c);
+        assert!(b > 0.2 && b < 1.0, "bleu {b}");
+    }
+
+    #[test]
+    fn brevity_penalty_hurts_short_candidates() {
+        let r = toks("a b c d e f g h");
+        let full = toks("a b c d e f g h");
+        let half = toks("a b c d");
+        assert!(sentence_bleu(&r, &half) < sentence_bleu(&r, &full));
+    }
+
+    #[test]
+    fn clipping_prevents_repetition_gaming() {
+        let r = toks("the cat sat");
+        let spam = toks("the the the the the the");
+        assert!(sentence_bleu(&r, &spam) < 0.2);
+    }
+
+    #[test]
+    fn corpus_pools_statistics() {
+        let pairs = vec![
+            (toks("a b c d"), toks("a b c d")),
+            (toks("e f g h"), toks("e f x h")),
+        ];
+        let b = corpus_bleu(&pairs);
+        assert!(b > 0.4 && b < 1.0, "bleu {b}");
+    }
+
+    #[test]
+    fn empty_cases() {
+        assert_eq!(corpus_bleu(&[]), 0.0);
+        assert_eq!(sentence_bleu(&toks("a"), &[]), 0.0);
+    }
+
+    #[test]
+    fn order_matters() {
+        let r = toks("a b c d e");
+        let shuffled = toks("e d c b a");
+        let b = sentence_bleu(&r, &shuffled);
+        assert!(b < 0.5, "unigram-only overlap with broken order: {b}");
+    }
+}

@@ -1,0 +1,190 @@
+//! Precision / recall / F1 over aligned calls, in the paper's two flavours:
+//! **M-** (all MPI functions) and **MCC-** (restricted to the MPI Common
+//! Core of Table Ib).
+
+use crate::alignment::{align_counts, CallSite, Counts};
+use serde::{Deserialize, Serialize};
+
+/// Precision/recall/F1 triple.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Prf {
+    pub precision: f64,
+    pub recall: f64,
+    pub f1: f64,
+}
+
+impl Prf {
+    /// Compute from counts; empty denominators yield 0 (and F1 of two
+    /// perfect-on-empty sides is defined as 1 when there is nothing to find
+    /// and nothing was predicted).
+    pub fn from_counts(c: Counts) -> Prf {
+        if c.tp == 0 && c.fp == 0 && c.fn_ == 0 {
+            return Prf {
+                precision: 1.0,
+                recall: 1.0,
+                f1: 1.0,
+            };
+        }
+        let precision = if c.tp + c.fp == 0 {
+            0.0
+        } else {
+            c.tp as f64 / (c.tp + c.fp) as f64
+        };
+        let recall = if c.tp + c.fn_ == 0 {
+            0.0
+        } else {
+            c.tp as f64 / (c.tp + c.fn_) as f64
+        };
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        Prf {
+            precision,
+            recall,
+            f1,
+        }
+    }
+}
+
+/// Paper Table II row set for one evaluation: overall (M-) and common-core
+/// (MCC-) classification metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ClassificationReport {
+    pub m: Prf,
+    pub mcc: Prf,
+    pub m_counts: Counts,
+    pub mcc_counts: Counts,
+}
+
+/// Evaluate one program pair: micro counts at the given tolerance, both for
+/// all calls and for the common-core subset.
+pub fn classify_program(
+    truth: &[CallSite],
+    pred: &[CallSite],
+    tolerance: u32,
+    common_core: &[&str],
+) -> (Counts, Counts) {
+    let all = align_counts(truth, pred, tolerance);
+    let t_cc: Vec<CallSite> = truth
+        .iter()
+        .filter(|c| common_core.contains(&c.name.as_str()))
+        .cloned()
+        .collect();
+    let p_cc: Vec<CallSite> = pred
+        .iter()
+        .filter(|c| common_core.contains(&c.name.as_str()))
+        .cloned()
+        .collect();
+    let cc = align_counts(&t_cc, &p_cc, tolerance);
+    (all, cc)
+}
+
+/// Micro-averaged report over a corpus of `(truth, pred)` pairs.
+pub fn classification_report<'a>(
+    pairs: impl IntoIterator<Item = (&'a [CallSite], &'a [CallSite])>,
+    tolerance: u32,
+    common_core: &[&str],
+) -> ClassificationReport {
+    let mut m_counts = Counts::default();
+    let mut mcc_counts = Counts::default();
+    for (truth, pred) in pairs {
+        let (all, cc) = classify_program(truth, pred, tolerance, common_core);
+        m_counts.add(all);
+        mcc_counts.add(cc);
+    }
+    ClassificationReport {
+        m: Prf::from_counts(m_counts),
+        mcc: Prf::from_counts(mcc_counts),
+        m_counts,
+        mcc_counts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(name: &str, line: u32) -> CallSite {
+        CallSite::new(name, line)
+    }
+
+    const CC: [&str; 8] = [
+        "MPI_Finalize",
+        "MPI_Comm_rank",
+        "MPI_Comm_size",
+        "MPI_Init",
+        "MPI_Recv",
+        "MPI_Send",
+        "MPI_Reduce",
+        "MPI_Bcast",
+    ];
+
+    #[test]
+    fn prf_basics() {
+        let p = Prf::from_counts(Counts { tp: 8, fp: 2, fn_: 2 });
+        assert!((p.precision - 0.8).abs() < 1e-12);
+        assert!((p.recall - 0.8).abs() < 1e-12);
+        assert!((p.f1 - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prf_empty_is_perfect() {
+        let p = Prf::from_counts(Counts::default());
+        assert_eq!(p.f1, 1.0);
+    }
+
+    #[test]
+    fn prf_no_predictions() {
+        let p = Prf::from_counts(Counts { tp: 0, fp: 0, fn_: 3 });
+        assert_eq!(p.precision, 0.0);
+        assert_eq!(p.recall, 0.0);
+        assert_eq!(p.f1, 0.0);
+    }
+
+    #[test]
+    fn f1_harmonic_mean_shape() {
+        let p = Prf::from_counts(Counts { tp: 1, fp: 0, fn_: 9 });
+        assert_eq!(p.precision, 1.0);
+        assert!((p.recall - 0.1).abs() < 1e-12);
+        assert!(p.f1 < 0.2, "harmonic mean pulled down by recall");
+    }
+
+    #[test]
+    fn mcc_subset_excludes_rare_functions() {
+        // MPI_Allreduce is not common core: errors there hit M- but not MCC-.
+        let truth = vec![c("MPI_Init", 2), c("MPI_Allreduce", 5)];
+        let pred = vec![c("MPI_Init", 2), c("MPI_Barrier", 5)];
+        let report = classification_report([(truth.as_slice(), pred.as_slice())], 1, &CC);
+        assert_eq!(report.m_counts, Counts { tp: 1, fp: 1, fn_: 1 });
+        assert_eq!(report.mcc_counts, Counts { tp: 1, fp: 0, fn_: 0 });
+        assert!(report.mcc.f1 > report.m.f1);
+    }
+
+    #[test]
+    fn micro_average_pools_counts() {
+        let t1 = vec![c("MPI_Init", 1)];
+        let p1 = vec![c("MPI_Init", 1)];
+        let t2 = vec![c("MPI_Send", 5)];
+        let p2: Vec<CallSite> = vec![];
+        let report = classification_report(
+            [(t1.as_slice(), p1.as_slice()), (t2.as_slice(), p2.as_slice())],
+            1,
+            &CC,
+        );
+        assert_eq!(report.m_counts, Counts { tp: 1, fp: 0, fn_: 1 });
+        assert!((report.m.recall - 0.5).abs() < 1e-12);
+        assert_eq!(report.m.precision, 1.0);
+    }
+
+    #[test]
+    fn tolerance_flows_through() {
+        let truth = vec![c("MPI_Reduce", 10)];
+        let pred = vec![c("MPI_Reduce", 12)];
+        let r1 = classification_report([(truth.as_slice(), pred.as_slice())], 1, &CC);
+        let r2 = classification_report([(truth.as_slice(), pred.as_slice())], 2, &CC);
+        assert_eq!(r1.m_counts.tp, 0);
+        assert_eq!(r2.m_counts.tp, 1);
+    }
+}

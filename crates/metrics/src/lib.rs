@@ -1,0 +1,223 @@
+//! # mpirical-metrics
+//!
+//! Every metric the paper reports, implemented to its definitions:
+//!
+//! * **Classification with ±1-line tolerance** (paper §VI-A, Figure 6):
+//!   [`align`] pairs predicted `(MPI function, line)` sites with ground
+//!   truth per function name using a two-pointer window match;
+//!   [`classification_report`] turns pooled TP/FP/FN into the Table II
+//!   `M-*` (all functions) and `MCC-*` (Common Core) precision/recall/F1.
+//! * **Translation metrics** of Table II: [`corpus_bleu`] (BLEU-4, add-one
+//!   smoothed, brevity penalty), [`corpus_rouge_l`] (LCS F-measure) and
+//!   [`corpus_meteor`] (exact-match METEOR with fragmentation penalty).
+//! * **ACC** — exact sequence match: [`exact_match_accuracy`].
+//!
+//! The tolerance is a parameter everywhere, which powers the
+//! tolerance-sweep ablation (`repro ablation-tolerance`).
+
+pub mod alignment;
+pub mod bleu;
+pub mod classification;
+pub mod meteor;
+pub mod rouge;
+
+pub use alignment::{align, align_counts, Alignment, CallSite, Counts};
+pub use bleu::{corpus_bleu, sentence_bleu};
+pub use classification::{classification_report, classify_program, ClassificationReport, Prf};
+pub use meteor::{corpus_meteor, meteor};
+pub use rouge::{corpus_rouge_l, lcs_len, rouge_l};
+
+/// Exact-match accuracy over `(reference, candidate)` token sequences —
+/// Table II's `ACC` row.
+pub fn exact_match_accuracy(pairs: &[(Vec<String>, Vec<String>)]) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    let hits = pairs.iter().filter(|(r, c)| r == c).count();
+    hits as f64 / pairs.len() as f64
+}
+
+/// The full Table II row set computed in one pass.
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+pub struct TableTwo {
+    pub m_f1: f64,
+    pub m_precision: f64,
+    pub m_recall: f64,
+    pub mcc_f1: f64,
+    pub mcc_precision: f64,
+    pub mcc_recall: f64,
+    pub bleu: f64,
+    pub meteor: f64,
+    pub rouge_l: f64,
+    pub acc: f64,
+}
+
+/// Inputs for one evaluated example.
+#[derive(Debug, Clone)]
+pub struct EvalExample {
+    pub truth_calls: Vec<CallSite>,
+    pub pred_calls: Vec<CallSite>,
+    pub truth_tokens: Vec<String>,
+    pub pred_tokens: Vec<String>,
+}
+
+/// Compute every Table II metric over a set of evaluated examples.
+pub fn table_two(examples: &[EvalExample], tolerance: u32, common_core: &[&str]) -> TableTwo {
+    let report = classification_report(
+        examples
+            .iter()
+            .map(|e| (e.truth_calls.as_slice(), e.pred_calls.as_slice())),
+        tolerance,
+        common_core,
+    );
+    let pairs: Vec<(Vec<String>, Vec<String>)> = examples
+        .iter()
+        .map(|e| (e.truth_tokens.clone(), e.pred_tokens.clone()))
+        .collect();
+    TableTwo {
+        m_f1: report.m.f1,
+        m_precision: report.m.precision,
+        m_recall: report.m.recall,
+        mcc_f1: report.mcc.f1,
+        mcc_precision: report.mcc.precision,
+        mcc_recall: report.mcc.recall,
+        bleu: corpus_bleu(&pairs),
+        meteor: corpus_meteor(&pairs),
+        rouge_l: corpus_rouge_l(&pairs),
+        acc: exact_match_accuracy(&pairs),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|t| t.to_string()).collect()
+    }
+
+    #[test]
+    fn exact_match_counts() {
+        let pairs = vec![
+            (toks("a b"), toks("a b")),
+            (toks("a b"), toks("a c")),
+            (toks("x"), toks("x")),
+        ];
+        assert!((exact_match_accuracy(&pairs) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(exact_match_accuracy(&[]), 0.0);
+    }
+
+    #[test]
+    fn table_two_perfect_prediction() {
+        let e = EvalExample {
+            truth_calls: vec![CallSite::new("MPI_Init", 3), CallSite::new("MPI_Finalize", 9)],
+            pred_calls: vec![CallSite::new("MPI_Init", 3), CallSite::new("MPI_Finalize", 9)],
+            truth_tokens: toks("MPI_Init ( ) ; MPI_Finalize ( ) ;"),
+            pred_tokens: toks("MPI_Init ( ) ; MPI_Finalize ( ) ;"),
+        };
+        let cc = ["MPI_Init", "MPI_Finalize"];
+        let t = table_two(&[e], 1, &cc);
+        assert_eq!(t.m_f1, 1.0);
+        assert_eq!(t.mcc_f1, 1.0);
+        assert!(t.bleu > 0.99);
+        assert!(t.rouge_l > 0.99);
+        assert_eq!(t.acc, 1.0);
+    }
+
+    #[test]
+    fn table_two_token_metrics_exceed_acc() {
+        // The paper's signature pattern: BLEU/ROUGE high, ACC much lower
+        // (one wrong token kills exact match but barely dents BLEU).
+        let mk = |flip: bool| EvalExample {
+            truth_calls: vec![CallSite::new("MPI_Init", 1)],
+            pred_calls: vec![CallSite::new("MPI_Init", 1)],
+            truth_tokens: toks("MPI_Init ( & argc , & argv ) ; int x = 1 ; return 0 ;"),
+            pred_tokens: if flip {
+                toks("MPI_Init ( & argc , & argv ) ; int x = 2 ; return 0 ;")
+            } else {
+                toks("MPI_Init ( & argc , & argv ) ; int x = 1 ; return 0 ;")
+            },
+        };
+        let examples = vec![mk(true), mk(true), mk(false)];
+        let cc = ["MPI_Init"];
+        let t = table_two(&examples, 1, &cc);
+        assert!((t.acc - 1.0 / 3.0).abs() < 1e-9);
+        assert!(t.bleu > 0.7, "bleu {}", t.bleu);
+        assert!(t.rouge_l > 0.9, "rouge {}", t.rouge_l);
+        assert_eq!(t.m_f1, 1.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_calls() -> impl Strategy<Value = Vec<CallSite>> {
+        proptest::collection::vec(
+            (
+                prop_oneof![
+                    Just("MPI_Init"),
+                    Just("MPI_Send"),
+                    Just("MPI_Recv"),
+                    Just("MPI_Finalize")
+                ],
+                1u32..40,
+            )
+                .prop_map(|(n, l)| CallSite::new(n, l)),
+            0..12,
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// Alignment counts always partition both input lists.
+        #[test]
+        fn alignment_partitions(truth in arb_calls(), pred in arb_calls(), tol in 0u32..3) {
+            let c = align_counts(&truth, &pred, tol);
+            prop_assert_eq!(c.tp + c.fn_, truth.len());
+            prop_assert_eq!(c.tp + c.fp, pred.len());
+        }
+
+        /// Widening the tolerance never reduces TP.
+        #[test]
+        fn tolerance_monotone(truth in arb_calls(), pred in arb_calls()) {
+            let t0 = align_counts(&truth, &pred, 0).tp;
+            let t1 = align_counts(&truth, &pred, 1).tp;
+            let t2 = align_counts(&truth, &pred, 2).tp;
+            prop_assert!(t0 <= t1 && t1 <= t2);
+        }
+
+        /// Self-alignment is perfect.
+        #[test]
+        fn self_alignment_perfect(truth in arb_calls()) {
+            let c = align_counts(&truth, &truth, 0);
+            prop_assert_eq!(c.tp, truth.len());
+            prop_assert_eq!(c.fp, 0);
+            prop_assert_eq!(c.fn_, 0);
+        }
+
+        /// Metric ranges: all scores within [0, 1].
+        #[test]
+        fn scores_bounded(
+            r in proptest::collection::vec("[a-c]{1}", 1..12),
+            c in proptest::collection::vec("[a-c]{1}", 1..12),
+        ) {
+            let pairs = vec![(r, c)];
+            for s in [corpus_bleu(&pairs), corpus_rouge_l(&pairs), corpus_meteor(&pairs), exact_match_accuracy(&pairs)] {
+                prop_assert!((0.0..=1.0).contains(&s), "score {}", s);
+            }
+        }
+
+        /// F1 is symmetric in swapping precision/recall roles (swapping
+        /// truth and pred swaps FP/FN but preserves F1).
+        #[test]
+        fn f1_symmetric_under_swap(truth in arb_calls(), pred in arb_calls()) {
+            let a = Prf::from_counts(align_counts(&truth, &pred, 1));
+            let b = Prf::from_counts(align_counts(&pred, &truth, 1));
+            prop_assert!((a.f1 - b.f1).abs() < 1e-9);
+            prop_assert!((a.precision - b.recall).abs() < 1e-9);
+        }
+    }
+}

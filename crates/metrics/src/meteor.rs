@@ -1,0 +1,152 @@
+//! METEOR (Banerjee & Lavie 2005), exact-match variant: unigram alignment
+//! with a recall-weighted harmonic mean and a fragmentation penalty.
+//! Table II's `Meteor` row. (The original also uses stem/synonym matchers;
+//! code tokens have neither, so exact matching is the faithful reduction.)
+
+use std::collections::HashMap;
+
+/// Greedy in-order unigram alignment between candidate and reference.
+/// Returns matched candidate positions with their reference positions,
+/// chosen left-to-right (which minimizes crossings for the chunk count).
+fn align_unigrams(reference: &[String], candidate: &[String]) -> Vec<(usize, usize)> {
+    // reference token -> queue of available positions
+    let mut avail: HashMap<&str, Vec<usize>> = HashMap::new();
+    for (i, t) in reference.iter().enumerate() {
+        avail.entry(t.as_str()).or_default().push(i);
+    }
+    for positions in avail.values_mut() {
+        positions.reverse(); // pop from the back = earliest first
+    }
+    let mut matches = Vec::new();
+    for (ci, t) in candidate.iter().enumerate() {
+        if let Some(positions) = avail.get_mut(t.as_str()) {
+            if let Some(ri) = positions.pop() {
+                matches.push((ci, ri));
+            }
+        }
+    }
+    matches
+}
+
+/// Number of *chunks*: maximal runs of matches that are contiguous in both
+/// candidate and reference order.
+fn chunk_count(matches: &[(usize, usize)]) -> usize {
+    if matches.is_empty() {
+        return 0;
+    }
+    let mut chunks = 1;
+    for w in matches.windows(2) {
+        let ((c0, r0), (c1, r1)) = (w[0], w[1]);
+        if c1 != c0 + 1 || r1 != r0 + 1 {
+            chunks += 1;
+        }
+    }
+    chunks
+}
+
+/// Sentence METEOR score.
+pub fn meteor(reference: &[String], candidate: &[String]) -> f64 {
+    if reference.is_empty() || candidate.is_empty() {
+        return 0.0;
+    }
+    let matches = align_unigrams(reference, candidate);
+    let m = matches.len() as f64;
+    if m == 0.0 {
+        return 0.0;
+    }
+    let precision = m / candidate.len() as f64;
+    let recall = m / reference.len() as f64;
+    let f_mean = 10.0 * precision * recall / (recall + 9.0 * precision);
+    let chunks = chunk_count(&matches) as f64;
+    let penalty = 0.5 * (chunks / m).powi(3);
+    f_mean * (1.0 - penalty)
+}
+
+/// Mean sentence METEOR over a corpus.
+pub fn corpus_meteor(pairs: &[(Vec<String>, Vec<String>)]) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    pairs.iter().map(|(r, c)| meteor(r, c)).sum::<f64>() / pairs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|t| t.to_string()).collect()
+    }
+
+    #[test]
+    fn identical_scores_high() {
+        let r = toks("int main ( ) { return 0 ; }");
+        let s = meteor(&r, &r);
+        // One chunk, penalty 0.5·(1/9)³ ≈ 0 → near 1.
+        assert!(s > 0.99, "meteor {s}");
+    }
+
+    #[test]
+    fn disjoint_is_zero() {
+        assert_eq!(meteor(&toks("a b c"), &toks("x y z")), 0.0);
+    }
+
+    #[test]
+    fn fragmentation_penalized() {
+        let r = toks("a b c d e f");
+        let contiguous = toks("a b c");
+        let scattered = toks("a x c y e");
+        assert!(
+            meteor(&r, &contiguous) > meteor(&r, &scattered) * 0.9,
+            "contiguous {} vs scattered {}",
+            meteor(&r, &contiguous),
+            meteor(&r, &scattered)
+        );
+        // Scattered matches form 3 chunks vs 1.
+        let m1 = align_unigrams(&r, &contiguous);
+        let m2 = align_unigrams(&r, &scattered);
+        assert_eq!(chunk_count(&m1), 1);
+        assert_eq!(chunk_count(&m2), 3);
+    }
+
+    #[test]
+    fn recall_weighted_over_precision() {
+        let r = toks("a b c d e f g h i j");
+        // High precision, low recall:
+        let short = toks("a b");
+        // Low precision, high recall:
+        let long: Vec<String> = toks("a b c d e f g h i j x x x x x x x x x x");
+        assert!(
+            meteor(&r, &long) > meteor(&r, &short),
+            "METEOR favours recall: {} vs {}",
+            meteor(&r, &long),
+            meteor(&r, &short)
+        );
+    }
+
+    #[test]
+    fn duplicate_tokens_matched_once_each() {
+        let r = toks("a a b");
+        let c = toks("a a a");
+        let matches = align_unigrams(&r, &c);
+        assert_eq!(matches.len(), 2, "only two `a`s exist in the reference");
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(meteor(&[], &toks("a")), 0.0);
+        assert_eq!(meteor(&toks("a"), &[]), 0.0);
+        assert_eq!(corpus_meteor(&[]), 0.0);
+    }
+
+    #[test]
+    fn corpus_is_mean() {
+        let pairs = vec![
+            (toks("a b c"), toks("a b c")),
+            (toks("a b c"), toks("x y z")),
+        ];
+        let s = corpus_meteor(&pairs);
+        let s0 = meteor(&pairs[0].0, &pairs[0].1);
+        assert!((s - s0 / 2.0).abs() < 1e-12);
+    }
+}

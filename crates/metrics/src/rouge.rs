@@ -1,0 +1,111 @@
+//! ROUGE-L (Lin 2004): longest-common-subsequence F-measure, averaged over
+//! the corpus — Table II's `Rouge-l` row.
+
+/// Length of the longest common subsequence (O(n·m) DP, rolling rows).
+pub fn lcs_len(a: &[String], b: &[String]) -> usize {
+    if a.is_empty() || b.is_empty() {
+        return 0;
+    }
+    let mut prev = vec![0usize; b.len() + 1];
+    let mut curr = vec![0usize; b.len() + 1];
+    for x in a {
+        for (j, y) in b.iter().enumerate() {
+            curr[j + 1] = if x == y {
+                prev[j] + 1
+            } else {
+                curr[j].max(prev[j + 1])
+            };
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[b.len()]
+}
+
+/// Sentence-level ROUGE-L F1 (β = 1).
+pub fn rouge_l(reference: &[String], candidate: &[String]) -> f64 {
+    if reference.is_empty() || candidate.is_empty() {
+        return 0.0;
+    }
+    let lcs = lcs_len(reference, candidate) as f64;
+    let recall = lcs / reference.len() as f64;
+    let precision = lcs / candidate.len() as f64;
+    if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    }
+}
+
+/// Mean sentence-level ROUGE-L over a corpus of `(reference, candidate)`.
+pub fn corpus_rouge_l(pairs: &[(Vec<String>, Vec<String>)]) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    pairs
+        .iter()
+        .map(|(r, c)| rouge_l(r, c))
+        .sum::<f64>()
+        / pairs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|t| t.to_string()).collect()
+    }
+
+    #[test]
+    fn lcs_basics() {
+        assert_eq!(lcs_len(&toks("a b c d"), &toks("a c d")), 3);
+        assert_eq!(lcs_len(&toks("a b c"), &toks("x y z")), 0);
+        assert_eq!(lcs_len(&toks("a b c"), &toks("a b c")), 3);
+        assert_eq!(lcs_len(&[], &toks("a")), 0);
+    }
+
+    #[test]
+    fn lcs_is_subsequence_not_substring() {
+        assert_eq!(lcs_len(&toks("a x b y c"), &toks("a b c")), 3);
+    }
+
+    #[test]
+    fn identical_scores_one() {
+        let r = toks("int main ( ) ;");
+        assert!((rouge_l(&r, &r) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deletion_reduces_recall() {
+        let r = toks("a b c d e f");
+        let c = toks("a b c");
+        let score = rouge_l(&r, &c);
+        // precision 1.0, recall 0.5 → F1 = 2/3
+        assert!((score - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn insertion_reduces_precision() {
+        let r = toks("a b c");
+        let c = toks("a x b y c z");
+        let score = rouge_l(&r, &c);
+        // lcs 3, recall 1.0, precision 0.5 → 2/3
+        assert!((score - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn corpus_mean() {
+        let pairs = vec![
+            (toks("a b"), toks("a b")),   // 1.0
+            (toks("a b"), toks("x y")),   // 0.0
+        ];
+        assert!((corpus_rouge_l(&pairs) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(rouge_l(&[], &toks("a")), 0.0);
+        assert_eq!(rouge_l(&toks("a"), &[]), 0.0);
+        assert_eq!(corpus_rouge_l(&[]), 0.0);
+    }
+}

@@ -1,0 +1,210 @@
+//! Byte-pair encoding over code tokens — the subword scheme SPT-Code
+//! inherits from its pre-trained checkpoint. Provided for the tokenization
+//! ablation; the default pipeline uses word-level [`crate::vocab`].
+//!
+//! The trainer operates *within* word-level tokens: each token is split into
+//! characters (with a terminal marker), then the most frequent adjacent pair
+//! is merged repeatedly, exactly like the original BPE algorithm.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A trained BPE merge table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Bpe {
+    /// Ordered merge rules: earlier = higher priority.
+    pub merges: Vec<(String, String)>,
+}
+
+/// Marker appended to the final symbol of each word so merges cannot cross
+/// word boundaries after decoding.
+const END: &str = "</w>";
+
+impl Bpe {
+    /// Train on an iterator of word tokens. `num_merges` bounds the merge
+    /// table size.
+    pub fn train<'a>(words: impl IntoIterator<Item = &'a String>, num_merges: usize) -> Bpe {
+        // word -> frequency
+        let mut word_freq: HashMap<&str, usize> = HashMap::new();
+        for w in words {
+            *word_freq.entry(w.as_str()).or_insert(0) += 1;
+        }
+        // Represent each distinct word as a symbol sequence.
+        let mut table: Vec<(Vec<String>, usize)> = word_freq
+            .into_iter()
+            .map(|(w, f)| {
+                let mut syms: Vec<String> = w.chars().map(|c| c.to_string()).collect();
+                if let Some(last) = syms.last_mut() {
+                    last.push_str(END);
+                }
+                (syms, f)
+            })
+            .collect();
+        // Deterministic order regardless of hash iteration.
+        table.sort_by(|a, b| a.0.cmp(&b.0));
+
+        let mut merges = Vec::with_capacity(num_merges);
+        for _ in 0..num_merges {
+            // Count adjacent pairs.
+            let mut pair_freq: HashMap<(String, String), usize> = HashMap::new();
+            for (syms, f) in &table {
+                for w in syms.windows(2) {
+                    *pair_freq
+                        .entry((w[0].clone(), w[1].clone()))
+                        .or_insert(0) += f;
+                }
+            }
+            // Best pair: max frequency, ties broken lexicographically.
+            let Some((best, best_f)) = pair_freq.into_iter().max_by(|a, b| {
+                a.1.cmp(&b.1)
+                    .then_with(|| b.0.cmp(&a.0)) // lexicographically smaller wins
+            }) else {
+                break;
+            };
+            if best_f < 2 {
+                break;
+            }
+            // Apply the merge everywhere.
+            let merged = format!("{}{}", best.0, best.1);
+            for (syms, _) in table.iter_mut() {
+                let mut i = 0;
+                while i + 1 < syms.len() {
+                    if syms[i] == best.0 && syms[i + 1] == best.1 {
+                        syms[i] = merged.clone();
+                        syms.remove(i + 1);
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            merges.push(best);
+        }
+        Bpe { merges }
+    }
+
+    /// Segment one word into subword units.
+    pub fn segment(&self, word: &str) -> Vec<String> {
+        if word.is_empty() {
+            return vec![];
+        }
+        let mut syms: Vec<String> = word.chars().map(|c| c.to_string()).collect();
+        if let Some(last) = syms.last_mut() {
+            last.push_str(END);
+        }
+        for (a, b) in &self.merges {
+            let merged = format!("{a}{b}");
+            let mut i = 0;
+            while i + 1 < syms.len() {
+                if &syms[i] == a && &syms[i + 1] == b {
+                    syms[i] = merged.clone();
+                    syms.remove(i + 1);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        syms
+    }
+
+    /// Segment a token sequence (each token independently).
+    pub fn segment_all(&self, tokens: &[String]) -> Vec<String> {
+        tokens.iter().flat_map(|t| self.segment(t)).collect()
+    }
+
+    /// Reassemble subword units back into word tokens.
+    pub fn join(units: &[String]) -> Vec<String> {
+        let mut words = Vec::new();
+        let mut current = String::new();
+        for u in units {
+            if let Some(stem) = u.strip_suffix(END) {
+                current.push_str(stem);
+                words.push(std::mem::take(&mut current));
+            } else {
+                current.push_str(u);
+            }
+        }
+        if !current.is_empty() {
+            words.push(current);
+        }
+        words
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus(words: &[&str]) -> Vec<String> {
+        words.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn merges_frequent_pairs_first() {
+        let words = corpus(&["low", "low", "low", "lowest", "newer", "newer"]);
+        let bpe = Bpe::train(words.iter(), 10);
+        assert!(!bpe.merges.is_empty());
+        // "lo" (freq 4) should be merged before anything in "newer" (freq 2).
+        let lo_pos = bpe
+            .merges
+            .iter()
+            .position(|(a, b)| a == "l" && b == "o");
+        assert!(lo_pos.is_some(), "merges: {:?}", bpe.merges);
+    }
+
+    #[test]
+    fn segment_join_roundtrip() {
+        let words = corpus(&["MPI_Send", "MPI_Send", "MPI_Recv", "MPI_Recv", "rank", "rank"]);
+        let bpe = Bpe::train(words.iter(), 30);
+        for w in ["MPI_Send", "MPI_Recv", "rank", "unseen_word"] {
+            let units = bpe.segment(w);
+            let back = Bpe::join(&units);
+            assert_eq!(back, vec![w.to_string()], "units: {units:?}");
+        }
+    }
+
+    #[test]
+    fn segment_all_preserves_word_boundaries() {
+        let words = corpus(&["ab", "ab", "cd", "cd"]);
+        let bpe = Bpe::train(words.iter(), 5);
+        let toks: Vec<String> = corpus(&["ab", "cd", "ab"]);
+        let units = bpe.segment_all(&toks);
+        assert_eq!(Bpe::join(&units), toks);
+    }
+
+    #[test]
+    fn frequent_words_become_single_units() {
+        let mut words = Vec::new();
+        for _ in 0..50 {
+            words.push("rank".to_string());
+        }
+        let bpe = Bpe::train(words.iter(), 10);
+        let units = bpe.segment("rank");
+        assert_eq!(units.len(), 1, "fully merged: {units:?}");
+        assert_eq!(units[0], format!("rank{END}"));
+    }
+
+    #[test]
+    fn empty_and_single_char() {
+        let words = corpus(&["a", "a", "bc"]);
+        let bpe = Bpe::train(words.iter(), 4);
+        assert!(bpe.segment("").is_empty());
+        let one = bpe.segment("a");
+        assert_eq!(Bpe::join(&one), vec!["a".to_string()]);
+    }
+
+    #[test]
+    fn training_deterministic() {
+        let words = corpus(&["alpha", "beta", "alpha", "gamma", "beta", "alpha"]);
+        let a = Bpe::train(words.iter(), 16);
+        let b = Bpe::train(words.iter(), 16);
+        assert_eq!(a.merges, b.merges);
+    }
+
+    #[test]
+    fn subword_count_shrinks_with_merges() {
+        let words: Vec<String> = (0..40).map(|_| "MPI_Comm_rank".to_string()).collect();
+        let none = Bpe { merges: vec![] };
+        let trained = Bpe::train(words.iter(), 40);
+        assert!(trained.segment("MPI_Comm_rank").len() < none.segment("MPI_Comm_rank").len());
+    }
+}

@@ -1,0 +1,159 @@
+//! Model hyperparameters.
+
+use serde::{Deserialize, Serialize};
+
+/// Transformer seq2seq configuration.
+///
+/// The paper fine-tunes SPT-Code (BART-base-like: 6+6 layers, d=768) on a
+/// V100 with 320-token inputs. CPU-scale defaults here keep the same
+/// architecture family at a size that trains in minutes; `paper_shape`
+/// documents the original for reference.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Vocabulary size (set after vocab construction).
+    pub vocab_size: usize,
+    /// Hidden width; must be divisible by `n_heads`.
+    pub d_model: usize,
+    /// Attention heads.
+    pub n_heads: usize,
+    /// Feed-forward inner width.
+    pub d_ff: usize,
+    /// Encoder layers.
+    pub n_enc_layers: usize,
+    /// Decoder layers.
+    pub n_dec_layers: usize,
+    /// Maximum encoder sequence length (code + `<sep>` + X-SBT).
+    pub max_enc_len: usize,
+    /// Maximum decoder sequence length.
+    pub max_dec_len: usize,
+    /// Dropout probability during training.
+    pub dropout: f32,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        ModelConfig {
+            vocab_size: 0,
+            d_model: 64,
+            n_heads: 4,
+            d_ff: 128,
+            n_enc_layers: 2,
+            n_dec_layers: 2,
+            max_enc_len: 192,
+            max_dec_len: 160,
+            dropout: 0.1,
+        }
+    }
+}
+
+impl ModelConfig {
+    /// Tiny configuration for unit tests (sub-second training).
+    pub fn tiny() -> Self {
+        ModelConfig {
+            vocab_size: 0,
+            d_model: 16,
+            n_heads: 2,
+            d_ff: 32,
+            n_enc_layers: 1,
+            n_dec_layers: 1,
+            max_enc_len: 48,
+            max_dec_len: 48,
+            dropout: 0.0,
+        }
+    }
+
+    /// The shape of the paper's SPT-Code checkpoint, for documentation and
+    /// parameter-count comparisons (do not train this on one CPU core).
+    pub fn paper_shape() -> Self {
+        ModelConfig {
+            vocab_size: 50_000,
+            d_model: 768,
+            n_heads: 12,
+            d_ff: 3072,
+            n_enc_layers: 6,
+            n_dec_layers: 6,
+            max_enc_len: 512,
+            max_dec_len: 320,
+            dropout: 0.1,
+        }
+    }
+
+    /// Head width.
+    pub fn d_head(&self) -> usize {
+        self.d_model / self.n_heads
+    }
+
+    /// Validate internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.vocab_size == 0 {
+            return Err("vocab_size must be set".into());
+        }
+        if self.d_model % self.n_heads != 0 {
+            return Err(format!(
+                "d_model {} not divisible by n_heads {}",
+                self.d_model, self.n_heads
+            ));
+        }
+        if self.n_enc_layers == 0 || self.n_dec_layers == 0 {
+            return Err("need at least one layer on each side".into());
+        }
+        if !(0.0..1.0).contains(&self.dropout) {
+            return Err(format!("dropout {} out of [0,1)", self.dropout));
+        }
+        Ok(())
+    }
+
+    /// Approximate trainable parameter count.
+    pub fn approx_params(&self) -> usize {
+        let d = self.d_model;
+        let attn = 4 * (d * d + d);
+        let ff = d * self.d_ff * 2 + self.d_ff + d;
+        let ln = 2 * d;
+        let enc = self.n_enc_layers * (attn + ff + 2 * ln);
+        let dec = self.n_dec_layers * (2 * attn + ff + 3 * ln);
+        let emb = self.vocab_size * d;
+        let out = d * self.vocab_size + self.vocab_size;
+        emb + enc + dec + out + 2 * ln
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid_once_vocab_set() {
+        let mut cfg = ModelConfig::default();
+        assert!(cfg.validate().is_err());
+        cfg.vocab_size = 100;
+        assert!(cfg.validate().is_ok());
+        assert_eq!(cfg.d_head(), 16);
+    }
+
+    #[test]
+    fn invalid_heads_rejected() {
+        let cfg = ModelConfig {
+            vocab_size: 10,
+            d_model: 30,
+            n_heads: 4,
+            ..ModelConfig::tiny()
+        };
+        assert!(cfg.validate().unwrap_err().contains("divisible"));
+    }
+
+    #[test]
+    fn paper_shape_is_larger_than_default() {
+        let mut small = ModelConfig::default();
+        small.vocab_size = 1000;
+        let paper = ModelConfig::paper_shape();
+        assert!(paper.approx_params() > 50 * small.approx_params());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let cfg = ModelConfig::tiny();
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: ModelConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(cfg, back);
+    }
+}

@@ -1,0 +1,245 @@
+//! Word-level vocabulary over code tokens.
+//!
+//! After AST-regeneration standardization the corpus token stream is nearly
+//! closed-vocabulary (keywords, punctuation, a bounded identifier pool,
+//! bounded literals), so word-level tokenization is the default input
+//! representation; [`crate::bpe`] provides subword units for the ablation.
+//!
+//! Reserved specials:
+//! `<pad>`(0) `<sos>`(1) `<eos>`(2) `<unk>`(3) `<sep>`(4) `<nl>`(5).
+//! `<sep>` separates code from X-SBT in the encoder input (paper Fig. 1b);
+//! `<nl>` encodes line breaks so "location = line number" survives
+//! tokenization (paper §III RQ2).
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+pub const PAD: usize = 0;
+pub const SOS: usize = 1;
+pub const EOS: usize = 2;
+pub const UNK: usize = 3;
+pub const SEP: usize = 4;
+pub const NL: usize = 5;
+
+/// The special token spellings, index-aligned with the constants above.
+pub const SPECIALS: [&str; 6] = ["<pad>", "<sos>", "<eos>", "<unk>", "<sep>", "<nl>"];
+
+/// A frozen token ↔ id mapping.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Vocab {
+    tokens: Vec<String>,
+    #[serde(skip)]
+    ids: HashMap<String, usize>,
+}
+
+impl Vocab {
+    /// Build from token sequences: tokens with at least `min_freq`
+    /// occurrences enter the vocabulary, most-frequent first, capped at
+    /// `max_size` (specials always included and not counted against the cap).
+    pub fn build<'a, I, S>(sequences: I, min_freq: usize, max_size: usize) -> Vocab
+    where
+        I: IntoIterator<Item = S>,
+        S: IntoIterator<Item = &'a String>,
+    {
+        let mut freq: HashMap<&str, usize> = HashMap::new();
+        for seq in sequences {
+            for tok in seq {
+                *freq.entry(tok.as_str()).or_insert(0) += 1;
+            }
+        }
+        let mut entries: Vec<(&str, usize)> = freq
+            .into_iter()
+            .filter(|(t, c)| *c >= min_freq && !SPECIALS.contains(t))
+            .collect();
+        // Sort by frequency desc, then lexicographically for determinism.
+        entries.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+        entries.truncate(max_size);
+
+        let mut tokens: Vec<String> = SPECIALS.iter().map(|s| s.to_string()).collect();
+        tokens.extend(entries.into_iter().map(|(t, _)| t.to_string()));
+        let ids = tokens
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.clone(), i))
+            .collect();
+        Vocab { tokens, ids }
+    }
+
+    /// Vocabulary size including specials.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Id for a token (`<unk>` when absent).
+    pub fn id(&self, token: &str) -> usize {
+        self.ids.get(token).copied().unwrap_or(UNK)
+    }
+
+    /// Whether the exact token is known.
+    pub fn contains(&self, token: &str) -> bool {
+        self.ids.contains_key(token)
+    }
+
+    /// Spelling of an id (`<unk>` for out-of-range).
+    pub fn token(&self, id: usize) -> &str {
+        self.tokens.get(id).map(|s| s.as_str()).unwrap_or("<unk>")
+    }
+
+    /// Encode a token sequence.
+    pub fn encode(&self, tokens: &[String]) -> Vec<usize> {
+        tokens.iter().map(|t| self.id(t)).collect()
+    }
+
+    /// Decode ids back to spellings, dropping `<pad>`.
+    pub fn decode(&self, ids: &[usize]) -> Vec<String> {
+        ids.iter()
+            .filter(|&&i| i != PAD)
+            .map(|&i| self.token(i).to_string())
+            .collect()
+    }
+
+    /// Rebuild the hash index after deserialization.
+    pub fn rebuild_index(&mut self) {
+        self.ids = self
+            .tokens
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.clone(), i))
+            .collect();
+    }
+
+    /// Ids of every vocabulary entry naming an MPI function (`MPI_` prefix
+    /// followed by an uppercase letter then lowercase, i.e. functions, not
+    /// constants like `MPI_COMM_WORLD`).
+    pub fn mpi_function_ids(&self) -> Vec<usize> {
+        self.tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| is_mpi_function_name(t))
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// `MPI_Xxx…` function-name shape: prefix + capitalized word (constants are
+/// all-caps: `MPI_COMM_WORLD`, `MPI_DOUBLE`, …).
+pub fn is_mpi_function_name(token: &str) -> bool {
+    match token.strip_prefix("MPI_") {
+        Some(rest) => {
+            let mut chars = rest.chars();
+            matches!(chars.next(), Some(c) if c.is_ascii_uppercase())
+                && rest.chars().any(|c| c.is_ascii_lowercase())
+        }
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seqs(raw: &[&[&str]]) -> Vec<Vec<String>> {
+        raw.iter()
+            .map(|s| s.iter().map(|t| t.to_string()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn specials_have_fixed_ids() {
+        let v = Vocab::build(seqs(&[&["int", "x"]]).iter(), 1, 100);
+        assert_eq!(v.id("<pad>"), PAD);
+        assert_eq!(v.id("<sos>"), SOS);
+        assert_eq!(v.id("<eos>"), EOS);
+        assert_eq!(v.id("<unk>"), UNK);
+        assert_eq!(v.id("<sep>"), SEP);
+        assert_eq!(v.id("<nl>"), NL);
+    }
+
+    #[test]
+    fn frequency_ordering_and_cutoff() {
+        let data = seqs(&[&["a", "a", "a", "b", "b", "c"]]);
+        let v = Vocab::build(data.iter(), 2, 100);
+        assert!(v.contains("a"));
+        assert!(v.contains("b"));
+        assert!(!v.contains("c"), "below min_freq");
+        assert!(v.id("a") < v.id("b"), "more frequent first");
+    }
+
+    #[test]
+    fn max_size_cap() {
+        let data = seqs(&[&["a", "b", "c", "d", "e"]]);
+        let v = Vocab::build(data.iter(), 1, 2);
+        assert_eq!(v.len(), SPECIALS.len() + 2);
+    }
+
+    #[test]
+    fn unknown_maps_to_unk() {
+        let data = seqs(&[&["int"]]);
+        let v = Vocab::build(data.iter(), 1, 10);
+        assert_eq!(v.id("never_seen"), UNK);
+        assert_eq!(v.token(99_999), "<unk>");
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_known_tokens() {
+        let data = seqs(&[&["int", "main", "(", ")", "{", "}", ";"]]);
+        let v = Vocab::build(data.iter(), 1, 100);
+        let toks: Vec<String> = ["int", "main", "(", ")"].iter().map(|s| s.to_string()).collect();
+        let ids = v.encode(&toks);
+        assert_eq!(v.decode(&ids), toks);
+    }
+
+    #[test]
+    fn decode_drops_pad() {
+        let data = seqs(&[&["x"]]);
+        let v = Vocab::build(data.iter(), 1, 10);
+        let decoded = v.decode(&[PAD, v.id("x"), PAD]);
+        assert_eq!(decoded, vec!["x".to_string()]);
+    }
+
+    #[test]
+    fn deterministic_under_hashmap_iteration() {
+        // Ties broken lexicographically → identical vocab across runs.
+        let data = seqs(&[&["z", "y", "x", "w"]]);
+        let a = Vocab::build(data.iter(), 1, 100);
+        let b = Vocab::build(data.iter(), 1, 100);
+        assert_eq!(a.tokens, b.tokens);
+        assert!(a.id("w") < a.id("x"), "lexicographic tie-break");
+    }
+
+    #[test]
+    fn mpi_function_name_shape() {
+        assert!(is_mpi_function_name("MPI_Send"));
+        assert!(is_mpi_function_name("MPI_Comm_rank"));
+        assert!(is_mpi_function_name("MPI_Wtime"));
+        assert!(!is_mpi_function_name("MPI_COMM_WORLD"));
+        assert!(!is_mpi_function_name("MPI_DOUBLE"));
+        assert!(!is_mpi_function_name("printf"));
+        assert!(!is_mpi_function_name("MPI_"));
+    }
+
+    #[test]
+    fn mpi_function_ids_found() {
+        let data = seqs(&[&["MPI_Send", "MPI_COMM_WORLD", "MPI_Recv", "x"]]);
+        let v = Vocab::build(data.iter(), 1, 100);
+        let ids = v.mpi_function_ids();
+        assert_eq!(ids.len(), 2);
+        assert!(ids.contains(&v.id("MPI_Send")));
+        assert!(ids.contains(&v.id("MPI_Recv")));
+    }
+
+    #[test]
+    fn serde_roundtrip_with_index_rebuild() {
+        let data = seqs(&[&["int", "x"]]);
+        let v = Vocab::build(data.iter(), 1, 10);
+        let json = serde_json::to_string(&v).unwrap();
+        let mut back: Vocab = serde_json::from_str(&json).unwrap();
+        back.rebuild_index();
+        assert_eq!(back.id("int"), v.id("int"));
+        assert_eq!(back.len(), v.len());
+    }
+}

@@ -1,0 +1,172 @@
+//! Typed payloads: the simulation's MPI datatypes.
+//!
+//! Messages carry a datatype id so receives can enforce MPI's type-matching
+//! rule; buffers are (de)serialized through [`bytes::Bytes`] with explicit
+//! little-endian layout, so the wire format is platform-independent.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// A type usable as an MPI buffer element.
+pub trait Datatype: Copy + PartialOrd + 'static {
+    /// Stable type name used for mismatch diagnostics (e.g. `MPI_DOUBLE`).
+    const NAME: &'static str;
+    /// Element size in bytes.
+    const SIZE: usize;
+
+    fn write_to(buf: &mut BytesMut, value: Self);
+    fn read_from(bytes: &[u8]) -> Self;
+
+    /// Serialize a slice.
+    fn serialize(values: &[Self]) -> Bytes {
+        let mut buf = BytesMut::with_capacity(values.len() * Self::SIZE);
+        for &v in values {
+            Self::write_to(&mut buf, v);
+        }
+        buf.freeze()
+    }
+
+    /// Deserialize into a vector (length = bytes / SIZE).
+    fn deserialize(bytes: &Bytes) -> Vec<Self> {
+        bytes
+            .chunks_exact(Self::SIZE)
+            .map(Self::read_from)
+            .collect()
+    }
+}
+
+macro_rules! impl_datatype {
+    ($ty:ty, $name:literal, $size:expr, $put:ident, $get:ty) => {
+        impl Datatype for $ty {
+            const NAME: &'static str = $name;
+            const SIZE: usize = $size;
+
+            fn write_to(buf: &mut BytesMut, value: Self) {
+                buf.$put(value);
+            }
+
+            fn read_from(bytes: &[u8]) -> Self {
+                <$ty>::from_le_bytes(bytes.try_into().expect("chunk size"))
+            }
+        }
+    };
+}
+
+impl_datatype!(i32, "MPI_INT", 4, put_i32_le, i32);
+impl_datatype!(i64, "MPI_LONG", 8, put_i64_le, i64);
+impl_datatype!(f32, "MPI_FLOAT", 4, put_f32_le, f32);
+impl_datatype!(f64, "MPI_DOUBLE", 8, put_f64_le, f64);
+
+impl Datatype for u8 {
+    const NAME: &'static str = "MPI_BYTE";
+    const SIZE: usize = 1;
+
+    fn write_to(buf: &mut BytesMut, value: Self) {
+        buf.put_u8(value);
+    }
+
+    fn read_from(bytes: &[u8]) -> Self {
+        bytes[0]
+    }
+}
+
+/// Reduction operators (MPI_Op).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    Sum,
+    Prod,
+    Min,
+    Max,
+}
+
+impl ReduceOp {
+    /// Combine two values; arithmetic for Sum/Prod requires the element
+    /// types below, so it's defined through this helper trait.
+    pub fn combine<T: Reducible>(self, a: T, b: T) -> T {
+        T::reduce(self, a, b)
+    }
+}
+
+/// Elements that support the reduction operators.
+pub trait Reducible: Datatype {
+    fn reduce(op: ReduceOp, a: Self, b: Self) -> Self;
+}
+
+macro_rules! impl_reducible {
+    ($ty:ty) => {
+        impl Reducible for $ty {
+            fn reduce(op: ReduceOp, a: Self, b: Self) -> Self {
+                match op {
+                    ReduceOp::Sum => a + b,
+                    ReduceOp::Prod => a * b,
+                    ReduceOp::Min => {
+                        if b < a {
+                            b
+                        } else {
+                            a
+                        }
+                    }
+                    ReduceOp::Max => {
+                        if b > a {
+                            b
+                        } else {
+                            a
+                        }
+                    }
+                }
+            }
+        }
+    };
+}
+
+impl_reducible!(i32);
+impl_reducible!(i64);
+impl_reducible!(f32);
+impl_reducible!(f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialize_roundtrip_all_types() {
+        let ints = [1i32, -5, i32::MAX];
+        assert_eq!(i32::deserialize(&i32::serialize(&ints)), ints.to_vec());
+        let longs = [7i64, i64::MIN];
+        assert_eq!(i64::deserialize(&i64::serialize(&longs)), longs.to_vec());
+        let floats = [1.5f32, -0.25];
+        assert_eq!(f32::deserialize(&f32::serialize(&floats)), floats.to_vec());
+        let doubles = [std::f64::consts::PI, 1e-300];
+        assert_eq!(f64::deserialize(&f64::serialize(&doubles)), doubles.to_vec());
+        let bytes = [0u8, 255, 17];
+        assert_eq!(u8::deserialize(&u8::serialize(&bytes)), bytes.to_vec());
+    }
+
+    #[test]
+    fn empty_slice() {
+        assert!(f64::deserialize(&f64::serialize(&[])).is_empty());
+    }
+
+    #[test]
+    fn names_match_mpi() {
+        assert_eq!(i32::NAME, "MPI_INT");
+        assert_eq!(f64::NAME, "MPI_DOUBLE");
+        assert_eq!(i64::NAME, "MPI_LONG");
+    }
+
+    #[test]
+    fn reduce_ops() {
+        assert_eq!(ReduceOp::Sum.combine(2i64, 3), 5);
+        assert_eq!(ReduceOp::Prod.combine(4i32, 5), 20);
+        assert_eq!(ReduceOp::Min.combine(2.5f64, -1.0), -1.0);
+        assert_eq!(ReduceOp::Max.combine(2.5f64, -1.0), 2.5);
+    }
+
+    #[test]
+    fn reduce_is_associative_for_sum() {
+        let (a, b, c) = (1i64, 2i64, 3i64);
+        assert_eq!(
+            ReduceOp::Sum.combine(ReduceOp::Sum.combine(a, b), c),
+            ReduceOp::Sum.combine(a, ReduceOp::Sum.combine(b, c))
+        );
+    }
+}

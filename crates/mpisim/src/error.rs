@@ -1,0 +1,103 @@
+//! Error types of the simulated runtime.
+
+use std::fmt;
+
+/// Everything that can go wrong inside a simulated MPI program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A receive (or collective) waited longer than the configured timeout —
+    /// the simulation's stand-in for a hung MPI job.
+    Deadlock { rank: usize, detail: String },
+    /// Receive datatype differs from the sent datatype.
+    TypeMismatch {
+        rank: usize,
+        expected: &'static str,
+        actual: &'static str,
+    },
+    /// Receive buffer smaller than the incoming message (MPI_ERR_TRUNCATE).
+    Truncation {
+        rank: usize,
+        buffer: usize,
+        incoming: usize,
+    },
+    /// Destination/source rank outside the communicator.
+    RankOutOfBounds { rank: usize, requested: isize },
+    /// A rank's closure panicked.
+    RankPanicked { rank: usize, message: String },
+    /// MPI_Abort was called.
+    Aborted { rank: usize, code: i32 },
+}
+
+impl SimError {
+    /// The rank that raised the error.
+    pub fn rank(&self) -> usize {
+        match self {
+            SimError::Deadlock { rank, .. }
+            | SimError::TypeMismatch { rank, .. }
+            | SimError::Truncation { rank, .. }
+            | SimError::RankOutOfBounds { rank, .. }
+            | SimError::RankPanicked { rank, .. }
+            | SimError::Aborted { rank, .. } => *rank,
+        }
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock { rank, detail } => {
+                write!(f, "rank {rank}: deadlock — {detail}")
+            }
+            SimError::TypeMismatch {
+                rank,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "rank {rank}: datatype mismatch (recv {expected}, sent {actual})"
+            ),
+            SimError::Truncation {
+                rank,
+                buffer,
+                incoming,
+            } => write!(
+                f,
+                "rank {rank}: message truncated (buffer {buffer} < incoming {incoming})"
+            ),
+            SimError::RankOutOfBounds { rank, requested } => {
+                write!(f, "rank {rank}: peer rank {requested} out of bounds")
+            }
+            SimError::RankPanicked { rank, message } => {
+                write!(f, "rank {rank} panicked: {message}")
+            }
+            SimError::Aborted { rank, code } => {
+                write!(f, "rank {rank} called MPI_Abort with code {code}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_rank() {
+        let e = SimError::Deadlock {
+            rank: 3,
+            detail: "recv tag 7".into(),
+        };
+        assert_eq!(e.rank(), 3);
+        assert!(e.to_string().contains("deadlock"));
+
+        let t = SimError::Truncation {
+            rank: 1,
+            buffer: 4,
+            incoming: 8,
+        };
+        assert_eq!(t.rank(), 1);
+        assert!(t.to_string().contains("truncated"));
+    }
+}

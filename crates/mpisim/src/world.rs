@@ -1,0 +1,102 @@
+//! World launcher: one OS thread per simulated rank.
+
+use crate::comm::Comm;
+use crate::error::SimError;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Configuration for a simulated world.
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    /// Number of ranks.
+    pub nranks: usize,
+    /// Blocking-receive timeout — the deadlock detector.
+    pub timeout: Duration,
+}
+
+impl WorldConfig {
+    pub fn new(nranks: usize) -> WorldConfig {
+        WorldConfig {
+            nranks,
+            timeout: Duration::from_secs(5),
+        }
+    }
+
+    pub fn with_timeout(mut self, timeout: Duration) -> WorldConfig {
+        self.timeout = timeout;
+        self
+    }
+}
+
+/// Entry point of the simulated runtime.
+pub struct World;
+
+impl World {
+    /// Run `f` on `nranks` ranks with the default 5-second deadlock timeout.
+    /// Returns each rank's result in rank order, or the lowest-rank error.
+    pub fn run<T, F>(nranks: usize, f: F) -> Result<Vec<T>, SimError>
+    where
+        T: Send,
+        F: Fn(&Comm) -> Result<T, SimError> + Send + Sync,
+    {
+        Self::run_with(WorldConfig::new(nranks), f)
+    }
+
+    /// Run with explicit configuration.
+    pub fn run_with<T, F>(cfg: WorldConfig, f: F) -> Result<Vec<T>, SimError>
+    where
+        T: Send,
+        F: Fn(&Comm) -> Result<T, SimError> + Send + Sync,
+    {
+        assert!(cfg.nranks > 0, "world needs at least one rank");
+        let shared = crate::comm::Shared::new(cfg.nranks, cfg.timeout);
+        let mut results: Vec<Option<Result<T, SimError>>> =
+            (0..cfg.nranks).map(|_| None).collect();
+
+        crossbeam::scope(|scope| {
+            for (rank, slot) in results.iter_mut().enumerate() {
+                let shared = Arc::clone(&shared);
+                let f = &f;
+                scope
+                    .builder()
+                    .name(format!("mpisim-rank-{rank}"))
+                    .spawn(move |_| {
+                        let comm = Comm::new(rank, cfg.nranks, shared);
+                        let outcome = std::panic::catch_unwind(
+                            std::panic::AssertUnwindSafe(|| f(&comm)),
+                        );
+                        *slot = Some(match outcome {
+                            Ok(r) => r,
+                            Err(payload) => {
+                                let message = payload
+                                    .downcast_ref::<&str>()
+                                    .map(|s| s.to_string())
+                                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                                    .unwrap_or_else(|| "unknown panic".to_string());
+                                Err(SimError::RankPanicked { rank, message })
+                            }
+                        });
+                    })
+                    .expect("spawn rank thread");
+            }
+        })
+        .expect("rank scope");
+
+        let mut out = Vec::with_capacity(cfg.nranks);
+        let mut first_err: Option<SimError> = None;
+        for r in results.into_iter().flatten() {
+            match r {
+                Ok(v) => out.push(v),
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(out),
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Weight initialization.
+
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Normal-distributed tensor with mean 0 and the given standard deviation
+/// (Box–Muller over the provided RNG, so it is seed-stable).
+pub fn normal(shape: &[usize], std: f32, rng: &mut StdRng) -> Tensor {
+    let n: usize = shape.iter().product();
+    let mut data = Vec::with_capacity(n);
+    while data.len() < n {
+        let u1: f32 = rng.gen_range(1e-7f32..1.0);
+        let u2: f32 = rng.gen_range(0.0f32..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        data.push(r * theta.cos() * std);
+        if data.len() < n {
+            data.push(r * theta.sin() * std);
+        }
+    }
+    Tensor::from_vec(shape, data)
+}
+
+/// Xavier/Glorot uniform: `U(−a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+/// For 2-D shapes fan_in/fan_out are the dims; for 1-D both equal the length.
+pub fn xavier_uniform(shape: &[usize], rng: &mut StdRng) -> Tensor {
+    let (fan_in, fan_out) = match shape {
+        [n] => (*n, *n),
+        [r, c] => (*r, *c),
+        other => {
+            let n: usize = other.iter().product();
+            (n, n)
+        }
+    };
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    let n: usize = shape.iter().product();
+    let data = (0..n).map(|_| rng.gen_range(-a..a)).collect();
+    Tensor::from_vec(shape, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_statistics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = normal(&[10_000], 2.0, &mut rng);
+        let mean = t.mean();
+        let var = t.data.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / 10_000.0;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn xavier_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = xavier_uniform(&[64, 64], &mut rng);
+        let a = (6.0f32 / 128.0).sqrt();
+        assert!(t.data.iter().all(|x| x.abs() <= a));
+        assert!(t.data.iter().any(|x| x.abs() > a * 0.5), "spread out");
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut r1 = StdRng::seed_from_u64(3);
+        let mut r2 = StdRng::seed_from_u64(3);
+        assert_eq!(normal(&[16], 1.0, &mut r1), normal(&[16], 1.0, &mut r2));
+    }
+
+    #[test]
+    fn odd_length_normal() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let t = normal(&[7], 1.0, &mut rng);
+        assert_eq!(t.numel(), 7);
+    }
+}

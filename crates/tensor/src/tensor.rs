@@ -1,0 +1,401 @@
+//! Dense row-major `f32` tensor.
+//!
+//! Shapes are small `Vec<usize>`; data is contiguous. All autograd ops build
+//! on the methods here; the hot path (matmul) lives in [`crate::matmul`].
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense, row-major, contiguous `f32` tensor.
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    pub shape: Vec<usize>,
+    pub data: Vec<f32>,
+}
+
+impl Tensor {
+    /// All-zeros tensor.
+    pub fn zeros(shape: &[usize]) -> Tensor {
+        let numel = shape.iter().product();
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![0.0; numel],
+        }
+    }
+
+    /// All-ones tensor.
+    pub fn ones(shape: &[usize]) -> Tensor {
+        let numel = shape.iter().product();
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![1.0; numel],
+        }
+    }
+
+    /// Filled with a constant.
+    pub fn full(shape: &[usize], value: f32) -> Tensor {
+        let numel = shape.iter().product();
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![value; numel],
+        }
+    }
+
+    /// Build from raw parts; panics if the element count mismatches.
+    pub fn from_vec(shape: &[usize], data: Vec<f32>) -> Tensor {
+        assert_eq!(
+            shape.iter().product::<usize>(),
+            data.len(),
+            "shape {shape:?} incompatible with {} elements",
+            data.len()
+        );
+        Tensor {
+            shape: shape.to_vec(),
+            data,
+        }
+    }
+
+    /// 1-element scalar tensor.
+    pub fn scalar(v: f32) -> Tensor {
+        Tensor {
+            shape: vec![1],
+            data: vec![v],
+        }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn ndim(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Dimension `i` (panics when out of range).
+    #[inline]
+    pub fn dim(&self, i: usize) -> usize {
+        self.shape[i]
+    }
+
+    /// The last dimension.
+    #[inline]
+    pub fn last_dim(&self) -> usize {
+        *self.shape.last().expect("tensor has at least one dim")
+    }
+
+    /// Number of rows when viewed as a 2-D `[rows, last_dim]` matrix.
+    #[inline]
+    pub fn rows_2d(&self) -> usize {
+        self.numel() / self.last_dim()
+    }
+
+    /// The scalar value of a 1-element tensor.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.numel(), 1, "item() on non-scalar {:?}", self.shape);
+        self.data[0]
+    }
+
+    /// 2-D indexing (row-major).
+    #[inline]
+    pub fn at2(&self, r: usize, c: usize) -> f32 {
+        debug_assert_eq!(self.ndim(), 2);
+        self.data[r * self.shape[1] + c]
+    }
+
+    /// Reshape without copying; panics if numel differs.
+    pub fn reshape(&self, shape: &[usize]) -> Tensor {
+        assert_eq!(
+            shape.iter().product::<usize>(),
+            self.numel(),
+            "reshape {:?} -> {shape:?}",
+            self.shape
+        );
+        Tensor {
+            shape: shape.to_vec(),
+            data: self.data.clone(),
+        }
+    }
+
+    /// Elementwise map.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Elementwise zip; shapes must match exactly.
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(self.shape, other.shape, "zip shape mismatch");
+        Tensor {
+            shape: self.shape.clone(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// `self + other`, exact shapes.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a + b)
+    }
+
+    /// `self - other`, exact shapes.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a - b)
+    }
+
+    /// Elementwise product, exact shapes.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a * b)
+    }
+
+    /// Scalar multiply.
+    pub fn scale(&self, s: f32) -> Tensor {
+        self.map(|x| x * s)
+    }
+
+    /// In-place accumulate: `self += other` (exact shapes).
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "add_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// In-place scale.
+    pub fn scale_assign(&mut self, s: f32) {
+        for a in self.data.iter_mut() {
+            *a *= s;
+        }
+    }
+
+    /// Broadcast-add a `[last_dim]` vector over all rows (bias add).
+    pub fn add_row_broadcast(&self, bias: &Tensor) -> Tensor {
+        let d = self.last_dim();
+        assert_eq!(bias.numel(), d, "bias length mismatch");
+        let mut out = self.clone();
+        for row in out.data.chunks_mut(d) {
+            for (x, b) in row.iter_mut().zip(&bias.data) {
+                *x += b;
+            }
+        }
+        out
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements.
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.numel() as f32
+        }
+    }
+
+    /// Max element (−∞ for empty).
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Sum over rows: `[R, C] → [C]`.
+    pub fn sum_rows(&self) -> Tensor {
+        let d = self.last_dim();
+        let mut out = vec![0.0f32; d];
+        for row in self.data.chunks(d) {
+            for (o, x) in out.iter_mut().zip(row) {
+                *o += x;
+            }
+        }
+        Tensor::from_vec(&[d], out)
+    }
+
+    /// Transpose a 2-D tensor.
+    pub fn transpose2(&self) -> Tensor {
+        assert_eq!(self.ndim(), 2, "transpose2 needs 2-D, got {:?}", self.shape);
+        let (r, c) = (self.shape[0], self.shape[1]);
+        let mut out = vec![0.0f32; r * c];
+        for i in 0..r {
+            for j in 0..c {
+                out[j * r + i] = self.data[i * c + j];
+            }
+        }
+        Tensor::from_vec(&[c, r], out)
+    }
+
+    /// Squared L2 norm.
+    pub fn norm_sq(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum()
+    }
+
+    /// True if every element is finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
+    /// Row-wise softmax over the last dimension, numerically stabilized.
+    pub fn softmax_lastdim(&self) -> Tensor {
+        let d = self.last_dim();
+        let mut out = self.clone();
+        for row in out.data.chunks_mut(d) {
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut z = 0.0f32;
+            for x in row.iter_mut() {
+                *x = (*x - m).exp();
+                z += *x;
+            }
+            let inv = 1.0 / z.max(1e-30);
+            for x in row.iter_mut() {
+                *x *= inv;
+            }
+        }
+        out
+    }
+
+    /// Argmax per row: `[R, C] → Vec<usize>` of length R.
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        let d = self.last_dim();
+        self.data
+            .chunks(d)
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{:?}", self.shape)?;
+        if self.numel() <= 8 {
+            write!(f, " {:?}", self.data)
+        } else {
+            write!(
+                f,
+                " [{:.4}, {:.4}, … ({} elems)]",
+                self.data[0],
+                self.data[1],
+                self.numel()
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_shape() {
+        let t = Tensor::zeros(&[2, 3]);
+        assert_eq!(t.numel(), 6);
+        assert_eq!(t.ndim(), 2);
+        assert_eq!(t.dim(1), 3);
+        assert_eq!(t.last_dim(), 3);
+        assert_eq!(t.rows_2d(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible")]
+    fn from_vec_checks_shape() {
+        Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Tensor::from_vec(&[2, 2], vec![10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(a.add(&b).data, vec![11.0, 22.0, 33.0, 44.0]);
+        assert_eq!(b.sub(&a).data, vec![9.0, 18.0, 27.0, 36.0]);
+        assert_eq!(a.mul(&b).data, vec![10.0, 40.0, 90.0, 160.0]);
+        assert_eq!(a.scale(2.0).data, vec![2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn broadcast_bias() {
+        let x = Tensor::from_vec(&[2, 3], vec![0.0; 6]);
+        let b = Tensor::from_vec(&[3], vec![1.0, 2.0, 3.0]);
+        let y = x.add_row_broadcast(&b);
+        assert_eq!(y.data, vec![1.0, 2.0, 3.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let a = Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(a.sum(), 10.0);
+        assert_eq!(a.mean(), 2.5);
+        assert_eq!(a.max(), 4.0);
+        assert_eq!(a.sum_rows().data, vec![4.0, 6.0]);
+        assert_eq!(a.norm_sq(), 30.0);
+    }
+
+    #[test]
+    fn transpose() {
+        let a = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let t = a.transpose2();
+        assert_eq!(t.shape, vec![3, 2]);
+        assert_eq!(t.data, vec![1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+        assert_eq!(t.transpose2(), a, "double transpose is identity");
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let a = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]);
+        let s = a.softmax_lastdim();
+        for row in s.data.chunks(3) {
+            let z: f32 = row.iter().sum();
+            assert!((z - 1.0).abs() < 1e-6);
+            assert!(row.windows(2).all(|w| w[0] < w[1]), "monotone in logits");
+        }
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_logits() {
+        let a = Tensor::from_vec(&[1, 3], vec![1000.0, 1001.0, 1002.0]);
+        let s = a.softmax_lastdim();
+        assert!(s.all_finite());
+        assert!((s.data.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn argmax() {
+        let a = Tensor::from_vec(&[2, 3], vec![0.1, 0.9, 0.0, 5.0, -1.0, 2.0]);
+        assert_eq!(a.argmax_rows(), vec![1, 0]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let a = Tensor::from_vec(&[2, 3], (0..6).map(|x| x as f32).collect());
+        let b = a.reshape(&[3, 2]);
+        assert_eq!(b.shape, vec![3, 2]);
+        assert_eq!(b.data, a.data);
+    }
+
+    #[test]
+    fn item_and_scalar() {
+        assert_eq!(Tensor::scalar(2.5).item(), 2.5);
+    }
+
+    #[test]
+    fn finite_check() {
+        let mut a = Tensor::ones(&[3]);
+        assert!(a.all_finite());
+        a.data[1] = f32::NAN;
+        assert!(!a.all_finite());
+    }
+}

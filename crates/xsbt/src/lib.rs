@@ -1,0 +1,551 @@
+//! # mpirical-xsbt
+//!
+//! Linearized AST representations used as the structural input channel of
+//! MPI-RICAL (paper §IV-A).
+//!
+//! Two traversals are provided:
+//!
+//! * [`sbt`] — the classic *Structure-Based Traversal* of Hu et al. (ICPC
+//!   2018): every AST node `X` contributes `( X … ) X`, leaves included.
+//!   SBT sequences are unambiguous (the tree can be reconstructed) but are
+//!   typically **3× longer than the source code**.
+//! * [`xsbt`] — SPT-Code's *X-SBT*: an XML-like re-encoding that keeps only
+//!   **expression-level nodes and above** (no identifier/literal leaves) and
+//!   writes composite nodes as `<kind> … </kind>` and childless nodes as
+//!   `<kind/>`. The paper reports this cuts sequence length by more than
+//!   half relative to SBT, which this crate's tests assert on generated
+//!   programs.
+//!
+//! Node kind names follow TreeSitter's C grammar (`compound_statement`,
+//! `call_expression`, `pointer_expression`, …) so the sequences look like the
+//! example in the paper's Figure 2.
+
+use mpirical_cparse::{Block, Expr, ForInit, Init, Item, Program, Stmt, UnOp};
+use serde::{Deserialize, Serialize};
+
+/// A linearization token. For SBT these include structural parens and leaf
+/// texts; for X-SBT they are tags like `<call_expression>` / `</…>` / `<…/>`.
+pub type LinToken = String;
+
+/// Which traversal to produce — used by the ablation harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Linearization {
+    Sbt,
+    Xsbt,
+}
+
+// ---------------------------------------------------------------------------
+// Internal generic tree: both traversals are defined over this.
+// ---------------------------------------------------------------------------
+
+/// A lightweight syntax-kind tree extracted from the typed AST.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KindNode {
+    /// TreeSitter-style node kind, e.g. `call_expression`.
+    pub kind: &'static str,
+    /// Leaf payload (identifier text, literal spelling); only set on leaves.
+    pub text: Option<String>,
+    pub children: Vec<KindNode>,
+}
+
+impl KindNode {
+    fn branch(kind: &'static str, children: Vec<KindNode>) -> Self {
+        KindNode {
+            kind,
+            text: None,
+            children,
+        }
+    }
+
+    fn leaf(kind: &'static str, text: impl Into<String>) -> Self {
+        KindNode {
+            kind,
+            text: Some(text.into()),
+            children: Vec::new(),
+        }
+    }
+
+    /// Number of nodes in the subtree (including `self`).
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(KindNode::size).sum::<usize>()
+    }
+}
+
+/// Build the kind tree for a whole program.
+pub fn kind_tree(prog: &Program) -> KindNode {
+    let mut children = Vec::new();
+    for d in &prog.directives {
+        children.push(KindNode::leaf("preproc_directive", d.clone()));
+    }
+    for item in &prog.items {
+        match item {
+            Item::Function(f) => {
+                let mut fc = Vec::new();
+                fc.push(KindNode::leaf("type_identifier", f.return_type.render()));
+                fc.push(KindNode::leaf("identifier", f.name.clone()));
+                for p in &f.params {
+                    fc.push(KindNode::branch(
+                        "parameter_declaration",
+                        vec![
+                            KindNode::leaf("type_identifier", p.type_spec.render()),
+                            KindNode::leaf("identifier", p.name.clone()),
+                        ],
+                    ));
+                }
+                fc.push(block_node(&f.body));
+                children.push(KindNode::branch("function_definition", fc));
+            }
+            Item::Declaration(d) => children.push(decl_node(d)),
+            Item::Error { text, .. } => children.push(KindNode::leaf("ERROR", text.clone())),
+        }
+    }
+    KindNode::branch("translation_unit", children)
+}
+
+fn block_node(b: &Block) -> KindNode {
+    KindNode::branch("compound_statement", b.stmts.iter().map(stmt_node).collect())
+}
+
+fn decl_node(d: &mpirical_cparse::Declaration) -> KindNode {
+    let mut children = vec![KindNode::leaf("type_identifier", d.type_spec.render())];
+    for decl in &d.declarators {
+        let mut dc = vec![KindNode::leaf("identifier", decl.name.clone())];
+        for dim in decl.arrays.iter().flatten() {
+            dc.push(expr_node(dim));
+        }
+        if let Some(init) = &decl.init {
+            dc.push(init_node(init));
+        }
+        children.push(if decl.arrays.is_empty() {
+            KindNode::branch("init_declarator", dc)
+        } else {
+            KindNode::branch("array_declarator", dc)
+        });
+    }
+    KindNode::branch("declaration", children)
+}
+
+fn init_node(i: &Init) -> KindNode {
+    match i {
+        Init::Expr(e) => expr_node(e),
+        Init::List(items) => {
+            KindNode::branch("initializer_list", items.iter().map(init_node).collect())
+        }
+    }
+}
+
+fn stmt_node(s: &Stmt) -> KindNode {
+    match s {
+        Stmt::Decl(d) => decl_node(d),
+        Stmt::Expr { expr, .. } => match expr {
+            Some(e) => KindNode::branch("expression_statement", vec![expr_node(e)]),
+            None => KindNode::branch("expression_statement", vec![]),
+        },
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            let mut children = vec![
+                KindNode::branch("parenthesized_expression", vec![expr_node(cond)]),
+                stmt_node(then_branch),
+            ];
+            if let Some(e) = else_branch {
+                children.push(KindNode::branch("else_clause", vec![stmt_node(e)]));
+            }
+            KindNode::branch("if_statement", children)
+        }
+        Stmt::While { cond, body, .. } => KindNode::branch(
+            "while_statement",
+            vec![
+                KindNode::branch("parenthesized_expression", vec![expr_node(cond)]),
+                stmt_node(body),
+            ],
+        ),
+        Stmt::DoWhile { body, cond, .. } => KindNode::branch(
+            "do_statement",
+            vec![
+                stmt_node(body),
+                KindNode::branch("parenthesized_expression", vec![expr_node(cond)]),
+            ],
+        ),
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+            ..
+        } => {
+            let mut children = Vec::new();
+            match init {
+                ForInit::None => {}
+                ForInit::Decl(d) => children.push(decl_node(d)),
+                ForInit::Expr(e) => children.push(expr_node(e)),
+            }
+            if let Some(c) = cond {
+                children.push(expr_node(c));
+            }
+            if let Some(st) = step {
+                children.push(expr_node(st));
+            }
+            children.push(stmt_node(body));
+            KindNode::branch("for_statement", children)
+        }
+        Stmt::Return { expr, .. } => KindNode::branch(
+            "return_statement",
+            expr.as_ref().map(expr_node).into_iter().collect(),
+        ),
+        Stmt::Break { .. } => KindNode::branch("break_statement", vec![]),
+        Stmt::Continue { .. } => KindNode::branch("continue_statement", vec![]),
+        Stmt::Block(b) => block_node(b),
+        Stmt::Error { text, .. } => KindNode::leaf("ERROR", text.clone()),
+    }
+}
+
+fn expr_node(e: &Expr) -> KindNode {
+    match e {
+        Expr::IntLit(v) => KindNode::leaf("number_literal", v.to_string()),
+        Expr::FloatLit(v) => {
+            KindNode::leaf("number_literal", mpirical_cparse::printer::format_float(*v))
+        }
+        Expr::StrLit(s) => KindNode::leaf("string_literal", s.clone()),
+        Expr::CharLit(c) => KindNode::leaf("char_literal", c.to_string()),
+        Expr::Ident(n) => KindNode::leaf("identifier", n.clone()),
+        Expr::Call { callee, args, .. } => {
+            let mut children = vec![KindNode::leaf("identifier", callee.clone())];
+            if !args.is_empty() {
+                children.push(KindNode::branch(
+                    "argument_list",
+                    args.iter().map(expr_node).collect(),
+                ));
+            }
+            KindNode::branch("call_expression", children)
+        }
+        Expr::Binary { lhs, rhs, .. } => {
+            KindNode::branch("binary_expression", vec![expr_node(lhs), expr_node(rhs)])
+        }
+        Expr::Unary { op, operand } => {
+            // TreeSitter calls `*p`/`&x` pointer_expression, `++`/`--`
+            // update_expression, the rest unary_expression.
+            let kind = match op {
+                UnOp::Deref | UnOp::AddrOf => "pointer_expression",
+                UnOp::PreInc | UnOp::PreDec | UnOp::PostInc | UnOp::PostDec => {
+                    "update_expression"
+                }
+                _ => "unary_expression",
+            };
+            KindNode::branch(kind, vec![expr_node(operand)])
+        }
+        Expr::Assign { lhs, rhs, .. } => {
+            KindNode::branch("assignment_expression", vec![expr_node(lhs), expr_node(rhs)])
+        }
+        Expr::Index { base, index } => {
+            KindNode::branch("subscript_expression", vec![expr_node(base), expr_node(index)])
+        }
+        Expr::Member { base, field, .. } => KindNode::branch(
+            "field_expression",
+            vec![expr_node(base), KindNode::leaf("field_identifier", field.clone())],
+        ),
+        Expr::Cast { ty, operand, .. } => KindNode::branch(
+            "cast_expression",
+            vec![KindNode::leaf("type_descriptor", ty.render()), expr_node(operand)],
+        ),
+        Expr::Ternary {
+            cond,
+            then_expr,
+            else_expr,
+        } => KindNode::branch(
+            "conditional_expression",
+            vec![expr_node(cond), expr_node(then_expr), expr_node(else_expr)],
+        ),
+        Expr::SizeofType { ty, .. } => KindNode::branch(
+            "sizeof_expression",
+            vec![KindNode::leaf("type_descriptor", ty.render())],
+        ),
+        Expr::Comma { lhs, rhs } => {
+            KindNode::branch("comma_expression", vec![expr_node(lhs), expr_node(rhs)])
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SBT
+// ---------------------------------------------------------------------------
+
+/// Classic Structure-Based Traversal: `( X child… ) X` per node, with leaf
+/// text attached as `kind=text`.
+pub fn sbt(prog: &Program) -> Vec<LinToken> {
+    let tree = kind_tree(prog);
+    let mut out = Vec::with_capacity(tree.size() * 3);
+    sbt_node(&tree, &mut out);
+    out
+}
+
+fn sbt_node(n: &KindNode, out: &mut Vec<LinToken>) {
+    out.push("(".to_string());
+    match &n.text {
+        Some(t) => out.push(format!("{}={}", n.kind, t)),
+        None => out.push(n.kind.to_string()),
+    }
+    for c in &n.children {
+        sbt_node(c, out);
+    }
+    out.push(")".to_string());
+    out.push(n.kind.to_string());
+}
+
+// ---------------------------------------------------------------------------
+// X-SBT
+// ---------------------------------------------------------------------------
+
+/// Kinds below the expression level: excluded from X-SBT entirely.
+fn is_sub_expression_leaf(kind: &str) -> bool {
+    matches!(
+        kind,
+        "identifier"
+            | "field_identifier"
+            | "type_identifier"
+            | "type_descriptor"
+            | "number_literal"
+            | "string_literal"
+            | "char_literal"
+            | "preproc_directive"
+    )
+}
+
+/// SPT-Code's X-SBT: XML-like tags for expression-level-and-above nodes only.
+pub fn xsbt(prog: &Program) -> Vec<LinToken> {
+    let tree = kind_tree(prog);
+    let mut out = Vec::with_capacity(tree.size());
+    for child in &tree.children {
+        // The translation_unit wrapper itself is omitted, matching the
+        // paper's Figure 2 which starts directly at parameter_declaration.
+        xsbt_node(child, &mut out);
+    }
+    out
+}
+
+fn xsbt_node(n: &KindNode, out: &mut Vec<LinToken>) {
+    if is_sub_expression_leaf(n.kind) {
+        return;
+    }
+    let kept_children: Vec<&KindNode> = n
+        .children
+        .iter()
+        .filter(|c| !is_sub_expression_leaf(c.kind))
+        .collect();
+    if kept_children.is_empty() {
+        out.push(format!("<{}/>", n.kind));
+    } else {
+        out.push(format!("<{}>", n.kind));
+        for c in kept_children {
+            xsbt_node(c, out);
+        }
+        out.push(format!("</{}>", n.kind));
+    }
+}
+
+/// Space-joined convenience forms.
+pub fn sbt_string(prog: &Program) -> String {
+    sbt(prog).join(" ")
+}
+
+pub fn xsbt_string(prog: &Program) -> String {
+    xsbt(prog).join(" ")
+}
+
+/// Linearize with the requested traversal.
+pub fn linearize(prog: &Program, which: Linearization) -> Vec<LinToken> {
+    match which {
+        Linearization::Sbt => sbt(prog),
+        Linearization::Xsbt => xsbt(prog),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpirical_cparse::parse_strict;
+
+    const SRC: &str = r#"#include <mpi.h>
+int main(int argc, char **argv) {
+    int rank;
+    MPI_Init(&argc, &argv);
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    while (rank < 4) {
+        rank = rank + 1;
+    }
+    MPI_Finalize();
+    return 0;
+}
+"#;
+
+    #[test]
+    fn xsbt_contains_expected_tags() {
+        let prog = parse_strict(SRC).unwrap();
+        let seq = xsbt_string(&prog);
+        for tag in [
+            "<function_definition>",
+            "<parameter_declaration/>",
+            "<compound_statement>",
+            "<expression_statement>",
+            "<call_expression>",
+            "<argument_list>",
+            "<pointer_expression/>",
+            "<while_statement>",
+            "<parenthesized_expression>",
+            "<binary_expression/>",
+            "<assignment_expression>",
+            "<return_statement/>",
+            "</compound_statement>",
+        ] {
+            assert!(seq.contains(tag), "missing {tag} in: {seq}");
+        }
+    }
+
+    #[test]
+    fn xsbt_excludes_identifiers_and_literals() {
+        let prog = parse_strict(SRC).unwrap();
+        let seq = xsbt_string(&prog);
+        assert!(!seq.contains("rank"), "identifiers must not leak: {seq}");
+        assert!(!seq.contains("MPI_Init"), "callee names must not leak: {seq}");
+        assert!(!seq.contains("<identifier"));
+        assert!(!seq.contains("number_literal"));
+    }
+
+    #[test]
+    fn sbt_is_reconstructible_bracketing() {
+        let prog = parse_strict(SRC).unwrap();
+        let seq = sbt(&prog);
+        // Balanced: every `(` has a matching `)` + kind echo.
+        let opens = seq.iter().filter(|t| *t == "(").count();
+        let closes = seq.iter().filter(|t| *t == ")").count();
+        assert_eq!(opens, closes);
+        assert!(opens > 10);
+        // SBT carries leaf text.
+        assert!(seq.iter().any(|t| t.contains("identifier=rank")));
+    }
+
+    #[test]
+    fn xsbt_at_most_half_of_sbt() {
+        // The SPT-Code paper's motivation: X-SBT cuts sequence length by
+        // more than half vs SBT.
+        let prog = parse_strict(SRC).unwrap();
+        assert!(xsbt(&prog).len() * 2 < sbt(&prog).len());
+    }
+
+    #[test]
+    fn xsbt_tags_balanced() {
+        let prog = parse_strict(SRC).unwrap();
+        let mut depth = 0i64;
+        for t in xsbt(&prog) {
+            if t.ends_with("/>") {
+                continue;
+            } else if t.starts_with("</") {
+                depth -= 1;
+                assert!(depth >= 0, "unbalanced close");
+            } else {
+                depth += 1;
+            }
+        }
+        assert_eq!(depth, 0);
+    }
+
+    #[test]
+    fn empty_program() {
+        let prog = parse_strict("int main() { return 0; }").unwrap();
+        let seq = xsbt(&prog);
+        assert!(seq.len() >= 4); // function_definition, compound, return, closes
+    }
+
+    #[test]
+    fn xsbt_is_deterministic() {
+        let prog = parse_strict(SRC).unwrap();
+        assert_eq!(xsbt(&prog), xsbt(&prog));
+    }
+
+    #[test]
+    fn removal_changes_xsbt() {
+        // Removing an MPI call changes the structural sequence — the signal
+        // the model learns from.
+        let with_mpi = parse_strict("int main() { MPI_Init(0, 0); return 0; }").unwrap();
+        let without = parse_strict("int main() { return 0; }").unwrap();
+        assert_ne!(xsbt(&with_mpi), xsbt(&without));
+    }
+
+    #[test]
+    fn kind_tree_size_counts_nodes() {
+        let prog = parse_strict("int main() { return 0; }").unwrap();
+        let t = kind_tree(&prog);
+        // translation_unit + function_definition + type + name +
+        // compound_statement + return_statement + number_literal = 7
+        assert_eq!(t.size(), 7);
+    }
+
+    #[test]
+    fn linearize_dispatch() {
+        let prog = parse_strict("int main() { return 0; }").unwrap();
+        assert_eq!(linearize(&prog, Linearization::Sbt), sbt(&prog));
+        assert_eq!(linearize(&prog, Linearization::Xsbt), xsbt(&prog));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use mpirical_cparse::{parse_strict, parse_tolerant};
+    use proptest::prelude::*;
+
+    fn gen_program(n_stmts: usize, with_mpi: bool, nest: bool) -> String {
+        let mut body = String::new();
+        for i in 0..n_stmts {
+            body.push_str(&format!("int v{i} = {i} * 2;\n"));
+        }
+        if with_mpi {
+            body.push_str("MPI_Init(&argc, &argv);\nMPI_Finalize();\n");
+        }
+        if nest {
+            body.push_str("for (int i = 0; i < 4; i++) { if (i > 1) { v0 += i; } }\n");
+        }
+        body.push_str("return 0;\n");
+        format!("int main(int argc, char **argv) {{\n{body}}}\n")
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// X-SBT never leaks identifier text and is always balanced.
+        #[test]
+        fn xsbt_invariants(n in 0usize..8, mpi in any::<bool>(), nest in any::<bool>()) {
+            let src = gen_program(n, mpi, nest);
+            let prog = parse_strict(&src).unwrap();
+            let seq = xsbt(&prog);
+            let mut depth = 0i64;
+            for t in &seq {
+                prop_assert!(t.starts_with('<') && t.ends_with('>'));
+                if t.ends_with("/>") { continue; }
+                if t.starts_with("</") { depth -= 1; } else { depth += 1; }
+                prop_assert!(depth >= 0);
+            }
+            prop_assert_eq!(depth, 0);
+            prop_assert!(!seq.iter().any(|t| t.contains("v0")));
+        }
+
+        /// SBT is strictly longer than X-SBT for nonempty programs.
+        #[test]
+        fn sbt_longer_than_xsbt(n in 1usize..8) {
+            let src = gen_program(n, true, true);
+            let prog = parse_strict(&src).unwrap();
+            prop_assert!(sbt(&prog).len() > xsbt(&prog).len());
+        }
+
+        /// Linearization is total on tolerant parses of arbitrary fragments.
+        #[test]
+        fn total_on_tolerant_output(src in "[a-z(){};=+0-9 ]{0,80}") {
+            let out = parse_tolerant(&src);
+            let _ = xsbt(&out.program);
+            let _ = sbt(&out.program);
+        }
+    }
+}

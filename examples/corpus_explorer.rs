@@ -1,0 +1,68 @@
+//! Explore the synthetic MPICodeCorpus: generate programs, print the paper's
+//! corpus statistics (Tables Ia/Ib, Figure 3), and show one example's
+//! journey through the Figure-4 pipeline (standardize → remove → X-SBT).
+//!
+//! ```text
+//! cargo run --release --example corpus_explorer [n_programs]
+//! ```
+
+use mpirical::{histogram, table};
+use mpirical_corpus::{generate_dataset, CorpusConfig};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(500);
+    let ccfg = CorpusConfig {
+        programs: n,
+        seed: 1234,
+        max_tokens: 320,
+        threads: 0,
+    };
+    let (corpus, dataset, report) = generate_dataset(&ccfg);
+    let stats = corpus.stats();
+
+    println!("== corpus of {} programs ==", corpus.len());
+    let rows = vec![
+        vec!["<= 10".to_string(), stats.lengths.le_10.to_string()],
+        vec!["11-50".to_string(), stats.lengths.from_11_to_50.to_string()],
+        vec!["51-99".to_string(), stats.lengths.from_51_to_99.to_string()],
+        vec![">= 100".to_string(), stats.lengths.ge_100.to_string()],
+    ];
+    print!("{}", table(&["# Line", "Amount"], &rows));
+
+    println!("\n== MPI Common Core (per-file) ==");
+    let rows: Vec<Vec<String>> = stats
+        .common_core_rows()
+        .into_iter()
+        .map(|(f, c)| vec![f.to_string(), c.to_string()])
+        .collect();
+    print!("{}", table(&["Function", "Amount"], &rows));
+
+    println!("\n== Init..Finalize span ratio ==");
+    let labels: Vec<String> = (0..10)
+        .map(|i| format!("{:.1}-{:.1}", i as f64 / 10.0, (i + 1) as f64 / 10.0))
+        .collect();
+    print!("{}", histogram(&stats.init_finalize_ratio_hist, &labels, 40));
+
+    println!(
+        "\npipeline: {} raw → {} records ({} token-excluded, {} unparsed)",
+        report.raw_programs, report.dataset_records, report.token_exclusions, report.parse_failures
+    );
+
+    if let Some(r) = dataset.records.first() {
+        println!("\n== record {} (schema {}) ==", r.id, r.schema);
+        println!("--- label (standardized original) ---");
+        println!("{}", r.label_code);
+        println!("--- input (MPI removed) ---");
+        println!("{}", r.input_code);
+        println!("--- labelled MPI calls ---");
+        for c in &r.mpi_calls {
+            println!("  {} @ line {}", c.name, c.line);
+        }
+        println!("--- X-SBT (first 120 chars) ---");
+        let xs: String = r.input_xsbt.chars().take(120).collect();
+        println!("  {xs}…");
+    }
+}

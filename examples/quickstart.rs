@@ -1,0 +1,76 @@
+//! Quickstart: the whole MPI-RICAL pipeline in under a minute.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Generates a small synthetic MPICodeCorpus, runs the paper's Figure-4
+//! dataset pipeline, trains a miniature assistant for one epoch, and asks it
+//! to suggest MPI calls for a serial program.
+
+use mpirical::{MpiRical, MpiRicalConfig};
+use mpirical_corpus::{generate_dataset, CorpusConfig};
+use mpirical_model::ModelConfig;
+
+fn main() {
+    // 1. Corpus + dataset (paper §V).
+    let ccfg = CorpusConfig {
+        programs: 150,
+        seed: 7,
+        max_tokens: 320,
+        threads: 0,
+    };
+    let (corpus, dataset, report) = generate_dataset(&ccfg);
+    println!(
+        "corpus: {} programs → dataset: {} records ({} dropped by the 320-token gate)",
+        corpus.len(),
+        dataset.len(),
+        report.token_exclusions
+    );
+    let splits = dataset.split(42);
+
+    // 2. Train a miniature assistant (paper §IV/§VI — scaled down to run in
+    //    seconds; see `repro fig5` for the real configuration).
+    let mut cfg = MpiRicalConfig::default();
+    cfg.model = ModelConfig {
+        vocab_size: 0,
+        d_model: 32,
+        n_heads: 2,
+        d_ff: 64,
+        n_enc_layers: 1,
+        n_dec_layers: 1,
+        max_enc_len: 256,
+        max_dec_len: 232,
+        dropout: 0.0,
+    };
+    cfg.train.epochs = 2;
+    cfg.train.batch_size = 8;
+    cfg.vocab_min_freq = 1;
+    let (assistant, _) = MpiRical::train(&splits.train, &splits.val, &cfg, |e| {
+        println!(
+            "epoch {}: train loss {:.3}, val loss {:.3}",
+            e.epoch, e.train_loss, e.val_loss
+        );
+    });
+
+    // 3. Ask for suggestions on a serial program (paper Fig. 2).
+    let serial = r#"int main(int argc, char **argv) {
+    int rank, size, i;
+    double local = 0.0, total = 0.0;
+    for (i = rank; i < 1000; i += size) {
+        local += i * 0.5;
+    }
+    if (rank == 0) {
+        printf("total = %f\n", total);
+    }
+    return 0;
+}"#;
+    println!("\nsuggestions for the serial program:");
+    let suggestions = assistant.suggest(serial);
+    if suggestions.is_empty() {
+        println!("  (none — the quickstart model is tiny; run `repro table2` for a trained one)");
+    }
+    for s in &suggestions {
+        println!("  insert {} at line {}", s.function, s.line);
+    }
+}

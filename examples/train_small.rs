@@ -1,0 +1,86 @@
+//! Train a small-but-real MPI-RICAL assistant and save the artifact — the
+//! longer-running companion to `quickstart` (≈10–20 minutes on one core).
+//!
+//! ```text
+//! cargo run --release --example train_small [out.json]
+//! ```
+//!
+//! Prints the Figure-5 curves while training and a Table-II evaluation of
+//! the held-out test split at the end.
+
+use mpirical::{evaluate_dataset, render_table_two, MpiRical, MpiRicalConfig};
+use mpirical_corpus::{generate_dataset, CorpusConfig};
+use mpirical_model::{ModelConfig, TrainConfig};
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "target/mpirical-small.json".to_string());
+
+    let ccfg = CorpusConfig {
+        programs: 2_000,
+        seed: 0xC0FFEE,
+        max_tokens: 320,
+        threads: 0,
+    };
+    eprintln!("generating corpus ({} programs)…", ccfg.programs);
+    let (_, dataset, report) = generate_dataset(&ccfg);
+    eprintln!(
+        "dataset: {} records ({} token-excluded)",
+        dataset.len(),
+        report.token_exclusions
+    );
+    let splits = dataset.split(0xC0FFEE);
+
+    let mut cfg = MpiRicalConfig::default();
+    cfg.model = ModelConfig {
+        vocab_size: 0,
+        d_model: 64,
+        n_heads: 4,
+        d_ff: 128,
+        n_enc_layers: 2,
+        n_dec_layers: 2,
+        max_enc_len: 256,
+        max_dec_len: 232,
+        dropout: 0.0,
+    };
+    cfg.train = TrainConfig {
+        epochs: 5,
+        batch_size: 16,
+        lr: 6e-4,
+        warmup_steps: 60,
+        weight_decay: 0.01,
+        grad_clip: 1.0,
+        threads: 0,
+        seed: 0xC0FFEE,
+        validate: true,
+    };
+
+    let t0 = std::time::Instant::now();
+    let (assistant, train_report) = MpiRical::train(&splits.train, &splits.val, &cfg, |e| {
+        eprintln!(
+            "epoch {}: train {:.4} | val {:.4} | seq-acc {:.3} | tok-acc {:.3} ({:.0}s)",
+            e.epoch,
+            e.train_loss,
+            e.val_loss,
+            e.val_seq_acc,
+            e.val_tok_acc,
+            t0.elapsed().as_secs_f64()
+        );
+    });
+    eprintln!(
+        "trained {} steps in {:.0}s",
+        train_report.steps,
+        t0.elapsed().as_secs_f64()
+    );
+
+    assistant.save(&out_path).expect("artifact saves");
+    eprintln!("saved to {out_path}");
+
+    let (eval, _) = evaluate_dataset(&assistant, &splits.test);
+    println!(
+        "\nTable II on the test split ({} evaluated / {} skipped):",
+        eval.evaluated, eval.skipped
+    );
+    print!("{}", render_table_two(&eval.table));
+}

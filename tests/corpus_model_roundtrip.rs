@@ -1,0 +1,100 @@
+//! Integration: corpus records survive the tokenize → vocab → encode →
+//! decode roundtrip losslessly, and call-site extraction agrees between the
+//! AST view (labels) and the token view (predictions).
+
+use mpirical::{build_vocab, calls_from_tokens, detokenize, encode_record, tokenize_code, InputFormat};
+use mpirical_corpus::{generate_dataset, CorpusConfig};
+use mpirical_model::ModelConfig;
+
+fn dataset() -> mpirical_corpus::Dataset {
+    let (_, ds, _) = generate_dataset(&CorpusConfig {
+        programs: 100,
+        seed: 555,
+        max_tokens: 320,
+        threads: 0,
+    });
+    assert!(ds.len() > 20);
+    ds
+}
+
+#[test]
+fn label_tokens_roundtrip_through_vocab() {
+    let ds = dataset();
+    let vocab = build_vocab(&ds, 1, 100_000);
+    let mut cfg = ModelConfig::tiny();
+    cfg.max_enc_len = 4096;
+    cfg.max_dec_len = 4096;
+    for r in ds.records.iter().take(30) {
+        let ex = encode_record(r, &vocab, &cfg, InputFormat::CodeXsbt).unwrap();
+        let decoded = vocab.decode(&ex.tgt[1..]);
+        assert_eq!(
+            decoded,
+            tokenize_code(&r.label_code),
+            "record {} lost tokens through the vocab",
+            r.id
+        );
+    }
+}
+
+#[test]
+fn ast_and_token_call_extraction_agree() {
+    let ds = dataset();
+    for r in ds.records.iter().take(40) {
+        let token_calls = calls_from_tokens(&tokenize_code(&r.label_code));
+        assert_eq!(
+            token_calls.len(),
+            r.mpi_calls.len(),
+            "record {}: {} vs {:?}",
+            r.id,
+            token_calls.len(),
+            r.mpi_calls
+        );
+        for (t, a) in token_calls.iter().zip(&r.mpi_calls) {
+            assert_eq!(t.name, a.name, "record {}", r.id);
+            assert_eq!(t.line, a.line, "record {} call {}", r.id, a.name);
+        }
+    }
+}
+
+#[test]
+fn detokenized_labels_reparse_and_reextract() {
+    let ds = dataset();
+    for r in ds.records.iter().take(20) {
+        let toks = tokenize_code(&r.label_code);
+        let text = detokenize(&toks);
+        let prog = mpirical_cparse::parse_strict(&text)
+            .unwrap_or_else(|e| panic!("record {} detokenized does not parse: {e}", r.id));
+        let calls = mpirical_corpus::extract_mpi_calls(&prog);
+        assert_eq!(calls.len(), r.mpi_calls.len(), "record {}", r.id);
+        // Names survive; lines may shift only if token spacing changed line
+        // structure, which <nl> markers prevent.
+        for (c, a) in calls.iter().zip(&r.mpi_calls) {
+            assert_eq!(c.name, a.name);
+            assert_eq!(c.line, a.line, "record {} call {}", r.id, c.name);
+        }
+    }
+}
+
+#[test]
+fn dataset_jsonl_roundtrip_at_scale() {
+    let ds = dataset();
+    let text = ds.to_jsonl();
+    let back = mpirical_corpus::Dataset::from_jsonl(&text).unwrap();
+    assert_eq!(ds.records, back.records);
+}
+
+#[test]
+fn split_is_stable_and_disjoint() {
+    let ds = dataset();
+    let s1 = ds.split(42);
+    let s2 = ds.split(42);
+    let ids = |d: &mpirical_corpus::Dataset| -> Vec<u64> {
+        d.records.iter().map(|r| r.id).collect()
+    };
+    assert_eq!(ids(&s1.train), ids(&s2.train));
+    assert_eq!(ids(&s1.test), ids(&s2.test));
+    let train_set: std::collections::HashSet<u64> = ids(&s1.train).into_iter().collect();
+    for id in ids(&s1.test) {
+        assert!(!train_set.contains(&id), "test leaks into train");
+    }
+}

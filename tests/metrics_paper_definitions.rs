@@ -1,0 +1,139 @@
+//! Integration: the metric definitions of paper §VI-A, checked against
+//! hand-constructed scenarios that mirror Figure 6, plus the Table II / III
+//! aggregation paths.
+
+use mpirical_metrics::{
+    align, align_counts, classification_report, corpus_bleu, corpus_meteor, corpus_rouge_l,
+    exact_match_accuracy, table_two, CallSite, Counts, EvalExample, Prf,
+};
+
+const CC: [&str; 8] = [
+    "MPI_Finalize",
+    "MPI_Comm_rank",
+    "MPI_Comm_size",
+    "MPI_Init",
+    "MPI_Recv",
+    "MPI_Send",
+    "MPI_Reduce",
+    "MPI_Bcast",
+];
+
+fn c(name: &str, line: u32) -> CallSite {
+    CallSite::new(name, line)
+}
+
+#[test]
+fn figure6_scenario() {
+    // Ground truth: Init@4, Comm_rank@5, Send@9, Finalize@14.
+    let truth = vec![
+        c("MPI_Init", 4),
+        c("MPI_Comm_rank", 5),
+        c("MPI_Send", 9),
+        c("MPI_Finalize", 14),
+    ];
+    // Prediction: Init@4 (TP), Comm_rank@6 (TP via tolerance),
+    // Recv@9 (FP — wrong function), Finalize missing (FN),
+    // Bcast@11 (FP — hallucinated).
+    let pred = vec![
+        c("MPI_Init", 4),
+        c("MPI_Comm_rank", 6),
+        c("MPI_Recv", 9),
+        c("MPI_Bcast", 11),
+    ];
+    let a = align(&truth, &pred, 1);
+    let counts = a.counts();
+    assert_eq!(counts, Counts { tp: 2, fp: 2, fn_: 2 });
+    let prf = Prf::from_counts(counts);
+    assert!((prf.precision - 0.5).abs() < 1e-12);
+    assert!((prf.recall - 0.5).abs() < 1e-12);
+    assert!((prf.f1 - 0.5).abs() < 1e-12);
+}
+
+#[test]
+fn one_line_tolerance_exact_semantics() {
+    // "identical ground-truth MPI function and its corresponding generated
+    // function will be considered matching only if there is one line
+    // difference between their locations" (§VI-A).
+    let truth = vec![c("MPI_Reduce", 10)];
+    for (line, expect_tp) in [(9u32, 1usize), (10, 1), (11, 1), (8, 0), (12, 0)] {
+        let counts = align_counts(&truth, &[c("MPI_Reduce", line)], 1);
+        assert_eq!(counts.tp, expect_tp, "pred at line {line}");
+    }
+}
+
+#[test]
+fn mcc_vs_m_distinction() {
+    // Errors on non-common-core functions affect M- but not MCC- metrics.
+    let truth = vec![c("MPI_Init", 2), c("MPI_Allgather", 7), c("MPI_Finalize", 9)];
+    let pred = vec![c("MPI_Init", 2), c("MPI_Finalize", 9)]; // missed Allgather
+    let report = classification_report([(truth.as_slice(), pred.as_slice())], 1, &CC);
+    assert_eq!(report.mcc.f1, 1.0, "common core is perfect");
+    assert!(report.m.f1 < 1.0, "overall penalized for the miss");
+    assert!(report.m.recall < report.m.precision, "miss hits recall");
+}
+
+#[test]
+fn table_two_paper_shape_holds_for_plausible_outputs() {
+    // Simulate a good-but-imperfect model over 20 programs: 90% of calls
+    // placed right, occasional wrong token in the body. The Table-II shape
+    // must come out: token metrics ≫ exact match, MCC ≥ M.
+    let mut examples = Vec::new();
+    for i in 0..20u32 {
+        let truth_calls = vec![
+            c("MPI_Init", 3),
+            c("MPI_Comm_rank", 4),
+            c("MPI_Reduce", 9 + (i % 3)),
+            c("MPI_Finalize", 14),
+        ];
+        let mut pred_calls = truth_calls.clone();
+        if i % 5 == 0 {
+            pred_calls.remove(2); // occasionally miss the Reduce
+        }
+        if i % 7 == 0 {
+            pred_calls.push(c("MPI_Allreduce", 9)); // rare hallucination, non-CC
+        }
+        let truth_tokens: Vec<String> = format!(
+            "int main ( ) {{ <nl> MPI_Init ( ) ; <nl> int x{i} = {i} ; <nl> MPI_Finalize ( ) ; <nl> }}"
+        )
+        .split_whitespace()
+        .map(|s| s.to_string())
+        .collect();
+        let mut pred_tokens = truth_tokens.clone();
+        if i % 4 == 0 {
+            let n = pred_tokens.len();
+            pred_tokens[n - 3] = "0".to_string(); // one-token error
+        }
+        examples.push(EvalExample {
+            truth_calls,
+            pred_calls,
+            truth_tokens,
+            pred_tokens,
+        });
+    }
+    let t = table_two(&examples, 1, &CC);
+    assert!(t.m_f1 > 0.8 && t.m_f1 < 1.0, "m_f1 {}", t.m_f1);
+    assert!(t.mcc_f1 >= t.m_f1, "MCC no worse than M here");
+    assert!(t.bleu > 0.85, "bleu {}", t.bleu);
+    assert!(t.rouge_l > 0.9, "rouge {}", t.rouge_l);
+    assert!(t.acc <= 0.8, "exact match is the hardest: {}", t.acc);
+    assert!(t.bleu > t.acc, "paper's signature gap");
+}
+
+#[test]
+fn translation_metrics_consistency() {
+    let toks = |s: &str| -> Vec<String> { s.split_whitespace().map(|x| x.to_string()).collect() };
+    let pairs = vec![
+        (toks("a b c d e"), toks("a b c d e")),
+        (toks("a b c d e"), toks("a b x d e")),
+        (toks("a b c d e"), toks("f g h i j")),
+    ];
+    let bleu = corpus_bleu(&pairs);
+    let rouge = corpus_rouge_l(&pairs);
+    let meteor = corpus_meteor(&pairs);
+    let acc = exact_match_accuracy(&pairs);
+    assert!((acc - 1.0 / 3.0).abs() < 1e-12);
+    for v in [bleu, rouge, meteor] {
+        assert!((0.0..=1.0).contains(&v));
+        assert!(v > acc * 0.9, "token metrics dominate exact match");
+    }
+}
