@@ -25,11 +25,17 @@ fn bench_frontend(c: &mut Criterion) {
     g.bench_function("parse_strict", |b| {
         b.iter(|| parse_strict(black_box(&src)).unwrap())
     });
-    g.bench_function("parse_tolerant", |b| b.iter(|| parse_tolerant(black_box(&src))));
-    g.bench_function("print_program", |b| b.iter(|| print_program(black_box(&prog))));
+    g.bench_function("parse_tolerant", |b| {
+        b.iter(|| parse_tolerant(black_box(&src)))
+    });
+    g.bench_function("print_program", |b| {
+        b.iter(|| print_program(black_box(&prog)))
+    });
     g.bench_function("xsbt", |b| b.iter(|| xsbt(black_box(&prog))));
     g.bench_function("sbt", |b| b.iter(|| sbt(black_box(&prog))));
-    g.bench_function("tokenize_code", |b| b.iter(|| tokenize_code(black_box(&src))));
+    g.bench_function("tokenize_code", |b| {
+        b.iter(|| tokenize_code(black_box(&src)))
+    });
     g.bench_function("remove_mpi_calls", |b| {
         b.iter(|| remove_mpi_calls(black_box(&prog)))
     });

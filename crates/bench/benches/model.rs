@@ -1,11 +1,17 @@
 //! Criterion benches of the model stack: matmul kernel, encoder forward,
-//! one train step, and end-to-end suggestion latency — the numbers behind
-//! the paper's "SPT-Code is small enough for IDE fusion" argument (§IV-A).
+//! one train step, KV-cached vs prefix-replay decoding, and end-to-end
+//! suggestion latency — the numbers behind the paper's "SPT-Code is small
+//! enough for IDE fusion" argument (§IV-A).
+//!
+//! The `decode` group tracks the incremental-inference win: cached greedy
+//! and beam-4 generation at 32/128/232-token outputs against the replay
+//! baseline (`min_len` forces fixed-length outputs on both engines so the
+//! comparison is token-for-token).
 
 use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
 use mpirical_model::{
-    build_params, transformer::encode, transformer::ForwardMode, Example, ModelConfig, TrainConfig,
-    Vocab,
+    build_params, decode_with, replay_decode_with, transformer::encode, transformer::ForwardMode,
+    DecodeOptions, Example, ModelConfig, TrainConfig, Vocab,
 };
 use mpirical_tensor::{matmul, Adam, ParamStore, Tape, Tensor};
 
@@ -22,10 +28,12 @@ fn bench_matmul(c: &mut Criterion) {
 }
 
 fn small_model() -> (ModelConfig, ParamStore, mpirical_model::TransformerParams) {
-    let mut cfg = ModelConfig::default();
-    cfg.vocab_size = 512;
-    cfg.max_enc_len = 256;
-    cfg.max_dec_len = 232;
+    let cfg = ModelConfig {
+        vocab_size: 512,
+        max_enc_len: 256,
+        max_dec_len: 232,
+        ..Default::default()
+    };
     let mut store = ParamStore::new();
     let params = build_params(&cfg, &mut store, 1);
     (cfg, store, params)
@@ -72,30 +80,134 @@ fn bench_model(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_decode(c: &mut Criterion) {
+    // Quick-scale architecture with headroom for 232-token outputs.
+    let cfg = ModelConfig {
+        vocab_size: 512,
+        max_enc_len: 256,
+        max_dec_len: 240,
+        ..Default::default()
+    };
+    let mut store = ParamStore::new();
+    let params = build_params(&cfg, &mut store, 1);
+    let src: Vec<usize> = (0..128).map(|i| 6 + (i % 200)).collect();
+
+    let mut g = c.benchmark_group("decode");
+    g.sample_size(10);
+
+    for out_len in [32usize, 128, 232] {
+        let opts = DecodeOptions {
+            beam: 1,
+            min_len: out_len,
+        };
+        g.bench_function(format!("cached_greedy_{out_len}tok"), |b| {
+            b.iter(|| {
+                decode_with(
+                    black_box(&store),
+                    &params,
+                    &cfg,
+                    black_box(&src),
+                    out_len + 1,
+                    opts,
+                )
+            })
+        });
+        let beam_opts = DecodeOptions {
+            beam: 4,
+            min_len: out_len,
+        };
+        g.bench_function(format!("cached_beam4_{out_len}tok"), |b| {
+            b.iter(|| {
+                decode_with(
+                    black_box(&store),
+                    &params,
+                    &cfg,
+                    black_box(&src),
+                    out_len + 1,
+                    beam_opts,
+                )
+            })
+        });
+    }
+
+    // Prefix-replay baselines (the pre-cache engine). The 232-token replay
+    // points are omitted: at O(T²·L) they dominate bench wall-clock without
+    // adding information beyond the 128-token ratio.
+    for out_len in [32usize, 128] {
+        let opts = DecodeOptions {
+            beam: 1,
+            min_len: out_len,
+        };
+        g.bench_function(format!("replay_greedy_{out_len}tok"), |b| {
+            b.iter(|| {
+                replay_decode_with(
+                    black_box(&store),
+                    &params,
+                    &cfg,
+                    black_box(&src),
+                    out_len + 1,
+                    opts,
+                )
+            })
+        });
+    }
+    g.bench_function("replay_beam4_32tok", |b| {
+        let opts = DecodeOptions {
+            beam: 4,
+            min_len: 32,
+        };
+        b.iter(|| replay_decode_with(black_box(&store), &params, &cfg, black_box(&src), 33, opts))
+    });
+    g.finish();
+}
+
 fn bench_suggestion_latency(c: &mut Criterion) {
     // End-to-end: raw source → suggestions, via an untrained (but real-size)
     // assistant — latency is architecture-, not weight-, dependent.
-    let tokens: Vec<Vec<String>> = vec![
-        ["int", "main", "(", ")", "{", "}", ";", "rank", "size", "MPI_Init", "MPI_Finalize",
-         "MPI_Comm_rank", "=", "0", "1", "&", ",", "printf", "return", "<nl>"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect(),
-    ];
+    let tokens: Vec<Vec<String>> = vec![[
+        "int",
+        "main",
+        "(",
+        ")",
+        "{",
+        "}",
+        ";",
+        "rank",
+        "size",
+        "MPI_Init",
+        "MPI_Finalize",
+        "MPI_Comm_rank",
+        "=",
+        "0",
+        "1",
+        "&",
+        ",",
+        "printf",
+        "return",
+        "<nl>",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect()];
     let vocab = Vocab::build(tokens.iter(), 1, 4096);
-    let mut cfg = ModelConfig::default();
-    cfg.max_enc_len = 256;
-    cfg.max_dec_len = 64; // cap generation for a stable latency number
+    let cfg = ModelConfig {
+        max_enc_len: 256,
+        max_dec_len: 64, // cap generation for a stable latency number
+        ..Default::default()
+    };
     let model = mpirical_model::Seq2SeqModel::new(cfg, vocab, 3);
     let assistant = mpirical::MpiRical {
         model,
         input_format: mpirical::InputFormat::CodeXsbt,
+        decode: Default::default(),
     };
     let src = "int main(int argc, char **argv) {\n    int rank, size;\n    double local = 0.0;\n    for (int i = 0; i < 100; i++) { local += i; }\n    printf(\"%f\\n\", local);\n    return 0;\n}\n";
 
     let mut g = c.benchmark_group("assistant");
     g.sample_size(10);
-    g.bench_function("suggest_e2e", |b| b.iter(|| assistant.suggest(black_box(src))));
+    g.bench_function("suggest_e2e", |b| {
+        b.iter(|| assistant.suggest(black_box(src)))
+    });
     g.bench_function("encode_source", |b| {
         b.iter(|| assistant.encode_source(black_box(src)))
     });
@@ -104,5 +216,11 @@ fn bench_suggestion_latency(c: &mut Criterion) {
     let _ = TrainConfig::default(); // keep the import exercised at all scales
 }
 
-criterion_group!(benches, bench_matmul, bench_model, bench_suggestion_latency);
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_model,
+    bench_decode,
+    bench_suggestion_latency
+);
 criterion_main!(benches);

@@ -107,7 +107,9 @@ fn corpus_stats(opts: &ReproOptions) -> CorpusStats {
 
 fn table1a(opts: &ReproOptions) {
     let stats = corpus_stats(opts);
-    println!("\n== Table Ia — code lengths (paper: 2670 / 22361 / 14078 / 10575 on 49,684 files) ==");
+    println!(
+        "\n== Table Ia — code lengths (paper: 2670 / 22361 / 14078 / 10575 on 49,684 files) =="
+    );
     let rows = vec![
         vec!["<= 10".to_string(), stats.lengths.le_10.to_string()],
         vec!["11-50".to_string(), stats.lengths.from_11_to_50.to_string()],
@@ -132,9 +134,7 @@ fn table1b(opts: &ReproOptions) {
 fn fig3(opts: &ReproOptions) {
     let stats = corpus_stats(opts);
     println!("\n== Figure 3 — Init..Finalize span / program length ==");
-    println!(
-        "(paper: most mass above 0.5; files with both Init & Finalize: 20,228)"
-    );
+    println!("(paper: most mass above 0.5; files with both Init & Finalize: 20,228)");
     let labels: Vec<String> = (0..10)
         .map(|i| format!("{:.1}-{:.1}", i as f64 / 10.0, (i + 1) as f64 / 10.0))
         .collect();
@@ -209,10 +209,14 @@ fn table2(opts: &ReproOptions) {
 
 fn table3(opts: &ReproOptions) {
     let (assistant, _) = fig5(opts);
-    println!("\n== Table III — 11 numerical computations (paper total: F1 0.91, P 0.98, R 0.86) ==");
+    println!(
+        "\n== Table III — 11 numerical computations (paper total: F1 0.91, P 0.98, R 0.86) =="
+    );
     let mut rows = Vec::new();
-    let mut pooled: Vec<(Vec<mpirical_metrics::CallSite>, Vec<mpirical_metrics::CallSite>)> =
-        Vec::new();
+    let mut pooled: Vec<(
+        Vec<mpirical_metrics::CallSite>,
+        Vec<mpirical_metrics::CallSite>,
+    )> = Vec::new();
     for p in benchmark_programs() {
         let v = validate_program(&p);
         assert!(v.ok(), "{} failed simulated-MPI validation: {v:?}", p.name);
@@ -220,11 +224,10 @@ fn table3(opts: &ReproOptions) {
         let prog = mpirical_cparse::parse_strict(p.source).unwrap();
         let std_text = mpirical_cparse::print_program(&prog);
         let std_prog = mpirical_cparse::parse_strict(&std_text).unwrap();
-        let truth: Vec<mpirical_metrics::CallSite> =
-            mpirical_corpus::extract_mpi_calls(&std_prog)
-                .into_iter()
-                .map(|c| mpirical_metrics::CallSite::new(c.name, c.line))
-                .collect();
+        let truth: Vec<mpirical_metrics::CallSite> = mpirical_corpus::extract_mpi_calls(&std_prog)
+            .into_iter()
+            .map(|c| mpirical_metrics::CallSite::new(c.name, c.line))
+            .collect();
         let removal = mpirical_corpus::remove_mpi_calls(&std_prog);
         let input_text = mpirical_cparse::print_program(&removal.stripped);
         let pred_ids = assistant.predict_ids(&input_text);
@@ -266,10 +269,16 @@ fn fig6(opts: &ReproOptions) {
     let a = p.alignment(1);
     println!("record {} (schema {})", p.record_id, p.schema);
     for (t, pr) in &a.matches {
-        println!("  TP: {} @ line {} (predicted line {})", t.name, t.line, pr.line);
+        println!(
+            "  TP: {} @ line {} (predicted line {})",
+            t.name, t.line, pr.line
+        );
     }
     for f in &a.unmatched_pred {
-        println!("  FP: {} @ line {} (no ground-truth partner)", f.name, f.line);
+        println!(
+            "  FP: {} @ line {} (no ground-truth partner)",
+            f.name, f.line
+        );
     }
     for f in &a.unmatched_truth {
         println!("  FN: {} @ line {} (missed)", f.name, f.line);
@@ -297,11 +306,7 @@ fn ablation_tolerance(opts: &ReproOptions) {
             .iter()
             .map(|p| (p.truth_calls.as_slice(), p.pred_calls.as_slice()))
             .collect();
-        let report = classification_report(
-            pairs.into_iter(),
-            tol,
-            &mpirical_corpus::MPI_COMMON_CORE,
-        );
+        let report = classification_report(pairs, tol, &mpirical_corpus::MPI_COMMON_CORE);
         rows.push(vec![
             tol.to_string(),
             format!("{:.3}", report.m.f1),
@@ -313,7 +318,9 @@ fn ablation_tolerance(opts: &ReproOptions) {
 }
 
 fn ablation_xsbt(opts: &ReproOptions) {
-    println!("\n== Ablation — encoder input: code-only vs code+X-SBT (SPT-Code's design choice) ==");
+    println!(
+        "\n== Ablation — encoder input: code-only vs code+X-SBT (SPT-Code's design choice) =="
+    );
     let (_, _, splits) = build_data(opts);
     let mut rows = Vec::new();
     for format in [InputFormat::CodeOnly, InputFormat::CodeXsbt] {

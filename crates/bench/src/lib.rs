@@ -90,10 +90,12 @@ impl ReproOptions {
 
     /// Assistant configuration for this run.
     pub fn assistant_config(&self) -> MpiRicalConfig {
-        let mut cfg = MpiRicalConfig::default();
-        cfg.seed = self.seed;
-        cfg.input_format = InputFormat::CodeXsbt;
-        cfg.vocab_min_freq = 2;
+        let mut cfg = MpiRicalConfig {
+            seed: self.seed,
+            input_format: InputFormat::CodeXsbt,
+            vocab_min_freq: 2,
+            ..Default::default()
+        };
         match self.scale {
             Scale::Quick => {
                 cfg.model = ModelConfig {

@@ -33,11 +33,7 @@ impl Rng {
 /// Format `printf`-style. Supports `%d %i %ld %lld %u %f %lf %e %g %c %s %%`
 /// with optional width/precision (e.g. `%.10f`, `%8.3f`, `%5d`).
 /// `%s` consumes a string argument carried separately (see `args`).
-pub fn format_printf(
-    fmt: &str,
-    args: &[PrintfArg],
-    line: u32,
-) -> Result<String, InterpError> {
+pub fn format_printf(fmt: &str, args: &[PrintfArg], line: u32) -> Result<String, InterpError> {
     let mut out = String::with_capacity(fmt.len() + 16);
     let mut chars = fmt.chars().peekable();
     let mut next_arg = 0usize;
@@ -224,8 +220,14 @@ mod tests {
 
     #[test]
     fn printf_precision() {
-        assert_eq!(format_printf("%.2f", &[d(3.14159)], 1).unwrap(), "3.14");
-        assert_eq!(format_printf("%.10f", &[d(0.5)], 1).unwrap(), "0.5000000000");
+        assert_eq!(
+            format_printf("%.2f", &[d(std::f64::consts::PI)], 1).unwrap(),
+            "3.14"
+        );
+        assert_eq!(
+            format_printf("%.10f", &[d(0.5)], 1).unwrap(),
+            "0.5000000000"
+        );
     }
 
     #[test]

@@ -6,8 +6,7 @@ use crate::builtins::{format_printf, math_builtin, PrintfArg, Rng, RAND_MAX};
 use crate::error::InterpError;
 use crate::machine::{CType, Memory, Value, VarInfo};
 use mpirical_cparse::{
-    BinOp, Block, Declaration, Expr, ForInit, FunctionDef, Init, Item, Program, Stmt,
-    UnOp,
+    BinOp, Block, Declaration, Expr, ForInit, FunctionDef, Init, Item, Program, Stmt, UnOp,
 };
 use mpirical_sim::{Comm, ReduceOp, Source, Status, Tag};
 use std::collections::HashMap;
@@ -78,10 +77,7 @@ pub(crate) struct Interp<'a> {
 
 impl<'a> Interp<'a> {
     pub fn new(prog: &'a Program, comm: &'a Comm, limits: Limits) -> Interp<'a> {
-        let functions = prog
-            .functions()
-            .map(|f| (f.name.as_str(), f))
-            .collect();
+        let functions = prog.functions().map(|f| (f.name.as_str(), f)).collect();
         Interp {
             prog,
             comm,
@@ -339,14 +335,14 @@ impl<'a> Interp<'a> {
     fn place(&mut self, e: &Expr, line: u32) -> Result<Place, InterpError> {
         match e {
             Expr::Ident(name) => {
-                let info = self
-                    .mem
-                    .lookup(name)
-                    .cloned()
-                    .ok_or_else(|| InterpError::Undefined {
-                        name: name.clone(),
-                        line,
-                    })?;
+                let info =
+                    self.mem
+                        .lookup(name)
+                        .cloned()
+                        .ok_or_else(|| InterpError::Undefined {
+                            name: name.clone(),
+                            line,
+                        })?;
                 Ok(Place {
                     addr: info.addr,
                     ctype: Some(info.ctype),
@@ -1115,9 +1111,7 @@ impl<'a> Interp<'a> {
                     ($t:ty, $variant:ident) => {{
                         let mut buf = vec![<$t>::default(); count];
                         if self.comm.rank() == root {
-                            if let TypedVec::$variant(v) =
-                                self.read_buf(ptr, count, dtype, line)?
-                            {
+                            if let TypedVec::$variant(v) = self.read_buf(ptr, count, dtype, line)? {
                                 buf = v;
                             }
                         }

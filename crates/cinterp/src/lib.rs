@@ -85,17 +85,16 @@ impl RunOutput {
 pub fn run_program(prog: &Program, cfg: &RunConfig) -> Result<RunOutput, InterpError> {
     let world_cfg = WorldConfig::new(cfg.nranks).with_timeout(cfg.timeout);
     let limits = cfg.limits;
-    let results: Vec<Result<(i64, String), InterpError>> =
-        World::run_with(world_cfg, |comm| {
-            let interp = interp::Interp::new(prog, comm, limits);
-            let r = interp.run();
-            if r.is_err() {
-                // Wake ranks blocked on us so the world shuts down promptly.
-                let _ = comm.abort(1);
-            }
-            Ok(r)
-        })
-        .map_err(InterpError::Mpi)?;
+    let results: Vec<Result<(i64, String), InterpError>> = World::run_with(world_cfg, |comm| {
+        let interp = interp::Interp::new(prog, comm, limits);
+        let r = interp.run();
+        if r.is_err() {
+            // Wake ranks blocked on us so the world shuts down promptly.
+            let _ = comm.abort(1);
+        }
+        Ok(r)
+    })
+    .map_err(InterpError::Mpi)?;
 
     let mut outputs = Vec::with_capacity(results.len());
     let mut codes = Vec::with_capacity(results.len());
@@ -310,8 +309,11 @@ mod tests {
 
     #[test]
     fn divide_by_zero_detected() {
-        let err = run_source("int main() { int a = 1; int b = 0; int c = a / b; return c; }", 1)
-            .unwrap_err();
+        let err = run_source(
+            "int main() { int a = 1; int b = 0; int c = a / b; return c; }",
+            1,
+        )
+        .unwrap_err();
         assert!(matches!(err, InterpError::DivideByZero { .. }), "{err}");
     }
 
@@ -585,9 +587,8 @@ mod tests {
                     .unwrap_or_else(|e| panic!("{name}: parse failed {e}"));
                 let mut cfg = RunConfig::new(nranks);
                 cfg.timeout = Duration::from_secs(10);
-                run_program(&prog, &cfg).unwrap_or_else(|e| {
-                    panic!("{name} on {nranks} ranks failed: {e}\n{src}")
-                });
+                run_program(&prog, &cfg)
+                    .unwrap_or_else(|e| panic!("{name} on {nranks} ranks failed: {e}\n{src}"));
             }
         }
     }

@@ -357,7 +357,8 @@ mod tests {
         let a = m.alloc(2);
         m.store_typed(a, Value::Int(3), CType::Double, 1).unwrap();
         assert_eq!(m.load(a, 1).unwrap(), Value::Double(3.0));
-        m.store_typed(a + 1, Value::Double(2.9), CType::Int, 1).unwrap();
+        m.store_typed(a + 1, Value::Double(2.9), CType::Int, 1)
+            .unwrap();
         assert_eq!(m.load(a + 1, 1).unwrap(), Value::Int(2), "C truncation");
     }
 
@@ -365,10 +366,26 @@ mod tests {
     fn scope_shadowing() {
         let mut m = Memory::new();
         let a1 = m.alloc(1);
-        m.define("x", VarInfo { addr: a1, ctype: CType::Int, dims: vec![], is_pointer: false });
+        m.define(
+            "x",
+            VarInfo {
+                addr: a1,
+                ctype: CType::Int,
+                dims: vec![],
+                is_pointer: false,
+            },
+        );
         m.push_scope();
         let a2 = m.alloc(1);
-        m.define("x", VarInfo { addr: a2, ctype: CType::Double, dims: vec![], is_pointer: false });
+        m.define(
+            "x",
+            VarInfo {
+                addr: a2,
+                ctype: CType::Double,
+                dims: vec![],
+                is_pointer: false,
+            },
+        );
         assert_eq!(m.lookup("x").unwrap().addr, a2);
         m.pop_scope();
         assert_eq!(m.lookup("x").unwrap().addr, a1);
@@ -378,10 +395,26 @@ mod tests {
     fn frames_hide_caller_locals_but_not_globals() {
         let mut m = Memory::new();
         let g = m.alloc(1);
-        m.define("global", VarInfo { addr: g, ctype: CType::Int, dims: vec![], is_pointer: false });
+        m.define(
+            "global",
+            VarInfo {
+                addr: g,
+                ctype: CType::Int,
+                dims: vec![],
+                is_pointer: false,
+            },
+        );
         m.push_scope(); // main's locals
         let l = m.alloc(1);
-        m.define("local", VarInfo { addr: l, ctype: CType::Int, dims: vec![], is_pointer: false });
+        m.define(
+            "local",
+            VarInfo {
+                addr: l,
+                ctype: CType::Int,
+                dims: vec![],
+                is_pointer: false,
+            },
+        );
         m.push_frame(); // call into helper
         assert!(m.lookup("local").is_none(), "caller locals invisible");
         assert!(m.lookup("global").is_some(), "globals visible");

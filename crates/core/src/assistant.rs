@@ -13,7 +13,7 @@ use mpirical_cparse::{parse_tolerant, print_program};
 use mpirical_metrics::CallSite;
 use mpirical_model::vocab::{EOS, SEP, SOS};
 use mpirical_model::{
-    EpochStats, ModelConfig, Seq2SeqModel, TrainConfig, TrainReport,
+    DecodeOptions, EpochStats, ModelConfig, Seq2SeqModel, TrainConfig, TrainReport,
 };
 use serde::{Deserialize, Serialize};
 use std::path::Path;
@@ -46,6 +46,10 @@ pub struct MpiRicalConfig {
     pub vocab_max_size: usize,
     /// Model-init / training seed.
     pub seed: u64,
+    /// Inference-time decoding knobs (beam width etc.), carried into the
+    /// trained artifact so `suggest`/`translate` use them.
+    #[serde(default)]
+    pub decode: DecodeOptions,
 }
 
 impl Default for MpiRicalConfig {
@@ -57,6 +61,7 @@ impl Default for MpiRicalConfig {
             vocab_min_freq: 2,
             vocab_max_size: 4096,
             seed: 0x5EED,
+            decode: DecodeOptions::default(),
         }
     }
 }
@@ -66,6 +71,11 @@ impl Default for MpiRicalConfig {
 pub struct MpiRical {
     pub model: Seq2SeqModel,
     pub input_format: InputFormat,
+    /// Decoding configuration for the suggestion path (KV-cached greedy by
+    /// default; beam > 1 trades latency for quality). Defaults on load so
+    /// artifacts saved before this field existed still deserialize.
+    #[serde(default)]
+    pub decode: DecodeOptions,
 }
 
 impl MpiRical {
@@ -79,8 +89,7 @@ impl MpiRical {
     ) -> (MpiRical, TrainReport) {
         let vocab = build_vocab(train_set, cfg.vocab_min_freq, cfg.vocab_max_size);
         let mut model = Seq2SeqModel::new(cfg.model.clone(), vocab, cfg.seed);
-        let (train_ex, _) =
-            encode_dataset(train_set, &model.vocab, &model.cfg, cfg.input_format);
+        let (train_ex, _) = encode_dataset(train_set, &model.vocab, &model.cfg, cfg.input_format);
         let (val_ex, _) = encode_dataset(val_set, &model.vocab, &model.cfg, cfg.input_format);
         assert!(
             !train_ex.is_empty(),
@@ -91,6 +100,7 @@ impl MpiRical {
             MpiRical {
                 model,
                 input_format: cfg.input_format,
+                decode: cfg.decode,
             },
             report,
         )
@@ -121,10 +131,12 @@ impl MpiRical {
     }
 
     /// Predict the full MPI-parallel program for the given source. Returns
-    /// the decoded token ids.
+    /// the decoded token ids. Runs the KV-cached incremental decoder with
+    /// the artifact's [`DecodeOptions`] (greedy unless `decode.beam > 1`).
     pub fn predict_ids(&self, c_source: &str) -> Vec<usize> {
         let src = self.encode_source(c_source);
-        self.model.generate(&src, self.model.cfg.max_dec_len)
+        self.model
+            .generate_with(&src, self.model.cfg.max_dec_len, self.decode)
     }
 
     /// Suggest MPI functions and their insertion lines (paper RQ1 + RQ2).
@@ -145,8 +157,16 @@ impl MpiRical {
 
     /// Predict for an already-encoded dataset record (evaluation fast path).
     pub fn predict_record_ids(&self, record: &mpirical_corpus::Record) -> Option<Vec<usize>> {
-        let ex = encode_record(record, &self.model.vocab, &self.model.cfg, self.input_format)?;
-        Some(self.model.generate(&ex.src, self.model.cfg.max_dec_len))
+        let ex = encode_record(
+            record,
+            &self.model.vocab,
+            &self.model.cfg,
+            self.input_format,
+        )?;
+        Some(
+            self.model
+                .generate_with(&ex.src, self.model.cfg.max_dec_len, self.decode),
+        )
     }
 
     /// Save the artifact (model + vocab + input format) as JSON.
@@ -179,15 +199,17 @@ mod tests {
         };
         let (_, ds, _) = generate_dataset(&ccfg);
         let splits = ds.split(5);
-        let mut cfg = MpiRicalConfig::default();
-        cfg.model = ModelConfig::tiny();
+        let mut cfg = MpiRicalConfig {
+            model: ModelConfig::tiny(),
+            vocab_min_freq: 1,
+            ..Default::default()
+        };
         cfg.model.max_enc_len = 256;
         cfg.model.max_dec_len = 230;
         cfg.train.epochs = 1;
         cfg.train.batch_size = 8;
         cfg.train.threads = 1;
         cfg.train.validate = false;
-        cfg.vocab_min_freq = 1;
         let (assistant, report) = MpiRical::train(&splits.train, &splits.val, &cfg, |_| {});
         assert_eq!(report.epochs.len(), 1);
         assert!(report.epochs[0].train_loss.is_finite());
@@ -218,6 +240,29 @@ mod tests {
         let loaded = MpiRical::load(&path).unwrap();
         let src = "int main() { int x = 3; return x; }";
         assert_eq!(assistant.predict_ids(src), loaded.predict_ids(src));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn beam_decoding_path_works_end_to_end() {
+        let mut assistant = tiny_assistant();
+        assistant.decode = DecodeOptions {
+            beam: 2,
+            min_len: 0,
+        };
+        let serial = "int main() { int x = 1; return x; }";
+        for s in &assistant.suggest(serial) {
+            assert!(s.function.starts_with("MPI_"));
+            assert!(s.line >= 1);
+        }
+        // The artifact keeps its decode options across save/load.
+        let dir = std::env::temp_dir().join("mpirical_core_beam_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("assistant.json");
+        assistant.save(&path).unwrap();
+        let loaded = MpiRical::load(&path).unwrap();
+        assert_eq!(loaded.decode, assistant.decode);
+        assert_eq!(assistant.predict_ids(serial), loaded.predict_ids(serial));
         std::fs::remove_file(path).ok();
     }
 

@@ -18,14 +18,28 @@
 
 use crate::tokenize::{calls_from_tokens, tokenize_code};
 use mpirical_corpus::Dataset;
-use mpirical_cparse::{
-    parse_tolerant, print_program, Block, Expr, Item, Program, Stmt, UnOp,
-};
+use mpirical_cparse::{parse_tolerant, print_program, Block, Expr, Item, Program, Stmt, UnOp};
 use mpirical_metrics::{table_two, CallSite, EvalExample, TableTwo};
 
 /// Names that conventionally hold the rank / world size.
-const RANK_NAMES: [&str; 7] = ["rank", "myid", "my_rank", "pid", "world_rank", "me", "taskid"];
-const SIZE_NAMES: [&str; 7] = ["size", "nprocs", "numprocs", "world_size", "ntasks", "np", "comm_size"];
+const RANK_NAMES: [&str; 7] = [
+    "rank",
+    "myid",
+    "my_rank",
+    "pid",
+    "world_rank",
+    "me",
+    "taskid",
+];
+const SIZE_NAMES: [&str; 7] = [
+    "size",
+    "nprocs",
+    "numprocs",
+    "world_size",
+    "ntasks",
+    "np",
+    "comm_size",
+];
 
 fn call(callee: &str, args: Vec<Expr>) -> Stmt {
     Stmt::Expr {
@@ -106,7 +120,12 @@ pub fn insert_scaffolding(prog: &Program) -> Program {
         }
         // Finalize before the trailing return (or at the very end).
         let fin = call("MPI_Finalize", vec![]);
-        match f.body.stmts.iter().rposition(|s| matches!(s, Stmt::Return { .. })) {
+        match f
+            .body
+            .stmts
+            .iter()
+            .rposition(|s| matches!(s, Stmt::Return { .. }))
+        {
             Some(pos) => f.body.stmts.insert(pos, fin),
             None => f.body.stmts.push(fin),
         }
@@ -191,8 +210,14 @@ mod tests {
     fn alternative_conventions_recognized() {
         let src = "int main(int argc, char **argv) { int myid, nprocs; return 0; }";
         let (text, calls) = rule_based_predict(src);
-        assert!(text.contains("MPI_Comm_rank(MPI_COMM_WORLD, &myid);"), "{text}");
-        assert!(text.contains("MPI_Comm_size(MPI_COMM_WORLD, &nprocs);"), "{text}");
+        assert!(
+            text.contains("MPI_Comm_rank(MPI_COMM_WORLD, &myid);"),
+            "{text}"
+        );
+        assert!(
+            text.contains("MPI_Comm_size(MPI_COMM_WORLD, &nprocs);"),
+            "{text}"
+        );
         assert_eq!(calls.len(), 4);
     }
 
@@ -206,12 +231,12 @@ mod tests {
         });
         let t = evaluate_baseline(&ds, 1);
         // Scaffolding precision is decent; communication recall is the gap.
+        assert!(t.m_precision > 0.5, "baseline precision {}", t.m_precision);
         assert!(
-            t.m_precision > 0.5,
-            "baseline precision {}",
-            t.m_precision
+            t.m_recall < 0.9,
+            "baseline can't see communication: {}",
+            t.m_recall
         );
-        assert!(t.m_recall < 0.9, "baseline can't see communication: {}", t.m_recall);
         assert!(t.m_f1 < 0.95, "baseline must be beatable: {}", t.m_f1);
         // Pure-scaffolding programs (hello-rank) can be reconstructed
         // exactly, but they are a small minority.
@@ -251,10 +276,12 @@ mod tests {
         let removal = remove_mpi_calls(&std_prog);
         let input = print_program(&removal.stripped);
         let (_, pred) = rule_based_predict(&input);
-        let names: std::collections::HashSet<&str> =
-            pred.iter().map(|c| c.name.as_str()).collect();
+        let names: std::collections::HashSet<&str> = pred.iter().map(|c| c.name.as_str()).collect();
         assert!(names.contains("MPI_Init"));
         assert!(names.contains("MPI_Finalize"));
-        assert!(!names.contains("MPI_Reduce"), "communication is invisible to rules");
+        assert!(
+            !names.contains("MPI_Reduce"),
+            "communication is invisible to rules"
+        );
     }
 }

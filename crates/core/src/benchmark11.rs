@@ -9,8 +9,8 @@
 //! rank-deterministic programs) print identical root output on every world
 //! size.
 
-use mpirical_interp::{run_program, RunConfig};
 use mpirical_cparse::{count_code_tokens, parse_strict};
+use mpirical_interp::{run_program, RunConfig};
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
@@ -447,10 +447,14 @@ mod tests {
     #[test]
     fn all_programs_pass_inclusion_criteria() {
         for p in benchmark_programs() {
-            parse_strict(p.source)
-                .unwrap_or_else(|e| panic!("{} does not parse: {e}", p.name));
+            parse_strict(p.source).unwrap_or_else(|e| panic!("{} does not parse: {e}", p.name));
             let tokens = count_code_tokens(p.source);
-            assert!(tokens <= 320, "{}: {} tokens (paper bound 320)", p.name, tokens);
+            assert!(
+                tokens <= 320,
+                "{}: {} tokens (paper bound 320)",
+                p.name,
+                tokens
+            );
         }
     }
 
@@ -458,11 +462,7 @@ mod tests {
     fn all_programs_validate_on_simulated_mpi() {
         for p in benchmark_programs() {
             let v = validate_program(&p);
-            assert!(
-                v.ok(),
-                "{} failed validation: {v:?}",
-                p.name
-            );
+            assert!(v.ok(), "{} failed validation: {v:?}", p.name);
             assert!(!v.root_output.is_empty(), "{} printed nothing", p.name);
         }
     }

@@ -149,12 +149,13 @@ mod tests {
     fn encode_structure() {
         let ds = small_dataset();
         let vocab = build_vocab(&ds, 1, 20_000);
-        let mut cfg = ModelConfig::default();
-        cfg.vocab_size = vocab.len();
-        cfg.max_enc_len = 512;
-        cfg.max_dec_len = 512;
-        let ex = encode_record(&ds.records[0], &vocab, &cfg, InputFormat::CodeXsbt)
-            .expect("fits");
+        let cfg = ModelConfig {
+            vocab_size: vocab.len(),
+            max_enc_len: 512,
+            max_dec_len: 512,
+            ..Default::default()
+        };
+        let ex = encode_record(&ds.records[0], &vocab, &cfg, InputFormat::CodeXsbt).expect("fits");
         assert_eq!(ex.src[0], SOS);
         assert_eq!(*ex.src.last().unwrap(), EOS);
         assert!(ex.src.contains(&SEP));
@@ -167,10 +168,12 @@ mod tests {
     fn code_only_has_empty_xsbt_segment() {
         let ds = small_dataset();
         let vocab = build_vocab(&ds, 1, 20_000);
-        let mut cfg = ModelConfig::default();
-        cfg.vocab_size = vocab.len();
-        cfg.max_enc_len = 512;
-        cfg.max_dec_len = 512;
+        let cfg = ModelConfig {
+            vocab_size: vocab.len(),
+            max_enc_len: 512,
+            max_dec_len: 512,
+            ..Default::default()
+        };
         let with = encode_record(&ds.records[0], &vocab, &cfg, InputFormat::CodeXsbt).unwrap();
         let without = encode_record(&ds.records[0], &vocab, &cfg, InputFormat::CodeOnly).unwrap();
         assert!(without.src.len() < with.src.len());
@@ -182,10 +185,12 @@ mod tests {
     fn truncation_respects_budget() {
         let ds = small_dataset();
         let vocab = build_vocab(&ds, 1, 20_000);
-        let mut cfg = ModelConfig::default();
-        cfg.vocab_size = vocab.len();
-        cfg.max_enc_len = 48;
-        cfg.max_dec_len = 4096;
+        let cfg = ModelConfig {
+            vocab_size: vocab.len(),
+            max_enc_len: 48,
+            max_dec_len: 4096,
+            ..Default::default()
+        };
         for r in ds.records.iter().take(10) {
             let ex = encode_record(r, &vocab, &cfg, InputFormat::CodeXsbt).unwrap();
             assert!(ex.src.len() <= 48, "len {}", ex.src.len());
@@ -196,9 +201,11 @@ mod tests {
     fn oversized_labels_dropped() {
         let ds = small_dataset();
         let vocab = build_vocab(&ds, 1, 20_000);
-        let mut cfg = ModelConfig::default();
-        cfg.vocab_size = vocab.len();
-        cfg.max_dec_len = 8; // absurdly small
+        let cfg = ModelConfig {
+            vocab_size: vocab.len(),
+            max_dec_len: 8, // absurdly small
+            ..Default::default()
+        };
         let (examples, dropped) = encode_dataset(&ds, &vocab, &cfg, InputFormat::CodeXsbt);
         assert!(examples.is_empty());
         assert_eq!(dropped, ds.len());
@@ -208,10 +215,12 @@ mod tests {
     fn label_decodes_back_to_source_tokens() {
         let ds = small_dataset();
         let vocab = build_vocab(&ds, 1, 50_000);
-        let mut cfg = ModelConfig::default();
-        cfg.vocab_size = vocab.len();
-        cfg.max_enc_len = 2048;
-        cfg.max_dec_len = 2048;
+        let cfg = ModelConfig {
+            vocab_size: vocab.len(),
+            max_enc_len: 2048,
+            max_dec_len: 2048,
+            ..Default::default()
+        };
         let r = &ds.records[0];
         let ex = encode_record(r, &vocab, &cfg, InputFormat::CodeXsbt).unwrap();
         let decoded = vocab.decode(&ex.tgt[1..]);

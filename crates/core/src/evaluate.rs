@@ -111,16 +111,18 @@ mod tests {
         };
         let (_, ds, _) = generate_dataset(&ccfg);
         let splits = ds.split(7);
-        let mut cfg = MpiRicalConfig::default();
-        cfg.model = ModelConfig::tiny();
+        let mut cfg = MpiRicalConfig {
+            model: ModelConfig::tiny(),
+            vocab_min_freq: 1,
+            input_format: InputFormat::CodeXsbt,
+            ..Default::default()
+        };
         cfg.model.max_enc_len = 256;
         cfg.model.max_dec_len = 230;
         cfg.train.epochs = 1;
         cfg.train.batch_size = 8;
         cfg.train.threads = 1;
         cfg.train.validate = false;
-        cfg.vocab_min_freq = 1;
-        cfg.input_format = InputFormat::CodeXsbt;
         let (assistant, _) = MpiRical::train(&splits.train, &splits.val, &cfg, |_| {});
 
         let (report, preds) = evaluate_dataset(&assistant, &splits.test);

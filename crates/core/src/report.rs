@@ -64,7 +64,10 @@ pub fn render_table_two(t: &TableTwo) -> String {
         ("M-Precision".to_string(), format!("{:.2}", t.m_precision)),
         ("M-Recall".to_string(), format!("{:.2}", t.m_recall)),
         ("MCC-F1".to_string(), format!("{:.2}", t.mcc_f1)),
-        ("MCC-Precision".to_string(), format!("{:.2}", t.mcc_precision)),
+        (
+            "MCC-Precision".to_string(),
+            format!("{:.2}", t.mcc_precision),
+        ),
         ("MCC-Recall".to_string(), format!("{:.2}", t.mcc_recall)),
         ("BLEU".to_string(), format!("{:.2}", t.bleu)),
         ("Meteor".to_string(), format!("{:.2}", t.meteor)),
@@ -99,10 +102,7 @@ mod tests {
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);
         // All lines equal width at the separator column.
-        let bar_positions: Vec<usize> = lines
-            .iter()
-            .filter_map(|l| l.find(['|', '+']))
-            .collect();
+        let bar_positions: Vec<usize> = lines.iter().filter_map(|l| l.find(['|', '+'])).collect();
         assert!(bar_positions.windows(2).all(|w| w[0] == w[1]), "{t}");
     }
 
@@ -143,7 +143,11 @@ mod tests {
     fn histogram_renders() {
         let h = histogram(
             &[1, 4, 2],
-            &["0.0-0.1".to_string(), "0.1-0.2".to_string(), "0.2-0.3".to_string()],
+            &[
+                "0.0-0.1".to_string(),
+                "0.1-0.2".to_string(),
+                "0.2-0.3".to_string(),
+            ],
             20,
         );
         assert_eq!(h.lines().count(), 3);

@@ -134,7 +134,9 @@ mod tests {
 
     #[test]
     fn constants_are_not_calls() {
-        let toks = tokenize_code("int main() { int x = MPI_COMM_WORLD; MPI_Barrier(MPI_COMM_WORLD); return 0; }");
+        let toks = tokenize_code(
+            "int main() { int x = MPI_COMM_WORLD; MPI_Barrier(MPI_COMM_WORLD); return 0; }",
+        );
         let calls = calls_from_tokens(&toks);
         assert_eq!(calls.len(), 1);
         assert_eq!(calls[0].name, "MPI_Barrier");
@@ -188,9 +190,8 @@ mod tests {
         // Token-level fixed point (whitespace may differ from the printer's).
         assert_eq!(tokenize_code(&back), toks);
         // MPI call lines agree with the AST extraction.
-        let ast_calls = mpirical_corpus::extract_mpi_calls(
-            &mpirical_cparse::parse_strict(&std_text).unwrap(),
-        );
+        let ast_calls =
+            mpirical_corpus::extract_mpi_calls(&mpirical_cparse::parse_strict(&std_text).unwrap());
         let tok_calls = calls_from_tokens(&toks);
         assert_eq!(ast_calls.len(), tok_calls.len());
         for (a, t) in ast_calls.iter().zip(&tok_calls) {

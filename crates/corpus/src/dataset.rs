@@ -72,7 +72,9 @@ impl Dataset {
         let mut order: Vec<usize> = (0..self.records.len()).collect();
         // Seeded Fisher–Yates with an explicit LCG so the permutation is
         // stable across rand crate versions.
-        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let mut state = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         for i in (1..order.len()).rev() {
             state = state
                 .wrapping_mul(6364136223846793005)
@@ -83,9 +85,8 @@ impl Dataset {
         let n = order.len();
         let n_train = (n as f64 * train_frac).round() as usize;
         let n_val = (n as f64 * val_frac).round() as usize;
-        let take = |idxs: &[usize]| {
-            Dataset::new(idxs.iter().map(|&i| self.records[i].clone()).collect())
-        };
+        let take =
+            |idxs: &[usize]| Dataset::new(idxs.iter().map(|&i| self.records[i].clone()).collect());
         Splits {
             train: take(&order[..n_train.min(n)]),
             val: take(&order[n_train.min(n)..(n_train + n_val).min(n)]),

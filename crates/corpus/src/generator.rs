@@ -50,7 +50,10 @@ impl GenCtx {
 
     /// A "nice" problem size: round-ish numbers across magnitudes.
     pub fn problem_size(&mut self) -> i64 {
-        let base = *self.pick(&[8, 10, 12, 16, 20, 24, 32, 48, 64, 100, 128, 200, 256, 500, 512, 1000, 1024, 2048, 4096, 10000]);
+        let base = *self.pick(&[
+            8, 10, 12, 16, 20, 24, 32, 48, 64, 100, 128, 200, 256, 500, 512, 1000, 1024, 2048,
+            4096, 10000,
+        ]);
         if self.chance(0.2) {
             base * *self.pick(&[2, 4, 10])
         } else {
@@ -89,14 +92,44 @@ pub struct Names {
 
 impl Names {
     pub fn draw(ctx: &mut GenCtx) -> Names {
-        let rank = ctx.pick_s(&["rank", "myid", "my_rank", "pid", "world_rank", "me", "taskid"]);
-        let size = ctx.pick_s(&["size", "nprocs", "numprocs", "world_size", "ntasks", "np", "comm_size"]);
+        let rank = ctx.pick_s(&[
+            "rank",
+            "myid",
+            "my_rank",
+            "pid",
+            "world_rank",
+            "me",
+            "taskid",
+        ]);
+        let size = ctx.pick_s(&[
+            "size",
+            "nprocs",
+            "numprocs",
+            "world_size",
+            "ntasks",
+            "np",
+            "comm_size",
+        ]);
         let loop_i = ctx.pick_s(&["i", "k", "idx", "ii"]);
         let loop_j = ctx.pick_s(&["j", "m", "jj", "p"]);
         let n = ctx.pick_s(&["n", "N", "count", "num_elements", "total", "len"]);
         let buf = ctx.pick_s(&["data", "buf", "array", "values", "vec", "a", "arr"]);
-        let local = ctx.pick_s(&["local", "local_sum", "partial", "my_part", "local_result", "lsum"]);
-        let global = ctx.pick_s(&["global", "result", "total_sum", "answer", "global_result", "gsum"]);
+        let local = ctx.pick_s(&[
+            "local",
+            "local_sum",
+            "partial",
+            "my_part",
+            "local_result",
+            "lsum",
+        ]);
+        let global = ctx.pick_s(&[
+            "global",
+            "result",
+            "total_sum",
+            "answer",
+            "global_result",
+            "gsum",
+        ]);
         let tmp = ctx.pick_s(&["tmp", "t", "val", "x0", "acc"]);
         Names {
             rank,
@@ -125,7 +158,10 @@ pub struct ProgramBuilder {
 
 impl ProgramBuilder {
     pub fn new(ctx: &mut GenCtx) -> Self {
-        let mut headers = vec!["#include <mpi.h>".to_string(), "#include <stdio.h>".to_string()];
+        let mut headers = vec![
+            "#include <mpi.h>".to_string(),
+            "#include <stdio.h>".to_string(),
+        ];
         if ctx.chance(0.6) {
             headers.push("#include <stdlib.h>".to_string());
         }
@@ -239,7 +275,10 @@ pub fn distractor_group(ctx: &mut GenCtx) -> Vec<String> {
         4 => {
             let a = ctx.int(2, 50);
             let b = ctx.int(2, 50);
-            vec![format!("long {v} = (long){a} * {b};"), format!("{v} = {v} % 97;")]
+            vec![
+                format!("long {v} = (long){a} * {b};"),
+                format!("{v} = {v} % 97;"),
+            ]
         }
         _ => {
             let x = ctx.int(1, 9);

@@ -172,10 +172,7 @@ pub fn build_dataset(corpus: &Corpus, cfg: &CorpusConfig) -> (Dataset, PipelineR
         let chunk = corpus.len().div_ceil(threads);
         let mut slots: Vec<Option<Result<Record, Exclusion>>> = vec![None; corpus.len()];
         crossbeam::scope(|scope| {
-            for (slice_in, slice_out) in corpus
-                .programs
-                .chunks(chunk)
-                .zip(slots.chunks_mut(chunk))
+            for (slice_in, slice_out) in corpus.programs.chunks(chunk).zip(slots.chunks_mut(chunk))
             {
                 scope.spawn(move |_| {
                     for (p, slot) in slice_in.iter().zip(slice_out.iter_mut()) {
@@ -223,8 +220,7 @@ pub fn process_program(p: &RawProgram, cfg: &CorpusConfig) -> Result<Record, Exc
     // Removal + re-standardization of the input side.
     let removal = remove_mpi_calls(&label_prog);
     let input_code = print_program(&removal.stripped);
-    let input_prog =
-        parse_strict(&input_code).map_err(|_| Exclusion::ParseFailure)?;
+    let input_prog = parse_strict(&input_code).map_err(|_| Exclusion::ParseFailure)?;
     let input_xsbt = mpirical_xsbt::xsbt_string(&input_prog);
 
     Ok(Record {
@@ -268,7 +264,11 @@ mod tests {
         let b = generate_corpus(&cfg);
         assert_eq!(a.len(), b.len());
         for (x, y) in a.programs.iter().zip(&b.programs) {
-            assert_eq!(x.source, y.source, "program {} differs by thread count", x.index);
+            assert_eq!(
+                x.source, y.source,
+                "program {} differs by thread count",
+                x.index
+            );
         }
     }
 
@@ -314,7 +314,11 @@ mod tests {
         for r in dataset.records.iter().take(40) {
             let prog = parse_strict(&r.input_code).expect("input parses");
             let calls = prog.calls_matching(|n| n.starts_with("MPI_"));
-            assert!(calls.is_empty(), "record {} input still has MPI: {calls:?}", r.id);
+            assert!(
+                calls.is_empty(),
+                "record {} input still has MPI: {calls:?}",
+                r.id
+            );
             assert!(!r.mpi_calls.is_empty());
         }
     }

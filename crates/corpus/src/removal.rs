@@ -99,7 +99,10 @@ fn strip_block(b: &Block, removed: &mut Vec<MpiCall>) -> Block {
 /// Returns `None` when the whole statement is removed.
 fn strip_stmt(s: &Stmt, removed: &mut Vec<MpiCall>) -> Option<Stmt> {
     match s {
-        Stmt::Expr { expr: Some(e), line } => {
+        Stmt::Expr {
+            expr: Some(e),
+            line,
+        } => {
             if expr_has_mpi(e) {
                 record_mpi_calls(e, removed);
                 None
@@ -117,9 +120,8 @@ fn strip_stmt(s: &Stmt, removed: &mut Vec<MpiCall>) -> Option<Stmt> {
             else_branch,
             line,
         } => {
-            let then_branch = Box::new(
-                strip_stmt(then_branch, removed).unwrap_or(Stmt::Block(Block::empty())),
-            );
+            let then_branch =
+                Box::new(strip_stmt(then_branch, removed).unwrap_or(Stmt::Block(Block::empty())));
             let else_branch = else_branch
                 .as_ref()
                 .map(|e| strip_stmt(e, removed).unwrap_or(Stmt::Block(Block::empty())))
@@ -141,8 +143,7 @@ fn strip_stmt(s: &Stmt, removed: &mut Vec<MpiCall>) -> Option<Stmt> {
             })
         }
         Stmt::While { cond, body, line } => {
-            let body =
-                Box::new(strip_stmt(body, removed).unwrap_or(Stmt::Block(Block::empty())));
+            let body = Box::new(strip_stmt(body, removed).unwrap_or(Stmt::Block(Block::empty())));
             Some(Stmt::While {
                 cond: cond.clone(),
                 body,
@@ -150,8 +151,7 @@ fn strip_stmt(s: &Stmt, removed: &mut Vec<MpiCall>) -> Option<Stmt> {
             })
         }
         Stmt::DoWhile { body, cond, line } => {
-            let body =
-                Box::new(strip_stmt(body, removed).unwrap_or(Stmt::Block(Block::empty())));
+            let body = Box::new(strip_stmt(body, removed).unwrap_or(Stmt::Block(Block::empty())));
             Some(Stmt::DoWhile {
                 body,
                 cond: cond.clone(),
@@ -165,8 +165,7 @@ fn strip_stmt(s: &Stmt, removed: &mut Vec<MpiCall>) -> Option<Stmt> {
             body,
             line,
         } => {
-            let body =
-                Box::new(strip_stmt(body, removed).unwrap_or(Stmt::Block(Block::empty())));
+            let body = Box::new(strip_stmt(body, removed).unwrap_or(Stmt::Block(Block::empty())));
             Some(Stmt::For {
                 init: init.clone(),
                 cond: cond.clone(),
@@ -273,7 +272,10 @@ int main(int argc, char **argv) {
         let prog = parse_strict(SRC).unwrap();
         let result = remove_mpi_calls(&prog);
         let printed = print_program(&result.stripped);
-        assert!(printed.contains("double t0;"), "decl kept sans init: {printed}");
+        assert!(
+            printed.contains("double t0;"),
+            "decl kept sans init: {printed}"
+        );
         assert!(!printed.contains("MPI_Wtime"));
     }
 
@@ -300,7 +302,10 @@ int main(int argc, char **argv) {
         let prog = parse_strict(src).unwrap();
         let result = remove_mpi_calls(&prog);
         let printed = print_program(&result.stripped);
-        assert!(!printed.contains("if (rank != 0)"), "empty guard dropped: {printed}");
+        assert!(
+            !printed.contains("if (rank != 0)"),
+            "empty guard dropped: {printed}"
+        );
         assert_eq!(result.removed.len(), 1);
     }
 

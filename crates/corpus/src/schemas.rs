@@ -243,7 +243,10 @@ fn gen_hello_rank(ctx: &mut GenCtx) -> String {
             names.rank, names.size
         ));
     } else {
-        b.stmt(format!("printf(\"hello from rank %d\\n\", {});", names.rank));
+        b.stmt(format!(
+            "printf(\"hello from rank %d\\n\", {});",
+            names.rank
+        ));
     }
     if ctx.chance(0.3) {
         b.stmt("MPI_Barrier(MPI_COMM_WORLD);");
@@ -294,10 +297,14 @@ fn gen_pi_monte_carlo(ctx: &mut GenCtx) -> String {
     b.stmt(format!("int trials = {trials};"));
     b.mpi_prologue(ctx, &names, true);
     b.stmt(format!("srand({rank} + 1);"));
-    b.stmt(format!("for ({i} = {rank}; {i} < trials; {i} += {size}) {{"));
+    b.stmt(format!(
+        "for ({i} = {rank}; {i} < trials; {i} += {size}) {{"
+    ));
     b.stmt("double px = (double)rand() / RAND_MAX;");
     b.stmt("double py = (double)rand() / RAND_MAX;");
-    b.stmt(format!("if (px * px + py * py <= 1.0) {{ {hits} = {hits} + 1; }}"));
+    b.stmt(format!(
+        "if (px * px + py * py <= 1.0) {{ {hits} = {hits} + 1; }}"
+    ));
     b.stmt("}".to_string());
     b.stmt(format!(
         "MPI_Reduce(&{hits}, &{total}, 1, MPI_LONG, MPI_SUM, 0, MPI_COMM_WORLD);"
@@ -314,14 +321,15 @@ fn gen_trapezoid(ctx: &mut GenCtx) -> String {
     let n_val = ctx.problem_size() * 10;
     let (a, bnd) = (ctx.int(0, 2), ctx.int(3, 10));
     let mut b = ProgramBuilder::new(ctx);
-    b.helper_functions.push(
-        "double f(double x) {\nreturn x * x + 1.0;\n}\n".to_string(),
-    );
+    b.helper_functions
+        .push("double f(double x) {\nreturn x * x + 1.0;\n}\n".to_string());
     let (i, n, rank, size) = (&names.loop_i, &names.n, &names.rank, &names.size);
     let (local, global) = (&names.local, &names.global);
     b.stmt(format!("int {rank}, {size}, {i};"));
     b.stmt(format!("int {n} = {n_val};"));
-    b.stmt(format!("double a = {a}.0, b = {bnd}.0, h, {local} = 0.0, {global};"));
+    b.stmt(format!(
+        "double a = {a}.0, b = {bnd}.0, h, {local} = 0.0, {global};"
+    ));
     b.mpi_prologue(ctx, &names, true);
     b.stmt(format!("h = (b - a) / {n};"));
     b.stmt(format!("int chunk = {n} / {size};"));
@@ -366,7 +374,9 @@ fn gen_dot_product(ctx: &mut GenCtx) -> String {
         b.stmt(format!(
             "MPI_Allreduce(&{local}, &{global}, 1, MPI_DOUBLE, MPI_SUM, MPI_COMM_WORLD);"
         ));
-        b.stmt(format!("printf(\"rank %d sees dot = %f\\n\", {rank}, {global});"));
+        b.stmt(format!(
+            "printf(\"rank %d sees dot = %f\\n\", {rank}, {global});"
+        ));
     } else {
         b.stmt(format!(
             "MPI_Reduce(&{local}, &{global}, 1, MPI_DOUBLE, MPI_SUM, 0, MPI_COMM_WORLD);"
@@ -411,16 +421,14 @@ fn gen_array_average(ctx: &mut GenCtx) -> String {
         b.stmt("} else {".to_string());
         b.stmt(format!("{global} = {local};"));
         b.stmt(format!("MPI_Status {st};"));
-        b.stmt(format!("double incoming;"));
+        b.stmt("double incoming;".to_string());
         b.stmt(format!("for ({i} = 1; {i} < {size}; {i}++) {{"));
         b.stmt(format!(
             "MPI_Recv(&incoming, 1, MPI_DOUBLE, {i}, 0, MPI_COMM_WORLD, &{st});"
         ));
         b.stmt(format!("{global} += incoming;"));
         b.stmt("}".to_string());
-        b.stmt(format!(
-            "printf(\"average = %f\\n\", {global} / {n});"
-        ));
+        b.stmt(format!("printf(\"average = %f\\n\", {global} / {n});"));
         b.stmt("}".to_string());
     } else {
         b.stmt(format!(
@@ -458,12 +466,14 @@ fn gen_min_max(ctx: &mut GenCtx) -> String {
         "if ({buf}[{i}] > local_max) {{ local_max = {buf}[{i}]; }}"
     ));
     b.stmt("}".to_string());
-    b.stmt(format!(
+    b.stmt(
         "MPI_Reduce(&local_min, &global_min, 1, MPI_DOUBLE, MPI_MIN, 0, MPI_COMM_WORLD);"
-    ));
-    b.stmt(format!(
+            .to_string(),
+    );
+    b.stmt(
         "MPI_Reduce(&local_max, &global_max, 1, MPI_DOUBLE, MPI_MAX, 0, MPI_COMM_WORLD);"
-    ));
+            .to_string(),
+    );
     b.stmt(format!(
         "if ({rank} == 0) {{ printf(\"min %f max %f\\n\", global_min, global_max); }}"
     ));
@@ -478,7 +488,9 @@ fn gen_mat_vec(ctx: &mut GenCtx) -> String {
     let mut b = ProgramBuilder::new(ctx);
     let (i, j, rank, size) = (&names.loop_i, &names.loop_j, &names.rank, &names.size);
     b.stmt(format!("int {rank}, {size}, {i}, {j};"));
-    b.stmt(format!("double mat[{rows}][{cols}], vec[{cols}], out[{rows}];"));
+    b.stmt(format!(
+        "double mat[{rows}][{cols}], vec[{cols}], out[{rows}];"
+    ));
     b.stmt(format!("double local_out[{rows}];"));
     b.mpi_prologue(ctx, &names, true);
     b.stmt(format!("if ({rank} == 0) {{"));
@@ -505,9 +517,7 @@ fn gen_mat_vec(ctx: &mut GenCtx) -> String {
         "for ({j} = 0; {j} < {cols}; {j}++) {{ local_out[{i}] += my_rows[{i}][{j}] * vec[{j}]; }}"
     ));
     b.stmt("}".to_string());
-    b.stmt(format!(
-        "MPI_Gather(local_out, rows_per, MPI_DOUBLE, out, rows_per, MPI_DOUBLE, 0, MPI_COMM_WORLD);"
-    ));
+    b.stmt("MPI_Gather(local_out, rows_per, MPI_DOUBLE, out, rows_per, MPI_DOUBLE, 0, MPI_COMM_WORLD);".to_string());
     b.stmt(format!(
         "if ({rank} == 0) {{ printf(\"out[0] = %f\\n\", out[0]); }}"
     ));
@@ -523,7 +533,7 @@ fn gen_sum_reduce_gather(ctx: &mut GenCtx) -> String {
     let (local, global) = (&names.local, &names.global);
     b.stmt(format!("int {rank}, {size}, {i};"));
     b.stmt(format!("double {local} = 0.0, {global};"));
-    b.stmt(format!("double partials[64];"));
+    b.stmt("double partials[64];".to_string());
     b.mpi_prologue(ctx, &names, true);
     b.stmt(format!(
         "for ({i} = 0; {i} < {n_val}; {i}++) {{ {local} += ({i} + {rank}) * 0.25; }}"
@@ -588,7 +598,9 @@ fn gen_factorial(ctx: &mut GenCtx) -> String {
     b.stmt("long local_prod = 1, global_prod = 1;".to_string());
     b.stmt(format!("int n = {n_val};"));
     b.mpi_prologue(ctx, &names, true);
-    b.stmt(format!("for ({i} = {rank} + 1; {i} <= n; {i} += {size}) {{"));
+    b.stmt(format!(
+        "for ({i} = {rank} + 1; {i} <= n; {i} += {size}) {{"
+    ));
     b.stmt(format!("local_prod = local_prod * {i};"));
     b.stmt("}".to_string());
     b.stmt(
@@ -608,7 +620,7 @@ fn gen_fibonacci(ctx: &mut GenCtx) -> String {
     let mut b = ProgramBuilder::new(ctx);
     let (i, rank, size) = (&names.loop_i, &names.rank, &names.size);
     b.stmt(format!("int {rank}, {size}, {i};"));
-    b.stmt(format!("long fib = 0;"));
+    b.stmt("long fib = 0;".to_string());
     b.stmt(format!("int n = {n_val};"));
     b.mpi_prologue(ctx, &names, true);
     b.stmt(format!("if ({rank} == 0) {{"));
@@ -641,11 +653,13 @@ fn gen_ring_pass(ctx: &mut GenCtx) -> String {
     b.stmt(format!("int next = ({rank} + 1) % {size};"));
     b.stmt(format!("int prev = ({rank} + {size} - 1) % {size};"));
     b.stmt(format!("MPI_Status {st};"));
-    b.stmt(format!("int r;"));
+    b.stmt("int r;".to_string());
     b.stmt(format!("for (r = 0; r < {rounds}; r++) {{"));
     b.stmt(format!("if ({rank} == 0) {{"));
     b.stmt(format!("{token} = {token} + 1;"));
-    b.stmt(format!("MPI_Send(&{token}, 1, MPI_INT, next, 99, MPI_COMM_WORLD);"));
+    b.stmt(format!(
+        "MPI_Send(&{token}, 1, MPI_INT, next, 99, MPI_COMM_WORLD);"
+    ));
     b.stmt(format!(
         "MPI_Recv(&{token}, 1, MPI_INT, prev, 99, MPI_COMM_WORLD, &{st});"
     ));
@@ -654,7 +668,9 @@ fn gen_ring_pass(ctx: &mut GenCtx) -> String {
         "MPI_Recv(&{token}, 1, MPI_INT, prev, 99, MPI_COMM_WORLD, &{st});"
     ));
     b.stmt(format!("{token} = {token} + 1;"));
-    b.stmt(format!("MPI_Send(&{token}, 1, MPI_INT, next, 99, MPI_COMM_WORLD);"));
+    b.stmt(format!(
+        "MPI_Send(&{token}, 1, MPI_INT, next, 99, MPI_COMM_WORLD);"
+    ));
     b.stmt("}".to_string());
     b.stmt("}".to_string());
     b.stmt(format!(
@@ -802,7 +818,9 @@ fn gen_scatter_work(ctx: &mut GenCtx) -> String {
     let mut b = ProgramBuilder::new(ctx);
     let (i, rank, size, buf) = (&names.loop_i, &names.rank, &names.size, &names.buf);
     b.stmt(format!("int {rank}, {size}, {i};"));
-    b.stmt(format!("double {buf}[{n_val}], mine[{n_val}], squared[{n_val}];"));
+    b.stmt(format!(
+        "double {buf}[{n_val}], mine[{n_val}], squared[{n_val}];"
+    ));
     b.mpi_prologue(ctx, &names, true);
     b.stmt(format!("if ({rank} == 0) {{"));
     b.stmt(format!(
@@ -820,9 +838,7 @@ fn gen_scatter_work(ctx: &mut GenCtx) -> String {
         b.stmt(format!(
             "MPI_Allgather(squared, per, MPI_DOUBLE, {buf}, per, MPI_DOUBLE, MPI_COMM_WORLD);"
         ));
-        b.stmt(format!(
-            "printf(\"rank %d sees %f\\n\", {rank}, {buf}[0]);"
-        ));
+        b.stmt(format!("printf(\"rank %d sees %f\\n\", {rank}, {buf}[0]);"));
     } else {
         b.stmt(format!(
             "MPI_Gather(squared, per, MPI_DOUBLE, {buf}, per, MPI_DOUBLE, 0, MPI_COMM_WORLD);"
@@ -975,7 +991,10 @@ mod tests {
         for idx in 0..60u64 {
             let (schema, src) = generate_program(4242, idx);
             parse_strict(&src).unwrap_or_else(|e| {
-                panic!("program {idx} (schema {}) failed: {e}\n{src}", schema.name())
+                panic!(
+                    "program {idx} (schema {}) failed: {e}\n{src}",
+                    schema.name()
+                )
             });
         }
     }
@@ -987,7 +1006,11 @@ mod tests {
             let mut ctx = GenCtx::for_program(5, idx);
             seen.insert(Schema::sample(&mut ctx));
         }
-        assert_eq!(seen.len(), Schema::ALL.len(), "all schemas sampled: {seen:?}");
+        assert_eq!(
+            seen.len(),
+            Schema::ALL.len(),
+            "all schemas sampled: {seen:?}"
+        );
     }
 
     #[test]

@@ -247,8 +247,10 @@ int main(int argc, char **argv) {
 
     #[test]
     fn fraction_above_half() {
-        let mut stats = CorpusStats::default();
-        stats.init_finalize_ratio_hist = [0, 0, 0, 0, 1, 1, 0, 0, 0, 2];
+        let stats = CorpusStats {
+            init_finalize_ratio_hist: [0, 0, 0, 0, 1, 1, 0, 0, 0, 2],
+            ..Default::default()
+        };
         assert!((stats.fraction_ratio_above_half() - 0.75).abs() < 1e-12);
     }
 

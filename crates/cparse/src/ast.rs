@@ -58,7 +58,10 @@ pub enum Item {
     Function(FunctionDef),
     Declaration(Declaration),
     /// Unparseable region, retained verbatim for tolerance.
-    Error { line: u32, text: String },
+    Error {
+        line: u32,
+        text: String,
+    },
 }
 
 /// A function definition (declarations-without-body are modelled as
@@ -157,7 +160,10 @@ impl Block {
 pub enum Stmt {
     Decl(Declaration),
     /// Expression statement; `expr == None` is the empty statement `;`.
-    Expr { expr: Option<Expr>, line: u32 },
+    Expr {
+        expr: Option<Expr>,
+        line: u32,
+    },
     If {
         cond: Expr,
         then_branch: Box<Stmt>,
@@ -181,12 +187,22 @@ pub enum Stmt {
         body: Box<Stmt>,
         line: u32,
     },
-    Return { expr: Option<Expr>, line: u32 },
-    Break { line: u32 },
-    Continue { line: u32 },
+    Return {
+        expr: Option<Expr>,
+        line: u32,
+    },
+    Break {
+        line: u32,
+    },
+    Continue {
+        line: u32,
+    },
     Block(Block),
     /// Unparseable statement region retained verbatim.
-    Error { line: u32, text: String },
+    Error {
+        line: u32,
+        text: String,
+    },
 }
 
 impl Stmt {
@@ -414,7 +430,10 @@ pub enum Expr {
     },
     /// `sizeof(type)` — `sizeof expr` is normalized to a cast-free form at
     /// parse time by evaluating the operand's rendered type when possible.
-    SizeofType { ty: TypeSpec, pointer_depth: u8 },
+    SizeofType {
+        ty: TypeSpec,
+        pointer_depth: u8,
+    },
     Comma {
         lhs: Box<Expr>,
         rhs: Box<Expr>,
@@ -600,7 +619,10 @@ mod tests {
 
     #[test]
     fn typespec_render() {
-        assert_eq!(TypeSpec::new(&["unsigned", "long"]).render(), "unsigned long");
+        assert_eq!(
+            TypeSpec::new(&["unsigned", "long"]).render(),
+            "unsigned long"
+        );
         assert!(TypeSpec::named("void").is_void());
         assert!(!TypeSpec::new(&["void", "*"]).is_void());
     }
@@ -690,7 +712,10 @@ mod tests {
 
     #[test]
     fn stmt_line_accessor() {
-        let s = Stmt::Return { expr: None, line: 9 };
+        let s = Stmt::Return {
+            expr: None,
+            line: 9,
+        };
         assert_eq!(s.line(), 9);
         let b = Stmt::Block(Block::empty());
         assert_eq!(b.line(), 0);

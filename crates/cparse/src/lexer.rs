@@ -228,13 +228,14 @@ impl<'a> Lexer<'a> {
                 }
             }
         } else {
-            let value = if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
-                i64::from_str_radix(hex, 16)
-            } else if text.len() > 1 && text.starts_with('0') {
-                i64::from_str_radix(&text[1..], 8)
-            } else {
-                text.parse::<i64>()
-            };
+            let value =
+                if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+                    i64::from_str_radix(hex, 16)
+                } else if text.len() > 1 && text.starts_with('0') {
+                    i64::from_str_radix(&text[1..], 8)
+                } else {
+                    text.parse::<i64>()
+                };
             match value {
                 Ok(v) => self.push(TokenKind::IntLit(v), line),
                 Err(_) => {
@@ -501,12 +502,16 @@ mod tests {
 
     #[test]
     fn float_literals() {
-        assert_eq!(kinds("3.14")[0], TokenKind::FloatLit(3.14));
+        assert_eq!(kinds("3.25")[0], TokenKind::FloatLit(3.25));
         assert_eq!(kinds("1e3")[0], TokenKind::FloatLit(1000.0));
         assert_eq!(kinds("2.5e-2")[0], TokenKind::FloatLit(0.025));
         assert_eq!(kinds(".5")[0], TokenKind::FloatLit(0.5));
         assert_eq!(kinds("1.0f")[0], TokenKind::FloatLit(1.0));
-        assert_eq!(kinds("4f")[0], TokenKind::FloatLit(4.0), "f-suffix forces float");
+        assert_eq!(
+            kinds("4f")[0],
+            TokenKind::FloatLit(4.0),
+            "f-suffix forces float"
+        );
     }
 
     #[test]

@@ -42,8 +42,8 @@ pub mod printer;
 pub mod token;
 
 pub use ast::{
-    AssignOp, BinOp, Block, Declaration, Declarator, Expr, ForInit, FunctionDef, Init, Item,
-    Param, Program, Stmt, TypeSpec, UnOp,
+    AssignOp, BinOp, Block, Declaration, Declarator, Expr, ForInit, FunctionDef, Init, Item, Param,
+    Program, Stmt, TypeSpec, UnOp,
 };
 pub use error::{Diagnostic, ParseError, Severity};
 pub use lexer::{lex, LexOutput};

@@ -145,7 +145,10 @@ impl Parser {
         } else {
             let line = self.peek().line;
             let found = self.peek().kind.render();
-            self.error(line, format!("expected `{}`, found `{}`", p.as_str(), found));
+            self.error(
+                line,
+                format!("expected `{}`, found `{}`", p.as_str(), found),
+            );
             false
         }
     }
@@ -237,7 +240,10 @@ impl Parser {
         if !self.at_type_start() {
             let line = self.peek().line;
             let found = self.peek().kind.render();
-            self.error(line, format!("expected declaration or function, found `{found}`"));
+            self.error(
+                line,
+                format!("expected declaration or function, found `{found}`"),
+            );
             return None;
         }
         let type_spec = self.parse_type_spec()?;
@@ -311,8 +317,7 @@ impl Parser {
                 TokenKind::Keyword(k) if k.starts_type() => {
                     // `struct`/`union`/`enum` are followed by a tag name.
                     words.push(k.as_str().to_string());
-                    let is_tagged =
-                        matches!(k, Keyword::Struct | Keyword::Union | Keyword::Enum);
+                    let is_tagged = matches!(k, Keyword::Struct | Keyword::Union | Keyword::Enum);
                     self.bump();
                     if is_tagged {
                         if let TokenKind::Ident(tag) = &self.peek().kind {
@@ -948,7 +953,10 @@ impl Parser {
                 Some(e)
             }
             _ => {
-                self.error(t.line, format!("expected expression, found `{}`", t.kind.render()));
+                self.error(
+                    t.line,
+                    format!("expected expression, found `{}`", t.kind.render()),
+                );
                 None
             }
         }
@@ -1049,15 +1057,27 @@ int main(int argc, char **argv) {
         let main = prog.main().unwrap();
         assert!(matches!(
             &main.body.stmts[0],
-            Stmt::For { init: ForInit::None, cond: None, step: None, .. }
+            Stmt::For {
+                init: ForInit::None,
+                cond: None,
+                step: None,
+                ..
+            }
         ));
         assert!(matches!(
             &main.body.stmts[1],
-            Stmt::For { init: ForInit::Decl(_), .. }
+            Stmt::For {
+                init: ForInit::Decl(_),
+                ..
+            }
         ));
         assert!(matches!(
             &main.body.stmts[3],
-            Stmt::For { init: ForInit::Expr(_), step: None, .. }
+            Stmt::For {
+                init: ForInit::Expr(_),
+                step: None,
+                ..
+            }
         ));
     }
 
@@ -1067,7 +1087,11 @@ int main(int argc, char **argv) {
         let main = prog.main().unwrap();
         match &main.body.stmts[0] {
             Stmt::Decl(d) => match d.declarators[0].init.as_ref().unwrap() {
-                Init::Expr(Expr::Binary { op: BinOp::Add, rhs, .. }) => {
+                Init::Expr(Expr::Binary {
+                    op: BinOp::Add,
+                    rhs,
+                    ..
+                }) => {
                     assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
                 }
                 other => panic!("unexpected init {other:?}"),
@@ -1081,7 +1105,10 @@ int main(int argc, char **argv) {
         let prog = parse_strict("int main() { int a, b, c; a = b = c = 1; return a; }").unwrap();
         let main = prog.main().unwrap();
         match &main.body.stmts[1] {
-            Stmt::Expr { expr: Some(Expr::Assign { rhs, .. }), .. } => {
+            Stmt::Expr {
+                expr: Some(Expr::Assign { rhs, .. }),
+                ..
+            } => {
                 assert!(matches!(**rhs, Expr::Assign { .. }));
             }
             other => panic!("unexpected {other:?}"),
@@ -1090,14 +1117,19 @@ int main(int argc, char **argv) {
 
     #[test]
     fn dangling_else_binds_inner() {
-        let prog =
-            parse_strict("int main() { if (1) if (2) return 1; else return 2; return 0; }")
-                .unwrap();
+        let prog = parse_strict("int main() { if (1) if (2) return 1; else return 2; return 0; }")
+            .unwrap();
         let main = prog.main().unwrap();
         match &main.body.stmts[0] {
-            Stmt::If { else_branch, then_branch, .. } => {
+            Stmt::If {
+                else_branch,
+                then_branch,
+                ..
+            } => {
                 assert!(else_branch.is_none(), "else binds to the inner if");
-                assert!(matches!(**then_branch, Stmt::If { ref else_branch, .. } if else_branch.is_some()));
+                assert!(
+                    matches!(**then_branch, Stmt::If { ref else_branch, .. } if else_branch.is_some())
+                );
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -1132,10 +1164,9 @@ int main(int argc, char **argv) {
 
     #[test]
     fn member_access_on_status() {
-        let prog = parse_strict(
-            "int main() { MPI_Status st; int src = st.MPI_SOURCE; return src; }",
-        )
-        .unwrap();
+        let prog =
+            parse_strict("int main() { MPI_Status st; int src = st.MPI_SOURCE; return src; }")
+                .unwrap();
         let main = prog.main().unwrap();
         match &main.body.stmts[1] {
             Stmt::Decl(d) => match d.declarators[0].init.as_ref().unwrap() {
@@ -1156,7 +1187,11 @@ int main(int argc, char **argv) {
         assert!(!out.is_clean());
         let main = out.program.main().unwrap();
         // a-decl, error node, b-decl, return
-        assert!(main.body.stmts.iter().any(|s| matches!(s, Stmt::Error { .. })));
+        assert!(main
+            .body
+            .stmts
+            .iter()
+            .any(|s| matches!(s, Stmt::Error { .. })));
         let decls = main
             .body
             .stmts
@@ -1212,7 +1247,8 @@ int main(int argc, char **argv) {
 
     #[test]
     fn global_declarations() {
-        let prog = parse_strict("int N = 100;\ndouble data[64];\nint main() { return N; }").unwrap();
+        let prog =
+            parse_strict("int N = 100;\ndouble data[64];\nint main() { return N; }").unwrap();
         let globals = prog
             .items
             .iter()
@@ -1223,12 +1259,17 @@ int main(int argc, char **argv) {
 
     #[test]
     fn comma_in_for_step() {
-        let prog =
-            parse_strict("int main() { int i, j; for (i = 0, j = 9; i < j; i++, j--) ; return 0; }")
-                .unwrap();
+        let prog = parse_strict(
+            "int main() { int i, j; for (i = 0, j = 9; i < j; i++, j--) ; return 0; }",
+        )
+        .unwrap();
         let main = prog.main().unwrap();
         match &main.body.stmts[1] {
-            Stmt::For { init: ForInit::Expr(e), step: Some(s), .. } => {
+            Stmt::For {
+                init: ForInit::Expr(e),
+                step: Some(s),
+                ..
+            } => {
                 assert!(matches!(e, Expr::Comma { .. }));
                 assert!(matches!(s, Expr::Comma { .. }));
             }
@@ -1241,7 +1282,10 @@ int main(int argc, char **argv) {
         let prog = parse_strict(r#"int main() { printf("a" "b"); return 0; }"#).unwrap();
         let main = prog.main().unwrap();
         match &main.body.stmts[0] {
-            Stmt::Expr { expr: Some(Expr::Call { args, .. }), .. } => {
+            Stmt::Expr {
+                expr: Some(Expr::Call { args, .. }),
+                ..
+            } => {
                 assert_eq!(args[0], Expr::StrLit("ab".into()));
             }
             other => panic!("unexpected {other:?}"),

@@ -92,7 +92,12 @@ impl Printer {
             let ps: Vec<String> = f.params.iter().map(render_param).collect();
             format!("({})", ps.join(", "))
         };
-        self.line(&format!("{} {}{} {{", f.return_type.render(), f.name, params));
+        self.line(&format!(
+            "{} {}{} {{",
+            f.return_type.render(),
+            f.name,
+            params
+        ));
         self.indent += 1;
         for s in &f.body.stmts {
             self.stmt(s);
@@ -221,7 +226,8 @@ impl Printer {
             ..
         } = s
         {
-            self.out.push_str(&format!("if ({}) {{\n", render_expr(cond)));
+            self.out
+                .push_str(&format!("if ({}) {{\n", render_expr(cond)));
             self.indent += 1;
             self.stmt_flattened(then_branch);
             self.indent -= 1;
@@ -389,7 +395,7 @@ fn render_prec(e: &Expr, min: u8) -> String {
             pointer_depth,
             operand,
         } => {
-            let stars: String = std::iter::repeat('*').take(*pointer_depth as usize).collect();
+            let stars = "*".repeat(*pointer_depth as usize);
             let sep = if stars.is_empty() { "" } else { " " };
             format!("({}{sep}{stars}){}", ty.render(), render_prec(operand, 13))
         }
@@ -404,7 +410,7 @@ fn render_prec(e: &Expr, min: u8) -> String {
             render_prec(else_expr, 2)
         ),
         Expr::SizeofType { ty, pointer_depth } => {
-            let stars: String = std::iter::repeat('*').take(*pointer_depth as usize).collect();
+            let stars = "*".repeat(*pointer_depth as usize);
             let sep = if stars.is_empty() { "" } else { " " };
             format!("sizeof({}{sep}{stars})", ty.render())
         }
@@ -433,7 +439,7 @@ mod tests {
     fn float_formatting() {
         assert_eq!(format_float(1.0), "1.0");
         assert_eq!(format_float(0.5), "0.5");
-        assert_eq!(format_float(3.14), "3.14");
+        assert_eq!(format_float(3.25), "3.25");
         assert_eq!(format_float(-2.0), "-2.0");
         assert_eq!(format_float(1e300), "1e300");
     }
@@ -477,7 +483,8 @@ int main(int argc, char **argv) {
 
     #[test]
     fn minimal_parens() {
-        let src = "int main() { int x = (1 + 2) * 3; int y = 1 + 2 + 3; int z = -(1 + 2); return x; }";
+        let src =
+            "int main() { int x = (1 + 2) * 3; int y = 1 + 2 + 3; int z = -(1 + 2); return x; }";
         let out = roundtrip(src);
         assert!(out.contains("(1 + 2) * 3"), "needed parens kept: {out}");
         assert!(out.contains("1 + 2 + 3"), "redundant parens dropped: {out}");
@@ -512,7 +519,8 @@ int main(int argc, char **argv) {
 
     #[test]
     fn nested_blocks_in_loop_bodies_flatten() {
-        let out = roundtrip("int main() { for (int i = 0; i < 3; i++) { { int x = i; } } return 0; }");
+        let out =
+            roundtrip("int main() { for (int i = 0; i < 3; i++) { { int x = i; } } return 0; }");
         // Inner explicit block survives, loop braces are single.
         let opens = out.matches('{').count();
         let closes = out.matches('}').count();
@@ -536,7 +544,8 @@ int main(int argc, char **argv) {
 
     #[test]
     fn comma_expr_roundtrip() {
-        let out = roundtrip("int main() { int i, j; for (i = 0, j = 5; i < j; i++, j--) ; return 0; }");
+        let out =
+            roundtrip("int main() { int i, j; for (i = 0, j = 5; i < j; i++, j--) ; return 0; }");
         assert!(out.contains("i = 0, j = 5"), "{out}");
         parse_strict(&out).unwrap();
     }

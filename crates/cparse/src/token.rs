@@ -46,6 +46,8 @@ pub enum Keyword {
 
 impl Keyword {
     /// Look up a keyword from its source spelling.
+    /// (Infallible-by-Option rather than `FromStr`'s `Result` contract.)
+    #[allow(clippy::should_implement_trait)]
     pub fn from_str(s: &str) -> Option<Keyword> {
         use Keyword::*;
         Some(match s {
@@ -369,7 +371,11 @@ mod tests {
     fn keyword_unknown() {
         assert_eq!(Keyword::from_str("mpirical"), None);
         assert_eq!(Keyword::from_str(""), None);
-        assert_eq!(Keyword::from_str("Int"), None, "keywords are case-sensitive");
+        assert_eq!(
+            Keyword::from_str("Int"),
+            None,
+            "keywords are case-sensitive"
+        );
     }
 
     #[test]

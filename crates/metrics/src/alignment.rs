@@ -83,11 +83,8 @@ pub fn align(truth: &[CallSite], pred: &[CallSite], tolerance: u32) -> Alignment
     }
 
     let mut out = Alignment::default();
-    let names: std::collections::BTreeSet<&str> = truth_by
-        .keys()
-        .chain(pred_by.keys())
-        .copied()
-        .collect();
+    let names: std::collections::BTreeSet<&str> =
+        truth_by.keys().chain(pred_by.keys()).copied().collect();
     for name in names {
         let mut ts: Vec<&CallSite> = truth_by.remove(name).unwrap_or_default();
         let mut ps: Vec<&CallSite> = pred_by.remove(name).unwrap_or_default();
@@ -110,8 +107,10 @@ pub fn align(truth: &[CallSite], pred: &[CallSite], tolerance: u32) -> Alignment
                 i += 1;
             }
         }
-        out.unmatched_truth.extend(ts[i..].iter().map(|c| (*c).clone()));
-        out.unmatched_pred.extend(ps[j..].iter().map(|c| (*c).clone()));
+        out.unmatched_truth
+            .extend(ts[i..].iter().map(|c| (*c).clone()));
+        out.unmatched_pred
+            .extend(ps[j..].iter().map(|c| (*c).clone()));
     }
     out
 }
@@ -134,7 +133,14 @@ mod tests {
         let truth = [c("MPI_Init", 4), c("MPI_Finalize", 10)];
         let pred = [c("MPI_Init", 4), c("MPI_Finalize", 10)];
         let counts = align_counts(&truth, &pred, 1);
-        assert_eq!(counts, Counts { tp: 2, fp: 0, fn_: 0 });
+        assert_eq!(
+            counts,
+            Counts {
+                tp: 2,
+                fp: 0,
+                fn_: 0
+            }
+        );
     }
 
     #[test]
@@ -143,7 +149,14 @@ mod tests {
         assert_eq!(align_counts(&truth, &[c("MPI_Send", 8)], 1).tp, 1);
         assert_eq!(align_counts(&truth, &[c("MPI_Send", 6)], 1).tp, 1);
         let off2 = align_counts(&truth, &[c("MPI_Send", 9)], 1);
-        assert_eq!(off2, Counts { tp: 0, fp: 1, fn_: 1 });
+        assert_eq!(
+            off2,
+            Counts {
+                tp: 0,
+                fp: 1,
+                fn_: 1
+            }
+        );
     }
 
     #[test]
@@ -158,7 +171,14 @@ mod tests {
         let truth = [c("MPI_Send", 7)];
         let pred = [c("MPI_Recv", 7)];
         let counts = align_counts(&truth, &pred, 1);
-        assert_eq!(counts, Counts { tp: 0, fp: 1, fn_: 1 });
+        assert_eq!(
+            counts,
+            Counts {
+                tp: 0,
+                fp: 1,
+                fn_: 1
+            }
+        );
     }
 
     #[test]
@@ -166,7 +186,14 @@ mod tests {
         let truth = [c("MPI_Send", 5)];
         let pred = [c("MPI_Send", 5), c("MPI_Send", 6)];
         let counts = align_counts(&truth, &pred, 1);
-        assert_eq!(counts, Counts { tp: 1, fp: 1, fn_: 0 });
+        assert_eq!(
+            counts,
+            Counts {
+                tp: 1,
+                fp: 1,
+                fn_: 0
+            }
+        );
     }
 
     #[test]
@@ -176,7 +203,14 @@ mod tests {
         let truth = [c("MPI_Comm_rank", 5), c("MPI_Comm_size", 6)];
         let pred = [c("MPI_Comm_size", 5), c("MPI_Comm_rank", 6)];
         let counts = align_counts(&truth, &pred, 1);
-        assert_eq!(counts, Counts { tp: 2, fp: 0, fn_: 0 });
+        assert_eq!(
+            counts,
+            Counts {
+                tp: 2,
+                fp: 0,
+                fn_: 0
+            }
+        );
     }
 
     #[test]
@@ -185,7 +219,14 @@ mod tests {
         let truth = [c("MPI_Send", 1), c("MPI_Send", 3)];
         let pred = [c("MPI_Send", 2)];
         let counts = align_counts(&truth, &pred, 1);
-        assert_eq!(counts, Counts { tp: 1, fp: 0, fn_: 1 });
+        assert_eq!(
+            counts,
+            Counts {
+                tp: 1,
+                fp: 0,
+                fn_: 1
+            }
+        );
 
         // preds at 0 and 2: both should match (0↔1, 2↔3).
         let pred2 = [c("MPI_Send", 0), c("MPI_Send", 2)];
@@ -196,8 +237,22 @@ mod tests {
     fn empty_sides() {
         assert_eq!(align_counts(&[], &[], 1), Counts::default());
         let truth = [c("MPI_Init", 1)];
-        assert_eq!(align_counts(&truth, &[], 1), Counts { tp: 0, fp: 0, fn_: 1 });
-        assert_eq!(align_counts(&[], &truth, 1), Counts { tp: 0, fp: 1, fn_: 0 });
+        assert_eq!(
+            align_counts(&truth, &[], 1),
+            Counts {
+                tp: 0,
+                fp: 0,
+                fn_: 1
+            }
+        );
+        assert_eq!(
+            align_counts(&[], &truth, 1),
+            Counts {
+                tp: 0,
+                fp: 1,
+                fn_: 0
+            }
+        );
     }
 
     #[test]
@@ -219,8 +274,23 @@ mod tests {
 
     #[test]
     fn counts_add() {
-        let mut a = Counts { tp: 1, fp: 2, fn_: 3 };
-        a.add(Counts { tp: 10, fp: 20, fn_: 30 });
-        assert_eq!(a, Counts { tp: 11, fp: 22, fn_: 33 });
+        let mut a = Counts {
+            tp: 1,
+            fp: 2,
+            fn_: 3,
+        };
+        a.add(Counts {
+            tp: 10,
+            fp: 20,
+            fn_: 30,
+        });
+        assert_eq!(
+            a,
+            Counts {
+                tp: 11,
+                fp: 22,
+                fn_: 33
+            }
+        );
     }
 }

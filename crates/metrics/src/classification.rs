@@ -123,7 +123,11 @@ mod tests {
 
     #[test]
     fn prf_basics() {
-        let p = Prf::from_counts(Counts { tp: 8, fp: 2, fn_: 2 });
+        let p = Prf::from_counts(Counts {
+            tp: 8,
+            fp: 2,
+            fn_: 2,
+        });
         assert!((p.precision - 0.8).abs() < 1e-12);
         assert!((p.recall - 0.8).abs() < 1e-12);
         assert!((p.f1 - 0.8).abs() < 1e-12);
@@ -137,7 +141,11 @@ mod tests {
 
     #[test]
     fn prf_no_predictions() {
-        let p = Prf::from_counts(Counts { tp: 0, fp: 0, fn_: 3 });
+        let p = Prf::from_counts(Counts {
+            tp: 0,
+            fp: 0,
+            fn_: 3,
+        });
         assert_eq!(p.precision, 0.0);
         assert_eq!(p.recall, 0.0);
         assert_eq!(p.f1, 0.0);
@@ -145,7 +153,11 @@ mod tests {
 
     #[test]
     fn f1_harmonic_mean_shape() {
-        let p = Prf::from_counts(Counts { tp: 1, fp: 0, fn_: 9 });
+        let p = Prf::from_counts(Counts {
+            tp: 1,
+            fp: 0,
+            fn_: 9,
+        });
         assert_eq!(p.precision, 1.0);
         assert!((p.recall - 0.1).abs() < 1e-12);
         assert!(p.f1 < 0.2, "harmonic mean pulled down by recall");
@@ -157,8 +169,22 @@ mod tests {
         let truth = vec![c("MPI_Init", 2), c("MPI_Allreduce", 5)];
         let pred = vec![c("MPI_Init", 2), c("MPI_Barrier", 5)];
         let report = classification_report([(truth.as_slice(), pred.as_slice())], 1, &CC);
-        assert_eq!(report.m_counts, Counts { tp: 1, fp: 1, fn_: 1 });
-        assert_eq!(report.mcc_counts, Counts { tp: 1, fp: 0, fn_: 0 });
+        assert_eq!(
+            report.m_counts,
+            Counts {
+                tp: 1,
+                fp: 1,
+                fn_: 1
+            }
+        );
+        assert_eq!(
+            report.mcc_counts,
+            Counts {
+                tp: 1,
+                fp: 0,
+                fn_: 0
+            }
+        );
         assert!(report.mcc.f1 > report.m.f1);
     }
 
@@ -169,11 +195,21 @@ mod tests {
         let t2 = vec![c("MPI_Send", 5)];
         let p2: Vec<CallSite> = vec![];
         let report = classification_report(
-            [(t1.as_slice(), p1.as_slice()), (t2.as_slice(), p2.as_slice())],
+            [
+                (t1.as_slice(), p1.as_slice()),
+                (t2.as_slice(), p2.as_slice()),
+            ],
             1,
             &CC,
         );
-        assert_eq!(report.m_counts, Counts { tp: 1, fp: 0, fn_: 1 });
+        assert_eq!(
+            report.m_counts,
+            Counts {
+                tp: 1,
+                fp: 0,
+                fn_: 1
+            }
+        );
         assert!((report.m.recall - 0.5).abs() < 1e-12);
         assert_eq!(report.m.precision, 1.0);
     }

@@ -110,8 +110,14 @@ mod tests {
     #[test]
     fn table_two_perfect_prediction() {
         let e = EvalExample {
-            truth_calls: vec![CallSite::new("MPI_Init", 3), CallSite::new("MPI_Finalize", 9)],
-            pred_calls: vec![CallSite::new("MPI_Init", 3), CallSite::new("MPI_Finalize", 9)],
+            truth_calls: vec![
+                CallSite::new("MPI_Init", 3),
+                CallSite::new("MPI_Finalize", 9),
+            ],
+            pred_calls: vec![
+                CallSite::new("MPI_Init", 3),
+                CallSite::new("MPI_Finalize", 9),
+            ],
             truth_tokens: toks("MPI_Init ( ) ; MPI_Finalize ( ) ;"),
             pred_tokens: toks("MPI_Init ( ) ; MPI_Finalize ( ) ;"),
         };

@@ -41,11 +41,7 @@ pub fn corpus_rouge_l(pairs: &[(Vec<String>, Vec<String>)]) -> f64 {
     if pairs.is_empty() {
         return 0.0;
     }
-    pairs
-        .iter()
-        .map(|(r, c)| rouge_l(r, c))
-        .sum::<f64>()
-        / pairs.len() as f64
+    pairs.iter().map(|(r, c)| rouge_l(r, c)).sum::<f64>() / pairs.len() as f64
 }
 
 #[cfg(test)]
@@ -96,8 +92,8 @@ mod tests {
     #[test]
     fn corpus_mean() {
         let pairs = vec![
-            (toks("a b"), toks("a b")),   // 1.0
-            (toks("a b"), toks("x y")),   // 0.0
+            (toks("a b"), toks("a b")), // 1.0
+            (toks("a b"), toks("x y")), // 0.0
         ];
         assert!((corpus_rouge_l(&pairs) - 0.5).abs() < 1e-12);
     }

@@ -49,15 +49,12 @@ impl Bpe {
             let mut pair_freq: HashMap<(String, String), usize> = HashMap::new();
             for (syms, f) in &table {
                 for w in syms.windows(2) {
-                    *pair_freq
-                        .entry((w[0].clone(), w[1].clone()))
-                        .or_insert(0) += f;
+                    *pair_freq.entry((w[0].clone(), w[1].clone())).or_insert(0) += f;
                 }
             }
             // Best pair: max frequency, ties broken lexicographically.
             let Some((best, best_f)) = pair_freq.into_iter().max_by(|a, b| {
-                a.1.cmp(&b.1)
-                    .then_with(|| b.0.cmp(&a.0)) // lexicographically smaller wins
+                a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0)) // lexicographically smaller wins
             }) else {
                 break;
             };
@@ -144,16 +141,15 @@ mod tests {
         let bpe = Bpe::train(words.iter(), 10);
         assert!(!bpe.merges.is_empty());
         // "lo" (freq 4) should be merged before anything in "newer" (freq 2).
-        let lo_pos = bpe
-            .merges
-            .iter()
-            .position(|(a, b)| a == "l" && b == "o");
+        let lo_pos = bpe.merges.iter().position(|(a, b)| a == "l" && b == "o");
         assert!(lo_pos.is_some(), "merges: {:?}", bpe.merges);
     }
 
     #[test]
     fn segment_join_roundtrip() {
-        let words = corpus(&["MPI_Send", "MPI_Send", "MPI_Recv", "MPI_Recv", "rank", "rank"]);
+        let words = corpus(&[
+            "MPI_Send", "MPI_Send", "MPI_Recv", "MPI_Recv", "rank", "rank",
+        ]);
         let bpe = Bpe::train(words.iter(), 30);
         for w in ["MPI_Send", "MPI_Recv", "rank", "unseen_word"] {
             let units = bpe.segment(w);

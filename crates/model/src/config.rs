@@ -88,7 +88,7 @@ impl ModelConfig {
         if self.vocab_size == 0 {
             return Err("vocab_size must be set".into());
         }
-        if self.d_model % self.n_heads != 0 {
+        if !self.d_model.is_multiple_of(self.n_heads) {
             return Err(format!(
                 "d_model {} not divisible by n_heads {}",
                 self.d_model, self.n_heads
@@ -143,8 +143,10 @@ mod tests {
 
     #[test]
     fn paper_shape_is_larger_than_default() {
-        let mut small = ModelConfig::default();
-        small.vocab_size = 1000;
+        let small = ModelConfig {
+            vocab_size: 1000,
+            ..Default::default()
+        };
         let paper = ModelConfig::paper_shape();
         assert!(paper.approx_params() > 50 * small.approx_params());
     }

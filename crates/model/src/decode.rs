@@ -1,13 +1,65 @@
-//! Inference-time decoding: greedy and beam search.
+//! Inference-time decoding: greedy and beam search over the KV-cached
+//! incremental engine.
 //!
-//! The encoder runs once per input; each decoding step replays the decoder
-//! prefix (no KV cache — quadratic in output length, which is fine at the
-//! ≤320-token scale the paper targets and keeps the code auditable).
+//! The encoder runs once per input. Generation then feeds **one token per
+//! step** through [`infer::decode_step`], which attends over a
+//! [`DecoderCache`] of per-layer self-attention K/V plus cross-attention
+//! K/V projected once from the encoder output — O(T·L) attention work per
+//! token. Beam search forks hypotheses by cloning the cache (each clone
+//! evolves independently) and selects top-k next tokens with
+//! `select_nth_unstable_by`, O(V) instead of a full-vocabulary sort.
+//!
+//! [`greedy_decode_replay`] / [`beam_decode_replay`] keep the original
+//! cache-free path — replaying the whole decoder prefix on a fresh tape
+//! every step, O(T²·L) — as the reference implementation: the equivalence
+//! tests below pin the cached engine's logits to it step by step, and the
+//! `decode` criterion bench group measures the speedup against it.
 
 use crate::config::ModelConfig;
+use crate::infer::{decode_step, DecoderCache};
 use crate::transformer::{decode as dec_forward, encode, ForwardMode, TransformerParams};
 use crate::vocab::{EOS, SOS};
-use mpirical_tensor::{ParamStore, Tape};
+use mpirical_tensor::{ParamStore, Tape, Tensor};
+use serde::{Deserialize, Serialize};
+
+/// Generation knobs shared by the greedy and beam paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DecodeOptions {
+    /// Beam width; `1` is greedy.
+    pub beam: usize,
+    /// Suppress `<eos>` until at least this many tokens are generated
+    /// (benchmarks use it to force fixed-length outputs).
+    pub min_len: usize,
+}
+
+impl Default for DecodeOptions {
+    fn default() -> Self {
+        DecodeOptions {
+            beam: 1,
+            min_len: 0,
+        }
+    }
+}
+
+/// Run the encoder once (inference mode, throwaway tape) and return its
+/// output activations.
+pub fn encode_source(
+    store: &ParamStore,
+    params: &TransformerParams,
+    cfg: &ModelConfig,
+    src_ids: &[usize],
+) -> Tensor {
+    let mut tape = Tape::new();
+    let enc_out = encode(
+        &mut tape,
+        store,
+        params,
+        cfg,
+        src_ids,
+        ForwardMode::inference(),
+    );
+    tape.value(enc_out).clone()
+}
 
 /// Greedy decoding: returns generated ids *without* the leading `<sos>` or
 /// trailing `<eos>`.
@@ -18,50 +70,14 @@ pub fn greedy_decode(
     src_ids: &[usize],
     max_len: usize,
 ) -> Vec<usize> {
-    let mut tape = Tape::new();
-    let enc_out = encode(&mut tape, store, params, cfg, src_ids, ForwardMode::inference());
-    let enc_val = tape.value(enc_out).clone();
-
-    let mut out = vec![SOS];
-    let limit = max_len.min(cfg.max_dec_len);
-    while out.len() < limit {
-        let mut step_tape = Tape::new();
-        let enc_const = step_tape.constant(enc_val.clone());
-        let logits = dec_forward(
-            &mut step_tape,
-            store,
-            params,
-            cfg,
-            enc_const,
-            &out,
-            ForwardMode::inference(),
-        );
-        let v = cfg.vocab_size;
-        let last = tape_last_row_argmax(step_tape.value(logits).data.as_slice(), v, out.len());
-        if last == EOS {
-            break;
-        }
-        out.push(last);
-    }
-    out.remove(0); // drop <sos>
-    out
-}
-
-fn tape_last_row_argmax(logits: &[f32], vocab: usize, rows: usize) -> usize {
-    let row = &logits[(rows - 1) * vocab..rows * vocab];
-    row.iter()
-        .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
-        .map(|(i, _)| i)
-        .unwrap_or(EOS)
-}
-
-/// A beam-search hypothesis.
-#[derive(Debug, Clone)]
-struct Hypothesis {
-    ids: Vec<usize>,
-    log_prob: f32,
-    done: bool,
+    decode_with(
+        store,
+        params,
+        cfg,
+        src_ids,
+        max_len,
+        DecodeOptions::default(),
+    )
 }
 
 /// Beam-search decoding with length-normalized scoring. `beam = 1` is
@@ -74,73 +90,373 @@ pub fn beam_decode(
     max_len: usize,
     beam: usize,
 ) -> Vec<usize> {
-    assert!(beam >= 1);
-    let mut tape = Tape::new();
-    let enc_out = encode(&mut tape, store, params, cfg, src_ids, ForwardMode::inference());
-    let enc_val = tape.value(enc_out).clone();
+    decode_with(
+        store,
+        params,
+        cfg,
+        src_ids,
+        max_len,
+        DecodeOptions { beam, min_len: 0 },
+    )
+}
 
+/// KV-cached generation with explicit options.
+pub fn decode_with(
+    store: &ParamStore,
+    params: &TransformerParams,
+    cfg: &ModelConfig,
+    src_ids: &[usize],
+    max_len: usize,
+    opts: DecodeOptions,
+) -> Vec<usize> {
+    assert!(opts.beam >= 1);
+    let enc_out = encode_source(store, params, cfg, src_ids);
+    if opts.beam == 1 {
+        greedy_cached(store, params, cfg, &enc_out, max_len, opts.min_len)
+    } else {
+        beam_cached(store, params, cfg, &enc_out, max_len, opts)
+    }
+}
+
+/// Argmax of a logits row, optionally banning `<eos>`.
+fn argmax_token(logits: &[f32], ban_eos: bool) -> usize {
+    let mut best = usize::MAX;
+    let mut best_v = f32::NEG_INFINITY;
+    for (i, &v) in logits.iter().enumerate() {
+        if ban_eos && i == EOS {
+            continue;
+        }
+        if v > best_v || best == usize::MAX {
+            best = i;
+            best_v = v;
+        }
+    }
+    best
+}
+
+/// Indices of the `k` largest entries of `row`, best first — O(V) selection
+/// plus an O(k log k) sort of the survivors.
+fn top_k_indices(row: &[f32], k: usize, ban_eos: bool) -> Vec<usize> {
+    let desc = |&a: &usize, &b: &usize| {
+        row[b]
+            .partial_cmp(&row[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    };
+    let mut idx: Vec<usize> = (0..row.len()).filter(|&i| !(ban_eos && i == EOS)).collect();
+    let k = k.min(idx.len());
+    if k == 0 {
+        return idx;
+    }
+    if k < idx.len() {
+        idx.select_nth_unstable_by(k - 1, desc);
+        idx.truncate(k);
+    }
+    idx.sort_by(desc);
+    idx
+}
+
+fn greedy_cached(
+    store: &ParamStore,
+    params: &TransformerParams,
+    cfg: &ModelConfig,
+    enc_out: &Tensor,
+    max_len: usize,
+    min_len: usize,
+) -> Vec<usize> {
+    let mut cache = DecoderCache::new(store, params, cfg, enc_out);
+    let mut out = vec![SOS];
+    let limit = max_len.min(cfg.max_dec_len);
+    while out.len() < limit {
+        let logits = decode_step(store, params, cfg, &mut cache, *out.last().unwrap());
+        let ban_eos = out.len() - 1 < min_len;
+        let tok = argmax_token(&logits, ban_eos);
+        if tok == EOS {
+            break;
+        }
+        out.push(tok);
+    }
+    out.remove(0); // drop <sos>
+    out
+}
+
+/// A beam-search hypothesis carrying its own decoder cache.
+struct Hypothesis {
+    ids: Vec<usize>,
+    log_prob: f32,
+    done: bool,
+    /// Cache state covering `ids[..len-1]`; the newest id is fed on the
+    /// next expansion (`None` once done — a finished cache is dead weight).
+    cache: Option<DecoderCache>,
+}
+
+impl Hypothesis {
+    fn score(&self) -> f32 {
+        self.log_prob / self.ids.len() as f32
+    }
+}
+
+fn beam_cached(
+    store: &ParamStore,
+    params: &TransformerParams,
+    cfg: &ModelConfig,
+    enc_out: &Tensor,
+    max_len: usize,
+    opts: DecodeOptions,
+) -> Vec<usize> {
+    let beam = opts.beam;
     let mut beams = vec![Hypothesis {
         ids: vec![SOS],
         log_prob: 0.0,
         done: false,
+        cache: Some(DecoderCache::new(store, params, cfg, enc_out)),
     }];
     let limit = max_len.min(cfg.max_dec_len);
+
+    // A proposed expansion, scored before any cache is copied: caches are
+    // moved/cloned only for the `beam` candidates that survive truncation
+    // (at most `beam - 1` clones per step, and clones share the immutable
+    // cross-attention K/V).
+    struct Candidate {
+        parent: usize,
+        /// Token to append (`None` for finished hypotheses).
+        token: Option<usize>,
+        log_prob: f32,
+        len: usize,
+        done: bool,
+    }
+    impl Candidate {
+        fn score(&self) -> f32 {
+            self.log_prob / self.len as f32
+        }
+    }
 
     for _ in 1..limit {
         if beams.iter().all(|h| h.done) {
             break;
         }
-        let mut candidates: Vec<Hypothesis> = Vec::new();
-        for h in &beams {
-            if h.done {
-                candidates.push(h.clone());
-                continue;
-            }
-            let mut step_tape = Tape::new();
-            let enc_const = step_tape.constant(enc_val.clone());
-            let logits = dec_forward(
-                &mut step_tape,
-                store,
-                params,
-                cfg,
-                enc_const,
-                &h.ids,
-                ForwardMode::inference(),
-            );
-            let v = cfg.vocab_size;
-            let rows = h.ids.len();
-            let row = &step_tape.value(logits).data[(rows - 1) * v..rows * v];
-            // log-softmax of the last row.
-            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let z: f32 = row.iter().map(|x| (x - m).exp()).sum();
-            let log_z = m + z.ln();
-            // Top-`beam` next tokens.
-            let mut idx: Vec<usize> = (0..v).collect();
-            idx.sort_by(|&a, &b| row[b].partial_cmp(&row[a]).unwrap_or(std::cmp::Ordering::Equal));
-            for &tok in idx.iter().take(beam) {
-                let mut ids = h.ids.clone();
-                let lp = h.log_prob + (row[tok] - log_z);
-                let done = tok == EOS;
-                if !done {
-                    ids.push(tok);
+        // Step every live hypothesis once, in place.
+        let rows: Vec<Option<Vec<f32>>> = beams
+            .iter_mut()
+            .map(|h| {
+                if h.done {
+                    return None;
                 }
-                candidates.push(Hypothesis {
-                    ids,
-                    log_prob: lp,
+                let cache = h.cache.as_mut().expect("live hypothesis has a cache");
+                Some(decode_step(
+                    store,
+                    params,
+                    cfg,
+                    cache,
+                    *h.ids.last().unwrap(),
+                ))
+            })
+            .collect();
+
+        let mut candidates: Vec<Candidate> = Vec::new();
+        for (parent, (h, row)) in beams.iter().zip(&rows).enumerate() {
+            let Some(logits) = row else {
+                candidates.push(Candidate {
+                    parent,
+                    token: None,
+                    log_prob: h.log_prob,
+                    len: h.ids.len(),
+                    done: true,
+                });
+                continue;
+            };
+            // Log-softmax normalizer of the row.
+            let m = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let z: f32 = logits.iter().map(|x| (x - m).exp()).sum();
+            let log_z = m + z.ln();
+            let ban_eos = h.ids.len() - 1 < opts.min_len;
+            for &tok in &top_k_indices(logits, beam, ban_eos) {
+                let done = tok == EOS;
+                candidates.push(Candidate {
+                    parent,
+                    token: (!done).then_some(tok),
+                    log_prob: h.log_prob + (logits[tok] - log_z),
+                    len: h.ids.len() + usize::from(!done),
                     done,
                 });
             }
         }
         // Keep the best `beam` by length-normalized log-prob.
         candidates.sort_by(|a, b| {
+            b.score()
+                .partial_cmp(&a.score())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        candidates.truncate(beam);
+
+        // Hand out parent caches: the last surviving child of a parent
+        // moves the stepped cache, earlier ones clone it.
+        let mut live_children = vec![0usize; beams.len()];
+        for c in candidates.iter().filter(|c| !c.done) {
+            live_children[c.parent] += 1;
+        }
+        let mut parent_caches: Vec<Option<DecoderCache>> =
+            beams.iter_mut().map(|h| h.cache.take()).collect();
+        let mut next = Vec::with_capacity(candidates.len());
+        for c in candidates {
+            let mut ids = beams[c.parent].ids.clone();
+            if let Some(tok) = c.token {
+                ids.push(tok);
+            }
+            let cache = if c.done {
+                None
+            } else {
+                live_children[c.parent] -= 1;
+                if live_children[c.parent] == 0 {
+                    parent_caches[c.parent].take()
+                } else {
+                    parent_caches[c.parent].clone()
+                }
+            };
+            next.push(Hypothesis {
+                ids,
+                log_prob: c.log_prob,
+                done: c.done,
+                cache,
+            });
+        }
+        beams = next;
+    }
+
+    let mut best = beams
+        .into_iter()
+        .max_by(|a, b| {
+            a.score()
+                .partial_cmp(&b.score())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .map(|h| h.ids)
+        .unwrap_or_else(|| vec![SOS]);
+    best.remove(0);
+    best
+}
+
+// ---------------------------------------------------------------------------
+// Reference implementation: full prefix replay, no cache
+// ---------------------------------------------------------------------------
+
+/// Greedy decoding by full prefix replay (no KV cache — O(T²·L)). Reference
+/// implementation and benchmark baseline for [`greedy_decode`].
+pub fn greedy_decode_replay(
+    store: &ParamStore,
+    params: &TransformerParams,
+    cfg: &ModelConfig,
+    src_ids: &[usize],
+    max_len: usize,
+) -> Vec<usize> {
+    replay_decode_with(
+        store,
+        params,
+        cfg,
+        src_ids,
+        max_len,
+        DecodeOptions::default(),
+    )
+}
+
+/// Beam-search decoding by full prefix replay. Reference implementation and
+/// benchmark baseline for [`beam_decode`].
+pub fn beam_decode_replay(
+    store: &ParamStore,
+    params: &TransformerParams,
+    cfg: &ModelConfig,
+    src_ids: &[usize],
+    max_len: usize,
+    beam: usize,
+) -> Vec<usize> {
+    replay_decode_with(
+        store,
+        params,
+        cfg,
+        src_ids,
+        max_len,
+        DecodeOptions { beam, min_len: 0 },
+    )
+}
+
+/// Replay-path generation with explicit options (benchmarks force fixed
+/// lengths through `min_len` on both engines for a fair comparison).
+pub fn replay_decode_with(
+    store: &ParamStore,
+    params: &TransformerParams,
+    cfg: &ModelConfig,
+    src_ids: &[usize],
+    max_len: usize,
+    opts: DecodeOptions,
+) -> Vec<usize> {
+    assert!(opts.beam >= 1);
+    let enc_val = encode_source(store, params, cfg, src_ids);
+    let limit = max_len.min(cfg.max_dec_len);
+
+    if opts.beam == 1 {
+        let mut out = vec![SOS];
+        while out.len() < limit {
+            let logits = replay_logits(store, params, cfg, &enc_val, &out);
+            let ban_eos = out.len() - 1 < opts.min_len;
+            let tok = argmax_token(&logits, ban_eos);
+            if tok == EOS {
+                break;
+            }
+            out.push(tok);
+        }
+        out.remove(0);
+        return out;
+    }
+
+    struct ReplayHyp {
+        ids: Vec<usize>,
+        log_prob: f32,
+        done: bool,
+    }
+    let mut beams = vec![ReplayHyp {
+        ids: vec![SOS],
+        log_prob: 0.0,
+        done: false,
+    }];
+    for _ in 1..limit {
+        if beams.iter().all(|h| h.done) {
+            break;
+        }
+        let mut candidates: Vec<ReplayHyp> = Vec::new();
+        for h in &beams {
+            if h.done {
+                candidates.push(ReplayHyp {
+                    ids: h.ids.clone(),
+                    log_prob: h.log_prob,
+                    done: true,
+                });
+                continue;
+            }
+            let logits = replay_logits(store, params, cfg, &enc_val, &h.ids);
+            let m = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let z: f32 = logits.iter().map(|x| (x - m).exp()).sum();
+            let log_z = m + z.ln();
+            let ban_eos = h.ids.len() - 1 < opts.min_len;
+            for &tok in &top_k_indices(&logits, opts.beam, ban_eos) {
+                let mut ids = h.ids.clone();
+                let done = tok == EOS;
+                if !done {
+                    ids.push(tok);
+                }
+                candidates.push(ReplayHyp {
+                    ids,
+                    log_prob: h.log_prob + (logits[tok] - log_z),
+                    done,
+                });
+            }
+        }
+        candidates.sort_by(|a, b| {
             let sa = a.log_prob / a.ids.len() as f32;
             let sb = b.log_prob / b.ids.len() as f32;
             sb.partial_cmp(&sa).unwrap_or(std::cmp::Ordering::Equal)
         });
-        candidates.truncate(beam);
+        candidates.truncate(opts.beam);
         beams = candidates;
     }
-
     let mut best = beams
         .into_iter()
         .max_by(|a, b| {
@@ -152,6 +468,30 @@ pub fn beam_decode(
         .unwrap_or_else(|| vec![SOS]);
     best.remove(0);
     best
+}
+
+/// Last-row logits of a full decoder replay over `dec_ids` (fresh tape).
+pub fn replay_logits(
+    store: &ParamStore,
+    params: &TransformerParams,
+    cfg: &ModelConfig,
+    enc_val: &Tensor,
+    dec_ids: &[usize],
+) -> Vec<f32> {
+    let mut tape = Tape::new();
+    let enc_const = tape.constant(enc_val.clone());
+    let logits = dec_forward(
+        &mut tape,
+        store,
+        params,
+        cfg,
+        enc_const,
+        dec_ids,
+        ForwardMode::inference(),
+    );
+    let v = cfg.vocab_size;
+    let rows = dec_ids.len();
+    tape.value(logits).data[(rows - 1) * v..rows * v].to_vec()
 }
 
 #[cfg(test)]
@@ -236,5 +576,99 @@ mod tests {
         let g = greedy_decode(&store, &params, &cfg, &src, 8);
         let b = beam_decode(&store, &params, &cfg, &src, 8, 3);
         assert_eq!(g, b);
+    }
+
+    // -- cache equivalence -------------------------------------------------
+
+    /// Cached incremental logits must match full-replay logits at every
+    /// step of a forced token sequence.
+    #[test]
+    fn cached_logits_match_replay_logits_each_step() {
+        let (cfg, store, params) = trained_copy_model();
+        let src = [SOS, 7, 10, EOS];
+        let enc_out = encode_source(&store, &params, &cfg, &src);
+        let forced = [SOS, 7, 10, 9, 6, 11, 8]; // arbitrary prefix walk
+        let mut cache = DecoderCache::new(&store, &params, &cfg, &enc_out);
+        for step in 1..=forced.len() {
+            let prefix = &forced[..step];
+            let cached = decode_step(&store, &params, &cfg, &mut cache, prefix[step - 1]);
+            let replayed = replay_logits(&store, &params, &cfg, &enc_out, prefix);
+            assert_eq!(cached.len(), replayed.len());
+            for (i, (c, r)) in cached.iter().zip(&replayed).enumerate() {
+                assert!(
+                    (c - r).abs() < 1e-4,
+                    "step {step} logit {i}: cached {c} vs replay {r}"
+                );
+            }
+        }
+    }
+
+    /// The cached decoders must emit exactly the replay decoders' outputs.
+    #[test]
+    fn cached_decoding_matches_replay_decoding() {
+        let (cfg, store, params) = trained_copy_model();
+        for a in 6..10usize {
+            let src = [SOS, a, a + 2, EOS];
+            assert_eq!(
+                greedy_decode(&store, &params, &cfg, &src, 10),
+                greedy_decode_replay(&store, &params, &cfg, &src, 10),
+                "greedy divergence for {src:?}"
+            );
+            for beam in [2usize, 3] {
+                assert_eq!(
+                    beam_decode(&store, &params, &cfg, &src, 10, beam),
+                    beam_decode_replay(&store, &params, &cfg, &src, 10, beam),
+                    "beam={beam} divergence for {src:?}"
+                );
+            }
+        }
+    }
+
+    /// Forced max-length generation exercises the cache at its capacity
+    /// bound without panicking, on both engines.
+    #[test]
+    fn cache_handles_max_length_sequences() {
+        let (cfg, store, params) = trained_copy_model();
+        let src = [SOS, 6, 7, EOS];
+        let opts = DecodeOptions {
+            beam: 1,
+            min_len: cfg.max_dec_len,
+        };
+        let cached = decode_with(&store, &params, &cfg, &src, usize::MAX, opts);
+        assert_eq!(cached.len(), cfg.max_dec_len - 1, "filled to the cap");
+        let replayed = replay_decode_with(&store, &params, &cfg, &src, usize::MAX, opts);
+        assert_eq!(cached, replayed);
+    }
+
+    #[test]
+    fn min_len_suppresses_early_eos() {
+        let (cfg, store, params) = trained_copy_model();
+        let src = [SOS, 6, 7, EOS];
+        // Unconstrained greedy stops after ~2 tokens on the copy task.
+        let free = greedy_decode(&store, &params, &cfg, &src, 12);
+        assert!(free.len() < 6);
+        let forced = decode_with(
+            &store,
+            &params,
+            &cfg,
+            &src,
+            12,
+            DecodeOptions {
+                beam: 1,
+                min_len: 6,
+            },
+        );
+        assert!(forced.len() >= 6, "min_len must force length: {forced:?}");
+        assert!(!forced.contains(&EOS));
+    }
+
+    #[test]
+    fn top_k_selects_largest() {
+        let row = [0.1f32, 5.0, -2.0, 3.0, 4.0];
+        assert_eq!(top_k_indices(&row, 3, false), vec![1, 4, 3]);
+        assert_eq!(top_k_indices(&row, 1, false), vec![1]);
+        assert_eq!(top_k_indices(&row, 10, false).len(), 5);
+        // Banning EOS (index 2) removes it even when k covers everything.
+        assert!(!top_k_indices(&row, 10, true).contains(&EOS));
     }
 }

@@ -1,0 +1,492 @@
+//! KV-cached incremental inference — the decode hot path.
+//!
+//! Training records every op on an autograd [`Tape`](mpirical_tensor::Tape);
+//! inference needs none of that. This module implements a tape-free forward
+//! path that processes **exactly one new decoder token per step** against a
+//! [`DecoderCache`], turning the per-token cost of autoregressive generation
+//! from O(T²·L) prefix replay into O(T·L) attention over cached state.
+//!
+//! # Cache layout
+//!
+//! One [`LayerCache`] per decoder layer, holding:
+//!
+//! * **Self-attention K/V** — per attention head, a `[t, d_head]` tensor of
+//!   the keys/values of every decoder position processed so far. Rows are
+//!   appended in position order; capacity is reserved up front so appends
+//!   never reallocate. Because only positions `≤ t` are ever present,
+//!   causal masking is implicit — there is no future to mask out.
+//! * **Cross-attention K/V** — per head, a `[T_enc, d_head]` tensor
+//!   projected **once** from the encoder output at cache construction.
+//!   Replayed decoding recomputes these projections every step; they never
+//!   change, which is most of the cross-attention savings.
+//!
+//! # Invariants
+//!
+//! * `len()` equals the number of tokens fed via [`decode_step`]; every
+//!   self-attention head buffer holds exactly `len()` rows.
+//! * A cache is bound to the `(store, params, cfg, encoder output)` it was
+//!   built from; feeding tokens from a different model is undefined
+//!   (garbage, not unsafety).
+//! * `decode_step` panics if fed beyond `cfg.max_dec_len` positions, the
+//!   same bound the replay path enforces.
+//! * Cloning a cache (beam search forks hypotheses) deep-copies the
+//!   self-attention buffers (re-reserving full capacity) and shares the
+//!   immutable cross-attention K/V via `Arc`; clones evolve independently.
+//!
+//! # Numerical equivalence
+//!
+//! The step math mirrors the tape path op for op (pre-LN blocks, tanh-GELU,
+//! `1e-5` LayerNorm epsilon, `√d_model` embedding scale, sinusoidal
+//! positions), so cached logits match full-replay logits to within f32
+//! accumulation-order noise; `decode::tests` asserts ≤ 1e-4.
+
+use crate::config::ModelConfig;
+use crate::transformer::TransformerParams;
+use mpirical_tensor::{matmul, vecmat, vecmat_bt, ParamStore, Tensor};
+
+/// Per-layer cached attention state (see module docs for layout).
+#[derive(Debug, Clone)]
+struct LayerCache {
+    /// Self-attention keys, one `[t, d_head]` tensor per head.
+    self_k: Vec<Tensor>,
+    /// Self-attention values, one `[t, d_head]` tensor per head.
+    self_v: Vec<Tensor>,
+    /// Cross-attention keys, one `[T_enc, d_head]` tensor per head
+    /// (projected once from the encoder output). Never mutated after
+    /// construction, so clones share it via `Arc`.
+    cross_k: std::sync::Arc<Vec<Tensor>>,
+    /// Cross-attention values, one `[T_enc, d_head]` tensor per head.
+    cross_v: std::sync::Arc<Vec<Tensor>>,
+}
+
+/// Reusable per-step buffers so a decode step allocates only its logits row.
+#[derive(Debug, Clone)]
+struct Scratch {
+    normed: Vec<f32>,
+    q: Vec<f32>,
+    k: Vec<f32>,
+    v: Vec<f32>,
+    ctx: Vec<f32>,
+    proj: Vec<f32>,
+    ff: Vec<f32>,
+    scores: Vec<f32>,
+}
+
+/// Incremental decoding state for one generation (one hypothesis).
+#[derive(Debug)]
+pub struct DecoderCache {
+    layers: Vec<LayerCache>,
+    /// Tokens processed so far (== rows in every self-attention buffer).
+    len: usize,
+    /// Capacity (in rows) reserved in every self-attention head buffer.
+    max_rows: usize,
+    scratch: Scratch,
+}
+
+impl Clone for DecoderCache {
+    /// Deep-copies the per-hypothesis self-attention buffers (re-reserving
+    /// their full capacity so appends on the fork never reallocate), while
+    /// the immutable cross-attention K/V stay shared through their `Arc`s.
+    fn clone(&self) -> DecoderCache {
+        let mut layers = self.layers.clone();
+        for lc in &mut layers {
+            for buf in lc.self_k.iter_mut().chain(lc.self_v.iter_mut()) {
+                let want = self.max_rows * buf.shape[1];
+                buf.data.reserve(want - buf.data.len());
+            }
+        }
+        DecoderCache {
+            layers,
+            len: self.len,
+            max_rows: self.max_rows,
+            scratch: self.scratch.clone(),
+        }
+    }
+}
+
+/// Project `x[T, D]` through an attention parameter pair and split the
+/// result into per-head `[T, d_head]` tensors.
+fn project_per_head(
+    x: &Tensor,
+    w: &Tensor,
+    b: &Tensor,
+    n_heads: usize,
+    d_head: usize,
+) -> Vec<Tensor> {
+    let full = matmul(x, w).add_row_broadcast(b);
+    let t = full.shape[0];
+    let d = full.shape[1];
+    (0..n_heads)
+        .map(|h| {
+            let mut data = Vec::with_capacity(t * d_head);
+            for row in full.data.chunks_exact(d) {
+                data.extend_from_slice(&row[h * d_head..(h + 1) * d_head]);
+            }
+            Tensor::from_vec(&[t, d_head], data)
+        })
+        .collect()
+}
+
+impl DecoderCache {
+    /// Build a cache for decoding against `enc_out` (`[T_enc, d_model]`,
+    /// the encoder's output). Cross-attention K/V are projected here, once.
+    pub fn new(
+        store: &ParamStore,
+        params: &TransformerParams,
+        cfg: &ModelConfig,
+        enc_out: &Tensor,
+    ) -> DecoderCache {
+        assert_eq!(enc_out.ndim(), 2, "encoder output must be [T, D]");
+        assert_eq!(enc_out.shape[1], cfg.d_model, "encoder width mismatch");
+        let h = cfg.n_heads;
+        let dh = cfg.d_head();
+        let layers = params
+            .dec_layers
+            .iter()
+            .map(|layer| {
+                let ca = &layer.cross_attn;
+                let cross_k =
+                    project_per_head(enc_out, store.value(ca.wk), store.value(ca.bk), h, dh);
+                let cross_v =
+                    project_per_head(enc_out, store.value(ca.wv), store.value(ca.bv), h, dh);
+                let empty_head = || {
+                    let mut t = Tensor::from_vec(&[0, dh], Vec::new());
+                    t.data.reserve(cfg.max_dec_len * dh);
+                    t
+                };
+                LayerCache {
+                    self_k: (0..h).map(|_| empty_head()).collect(),
+                    self_v: (0..h).map(|_| empty_head()).collect(),
+                    cross_k: std::sync::Arc::new(cross_k),
+                    cross_v: std::sync::Arc::new(cross_v),
+                }
+            })
+            .collect();
+        let d = cfg.d_model;
+        let max_scores = cfg.max_dec_len.max(enc_out.shape[0]);
+        DecoderCache {
+            layers,
+            len: 0,
+            max_rows: cfg.max_dec_len,
+            scratch: Scratch {
+                normed: vec![0.0; d],
+                q: vec![0.0; d],
+                k: vec![0.0; d],
+                v: vec![0.0; d],
+                ctx: vec![0.0; d],
+                proj: vec![0.0; d],
+                ff: vec![0.0; cfg.d_ff],
+                scores: vec![0.0; max_scores],
+            },
+        }
+    }
+
+    /// Number of decoder tokens processed so far.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// LayerNorm one row with learned gain/bias (same ε as the tape op).
+fn ln_row(x: &[f32], gamma: &Tensor, beta: &Tensor, out: &mut [f32]) {
+    const EPS: f32 = 1e-5;
+    let d = x.len();
+    let mean: f32 = x.iter().sum::<f32>() / d as f32;
+    let var: f32 = x.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+    let istd = 1.0 / (var + EPS).sqrt();
+    for (j, o) in out.iter_mut().enumerate() {
+        *o = (x[j] - mean) * istd * gamma.data[j] + beta.data[j];
+    }
+}
+
+/// `x @ W + b` for a single row, into `out`.
+fn linear_row(x: &[f32], w: &Tensor, b: &Tensor, out: &mut [f32]) {
+    vecmat(x, w, out);
+    for (o, &bv) in out.iter_mut().zip(&b.data) {
+        *o += bv;
+    }
+}
+
+/// In-place tanh-approximation GELU (identical to the tape op).
+fn gelu_row(x: &mut [f32]) {
+    const C: f32 = 0.797_884_6; // sqrt(2/pi)
+    for v in x.iter_mut() {
+        *v = 0.5 * *v * (1.0 + (C * (*v + 0.044715 * *v * *v * *v)).tanh());
+    }
+}
+
+/// In-place numerically-stabilized softmax.
+fn softmax_row(x: &mut [f32]) {
+    let m = x.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut z = 0.0f32;
+    for v in x.iter_mut() {
+        *v = (*v - m).exp();
+        z += *v;
+    }
+    let inv = 1.0 / z.max(1e-30);
+    for v in x.iter_mut() {
+        *v *= inv;
+    }
+}
+
+/// Attend a single query row over per-head K/V tensors, writing the
+/// concatenated head outputs into `ctx`. `scores` is scratch of at least
+/// `K.rows` elements.
+fn attend(
+    q: &[f32],
+    keys: &[Tensor],
+    values: &[Tensor],
+    scale: f32,
+    scores: &mut [f32],
+    ctx: &mut [f32],
+) {
+    let dh = keys[0].shape[1];
+    let t = keys[0].shape[0];
+    for (head, (kh, vh)) in keys.iter().zip(values).enumerate() {
+        let qh = &q[head * dh..(head + 1) * dh];
+        let s = &mut scores[..t];
+        vecmat_bt(qh, kh, s);
+        for v in s.iter_mut() {
+            *v *= scale;
+        }
+        softmax_row(s);
+        vecmat(s, vh, &mut ctx[head * dh..(head + 1) * dh]);
+    }
+}
+
+/// Append one row per head into the growing `[t, d_head]` buffers.
+fn append_heads(buffers: &mut [Tensor], row: &[f32]) {
+    let dh = buffers[0].shape[1];
+    for (head, buf) in buffers.iter_mut().enumerate() {
+        buf.data.extend_from_slice(&row[head * dh..(head + 1) * dh]);
+        buf.shape[0] += 1;
+    }
+}
+
+/// Sinusoidal positional encoding of a single position, added in place
+/// (matches `transformer::positional_encoding`).
+fn add_positional(x: &mut [f32], pos: usize) {
+    let d = x.len();
+    for i in 0..d / 2 {
+        let angle = pos as f32 / 10_000f32.powf(2.0 * i as f32 / d as f32);
+        x[2 * i] += angle.sin();
+        if 2 * i + 1 < d {
+            x[2 * i + 1] += angle.cos();
+        }
+    }
+}
+
+/// Process one decoder token through all layers; returns the logits row
+/// (`[vocab_size]`) predicting the *next* token.
+pub fn decode_step(
+    store: &ParamStore,
+    params: &TransformerParams,
+    cfg: &ModelConfig,
+    cache: &mut DecoderCache,
+    token: usize,
+) -> Vec<f32> {
+    let d = cfg.d_model;
+    let dh = cfg.d_head();
+    let scale = 1.0 / (dh as f32).sqrt();
+    let pos = cache.len;
+    assert!(
+        pos < cfg.max_dec_len,
+        "decoder cache at {} exceeds max {}",
+        pos + 1,
+        cfg.max_dec_len
+    );
+    assert!(token < cfg.vocab_size, "token {token} out of vocab");
+
+    // Embedding + positional encoding.
+    let emb = store.value(params.tok_emb);
+    let emb_scale = (d as f32).sqrt();
+    let mut x: Vec<f32> = emb.data[token * d..(token + 1) * d]
+        .iter()
+        .map(|v| v * emb_scale)
+        .collect();
+    add_positional(&mut x, pos);
+
+    let layers = &mut cache.layers;
+    let s = &mut cache.scratch;
+    for (layer, lc) in params.dec_layers.iter().zip(layers) {
+        // Self-attention block (pre-LN residual): project Q/K/V from the
+        // normed row, append this position's K/V, attend over the cache.
+        ln_row(
+            &x,
+            store.value(layer.ln1.gamma),
+            store.value(layer.ln1.beta),
+            &mut s.normed,
+        );
+        let sa = &layer.self_attn;
+        linear_row(&s.normed, store.value(sa.wq), store.value(sa.bq), &mut s.q);
+        linear_row(&s.normed, store.value(sa.wk), store.value(sa.bk), &mut s.k);
+        linear_row(&s.normed, store.value(sa.wv), store.value(sa.bv), &mut s.v);
+        append_heads(&mut lc.self_k, &s.k);
+        append_heads(&mut lc.self_v, &s.v);
+        attend(
+            &s.q,
+            &lc.self_k,
+            &lc.self_v,
+            scale,
+            &mut s.scores,
+            &mut s.ctx,
+        );
+        linear_row(&s.ctx, store.value(sa.wo), store.value(sa.bo), &mut s.proj);
+        for (xv, &a) in x.iter_mut().zip(&s.proj) {
+            *xv += a;
+        }
+
+        // Cross-attention block over the precomputed encoder K/V.
+        ln_row(
+            &x,
+            store.value(layer.ln2.gamma),
+            store.value(layer.ln2.beta),
+            &mut s.normed,
+        );
+        let ca = &layer.cross_attn;
+        linear_row(&s.normed, store.value(ca.wq), store.value(ca.bq), &mut s.q);
+        attend(
+            &s.q,
+            &lc.cross_k,
+            &lc.cross_v,
+            scale,
+            &mut s.scores,
+            &mut s.ctx,
+        );
+        linear_row(&s.ctx, store.value(ca.wo), store.value(ca.bo), &mut s.proj);
+        for (xv, &c) in x.iter_mut().zip(&s.proj) {
+            *xv += c;
+        }
+
+        // Feed-forward block.
+        ln_row(
+            &x,
+            store.value(layer.ln3.gamma),
+            store.value(layer.ln3.beta),
+            &mut s.normed,
+        );
+        linear_row(
+            &s.normed,
+            store.value(layer.ff.w1),
+            store.value(layer.ff.b1),
+            &mut s.ff,
+        );
+        gelu_row(&mut s.ff);
+        linear_row(
+            &s.ff,
+            store.value(layer.ff.w2),
+            store.value(layer.ff.b2),
+            &mut s.proj,
+        );
+        for (xv, &f) in x.iter_mut().zip(&s.proj) {
+            *xv += f;
+        }
+    }
+
+    // Final LayerNorm + output projection.
+    ln_row(
+        &x,
+        store.value(params.dec_ln.gamma),
+        store.value(params.dec_ln.beta),
+        &mut s.normed,
+    );
+    let mut logits = vec![0.0f32; cfg.vocab_size];
+    linear_row(
+        &s.normed,
+        store.value(params.out_w),
+        store.value(params.out_b),
+        &mut logits,
+    );
+
+    cache.len += 1;
+    logits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transformer::{build_params, encode, ForwardMode};
+    use mpirical_tensor::Tape;
+
+    fn setup() -> (ModelConfig, ParamStore, TransformerParams, Tensor) {
+        let mut cfg = ModelConfig::tiny();
+        cfg.vocab_size = 24;
+        cfg.n_dec_layers = 2; // exercise multi-layer cache plumbing
+        let mut store = ParamStore::new();
+        let params = build_params(&cfg, &mut store, 3);
+        let mut tape = Tape::new();
+        let enc = encode(
+            &mut tape,
+            &store,
+            &params,
+            &cfg,
+            &[1, 7, 9, 2],
+            ForwardMode::inference(),
+        );
+        let enc_out = tape.value(enc).clone();
+        (cfg, store, params, enc_out)
+    }
+
+    #[test]
+    fn cache_starts_empty_and_counts_steps() {
+        let (cfg, store, params, enc_out) = setup();
+        let mut cache = DecoderCache::new(&store, &params, &cfg, &enc_out);
+        assert!(cache.is_empty());
+        decode_step(&store, &params, &cfg, &mut cache, 1);
+        decode_step(&store, &params, &cfg, &mut cache, 5);
+        assert_eq!(cache.len(), 2);
+        for layer in &cache.layers {
+            for head in &layer.self_k {
+                assert_eq!(head.shape, vec![2, cfg.d_head()]);
+            }
+        }
+    }
+
+    #[test]
+    fn cross_kv_shapes_match_encoder_length() {
+        let (cfg, store, params, enc_out) = setup();
+        let cache = DecoderCache::new(&store, &params, &cfg, &enc_out);
+        for layer in &cache.layers {
+            assert_eq!(layer.cross_k.len(), cfg.n_heads);
+            for head in layer.cross_k.iter() {
+                assert_eq!(head.shape, vec![enc_out.shape[0], cfg.d_head()]);
+            }
+        }
+    }
+
+    #[test]
+    fn logits_are_finite_and_vocab_sized() {
+        let (cfg, store, params, enc_out) = setup();
+        let mut cache = DecoderCache::new(&store, &params, &cfg, &enc_out);
+        let logits = decode_step(&store, &params, &cfg, &mut cache, 1);
+        assert_eq!(logits.len(), cfg.vocab_size);
+        assert!(logits.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn cloned_caches_diverge_independently() {
+        let (cfg, store, params, enc_out) = setup();
+        let mut a = DecoderCache::new(&store, &params, &cfg, &enc_out);
+        decode_step(&store, &params, &cfg, &mut a, 1);
+        let mut b = a.clone();
+        let la = decode_step(&store, &params, &cfg, &mut a, 6);
+        let lb = decode_step(&store, &params, &cfg, &mut b, 7);
+        assert_ne!(la, lb, "different tokens give different logits");
+        assert_eq!(a.len(), 2);
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds max")]
+    fn step_guard_at_max_len() {
+        let (cfg, store, params, enc_out) = setup();
+        let mut cache = DecoderCache::new(&store, &params, &cfg, &enc_out);
+        for _ in 0..=cfg.max_dec_len {
+            decode_step(&store, &params, &cfg, &mut cache, 1);
+        }
+    }
+}

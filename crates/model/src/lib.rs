@@ -12,7 +12,11 @@
 //! * [`train`] — teacher-forced training with Adam(W), warmup schedule,
 //!   gradient clipping, and data-parallel batch sharding over crossbeam
 //!   scoped threads;
-//! * [`decode`] — greedy and beam search;
+//! * [`infer`] — the KV-cached incremental inference engine: per-layer
+//!   self-attention K/V caches plus cross-attention K/V projected once from
+//!   the encoder output, driven one token at a time with no autograd tape;
+//! * [`decode`] — greedy and beam search over the cached engine (with the
+//!   prefix-replay reference path kept for equivalence tests and benches);
 //! * [`Seq2SeqModel`] — the bundled artifact (config + vocab + weights) with
 //!   JSON checkpointing.
 //!
@@ -22,13 +26,18 @@
 pub mod bpe;
 pub mod config;
 pub mod decode;
+pub mod infer;
 pub mod train;
 pub mod transformer;
 pub mod vocab;
 
 pub use bpe::Bpe;
 pub use config::ModelConfig;
-pub use decode::{beam_decode, greedy_decode};
+pub use decode::{
+    beam_decode, beam_decode_replay, decode_with, greedy_decode, greedy_decode_replay,
+    replay_decode_with, DecodeOptions,
+};
+pub use infer::{decode_step, DecoderCache};
 pub use train::{evaluate, train, EpochStats, Example, TrainConfig, TrainReport};
 pub use transformer::{build_params, ForwardMode, TransformerParams};
 pub use vocab::{Vocab, EOS, NL, PAD, SEP, SOS, UNK};
@@ -79,14 +88,24 @@ impl Seq2SeqModel {
         )
     }
 
-    /// Greedy generation from source ids.
+    /// Greedy generation from source ids (KV-cached).
     pub fn generate(&self, src_ids: &[usize], max_len: usize) -> Vec<usize> {
         greedy_decode(&self.store, &self.params, &self.cfg, src_ids, max_len)
     }
 
-    /// Beam-search generation.
+    /// Beam-search generation (KV-cached, one cache per hypothesis).
     pub fn generate_beam(&self, src_ids: &[usize], max_len: usize, beam: usize) -> Vec<usize> {
         beam_decode(&self.store, &self.params, &self.cfg, src_ids, max_len, beam)
+    }
+
+    /// Generation with explicit [`DecodeOptions`].
+    pub fn generate_with(
+        &self,
+        src_ids: &[usize],
+        max_len: usize,
+        opts: DecodeOptions,
+    ) -> Vec<usize> {
+        decode_with(&self.store, &self.params, &self.cfg, src_ids, max_len, opts)
     }
 
     /// Teacher-forced metrics on a dataset: `(loss, seq_acc, tok_acc)`.
@@ -124,12 +143,10 @@ mod tests {
     use super::*;
 
     fn tiny_model() -> Seq2SeqModel {
-        let seqs: Vec<Vec<String>> = vec![
-            ["int", "main", "(", ")", "{", "}", "MPI_Init", ";"]
-                .iter()
-                .map(|s| s.to_string())
-                .collect(),
-        ];
+        let seqs: Vec<Vec<String>> = vec![["int", "main", "(", ")", "{", "}", "MPI_Init", ";"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()];
         let vocab = Vocab::build(seqs.iter(), 1, 100);
         Seq2SeqModel::new(ModelConfig::tiny(), vocab, 5)
     }

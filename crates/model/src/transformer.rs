@@ -104,7 +104,13 @@ pub fn build_params(cfg: &ModelConfig, store: &mut ParamStore, seed: u64) -> Tra
             beta: store.add(&format!("{name}.beta"), Tensor::zeros(&[d])),
         }
     }
-    fn mk_ff(store: &mut ParamStore, rng: &mut StdRng, name: &str, d: usize, dff: usize) -> FfParams {
+    fn mk_ff(
+        store: &mut ParamStore,
+        rng: &mut StdRng,
+        name: &str,
+        d: usize,
+        dff: usize,
+    ) -> FfParams {
         FfParams {
             w1: store.add(&format!("{name}.w1"), init::xavier_uniform(&[d, dff], rng)),
             b1: store.add(&format!("{name}.b1"), Tensor::zeros(&[dff])),
@@ -274,7 +280,11 @@ fn feed_forward(
     let h_biased = tape.add_bias(h_proj, b1);
     let mut h = tape.gelu(h_biased);
     if mode.train && cfg.dropout > 0.0 {
-        h = tape.dropout(h, cfg.dropout, mode.dropout_seed ^ salt.wrapping_mul(0xA5A5));
+        h = tape.dropout(
+            h,
+            cfg.dropout,
+            mode.dropout_seed ^ salt.wrapping_mul(0xA5A5),
+        );
     }
     let o_proj = tape.matmul(h, w2);
     tape.add_bias(o_proj, b2)
@@ -321,11 +331,27 @@ pub fn encode(
     for (l, layer) in params.enc_layers.iter().enumerate() {
         let normed = layernorm(tape, store, layer.ln1, x);
         let a = attention(
-            tape, store, &layer.attn, cfg, normed, normed, None, mode, (l as u64) << 8,
+            tape,
+            store,
+            &layer.attn,
+            cfg,
+            normed,
+            normed,
+            None,
+            mode,
+            (l as u64) << 8,
         );
         x = tape.add(x, a);
         let normed2 = layernorm(tape, store, layer.ln2, x);
-        let f = feed_forward(tape, store, &layer.ff, cfg, normed2, mode, (l as u64) << 8 | 1);
+        let f = feed_forward(
+            tape,
+            store,
+            &layer.ff,
+            cfg,
+            normed2,
+            mode,
+            (l as u64) << 8 | 1,
+        );
         x = tape.add(x, f);
     }
     layernorm(tape, store, params.enc_ln, x)
@@ -393,6 +419,7 @@ pub fn decode(
 /// Full training forward: encoder + decoder + teacher-forced cross-entropy.
 /// `tgt_ids` must start with `<sos>`; the loss is computed against the
 /// shifted sequence (predict token *t+1* at position *t*).
+#[allow(clippy::too_many_arguments)] // the training entry point carries the full context
 pub fn seq2seq_loss(
     tape: &mut Tape,
     store: &ParamStore,
@@ -433,7 +460,10 @@ mod tests {
         let approx = cfg.approx_params();
         let actual = store.num_scalars();
         let ratio = actual as f64 / approx as f64;
-        assert!((0.8..1.2).contains(&ratio), "approx {approx} vs actual {actual}");
+        assert!(
+            (0.8..1.2).contains(&ratio),
+            "approx {approx} vs actual {actual}"
+        );
     }
 
     #[test]
@@ -519,7 +549,15 @@ mod tests {
                 &[1, 4, 2],
                 ForwardMode::inference(),
             );
-            let logits = decode(&mut tape, &store, &params, &cfg, enc, dec, ForwardMode::inference());
+            let logits = decode(
+                &mut tape,
+                &store,
+                &params,
+                &cfg,
+                enc,
+                dec,
+                ForwardMode::inference(),
+            );
             tape.value(logits).clone()
         };
         let a = run(&[1, 6, 7, 8]);
@@ -544,7 +582,14 @@ mod tests {
         let (cfg, store, params) = tiny_setup();
         let run = |src: &[usize]| {
             let mut tape = Tape::new();
-            let out = encode(&mut tape, &store, &params, &cfg, src, ForwardMode::inference());
+            let out = encode(
+                &mut tape,
+                &store,
+                &params,
+                &cfg,
+                src,
+                ForwardMode::inference(),
+            );
             tape.value(out).clone()
         };
         let a = run(&[1, 6, 7, 8]);
@@ -611,6 +656,13 @@ mod tests {
         let (cfg, store, params) = tiny_setup();
         let ids = vec![1usize; cfg.max_enc_len + 1];
         let mut tape = Tape::new();
-        encode(&mut tape, &store, &params, &cfg, &ids, ForwardMode::inference());
+        encode(
+            &mut tape,
+            &store,
+            &params,
+            &cfg,
+            &ids,
+            ForwardMode::inference(),
+        );
     }
 }

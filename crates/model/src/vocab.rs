@@ -188,7 +188,10 @@ mod tests {
     fn encode_decode_roundtrip_known_tokens() {
         let data = seqs(&[&["int", "main", "(", ")", "{", "}", ";"]]);
         let v = Vocab::build(data.iter(), 1, 100);
-        let toks: Vec<String> = ["int", "main", "(", ")"].iter().map(|s| s.to_string()).collect();
+        let toks: Vec<String> = ["int", "main", "(", ")"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let ids = v.encode(&toks);
         assert_eq!(v.decode(&ids), toks);
     }

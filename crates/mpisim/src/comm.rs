@@ -11,7 +11,7 @@
 //! collective sequence number embedded in the tag keeps consecutive
 //! collectives from cross-talking.
 
-use crate::datatype::{Datatype, Reducible, ReduceOp};
+use crate::datatype::{Datatype, ReduceOp, Reducible};
 use crate::error::SimError;
 use bytes::Bytes;
 use parking_lot::{Condvar, Mutex};
@@ -70,7 +70,9 @@ pub(crate) struct Shared {
 impl Shared {
     pub(crate) fn new(nranks: usize, timeout: Duration) -> Arc<Shared> {
         Arc::new(Shared {
-            mailboxes: (0..nranks).map(|_| Mutex::new(Mailbox::default())).collect(),
+            mailboxes: (0..nranks)
+                .map(|_| Mutex::new(Mailbox::default()))
+                .collect(),
             arrivals: (0..nranks).map(|_| Condvar::new()).collect(),
             aborted: AtomicBool::new(false),
             abort_info: Mutex::new(None),

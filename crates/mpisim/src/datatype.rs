@@ -136,7 +136,10 @@ mod tests {
         let floats = [1.5f32, -0.25];
         assert_eq!(f32::deserialize(&f32::serialize(&floats)), floats.to_vec());
         let doubles = [std::f64::consts::PI, 1e-300];
-        assert_eq!(f64::deserialize(&f64::serialize(&doubles)), doubles.to_vec());
+        assert_eq!(
+            f64::deserialize(&f64::serialize(&doubles)),
+            doubles.to_vec()
+        );
         let bytes = [0u8, 255, 17];
         assert_eq!(u8::deserialize(&u8::serialize(&bytes)), bytes.to_vec());
     }

@@ -39,7 +39,7 @@ pub mod error;
 pub mod world;
 
 pub use comm::{Comm, Source, Status, Tag};
-pub use datatype::{Datatype, Reducible, ReduceOp};
+pub use datatype::{Datatype, ReduceOp, Reducible};
 pub use error::SimError;
 pub use world::{World, WorldConfig};
 
@@ -175,7 +175,17 @@ mod tests {
             Ok(())
         })
         .unwrap_err();
-        assert!(matches!(err, SimError::Truncation { buffer: 2, incoming: 4, .. }), "{err}");
+        assert!(
+            matches!(
+                err,
+                SimError::Truncation {
+                    buffer: 2,
+                    incoming: 4,
+                    ..
+                }
+            ),
+            "{err}"
+        );
     }
 
     #[test]
@@ -198,7 +208,10 @@ mod tests {
             Ok(())
         })
         .unwrap_err();
-        assert!(matches!(err, SimError::RankOutOfBounds { requested: 7, .. }));
+        assert!(matches!(
+            err,
+            SimError::RankOutOfBounds { requested: 7, .. }
+        ));
     }
 
     #[test]
@@ -451,7 +464,10 @@ mod tests {
         // order accumulation).
         let run = || {
             World::run(7, |c| {
-                let x = [0.1f64 * (c.rank() as f64 + 1.0), 1e-9 / (c.rank() as f64 + 1.0)];
+                let x = [
+                    0.1f64 * (c.rank() as f64 + 1.0),
+                    1e-9 / (c.rank() as f64 + 1.0),
+                ];
                 let mut sum = [0.0f64; 2];
                 if c.rank() == 0 {
                     c.reduce(&x, Some(&mut sum), ReduceOp::Sum, 0)?;
@@ -492,7 +508,11 @@ mod tests {
             Ok(pi[0])
         })
         .unwrap();
-        assert!((out[0] - std::f64::consts::PI).abs() < 1e-6, "pi = {}", out[0]);
+        assert!(
+            (out[0] - std::f64::consts::PI).abs() < 1e-6,
+            "pi = {}",
+            out[0]
+        );
     }
 }
 

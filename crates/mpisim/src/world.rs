@@ -50,8 +50,7 @@ impl World {
     {
         assert!(cfg.nranks > 0, "world needs at least one rank");
         let shared = crate::comm::Shared::new(cfg.nranks, cfg.timeout);
-        let mut results: Vec<Option<Result<T, SimError>>> =
-            (0..cfg.nranks).map(|_| None).collect();
+        let mut results: Vec<Option<Result<T, SimError>>> = (0..cfg.nranks).map(|_| None).collect();
 
         crossbeam::scope(|scope| {
             for (rank, slot) in results.iter_mut().enumerate() {
@@ -62,9 +61,8 @@ impl World {
                     .name(format!("mpisim-rank-{rank}"))
                     .spawn(move |_| {
                         let comm = Comm::new(rank, cfg.nranks, shared);
-                        let outcome = std::panic::catch_unwind(
-                            std::panic::AssertUnwindSafe(|| f(&comm)),
-                        );
+                        let outcome =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&comm)));
                         *slot = Some(match outcome {
                             Ok(r) => r,
                             Err(payload) => {

@@ -90,7 +90,9 @@ pub struct Tape {
 
 impl Tape {
     pub fn new() -> Tape {
-        Tape { nodes: Vec::with_capacity(256) }
+        Tape {
+            nodes: Vec::with_capacity(256),
+        }
     }
 
     /// Number of recorded nodes.
@@ -160,9 +162,7 @@ impl Tape {
         self.push(
             value,
             vec![a.0, b.0],
-            Some(Box::new(move |g: &Tensor| {
-                vec![g.mul(&bv), g.mul(&av)]
-            })),
+            Some(Box::new(move |g: &Tensor| vec![g.mul(&bv), g.mul(&av)])),
         )
     }
 
@@ -295,7 +295,7 @@ impl Tape {
 
     /// GELU (tanh approximation, as in BERT/SPT-Code).
     pub fn gelu(&mut self, x: Var) -> Var {
-        const C: f32 = 0.7978845608; // sqrt(2/pi)
+        const C: f32 = 0.797_884_6; // sqrt(2/pi)
         let xv = self.value(x).clone();
         let value = xv.map(|v| 0.5 * v * (1.0 + (C * (v + 0.044715 * v * v * v)).tanh()));
         self.push(
@@ -374,7 +374,7 @@ impl Tape {
                 let mut gx = Tensor::zeros(&xhat.shape.clone());
                 let mut ggamma = Tensor::zeros(&[d]);
                 let mut gbeta = Tensor::zeros(&[d]);
-                for i in 0..rows {
+                for (i, &istd) in inv_std.iter().enumerate().take(rows) {
                     let g_row = &g.data[i * d..i * d + d];
                     let h_row = &xhat.data[i * d..i * d + d];
                     // dL/dxhat = g * gamma
@@ -384,9 +384,7 @@ impl Tape {
                         .map(|(&gg, &gm)| gg * gm)
                         .collect();
                     let sum_dxhat: f32 = dxhat.iter().sum();
-                    let sum_dxhat_h: f32 =
-                        dxhat.iter().zip(h_row).map(|(&a, &b)| a * b).sum();
-                    let istd = inv_std[i];
+                    let sum_dxhat_h: f32 = dxhat.iter().zip(h_row).map(|(&a, &b)| a * b).sum();
                     for j in 0..d {
                         gx.data[i * d + j] = istd / d as f32
                             * (d as f32 * dxhat[j] - sum_dxhat - h_row[j] * sum_dxhat_h);
@@ -445,7 +443,7 @@ impl Tape {
             state ^= state >> 7;
             state ^= state << 17;
             let u = (state >> 11) as f32 / (1u64 << 53) as f32;
-            mask.push(if u < keep as f32 { inv_keep } else { 0.0 });
+            mask.push(if u < keep { inv_keep } else { 0.0 });
         }
         let mask = Tensor::from_vec(&self.value(x).shape.clone(), mask);
         let value = self.value(x).mul(&mask);
@@ -652,8 +650,7 @@ mod tests {
 
     #[test]
     fn grad_check_layernorm() {
-        let (mut store, ids) =
-            store_with(&[("x", &[3, 6]), ("gamma", &[6]), ("beta", &[6])]);
+        let (mut store, ids) = store_with(&[("x", &[3, 6]), ("gamma", &[6]), ("beta", &[6])]);
         let f = |s: &ParamStore| {
             let mut tape = Tape::new();
             let x = tape.param(s, ids[0]);
@@ -722,7 +719,7 @@ mod tests {
         assert_grad_close(grads.get(ids[0]).unwrap(), &num, 3e-2);
         // Unused vocab rows get zero grad.
         let g = grads.get(ids[0]).unwrap();
-        assert!(g.data[1 * 4..2 * 4].iter().all(|&v| v == 0.0));
+        assert!(g.data[4..2 * 4].iter().all(|&v| v == 0.0));
     }
 
     #[test]

@@ -11,8 +11,10 @@
 //!   reduction and shaping operations;
 //! * [`matmul`] — cache-blocked i-k-j matrix multiply, parallelized across
 //!   output-row slices with crossbeam scoped threads (disjoint output, no
-//!   locks — the data-parallel structure the HPC guides prescribe), plus the
-//!   `A·Bᵀ` / `Aᵀ·B` variants attention and backward need;
+//!   locks — the data-parallel structure the HPC guides prescribe); the
+//!   `A·Bᵀ` / `Aᵀ·B` variants attention and backward need use the same
+//!   row-partition scheme, and the single-row [`vecmat`] / [`vecmat_bt`]
+//!   kernels serve KV-cached incremental decoding without allocating;
 //! * [`Tape`] / [`Var`] — reverse-mode autograd over a per-step tape, with
 //!   every op a transformer needs (matmul, softmax, layernorm, GELU,
 //!   embedding gather, fused cross-entropy, dropout, column slice/concat);
@@ -47,7 +49,7 @@ pub mod optim;
 pub mod tensor;
 
 pub use autograd::{Grads, Tape, Var};
-pub use matmul::{matmul, matmul_at, matmul_bt};
+pub use matmul::{matmul, matmul_at, matmul_bt, vecmat, vecmat_bt};
 pub use optim::{Adam, ParamId, ParamStore};
 pub use tensor::Tensor;
 

@@ -1,11 +1,18 @@
-//! Matrix multiplication — the training hot path.
+//! Matrix multiplication — the training and inference hot path.
 //!
-//! The kernel uses the cache-friendly i-k-j loop order (row-major A and B),
-//! which lets LLVM vectorize the inner j-loop. Above a size threshold the
-//! row range is split across crossbeam scoped threads: each thread owns a
-//! disjoint slice of the output, so there is no synchronization on the hot
-//! path (the pattern the HPC guides recommend: partition output, share
-//! read-only inputs).
+//! The `matmul` kernel uses the cache-friendly i-k-j loop order (row-major A
+//! and B), which lets LLVM vectorize the inner j-loop. Above a size
+//! threshold the output-row range is split across crossbeam scoped threads:
+//! each thread owns a disjoint slice of the output, so there is no
+//! synchronization on the hot path (the pattern the HPC guides recommend:
+//! partition output, share read-only inputs). `matmul_bt` (`A·Bᵀ`) and
+//! `matmul_at` (`Aᵀ·B`) use the same row-partition scheme.
+//!
+//! For KV-cached incremental decoding, where every activation is a single
+//! row, the [`vecmat`] / [`vecmat_bt`] kernels compute `v · M` and `v · Mᵀ`
+//! without materializing a 1-row `Tensor` per operand: they take and return
+//! plain slices, so a decode step does zero intermediate allocations beyond
+//! its output buffers.
 
 use crate::tensor::Tensor;
 
@@ -74,20 +81,51 @@ pub fn matmul_bt(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(b.ndim(), 2);
     let (m, k) = (a.shape[0], a.shape[1]);
     let (n, k2) = (b.shape[0], b.shape[1]);
-    assert_eq!(k, k2, "matmul_bt inner dims: {:?} @ {:?}^T", a.shape, b.shape);
+    assert_eq!(
+        k, k2,
+        "matmul_bt inner dims: {:?} @ {:?}^T",
+        a.shape, b.shape
+    );
     let mut out = vec![0.0f32; m * n];
-    for i in 0..m {
-        let a_row = &a.data[i * k..i * k + k];
-        for j in 0..n {
-            let b_row = &b.data[j * k..j * k + k];
-            let mut acc = 0.0f32;
-            for (x, y) in a_row.iter().zip(b_row) {
-                acc += x * y;
+    let threads = matmul_threads();
+    if m * n * k >= PAR_THRESHOLD && threads > 1 && m > 1 {
+        let rows_per = m.div_ceil(threads);
+        crossbeam::scope(|scope| {
+            for (t, chunk) in out.chunks_mut(rows_per * n).enumerate() {
+                let a_data = &a.data;
+                let b_data = &b.data;
+                scope.spawn(move |_| {
+                    kernel_bt(a_data, b_data, chunk, t * rows_per, chunk.len() / n, k, n);
+                });
             }
-            out[i * n + j] = acc;
-        }
+        })
+        .expect("matmul_bt threads do not panic");
+    } else {
+        kernel_bt(&a.data, &b.data, &mut out, 0, m, k, n);
     }
     Tensor::from_vec(&[m, n], out)
+}
+
+/// Serial `A·Bᵀ` kernel over output rows `[row0, row0+rows)`.
+#[inline]
+fn kernel_bt(a: &[f32], b: &[f32], out: &mut [f32], row0: usize, rows: usize, k: usize, n: usize) {
+    for i in 0..rows {
+        let a_row = &a[(row0 + i) * k..(row0 + i) * k + k];
+        let o_row = &mut out[i * n..i * n + n];
+        for (o, b_row) in o_row.iter_mut().zip(b.chunks_exact(k)) {
+            *o = dot(a_row, b_row);
+        }
+    }
+}
+
+/// Dense dot product, written to vectorize.
+#[inline]
+fn dot(x: &[f32], y: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    for (a, b) in x.iter().zip(y) {
+        acc += a * b;
+    }
+    acc
 }
 
 /// `C = A^T @ B` where `A[k,m]`, `B[k,n]` → `C[m,n]`.
@@ -97,23 +135,97 @@ pub fn matmul_at(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(b.ndim(), 2);
     let (k, m) = (a.shape[0], a.shape[1]);
     let (k2, n) = (b.shape[0], b.shape[1]);
-    assert_eq!(k, k2, "matmul_at inner dims: {:?}^T @ {:?}", a.shape, b.shape);
+    assert_eq!(
+        k, k2,
+        "matmul_at inner dims: {:?}^T @ {:?}",
+        a.shape, b.shape
+    );
     let mut out = vec![0.0f32; m * n];
-    // Accumulate rank-1 updates row by row of A/B: out += a_row^T ⊗ b_row.
-    for kk in 0..k {
-        let a_row = &a.data[kk * m..kk * m + m];
-        let b_row = &b.data[kk * n..kk * n + n];
-        for (i, &av) in a_row.iter().enumerate() {
+    let threads = matmul_threads();
+    if m * n * k >= PAR_THRESHOLD && threads > 1 && m > 1 {
+        let rows_per = m.div_ceil(threads);
+        crossbeam::scope(|scope| {
+            for (t, chunk) in out.chunks_mut(rows_per * n).enumerate() {
+                // Offset A by the thread's first output row; `kernel_at`
+                // reads column `i` of the shifted view.
+                let a_data = &a.data[t * rows_per..];
+                let b_data = &b.data;
+                scope.spawn(move |_| {
+                    kernel_at(a_data, b_data, chunk, chunk.len() / n, k, m, n);
+                });
+            }
+        })
+        .expect("matmul_at threads do not panic");
+    } else {
+        kernel_at(&a.data, &b.data, &mut out, m, k, m, n);
+    }
+    Tensor::from_vec(&[m, n], out)
+}
+
+/// Serial `Aᵀ·B` kernel over `rows` output rows. `a` is A's data offset so
+/// that output row `i` reads column `i` of the shifted view: row `i` is
+/// `Σ_k a[k·m + i] · B[k, :]` — a column-strided read of A, but each thread
+/// still owns a disjoint output slice.
+#[inline]
+fn kernel_at(a: &[f32], b: &[f32], out: &mut [f32], rows: usize, k: usize, m: usize, n: usize) {
+    for i in 0..rows {
+        let o_row = &mut out[i * n..i * n + n];
+        for kk in 0..k {
+            let av = a[kk * m + i];
             if av == 0.0 {
                 continue;
             }
-            let o_row = &mut out[i * n..i * n + n];
+            let b_row = &b[kk * n..kk * n + n];
             for (o, &bv) in o_row.iter_mut().zip(b_row) {
                 *o += av * bv;
             }
         }
     }
-    Tensor::from_vec(&[m, n], out)
+}
+
+/// Single-row product `v[k] @ M[k, n] → out[n]`, accumulated in i-k-j order
+/// (the 1-row specialization of [`matmul`]). Slices in, slice out — no
+/// tensor allocation on the incremental-decode hot path.
+pub fn vecmat(v: &[f32], m: &Tensor, out: &mut [f32]) {
+    assert_eq!(m.ndim(), 2, "vecmat rhs must be 2-D, got {:?}", m.shape);
+    let (k, n) = (m.shape[0], m.shape[1]);
+    assert_eq!(
+        v.len(),
+        k,
+        "vecmat inner dims: [{}] @ {:?}",
+        v.len(),
+        m.shape
+    );
+    assert_eq!(out.len(), n, "vecmat output length");
+    out.fill(0.0);
+    for (kk, &vv) in v.iter().enumerate() {
+        if vv == 0.0 {
+            continue;
+        }
+        let m_row = &m.data[kk * n..kk * n + n];
+        for (o, &mv) in out.iter_mut().zip(m_row) {
+            *o += vv * mv;
+        }
+    }
+}
+
+/// Single-row transposed product `v[k] @ M[n, k]ᵀ → out[n]`: `out[j]` is the
+/// dot product of `v` with row `j` of `M`. This is exactly the shape of
+/// cached attention scores (`q · Kᵀ` with K stored row-per-position).
+pub fn vecmat_bt(v: &[f32], m: &Tensor, out: &mut [f32]) {
+    assert_eq!(m.ndim(), 2, "vecmat_bt rhs must be 2-D, got {:?}", m.shape);
+    let (n, k) = (m.shape[0], m.shape[1]);
+    assert_eq!(
+        v.len(),
+        k,
+        "vecmat_bt inner dims: [{}] @ {:?}^T",
+        v.len(),
+        m.shape
+    );
+    assert_eq!(out.len(), n, "vecmat_bt output length");
+    for (o, m_row) in out.iter_mut().zip(m.data.chunks_exact(k)) {
+        *o = dot(v, m_row);
+    }
 }
 
 #[cfg(test)]
@@ -140,7 +252,9 @@ mod tests {
         let n: usize = shape.iter().product();
         Tensor::from_vec(
             shape,
-            (0..n).map(|i| start + (i as f32) * 0.37 - (i % 7) as f32).collect(),
+            (0..n)
+                .map(|i| start + (i as f32) * 0.37 - (i % 7) as f32)
+                .collect(),
         )
     }
 
@@ -193,6 +307,46 @@ mod tests {
         let a = seq_tensor(&[7, 5], 0.3);
         let b = seq_tensor(&[7, 4], -0.6);
         assert_close(&matmul_at(&a, &b), &matmul(&a.transpose2(), &b), 1e-5);
+    }
+
+    #[test]
+    fn bt_parallel_path_matches_serial() {
+        // 128×64×64 = 2^19 multiply-adds ≥ PAR_THRESHOLD → threaded branch.
+        let a = seq_tensor(&[128, 64], 0.1);
+        let b = seq_tensor(&[64, 64], 0.2);
+        assert_close(&matmul_bt(&a, &b), &naive(&a, &b.transpose2()), 1e-3);
+    }
+
+    #[test]
+    fn at_parallel_path_matches_serial() {
+        let a = seq_tensor(&[64, 128], 0.1);
+        let b = seq_tensor(&[64, 64], 0.2);
+        assert_close(&matmul_at(&a, &b), &naive(&a.transpose2(), &b), 1e-3);
+    }
+
+    #[test]
+    fn vecmat_equals_one_row_matmul() {
+        let a = seq_tensor(&[1, 9], 0.4);
+        let m = seq_tensor(&[9, 13], -0.2);
+        let mut out = vec![0.0f32; 13];
+        vecmat(&a.data, &m, &mut out);
+        assert_close(&Tensor::from_vec(&[1, 13], out), &matmul(&a, &m), 1e-5);
+    }
+
+    #[test]
+    fn vecmat_bt_equals_one_row_matmul_bt() {
+        let a = seq_tensor(&[1, 9], 0.4);
+        let m = seq_tensor(&[13, 9], -0.2);
+        let mut out = vec![0.0f32; 13];
+        vecmat_bt(&a.data, &m, &mut out);
+        assert_close(&Tensor::from_vec(&[1, 13], out), &matmul_bt(&a, &m), 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims")]
+    fn vecmat_dim_mismatch_panics() {
+        let mut out = vec![0.0f32; 2];
+        vecmat(&[1.0, 2.0, 3.0], &Tensor::zeros(&[4, 2]), &mut out);
     }
 
     #[test]

@@ -103,7 +103,10 @@ pub fn kind_tree(prog: &Program) -> KindNode {
 }
 
 fn block_node(b: &Block) -> KindNode {
-    KindNode::branch("compound_statement", b.stmts.iter().map(stmt_node).collect())
+    KindNode::branch(
+        "compound_statement",
+        b.stmts.iter().map(stmt_node).collect(),
+    )
 }
 
 fn decl_node(d: &mpirical_cparse::Declaration) -> KindNode {
@@ -230,26 +233,32 @@ fn expr_node(e: &Expr) -> KindNode {
             // update_expression, the rest unary_expression.
             let kind = match op {
                 UnOp::Deref | UnOp::AddrOf => "pointer_expression",
-                UnOp::PreInc | UnOp::PreDec | UnOp::PostInc | UnOp::PostDec => {
-                    "update_expression"
-                }
+                UnOp::PreInc | UnOp::PreDec | UnOp::PostInc | UnOp::PostDec => "update_expression",
                 _ => "unary_expression",
             };
             KindNode::branch(kind, vec![expr_node(operand)])
         }
-        Expr::Assign { lhs, rhs, .. } => {
-            KindNode::branch("assignment_expression", vec![expr_node(lhs), expr_node(rhs)])
-        }
-        Expr::Index { base, index } => {
-            KindNode::branch("subscript_expression", vec![expr_node(base), expr_node(index)])
-        }
+        Expr::Assign { lhs, rhs, .. } => KindNode::branch(
+            "assignment_expression",
+            vec![expr_node(lhs), expr_node(rhs)],
+        ),
+        Expr::Index { base, index } => KindNode::branch(
+            "subscript_expression",
+            vec![expr_node(base), expr_node(index)],
+        ),
         Expr::Member { base, field, .. } => KindNode::branch(
             "field_expression",
-            vec![expr_node(base), KindNode::leaf("field_identifier", field.clone())],
+            vec![
+                expr_node(base),
+                KindNode::leaf("field_identifier", field.clone()),
+            ],
         ),
         Expr::Cast { ty, operand, .. } => KindNode::branch(
             "cast_expression",
-            vec![KindNode::leaf("type_descriptor", ty.render()), expr_node(operand)],
+            vec![
+                KindNode::leaf("type_descriptor", ty.render()),
+                expr_node(operand),
+            ],
         ),
         Expr::Ternary {
             cond,
@@ -409,7 +418,10 @@ int main(int argc, char **argv) {
         let prog = parse_strict(SRC).unwrap();
         let seq = xsbt_string(&prog);
         assert!(!seq.contains("rank"), "identifiers must not leak: {seq}");
-        assert!(!seq.contains("MPI_Init"), "callee names must not leak: {seq}");
+        assert!(
+            !seq.contains("MPI_Init"),
+            "callee names must not leak: {seq}"
+        );
         assert!(!seq.contains("<identifier"));
         assert!(!seq.contains("number_literal"));
     }

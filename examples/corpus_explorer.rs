@@ -44,7 +44,10 @@ fn main() {
     let labels: Vec<String> = (0..10)
         .map(|i| format!("{:.1}-{:.1}", i as f64 / 10.0, (i + 1) as f64 / 10.0))
         .collect();
-    print!("{}", histogram(&stats.init_finalize_ratio_hist, &labels, 40));
+    print!(
+        "{}",
+        histogram(&stats.init_finalize_ratio_hist, &labels, 40)
+    );
 
     println!(
         "\npipeline: {} raw → {} records ({} token-excluded, {} unparsed)",

@@ -51,21 +51,23 @@ fn main() {
             };
             let (_, dataset, _) = generate_dataset(&ccfg);
             let splits = dataset.split(9);
-            let mut cfg = MpiRicalConfig::default();
-            cfg.model = ModelConfig {
-                vocab_size: 0,
-                d_model: 48,
-                n_heads: 4,
-                d_ff: 96,
-                n_enc_layers: 1,
-                n_dec_layers: 1,
-                max_enc_len: 256,
-                max_dec_len: 232,
-                dropout: 0.0,
+            let mut cfg = MpiRicalConfig {
+                model: ModelConfig {
+                    vocab_size: 0,
+                    d_model: 48,
+                    n_heads: 4,
+                    d_ff: 96,
+                    n_enc_layers: 1,
+                    n_dec_layers: 1,
+                    max_enc_len: 256,
+                    max_dec_len: 232,
+                    dropout: 0.0,
+                },
+                vocab_min_freq: 1,
+                ..Default::default()
             };
             cfg.train.epochs = 3;
             cfg.train.batch_size = 16;
-            cfg.vocab_min_freq = 1;
             let (assistant, _) = MpiRical::train(&splits.train, &splits.val, &cfg, |e| {
                 eprintln!("  epoch {}: loss {:.3}", e.epoch, e.train_loss);
             });
@@ -93,5 +95,8 @@ fn main() {
 
     println!("=== mid-edit buffer (unbalanced braces — TreeSitter-style tolerance) ===");
     let suggestions = assistant.suggest(MID_EDIT_BUFFER);
-    println!("({} suggestions produced without crashing)", suggestions.len());
+    println!(
+        "({} suggestions produced without crashing)",
+        suggestions.len()
+    );
 }

@@ -31,21 +31,23 @@ fn main() {
 
     // 2. Train a miniature assistant (paper §IV/§VI — scaled down to run in
     //    seconds; see `repro fig5` for the real configuration).
-    let mut cfg = MpiRicalConfig::default();
-    cfg.model = ModelConfig {
-        vocab_size: 0,
-        d_model: 32,
-        n_heads: 2,
-        d_ff: 64,
-        n_enc_layers: 1,
-        n_dec_layers: 1,
-        max_enc_len: 256,
-        max_dec_len: 232,
-        dropout: 0.0,
+    let mut cfg = MpiRicalConfig {
+        model: ModelConfig {
+            vocab_size: 0,
+            d_model: 32,
+            n_heads: 2,
+            d_ff: 64,
+            n_enc_layers: 1,
+            n_dec_layers: 1,
+            max_enc_len: 256,
+            max_dec_len: 232,
+            dropout: 0.0,
+        },
+        vocab_min_freq: 1,
+        ..Default::default()
     };
     cfg.train.epochs = 2;
     cfg.train.batch_size = 8;
-    cfg.vocab_min_freq = 1;
     let (assistant, _) = MpiRical::train(&splits.train, &splits.val, &cfg, |e| {
         println!(
             "epoch {}: train loss {:.3}, val loss {:.3}",

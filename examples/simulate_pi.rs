@@ -67,7 +67,10 @@ fn main() {
         let t0 = std::time::Instant::now();
         let out = run_source(PI_SRC, nranks).expect("pi program runs");
         let line = out.rank_outputs[0].trim().to_string();
-        println!("  {nranks} ranks: {line}   ({:.0} ms)", t0.elapsed().as_secs_f64() * 1e3);
+        println!(
+            "  {nranks} ranks: {line}   ({:.0} ms)",
+            t0.elapsed().as_secs_f64() * 1e3
+        );
         match &reference {
             None => reference = Some(line),
             Some(r) => assert_eq!(

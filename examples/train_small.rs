@@ -32,28 +32,30 @@ fn main() {
     );
     let splits = dataset.split(0xC0FFEE);
 
-    let mut cfg = MpiRicalConfig::default();
-    cfg.model = ModelConfig {
-        vocab_size: 0,
-        d_model: 64,
-        n_heads: 4,
-        d_ff: 128,
-        n_enc_layers: 2,
-        n_dec_layers: 2,
-        max_enc_len: 256,
-        max_dec_len: 232,
-        dropout: 0.0,
-    };
-    cfg.train = TrainConfig {
-        epochs: 5,
-        batch_size: 16,
-        lr: 6e-4,
-        warmup_steps: 60,
-        weight_decay: 0.01,
-        grad_clip: 1.0,
-        threads: 0,
-        seed: 0xC0FFEE,
-        validate: true,
+    let cfg = MpiRicalConfig {
+        model: ModelConfig {
+            vocab_size: 0,
+            d_model: 64,
+            n_heads: 4,
+            d_ff: 128,
+            n_enc_layers: 2,
+            n_dec_layers: 2,
+            max_enc_len: 256,
+            max_dec_len: 232,
+            dropout: 0.0,
+        },
+        train: TrainConfig {
+            epochs: 5,
+            batch_size: 16,
+            lr: 6e-4,
+            warmup_steps: 60,
+            weight_decay: 0.01,
+            grad_clip: 1.0,
+            threads: 0,
+            seed: 0xC0FFEE,
+            validate: true,
+        },
+        ..Default::default()
     };
 
     let t0 = std::time::Instant::now();

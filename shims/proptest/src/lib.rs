@@ -1,0 +1,494 @@
+//! Offline stand-in for `proptest`, implementing the subset this workspace
+//! uses: the `proptest!` macro (with `#![proptest_config(…)]`), range /
+//! `Just` / tuple / `prop_oneof!` / regex-string strategies,
+//! `prop_map` / `prop_flat_map`, `proptest::collection::vec`, `any::<bool>()`,
+//! and panic-based `prop_assert!` / `prop_assert_eq!`.
+//!
+//! Divergence from real proptest: cases are sampled from a fixed seed
+//! derived from the test name (deterministic across runs), and there is no
+//! shrinking — a failing case panics with the generated inputs still bound,
+//! so the assertion message is the diagnostic.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// The RNG threaded through strategy generation.
+pub type TestRng = StdRng;
+
+/// Runner configuration (`cases` = iterations per property).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Derive a stable per-test seed from its name (FNV-1a).
+pub fn seed_for(name: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Construct the harness RNG (used by the `proptest!` expansion, which
+/// cannot name `rand` — consumer crates don't depend on it).
+pub fn new_rng(seed: u64) -> TestRng {
+    TestRng::seed_from_u64(seed)
+}
+
+/// A generator of test values.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// `prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// `prop_flat_map` adapter.
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Constant strategy.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! range_incl_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_incl_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+}
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// Box a strategy for heterogeneous collections (`prop_oneof!`).
+pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+    Box::new(s)
+}
+
+/// Uniform choice among boxed strategies (built by [`prop_oneof!`]).
+pub struct OneOf<T>(pub Vec<Box<dyn Strategy<Value = T>>>);
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        assert!(
+            !self.0.is_empty(),
+            "prop_oneof! needs at least one strategy"
+        );
+        let i = rng.gen_range(0..self.0.len());
+        self.0[i].generate(rng)
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.gen_bool(0.5)
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.gen_range(<$t>::MIN..=<$t>::MAX)
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, i8, i16, i32, i64);
+
+/// Strategy produced by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()` — canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+// ---------------------------------------------------------------------------
+// Regex-ish string strategies
+// ---------------------------------------------------------------------------
+
+/// `&str` acts as a pattern strategy producing matching `String`s.
+///
+/// Supported pattern subset (what the workspace uses, a little generalized):
+/// character classes `[a-z0-9_]`, the printable-class escape `\PC`, literal
+/// characters, and the quantifiers `{n}`, `{m,n}`, `*` (0..=32), `+`
+/// (1..=32). Everything else is treated as a literal.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for (atom, quant) in &atoms {
+            let n = match quant {
+                Quant::One => 1,
+                Quant::Exactly(n) => *n,
+                Quant::Between(lo, hi) => rng.gen_range(*lo..=*hi),
+                Quant::Star => rng.gen_range(0usize..=32),
+                Quant::Plus => rng.gen_range(1usize..=32),
+            };
+            for _ in 0..n {
+                match atom {
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::Class(chars) => {
+                        out.push(chars[rng.gen_range(0..chars.len())]);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+enum Atom {
+    Literal(char),
+    Class(Vec<char>),
+}
+
+enum Quant {
+    One,
+    Exactly(usize),
+    Between(usize, usize),
+    Star,
+    Plus,
+}
+
+fn printable_ascii() -> Vec<char> {
+    (0x20u8..0x7F).map(|b| b as char).collect()
+}
+
+fn parse_pattern(pat: &str) -> Vec<(Atom, Quant)> {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let mut set = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let (lo, hi) = (chars[i] as u32, chars[i + 2] as u32);
+                        for c in lo..=hi {
+                            if let Some(c) = char::from_u32(c) {
+                                set.push(c);
+                            }
+                        }
+                        i += 3;
+                    } else {
+                        set.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                i += 1; // closing ']'
+                Atom::Class(set)
+            }
+            '\\' => {
+                // `\PC` (printable) or an escaped literal.
+                if chars.get(i + 1) == Some(&'P') && chars.get(i + 2) == Some(&'C') {
+                    i += 3;
+                    Atom::Class(printable_ascii())
+                } else {
+                    let c = *chars.get(i + 1).unwrap_or(&'\\');
+                    i += 2;
+                    Atom::Literal(c)
+                }
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        let quant = match chars.get(i) {
+            Some('*') => {
+                i += 1;
+                Quant::Star
+            }
+            Some('+') => {
+                i += 1;
+                Quant::Plus
+            }
+            Some('{') => {
+                let close = chars[i..].iter().position(|&c| c == '}').unwrap_or(0) + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                if let Some((lo, hi)) = body.split_once(',') {
+                    Quant::Between(
+                        lo.trim().parse().unwrap_or(0),
+                        hi.trim().parse().unwrap_or(1),
+                    )
+                } else {
+                    Quant::Exactly(body.trim().parse().unwrap_or(1))
+                }
+            }
+            _ => Quant::One,
+        };
+        out.push((atom, quant));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Collections
+// ---------------------------------------------------------------------------
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Sizes accepted by [`vec`]: a fixed length or a range of lengths.
+    pub trait SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// Strategy for `Vec<T>` with lengths drawn from `size`.
+    pub struct VecStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    pub fn vec<S: Strategy, Z: SizeRange>(element: S, size: Z) -> VecStrategy<S, Z> {
+        VecStrategy { element, size }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Panic-based stand-in for proptest's `prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Panic-based stand-in for proptest's `prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Uniform choice among strategies (unweighted subset).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::OneOf(vec![$($crate::boxed($s)),+])
+    };
+}
+
+/// The property-test harness macro.
+///
+/// Each `#[test] fn name(arg in strategy, …) { body }` item becomes a
+/// plain test running `cases` seeded samples of the strategies through the
+/// body.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl $cfg; $($rest)*);
+    };
+    (@impl $cfg:expr; $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                let mut rng: $crate::TestRng =
+                    $crate::new_rng($crate::seed_for(stringify!($name)));
+                for __case in 0..cfg.cases {
+                    let _ = __case;
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl $crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// Everything a test module needs via `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary, Just, ProptestConfig,
+        Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn strategies_generate_in_bounds() {
+        let mut rng: super::TestRng = rand::SeedableRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let x = (1usize..=4).generate(&mut rng);
+            assert!((1..=4).contains(&x));
+            let v = super::collection::vec(0i64..10, 2..5).generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&e| (0..10).contains(&e)));
+            let s = "[a-c]{2}".generate(&mut rng);
+            assert_eq!(s.len(), 2);
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+            let p = "\\PC*".generate(&mut rng);
+            assert!(p.len() <= 32);
+            assert!(p.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_runs_and_binds(a in 0u64..100, b in prop_oneof![Just(1u32), Just(2u32)]) {
+            prop_assert!(a < 100);
+            prop_assert!(b == 1 || b == 2, "b = {}", b);
+        }
+
+        #[test]
+        fn maps_compose(v in super::collection::vec(0i64..5, 1..4)) {
+            let doubled = (0i64..5).prop_map(|x| x * 2);
+            let mut rng: super::TestRng = rand::SeedableRng::seed_from_u64(9);
+            prop_assert!(doubled.generate(&mut rng) % 2 == 0);
+            prop_assert!(!v.is_empty());
+        }
+    }
+}

@@ -1,0 +1,443 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` against the
+//! shim `serde` crate's `Value` data model, by walking the raw
+//! `proc_macro::TokenStream` directly (the environment has no `syn`/`quote`).
+//!
+//! Supported shapes — exactly what this workspace uses:
+//!
+//! * structs with named fields (plus the `#[serde(skip)]` field attribute:
+//!   omitted on serialize, `Default::default()` on deserialize);
+//! * tuple structs (1-field newtypes serialize transparently as their
+//!   payload, larger ones as sequences);
+//! * enums with unit, tuple, and struct variants (externally tagged, like
+//!   real serde: `"Variant"`, `{"Variant": payload}`, `{"Variant": {…}}`).
+//!
+//! Generics and non-`serde` field attributes are rejected loudly rather
+//! than silently mis-serialized.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    skip: bool,
+    /// `#[serde(default)]`: missing key deserializes to `Default::default()`.
+    default: bool,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Parsed {
+    name: String,
+    shape: Shape,
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+/// Skip one attribute (`#[...]`) starting at `i`; returns the new index and
+/// the `(skip, default)` flags if it was a `#[serde(...)]` attribute.
+fn skip_attribute(tokens: &[TokenTree], i: usize) -> (usize, bool, bool) {
+    debug_assert!(matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '#'));
+    let mut skip = false;
+    let mut default = false;
+    if let TokenTree::Group(g) = &tokens[i + 1] {
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        if let Some(TokenTree::Ident(id)) = inner.first() {
+            if id.to_string() == "serde" {
+                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                    for t in args.stream() {
+                        match &t {
+                            TokenTree::Ident(a) if a.to_string() == "skip" => skip = true,
+                            TokenTree::Ident(a) if a.to_string() == "default" => default = true,
+                            TokenTree::Punct(p) if p.as_char() == ',' => {}
+                            other => {
+                                panic!("serde shim derive: unsupported serde attribute `{other}`")
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    (i + 2, skip, default)
+}
+
+/// Skip a visibility qualifier (`pub`, `pub(crate)`, …) if present.
+fn skip_visibility(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Consume type tokens until a comma at angle-bracket depth 0 (or the end).
+/// Parens/brackets/braces arrive as single `Group` tokens, so only `<`/`>`
+/// need explicit depth tracking.
+fn skip_type(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut angle_depth = 0i32;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Parse a `{ name: Type, ... }` field list (body of a named struct or a
+/// struct enum variant).
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut skip = false;
+        let mut default = false;
+        while matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            let (ni, s, d) = skip_attribute(&tokens, i);
+            i = ni;
+            skip |= s;
+            default |= d;
+        }
+        i = skip_visibility(&tokens, i);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            break; // trailing comma / end
+        };
+        let name = name.to_string();
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde shim derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        i = skip_type(&tokens, i);
+        fields.push(Field {
+            name,
+            skip,
+            default,
+        });
+        // Skip the separating comma, if any.
+        if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Count the fields of a tuple struct/variant `( ... )` body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        while matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            let (ni, _, _) = skip_attribute(&tokens, i);
+            i = ni;
+        }
+        i = skip_visibility(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        i = skip_type(&tokens, i);
+        count += 1;
+        if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    count
+}
+
+fn parse_enum_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            let (ni, _, _) = skip_attribute(&tokens, i);
+            i = ni;
+        }
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            break;
+        };
+        let name = name.to_string();
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            panic!("serde shim derive: explicit discriminants unsupported (variant `{name}`)");
+        }
+        variants.push(Variant { name, kind });
+        if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Parsed {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    while matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        let (ni, _, _) = skip_attribute(&tokens, i);
+        i = ni;
+    }
+    i = skip_visibility(&tokens, i);
+    let kw = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected struct/enum, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive: generic type `{name}` unsupported");
+    }
+    let shape = match kw.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("serde shim derive: unsupported struct body {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_enum_variants(g.stream()))
+            }
+            other => panic!("serde shim derive: unsupported enum body {other:?}"),
+        },
+        other => panic!("serde shim derive: cannot derive for `{other}`"),
+    };
+    Parsed { name, shape }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(p: &Parsed) -> String {
+    let name = &p.name;
+    let body = match &p.shape {
+        Shape::NamedStruct(fields) => {
+            let mut s = String::from("let mut m: Vec<(String, ::serde::Value)> = Vec::new();\n");
+            for f in fields.iter().filter(|f| !f.skip) {
+                s.push_str(&format!(
+                    "m.push((\"{0}\".to_string(), ::serde::Serialize::ser(&self.{0})));\n",
+                    f.name
+                ));
+            }
+            s.push_str("::serde::Value::Map(m)");
+            s
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::ser(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::ser(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),\n"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(__f0) => ::serde::Value::Map(vec![(\"{vn}\".to_string(), ::serde::Serialize::ser(__f0))]),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let sers: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::ser({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Map(vec![(\"{vn}\".to_string(), ::serde::Value::Seq(vec![{}]))]),\n",
+                            binds.join(", "),
+                            sers.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let pushes: Vec<String> = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| {
+                                format!(
+                                    "__m.push((\"{0}\".to_string(), ::serde::Serialize::ser({0})));",
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {{ let mut __m: Vec<(String, ::serde::Value)> = Vec::new(); {} ::serde::Value::Map(vec![(\"{vn}\".to_string(), ::serde::Value::Map(__m))]) }},\n",
+                            binds.join(", "),
+                            pushes.join(" ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn ser(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(p: &Parsed) -> String {
+    let name = &p.name;
+    let body = match &p.shape {
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    if f.skip {
+                        format!("{}: ::std::default::Default::default()", f.name)
+                    } else if f.default {
+                        format!("{0}: ::serde::de_field_or_default(v, \"{0}\")?", f.name)
+                    } else {
+                        format!("{0}: ::serde::de_field(v, \"{0}\")?", f.name)
+                    }
+                })
+                .collect();
+            format!("Ok({name} {{ {} }})", inits.join(", "))
+        }
+        Shape::TupleStruct(1) => format!("Ok({name}(::serde::Deserialize::de(v)?))"),
+        Shape::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::de_elem(v, {i})?"))
+                .collect();
+            format!("Ok({name}({}))", elems.join(", "))
+        }
+        Shape::UnitStruct => format!("Ok({name})"),
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"))
+                    }
+                    VariantKind::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::de(__inner)?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::de_elem(__inner, {i})?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => Ok({name}::{vn}({})),\n",
+                            elems.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                if f.skip {
+                                    format!("{}: ::std::default::Default::default()", f.name)
+                                } else {
+                                    format!("{0}: ::serde::de_field(__inner, \"{0}\")?", f.name)
+                                }
+                            })
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => Ok({name}::{vn} {{ {} }}),\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => Err(::serde::de_error(format!(\"unknown {name} variant `{{}}`\", __other))),\n\
+                 }},\n\
+                 ::serde::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__entries[0];\n\
+                 match __tag.as_str() {{\n\
+                 {data_arms}\
+                 __other => Err(::serde::de_error(format!(\"unknown {name} variant `{{}}`\", __other))),\n\
+                 }}\n\
+                 }},\n\
+                 __other => Err(::serde::de_error(format!(\"invalid value for enum {name}: {{:?}}\", __other))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn de(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+         #[allow(unused_variables)] let _ = v;\n{body}\n}}\n}}\n"
+    )
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_item(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("serde shim derive: generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_item(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("serde shim derive: generated Deserialize impl parses")
+}

@@ -56,7 +56,9 @@ fn stripped_benchmark_programs_are_incomplete_but_wellformed() {
         let input_text = print_program(&removal.stripped);
         let input_prog = parse_strict(&input_text).unwrap();
         let mut cfg = RunConfig::new(1);
-        cfg.limits = Limits { step_limit: 200_000 };
+        cfg.limits = Limits {
+            step_limit: 200_000,
+        };
         match run_program(&input_prog, &cfg) {
             Ok(out) => assert_eq!(out.exit_codes, vec![0], "{}", p.name),
             Err(InterpError::StepLimit { .. }) | Err(InterpError::DivideByZero { .. }) => {

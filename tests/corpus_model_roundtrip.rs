@@ -2,7 +2,9 @@
 //! decode roundtrip losslessly, and call-site extraction agrees between the
 //! AST view (labels) and the token view (predictions).
 
-use mpirical::{build_vocab, calls_from_tokens, detokenize, encode_record, tokenize_code, InputFormat};
+use mpirical::{
+    build_vocab, calls_from_tokens, detokenize, encode_record, tokenize_code, InputFormat,
+};
 use mpirical_corpus::{generate_dataset, CorpusConfig};
 use mpirical_model::ModelConfig;
 
@@ -88,9 +90,8 @@ fn split_is_stable_and_disjoint() {
     let ds = dataset();
     let s1 = ds.split(42);
     let s2 = ds.split(42);
-    let ids = |d: &mpirical_corpus::Dataset| -> Vec<u64> {
-        d.records.iter().map(|r| r.id).collect()
-    };
+    let ids =
+        |d: &mpirical_corpus::Dataset| -> Vec<u64> { d.records.iter().map(|r| r.id).collect() };
     assert_eq!(ids(&s1.train), ids(&s2.train));
     assert_eq!(ids(&s1.test), ids(&s2.test));
     let train_set: std::collections::HashSet<u64> = ids(&s1.train).into_iter().collect();

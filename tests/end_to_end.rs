@@ -12,7 +12,11 @@ use mpirical::{
 use mpirical_corpus::{generate_dataset, CorpusConfig};
 use mpirical_model::ModelConfig;
 
-fn train_once() -> (MpiRical, mpirical_corpus::Splits, mpirical_model::TrainReport) {
+fn train_once() -> (
+    MpiRical,
+    mpirical_corpus::Splits,
+    mpirical_model::TrainReport,
+) {
     let ccfg = CorpusConfig {
         programs: 120,
         seed: 2024,
@@ -23,25 +27,27 @@ fn train_once() -> (MpiRical, mpirical_corpus::Splits, mpirical_model::TrainRepo
     assert!(report.dataset_records > 20, "enough records: {report:?}");
     let splits = dataset.split(77);
 
-    let mut cfg = MpiRicalConfig::default();
-    cfg.model = ModelConfig {
-        vocab_size: 0,
-        d_model: 32,
-        n_heads: 2,
-        d_ff: 64,
-        n_enc_layers: 1,
-        n_dec_layers: 1,
-        max_enc_len: 256,
-        max_dec_len: 232,
-        dropout: 0.0,
+    let mut cfg = MpiRicalConfig {
+        model: ModelConfig {
+            vocab_size: 0,
+            d_model: 32,
+            n_heads: 2,
+            d_ff: 64,
+            n_enc_layers: 1,
+            n_dec_layers: 1,
+            max_enc_len: 256,
+            max_dec_len: 232,
+            dropout: 0.0,
+        },
+        vocab_min_freq: 1,
+        input_format: InputFormat::CodeXsbt,
+        ..Default::default()
     };
     cfg.train.epochs = 3;
     cfg.train.batch_size = 8;
     cfg.train.threads = 0;
     cfg.train.lr = 1e-3;
     cfg.train.warmup_steps = 10;
-    cfg.vocab_min_freq = 1;
-    cfg.input_format = InputFormat::CodeXsbt;
     let (assistant, report) = MpiRical::train(&splits.train, &splits.val, &cfg, |_| {});
     (assistant, splits, report)
 }

@@ -42,7 +42,14 @@ fn figure6_scenario() {
     ];
     let a = align(&truth, &pred, 1);
     let counts = a.counts();
-    assert_eq!(counts, Counts { tp: 2, fp: 2, fn_: 2 });
+    assert_eq!(
+        counts,
+        Counts {
+            tp: 2,
+            fp: 2,
+            fn_: 2
+        }
+    );
     let prf = Prf::from_counts(counts);
     assert!((prf.precision - 0.5).abs() < 1e-12);
     assert!((prf.recall - 0.5).abs() < 1e-12);
@@ -64,7 +71,11 @@ fn one_line_tolerance_exact_semantics() {
 #[test]
 fn mcc_vs_m_distinction() {
     // Errors on non-common-core functions affect M- but not MCC- metrics.
-    let truth = vec![c("MPI_Init", 2), c("MPI_Allgather", 7), c("MPI_Finalize", 9)];
+    let truth = vec![
+        c("MPI_Init", 2),
+        c("MPI_Allgather", 7),
+        c("MPI_Finalize", 9),
+    ];
     let pred = vec![c("MPI_Init", 2), c("MPI_Finalize", 9)]; // missed Allgather
     let report = classification_report([(truth.as_slice(), pred.as_slice())], 1, &CC);
     assert_eq!(report.mcc.f1, 1.0, "common core is perfect");
