@@ -1,0 +1,125 @@
+//! Throwaway profiler for the decode hot path (not wired into CI).
+
+use mpirical_model::decode::encode_source;
+use mpirical_model::transformer::build_params;
+use mpirical_model::{
+    decode_step, decode_step_batch, infer::PackedDecoderWeights, BatchScratch, DecoderCache,
+    ModelConfig,
+};
+use mpirical_tensor::{
+    batch_matmul, batch_matmul_packed, vecmat, vecmat_bt, PackedMat, ParamStore, Tensor,
+};
+use std::time::Instant;
+
+fn time(label: &str, iters: usize, mut f: impl FnMut()) {
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let el = t0.elapsed();
+    println!("{label:40} {:>10.2?} / iter", el / iters as u32);
+}
+
+fn main() {
+    let cfg = ModelConfig {
+        vocab_size: 2048,
+        d_model: 256,
+        n_heads: 4,
+        d_ff: 512,
+        n_enc_layers: 2,
+        n_dec_layers: 2,
+        max_enc_len: 64,
+        max_dec_len: 80,
+        dropout: 0.0,
+    };
+    let mut store = ParamStore::new();
+    let params = build_params(&cfg, &mut store, 1);
+    let src: Vec<usize> = (0..48).map(|i| 6 + (i % 200)).collect();
+    let enc = encode_source(&store, &params, &cfg, &src);
+
+    // kernels
+    let w_out = Tensor::from_vec(
+        &[256, 2048],
+        (0..256 * 2048).map(|i| (i % 13) as f32 * 0.01).collect(),
+    );
+    let w_sq = Tensor::from_vec(
+        &[256, 256],
+        (0..256 * 256).map(|i| (i % 7) as f32 * 0.02).collect(),
+    );
+    let kmat = Tensor::from_vec(
+        &[48, 64],
+        (0..48 * 64).map(|i| (i % 11) as f32 * 0.03).collect(),
+    );
+    let v64 = vec![0.5f32; 256];
+    let q16 = vec![0.25f32; 64];
+    let mut out512 = vec![0.0f32; 2048];
+    let mut out64 = vec![0.0f32; 256];
+    let mut out128 = vec![0.0f32; 48];
+    let x8 = vec![0.5f32; 8 * 256];
+    let mut bout = vec![0.0f32; 8 * 2048];
+    let mut bout64 = vec![0.0f32; 8 * 256];
+
+    time("vecmat 256x2048", 5000, || {
+        vecmat(&v64, &w_out, &mut out512)
+    });
+    time("8x vecmat 256x2048", 1000, || {
+        for _ in 0..8 {
+            vecmat(&v64, &w_out, &mut out512)
+        }
+    });
+    time("batch_matmul 8x256x2048", 1000, || {
+        batch_matmul(&x8, 8, &w_out, &mut bout)
+    });
+    let pw_out = PackedMat::pack(&w_out);
+    time("batch_matmul_packed 8x256x2048", 1000, || {
+        batch_matmul_packed(&x8, 8, &pw_out, &mut bout)
+    });
+    time("vecmat 256x256", 20000, || vecmat(&v64, &w_sq, &mut out64));
+    time("batch_matmul 8x256x256", 4000, || {
+        batch_matmul(&x8, 8, &w_sq, &mut bout64)
+    });
+    time("vecmat_bt q64 @ [48,64]", 20000, || {
+        vecmat_bt(&q16, &kmat, &mut out128)
+    });
+    time("vecmat s48 @ [48,64] (ctx)", 20000, || {
+        vecmat(&out128, &kmat, &mut out64[..64])
+    });
+
+    // full steps
+    let mut cache = DecoderCache::new(&store, &params, &cfg, &enc);
+    time("decode_step (single)", 2000, || {
+        if cache.len() >= 70 {
+            cache = DecoderCache::new(&store, &params, &cfg, &enc);
+        }
+        std::hint::black_box(decode_step(&store, &params, &cfg, &mut cache, 7));
+    });
+
+    let mut caches: Vec<DecoderCache> = (0..8)
+        .map(|_| DecoderCache::new(&store, &params, &cfg, &enc))
+        .collect();
+    let weights = PackedDecoderWeights::new(&store, &params);
+    let mut scratch = BatchScratch::new(&cfg, 8);
+    let mut logits = vec![0.0f32; 8 * 2048];
+    time("decode_step_batch (8 lanes)", 2000, || {
+        if caches[0].len() >= 70 {
+            caches = (0..8)
+                .map(|_| DecoderCache::new(&store, &params, &cfg, &enc))
+                .collect();
+        }
+        let mut lanes: Vec<&mut DecoderCache> = caches.iter_mut().collect();
+        decode_step_batch(
+            &store,
+            &params,
+            &cfg,
+            &weights,
+            &mut lanes,
+            &[7; 8],
+            &mut scratch,
+            &mut logits,
+        );
+    });
+
+    time("DecoderCache::new", 2000, || {
+        std::hint::black_box(DecoderCache::new(&store, &params, &cfg, &enc));
+    });
+}

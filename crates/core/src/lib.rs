@@ -19,6 +19,9 @@
 //! * [`MpiRical::train`] — corpus → vocabulary → transformer fine-tuning;
 //! * [`MpiRical::suggest`] — RQ1+RQ2 assistance: which MPI function, which
 //!   line;
+//! * [`MpiRical::suggest_batch`] / [`SuggestService`] — N concurrent
+//!   suggestion requests through the batched lockstep decoder (continuous
+//!   batching; identical outputs to `suggest`);
 //! * [`MpiRical::translate`] — full predicted parallel program;
 //! * [`evaluate_dataset`] — Table II metrics over a test split;
 //! * [`benchmark11`] — the eleven numerical-computation programs of
@@ -46,6 +49,7 @@ pub mod benchmark11;
 pub mod encode;
 pub mod evaluate;
 pub mod report;
+pub mod service;
 pub mod tokenize;
 
 pub use assistant::{MpiRical, MpiRicalConfig, Suggestion};
@@ -54,6 +58,7 @@ pub use benchmark11::{benchmark_programs, validate_program, BenchProgram, Valida
 pub use encode::{build_vocab, encode_dataset, encode_record, InputFormat};
 pub use evaluate::{evaluate_dataset, evaluate_dataset_with_tolerance, EvalReport, Prediction};
 pub use report::{histogram, render_table_two, table, two_column_table};
+pub use service::SuggestService;
 pub use tokenize::{calls_from_ids, calls_from_tokens, detokenize, tokenize_code};
 
 // Re-export the substrate crates under their paper roles for discoverability.

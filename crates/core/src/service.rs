@@ -1,0 +1,168 @@
+//! Request-level serving façade over the batched decoder.
+//!
+//! [`SuggestService`] is the shape a long-running assistance daemon wants:
+//! clients `submit` raw C buffers and get back tickets; a driver loop calls
+//! `step` (one lockstep decode step for every in-flight request); clients
+//! `poll` their ticket until the suggestions are ready. Under the hood every
+//! in-flight request shares the weight passes of one [`BatchDecoder`]
+//! step, and finished
+//! requests retire continuously so a short completion never waits on a long
+//! one.
+//!
+//! The lockstep loop is greedy-only, so the service decodes with `beam = 1`
+//! regardless of the artifact's configured beam width (the artifact's
+//! `min_len` is kept); interactive assistance wants the latency of greedy,
+//! and a caller that needs beam-quality suggestions for a single buffer can
+//! still call [`MpiRical::suggest`] directly.
+//!
+//! ```no_run
+//! use mpirical::{MpiRical, SuggestService};
+//!
+//! let assistant = MpiRical::load("model.json").unwrap();
+//! let mut service = SuggestService::new(&assistant);
+//! let a = service.submit("int main() { int rank; return 0; }");
+//! let b = service.submit("int main() { double local = 0.0; return 0; }");
+//! service.run(); // or: step() inside the daemon's event loop
+//! for ticket in [a, b] {
+//!     for s in service.poll(ticket).unwrap() {
+//!         println!("insert {} at line {}", s.function, s.line);
+//!     }
+//! }
+//! ```
+
+use crate::assistant::{MpiRical, Suggestion};
+use crate::tokenize::calls_from_ids;
+use mpirical_model::{BatchDecoder, RequestId, DEFAULT_MAX_BATCH};
+
+/// Submit/poll scheduler turning an [`MpiRical`] artifact into a shared
+/// generation backend (see module docs).
+pub struct SuggestService<'m> {
+    assistant: &'m MpiRical,
+    decoder: BatchDecoder<'m>,
+}
+
+impl<'m> SuggestService<'m> {
+    /// Service with the default lane count ([`DEFAULT_MAX_BATCH`]
+    /// concurrent requests).
+    pub fn new(assistant: &'m MpiRical) -> SuggestService<'m> {
+        SuggestService::with_max_batch(assistant, DEFAULT_MAX_BATCH)
+    }
+
+    /// Service decoding at most `max_batch` requests concurrently; further
+    /// submissions queue and join as lanes free up.
+    pub fn with_max_batch(assistant: &'m MpiRical, max_batch: usize) -> SuggestService<'m> {
+        let m = &assistant.model;
+        SuggestService {
+            assistant,
+            decoder: BatchDecoder::new(&m.store, &m.params, &m.cfg, max_batch),
+        }
+    }
+
+    /// Queue a raw (possibly mid-edit) C buffer for suggestion. The
+    /// front-end work — tolerant parse, standardization, X-SBT, encoder
+    /// forward pass — happens here (via [`MpiRical::batch_request`], the
+    /// same construction `suggest_batch` uses); decoding happens across
+    /// subsequent [`step`](Self::step) calls.
+    pub fn submit(&mut self, c_source: &str) -> RequestId {
+        self.decoder.submit(self.assistant.batch_request(c_source))
+    }
+
+    /// Advance every in-flight request by one token (admitting queued
+    /// requests into free lanes first). Returns the number of requests
+    /// advanced; `0` means the service is idle.
+    pub fn step(&mut self) -> usize {
+        self.decoder.step()
+    }
+
+    /// Step until every submitted request has finished.
+    pub fn run(&mut self) {
+        self.decoder.run()
+    }
+
+    /// Requests submitted but not yet finished.
+    pub fn pending(&self) -> usize {
+        self.decoder.pending()
+    }
+
+    /// Take a finished request's suggestions. `None` while it is still
+    /// queued or decoding; each ticket redeems once.
+    pub fn poll(&mut self, id: RequestId) -> Option<Vec<Suggestion>> {
+        let ids = self.decoder.poll(id)?;
+        Some(
+            calls_from_ids(&ids, &self.assistant.model.vocab)
+                .into_iter()
+                .map(Suggestion::from)
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assistant::MpiRicalConfig;
+    use mpirical_corpus::{generate_dataset, CorpusConfig};
+    use mpirical_model::ModelConfig;
+    use std::sync::OnceLock;
+
+    /// Train once for the whole file (training dominates test wall-clock);
+    /// each test clones the shared artifact.
+    fn tiny_assistant() -> MpiRical {
+        static SHARED: OnceLock<MpiRical> = OnceLock::new();
+        SHARED
+            .get_or_init(|| {
+                let ccfg = CorpusConfig {
+                    programs: 40,
+                    seed: 33,
+                    max_tokens: 320,
+                    threads: 1,
+                };
+                let (_, ds, _) = generate_dataset(&ccfg);
+                let splits = ds.split(7);
+                let mut cfg = MpiRicalConfig {
+                    model: ModelConfig::tiny(),
+                    vocab_min_freq: 1,
+                    ..Default::default()
+                };
+                cfg.model.max_enc_len = 256;
+                cfg.model.max_dec_len = 230;
+                cfg.train.epochs = 1;
+                cfg.train.batch_size = 8;
+                cfg.train.threads = 1;
+                cfg.train.validate = false;
+                MpiRical::train(&splits.train, &splits.val, &cfg, |_| {}).0
+            })
+            .clone()
+    }
+
+    #[test]
+    fn service_matches_direct_suggest() {
+        let assistant = tiny_assistant();
+        let buffers = [
+            "int main() { int rank; printf(\"a\\n\"); return 0; }",
+            "int main() { double local = 0.0; return 0; }",
+            "int main() { int x = 1; if (x", // mid-edit buffer
+        ];
+        let mut service = SuggestService::with_max_batch(&assistant, 2);
+        let tickets: Vec<_> = buffers.iter().map(|b| service.submit(b)).collect();
+        assert_eq!(service.pending(), 3);
+        service.run();
+        for (ticket, buffer) in tickets.into_iter().zip(buffers) {
+            let batched = service.poll(ticket).expect("finished");
+            assert_eq!(batched, assistant.suggest(buffer), "buffer {buffer:?}");
+            assert_eq!(service.poll(ticket), None, "single redemption");
+        }
+    }
+
+    #[test]
+    fn incremental_stepping_makes_progress() {
+        let assistant = tiny_assistant();
+        let mut service = SuggestService::new(&assistant);
+        let t = service.submit("int main() { int rank; return 0; }");
+        assert!(service.poll(t).is_none(), "nothing decoded yet");
+        // Drive manually, as a daemon event loop would.
+        while service.step() > 0 {}
+        assert!(service.poll(t).is_some());
+        assert_eq!(service.pending(), 0);
+    }
+}

@@ -1,0 +1,560 @@
+//! Batched multi-request decoding with continuous batching — the serving
+//! layer the ROADMAP's "heavy traffic" north star asks for.
+//!
+//! The KV-cached engine in [`infer`](crate::infer) decodes one generation at
+//! a time; a shared assistance service sees N concurrent `suggest` calls.
+//! [`BatchDecoder`] runs those N generations in **lockstep**: every
+//! scheduler step advances each active request by one token through
+//! [`decode_step_batch`], which fuses the per-request weight projections
+//! into packed-matrix kernels so each weight matrix is streamed once per
+//! step instead of once per request.
+//!
+//! # Continuous batching
+//!
+//! The batch is not fixed at submission time. Requests queue via
+//! [`BatchDecoder::submit`] and are admitted into free *lanes* at the start
+//! of the next step; a request that finishes (emits `<eos>` or hits its
+//! length cap) retires immediately, freeing its lane for the next queued
+//! request **mid-flight** — no head-of-line blocking on the slowest
+//! generation, and a late `submit` joins the very next lockstep step.
+//!
+//! ```text
+//! submit ──▶ queue ──▶ lane (≤ max_batch) ──▶ retired results
+//!                       ▲       │ step(): one token per lane
+//!                       └───────┘ free lane → admit next queued request
+//! ```
+//!
+//! # Equivalence
+//!
+//! Batching is a scheduling decision, not a numerical one: each lane owns
+//! its [`DecoderCache`], per-element accumulation order in the fused kernels
+//! matches the single-request `vecmat` path exactly, and token selection
+//! shares greedy decoding's argmax. A request decoded in a batch of 8
+//! returns **the same tokens** as
+//! [`decode_encoded`](crate::decode::decode_encoded) would alone; the tests
+//! here assert it (and logit equality well below the 1e-4 contract).
+//!
+//! Beam search is out of scope for the lockstep loop — a beam request forks
+//! a data-dependent number of hypotheses per step, which breaks the fixed
+//! lane model — so [`BatchDecoder::submit`] rejects `beam > 1`; callers fall
+//! back to [`decode_with`](crate::decode::decode_with) for beam requests.
+//!
+//! # Example
+//!
+//! ```
+//! use mpirical_model::{BatchDecoder, BatchRequest, DecodeOptions, ModelConfig};
+//! use mpirical_model::decode::{decode_encoded, encode_source};
+//! use mpirical_model::transformer::build_params;
+//! use mpirical_tensor::ParamStore;
+//!
+//! let mut cfg = ModelConfig::tiny();
+//! cfg.vocab_size = 16;
+//! let mut store = ParamStore::new();
+//! let params = build_params(&cfg, &mut store, 7);
+//! let enc = encode_source(&store, &params, &cfg, &[1, 6, 7, 2]);
+//!
+//! let mut dec = BatchDecoder::new(&store, &params, &cfg, 4);
+//! let a = dec.submit(BatchRequest::greedy(enc.clone(), 12));
+//! let b = dec.submit(BatchRequest::greedy(enc.clone(), 12));
+//! dec.run();
+//!
+//! let out = dec.poll(a).expect("request a finished");
+//! assert_eq!(Some(&out), dec.poll(b).as_ref());
+//! // Batched output is exactly the single-request greedy output.
+//! let alone = decode_encoded(&store, &params, &cfg, &enc, 12, DecodeOptions::default());
+//! assert_eq!(out, alone);
+//! ```
+
+use crate::config::ModelConfig;
+use crate::decode::argmax_token;
+use crate::infer::{decode_step_batch, BatchScratch, DecoderCache, PackedDecoderWeights};
+use crate::transformer::TransformerParams;
+use crate::vocab::{EOS, SOS};
+use crate::DecodeOptions;
+use mpirical_tensor::{ParamStore, Tensor};
+use std::collections::{HashMap, VecDeque};
+
+/// Ticket identifying a submitted request; redeem with
+/// [`BatchDecoder::poll`].
+pub type RequestId = u64;
+
+/// Default lane count for convenience constructors in the service layer.
+pub const DEFAULT_MAX_BATCH: usize = 8;
+
+/// One queued generation request.
+///
+/// Each request carries its *own* encoder output — requests in a batch are
+/// fully independent (different sources, different lengths) — plus a forced
+/// decoder prefix and per-request decoding knobs.
+#[derive(Debug, Clone)]
+pub struct BatchRequest {
+    /// Encoder output `[T_enc, d_model]` for this request's source.
+    pub enc_out: Tensor,
+    /// Forced decoder prefix, fed token-by-token before generation starts
+    /// (the prefill phase). Almost always `[<sos>]`; longer prompts let a
+    /// caller resume a partially-decoded sequence. Must be non-empty.
+    pub prompt: Vec<usize>,
+    /// Length cap counting the prompt, clamped to `cfg.max_dec_len`
+    /// (mirrors the `max_len` of [`decode_encoded`](crate::decode::decode_encoded)).
+    pub max_len: usize,
+    /// Per-request decoding knobs. `beam` must be 1 (see module docs);
+    /// `min_len` suppresses `<eos>` until that many tokens are generated.
+    pub opts: DecodeOptions,
+}
+
+impl BatchRequest {
+    /// A plain greedy request: `<sos>` prompt, default options.
+    pub fn greedy(enc_out: Tensor, max_len: usize) -> BatchRequest {
+        BatchRequest {
+            enc_out,
+            prompt: vec![SOS],
+            max_len,
+            opts: DecodeOptions::default(),
+        }
+    }
+}
+
+/// An active decoding slot: one admitted request and its cache.
+struct Lane {
+    id: RequestId,
+    cache: DecoderCache,
+    /// Prompt followed by generated tokens; `ids[cache.len()]` is the next
+    /// token to feed while prefilling, `ids.last()` afterwards (the two
+    /// coincide once `cache.len() == ids.len() - 1`).
+    ids: Vec<usize>,
+    prompt_len: usize,
+    min_len: usize,
+    /// Generation stops once `ids.len()` reaches this (prompt included).
+    limit: usize,
+}
+
+/// Lockstep multi-request greedy decoder with continuous batching (see
+/// module docs for the scheduling model).
+///
+/// Borrowing rather than owning the model lets one trained model serve any
+/// number of decoders — the service layer holds the artifact, schedulers
+/// come and go per worker.
+pub struct BatchDecoder<'m> {
+    store: &'m ParamStore,
+    params: &'m TransformerParams,
+    cfg: &'m ModelConfig,
+    /// Decoder weights repacked once at construction for sequential
+    /// streaming by the fused step kernels (see [`PackedDecoderWeights`]).
+    weights: PackedDecoderWeights,
+    max_batch: usize,
+    lanes: Vec<Lane>,
+    queue: VecDeque<(RequestId, BatchRequest)>,
+    done: HashMap<RequestId, Vec<usize>>,
+    scratch: BatchScratch,
+    logits: Vec<f32>,
+    next_id: RequestId,
+}
+
+impl<'m> BatchDecoder<'m> {
+    /// Create a scheduler over a trained model with at most `max_batch`
+    /// concurrent lanes.
+    ///
+    /// # Panics
+    ///
+    /// If `max_batch` is 0 or `cfg.vocab_size` is unset.
+    pub fn new(
+        store: &'m ParamStore,
+        params: &'m TransformerParams,
+        cfg: &'m ModelConfig,
+        max_batch: usize,
+    ) -> BatchDecoder<'m> {
+        assert!(max_batch >= 1, "max_batch must be at least 1");
+        assert!(cfg.vocab_size > 0, "model config has no vocabulary");
+        BatchDecoder {
+            store,
+            params,
+            cfg,
+            weights: PackedDecoderWeights::new(store, params),
+            max_batch,
+            lanes: Vec::with_capacity(max_batch),
+            queue: VecDeque::new(),
+            done: HashMap::new(),
+            scratch: BatchScratch::new(cfg, max_batch),
+            logits: vec![0.0; max_batch * cfg.vocab_size],
+            next_id: 0,
+        }
+    }
+
+    /// Queue a request; it joins the batch at the next [`step`](Self::step)
+    /// with a free lane. Returns the ticket for [`poll`](Self::poll).
+    ///
+    /// # Panics
+    ///
+    /// If `opts.beam != 1` (the lockstep loop is greedy-only; use
+    /// [`decode_with`](crate::decode::decode_with) for beam search) or the
+    /// prompt is empty.
+    pub fn submit(&mut self, req: BatchRequest) -> RequestId {
+        assert_eq!(
+            req.opts.beam, 1,
+            "BatchDecoder is greedy-only; route beam requests through decode_with"
+        );
+        assert!(!req.prompt.is_empty(), "prompt must hold at least <sos>");
+        let id = self.next_id;
+        self.next_id += 1;
+        self.queue.push_back((id, req));
+        id
+    }
+
+    /// Requests currently decoding in a lane.
+    pub fn active(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Requests waiting for a lane.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Requests submitted but not yet retired (active + queued).
+    pub fn pending(&self) -> usize {
+        self.lanes.len() + self.queue.len()
+    }
+
+    /// The lane capacity this scheduler was built with.
+    pub fn max_batch(&self) -> usize {
+        self.max_batch
+    }
+
+    /// Move queued requests into free lanes (continuous batching's "join"
+    /// half). Requests whose prompt already meets their length cap retire
+    /// immediately with an empty generation, exactly like the single-request
+    /// greedy loop, which never steps in that case.
+    fn admit(&mut self) {
+        while self.lanes.len() < self.max_batch {
+            let Some((id, req)) = self.queue.pop_front() else {
+                break;
+            };
+            let limit = req.max_len.min(self.cfg.max_dec_len);
+            if req.prompt.len() >= limit {
+                self.done.insert(id, Vec::new());
+                continue;
+            }
+            let prompt_len = req.prompt.len();
+            self.lanes.push(Lane {
+                id,
+                cache: DecoderCache::new(self.store, self.params, self.cfg, &req.enc_out),
+                ids: req.prompt,
+                prompt_len,
+                min_len: req.opts.min_len,
+                limit,
+            });
+        }
+    }
+
+    /// Run one lockstep step: admit queued requests, advance every lane by
+    /// one token, retire finished lanes. Returns the number of lanes that
+    /// were advanced (0 means the scheduler is idle and [`run`](Self::run)
+    /// would stop).
+    pub fn step(&mut self) -> usize {
+        self.admit();
+        let b = self.lanes.len();
+        if b == 0 {
+            return 0;
+        }
+        let vocab = self.cfg.vocab_size;
+        // Prefilling lanes feed the next prompt token; generating lanes
+        // feed the token they emitted last step.
+        let tokens: Vec<usize> = self.lanes.iter().map(|l| l.ids[l.cache.len()]).collect();
+        let mut caches: Vec<&mut DecoderCache> =
+            self.lanes.iter_mut().map(|l| &mut l.cache).collect();
+        decode_step_batch(
+            self.store,
+            self.params,
+            self.cfg,
+            &self.weights,
+            &mut caches,
+            &tokens,
+            &mut self.scratch,
+            &mut self.logits[..b * vocab],
+        );
+        // Consume logits and retire finished lanes (reverse order so
+        // swap_remove leaves unvisited indices stable).
+        for i in (0..b).rev() {
+            let lane = &mut self.lanes[i];
+            if lane.cache.len() < lane.ids.len() {
+                continue; // still prefilling; logits row is intentionally unused
+            }
+            let row = &self.logits[i * vocab..(i + 1) * vocab];
+            let generated = lane.ids.len() - lane.prompt_len;
+            let tok = argmax_token(row, generated < lane.min_len);
+            if tok == EOS {
+                self.retire(i);
+            } else {
+                lane.ids.push(tok);
+                if lane.ids.len() >= lane.limit {
+                    self.retire(i);
+                }
+            }
+        }
+        b
+    }
+
+    /// Retire lane `i`: record its generated tokens (prompt stripped, no
+    /// `<eos>` — the same shape [`decode_encoded`](crate::decode::decode_encoded)
+    /// returns) and free the lane.
+    fn retire(&mut self, i: usize) {
+        let lane = self.lanes.swap_remove(i);
+        self.done
+            .insert(lane.id, lane.ids[lane.prompt_len..].to_vec());
+    }
+
+    /// Take a finished request's generated tokens. Returns `None` while the
+    /// request is still queued or decoding; each ticket redeems once.
+    pub fn poll(&mut self, id: RequestId) -> Option<Vec<usize>> {
+        self.done.remove(&id)
+    }
+
+    /// Step until every submitted request has retired.
+    pub fn run(&mut self) {
+        while self.step() > 0 {}
+    }
+
+    /// Convenience: submit every request, run to completion, and return the
+    /// results in submission order.
+    pub fn decode_all(&mut self, reqs: Vec<BatchRequest>) -> Vec<Vec<usize>> {
+        let ids: Vec<RequestId> = reqs.into_iter().map(|r| self.submit(r)).collect();
+        self.run();
+        ids.into_iter()
+            .map(|id| self.poll(id).expect("run() retires every request"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::{decode_encoded, encode_source};
+    use crate::transformer::build_params;
+    use crate::vocab::SOS;
+
+    /// A random (untrained) multi-layer model — equivalence properties hold
+    /// for any weights, and skipping training keeps these tests fast.
+    fn setup() -> (ModelConfig, ParamStore, TransformerParams) {
+        let mut cfg = ModelConfig::tiny();
+        cfg.vocab_size = 24;
+        cfg.n_dec_layers = 2;
+        let mut store = ParamStore::new();
+        let params = build_params(&cfg, &mut store, 13);
+        (cfg, store, params)
+    }
+
+    fn enc(
+        store: &ParamStore,
+        params: &TransformerParams,
+        cfg: &ModelConfig,
+        seed: usize,
+    ) -> Tensor {
+        let src = vec![SOS, 6 + (seed % 5), 7 + (seed % 7), 9, EOS];
+        encode_source(store, params, cfg, &src)
+    }
+
+    /// Single-request reference with an arbitrary forced prompt: prefill the
+    /// prompt through `decode_step`, then greedy-continue.
+    fn reference_with_prompt(
+        store: &ParamStore,
+        params: &TransformerParams,
+        cfg: &ModelConfig,
+        enc_out: &Tensor,
+        prompt: &[usize],
+        max_len: usize,
+        min_len: usize,
+    ) -> Vec<usize> {
+        use crate::infer::decode_step;
+        let limit = max_len.min(cfg.max_dec_len);
+        let mut ids = prompt.to_vec();
+        if ids.len() >= limit {
+            return Vec::new();
+        }
+        let mut cache = DecoderCache::new(store, params, cfg, enc_out);
+        for &tok in &ids[..ids.len() - 1] {
+            decode_step(store, params, cfg, &mut cache, tok);
+        }
+        while ids.len() < limit {
+            let logits = decode_step(store, params, cfg, &mut cache, *ids.last().unwrap());
+            let tok = argmax_token(&logits, ids.len() - prompt.len() < min_len);
+            if tok == EOS {
+                break;
+            }
+            ids.push(tok);
+        }
+        ids[prompt.len()..].to_vec()
+    }
+
+    #[test]
+    fn batch_of_one_equals_single_request_path() {
+        let (cfg, store, params) = setup();
+        let e = enc(&store, &params, &cfg, 1);
+        let single = decode_encoded(&store, &params, &cfg, &e, 20, DecodeOptions::default());
+        let mut dec = BatchDecoder::new(&store, &params, &cfg, 1);
+        let out = dec.decode_all(vec![BatchRequest::greedy(e, 20)]);
+        assert_eq!(out[0], single);
+    }
+
+    #[test]
+    fn batch_of_eight_equals_eight_single_requests() {
+        let (cfg, store, params) = setup();
+        let encs: Vec<Tensor> = (0..8).map(|i| enc(&store, &params, &cfg, i)).collect();
+        let singles: Vec<Vec<usize>> = encs
+            .iter()
+            .map(|e| decode_encoded(&store, &params, &cfg, e, 24, DecodeOptions::default()))
+            .collect();
+        let mut dec = BatchDecoder::new(&store, &params, &cfg, 8);
+        let reqs = encs
+            .into_iter()
+            .map(|e| BatchRequest::greedy(e, 24))
+            .collect();
+        let batched = dec.decode_all(reqs);
+        assert_eq!(batched, singles);
+    }
+
+    #[test]
+    fn mixed_prompt_lengths_match_per_request_references() {
+        let (cfg, store, params) = setup();
+        let prompts: [&[usize]; 3] = [&[SOS], &[SOS, 7, 9], &[SOS, 6, 8, 10, 12]];
+        let encs: Vec<Tensor> = (0..3).map(|i| enc(&store, &params, &cfg, i)).collect();
+        let refs: Vec<Vec<usize>> = prompts
+            .iter()
+            .zip(&encs)
+            .map(|(p, e)| reference_with_prompt(&store, &params, &cfg, e, p, 18, 0))
+            .collect();
+        let mut dec = BatchDecoder::new(&store, &params, &cfg, 3);
+        let reqs = prompts
+            .iter()
+            .zip(encs)
+            .map(|(p, e)| BatchRequest {
+                enc_out: e,
+                prompt: p.to_vec(),
+                max_len: 18,
+                opts: DecodeOptions::default(),
+            })
+            .collect();
+        assert_eq!(dec.decode_all(reqs), refs);
+    }
+
+    #[test]
+    fn per_request_length_caps_retire_independently() {
+        let (cfg, store, params) = setup();
+        let encs: Vec<Tensor> = (0..3).map(|i| enc(&store, &params, &cfg, i)).collect();
+        // Lane 0 hits a tight cap, lane 1 is forced long via min_len, lane 2
+        // runs to the model-wide max — all while sharing lockstep steps.
+        let specs = [(4usize, 0usize), (20, 12), (cfg.max_dec_len, 0)];
+        let refs: Vec<Vec<usize>> = specs
+            .iter()
+            .zip(&encs)
+            .map(|(&(max_len, min_len), e)| {
+                reference_with_prompt(&store, &params, &cfg, e, &[SOS], max_len, min_len)
+            })
+            .collect();
+        let mut dec = BatchDecoder::new(&store, &params, &cfg, 3);
+        let reqs = specs
+            .iter()
+            .zip(encs)
+            .map(|(&(max_len, min_len), e)| BatchRequest {
+                enc_out: e,
+                prompt: vec![SOS],
+                max_len,
+                opts: DecodeOptions { beam: 1, min_len },
+            })
+            .collect();
+        assert_eq!(dec.decode_all(reqs), refs);
+        // min_len forced lane 1 past where lane 0 was allowed to stop.
+        assert!(refs[1].len() >= 12 && refs[0].len() <= 3);
+    }
+
+    #[test]
+    fn late_join_continuous_batching_matches_references() {
+        let (cfg, store, params) = setup();
+        let encs: Vec<Tensor> = (0..3).map(|i| enc(&store, &params, &cfg, i)).collect();
+        let refs: Vec<Vec<usize>> = encs
+            .iter()
+            .map(|e| decode_encoded(&store, &params, &cfg, e, 16, DecodeOptions::default()))
+            .collect();
+        let mut dec = BatchDecoder::new(&store, &params, &cfg, 4);
+        let a = dec.submit(BatchRequest::greedy(encs[0].clone(), 16));
+        let b = dec.submit(BatchRequest::greedy(encs[1].clone(), 16));
+        for _ in 0..5 {
+            dec.step();
+        }
+        assert_eq!(dec.active(), 2, "both early requests still decoding");
+        // Join mid-flight: the new request is admitted on the next step and
+        // decodes alongside the in-progress lanes.
+        let c = dec.submit(BatchRequest::greedy(encs[2].clone(), 16));
+        dec.step();
+        assert_eq!(dec.active(), 3);
+        dec.run();
+        assert_eq!(dec.poll(a).unwrap(), refs[0]);
+        assert_eq!(dec.poll(b).unwrap(), refs[1]);
+        assert_eq!(dec.poll(c).unwrap(), refs[2]);
+    }
+
+    #[test]
+    fn queue_overflow_drains_through_freed_lanes() {
+        let (cfg, store, params) = setup();
+        let encs: Vec<Tensor> = (0..5).map(|i| enc(&store, &params, &cfg, i)).collect();
+        let refs: Vec<Vec<usize>> = encs
+            .iter()
+            .map(|e| decode_encoded(&store, &params, &cfg, e, 10, DecodeOptions::default()))
+            .collect();
+        let mut dec = BatchDecoder::new(&store, &params, &cfg, 2);
+        let ids: Vec<RequestId> = encs
+            .iter()
+            .map(|e| dec.submit(BatchRequest::greedy(e.clone(), 10)))
+            .collect();
+        assert_eq!(dec.pending(), 5);
+        while dec.step() > 0 {
+            assert!(dec.active() <= 2, "lane cap respected throughout");
+        }
+        for (id, want) in ids.into_iter().zip(refs) {
+            assert_eq!(dec.poll(id).unwrap(), want);
+        }
+    }
+
+    #[test]
+    fn prompt_at_cap_retires_without_stepping() {
+        let (cfg, store, params) = setup();
+        let e = enc(&store, &params, &cfg, 0);
+        let mut dec = BatchDecoder::new(&store, &params, &cfg, 2);
+        let id = dec.submit(BatchRequest {
+            enc_out: e,
+            prompt: vec![SOS, 6, 7],
+            max_len: 3,
+            opts: DecodeOptions::default(),
+        });
+        assert_eq!(dec.step(), 0, "nothing to decode");
+        assert_eq!(dec.poll(id).unwrap(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn poll_redeems_once_and_only_after_finish() {
+        let (cfg, store, params) = setup();
+        let e = enc(&store, &params, &cfg, 2);
+        let mut dec = BatchDecoder::new(&store, &params, &cfg, 1);
+        let id = dec.submit(BatchRequest::greedy(e, 8));
+        assert_eq!(dec.poll(id), None, "not decoded yet");
+        dec.run();
+        assert!(dec.poll(id).is_some());
+        assert_eq!(dec.poll(id), None, "ticket already redeemed");
+    }
+
+    #[test]
+    #[should_panic(expected = "greedy-only")]
+    fn beam_requests_are_rejected() {
+        let (cfg, store, params) = setup();
+        let e = enc(&store, &params, &cfg, 0);
+        let mut dec = BatchDecoder::new(&store, &params, &cfg, 2);
+        dec.submit(BatchRequest {
+            enc_out: e,
+            prompt: vec![SOS],
+            max_len: 8,
+            opts: DecodeOptions {
+                beam: 2,
+                min_len: 0,
+            },
+        });
+    }
+}

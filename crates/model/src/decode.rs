@@ -2,7 +2,8 @@
 //! incremental engine.
 //!
 //! The encoder runs once per input. Generation then feeds **one token per
-//! step** through [`infer::decode_step`], which attends over a
+//! step** through [`decode_step`], which attends
+//! over a
 //! [`DecoderCache`] of per-layer self-attention K/V plus cross-attention
 //! K/V projected once from the encoder output — O(T·L) attention work per
 //! token. Beam search forks hypotheses by cloning the cache (each clone
@@ -14,6 +15,30 @@
 //! every step, O(T²·L) — as the reference implementation: the equivalence
 //! tests below pin the cached engine's logits to it step by step, and the
 //! `decode` criterion bench group measures the speedup against it.
+//!
+//! For serving N concurrent generations, see
+//! [`BatchDecoder`](crate::batch::BatchDecoder), which runs this module's
+//! greedy semantics over many requests in lockstep.
+//!
+//! # Example
+//!
+//! ```
+//! use mpirical_model::transformer::build_params;
+//! use mpirical_model::{decode_with, greedy_decode, DecodeOptions, ModelConfig};
+//! use mpirical_tensor::ParamStore;
+//!
+//! let mut cfg = ModelConfig::tiny();
+//! cfg.vocab_size = 16;
+//! let mut store = ParamStore::new();
+//! let params = build_params(&cfg, &mut store, 3);
+//! let src = [1, 6, 7, 2]; // <sos> … <eos>
+//!
+//! // `beam: 1` decodes exactly the greedy tokens; `min_len` can force
+//! // longer outputs by suppressing `<eos>`.
+//! let greedy = greedy_decode(&store, &params, &cfg, &src, 12);
+//! let opts = DecodeOptions { beam: 1, min_len: 0 };
+//! assert_eq!(decode_with(&store, &params, &cfg, &src, 12, opts), greedy);
+//! ```
 
 use crate::config::ModelConfig;
 use crate::infer::{decode_step, DecoderCache};
@@ -100,7 +125,8 @@ pub fn beam_decode(
     )
 }
 
-/// KV-cached generation with explicit options.
+/// KV-cached generation with explicit options: runs the encoder once, then
+/// decodes via [`decode_encoded`].
 pub fn decode_with(
     store: &ParamStore,
     params: &TransformerParams,
@@ -109,17 +135,34 @@ pub fn decode_with(
     max_len: usize,
     opts: DecodeOptions,
 ) -> Vec<usize> {
-    assert!(opts.beam >= 1);
     let enc_out = encode_source(store, params, cfg, src_ids);
+    decode_encoded(store, params, cfg, &enc_out, max_len, opts)
+}
+
+/// KV-cached generation over an already-computed encoder output
+/// (`[T_enc, d_model]`). This is the decode-only half of [`decode_with`]:
+/// callers that manage encoder outputs themselves — the batched scheduler,
+/// decode-only benchmarks, anything re-decoding the same source with
+/// different options — use it to skip the encoder pass.
+pub fn decode_encoded(
+    store: &ParamStore,
+    params: &TransformerParams,
+    cfg: &ModelConfig,
+    enc_out: &Tensor,
+    max_len: usize,
+    opts: DecodeOptions,
+) -> Vec<usize> {
+    assert!(opts.beam >= 1);
     if opts.beam == 1 {
-        greedy_cached(store, params, cfg, &enc_out, max_len, opts.min_len)
+        greedy_cached(store, params, cfg, enc_out, max_len, opts.min_len)
     } else {
-        beam_cached(store, params, cfg, &enc_out, max_len, opts)
+        beam_cached(store, params, cfg, enc_out, max_len, opts)
     }
 }
 
-/// Argmax of a logits row, optionally banning `<eos>`.
-fn argmax_token(logits: &[f32], ban_eos: bool) -> usize {
+/// Argmax of a logits row, optionally banning `<eos>`. Shared with the
+/// batched scheduler so lockstep token selection is identical to greedy.
+pub(crate) fn argmax_token(logits: &[f32], ban_eos: bool) -> usize {
     let mut best = usize::MAX;
     let mut best_v = f32::NEG_INFINITY;
     for (i, &v) in logits.iter().enumerate() {

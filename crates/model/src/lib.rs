@@ -9,7 +9,7 @@
 //! * [`ModelConfig`] / [`transformer`] — SPT-Code-style encoder–decoder with
 //!   sinusoidal positions, pre-LN residual blocks, multi-head attention and
 //!   GELU feed-forward;
-//! * [`train`] — teacher-forced training with Adam(W), warmup schedule,
+//! * [`mod@train`] — teacher-forced training with Adam(W), warmup schedule,
 //!   gradient clipping, and data-parallel batch sharding over crossbeam
 //!   scoped threads;
 //! * [`infer`] — the KV-cached incremental inference engine: per-layer
@@ -17,12 +17,17 @@
 //!   the encoder output, driven one token at a time with no autograd tape;
 //! * [`decode`] — greedy and beam search over the cached engine (with the
 //!   prefix-replay reference path kept for equivalence tests and benches);
+//! * [`batch`] — the [`BatchDecoder`] lockstep scheduler: N concurrent
+//!   requests decoded with continuous batching, their per-step projections
+//!   fused into shared packed-matrix kernels (logits stay identical to the
+//!   single-request path);
 //! * [`Seq2SeqModel`] — the bundled artifact (config + vocab + weights) with
 //!   JSON checkpointing.
 //!
 //! The crate is representation-agnostic: it consumes `Vec<usize>` token ids.
 //! C-code tokenization lives in the `mpirical` core crate.
 
+pub mod batch;
 pub mod bpe;
 pub mod config;
 pub mod decode;
@@ -31,13 +36,14 @@ pub mod train;
 pub mod transformer;
 pub mod vocab;
 
+pub use batch::{BatchDecoder, BatchRequest, RequestId, DEFAULT_MAX_BATCH};
 pub use bpe::Bpe;
 pub use config::ModelConfig;
 pub use decode::{
-    beam_decode, beam_decode_replay, decode_with, greedy_decode, greedy_decode_replay,
-    replay_decode_with, DecodeOptions,
+    beam_decode, beam_decode_replay, decode_encoded, decode_with, greedy_decode,
+    greedy_decode_replay, replay_decode_with, DecodeOptions,
 };
-pub use infer::{decode_step, DecoderCache};
+pub use infer::{decode_step, decode_step_batch, BatchScratch, DecoderCache};
 pub use train::{evaluate, train, EpochStats, Example, TrainConfig, TrainReport};
 pub use transformer::{build_params, ForwardMode, TransformerParams};
 pub use vocab::{Vocab, EOS, NL, PAD, SEP, SOS, UNK};

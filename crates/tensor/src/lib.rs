@@ -9,12 +9,15 @@
 //!
 //! * [`Tensor`] — dense row-major `f32` tensors with the usual elementwise,
 //!   reduction and shaping operations;
-//! * [`matmul`] — cache-blocked i-k-j matrix multiply, parallelized across
+//! * [`matmul()`] — cache-blocked i-k-j matrix multiply, parallelized across
 //!   output-row slices with crossbeam scoped threads (disjoint output, no
 //!   locks — the data-parallel structure the HPC guides prescribe); the
 //!   `A·Bᵀ` / `Aᵀ·B` variants attention and backward need use the same
 //!   row-partition scheme, and the single-row [`vecmat`] / [`vecmat_bt`]
-//!   kernels serve KV-cached incremental decoding without allocating;
+//!   kernels serve KV-cached incremental decoding without allocating, and
+//!   the packed-rows [`batch_matmul`] / [`batch_linear`] kernels fuse N
+//!   concurrent requests' projections into one weight pass (each output row
+//!   bitwise-equal to its `vecmat`, so batching never changes logits);
 //! * [`Tape`] / [`Var`] — reverse-mode autograd over a per-step tape, with
 //!   every op a transformer needs (matmul, softmax, layernorm, GELU,
 //!   embedding gather, fused cross-entropy, dropout, column slice/concat);
@@ -49,7 +52,10 @@ pub mod optim;
 pub mod tensor;
 
 pub use autograd::{Grads, Tape, Var};
-pub use matmul::{matmul, matmul_at, matmul_bt, vecmat, vecmat_bt};
+pub use matmul::{
+    batch_linear, batch_linear_packed, batch_matmul, batch_matmul_packed, matmul, matmul_at,
+    matmul_bt, vecmat, vecmat_bt, PackedMat,
+};
 pub use optim::{Adam, ParamId, ParamStore};
 pub use tensor::Tensor;
 

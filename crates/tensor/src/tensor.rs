@@ -1,7 +1,7 @@
 //! Dense row-major `f32` tensor.
 //!
 //! Shapes are small `Vec<usize>`; data is contiguous. All autograd ops build
-//! on the methods here; the hot path (matmul) lives in [`crate::matmul`].
+//! on the methods here; the hot path (matmul) lives in [`mod@crate::matmul`].
 
 use serde::{Deserialize, Serialize};
 use std::fmt;

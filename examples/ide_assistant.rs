@@ -26,6 +26,16 @@ const DEMO_BUFFER: &str = r#"int main(int argc, char **argv) {
     return 0;
 }"#;
 
+const SECOND_BUFFER: &str = r#"int main(int argc, char **argv) {
+    int rank, size, i;
+    double sum = 0.0;
+    for (i = 0; i < 256; i++) {
+        sum += i * 0.5;
+    }
+    printf("%f\n", sum);
+    return 0;
+}"#;
+
 const MID_EDIT_BUFFER: &str = r#"int main(int argc, char **argv) {
     int rank, size;
     double local = 0.0;
@@ -99,4 +109,24 @@ fn main() {
         "({} suggestions produced without crashing)",
         suggestions.len()
     );
+
+    // Many developers, one model: the service path. All open buffers decode
+    // concurrently through the batched lockstep scheduler — shared weight
+    // passes, continuous batching — with outputs identical to `suggest`.
+    println!("\n=== batched serving: three buffers through one SuggestService ===");
+    let mut service = mpirical::SuggestService::new(&assistant);
+    let buffers = [
+        ("editor A", buffer.as_str()),
+        ("editor B", SECOND_BUFFER),
+        ("editor C", MID_EDIT_BUFFER),
+    ];
+    let tickets: Vec<_> = buffers.iter().map(|(_, b)| service.submit(b)).collect();
+    service.run();
+    for ((who, _), ticket) in buffers.iter().zip(tickets) {
+        let suggestions = service.poll(ticket).expect("request finished");
+        println!("{who}: {} suggestion(s)", suggestions.len());
+        for s in &suggestions {
+            println!("    line {:>3}: insert {}", s.line, s.function);
+        }
+    }
 }

@@ -5,7 +5,7 @@
 //! API surface covered: `crossbeam::scope(|s| …)` returning a `Result`,
 //! `Scope::spawn(|_| …)`, and `Scope::builder().name(…).spawn(|_| …)`.
 //! The closure argument that crossbeam passes (a nested-spawn handle) is
-//! replaced by a zero-sized [`ScopeHandle`]; every call site in this
+//! replaced by a zero-sized [`ScopeHandle`](thread::ScopeHandle); every call site in this
 //! workspace ignores it.
 //!
 //! Divergence from real crossbeam: a panicking child thread makes the

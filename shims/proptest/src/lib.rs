@@ -352,7 +352,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::Range;
 
-    /// Sizes accepted by [`vec`]: a fixed length or a range of lengths.
+    /// Sizes accepted by [`vec()`]: a fixed length or a range of lengths.
     pub trait SizeRange {
         fn pick(&self, rng: &mut TestRng) -> usize;
     }

@@ -1,0 +1,64 @@
+//! End-to-end batched serving through the public API: one trained
+//! assistant, many concurrent suggestion requests, outputs pinned to the
+//! sequential path.
+
+use mpirical::{MpiRical, MpiRicalConfig, SuggestService};
+use mpirical_corpus::{generate_dataset, CorpusConfig};
+use mpirical_model::ModelConfig;
+
+/// One tiny trained assistant shared by the whole file (training dominates
+/// test wall-clock, so do it once).
+fn tiny_assistant() -> MpiRical {
+    let ccfg = CorpusConfig {
+        programs: 40,
+        seed: 55,
+        max_tokens: 320,
+        threads: 1,
+    };
+    let (_, ds, _) = generate_dataset(&ccfg);
+    let splits = ds.split(3);
+    let mut cfg = MpiRicalConfig {
+        model: ModelConfig::tiny(),
+        vocab_min_freq: 1,
+        ..Default::default()
+    };
+    cfg.model.max_enc_len = 256;
+    cfg.model.max_dec_len = 230;
+    cfg.train.epochs = 1;
+    cfg.train.batch_size = 8;
+    cfg.train.threads = 1;
+    cfg.train.validate = false;
+    MpiRical::train(&splits.train, &splits.val, &cfg, |_| {}).0
+}
+
+#[test]
+fn batched_serving_is_equivalent_and_continuous() {
+    let assistant = tiny_assistant();
+    let buffers = [
+        "int main() { int rank; printf(\"a\\n\"); return 0; }",
+        "int main(int argc, char **argv) { double local = 0.0; return 0; }",
+        "int main() { int size; int i; for (i = 0; i < 4; i++) {} return 0; }",
+        "int main() { int x = 1; if (x", // mid-edit, unparseable tail
+        "int main() { return 0; }",
+    ];
+    let sequential: Vec<_> = buffers.iter().map(|b| assistant.suggest(b)).collect();
+
+    // One-shot batched API: same results, input order preserved.
+    assert_eq!(assistant.suggest_batch(&buffers), sequential);
+
+    // Submit/poll service with fewer lanes than requests (forces the
+    // continuous-batching queue) and a late join mid-decode.
+    let mut service = SuggestService::with_max_batch(&assistant, 2);
+    let early: Vec<_> = buffers[..4].iter().map(|b| service.submit(b)).collect();
+    for _ in 0..3 {
+        service.step();
+    }
+    let late = service.submit(buffers[4]);
+    assert!(service.pending() > 0);
+    service.run();
+    for (ticket, want) in early.into_iter().zip(&sequential[..4]) {
+        assert_eq!(service.poll(ticket).as_ref(), Some(want));
+    }
+    assert_eq!(service.poll(late).as_ref(), Some(&sequential[4]));
+    assert_eq!(service.pending(), 0);
+}
