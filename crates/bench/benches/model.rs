@@ -260,6 +260,115 @@ fn bench_batch_decode(c: &mut Criterion) {
     g.finish();
 }
 
+/// Batched beam search vs N sequential beam decodes — the capability the
+/// paged KV cache unlocks (hypothesis forks are COW page shares, so beam
+/// requests fit the lockstep lane model).
+///
+/// Setup **asserts** that `BatchDecoder` accepts `beam > 1` and returns
+/// exactly the single-request beam outputs — CI runs this group as a smoke
+/// check that batched beam works end to end with no sequential fallback —
+/// then times 4 beam-4 requests decoded sequentially vs in one batch at the
+/// serving-scale shape of `bench_batch_decode`.
+fn bench_batch_beam(c: &mut Criterion) {
+    let cfg = ModelConfig {
+        vocab_size: 4096,
+        d_model: 256,
+        n_heads: 4,
+        d_ff: 1024,
+        n_enc_layers: 2,
+        n_dec_layers: 2,
+        max_enc_len: 64,
+        max_dec_len: 80,
+        dropout: 0.0,
+    };
+    let mut store = ParamStore::new();
+    let params = build_params(&cfg, &mut store, 1);
+    let enc_outs: Vec<Tensor> = (0..4)
+        .map(|r| {
+            let src: Vec<usize> = (0..48).map(|i| 6 + ((i * (r + 3)) % 200)).collect();
+            encode_source(&store, &params, &cfg, &src)
+        })
+        .collect();
+    let opts = DecodeOptions {
+        beam: 4,
+        min_len: 32,
+    };
+    let reqs = |encs: &[Tensor]| -> Vec<BatchRequest> {
+        encs.iter()
+            .map(|e| BatchRequest {
+                enc_out: e.clone(),
+                prompt: vec![mpirical_model::vocab::SOS],
+                max_len: 33,
+                opts,
+            })
+            .collect()
+    };
+
+    // No-fallback smoke: batched beam must run and match the
+    // single-request beam path exactly.
+    let singles: Vec<Vec<usize>> = enc_outs
+        .iter()
+        .map(|e| decode_encoded(&store, &params, &cfg, e, 33, opts))
+        .collect();
+    let mut dec = BatchDecoder::new(&store, &params, &cfg, 16);
+    assert_eq!(
+        dec.decode_all(reqs(&enc_outs)),
+        singles,
+        "batched beam must equal sequential beam (no fallback)"
+    );
+
+    let mut g = c.benchmark_group("decode_batch_beam");
+    g.sample_size(10);
+    g.bench_function("sequential_4x_beam4_32tok", |b| {
+        b.iter(|| {
+            for e in &enc_outs {
+                black_box(decode_encoded(
+                    &store,
+                    &params,
+                    &cfg,
+                    black_box(e),
+                    33,
+                    opts,
+                ));
+            }
+        })
+    });
+    g.bench_function("batch4_beam4_32tok", |b| {
+        b.iter(|| black_box(dec.decode_all(reqs(&enc_outs))))
+    });
+    g.finish();
+}
+
+/// Beam-fork cost: cloning a 64-token cache. The paged clone bumps page
+/// refcounts (COW); the contiguous reference deep-copies every K/V row —
+/// this is the per-expansion cost beam search pays `beam - 1` times per
+/// step.
+fn bench_cache_fork(c: &mut Criterion) {
+    let cfg = ModelConfig {
+        vocab_size: 512,
+        max_enc_len: 256,
+        max_dec_len: 240,
+        ..Default::default()
+    };
+    let mut store = ParamStore::new();
+    let params = build_params(&cfg, &mut store, 1);
+    let src: Vec<usize> = (0..128).map(|i| 6 + (i % 200)).collect();
+    let enc = encode_source(&store, &params, &cfg, &src);
+    let mut paged = mpirical_model::DecoderCache::new(&store, &params, &cfg, &enc);
+    let mut contiguous = mpirical_model::DecoderCache::new_contiguous(&store, &params, &cfg, &enc);
+    for step in 0..64usize {
+        mpirical_model::decode_step(&store, &params, &cfg, &mut paged, 6 + step % 200);
+        mpirical_model::decode_step(&store, &params, &cfg, &mut contiguous, 6 + step % 200);
+    }
+
+    let mut g = c.benchmark_group("paged");
+    g.bench_function("fork_paged_64tok", |b| b.iter(|| black_box(paged.clone())));
+    g.bench_function("fork_contiguous_64tok", |b| {
+        b.iter(|| black_box(contiguous.clone()))
+    });
+    g.finish();
+}
+
 fn bench_suggestion_latency(c: &mut Criterion) {
     // End-to-end: raw source → suggestions, via an untrained (but real-size)
     // assistant — latency is architecture-, not weight-, dependent.
@@ -321,6 +430,8 @@ criterion_group!(
     bench_model,
     bench_decode,
     bench_batch_decode,
+    bench_batch_beam,
+    bench_cache_fork,
     bench_suggestion_latency
 );
 criterion_main!(benches);

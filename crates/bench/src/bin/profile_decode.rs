@@ -122,4 +122,37 @@ fn main() {
     time("DecoderCache::new", 2000, || {
         std::hint::black_box(DecoderCache::new(&store, &params, &cfg, &enc));
     });
+
+    // Paged vs contiguous: peak cache bytes per lane and beam-fork cost at
+    // a 64-token output (the numbers behind the paged-KV ROADMAP item).
+    // Measured at the assistant's serving window (`max_dec_len` 240, as in
+    // the decode benches) — the contiguous layout reserves that whole
+    // window per lane up front, the paged layout only what 64 tokens fill.
+    let mut mcfg = cfg.clone();
+    mcfg.max_dec_len = 240;
+    let mut paged = DecoderCache::new(&store, &params, &mcfg, &enc);
+    let mut contiguous = DecoderCache::new_contiguous(&store, &params, &mcfg, &enc);
+    for step in 0..64usize {
+        decode_step(&store, &params, &mcfg, &mut paged, 6 + step % 200);
+        decode_step(&store, &params, &mcfg, &mut contiguous, 6 + step % 200);
+    }
+    let stats = paged.pool().expect("paged").stats();
+    let contiguous_bytes = 2 // K and V
+        * mcfg.n_dec_layers
+        * mcfg.n_heads
+        * mcfg.max_dec_len
+        * mcfg.d_head()
+        * std::mem::size_of::<f32>();
+    println!(
+        "peak cache bytes/lane @64tok          paged {:>8} vs contiguous {:>8}  ({:.2}x lower)",
+        stats.peak_bytes(),
+        contiguous_bytes,
+        contiguous_bytes as f64 / stats.peak_bytes() as f64,
+    );
+    time("fork (clone) paged @64tok", 20000, || {
+        std::hint::black_box(paged.clone());
+    });
+    time("fork (clone) contiguous @64tok", 20000, || {
+        std::hint::black_box(contiguous.clone());
+    });
 }

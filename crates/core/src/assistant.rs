@@ -183,27 +183,27 @@ impl MpiRical {
     /// throughput scales far better than calling [`predict_ids`] in a loop
     /// while returning **exactly the same ids per source**.
     ///
-    /// The lockstep loop is greedy-only; if the artifact is configured for
-    /// beam search (`decode.beam > 1`) this falls back to sequential
-    /// per-source decoding so the configured options are always honored.
+    /// The artifact's full [`DecodeOptions`] are honored in-batch: a
+    /// beam-configured artifact decodes with batched beam search (each
+    /// request reserves `beam` lanes; hypotheses fork copy-on-write in the
+    /// scheduler's paged KV cache), no sequential fallback.
     ///
     /// [`BatchDecoder`]: mpirical_model::BatchDecoder
     /// [`predict_ids`]: Self::predict_ids
     pub fn predict_ids_batch(&self, sources: &[&str]) -> Vec<Vec<usize>> {
-        if self.decode.beam > 1 {
-            return sources.iter().map(|s| self.predict_ids(s)).collect();
-        }
         let m = &self.model;
         let reqs = sources.iter().map(|s| self.batch_request(s)).collect();
-        BatchDecoder::new(&m.store, &m.params, &m.cfg, DEFAULT_MAX_BATCH).decode_all(reqs)
+        let lanes = DEFAULT_MAX_BATCH.max(self.decode.beam);
+        BatchDecoder::new(&m.store, &m.params, &m.cfg, lanes).decode_all(reqs)
     }
 
-    /// Build the greedy [`BatchRequest`] for one source: tolerant-parse +
-    /// encode, run the encoder, attach the artifact's `min_len` (beam is
-    /// forced to 1 — the lockstep scheduler is greedy-only). The single
-    /// construction point shared by [`predict_ids_batch`](Self::predict_ids_batch)
-    /// and [`SuggestService`](crate::service::SuggestService), so the
-    /// one-shot and daemon serving paths can never drift apart.
+    /// Build the [`BatchRequest`] for one source: tolerant-parse + encode,
+    /// run the encoder, attach the artifact's [`DecodeOptions`] (beam
+    /// included — the lockstep scheduler decodes beam requests natively).
+    /// The single construction point shared by
+    /// [`predict_ids_batch`](Self::predict_ids_batch) and
+    /// [`SuggestService`](crate::service::SuggestService), so the one-shot
+    /// and daemon serving paths can never drift apart.
     pub fn batch_request(&self, c_source: &str) -> BatchRequest {
         let m = &self.model;
         let src = self.encode_source(c_source);
@@ -212,10 +212,7 @@ impl MpiRical {
             enc_out,
             prompt: vec![SOS],
             max_len: m.cfg.max_dec_len,
-            opts: DecodeOptions {
-                beam: 1,
-                min_len: self.decode.min_len,
-            },
+            opts: self.decode,
         }
     }
 
@@ -371,15 +368,15 @@ mod tests {
         for (got, buf) in batched.iter().zip(&buffers) {
             assert_eq!(got, &assistant.suggest(buf), "greedy batch for {buf:?}");
         }
-        // Beam-configured artifacts fall back to sequential decoding but
-        // must still honor the configured options.
+        // Beam-configured artifacts decode in-batch (no sequential
+        // fallback) and must still match the single-request beam path.
         assistant.decode = DecodeOptions {
             beam: 2,
             min_len: 0,
         };
         let beamed = assistant.suggest_batch(&buffers[..2]);
         for (got, buf) in beamed.iter().zip(&buffers[..2]) {
-            assert_eq!(got, &assistant.suggest(buf), "beam fallback for {buf:?}");
+            assert_eq!(got, &assistant.suggest(buf), "batched beam for {buf:?}");
         }
     }
 

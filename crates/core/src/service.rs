@@ -9,11 +9,15 @@
 //! requests retire continuously so a short completion never waits on a long
 //! one.
 //!
-//! The lockstep loop is greedy-only, so the service decodes with `beam = 1`
-//! regardless of the artifact's configured beam width (the artifact's
-//! `min_len` is kept); interactive assistance wants the latency of greedy,
-//! and a caller that needs beam-quality suggestions for a single buffer can
-//! still call [`MpiRical::suggest`] directly.
+//! The service decodes every request with the artifact's full
+//! [`DecodeOptions`](mpirical_model::DecodeOptions) — a beam-configured
+//! artifact runs **batched beam search** in the same lockstep loop (each
+//! request reserves `beam` lanes; hypotheses fork copy-on-write inside the
+//! scheduler's paged KV cache), no sequential fallback.
+//!
+//! The scheduler allocates every lane's cache from one page pool;
+//! [`SuggestService::pool_stats`] surfaces its live/peak/shared page counts
+//! so a daemon can export serving-memory telemetry.
 //!
 //! ```no_run
 //! use mpirical::{MpiRical, SuggestService};
@@ -28,11 +32,12 @@
 //!         println!("insert {} at line {}", s.function, s.line);
 //!     }
 //! }
+//! println!("peak KV bytes: {}", service.pool_stats().peak_bytes());
 //! ```
 
 use crate::assistant::{MpiRical, Suggestion};
 use crate::tokenize::calls_from_ids;
-use mpirical_model::{BatchDecoder, RequestId, DEFAULT_MAX_BATCH};
+use mpirical_model::{BatchDecoder, PoolStats, RequestId, DEFAULT_MAX_BATCH};
 
 /// Submit/poll scheduler turning an [`MpiRical`] artifact into a shared
 /// generation backend (see module docs).
@@ -48,13 +53,16 @@ impl<'m> SuggestService<'m> {
         SuggestService::with_max_batch(assistant, DEFAULT_MAX_BATCH)
     }
 
-    /// Service decoding at most `max_batch` requests concurrently; further
-    /// submissions queue and join as lanes free up.
+    /// Service decoding at most `max_batch` lanes concurrently; further
+    /// submissions queue and join as lanes free up. A beam-configured
+    /// artifact reserves `decode.beam` lanes per request, so the lane count
+    /// is raised to at least the beam width.
     pub fn with_max_batch(assistant: &'m MpiRical, max_batch: usize) -> SuggestService<'m> {
         let m = &assistant.model;
+        let lanes = max_batch.max(assistant.decode.beam);
         SuggestService {
             assistant,
-            decoder: BatchDecoder::new(&m.store, &m.params, &m.cfg, max_batch),
+            decoder: BatchDecoder::new(&m.store, &m.params, &m.cfg, lanes),
         }
     }
 
@@ -82,6 +90,19 @@ impl<'m> SuggestService<'m> {
     /// Requests submitted but not yet finished.
     pub fn pending(&self) -> usize {
         self.decoder.pending()
+    }
+
+    /// Telemetry of the scheduler's page pool: live/peak/shared page
+    /// counts, COW copy count, and byte sizes — the serving-memory numbers
+    /// a daemon exports.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.decoder.pool_stats()
+    }
+
+    /// Requests admitted by sharing a retained identical-prompt prefill
+    /// (the IDE-retrigger fast path) instead of prefilling from scratch.
+    pub fn prefix_hits(&self) -> u64 {
+        self.decoder.prefix_hits()
     }
 
     /// Take a finished request's suggestions. `None` while it is still
@@ -164,5 +185,98 @@ mod tests {
         while service.step() > 0 {}
         assert!(service.poll(t).is_some());
         assert_eq!(service.pending(), 0);
+    }
+
+    /// A finished ticket stays redeemable while later requests churn
+    /// through the same lanes — retirement must not be invalidated by
+    /// subsequent scheduling.
+    #[test]
+    fn poll_after_later_requests_retire() {
+        let assistant = tiny_assistant();
+        let mut service = SuggestService::with_max_batch(&assistant, 1);
+        let early = service.submit("int main() { int rank; return 0; }");
+        service.run();
+        // Churn two more requests through the single lane before polling.
+        let mid = service.submit("int main() { double local = 0.0; return 0; }");
+        let late = service.submit("int main() { return 0; }");
+        service.run();
+        let got = service.poll(early).expect("early ticket survives churn");
+        assert_eq!(got, assistant.suggest("int main() { int rank; return 0; }"));
+        assert!(service.poll(mid).is_some());
+        assert!(service.poll(late).is_some());
+    }
+
+    /// Duplicate polls: the second redemption returns `None` for every
+    /// ticket, finished or never-submitted.
+    #[test]
+    fn duplicate_and_unknown_polls_return_none() {
+        let assistant = tiny_assistant();
+        let mut service = SuggestService::new(&assistant);
+        let t = service.submit("int main() { int rank; return 0; }");
+        service.run();
+        assert!(service.poll(t).is_some());
+        assert!(service.poll(t).is_none(), "second redemption");
+        assert!(service.poll(t + 1000).is_none(), "unknown ticket");
+    }
+
+    /// Overflowing the queue (more requests than lanes) never reuses a
+    /// live ticket and every ticket redeems exactly once, in any order.
+    #[test]
+    fn queue_overflow_keeps_tickets_unique_and_redeemable() {
+        let assistant = tiny_assistant();
+        let mut service = SuggestService::with_max_batch(&assistant, 2);
+        let buffers = [
+            "int main() { int rank; return 0; }",
+            "int main() { double local = 0.0; return 0; }",
+            "int main() { int size; return 0; }",
+            "int main() { return 0; }",
+            "int main() { int x = 1; if (x",
+        ];
+        let tickets: Vec<_> = buffers.iter().map(|b| service.submit(b)).collect();
+        let unique: std::collections::HashSet<_> = tickets.iter().collect();
+        assert_eq!(unique.len(), tickets.len(), "tickets are unique");
+        assert_eq!(service.pending(), 5);
+        service.run();
+        // Redeem out of submission order.
+        for &i in &[3usize, 0, 4, 1, 2] {
+            let got = service.poll(tickets[i]).expect("each ticket redeems");
+            assert_eq!(got, assistant.suggest(buffers[i]), "buffer {i}");
+        }
+        for t in tickets {
+            assert!(service.poll(t).is_none(), "all redeemed already");
+        }
+    }
+
+    /// A beam-configured artifact decodes through the service's lockstep
+    /// loop (no fallback) and matches the sequential beam path; the pool
+    /// telemetry shows the paged cache at work.
+    #[test]
+    fn beam_artifact_decodes_batched_with_pool_telemetry() {
+        let mut assistant = tiny_assistant();
+        assistant.decode = mpirical_model::DecodeOptions {
+            beam: 2,
+            min_len: 0,
+        };
+        let buffers = [
+            "int main() { int rank; printf(\"a\\n\"); return 0; }",
+            "int main() { double local = 0.0; return 0; }",
+        ];
+        let mut service = SuggestService::with_max_batch(&assistant, 4);
+        assert_eq!(service.pool_stats().pages_live, 0, "idle pool is empty");
+        let tickets: Vec<_> = buffers.iter().map(|b| service.submit(b)).collect();
+        service.run();
+        for (t, b) in tickets.into_iter().zip(buffers) {
+            assert_eq!(service.poll(t).unwrap(), assistant.suggest(b), "{b:?}");
+        }
+        let stats = service.pool_stats();
+        assert!(stats.pages_peak > 0, "beam decoding allocated pages");
+        assert_eq!(stats.pages_live, 0, "all lanes retired, pages freed");
+
+        // The IDE-retrigger path: resubmitting an identical buffer shares
+        // its prefill instead of re-running it.
+        let again = service.submit(buffers[0]);
+        service.run();
+        assert_eq!(service.prefix_hits(), 1);
+        assert_eq!(service.poll(again).unwrap(), assistant.suggest(buffers[0]));
     }
 }

@@ -14,30 +14,48 @@
 //! The batch is not fixed at submission time. Requests queue via
 //! [`BatchDecoder::submit`] and are admitted into free *lanes* at the start
 //! of the next step; a request that finishes (emits `<eos>` or hits its
-//! length cap) retires immediately, freeing its lane for the next queued
+//! length cap) retires immediately, freeing its lanes for the next queued
 //! request **mid-flight** — no head-of-line blocking on the slowest
 //! generation, and a late `submit` joins the very next lockstep step.
 //!
 //! ```text
-//! submit ──▶ queue ──▶ lane (≤ max_batch) ──▶ retired results
-//!                       ▲       │ step(): one token per lane
-//!                       └───────┘ free lane → admit next queued request
+//! submit ──▶ queue ──▶ lanes (≤ max_batch) ──▶ retired results
+//!                       ▲       │ step(): one token per live hypothesis
+//!                       └───────┘ free lanes → admit next queued request
 //! ```
+//!
+//! # Batched beam search
+//!
+//! A request may decode with any `beam ≤ max_batch`. The scheduler reserves
+//! `beam` lanes for it and runs the *exact* single-request beam semantics —
+//! `expand_beams` and `best_hypothesis_ids` are literally shared with
+//! [`decode_encoded_prompted`](crate::decode::decode_encoded_prompted) — over
+//! hypotheses that are stepped in lockstep with every other request's.
+//! Hypothesis forks are copy-on-write page shares (all lanes draw from one
+//! [`PagePool`]), so a beam expansion bumps refcounts instead of copying
+//! K/V rows.
+//!
+//! # Prefix sharing
+//!
+//! Requests with an **identical (encoder output, prompt)** pair — the IDE
+//! retrigger pattern: the same buffer re-submitted on every keystroke pause
+//! — skip prefill entirely: the scheduler snapshots each request's
+//! prefilled cache (a COW fork) and admits an identical request as another
+//! fork of that snapshot, sharing the prompt's K/V pages outright. Equality
+//! is verified byte-for-byte (the hash is only a filter), so this is a pure
+//! scheduling shortcut: outputs are unchanged.
 //!
 //! # Equivalence
 //!
-//! Batching is a scheduling decision, not a numerical one: each lane owns
-//! its [`DecoderCache`], per-element accumulation order in the fused kernels
-//! matches the single-request `vecmat` path exactly, and token selection
-//! shares greedy decoding's argmax. A request decoded in a batch of 8
-//! returns **the same tokens** as
-//! [`decode_encoded`](crate::decode::decode_encoded) would alone; the tests
-//! here assert it (and logit equality well below the 1e-4 contract).
-//!
-//! Beam search is out of scope for the lockstep loop — a beam request forks
-//! a data-dependent number of hypotheses per step, which breaks the fixed
-//! lane model — so [`BatchDecoder::submit`] rejects `beam > 1`; callers fall
-//! back to [`decode_with`](crate::decode::decode_with) for beam requests.
+//! Batching is a scheduling decision, not a numerical one: each hypothesis
+//! owns its [`DecoderCache`], per-element accumulation order in the fused
+//! kernels matches the single-request `vecmat` path exactly, token
+//! selection shares greedy's argmax and beam's expansion code, and paged
+//! storage is bitwise-equal to the contiguous reference. A request decoded
+//! in a full batch returns **the same tokens** as
+//! [`decode_encoded_prompted`](crate::decode::decode_encoded_prompted)
+//! would alone, for any beam width; the tests here and the property
+//! harness in `tests/paged_cache_props.rs` assert it.
 //!
 //! # Example
 //!
@@ -55,19 +73,21 @@
 //!
 //! let mut dec = BatchDecoder::new(&store, &params, &cfg, 4);
 //! let a = dec.submit(BatchRequest::greedy(enc.clone(), 12));
-//! let b = dec.submit(BatchRequest::greedy(enc.clone(), 12));
+//! let b = dec.submit(BatchRequest::beam(enc.clone(), 12, 3)); // beam joins the same batch
 //! dec.run();
 //!
-//! let out = dec.poll(a).expect("request a finished");
-//! assert_eq!(Some(&out), dec.poll(b).as_ref());
-//! // Batched output is exactly the single-request greedy output.
-//! let alone = decode_encoded(&store, &params, &cfg, &enc, 12, DecodeOptions::default());
-//! assert_eq!(out, alone);
+//! // Batched outputs are exactly the single-request outputs.
+//! let greedy = decode_encoded(&store, &params, &cfg, &enc, 12, DecodeOptions::default());
+//! let beamed = decode_encoded(&store, &params, &cfg, &enc, 12,
+//!     DecodeOptions { beam: 3, min_len: 0 });
+//! assert_eq!(dec.poll(a).unwrap(), greedy);
+//! assert_eq!(dec.poll(b).unwrap(), beamed);
 //! ```
 
 use crate::config::ModelConfig;
-use crate::decode::argmax_token;
+use crate::decode::{argmax_token, best_hypothesis_ids, expand_beams, Hypothesis};
 use crate::infer::{decode_step_batch, BatchScratch, DecoderCache, PackedDecoderWeights};
+use crate::paged::{PagePool, PoolStats};
 use crate::transformer::TransformerParams;
 use crate::vocab::{EOS, SOS};
 use crate::DecodeOptions;
@@ -80,6 +100,10 @@ pub type RequestId = u64;
 
 /// Default lane count for convenience constructors in the service layer.
 pub const DEFAULT_MAX_BATCH: usize = 8;
+
+/// Retained prefill snapshots for prefix sharing (see module docs); small —
+/// each entry pins only its prompt's K/V pages plus one encoder output.
+const PREFIX_CACHE_CAP: usize = 16;
 
 /// One queued generation request.
 ///
@@ -97,8 +121,9 @@ pub struct BatchRequest {
     /// Length cap counting the prompt, clamped to `cfg.max_dec_len`
     /// (mirrors the `max_len` of [`decode_encoded`](crate::decode::decode_encoded)).
     pub max_len: usize,
-    /// Per-request decoding knobs. `beam` must be 1 (see module docs);
-    /// `min_len` suppresses `<eos>` until that many tokens are generated.
+    /// Per-request decoding knobs: any `1 ≤ beam ≤ max_batch` (the request
+    /// reserves `beam` lanes); `min_len` suppresses `<eos>` until that many
+    /// tokens are generated.
     pub opts: DecodeOptions,
 }
 
@@ -112,24 +137,83 @@ impl BatchRequest {
             opts: DecodeOptions::default(),
         }
     }
+
+    /// A beam-search request: `<sos>` prompt, the given beam width.
+    pub fn beam(enc_out: Tensor, max_len: usize, beam: usize) -> BatchRequest {
+        BatchRequest {
+            enc_out,
+            prompt: vec![SOS],
+            max_len,
+            opts: DecodeOptions { beam, min_len: 0 },
+        }
+    }
 }
 
-/// An active decoding slot: one admitted request and its cache.
-struct Lane {
+/// One admitted request: its hypotheses (one for greedy, up to `beam` once
+/// a beam request starts expanding) plus the bookkeeping to replay the
+/// single-request semantics exactly.
+struct Group {
     id: RequestId,
-    cache: DecoderCache,
-    /// Prompt followed by generated tokens; `ids[cache.len()]` is the next
-    /// token to feed while prefilling, `ids.last()` afterwards (the two
-    /// coincide once `cache.len() == ids.len() - 1`).
-    ids: Vec<usize>,
+    /// Lanes reserved for this request (= its beam width) for its lifetime.
+    reserved: usize,
+    /// Live and finished hypotheses, in [`expand_beams`] order. Greedy
+    /// groups keep exactly one.
+    beams: Vec<Hypothesis>,
+    /// Beam expansions performed so far (the single-request loop runs
+    /// `limit - prompt_len` of them at most).
+    expansions: usize,
     prompt_len: usize,
     min_len: usize,
-    /// Generation stops once `ids.len()` reaches this (prompt included).
+    /// Generation stops once ids reach this length (prompt included).
     limit: usize,
+    /// Prefix-sharing key of `(enc_out, prompt)`.
+    share_key: u64,
+    /// The request's encoder output, retained until the prefill snapshot is
+    /// stored (then dropped — the cache carries the projected cross-K/V).
+    enc_out: Option<Tensor>,
+    /// Whether this group's prefilled cache is (or came from) a snapshot.
+    snapshotted: bool,
+    finished: bool,
 }
 
-/// Lockstep multi-request greedy decoder with continuous batching (see
-/// module docs for the scheduling model).
+impl Group {
+    fn is_beam(&self) -> bool {
+        self.reserved > 1
+    }
+}
+
+/// A retained prefilled cache keyed by `(enc_out, prompt)`.
+struct PrefixEntry {
+    key: u64,
+    prompt: Vec<usize>,
+    enc_out: Tensor,
+    /// Cache covering `prompt[..len-1]` — exactly the state a fresh lane
+    /// reaches after prefill. Forked (COW) into every admitted twin.
+    cache: DecoderCache,
+}
+
+/// FNV-1a over the prompt ids and the encoder output's shape and raw f32
+/// bits. A filter only — admit verifies full equality before sharing.
+fn prefix_key(enc_out: &Tensor, prompt: &[usize]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    let mut eat = |bytes: u64| {
+        h ^= bytes;
+        h = h.wrapping_mul(0x100000001b3);
+    };
+    for &id in prompt {
+        eat(id as u64);
+    }
+    for &s in &enc_out.shape {
+        eat(s as u64);
+    }
+    for &v in &enc_out.data {
+        eat(v.to_bits() as u64);
+    }
+    h
+}
+
+/// Lockstep multi-request decoder with continuous batching and batched
+/// beam search (see module docs for the scheduling model).
 ///
 /// Borrowing rather than owning the model lets one trained model serve any
 /// number of decoders — the service layer holds the artifact, schedulers
@@ -142,9 +226,14 @@ pub struct BatchDecoder<'m> {
     /// streaming by the fused step kernels (see [`PackedDecoderWeights`]).
     weights: PackedDecoderWeights,
     max_batch: usize,
-    lanes: Vec<Lane>,
+    /// One page pool for every lane: retired requests recycle pages into
+    /// newly admitted ones, beam forks and shared prefixes share pages COW.
+    pool: PagePool,
+    groups: Vec<Group>,
     queue: VecDeque<(RequestId, BatchRequest)>,
     done: HashMap<RequestId, Vec<usize>>,
+    prefix_cache: Vec<PrefixEntry>,
+    prefix_hits: u64,
     scratch: BatchScratch,
     logits: Vec<f32>,
     next_id: RequestId,
@@ -171,9 +260,12 @@ impl<'m> BatchDecoder<'m> {
             cfg,
             weights: PackedDecoderWeights::new(store, params),
             max_batch,
-            lanes: Vec::with_capacity(max_batch),
+            pool: PagePool::new(cfg.d_head()),
+            groups: Vec::new(),
             queue: VecDeque::new(),
             done: HashMap::new(),
+            prefix_cache: Vec::new(),
+            prefix_hits: 0,
             scratch: BatchScratch::new(cfg, max_batch),
             logits: vec![0.0; max_batch * cfg.vocab_size],
             next_id: 0,
@@ -181,17 +273,19 @@ impl<'m> BatchDecoder<'m> {
     }
 
     /// Queue a request; it joins the batch at the next [`step`](Self::step)
-    /// with a free lane. Returns the ticket for [`poll`](Self::poll).
+    /// with enough free lanes (a request reserves `beam` of them). Returns
+    /// the ticket for [`poll`](Self::poll).
     ///
     /// # Panics
     ///
-    /// If `opts.beam != 1` (the lockstep loop is greedy-only; use
-    /// [`decode_with`](crate::decode::decode_with) for beam search) or the
-    /// prompt is empty.
+    /// If `opts.beam` is 0 or exceeds `max_batch`, or the prompt is empty.
     pub fn submit(&mut self, req: BatchRequest) -> RequestId {
-        assert_eq!(
-            req.opts.beam, 1,
-            "BatchDecoder is greedy-only; route beam requests through decode_with"
+        assert!(req.opts.beam >= 1, "beam width must be at least 1");
+        assert!(
+            req.opts.beam <= self.max_batch,
+            "beam width {} exceeds the scheduler's {} lanes",
+            req.opts.beam,
+            self.max_batch
         );
         assert!(!req.prompt.is_empty(), "prompt must hold at least <sos>");
         let id = self.next_id;
@@ -200,19 +294,19 @@ impl<'m> BatchDecoder<'m> {
         id
     }
 
-    /// Requests currently decoding in a lane.
+    /// Requests currently decoding in lanes.
     pub fn active(&self) -> usize {
-        self.lanes.len()
+        self.groups.len()
     }
 
-    /// Requests waiting for a lane.
+    /// Requests waiting for lanes.
     pub fn queued(&self) -> usize {
         self.queue.len()
     }
 
     /// Requests submitted but not yet retired (active + queued).
     pub fn pending(&self) -> usize {
-        self.lanes.len() + self.queue.len()
+        self.groups.len() + self.queue.len()
     }
 
     /// The lane capacity this scheduler was built with.
@@ -220,48 +314,164 @@ impl<'m> BatchDecoder<'m> {
         self.max_batch
     }
 
+    /// The page pool behind every lane's cache. Cloning the handle keeps it
+    /// valid after the scheduler drops (the property harness uses that to
+    /// assert zero leaked pages).
+    pub fn pool(&self) -> &PagePool {
+        &self.pool
+    }
+
+    /// Current page-pool telemetry: live/peak/shared pages, COW copies.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// Requests admitted by forking a retained identical-prompt prefill
+    /// instead of prefilling from scratch.
+    pub fn prefix_hits(&self) -> u64 {
+        self.prefix_hits
+    }
+
+    /// Lanes currently reserved by admitted requests.
+    fn lanes_used(&self) -> usize {
+        self.groups.iter().map(|g| g.reserved).sum()
+    }
+
+    /// Look up a retained prefill for `(enc_out, prompt)`; full equality
+    /// checked, hash is a filter.
+    fn shared_prefill(
+        &mut self,
+        key: u64,
+        enc_out: &Tensor,
+        prompt: &[usize],
+    ) -> Option<DecoderCache> {
+        let entry = self.prefix_cache.iter().find(|e| {
+            e.key == key
+                && e.prompt == prompt
+                && e.enc_out.shape == enc_out.shape
+                && e.enc_out.data == enc_out.data
+        })?;
+        self.prefix_hits += 1;
+        Some(entry.cache.clone())
+    }
+
+    /// Retain `cache` (a COW fork of it) as the canonical prefill for this
+    /// group's `(enc_out, prompt)`, evicting the oldest entry at capacity.
+    fn store_prefill(&mut self, key: u64, prompt: &[usize], enc_out: Tensor, cache: &DecoderCache) {
+        if self
+            .prefix_cache
+            .iter()
+            .any(|e| e.key == key && e.prompt == prompt)
+        {
+            return;
+        }
+        if self.prefix_cache.len() >= PREFIX_CACHE_CAP {
+            self.prefix_cache.remove(0);
+        }
+        self.prefix_cache.push(PrefixEntry {
+            key,
+            prompt: prompt.to_vec(),
+            enc_out,
+            cache: cache.clone(),
+        });
+    }
+
     /// Move queued requests into free lanes (continuous batching's "join"
     /// half). Requests whose prompt already meets their length cap retire
-    /// immediately with an empty generation, exactly like the single-request
-    /// greedy loop, which never steps in that case.
+    /// immediately with an empty generation, exactly like the
+    /// single-request loop, which never steps in that case.
     fn admit(&mut self) {
-        while self.lanes.len() < self.max_batch {
-            let Some((id, req)) = self.queue.pop_front() else {
+        while let Some((_, req)) = self.queue.front() {
+            if self.lanes_used() + req.opts.beam > self.max_batch {
                 break;
-            };
+            }
+            let (id, req) = self.queue.pop_front().expect("peeked");
             let limit = req.max_len.min(self.cfg.max_dec_len);
             if req.prompt.len() >= limit {
                 self.done.insert(id, Vec::new());
                 continue;
             }
-            let prompt_len = req.prompt.len();
-            self.lanes.push(Lane {
+            let key = prefix_key(&req.enc_out, &req.prompt);
+            let (cache, snapshotted) = match self.shared_prefill(key, &req.enc_out, &req.prompt) {
+                Some(cache) => (cache, true),
+                None => {
+                    let cache = DecoderCache::new_in_pool(
+                        self.store,
+                        self.params,
+                        self.cfg,
+                        &req.enc_out,
+                        &self.pool,
+                    );
+                    (cache, false)
+                }
+            };
+            let mut group = Group {
                 id,
-                cache: DecoderCache::new(self.store, self.params, self.cfg, &req.enc_out),
-                ids: req.prompt,
-                prompt_len,
+                reserved: req.opts.beam,
+                beams: vec![Hypothesis::root(&req.prompt, cache)],
+                expansions: 0,
+                prompt_len: req.prompt.len(),
                 min_len: req.opts.min_len,
                 limit,
-            });
+                share_key: key,
+                // A snapshot-admitted group never stores another snapshot,
+                // so holding the tensor would just pin dead memory.
+                enc_out: (!snapshotted).then_some(req.enc_out),
+                snapshotted,
+                finished: false,
+            };
+            // A 1-token prompt is "prefilled" at birth: snapshot now so the
+            // next identical request shares the cross-K/V projections.
+            self.maybe_snapshot(&mut group);
+            self.groups.push(group);
         }
     }
 
-    /// Run one lockstep step: admit queued requests, advance every lane by
-    /// one token, retire finished lanes. Returns the number of lanes that
-    /// were advanced (0 means the scheduler is idle and [`run`](Self::run)
-    /// would stop).
+    /// Retain this group's prefill once its root cache reaches
+    /// `prompt_len - 1` rows — the exact state an identical later request
+    /// needs to skip prefill.
+    fn maybe_snapshot(&mut self, group: &mut Group) {
+        if group.snapshotted {
+            return;
+        }
+        let root = &group.beams[0];
+        let Some(cache) = &root.cache else { return };
+        if cache.len() + 1 != group.prompt_len {
+            return;
+        }
+        group.snapshotted = true;
+        let Some(enc_out) = group.enc_out.take() else {
+            return;
+        };
+        let prompt = root.ids[..group.prompt_len].to_vec();
+        let cache = cache.clone();
+        self.store_prefill(group.share_key, &prompt, enc_out, &cache);
+    }
+
+    /// Run one lockstep step: admit queued requests, advance every live
+    /// hypothesis by one token, expand/retire finished requests. Returns
+    /// the number of hypotheses advanced (0 means the scheduler is idle and
+    /// [`run`](Self::run) would stop).
     pub fn step(&mut self) -> usize {
         self.admit();
-        let b = self.lanes.len();
+        // Gather every live hypothesis across groups, in group/beam order.
+        let tokens: Vec<usize> = self
+            .groups
+            .iter()
+            .flat_map(|g| g.beams.iter())
+            .filter_map(|h| h.cache.as_ref().map(|c| h.ids[c.len()]))
+            .collect();
+        let b = tokens.len();
         if b == 0 {
             return 0;
         }
         let vocab = self.cfg.vocab_size;
-        // Prefilling lanes feed the next prompt token; generating lanes
-        // feed the token they emitted last step.
-        let tokens: Vec<usize> = self.lanes.iter().map(|l| l.ids[l.cache.len()]).collect();
-        let mut caches: Vec<&mut DecoderCache> =
-            self.lanes.iter_mut().map(|l| &mut l.cache).collect();
+        let mut caches: Vec<&mut DecoderCache> = self
+            .groups
+            .iter_mut()
+            .flat_map(|g| g.beams.iter_mut())
+            .filter_map(|h| h.cache.as_mut())
+            .collect();
         decode_step_batch(
             self.store,
             self.params,
@@ -272,39 +482,80 @@ impl<'m> BatchDecoder<'m> {
             &mut self.scratch,
             &mut self.logits[..b * vocab],
         );
-        // Consume logits and retire finished lanes (reverse order so
-        // swap_remove leaves unvisited indices stable).
-        for i in (0..b).rev() {
-            let lane = &mut self.lanes[i];
-            if lane.cache.len() < lane.ids.len() {
-                continue; // still prefilling; logits row is intentionally unused
+        drop(caches);
+
+        // Consume logits in the same group/beam order the lanes were
+        // gathered in.
+        let mut row = 0usize;
+        let mut groups = std::mem::take(&mut self.groups);
+        for group in &mut groups {
+            let live: Vec<bool> = group.beams.iter().map(|h| h.cache.is_some()).collect();
+            // Prefilling: the root hypothesis has prompt tokens left to
+            // feed; its logits row is intentionally unused.
+            let prefilling = group
+                .beams
+                .iter()
+                .any(|h| h.cache.as_ref().is_some_and(|c| c.len() < h.ids.len()));
+            if prefilling {
+                row += live.iter().filter(|&&l| l).count();
+                self.maybe_snapshot(group);
+                continue;
             }
-            let row = &self.logits[i * vocab..(i + 1) * vocab];
-            let generated = lane.ids.len() - lane.prompt_len;
-            let tok = argmax_token(row, generated < lane.min_len);
-            if tok == EOS {
-                self.retire(i);
+            let mut rows: Vec<Option<&[f32]>> = Vec::with_capacity(live.len());
+            for &l in &live {
+                rows.push(l.then(|| {
+                    let r = &self.logits[row * vocab..(row + 1) * vocab];
+                    row += 1;
+                    r
+                }));
+            }
+            if group.is_beam() {
+                let beams = std::mem::take(&mut group.beams);
+                group.beams = expand_beams(
+                    beams,
+                    &rows,
+                    group.reserved,
+                    group.min_len,
+                    group.prompt_len,
+                );
+                group.expansions += 1;
+                if group.beams.iter().all(|h| h.done)
+                    || group.expansions >= group.limit - group.prompt_len
+                {
+                    let beams = std::mem::take(&mut group.beams);
+                    self.done
+                        .insert(group.id, best_hypothesis_ids(beams, group.prompt_len));
+                    group.finished = true;
+                }
             } else {
-                lane.ids.push(tok);
-                if lane.ids.len() >= lane.limit {
-                    self.retire(i);
+                // Greedy: exactly the single-request argmax loop.
+                let h = &mut group.beams[0];
+                let logits = rows[0].expect("greedy group has one live hypothesis");
+                let generated = h.ids.len() - group.prompt_len;
+                let tok = argmax_token(logits, generated < group.min_len);
+                if tok == EOS {
+                    group.finished = true;
+                } else {
+                    h.ids.push(tok);
+                    if h.ids.len() >= group.limit {
+                        group.finished = true;
+                    }
+                }
+                if group.finished {
+                    self.done
+                        .insert(group.id, h.ids[group.prompt_len..].to_vec());
                 }
             }
         }
+        groups.retain(|g| !g.finished);
+        self.groups = groups;
         b
     }
 
-    /// Retire lane `i`: record its generated tokens (prompt stripped, no
-    /// `<eos>` — the same shape [`decode_encoded`](crate::decode::decode_encoded)
-    /// returns) and free the lane.
-    fn retire(&mut self, i: usize) {
-        let lane = self.lanes.swap_remove(i);
-        self.done
-            .insert(lane.id, lane.ids[lane.prompt_len..].to_vec());
-    }
-
-    /// Take a finished request's generated tokens. Returns `None` while the
-    /// request is still queued or decoding; each ticket redeems once.
+    /// Take a finished request's generated tokens (prompt stripped, no
+    /// `<eos>` — the shape [`decode_encoded`](crate::decode::decode_encoded)
+    /// returns). `None` while the request is still queued or decoding; each
+    /// ticket redeems once.
     pub fn poll(&mut self, id: RequestId) -> Option<Vec<usize>> {
         self.done.remove(&id)
     }
@@ -328,7 +579,7 @@ impl<'m> BatchDecoder<'m> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::decode::{decode_encoded, encode_source};
+    use crate::decode::{decode_encoded, decode_encoded_prompted, encode_source};
     use crate::transformer::build_params;
     use crate::vocab::SOS;
 
@@ -351,38 +602,6 @@ mod tests {
     ) -> Tensor {
         let src = vec![SOS, 6 + (seed % 5), 7 + (seed % 7), 9, EOS];
         encode_source(store, params, cfg, &src)
-    }
-
-    /// Single-request reference with an arbitrary forced prompt: prefill the
-    /// prompt through `decode_step`, then greedy-continue.
-    fn reference_with_prompt(
-        store: &ParamStore,
-        params: &TransformerParams,
-        cfg: &ModelConfig,
-        enc_out: &Tensor,
-        prompt: &[usize],
-        max_len: usize,
-        min_len: usize,
-    ) -> Vec<usize> {
-        use crate::infer::decode_step;
-        let limit = max_len.min(cfg.max_dec_len);
-        let mut ids = prompt.to_vec();
-        if ids.len() >= limit {
-            return Vec::new();
-        }
-        let mut cache = DecoderCache::new(store, params, cfg, enc_out);
-        for &tok in &ids[..ids.len() - 1] {
-            decode_step(store, params, cfg, &mut cache, tok);
-        }
-        while ids.len() < limit {
-            let logits = decode_step(store, params, cfg, &mut cache, *ids.last().unwrap());
-            let tok = argmax_token(&logits, ids.len() - prompt.len() < min_len);
-            if tok == EOS {
-                break;
-            }
-            ids.push(tok);
-        }
-        ids[prompt.len()..].to_vec()
     }
 
     #[test]
@@ -420,7 +639,9 @@ mod tests {
         let refs: Vec<Vec<usize>> = prompts
             .iter()
             .zip(&encs)
-            .map(|(p, e)| reference_with_prompt(&store, &params, &cfg, e, p, 18, 0))
+            .map(|(p, e)| {
+                decode_encoded_prompted(&store, &params, &cfg, e, p, 18, DecodeOptions::default())
+            })
             .collect();
         let mut dec = BatchDecoder::new(&store, &params, &cfg, 3);
         let reqs = prompts
@@ -447,7 +668,8 @@ mod tests {
             .iter()
             .zip(&encs)
             .map(|(&(max_len, min_len), e)| {
-                reference_with_prompt(&store, &params, &cfg, e, &[SOS], max_len, min_len)
+                let opts = DecodeOptions { beam: 1, min_len };
+                decode_encoded_prompted(&store, &params, &cfg, e, &[SOS], max_len, opts)
             })
             .collect();
         let mut dec = BatchDecoder::new(&store, &params, &cfg, 3);
@@ -541,20 +763,189 @@ mod tests {
         assert_eq!(dec.poll(id), None, "ticket already redeemed");
     }
 
+    // -- batched beam search -----------------------------------------------
+
+    /// The lifted restriction: beam requests decode in the lockstep batch
+    /// and return exactly the single-request beam output.
     #[test]
-    #[should_panic(expected = "greedy-only")]
-    fn beam_requests_are_rejected() {
+    fn batched_beam_matches_single_request_beam() {
+        let (cfg, store, params) = setup();
+        let encs: Vec<Tensor> = (0..3).map(|i| enc(&store, &params, &cfg, i)).collect();
+        for beam in [2usize, 3, 4] {
+            let opts = DecodeOptions { beam, min_len: 0 };
+            let refs: Vec<Vec<usize>> = encs
+                .iter()
+                .map(|e| decode_encoded(&store, &params, &cfg, e, 16, opts))
+                .collect();
+            let mut dec = BatchDecoder::new(&store, &params, &cfg, 3 * beam);
+            let reqs = encs
+                .iter()
+                .map(|e| BatchRequest {
+                    enc_out: e.clone(),
+                    prompt: vec![SOS],
+                    max_len: 16,
+                    opts,
+                })
+                .collect();
+            assert_eq!(dec.decode_all(reqs), refs, "beam={beam}");
+        }
+    }
+
+    /// Greedy and beam requests share one batch; each matches its own
+    /// single-request reference, including min_len-forced beams.
+    #[test]
+    fn mixed_greedy_and_beam_batch_matches_references() {
+        let (cfg, store, params) = setup();
+        let encs: Vec<Tensor> = (0..4).map(|i| enc(&store, &params, &cfg, i)).collect();
+        let specs = [
+            DecodeOptions {
+                beam: 1,
+                min_len: 0,
+            },
+            DecodeOptions {
+                beam: 3,
+                min_len: 0,
+            },
+            DecodeOptions {
+                beam: 1,
+                min_len: 6,
+            },
+            DecodeOptions {
+                beam: 2,
+                min_len: 4,
+            },
+        ];
+        let refs: Vec<Vec<usize>> = specs
+            .iter()
+            .zip(&encs)
+            .map(|(&opts, e)| decode_encoded(&store, &params, &cfg, e, 14, opts))
+            .collect();
+        let mut dec = BatchDecoder::new(&store, &params, &cfg, 8);
+        let reqs = specs
+            .iter()
+            .zip(encs)
+            .map(|(&opts, enc_out)| BatchRequest {
+                enc_out,
+                prompt: vec![SOS],
+                max_len: 14,
+                opts,
+            })
+            .collect();
+        assert_eq!(dec.decode_all(reqs), refs);
+    }
+
+    /// Beam requests with forced prompts follow the prompted reference.
+    #[test]
+    fn batched_beam_with_prompt_matches_prompted_reference() {
+        let (cfg, store, params) = setup();
+        let e = enc(&store, &params, &cfg, 2);
+        let prompt = [SOS, 7, 11];
+        let opts = DecodeOptions {
+            beam: 3,
+            min_len: 2,
+        };
+        let reference = decode_encoded_prompted(&store, &params, &cfg, &e, &prompt, 15, opts);
+        let mut dec = BatchDecoder::new(&store, &params, &cfg, 4);
+        let out = dec.decode_all(vec![BatchRequest {
+            enc_out: e,
+            prompt: prompt.to_vec(),
+            max_len: 15,
+            opts,
+        }]);
+        assert_eq!(out[0], reference);
+    }
+
+    /// Beam requests queue when their reserved lanes don't fit, and drain
+    /// through freed lanes like any other request.
+    #[test]
+    fn beam_reservation_respects_lane_capacity() {
+        let (cfg, store, params) = setup();
+        let encs: Vec<Tensor> = (0..3).map(|i| enc(&store, &params, &cfg, i)).collect();
+        let opts = DecodeOptions {
+            beam: 2,
+            min_len: 0,
+        };
+        let refs: Vec<Vec<usize>> = encs
+            .iter()
+            .map(|e| decode_encoded(&store, &params, &cfg, e, 12, opts))
+            .collect();
+        // 3 beam-2 requests through 4 lanes: at most two decode at a time.
+        let mut dec = BatchDecoder::new(&store, &params, &cfg, 4);
+        let ids: Vec<RequestId> = encs
+            .iter()
+            .map(|e| {
+                dec.submit(BatchRequest {
+                    enc_out: e.clone(),
+                    prompt: vec![SOS],
+                    max_len: 12,
+                    opts,
+                })
+            })
+            .collect();
+        while dec.step() > 0 {
+            assert!(dec.active() <= 2, "beam reservations cap concurrency");
+        }
+        for (id, want) in ids.into_iter().zip(refs) {
+            assert_eq!(dec.poll(id).unwrap(), want);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the scheduler")]
+    fn beam_wider_than_lanes_is_rejected() {
         let (cfg, store, params) = setup();
         let e = enc(&store, &params, &cfg, 0);
         let mut dec = BatchDecoder::new(&store, &params, &cfg, 2);
-        dec.submit(BatchRequest {
-            enc_out: e,
-            prompt: vec![SOS],
-            max_len: 8,
-            opts: DecodeOptions {
-                beam: 2,
-                min_len: 0,
-            },
-        });
+        dec.submit(BatchRequest::beam(e, 8, 3));
+    }
+
+    // -- paged pool + prefix sharing ---------------------------------------
+
+    /// Identical (enc_out, prompt) requests skip prefill via a COW fork of
+    /// the retained snapshot — and still return identical output.
+    #[test]
+    fn identical_prompts_share_prefill_pages() {
+        let (cfg, store, params) = setup();
+        let e = enc(&store, &params, &cfg, 3);
+        let reference = decode_encoded(&store, &params, &cfg, &e, 18, DecodeOptions::default());
+        let mut dec = BatchDecoder::new(&store, &params, &cfg, 4);
+        let a = dec.submit(BatchRequest::greedy(e.clone(), 18));
+        dec.run();
+        assert_eq!(dec.prefix_hits(), 0, "first submission prefills");
+        let b = dec.submit(BatchRequest::greedy(e.clone(), 18));
+        let c = dec.submit(BatchRequest::greedy(e, 18));
+        dec.run();
+        assert_eq!(dec.prefix_hits(), 2, "twins fork the snapshot");
+        assert_eq!(dec.poll(a).unwrap(), reference);
+        assert_eq!(dec.poll(b).unwrap(), reference);
+        assert_eq!(dec.poll(c).unwrap(), reference);
+    }
+
+    /// Every page goes back to the pool once the scheduler drops —
+    /// including pages pinned by beam forks and prefix snapshots.
+    #[test]
+    fn pool_drains_once_scheduler_drops() {
+        let (cfg, store, params) = setup();
+        let encs: Vec<Tensor> = (0..4).map(|i| enc(&store, &params, &cfg, i)).collect();
+        let mut dec = BatchDecoder::new(&store, &params, &cfg, 6);
+        let pool = dec.pool().clone();
+        let reqs = encs
+            .iter()
+            .enumerate()
+            .map(|(i, e)| BatchRequest {
+                enc_out: e.clone(),
+                prompt: vec![SOS],
+                max_len: 12,
+                opts: DecodeOptions {
+                    beam: 1 + i % 3,
+                    min_len: 0,
+                },
+            })
+            .collect();
+        dec.decode_all(reqs);
+        let mid = pool.stats();
+        assert!(mid.pages_peak > 0, "decoding allocated pages");
+        drop(dec);
+        assert_eq!(pool.stats().pages_live, 0, "no page outlives its owners");
     }
 }

@@ -6,9 +6,10 @@
 //! over a
 //! [`DecoderCache`] of per-layer self-attention K/V plus cross-attention
 //! K/V projected once from the encoder output — O(T·L) attention work per
-//! token. Beam search forks hypotheses by cloning the cache (each clone
-//! evolves independently) and selects top-k next tokens with
-//! `select_nth_unstable_by`, O(V) instead of a full-vocabulary sort.
+//! token. Beam search forks hypotheses by cloning the cache — with the
+//! paged storage a clone shares every K/V page copy-on-write, so a fork
+//! costs refcount bumps, not row copies — and selects top-k next tokens
+//! with `select_nth_unstable_by`, O(V) instead of a full-vocabulary sort.
 //!
 //! [`greedy_decode_replay`] / [`beam_decode_replay`] keep the original
 //! cache-free path — replaying the whole decoder prefix on a fresh tape
@@ -152,11 +153,77 @@ pub fn decode_encoded(
     max_len: usize,
     opts: DecodeOptions,
 ) -> Vec<usize> {
+    decode_encoded_prompted(store, params, cfg, enc_out, &[SOS], max_len, opts)
+}
+
+/// [`decode_encoded`] generalized to an arbitrary forced decoder prefix:
+/// `prompt` is fed token-by-token (prefill), then greedy or beam generation
+/// continues from it; the returned ids exclude the prompt. With
+/// `prompt == [<sos>]` this is exactly [`decode_encoded`]. `max_len` counts
+/// the prompt (a prompt at or past the cap generates nothing), `min_len`
+/// counts generated tokens only.
+///
+/// This is the single-request reference semantics for every
+/// [`BatchDecoder`](crate::batch::BatchDecoder) request — the scheduler's
+/// equivalence tests and the property harness pin batched outputs to it.
+pub fn decode_encoded_prompted(
+    store: &ParamStore,
+    params: &TransformerParams,
+    cfg: &ModelConfig,
+    enc_out: &Tensor,
+    prompt: &[usize],
+    max_len: usize,
+    opts: DecodeOptions,
+) -> Vec<usize> {
+    decode_prompted_impl(store, params, cfg, prompt, max_len, opts, || {
+        DecoderCache::new(store, params, cfg, enc_out)
+    })
+}
+
+/// [`decode_encoded_prompted`] on the **contiguous** reference cache layout
+/// ([`DecoderCache::new_contiguous`]). Exists for the property-test harness
+/// and benchmarks, which pin the paged engine's outputs (and, step by step,
+/// its logits) to this path bitwise.
+pub fn decode_encoded_prompted_contiguous(
+    store: &ParamStore,
+    params: &TransformerParams,
+    cfg: &ModelConfig,
+    enc_out: &Tensor,
+    prompt: &[usize],
+    max_len: usize,
+    opts: DecodeOptions,
+) -> Vec<usize> {
+    decode_prompted_impl(store, params, cfg, prompt, max_len, opts, || {
+        DecoderCache::new_contiguous(store, params, cfg, enc_out)
+    })
+}
+
+/// Shared prompted-generation driver, parameterized over the cache layout
+/// (one code path ⇒ paged and contiguous can only differ inside
+/// `decode_step`, which the storage-equivalence tests cover).
+fn decode_prompted_impl(
+    store: &ParamStore,
+    params: &TransformerParams,
+    cfg: &ModelConfig,
+    prompt: &[usize],
+    max_len: usize,
+    opts: DecodeOptions,
+    new_cache: impl Fn() -> DecoderCache,
+) -> Vec<usize> {
     assert!(opts.beam >= 1);
+    assert!(!prompt.is_empty(), "prompt must hold at least <sos>");
+    let limit = max_len.min(cfg.max_dec_len);
+    if prompt.len() >= limit {
+        return Vec::new();
+    }
+    let mut cache = new_cache();
+    for &tok in &prompt[..prompt.len() - 1] {
+        decode_step(store, params, cfg, &mut cache, tok);
+    }
     if opts.beam == 1 {
-        greedy_cached(store, params, cfg, enc_out, max_len, opts.min_len)
+        greedy_cached(store, params, cfg, cache, prompt, limit, opts.min_len)
     } else {
-        beam_cached(store, params, cfg, enc_out, max_len, opts)
+        beam_cached(store, params, cfg, cache, prompt, limit, opts)
     }
 }
 
@@ -202,63 +269,82 @@ fn greedy_cached(
     store: &ParamStore,
     params: &TransformerParams,
     cfg: &ModelConfig,
-    enc_out: &Tensor,
-    max_len: usize,
+    mut cache: DecoderCache,
+    prompt: &[usize],
+    limit: usize,
     min_len: usize,
 ) -> Vec<usize> {
-    let mut cache = DecoderCache::new(store, params, cfg, enc_out);
-    let mut out = vec![SOS];
-    let limit = max_len.min(cfg.max_dec_len);
-    while out.len() < limit {
-        let logits = decode_step(store, params, cfg, &mut cache, *out.last().unwrap());
-        let ban_eos = out.len() - 1 < min_len;
+    let mut ids = prompt.to_vec();
+    while ids.len() < limit {
+        let logits = decode_step(store, params, cfg, &mut cache, *ids.last().unwrap());
+        let ban_eos = ids.len() - prompt.len() < min_len;
         let tok = argmax_token(&logits, ban_eos);
         if tok == EOS {
             break;
         }
-        out.push(tok);
+        ids.push(tok);
     }
-    out.remove(0); // drop <sos>
-    out
+    ids.split_off(prompt.len())
 }
 
 /// A beam-search hypothesis carrying its own decoder cache.
-struct Hypothesis {
-    ids: Vec<usize>,
-    log_prob: f32,
-    done: bool,
+///
+/// `pub(crate)` because the batched scheduler
+/// ([`BatchDecoder`](crate::batch::BatchDecoder)) runs the *same* beam
+/// semantics over lockstep-stepped hypotheses — sharing this type and
+/// [`expand_beams`] is what guarantees batched beam output is identical to
+/// the single-request path.
+pub(crate) struct Hypothesis {
+    pub(crate) ids: Vec<usize>,
+    pub(crate) log_prob: f32,
+    pub(crate) done: bool,
     /// Cache state covering `ids[..len-1]`; the newest id is fed on the
     /// next expansion (`None` once done — a finished cache is dead weight).
-    cache: Option<DecoderCache>,
+    pub(crate) cache: Option<DecoderCache>,
 }
 
 impl Hypothesis {
+    /// The root hypothesis: a prompt and its prefilled cache (covering
+    /// `prompt[..len-1]`).
+    pub(crate) fn root(prompt: &[usize], cache: DecoderCache) -> Hypothesis {
+        Hypothesis {
+            ids: prompt.to_vec(),
+            log_prob: 0.0,
+            done: false,
+            cache: Some(cache),
+        }
+    }
+
     fn score(&self) -> f32 {
         self.log_prob / self.ids.len() as f32
     }
 }
 
-fn beam_cached(
-    store: &ParamStore,
-    params: &TransformerParams,
-    cfg: &ModelConfig,
-    enc_out: &Tensor,
-    max_len: usize,
-    opts: DecodeOptions,
-) -> Vec<usize> {
-    let beam = opts.beam;
-    let mut beams = vec![Hypothesis {
-        ids: vec![SOS],
-        log_prob: 0.0,
-        done: false,
-        cache: Some(DecoderCache::new(store, params, cfg, enc_out)),
-    }];
-    let limit = max_len.min(cfg.max_dec_len);
+/// One beam-search expansion: given each hypothesis' freshly-stepped
+/// next-token logits (`None` for finished hypotheses, whose candidates
+/// carry forward unchanged), score `beam` continuations per live
+/// hypothesis, keep the global best `beam` by length-normalized log-prob,
+/// and hand out parent caches survivor-first (the last surviving child
+/// *moves* the stepped cache, earlier ones clone it — with paged storage a
+/// clone is a COW fork, so an expansion never copies K/V rows).
+///
+/// Shared by [`beam_cached`] (which steps hypotheses one at a time) and the
+/// batched scheduler (which steps all live hypotheses of all requests in
+/// lockstep): identical candidate ordering, tie-breaking, and cache
+/// handoff by construction.
+pub(crate) fn expand_beams(
+    beams: Vec<Hypothesis>,
+    rows: &[Option<&[f32]>],
+    beam: usize,
+    min_len: usize,
+    prompt_len: usize,
+) -> Vec<Hypothesis> {
+    assert_eq!(rows.len(), beams.len(), "one logits row per hypothesis");
 
     // A proposed expansion, scored before any cache is copied: caches are
     // moved/cloned only for the `beam` candidates that survive truncation
-    // (at most `beam - 1` clones per step, and clones share the immutable
-    // cross-attention K/V).
+    // (at most `beam - 1` clones per step, and clones share K/V pages
+    // copy-on-write plus the immutable cross-attention K/V).
     struct Candidate {
         parent: usize,
         /// Token to append (`None` for finished hypotheses).
@@ -273,7 +359,106 @@ fn beam_cached(
         }
     }
 
-    for _ in 1..limit {
+    let mut beams = beams;
+    let mut candidates: Vec<Candidate> = Vec::new();
+    for (parent, (h, row)) in beams.iter().zip(rows).enumerate() {
+        let Some(logits) = row else {
+            candidates.push(Candidate {
+                parent,
+                token: None,
+                log_prob: h.log_prob,
+                len: h.ids.len(),
+                done: true,
+            });
+            continue;
+        };
+        // Log-softmax normalizer of the row.
+        let m = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let z: f32 = logits.iter().map(|x| (x - m).exp()).sum();
+        let log_z = m + z.ln();
+        let ban_eos = h.ids.len() - prompt_len < min_len;
+        for &tok in &top_k_indices(logits, beam, ban_eos) {
+            let done = tok == EOS;
+            candidates.push(Candidate {
+                parent,
+                token: (!done).then_some(tok),
+                log_prob: h.log_prob + (logits[tok] - log_z),
+                len: h.ids.len() + usize::from(!done),
+                done,
+            });
+        }
+    }
+    // Keep the best `beam` by length-normalized log-prob.
+    candidates.sort_by(|a, b| {
+        b.score()
+            .partial_cmp(&a.score())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    candidates.truncate(beam);
+
+    // Hand out parent caches: the last surviving child of a parent moves
+    // the stepped cache, earlier ones clone (COW-fork) it.
+    let mut live_children = vec![0usize; beams.len()];
+    for c in candidates.iter().filter(|c| !c.done) {
+        live_children[c.parent] += 1;
+    }
+    let mut parent_caches: Vec<Option<DecoderCache>> =
+        beams.iter_mut().map(|h| h.cache.take()).collect();
+    let mut next = Vec::with_capacity(candidates.len());
+    for c in candidates {
+        let mut ids = beams[c.parent].ids.clone();
+        if let Some(tok) = c.token {
+            ids.push(tok);
+        }
+        let cache = if c.done {
+            None
+        } else {
+            live_children[c.parent] -= 1;
+            if live_children[c.parent] == 0 {
+                parent_caches[c.parent].take()
+            } else {
+                parent_caches[c.parent].clone()
+            }
+        };
+        next.push(Hypothesis {
+            ids,
+            log_prob: c.log_prob,
+            done: c.done,
+            cache,
+        });
+    }
+    next
+}
+
+/// Final beam selection: the best hypothesis by length-normalized score,
+/// with the prompt stripped. Shared with the batched scheduler.
+pub(crate) fn best_hypothesis_ids(beams: Vec<Hypothesis>, prompt_len: usize) -> Vec<usize> {
+    beams
+        .into_iter()
+        .max_by(|a, b| {
+            a.score()
+                .partial_cmp(&b.score())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .map(|h| {
+            let mut ids = h.ids;
+            ids.split_off(prompt_len)
+        })
+        .unwrap_or_default()
+}
+
+fn beam_cached(
+    store: &ParamStore,
+    params: &TransformerParams,
+    cfg: &ModelConfig,
+    cache: DecoderCache,
+    prompt: &[usize],
+    limit: usize,
+    opts: DecodeOptions,
+) -> Vec<usize> {
+    let prompt_len = prompt.len();
+    let mut beams = vec![Hypothesis::root(prompt, cache)];
+    for _ in prompt_len..limit {
         if beams.iter().all(|h| h.done) {
             break;
         }
@@ -294,88 +479,10 @@ fn beam_cached(
                 ))
             })
             .collect();
-
-        let mut candidates: Vec<Candidate> = Vec::new();
-        for (parent, (h, row)) in beams.iter().zip(&rows).enumerate() {
-            let Some(logits) = row else {
-                candidates.push(Candidate {
-                    parent,
-                    token: None,
-                    log_prob: h.log_prob,
-                    len: h.ids.len(),
-                    done: true,
-                });
-                continue;
-            };
-            // Log-softmax normalizer of the row.
-            let m = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let z: f32 = logits.iter().map(|x| (x - m).exp()).sum();
-            let log_z = m + z.ln();
-            let ban_eos = h.ids.len() - 1 < opts.min_len;
-            for &tok in &top_k_indices(logits, beam, ban_eos) {
-                let done = tok == EOS;
-                candidates.push(Candidate {
-                    parent,
-                    token: (!done).then_some(tok),
-                    log_prob: h.log_prob + (logits[tok] - log_z),
-                    len: h.ids.len() + usize::from(!done),
-                    done,
-                });
-            }
-        }
-        // Keep the best `beam` by length-normalized log-prob.
-        candidates.sort_by(|a, b| {
-            b.score()
-                .partial_cmp(&a.score())
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
-        candidates.truncate(beam);
-
-        // Hand out parent caches: the last surviving child of a parent
-        // moves the stepped cache, earlier ones clone it.
-        let mut live_children = vec![0usize; beams.len()];
-        for c in candidates.iter().filter(|c| !c.done) {
-            live_children[c.parent] += 1;
-        }
-        let mut parent_caches: Vec<Option<DecoderCache>> =
-            beams.iter_mut().map(|h| h.cache.take()).collect();
-        let mut next = Vec::with_capacity(candidates.len());
-        for c in candidates {
-            let mut ids = beams[c.parent].ids.clone();
-            if let Some(tok) = c.token {
-                ids.push(tok);
-            }
-            let cache = if c.done {
-                None
-            } else {
-                live_children[c.parent] -= 1;
-                if live_children[c.parent] == 0 {
-                    parent_caches[c.parent].take()
-                } else {
-                    parent_caches[c.parent].clone()
-                }
-            };
-            next.push(Hypothesis {
-                ids,
-                log_prob: c.log_prob,
-                done: c.done,
-                cache,
-            });
-        }
-        beams = next;
+        let row_refs: Vec<Option<&[f32]>> = rows.iter().map(|r| r.as_deref()).collect();
+        beams = expand_beams(beams, &row_refs, opts.beam, opts.min_len, prompt_len);
     }
-
-    let mut best = beams
-        .into_iter()
-        .max_by(|a, b| {
-            a.score()
-                .partial_cmp(&b.score())
-                .unwrap_or(std::cmp::Ordering::Equal)
-        })
-        .map(|h| h.ids)
-        .unwrap_or_else(|| vec![SOS]);
-    best.remove(0);
-    best
+    best_hypothesis_ids(beams, prompt_len)
 }
 
 // ---------------------------------------------------------------------------
@@ -703,6 +810,66 @@ mod tests {
         );
         assert!(forced.len() >= 6, "min_len must force length: {forced:?}");
         assert!(!forced.contains(&EOS));
+    }
+
+    /// Prompted decoding with `[<sos>]` is exactly the unprompted path, for
+    /// both engines and storages.
+    #[test]
+    fn prompted_with_sos_matches_unprompted() {
+        let (cfg, store, params) = trained_copy_model();
+        let src = [SOS, 8, 11, EOS];
+        let enc_out = encode_source(&store, &params, &cfg, &src);
+        for beam in [1usize, 3] {
+            let opts = DecodeOptions { beam, min_len: 0 };
+            let plain = decode_encoded(&store, &params, &cfg, &enc_out, 10, opts);
+            let prompted =
+                decode_encoded_prompted(&store, &params, &cfg, &enc_out, &[SOS], 10, opts);
+            let contiguous = decode_encoded_prompted_contiguous(
+                &store,
+                &params,
+                &cfg,
+                &enc_out,
+                &[SOS],
+                10,
+                opts,
+            );
+            assert_eq!(plain, prompted, "beam={beam}");
+            assert_eq!(plain, contiguous, "beam={beam} contiguous reference");
+        }
+    }
+
+    /// A longer forced prefix: the continuation excludes the prompt, stops
+    /// within the cap, and the paged path equals the contiguous reference.
+    #[test]
+    fn prompted_continuation_respects_prompt_and_cap() {
+        let (cfg, store, params) = trained_copy_model();
+        let src = [SOS, 7, 9, EOS];
+        let enc_out = encode_source(&store, &params, &cfg, &src);
+        let prompt = [SOS, 7, 9, 6];
+        for beam in [1usize, 2] {
+            let opts = DecodeOptions { beam, min_len: 2 };
+            let out = decode_encoded_prompted(&store, &params, &cfg, &enc_out, &prompt, 12, opts);
+            assert!(out.len() + prompt.len() <= 12);
+            assert!(out.len() >= 2, "min_len counts generated tokens");
+            assert_eq!(
+                out,
+                decode_encoded_prompted_contiguous(
+                    &store, &params, &cfg, &enc_out, &prompt, 12, opts,
+                ),
+                "beam={beam}"
+            );
+        }
+        // Prompt at the cap: nothing generated.
+        let at_cap = decode_encoded_prompted(
+            &store,
+            &params,
+            &cfg,
+            &enc_out,
+            &prompt,
+            4,
+            DecodeOptions::default(),
+        );
+        assert!(at_cap.is_empty());
     }
 
     #[test]

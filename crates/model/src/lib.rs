@@ -32,6 +32,7 @@ pub mod bpe;
 pub mod config;
 pub mod decode;
 pub mod infer;
+pub mod paged;
 pub mod train;
 pub mod transformer;
 pub mod vocab;
@@ -40,10 +41,12 @@ pub use batch::{BatchDecoder, BatchRequest, RequestId, DEFAULT_MAX_BATCH};
 pub use bpe::Bpe;
 pub use config::ModelConfig;
 pub use decode::{
-    beam_decode, beam_decode_replay, decode_encoded, decode_with, greedy_decode,
-    greedy_decode_replay, replay_decode_with, DecodeOptions,
+    beam_decode, beam_decode_replay, decode_encoded, decode_encoded_prompted,
+    decode_encoded_prompted_contiguous, decode_with, greedy_decode, greedy_decode_replay,
+    replay_decode_with, DecodeOptions,
 };
 pub use infer::{decode_step, decode_step_batch, BatchScratch, DecoderCache};
+pub use paged::{PagePool, PoolStats, PAGE_ROWS};
 pub use train::{evaluate, train, EpochStats, Example, TrainConfig, TrainReport};
 pub use transformer::{build_params, ForwardMode, TransformerParams};
 pub use vocab::{Vocab, EOS, NL, PAD, SEP, SOS, UNK};

@@ -219,11 +219,32 @@ pub fn vecmat(v: &[f32], m: &Tensor, out: &mut [f32]) {
     );
     assert_eq!(out.len(), n, "vecmat output length");
     out.fill(0.0);
-    for (kk, &vv) in v.iter().enumerate() {
+    vecmat_acc(v, &m.data, n, out);
+}
+
+/// Accumulating single-row product over a raw row-major block:
+/// `out[j] += Σ_k v[k] · m[k·cols + j]`, rows added in ascending-`k` order
+/// into the caller's accumulator.
+///
+/// This is [`vecmat`] minus the zero-fill, exposed on plain slices so
+/// callers that store their matrix in non-contiguous blocks (the paged KV
+/// cache walks a page list) can accumulate block by block and still produce
+/// **bitwise** the contiguous result — each output element sees the exact
+/// same single-accumulator ascending-row addition sequence no matter where
+/// the block boundaries fall.
+pub fn vecmat_acc(v: &[f32], m: &[f32], cols: usize, out: &mut [f32]) {
+    assert_eq!(
+        m.len(),
+        v.len() * cols,
+        "vecmat_acc block: [{}] @ [{}, {cols}]",
+        v.len(),
+        m.len() / cols.max(1)
+    );
+    assert_eq!(out.len(), cols, "vecmat_acc output length");
+    for (&vv, m_row) in v.iter().zip(m.chunks_exact(cols)) {
         if vv == 0.0 {
             continue;
         }
-        let m_row = &m.data[kk * n..kk * n + n];
         for (o, &mv) in out.iter_mut().zip(m_row) {
             *o += vv * mv;
         }
@@ -244,7 +265,23 @@ pub fn vecmat_bt(v: &[f32], m: &Tensor, out: &mut [f32]) {
         m.shape
     );
     assert_eq!(out.len(), n, "vecmat_bt output length");
-    for (o, m_row) in out.iter_mut().zip(m.data.chunks_exact(k)) {
+    dot_rows(v, &m.data, out);
+}
+
+/// Per-row dot products over a raw row-major block: `out[r] = v · m[r, :]`
+/// with row width `v.len()` and `out.len()` rows. The slice form of
+/// [`vecmat_bt`], shared by the paged attention walk — every row's score is
+/// an independent dot product (the same lane-strided `dot` kernel), so
+/// splitting the rows across pages cannot change a single bit of any score.
+pub fn dot_rows(v: &[f32], m: &[f32], out: &mut [f32]) {
+    assert_eq!(
+        m.len(),
+        out.len() * v.len(),
+        "dot_rows block: [{}, {}]",
+        out.len(),
+        v.len()
+    );
+    for (o, m_row) in out.iter_mut().zip(m.chunks_exact(v.len())) {
         *o = dot(v, m_row);
     }
 }
@@ -620,6 +657,52 @@ mod tests {
         let mut out = vec![0.0f32; 13];
         vecmat_bt(&a.data, &m, &mut out);
         assert_close(&Tensor::from_vec(&[1, 13], out), &matmul_bt(&a, &m), 1e-5);
+    }
+
+    /// The invariant the paged KV cache rests on: accumulating a row-major
+    /// block in arbitrary row-splits via `vecmat_acc` / scoring it via
+    /// `dot_rows` is *bitwise* the contiguous `vecmat` / `vecmat_bt` result,
+    /// wherever the split boundaries fall.
+    #[test]
+    fn block_split_kernels_are_bitwise_contiguous() {
+        let (rows, cols) = (23usize, 16);
+        let m = seq_tensor(&[rows, cols], 0.21);
+        let s: Vec<f32> = (0..rows).map(|i| (i as f32 * 0.13).sin()).collect();
+        let q: Vec<f32> = (0..cols).map(|i| (i as f32 * 0.71).cos()).collect();
+
+        let mut ctx_ref = vec![0.0f32; cols];
+        vecmat(&s, &m, &mut ctx_ref);
+        let mut scores_ref = vec![0.0f32; rows];
+        vecmat_bt(&q, &m, &mut scores_ref);
+
+        for split in [1usize, 2, 3, 5, 16] {
+            let mut ctx = vec![0.0f32; cols];
+            let mut scores = vec![0.0f32; rows];
+            let mut r0 = 0;
+            while r0 < rows {
+                let r1 = (r0 + split).min(rows);
+                let block = &m.data[r0 * cols..r1 * cols];
+                vecmat_acc(&s[r0..r1], block, cols, &mut ctx);
+                dot_rows(&q, block, &mut scores[r0..r1]);
+                r0 = r1;
+            }
+            assert_eq!(ctx, ctx_ref, "vecmat_acc split {split}");
+            assert_eq!(scores, scores_ref, "dot_rows split {split}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "vecmat_acc block")]
+    fn vecmat_acc_block_mismatch_panics() {
+        let mut out = vec![0.0f32; 2];
+        vecmat_acc(&[1.0, 2.0], &[0.0; 5], 2, &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "dot_rows block")]
+    fn dot_rows_block_mismatch_panics() {
+        let mut out = vec![0.0f32; 2];
+        dot_rows(&[1.0, 2.0], &[0.0; 5], &mut out);
     }
 
     #[test]

@@ -129,4 +129,18 @@ fn main() {
             println!("    line {:>3}: insert {}", s.line, s.function);
         }
     }
+
+    // Editor A retriggers on a keystroke pause: the identical buffer shares
+    // its prefilled K/V pages (copy-on-write) instead of re-projecting them.
+    let retrigger = service.submit(&buffer);
+    service.run();
+    service.poll(retrigger).expect("retrigger finished");
+    let stats = service.pool_stats();
+    println!(
+        "\npaged KV cache: peak {} pages ({} KiB), {} COW copies, {} prefix hit(s)",
+        stats.pages_peak,
+        stats.peak_bytes() / 1024,
+        stats.cow_copies,
+        service.prefix_hits(),
+    );
 }

@@ -7,7 +7,9 @@
 //! Divergence from real proptest: cases are sampled from a fixed seed
 //! derived from the test name (deterministic across runs), and there is no
 //! shrinking — a failing case panics with the generated inputs still bound,
-//! so the assertion message is the diagnostic.
+//! so the assertion message is the diagnostic. Like real proptest, the
+//! `PROPTEST_CASES` environment variable overrides the configured case
+//! count (CI uses it to elevate coverage on the property suites).
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -26,6 +28,25 @@ pub struct ProptestConfig {
 impl ProptestConfig {
     pub fn with_cases(cases: u32) -> ProptestConfig {
         ProptestConfig { cases }
+    }
+
+    /// The case count the harness actually runs: the `PROPTEST_CASES`
+    /// environment variable overrides whatever the test configured, so CI
+    /// can elevate coverage (`PROPTEST_CASES=512 cargo test …`) without
+    /// touching test code — mirroring real proptest's env override.
+    /// Unset or unparsable values fall back to `self.cases`.
+    pub fn effective_cases(&self) -> u32 {
+        self.cases_from(std::env::var("PROPTEST_CASES").ok().as_deref())
+    }
+
+    /// [`effective_cases`](Self::effective_cases) with the override value
+    /// passed explicitly (pure, so tests need not mutate the process
+    /// environment — concurrent `setenv` is racy under the parallel test
+    /// harness).
+    fn cases_from(&self, env: Option<&str>) -> u32 {
+        env.and_then(|v| v.trim().parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(self.cases)
     }
 }
 
@@ -431,7 +452,7 @@ macro_rules! proptest {
                 let cfg: $crate::ProptestConfig = $cfg;
                 let mut rng: $crate::TestRng =
                     $crate::new_rng($crate::seed_for(stringify!($name)));
-                for __case in 0..cfg.cases {
+                for __case in 0..cfg.effective_cases() {
                     let _ = __case;
                     $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)*
                     $body
@@ -472,6 +493,22 @@ mod tests {
             assert!(p.len() <= 32);
             assert!(p.chars().all(|c| (' '..='~').contains(&c)));
         }
+    }
+
+    #[test]
+    fn proptest_cases_env_overrides_configured_count() {
+        // Exercise the pure resolver rather than mutating the process
+        // environment (setenv races with parallel tests reading it).
+        let cfg = ProptestConfig::with_cases(7);
+        assert_eq!(cfg.cases_from(None), 7);
+        assert_eq!(cfg.cases_from(Some("512")), 512);
+        assert_eq!(cfg.cases_from(Some(" 32 ")), 32, "whitespace tolerated");
+        assert_eq!(
+            cfg.cases_from(Some("not-a-number")),
+            7,
+            "garbage falls back"
+        );
+        assert_eq!(cfg.cases_from(Some("0")), 7, "zero cases is meaningless");
     }
 
     proptest! {

@@ -62,3 +62,58 @@ fn batched_serving_is_equivalent_and_continuous() {
     assert_eq!(service.poll(late).as_ref(), Some(&sequential[4]));
     assert_eq!(service.pending(), 0);
 }
+
+#[test]
+fn service_ticket_lifecycle_edge_cases() {
+    let assistant = tiny_assistant();
+    let buffers = [
+        "int main() { int rank; return 0; }",
+        "int main() { double local = 0.0; return 0; }",
+        "int main() { int size; return 0; }",
+    ];
+    let sequential: Vec<_> = buffers.iter().map(|b| assistant.suggest(b)).collect();
+
+    // One lane, three requests: overflow queues, tickets stay unique.
+    let mut service = SuggestService::with_max_batch(&assistant, 1);
+    let t0 = service.submit(buffers[0]);
+    let t1 = service.submit(buffers[1]);
+    assert_ne!(t0, t1, "tickets never collide");
+    assert!(service.poll(t0).is_none(), "poll before any decoding");
+    service.run();
+
+    // Poll-after-retire survives later churn through the same lane…
+    let t2 = service.submit(buffers[2]);
+    service.run();
+    assert_eq!(service.poll(t0).as_ref(), Some(&sequential[0]));
+    assert_eq!(service.poll(t2).as_ref(), Some(&sequential[2]));
+    assert_eq!(service.poll(t1).as_ref(), Some(&sequential[1]));
+    // …and every ticket redeems exactly once.
+    for t in [t0, t1, t2] {
+        assert!(service.poll(t).is_none(), "duplicate poll returns None");
+    }
+}
+
+#[test]
+fn service_reports_paged_pool_and_prefix_sharing() {
+    let assistant = tiny_assistant();
+    let buffer = "int main() { int rank; printf(\"a\\n\"); return 0; }";
+    let expected = assistant.suggest(buffer);
+
+    let mut service = SuggestService::with_max_batch(&assistant, 2);
+    assert_eq!(service.pool_stats().pages_live, 0);
+    let first = service.submit(buffer);
+    service.run();
+    let after_first = service.pool_stats();
+    assert!(after_first.pages_peak > 0, "decoding allocated pages");
+    assert_eq!(after_first.pages_live, 0, "retired lanes free their pages");
+
+    // The IDE-retrigger pattern: the identical buffer resubmitted twice
+    // shares its prefill pages instead of re-projecting them.
+    let again = service.submit(buffer);
+    let thrice = service.submit(buffer);
+    service.run();
+    assert_eq!(service.prefix_hits(), 2);
+    for t in [first, again, thrice] {
+        assert_eq!(service.poll(t).as_ref(), Some(&expected));
+    }
+}

@@ -1,0 +1,211 @@
+//! Property-test harness for the paged KV cache (shims/proptest).
+//!
+//! Three properties over randomized decode schedules:
+//!
+//! 1. **Bitwise storage equivalence** — for arbitrary token walks and page
+//!    sizes (including 1-row pages), `decode_step` on paged storage emits
+//!    logits bit-for-bit equal to the contiguous reference layout.
+//! 2. **Fork soundness** — under arbitrary interleavings of step / COW-fork
+//!    / drop across a population of caches sharing one pool, every cache
+//!    tracks its contiguous twin bitwise, and the pool ends with zero live
+//!    pages once all caches drop.
+//! 3. **Scheduler equivalence** — random request mixes (prompt lengths,
+//!    length caps, `min_len`, beam widths, late joins, early retirements,
+//!    duplicate prompts hitting the prefix-share path) through
+//!    `BatchDecoder` return exactly the per-request
+//!    `decode_encoded_prompted_contiguous` reference outputs, again with
+//!    zero leaked pages.
+//!
+//! Case counts elevate via `PROPTEST_CASES` (CI runs the suite a second
+//! time with a larger count).
+
+use mpirical_model::decode::{decode_encoded_prompted_contiguous, encode_source};
+use mpirical_model::transformer::{build_params, TransformerParams};
+use mpirical_model::vocab::{EOS, SOS};
+use mpirical_model::{
+    decode_step, BatchDecoder, BatchRequest, DecodeOptions, DecoderCache, ModelConfig, PagePool,
+};
+use mpirical_tensor::{ParamStore, Tensor};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// One random multi-layer model + a few encoder outputs, built once for the
+/// whole suite (equivalence properties hold for any weights).
+fn fixture() -> &'static (ModelConfig, ParamStore, TransformerParams, Vec<Tensor>) {
+    static FIX: OnceLock<(ModelConfig, ParamStore, TransformerParams, Vec<Tensor>)> =
+        OnceLock::new();
+    FIX.get_or_init(|| {
+        let mut cfg = ModelConfig::tiny();
+        cfg.vocab_size = 24;
+        cfg.n_dec_layers = 2;
+        let mut store = ParamStore::new();
+        let params = build_params(&cfg, &mut store, 29);
+        let encs = (0..3)
+            .map(|i| encode_source(&store, &params, &cfg, &[SOS, 6 + i, 7 + 2 * i, 9, EOS]))
+            .collect();
+        (cfg, store, params, encs)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Property 1: arbitrary token walks, arbitrary page sizes → logits
+    /// bitwise-equal to the contiguous layout at every single step, and no
+    /// page outlives its cache.
+    #[test]
+    fn random_walks_match_contiguous_bitwise(
+        page_rows in prop_oneof![Just(1usize), Just(2), Just(3), Just(5), Just(16)],
+        tokens in proptest::collection::vec(1usize..24, 1..40),
+        src in 0usize..3,
+    ) {
+        let (cfg, store, params, encs) = fixture();
+        let enc = &encs[src];
+        let pool = PagePool::with_page_rows(cfg.d_head(), page_rows);
+        let mut paged = DecoderCache::new_in_pool(store, params, cfg, enc, &pool);
+        let mut reference = DecoderCache::new_contiguous(store, params, cfg, enc);
+        for (step, &tok) in tokens.iter().enumerate() {
+            let lp = decode_step(store, params, cfg, &mut paged, tok);
+            let lr = decode_step(store, params, cfg, &mut reference, tok);
+            prop_assert_eq!(lp, lr, "page_rows={} step={}", page_rows, step);
+        }
+        prop_assert!(pool.stats().pages_live > 0, "walk allocated pages");
+        drop(paged);
+        prop_assert_eq!(pool.stats().pages_live, 0, "pages leaked after drop");
+    }
+
+    /// Property 2: random step/fork/drop interleavings over a shared pool.
+    /// Ops decode as (kind, token, index): kind%4 ∈ {0,1 step, 2 fork,
+    /// 3 drop}, so stepping is twice as likely as forking or dropping.
+    #[test]
+    fn random_fork_schedules_stay_bitwise_and_leak_free(
+        page_rows in prop_oneof![Just(1usize), Just(3), Just(16)],
+        ops in proptest::collection::vec(((0usize..4, 1usize..24), 0usize..8), 1..60),
+    ) {
+        let (cfg, store, params, encs) = fixture();
+        let enc = &encs[0];
+        let pool = PagePool::with_page_rows(cfg.d_head(), page_rows);
+        let mut pairs = vec![(
+            DecoderCache::new_in_pool(store, params, cfg, enc, &pool),
+            DecoderCache::new_contiguous(store, params, cfg, enc),
+        )];
+        for ((kind, tok), idx) in ops {
+            let i = idx % pairs.len();
+            match kind {
+                0 | 1 => {
+                    let (paged, reference) = &mut pairs[i];
+                    if paged.len() + 1 >= cfg.max_dec_len {
+                        continue; // at capacity; stepping would panic
+                    }
+                    let lp = decode_step(store, params, cfg, paged, tok);
+                    let lr = decode_step(store, params, cfg, reference, tok);
+                    prop_assert_eq!(lp, lr, "cache {} diverged", i);
+                }
+                2 => {
+                    if pairs.len() < 6 {
+                        let fork = (pairs[i].0.clone(), pairs[i].1.clone());
+                        pairs.push(fork);
+                    }
+                }
+                _ => {
+                    if pairs.len() > 1 {
+                        pairs.swap_remove(i);
+                    }
+                }
+            }
+        }
+        // Survivors must still agree after the churn.
+        for (paged, reference) in &mut pairs {
+            if paged.len() + 1 < cfg.max_dec_len {
+                let lp = decode_step(store, params, cfg, paged, 5);
+                let lr = decode_step(store, params, cfg, reference, 5);
+                prop_assert_eq!(lp, lr, "post-churn divergence");
+            }
+        }
+        drop(pairs);
+        prop_assert_eq!(pool.stats().pages_live, 0, "pages leaked after churn");
+    }
+}
+
+proptest! {
+    // The scheduler property decodes up to 6 requests per case; fewer cases
+    // keep the default run fast (CI elevates via PROPTEST_CASES).
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Property 3: random request schedules through `BatchDecoder` —
+    /// arbitrary prompts, caps, beam widths, late joins — match the
+    /// contiguous single-request reference exactly, and the pool drains.
+    #[test]
+    fn random_schedules_match_single_request_reference(
+        specs in proptest::collection::vec(
+            (
+                (proptest::collection::vec(6usize..24, 0..4), 2usize..28),
+                (0usize..4, 1usize..5),
+                (0usize..6, 0usize..3),
+            ),
+            1..7,
+        ),
+    ) {
+        let (cfg, store, params, encs) = fixture();
+        let max_batch = 8usize; // ≥ the widest generated beam
+        let mut dec = BatchDecoder::new(store, params, cfg, max_batch);
+        let pool = dec.pool().clone();
+
+        struct Spec {
+            prompt: Vec<usize>,
+            max_len: usize,
+            opts: DecodeOptions,
+            join: usize,
+            src: usize,
+        }
+        let specs: Vec<Spec> = specs
+            .into_iter()
+            .map(|((extra, max_len), (min_len, beam), (join, src))| Spec {
+                prompt: std::iter::once(SOS).chain(extra).collect(),
+                max_len,
+                opts: DecodeOptions { beam, min_len },
+                join,
+                src,
+            })
+            .collect();
+
+        let references: Vec<Vec<usize>> = specs
+            .iter()
+            .map(|s| {
+                decode_encoded_prompted_contiguous(
+                    store, params, cfg, &encs[s.src], &s.prompt, s.max_len, s.opts,
+                )
+            })
+            .collect();
+
+        // Late joins: requests are submitted at their join step while the
+        // scheduler is already decoding earlier ones.
+        let mut tickets: Vec<Option<u64>> = vec![None; specs.len()];
+        let last_join = specs.iter().map(|s| s.join).max().unwrap_or(0);
+        for t in 0..=last_join {
+            for (i, s) in specs.iter().enumerate() {
+                if s.join == t {
+                    tickets[i] = Some(dec.submit(BatchRequest {
+                        enc_out: encs[s.src].clone(),
+                        prompt: s.prompt.clone(),
+                        max_len: s.max_len,
+                        opts: s.opts,
+                    }));
+                }
+            }
+            dec.step();
+        }
+        dec.run();
+
+        for (i, (ticket, want)) in tickets.iter().zip(&references).enumerate() {
+            let got = dec.poll(ticket.expect("submitted")).expect("retired");
+            prop_assert_eq!(
+                &got, want,
+                "request {} (beam={} prompt_len={} max_len={})",
+                i, specs[i].opts.beam, specs[i].prompt.len(), specs[i].max_len
+            );
+        }
+        drop(dec);
+        prop_assert_eq!(pool.stats().pages_live, 0, "scheduler leaked pages");
+    }
+}
