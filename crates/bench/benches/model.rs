@@ -100,6 +100,7 @@ fn bench_decode(c: &mut Criterion) {
         let opts = DecodeOptions {
             beam: 1,
             min_len: out_len,
+            ..Default::default()
         };
         g.bench_function(format!("cached_greedy_{out_len}tok"), |b| {
             b.iter(|| {
@@ -116,6 +117,7 @@ fn bench_decode(c: &mut Criterion) {
         let beam_opts = DecodeOptions {
             beam: 4,
             min_len: out_len,
+            ..Default::default()
         };
         g.bench_function(format!("cached_beam4_{out_len}tok"), |b| {
             b.iter(|| {
@@ -138,6 +140,7 @@ fn bench_decode(c: &mut Criterion) {
         let opts = DecodeOptions {
             beam: 1,
             min_len: out_len,
+            ..Default::default()
         };
         g.bench_function(format!("replay_greedy_{out_len}tok"), |b| {
             b.iter(|| {
@@ -156,6 +159,7 @@ fn bench_decode(c: &mut Criterion) {
         let opts = DecodeOptions {
             beam: 4,
             min_len: 32,
+            ..Default::default()
         };
         b.iter(|| replay_decode_with(black_box(&store), &params, &cfg, black_box(&src), 33, opts))
     });
@@ -204,6 +208,7 @@ fn bench_batch_decode(c: &mut Criterion) {
     let opts = DecodeOptions {
         beam: 1,
         min_len: 64,
+        ..Default::default()
     };
 
     let mut g = c.benchmark_group("decode_batch");
@@ -292,6 +297,7 @@ fn bench_batch_beam(c: &mut Criterion) {
     let opts = DecodeOptions {
         beam: 4,
         min_len: 32,
+        ..Default::default()
     };
     let reqs = |encs: &[Tensor]| -> Vec<BatchRequest> {
         encs.iter()
@@ -335,6 +341,123 @@ fn bench_batch_beam(c: &mut Criterion) {
     });
     g.bench_function("batch4_beam4_32tok", |b| {
         b.iter(|| black_box(dec.decode_all(reqs(&enc_outs))))
+    });
+    g.finish();
+}
+
+/// Int8 quantized decode vs the f32 cached-greedy path — the ROADMAP's
+/// quantized-inference item, measured where it matters: the **d=256
+/// serving shape** (4×d feed-forward, 4096 vocab, ~12MB of f32 decoder
+/// weights), where every decoded token streams the full weight set and
+/// the step is memory-bound. The quantized panels are ~3MB, so the int8
+/// step reads a quarter of the bytes; `quant_greedy_64tok` must beat
+/// `f32_greedy_64tok` median tokens/s (the acceptance line; locally
+/// ~1.6–1.7×).
+///
+/// Setup asserts the quantized path emits logits that *differ* from f32
+/// (bitwise) while agreeing on the greedy-token trajectory's shape — a
+/// silent regression to the f32 kernels would produce identical logits
+/// and fail the job before any timing runs (the CI smoke). Weights are
+/// quantized once outside the timed loop, exactly as an artifact or
+/// service holds them.
+fn bench_decode_quant(c: &mut Criterion) {
+    let cfg = ModelConfig {
+        vocab_size: 4096,
+        d_model: 256,
+        n_heads: 4,
+        d_ff: 1024,
+        n_enc_layers: 2,
+        n_dec_layers: 2,
+        max_enc_len: 64,
+        max_dec_len: 80,
+        dropout: 0.0,
+    };
+    let mut store = ParamStore::new();
+    let params = build_params(&cfg, &mut store, 1);
+    let src: Vec<usize> = (0..48).map(|i| 6 + ((i * 3) % 200)).collect();
+    let enc = encode_source(&store, &params, &cfg, &src);
+    let qw = mpirical_model::QuantDecoderWeights::new(&store, &params);
+    let opts = DecodeOptions {
+        beam: 1,
+        min_len: 64,
+        ..Default::default()
+    };
+
+    // No-silent-fallback smoke: the quant step must actually run the int8
+    // kernels (logits differ from f32) and still decode a full output.
+    {
+        use mpirical_model::{decode_step, decode_step_quant, DecoderCache};
+        let mut fc = DecoderCache::new(&store, &params, &cfg, &enc);
+        let mut qc = DecoderCache::new(&store, &params, &cfg, &enc);
+        let lf = decode_step(&store, &params, &cfg, &mut fc, 1);
+        let lq = decode_step_quant(&store, &params, &cfg, &qw, &mut qc, 1);
+        assert_ne!(lf, lq, "int8 path must not silently run the f32 kernels");
+        let out = mpirical_model::decode_encoded_prompted_quant(
+            &store,
+            &params,
+            &cfg,
+            &qw,
+            &enc,
+            &[mpirical_model::vocab::SOS],
+            65,
+            opts,
+        );
+        assert_eq!(out.len(), 64, "min_len forces the full 64-token output");
+    }
+
+    let mut g = c.benchmark_group("decode_quant");
+    g.sample_size(10);
+    g.bench_function("f32_greedy_64tok", |b| {
+        b.iter(|| decode_encoded(black_box(&store), &params, &cfg, black_box(&enc), 65, opts))
+    });
+    g.bench_function("quant_greedy_64tok", |b| {
+        b.iter(|| {
+            mpirical_model::decode_encoded_prompted_quant(
+                black_box(&store),
+                &params,
+                &cfg,
+                &qw,
+                black_box(&enc),
+                &[mpirical_model::vocab::SOS],
+                65,
+                opts,
+            )
+        })
+    });
+    // The quantized lockstep scheduler, recorded for honesty rather than
+    // as a win: at batch 8 the packed f32 kernels already amortize the
+    // weight stream across lanes (the step is compute-bound, not
+    // memory-bound), and int8's widening multiply-adds cost more per MAC
+    // than f32 FMAs — so batched f32 stays faster (~109ms vs ~222ms
+    // here). Quantization is the *low-concurrency* lever: it wins exactly
+    // where batching can't help (a single interactive request), and the
+    // artifact is ~4× smaller either way.
+    let enc_outs: Vec<Tensor> = (0..8)
+        .map(|r| {
+            let src: Vec<usize> = (0..48).map(|i| 6 + ((i * (r + 3)) % 200)).collect();
+            encode_source(&store, &params, &cfg, &src)
+        })
+        .collect();
+    let mut dec =
+        BatchDecoder::with_precision(&store, &params, &cfg, 8, mpirical_model::Precision::Int8);
+    let qopts = DecodeOptions {
+        beam: 1,
+        min_len: 64,
+        precision: mpirical_model::Precision::Int8,
+    };
+    g.bench_function("quant_batch8_greedy_64tok", |b| {
+        b.iter(|| {
+            let reqs = enc_outs
+                .iter()
+                .map(|e| BatchRequest {
+                    enc_out: e.clone(),
+                    prompt: vec![mpirical_model::vocab::SOS],
+                    max_len: 65,
+                    opts: qopts,
+                })
+                .collect();
+            black_box(dec.decode_all(reqs))
+        })
     });
     g.finish();
 }
@@ -408,6 +531,7 @@ fn bench_suggestion_latency(c: &mut Criterion) {
         model,
         input_format: mpirical::InputFormat::CodeXsbt,
         decode: Default::default(),
+        quant: Default::default(),
     };
     let src = "int main(int argc, char **argv) {\n    int rank, size;\n    double local = 0.0;\n    for (int i = 0; i < 100; i++) { local += i; }\n    printf(\"%f\\n\", local);\n    return 0;\n}\n";
 
@@ -431,6 +555,7 @@ criterion_group!(
     bench_decode,
     bench_batch_decode,
     bench_batch_beam,
+    bench_decode_quant,
     bench_cache_fork,
     bench_suggestion_latency
 );

@@ -3,11 +3,12 @@
 use mpirical_model::decode::encode_source;
 use mpirical_model::transformer::build_params;
 use mpirical_model::{
-    decode_step, decode_step_batch, infer::PackedDecoderWeights, BatchScratch, DecoderCache,
-    ModelConfig,
+    decode_step, decode_step_batch, decode_step_quant, BatchScratch, DecoderCache, DecoderWeights,
+    ModelConfig, Precision, QuantDecoderWeights,
 };
 use mpirical_tensor::{
-    batch_matmul, batch_matmul_packed, vecmat, vecmat_bt, PackedMat, ParamStore, Tensor,
+    batch_matmul, batch_matmul_packed, vecmat, vecmat_bt, vecmat_q, PackedMat, ParamStore,
+    QuantMat, Tensor,
 };
 use std::time::Instant;
 
@@ -74,6 +75,12 @@ fn main() {
     time("batch_matmul_packed 8x256x2048", 1000, || {
         batch_matmul_packed(&x8, 8, &pw_out, &mut bout)
     });
+    // Int8 kernels against their f32 counterparts (the 4× weight-traffic
+    // reduction behind the decode_quant bench group).
+    let qm_out = QuantMat::quantize(&w_out);
+    time("vecmat_q 256x2048 (int8)", 5000, || {
+        vecmat_q(&v64, &qm_out, &mut out512)
+    });
     time("vecmat 256x256", 20000, || vecmat(&v64, &w_sq, &mut out64));
     time("batch_matmul 8x256x256", 4000, || {
         batch_matmul(&x8, 8, &w_sq, &mut bout64)
@@ -94,10 +101,26 @@ fn main() {
         std::hint::black_box(decode_step(&store, &params, &cfg, &mut cache, 7));
     });
 
+    let qw = QuantDecoderWeights::new(&store, &params);
+    let mut qcache = DecoderCache::new(&store, &params, &cfg, &enc);
+    time("decode_step_quant (single)", 2000, || {
+        if qcache.len() >= 70 {
+            qcache = DecoderCache::new(&store, &params, &cfg, &enc);
+        }
+        std::hint::black_box(decode_step_quant(
+            &store,
+            &params,
+            &cfg,
+            &qw,
+            &mut qcache,
+            7,
+        ));
+    });
+
     let mut caches: Vec<DecoderCache> = (0..8)
         .map(|_| DecoderCache::new(&store, &params, &cfg, &enc))
         .collect();
-    let weights = PackedDecoderWeights::new(&store, &params);
+    let weights = DecoderWeights::for_precision(&store, &params, Precision::F32);
     let mut scratch = BatchScratch::new(&cfg, 8);
     let mut logits = vec![0.0f32; 8 * 2048];
     time("decode_step_batch (8 lanes)", 2000, || {

@@ -32,11 +32,14 @@ use mpirical_metrics::CallSite;
 use mpirical_model::decode::encode_source as model_encode;
 use mpirical_model::vocab::{EOS, SEP, SOS};
 use mpirical_model::{
-    BatchDecoder, BatchRequest, DecodeOptions, EpochStats, ModelConfig, Seq2SeqModel, TrainConfig,
+    decode_encoded_prompted_quant, BatchDecoder, BatchRequest, DecodeOptions, DecoderWeights,
+    EpochStats, ModelConfig, Precision, QuantDecoderWeights, Seq2SeqModel, TrainConfig,
     TrainReport, DEFAULT_MAX_BATCH,
 };
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 use std::path::Path;
+use std::sync::{Arc, OnceLock};
 
 /// One assistance suggestion: insert `function` at `line` of the
 /// standardized (predicted) program.
@@ -100,10 +103,22 @@ pub struct MpiRical {
     /// X-SBT); inference must match.
     pub input_format: InputFormat,
     /// Decoding configuration for the suggestion path (KV-cached greedy by
-    /// default; beam > 1 trades latency for quality). Defaults on load so
-    /// artifacts saved before this field existed still deserialize.
+    /// default; beam > 1 trades latency for quality;
+    /// `precision: Precision::Int8` serves through the per-channel int8
+    /// quantized kernels — ~4× less weight traffic per decoded token).
+    /// Defaults on load so artifacts saved before this field existed still
+    /// deserialize.
     #[serde(default)]
     pub decode: DecodeOptions,
+    /// Int8 decoder weights, quantized **once per artifact**: eagerly at
+    /// [`load`](Self::load)/[`train`](Self::train) when
+    /// `decode.precision == Int8`, lazily on the first quantized decode
+    /// otherwise. Held as the scheduler-facing [`DecoderWeights`] enum so
+    /// batch decoders can borrow the prepared set without re-quantizing.
+    /// Not serialized (always re-derived from the f32 weights); clones
+    /// share the cache through the `Arc`.
+    #[serde(skip)]
+    pub quant: Arc<OnceLock<DecoderWeights>>,
 }
 
 impl MpiRical {
@@ -123,15 +138,41 @@ impl MpiRical {
             !train_ex.is_empty(),
             "no training example fits the model windows"
         );
+        cfg.decode
+            .validate()
+            .expect("MpiRicalConfig decode options are invalid");
         let report = model.fit(&train_ex, &val_ex, &cfg.train, |s| on_epoch(s));
-        (
-            MpiRical {
-                model,
-                input_format: cfg.input_format,
-                decode: cfg.decode,
-            },
-            report,
-        )
+        let assistant = MpiRical {
+            model,
+            input_format: cfg.input_format,
+            decode: cfg.decode,
+            quant: Arc::default(),
+        };
+        if assistant.decode.precision == Precision::Int8 {
+            assistant.quant_weights();
+        }
+        (assistant, report)
+    }
+
+    /// The artifact's int8 decoder weights, quantized on first use and
+    /// cached for the artifact's lifetime (an `Int8`-configured artifact
+    /// primes this at load/train, so serving never pays it per request).
+    pub fn quant_weights(&self) -> &QuantDecoderWeights {
+        match self.int8_weights() {
+            DecoderWeights::Int8(q) => q,
+            DecoderWeights::F32(_) => unreachable!("the cache only ever holds Int8 weights"),
+        }
+    }
+
+    /// The same cached int8 weight set as the scheduler-facing enum, for
+    /// handing to [`BatchDecoder::with_weights`] by reference.
+    pub(crate) fn int8_weights(&self) -> &DecoderWeights {
+        self.quant.get_or_init(|| {
+            DecoderWeights::Int8(QuantDecoderWeights::new(
+                &self.model.store,
+                &self.model.params,
+            ))
+        })
     }
 
     /// Encode raw (possibly incomplete) C source into encoder ids:
@@ -158,13 +199,39 @@ impl MpiRical {
         src
     }
 
+    /// Generate from already-encoded source ids with the artifact's
+    /// [`DecodeOptions`] — the one generation call every prediction path
+    /// funnels through. An `Int8` artifact decodes through its cached
+    /// quantized weights ([`quant_weights`](Self::quant_weights)) rather
+    /// than re-quantizing per request.
+    fn generate_ids(&self, src: &[usize]) -> Vec<usize> {
+        let m = &self.model;
+        match self.decode.precision {
+            Precision::F32 => m.generate_with(src, m.cfg.max_dec_len, self.decode),
+            Precision::Int8 => {
+                let enc_out = model_encode(&m.store, &m.params, &m.cfg, src);
+                decode_encoded_prompted_quant(
+                    &m.store,
+                    &m.params,
+                    &m.cfg,
+                    self.quant_weights(),
+                    &enc_out,
+                    &[SOS],
+                    m.cfg.max_dec_len,
+                    self.decode,
+                )
+            }
+        }
+    }
+
     /// Predict the full MPI-parallel program for the given source. Returns
     /// the decoded token ids. Runs the KV-cached incremental decoder with
-    /// the artifact's [`DecodeOptions`] (greedy unless `decode.beam > 1`).
+    /// the artifact's [`DecodeOptions`] (greedy unless `decode.beam > 1`;
+    /// int8 projection kernels when `decode.precision` is
+    /// [`Precision::Int8`]).
     pub fn predict_ids(&self, c_source: &str) -> Vec<usize> {
         let src = self.encode_source(c_source);
-        self.model
-            .generate_with(&src, self.model.cfg.max_dec_len, self.decode)
+        self.generate_ids(&src)
     }
 
     /// Suggest MPI functions and their insertion lines (paper RQ1 + RQ2).
@@ -194,7 +261,19 @@ impl MpiRical {
         let m = &self.model;
         let reqs = sources.iter().map(|s| self.batch_request(s)).collect();
         let lanes = DEFAULT_MAX_BATCH.max(self.decode.beam);
-        BatchDecoder::new(&m.store, &m.params, &m.cfg, lanes).decode_all(reqs)
+        let mut dec = match self.decode.precision {
+            Precision::F32 => BatchDecoder::new(&m.store, &m.params, &m.cfg, lanes),
+            // Borrow the artifact's load-time quantized weights — no
+            // re-quantization per call.
+            Precision::Int8 => BatchDecoder::with_weights(
+                &m.store,
+                &m.params,
+                &m.cfg,
+                lanes,
+                Cow::Borrowed(self.int8_weights()),
+            ),
+        };
+        dec.decode_all(reqs)
     }
 
     /// Build the [`BatchRequest`] for one source: tolerant-parse + encode,
@@ -245,10 +324,7 @@ impl MpiRical {
             &self.model.cfg,
             self.input_format,
         )?;
-        Some(
-            self.model
-                .generate_with(&ex.src, self.model.cfg.max_dec_len, self.decode),
-        )
+        Some(self.generate_ids(&ex.src))
     }
 
     /// Save the artifact (model + vocab + input format) as JSON.
@@ -256,12 +332,25 @@ impl MpiRical {
         std::fs::write(path, serde_json::to_string(self).expect("serializes"))
     }
 
-    /// Load a saved artifact.
+    /// Load a saved artifact. Rejects artifacts whose decode options are
+    /// invalid (e.g. `beam = 0`) instead of letting them panic deep inside
+    /// a later decode, and — the artifact-load-time quantization — eagerly
+    /// quantizes the decoder weights when the artifact is configured for
+    /// [`Precision::Int8`], so the first request pays no quantization cost.
     pub fn load(path: impl AsRef<Path>) -> std::io::Result<MpiRical> {
         let text = std::fs::read_to_string(path)?;
         let mut m: MpiRical = serde_json::from_str(&text).map_err(std::io::Error::other)?;
+        m.decode.validate().map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("artifact decode options: {e}"),
+            )
+        })?;
         m.model.store.rebuild_index();
         m.model.vocab.rebuild_index();
+        if m.decode.precision == Precision::Int8 {
+            m.quant_weights();
+        }
         Ok(m)
     }
 }
@@ -338,6 +427,7 @@ mod tests {
         assistant.decode = DecodeOptions {
             beam: 2,
             min_len: 0,
+            ..Default::default()
         };
         let serial = "int main() { int x = 1; return x; }";
         for s in &assistant.suggest(serial) {
@@ -373,11 +463,73 @@ mod tests {
         assistant.decode = DecodeOptions {
             beam: 2,
             min_len: 0,
+            ..Default::default()
         };
         let beamed = assistant.suggest_batch(&buffers[..2]);
         for (got, buf) in beamed.iter().zip(&buffers[..2]) {
             assert_eq!(got, &assistant.suggest(buf), "batched beam for {buf:?}");
         }
+    }
+
+    /// An `Int8` artifact serves through the quantized kernels end to end
+    /// — single and batched paths agree with each other, the quantized
+    /// weights are primed once at load, and predictions survive a
+    /// save/load round trip.
+    #[test]
+    fn int8_artifact_serves_and_roundtrips() {
+        let mut assistant = tiny_assistant();
+        assistant.decode = DecodeOptions {
+            beam: 1,
+            min_len: 0,
+            precision: crate::Precision::Int8,
+        };
+        let buffers = [
+            "int main() { int rank; printf(\"a\\n\"); return 0; }",
+            "int main() { double local = 0.0; return 0; }",
+        ];
+        let singles: Vec<_> = buffers.iter().map(|b| assistant.suggest(b)).collect();
+        for s in singles.iter().flatten() {
+            assert!(s.function.starts_with("MPI_"));
+        }
+        assert_eq!(
+            assistant.suggest_batch(&buffers),
+            singles,
+            "batched int8 must equal single-request int8"
+        );
+        let dir = std::env::temp_dir().join("mpirical_core_int8_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("assistant.json");
+        assistant.save(&path).unwrap();
+        let loaded = MpiRical::load(&path).unwrap();
+        assert_eq!(loaded.decode.precision, crate::Precision::Int8);
+        assert!(
+            loaded.quant.get().is_some(),
+            "Int8 artifact quantizes at load time"
+        );
+        assert_eq!(
+            assistant.predict_ids(buffers[0]),
+            loaded.predict_ids(buffers[0])
+        );
+        std::fs::remove_file(path).ok();
+    }
+
+    /// Regression (satellite fix): an artifact whose decode options are
+    /// invalid (`beam = 0`) is rejected at load with a clear error rather
+    /// than panicking deep inside a later decode.
+    #[test]
+    fn load_rejects_zero_beam_artifact() {
+        let mut assistant = tiny_assistant();
+        assistant.decode.beam = 0;
+        let dir = std::env::temp_dir().join("mpirical_core_beam0_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("assistant.json");
+        assistant.save(&path).unwrap();
+        let err = MpiRical::load(&path).expect_err("beam = 0 must not load");
+        assert!(
+            err.to_string().contains("beam width must be at least 1"),
+            "{err}"
+        );
+        std::fs::remove_file(path).ok();
     }
 
     #[test]

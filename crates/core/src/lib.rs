@@ -57,7 +57,7 @@ pub use baseline::{evaluate_baseline, insert_scaffolding, rule_based_predict};
 pub use benchmark11::{benchmark_programs, validate_program, BenchProgram, Validation};
 pub use encode::{build_vocab, encode_dataset, encode_record, InputFormat};
 pub use evaluate::{evaluate_dataset, evaluate_dataset_with_tolerance, EvalReport, Prediction};
-pub use mpirical_model::PoolStats;
+pub use mpirical_model::{PoolStats, Precision};
 pub use report::{histogram, render_table_two, table, two_column_table};
 pub use service::SuggestService;
 pub use tokenize::{calls_from_ids, calls_from_tokens, detokenize, tokenize_code};

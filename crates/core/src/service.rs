@@ -56,14 +56,38 @@ impl<'m> SuggestService<'m> {
     /// Service decoding at most `max_batch` lanes concurrently; further
     /// submissions queue and join as lanes free up. A beam-configured
     /// artifact reserves `decode.beam` lanes per request, so the lane count
-    /// is raised to at least the beam width.
+    /// is raised to at least the beam width. The scheduler's weights are
+    /// prepared once here for the artifact's precision — an `Int8` artifact
+    /// serves every request through the quantized kernels.
+    ///
+    /// # Panics
+    ///
+    /// If `max_batch` is 0 (a zero-lane service could never decode — fail
+    /// here, not deep inside a step) or the artifact's decode options are
+    /// invalid (e.g. `beam = 0`).
     pub fn with_max_batch(assistant: &'m MpiRical, max_batch: usize) -> SuggestService<'m> {
+        assert!(
+            max_batch >= 1,
+            "SuggestService needs at least one lane (got max_batch = 0)"
+        );
+        if let Err(e) = assistant.decode.validate() {
+            panic!("invalid artifact decode options: {e}");
+        }
         let m = &assistant.model;
         let lanes = max_batch.max(assistant.decode.beam);
-        SuggestService {
-            assistant,
-            decoder: BatchDecoder::new(&m.store, &m.params, &m.cfg, lanes),
-        }
+        let decoder = match assistant.decode.precision {
+            mpirical_model::Precision::F32 => BatchDecoder::new(&m.store, &m.params, &m.cfg, lanes),
+            // Borrow the artifact's load-time quantized weights — the
+            // service never re-quantizes.
+            mpirical_model::Precision::Int8 => BatchDecoder::with_weights(
+                &m.store,
+                &m.params,
+                &m.cfg,
+                lanes,
+                std::borrow::Cow::Borrowed(assistant.int8_weights()),
+            ),
+        };
+        SuggestService { assistant, decoder }
     }
 
     /// Queue a raw (possibly mid-edit) C buffer for suggestion. The
@@ -247,6 +271,49 @@ mod tests {
         }
     }
 
+    /// An `Int8` artifact serves through the quantized lockstep kernels:
+    /// the service's weights are quantized once at construction and every
+    /// ticket's suggestions equal the artifact's own single-request
+    /// quantized path.
+    #[test]
+    fn int8_artifact_serves_quantized_through_the_service() {
+        let mut assistant = tiny_assistant();
+        assistant.decode = mpirical_model::DecodeOptions {
+            beam: 1,
+            min_len: 0,
+            precision: mpirical_model::Precision::Int8,
+        };
+        let buffers = [
+            "int main() { int rank; return 0; }",
+            "int main() { double local = 0.0; return 0; }",
+            "int main() { int x = 1; if (x", // mid-edit buffer
+        ];
+        let mut service = SuggestService::with_max_batch(&assistant, 2);
+        let tickets: Vec<_> = buffers.iter().map(|b| service.submit(b)).collect();
+        service.run();
+        for (t, b) in tickets.into_iter().zip(buffers) {
+            assert_eq!(service.poll(t).unwrap(), assistant.suggest(b), "{b:?}");
+        }
+        assert_eq!(service.pool_stats().pages_live, 0);
+    }
+
+    /// Regression (satellite fix): a zero-lane service and a zero-beam
+    /// artifact both fail loudly at construction.
+    #[test]
+    #[should_panic(expected = "at least one lane")]
+    fn zero_lane_service_is_rejected_with_clear_error() {
+        let assistant = tiny_assistant();
+        SuggestService::with_max_batch(&assistant, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "beam width must be at least 1")]
+    fn zero_beam_artifact_is_rejected_at_service_construction() {
+        let mut assistant = tiny_assistant();
+        assistant.decode.beam = 0;
+        SuggestService::with_max_batch(&assistant, 2);
+    }
+
     /// A beam-configured artifact decodes through the service's lockstep
     /// loop (no fallback) and matches the sequential beam path; the pool
     /// telemetry shows the paged cache at work.
@@ -256,6 +323,7 @@ mod tests {
         assistant.decode = mpirical_model::DecodeOptions {
             beam: 2,
             min_len: 0,
+            ..Default::default()
         };
         let buffers = [
             "int main() { int rank; printf(\"a\\n\"); return 0; }",

@@ -79,19 +79,20 @@
 //! // Batched outputs are exactly the single-request outputs.
 //! let greedy = decode_encoded(&store, &params, &cfg, &enc, 12, DecodeOptions::default());
 //! let beamed = decode_encoded(&store, &params, &cfg, &enc, 12,
-//!     DecodeOptions { beam: 3, min_len: 0 });
+//!     DecodeOptions { beam: 3, min_len: 0, ..Default::default() });
 //! assert_eq!(dec.poll(a).unwrap(), greedy);
 //! assert_eq!(dec.poll(b).unwrap(), beamed);
 //! ```
 
 use crate::config::ModelConfig;
 use crate::decode::{argmax_token, best_hypothesis_ids, expand_beams, Hypothesis};
-use crate::infer::{decode_step_batch, BatchScratch, DecoderCache, PackedDecoderWeights};
+use crate::infer::{decode_step_batch, BatchScratch, DecoderCache, DecoderWeights, Precision};
 use crate::paged::{PagePool, PoolStats};
 use crate::transformer::TransformerParams;
 use crate::vocab::{EOS, SOS};
 use crate::DecodeOptions;
 use mpirical_tensor::{ParamStore, Tensor};
+use std::borrow::Cow;
 use std::collections::{HashMap, VecDeque};
 
 /// Ticket identifying a submitted request; redeem with
@@ -144,7 +145,11 @@ impl BatchRequest {
             enc_out,
             prompt: vec![SOS],
             max_len,
-            opts: DecodeOptions { beam, min_len: 0 },
+            opts: DecodeOptions {
+                beam,
+                min_len: 0,
+                ..Default::default()
+            },
         }
     }
 }
@@ -222,9 +227,12 @@ pub struct BatchDecoder<'m> {
     store: &'m ParamStore,
     params: &'m TransformerParams,
     cfg: &'m ModelConfig,
-    /// Decoder weights repacked once at construction for sequential
-    /// streaming by the fused step kernels (see [`PackedDecoderWeights`]).
-    weights: PackedDecoderWeights,
+    /// Decoder weights prepared once for the scheduler's precision:
+    /// tile-packed f32, or per-channel int8 for [`Precision::Int8`]
+    /// serving (see [`DecoderWeights`]). Owned when prepared at
+    /// construction, borrowed when the caller already holds a prepared
+    /// set (an artifact's load-time quantized weights).
+    weights: Cow<'m, DecoderWeights>,
     max_batch: usize,
     /// One page pool for every lane: retired requests recycle pages into
     /// newly admitted ones, beam forks and shared prefixes share pages COW.
@@ -240,25 +248,76 @@ pub struct BatchDecoder<'m> {
 }
 
 impl<'m> BatchDecoder<'m> {
-    /// Create a scheduler over a trained model with at most `max_batch`
-    /// concurrent lanes.
+    /// Create an f32 scheduler over a trained model with at most
+    /// `max_batch` concurrent lanes.
     ///
     /// # Panics
     ///
-    /// If `max_batch` is 0 or `cfg.vocab_size` is unset.
+    /// If `max_batch` is 0 (a zero-lane scheduler can never decode) or
+    /// `cfg.vocab_size` is unset.
     pub fn new(
         store: &'m ParamStore,
         params: &'m TransformerParams,
         cfg: &'m ModelConfig,
         max_batch: usize,
     ) -> BatchDecoder<'m> {
-        assert!(max_batch >= 1, "max_batch must be at least 1");
+        BatchDecoder::with_precision(store, params, cfg, max_batch, Precision::F32)
+    }
+
+    /// [`new`](Self::new) with an explicit projection precision: the
+    /// decoder weights are packed (f32) or quantized (int8) **once here**
+    /// — artifact-load/service-startup time — and streamed by every step
+    /// of every batch thereafter. Every submitted request must carry the
+    /// same [`DecodeOptions::precision`]; [`submit`](Self::submit) rejects
+    /// mismatches (one fused kernel pass covers all lanes, so a step
+    /// cannot mix precisions).
+    ///
+    /// # Panics
+    ///
+    /// If `max_batch` is 0 or `cfg.vocab_size` is unset.
+    pub fn with_precision(
+        store: &'m ParamStore,
+        params: &'m TransformerParams,
+        cfg: &'m ModelConfig,
+        max_batch: usize,
+        precision: Precision,
+    ) -> BatchDecoder<'m> {
+        BatchDecoder::with_weights(
+            store,
+            params,
+            cfg,
+            max_batch,
+            Cow::Owned(DecoderWeights::for_precision(store, params, precision)),
+        )
+    }
+
+    /// [`with_precision`](Self::with_precision) over a weight set prepared
+    /// elsewhere — `Cow::Borrowed` lets a long-lived owner (an artifact
+    /// whose int8 weights were quantized once at load) hand the same
+    /// prepared set to any number of schedulers without re-packing or
+    /// re-quantizing per scheduler. `weights` must come from the same
+    /// `(store, params)`.
+    ///
+    /// # Panics
+    ///
+    /// If `max_batch` is 0 or `cfg.vocab_size` is unset.
+    pub fn with_weights(
+        store: &'m ParamStore,
+        params: &'m TransformerParams,
+        cfg: &'m ModelConfig,
+        max_batch: usize,
+        weights: Cow<'m, DecoderWeights>,
+    ) -> BatchDecoder<'m> {
+        assert!(
+            max_batch >= 1,
+            "BatchDecoder needs at least one lane (got max_batch = 0)"
+        );
         assert!(cfg.vocab_size > 0, "model config has no vocabulary");
         BatchDecoder {
             store,
             params,
             cfg,
-            weights: PackedDecoderWeights::new(store, params),
+            weights,
             max_batch,
             pool: PagePool::new(cfg.d_head()),
             groups: Vec::new(),
@@ -278,9 +337,20 @@ impl<'m> BatchDecoder<'m> {
     ///
     /// # Panics
     ///
-    /// If `opts.beam` is 0 or exceeds `max_batch`, or the prompt is empty.
+    /// If `opts.beam` is 0 or exceeds `max_batch`, the prompt is empty, or
+    /// the request's precision differs from the scheduler's prepared
+    /// weights.
     pub fn submit(&mut self, req: BatchRequest) -> RequestId {
-        assert!(req.opts.beam >= 1, "beam width must be at least 1");
+        assert!(
+            req.opts.beam >= 1,
+            "beam width must be at least 1 (got 0); use beam = 1 for greedy"
+        );
+        assert_eq!(
+            req.opts.precision,
+            self.weights.precision(),
+            "request precision differs from the scheduler's prepared weights; \
+             build the BatchDecoder with BatchDecoder::with_precision"
+        );
         assert!(
             req.opts.beam <= self.max_batch,
             "beam width {} exceeds the scheduler's {} lanes",
@@ -312,6 +382,12 @@ impl<'m> BatchDecoder<'m> {
     /// The lane capacity this scheduler was built with.
     pub fn max_batch(&self) -> usize {
         self.max_batch
+    }
+
+    /// The projection precision this scheduler's weights were prepared
+    /// for; every submitted request must match it.
+    pub fn precision(&self) -> Precision {
+        self.weights.precision()
     }
 
     /// The page pool behind every lane's cache. Cloning the handle keeps it
@@ -668,7 +744,11 @@ mod tests {
             .iter()
             .zip(&encs)
             .map(|(&(max_len, min_len), e)| {
-                let opts = DecodeOptions { beam: 1, min_len };
+                let opts = DecodeOptions {
+                    beam: 1,
+                    min_len,
+                    ..Default::default()
+                };
                 decode_encoded_prompted(&store, &params, &cfg, e, &[SOS], max_len, opts)
             })
             .collect();
@@ -680,7 +760,11 @@ mod tests {
                 enc_out: e,
                 prompt: vec![SOS],
                 max_len,
-                opts: DecodeOptions { beam: 1, min_len },
+                opts: DecodeOptions {
+                    beam: 1,
+                    min_len,
+                    ..Default::default()
+                },
             })
             .collect();
         assert_eq!(dec.decode_all(reqs), refs);
@@ -772,7 +856,11 @@ mod tests {
         let (cfg, store, params) = setup();
         let encs: Vec<Tensor> = (0..3).map(|i| enc(&store, &params, &cfg, i)).collect();
         for beam in [2usize, 3, 4] {
-            let opts = DecodeOptions { beam, min_len: 0 };
+            let opts = DecodeOptions {
+                beam,
+                min_len: 0,
+                ..Default::default()
+            };
             let refs: Vec<Vec<usize>> = encs
                 .iter()
                 .map(|e| decode_encoded(&store, &params, &cfg, e, 16, opts))
@@ -801,18 +889,22 @@ mod tests {
             DecodeOptions {
                 beam: 1,
                 min_len: 0,
+                ..Default::default()
             },
             DecodeOptions {
                 beam: 3,
                 min_len: 0,
+                ..Default::default()
             },
             DecodeOptions {
                 beam: 1,
                 min_len: 6,
+                ..Default::default()
             },
             DecodeOptions {
                 beam: 2,
                 min_len: 4,
+                ..Default::default()
             },
         ];
         let refs: Vec<Vec<usize>> = specs
@@ -843,6 +935,7 @@ mod tests {
         let opts = DecodeOptions {
             beam: 3,
             min_len: 2,
+            ..Default::default()
         };
         let reference = decode_encoded_prompted(&store, &params, &cfg, &e, &prompt, 15, opts);
         let mut dec = BatchDecoder::new(&store, &params, &cfg, 4);
@@ -864,6 +957,7 @@ mod tests {
         let opts = DecodeOptions {
             beam: 2,
             min_len: 0,
+            ..Default::default()
         };
         let refs: Vec<Vec<usize>> = encs
             .iter()
@@ -897,6 +991,99 @@ mod tests {
         let e = enc(&store, &params, &cfg, 0);
         let mut dec = BatchDecoder::new(&store, &params, &cfg, 2);
         dec.submit(BatchRequest::beam(e, 8, 3));
+    }
+
+    /// Regression (satellite fix): a zero-lane scheduler fails loudly at
+    /// construction with a message naming the problem.
+    #[test]
+    #[should_panic(expected = "at least one lane")]
+    fn zero_lane_scheduler_is_rejected_with_clear_error() {
+        let (cfg, store, params) = setup();
+        BatchDecoder::new(&store, &params, &cfg, 0);
+    }
+
+    /// Regression (satellite fix): a `beam = 0` request fails at submit
+    /// with a descriptive message, not deep inside a decode loop.
+    #[test]
+    #[should_panic(expected = "beam width must be at least 1")]
+    fn zero_beam_request_is_rejected_with_clear_error() {
+        let (cfg, store, params) = setup();
+        let e = enc(&store, &params, &cfg, 0);
+        let mut dec = BatchDecoder::new(&store, &params, &cfg, 2);
+        dec.submit(BatchRequest {
+            enc_out: e,
+            prompt: vec![SOS],
+            max_len: 8,
+            opts: DecodeOptions {
+                beam: 0,
+                min_len: 0,
+                ..Default::default()
+            },
+        });
+    }
+
+    // -- int8 quantized scheduling -------------------------------------------
+
+    /// An `Int8` scheduler returns exactly the single-request quantized
+    /// reference for greedy and beam requests alike — the batched quant
+    /// path has no private numerics (its step is bitwise the single quant
+    /// step, and token selection is shared code).
+    #[test]
+    fn quant_scheduler_matches_quant_single_request_reference() {
+        let (cfg, store, params) = setup();
+        let encs: Vec<Tensor> = (0..4).map(|i| enc(&store, &params, &cfg, i)).collect();
+        let specs = [(1usize, 0usize), (3, 0), (1, 6), (2, 4)];
+        let refs: Vec<Vec<usize>> = specs
+            .iter()
+            .zip(&encs)
+            .map(|(&(beam, min_len), e)| {
+                let opts = DecodeOptions {
+                    beam,
+                    min_len,
+                    precision: Precision::Int8,
+                };
+                decode_encoded(&store, &params, &cfg, e, 14, opts)
+            })
+            .collect();
+        let mut dec = BatchDecoder::with_precision(&store, &params, &cfg, 8, Precision::Int8);
+        assert_eq!(dec.precision(), Precision::Int8);
+        let reqs = specs
+            .iter()
+            .zip(encs)
+            .map(|(&(beam, min_len), enc_out)| BatchRequest {
+                enc_out,
+                prompt: vec![SOS],
+                max_len: 14,
+                opts: DecodeOptions {
+                    beam,
+                    min_len,
+                    precision: Precision::Int8,
+                },
+            })
+            .collect();
+        assert_eq!(dec.decode_all(reqs), refs);
+        drop(dec);
+    }
+
+    /// A precision mismatch between request and scheduler is a loud error
+    /// — a lockstep step fuses all lanes into one kernel pass, so it can
+    /// never serve mixed precisions.
+    #[test]
+    #[should_panic(expected = "precision differs")]
+    fn precision_mismatch_is_rejected() {
+        let (cfg, store, params) = setup();
+        let e = enc(&store, &params, &cfg, 0);
+        let mut dec = BatchDecoder::new(&store, &params, &cfg, 2); // f32 weights
+        dec.submit(BatchRequest {
+            enc_out: e,
+            prompt: vec![SOS],
+            max_len: 8,
+            opts: DecodeOptions {
+                beam: 1,
+                min_len: 0,
+                precision: Precision::Int8,
+            },
+        });
     }
 
     // -- paged pool + prefix sharing ---------------------------------------
@@ -939,6 +1126,7 @@ mod tests {
                 opts: DecodeOptions {
                     beam: 1 + i % 3,
                     min_len: 0,
+                    ..Default::default()
                 },
             })
             .collect();

@@ -37,12 +37,12 @@
 //! // `beam: 1` decodes exactly the greedy tokens; `min_len` can force
 //! // longer outputs by suppressing `<eos>`.
 //! let greedy = greedy_decode(&store, &params, &cfg, &src, 12);
-//! let opts = DecodeOptions { beam: 1, min_len: 0 };
+//! let opts = DecodeOptions { beam: 1, min_len: 0, ..Default::default() };
 //! assert_eq!(decode_with(&store, &params, &cfg, &src, 12, opts), greedy);
 //! ```
 
 use crate::config::ModelConfig;
-use crate::infer::{decode_step, DecoderCache};
+use crate::infer::{decode_step, decode_step_quant, DecoderCache, Precision, QuantDecoderWeights};
 use crate::transformer::{decode as dec_forward, encode, ForwardMode, TransformerParams};
 use crate::vocab::{EOS, SOS};
 use mpirical_tensor::{ParamStore, Tape, Tensor};
@@ -51,11 +51,19 @@ use serde::{Deserialize, Serialize};
 /// Generation knobs shared by the greedy and beam paths.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DecodeOptions {
-    /// Beam width; `1` is greedy.
+    /// Beam width; `1` is greedy. Must be ≥ 1 — [`validate`](Self::validate)
+    /// and every decode entry point reject 0 with a descriptive error.
     pub beam: usize,
     /// Suppress `<eos>` until at least this many tokens are generated
     /// (benchmarks use it to force fixed-length outputs).
     pub min_len: usize,
+    /// Projection-kernel precision: full f32, or per-channel int8
+    /// quantized weights ([`Precision::Int8`] — ~4× less weight traffic on
+    /// the memory-bound decode step; accuracy contract enforced by
+    /// `tests/quant_accuracy.rs`). Defaults on deserialize so artifacts
+    /// saved before this field existed still load as f32.
+    #[serde(default)]
+    pub precision: Precision,
 }
 
 impl Default for DecodeOptions {
@@ -63,7 +71,21 @@ impl Default for DecodeOptions {
         DecodeOptions {
             beam: 1,
             min_len: 0,
+            precision: Precision::F32,
         }
+    }
+}
+
+impl DecodeOptions {
+    /// Check internal consistency: the one invalid configuration is a zero
+    /// beam width (there is no such thing as a 0-hypothesis search).
+    /// Artifact loading and service construction call this so a bad config
+    /// fails loudly at the boundary instead of deep inside a decode loop.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.beam == 0 {
+            return Err("beam width must be at least 1 (got 0); use beam = 1 for greedy".into());
+        }
+        Ok(())
     }
 }
 
@@ -122,7 +144,11 @@ pub fn beam_decode(
         cfg,
         src_ids,
         max_len,
-        DecodeOptions { beam, min_len: 0 },
+        DecodeOptions {
+            beam,
+            min_len: 0,
+            ..Default::default()
+        },
     )
 }
 
@@ -175,7 +201,34 @@ pub fn decode_encoded_prompted(
     max_len: usize,
     opts: DecodeOptions,
 ) -> Vec<usize> {
-    decode_prompted_impl(store, params, cfg, prompt, max_len, opts, || {
+    decode_prompted_impl(store, params, cfg, prompt, max_len, opts, None, || {
+        DecoderCache::new(store, params, cfg, enc_out)
+    })
+}
+
+/// [`decode_encoded_prompted`] running the **int8 quantized** projection
+/// kernels against pre-quantized weights. Long-lived callers (the
+/// assistant artifact, the service layer, benchmarks) quantize once via
+/// [`QuantDecoderWeights::new`] and decode any number of requests through
+/// this entry point; one-shot callers can instead set
+/// [`DecodeOptions::precision`] to [`Precision::Int8`] on any decode entry
+/// point and the weights are quantized per call.
+#[allow(clippy::too_many_arguments)]
+pub fn decode_encoded_prompted_quant(
+    store: &ParamStore,
+    params: &TransformerParams,
+    cfg: &ModelConfig,
+    qw: &QuantDecoderWeights,
+    enc_out: &Tensor,
+    prompt: &[usize],
+    max_len: usize,
+    opts: DecodeOptions,
+) -> Vec<usize> {
+    let opts = DecodeOptions {
+        precision: Precision::Int8,
+        ..opts
+    };
+    decode_prompted_impl(store, params, cfg, prompt, max_len, opts, Some(qw), || {
         DecoderCache::new(store, params, cfg, enc_out)
     })
 }
@@ -193,14 +246,34 @@ pub fn decode_encoded_prompted_contiguous(
     max_len: usize,
     opts: DecodeOptions,
 ) -> Vec<usize> {
-    decode_prompted_impl(store, params, cfg, prompt, max_len, opts, || {
+    decode_prompted_impl(store, params, cfg, prompt, max_len, opts, None, || {
         DecoderCache::new_contiguous(store, params, cfg, enc_out)
     })
 }
 
+/// One decode step at the options' precision: f32 [`decode_step`] or
+/// quantized [`decode_step_quant`]. The single dispatch point for the
+/// whole single-request engine (prefill, greedy, beam), so the two
+/// precisions can only differ inside the projection kernels.
+fn step_at(
+    store: &ParamStore,
+    params: &TransformerParams,
+    cfg: &ModelConfig,
+    qw: Option<&QuantDecoderWeights>,
+    cache: &mut DecoderCache,
+    token: usize,
+) -> Vec<f32> {
+    match qw {
+        None => decode_step(store, params, cfg, cache, token),
+        Some(q) => decode_step_quant(store, params, cfg, q, cache, token),
+    }
+}
+
 /// Shared prompted-generation driver, parameterized over the cache layout
-/// (one code path ⇒ paged and contiguous can only differ inside
-/// `decode_step`, which the storage-equivalence tests cover).
+/// and projection precision (one code path ⇒ paged and contiguous, f32 and
+/// int8, can only differ inside `decode_step`'s kernels, which the
+/// storage-equivalence and quant-accuracy tests cover).
+#[allow(clippy::too_many_arguments)]
 fn decode_prompted_impl(
     store: &ParamStore,
     params: &TransformerParams,
@@ -208,22 +281,38 @@ fn decode_prompted_impl(
     prompt: &[usize],
     max_len: usize,
     opts: DecodeOptions,
+    qw: Option<&QuantDecoderWeights>,
     new_cache: impl Fn() -> DecoderCache,
 ) -> Vec<usize> {
-    assert!(opts.beam >= 1);
+    assert!(
+        opts.beam >= 1,
+        "beam width must be at least 1 (got 0); use beam = 1 for greedy"
+    );
     assert!(!prompt.is_empty(), "prompt must hold at least <sos>");
+    // Quantize on the fly when the options ask for int8 and the caller did
+    // not hand over prebuilt weights (one pass over the decoder weights —
+    // long-lived callers use `decode_encoded_prompted_quant` to avoid it).
+    let built;
+    let qw = match (opts.precision, qw) {
+        (Precision::F32, _) => None,
+        (Precision::Int8, Some(q)) => Some(q),
+        (Precision::Int8, None) => {
+            built = QuantDecoderWeights::new(store, params);
+            Some(&built)
+        }
+    };
     let limit = max_len.min(cfg.max_dec_len);
     if prompt.len() >= limit {
         return Vec::new();
     }
     let mut cache = new_cache();
     for &tok in &prompt[..prompt.len() - 1] {
-        decode_step(store, params, cfg, &mut cache, tok);
+        step_at(store, params, cfg, qw, &mut cache, tok);
     }
     if opts.beam == 1 {
-        greedy_cached(store, params, cfg, cache, prompt, limit, opts.min_len)
+        greedy_cached(store, params, cfg, qw, cache, prompt, limit, opts.min_len)
     } else {
-        beam_cached(store, params, cfg, cache, prompt, limit, opts)
+        beam_cached(store, params, cfg, qw, cache, prompt, limit, opts)
     }
 }
 
@@ -265,10 +354,12 @@ fn top_k_indices(row: &[f32], k: usize, ban_eos: bool) -> Vec<usize> {
     idx
 }
 
+#[allow(clippy::too_many_arguments)]
 fn greedy_cached(
     store: &ParamStore,
     params: &TransformerParams,
     cfg: &ModelConfig,
+    qw: Option<&QuantDecoderWeights>,
     mut cache: DecoderCache,
     prompt: &[usize],
     limit: usize,
@@ -276,7 +367,7 @@ fn greedy_cached(
 ) -> Vec<usize> {
     let mut ids = prompt.to_vec();
     while ids.len() < limit {
-        let logits = decode_step(store, params, cfg, &mut cache, *ids.last().unwrap());
+        let logits = step_at(store, params, cfg, qw, &mut cache, *ids.last().unwrap());
         let ban_eos = ids.len() - prompt.len() < min_len;
         let tok = argmax_token(&logits, ban_eos);
         if tok == EOS {
@@ -447,10 +538,12 @@ pub(crate) fn best_hypothesis_ids(beams: Vec<Hypothesis>, prompt_len: usize) -> 
         .unwrap_or_default()
 }
 
+#[allow(clippy::too_many_arguments)]
 fn beam_cached(
     store: &ParamStore,
     params: &TransformerParams,
     cfg: &ModelConfig,
+    qw: Option<&QuantDecoderWeights>,
     cache: DecoderCache,
     prompt: &[usize],
     limit: usize,
@@ -470,10 +563,11 @@ fn beam_cached(
                     return None;
                 }
                 let cache = h.cache.as_mut().expect("live hypothesis has a cache");
-                Some(decode_step(
+                Some(step_at(
                     store,
                     params,
                     cfg,
+                    qw,
                     cache,
                     *h.ids.last().unwrap(),
                 ))
@@ -524,7 +618,11 @@ pub fn beam_decode_replay(
         cfg,
         src_ids,
         max_len,
-        DecodeOptions { beam, min_len: 0 },
+        DecodeOptions {
+            beam,
+            min_len: 0,
+            ..Default::default()
+        },
     )
 }
 
@@ -538,7 +636,10 @@ pub fn replay_decode_with(
     max_len: usize,
     opts: DecodeOptions,
 ) -> Vec<usize> {
-    assert!(opts.beam >= 1);
+    assert!(
+        opts.beam >= 1,
+        "beam width must be at least 1 (got 0); use beam = 1 for greedy"
+    );
     let enc_val = encode_source(store, params, cfg, src_ids);
     let limit = max_len.min(cfg.max_dec_len);
 
@@ -783,6 +884,7 @@ mod tests {
         let opts = DecodeOptions {
             beam: 1,
             min_len: cfg.max_dec_len,
+            ..Default::default()
         };
         let cached = decode_with(&store, &params, &cfg, &src, usize::MAX, opts);
         assert_eq!(cached.len(), cfg.max_dec_len - 1, "filled to the cap");
@@ -806,6 +908,7 @@ mod tests {
             DecodeOptions {
                 beam: 1,
                 min_len: 6,
+                ..Default::default()
             },
         );
         assert!(forced.len() >= 6, "min_len must force length: {forced:?}");
@@ -820,7 +923,11 @@ mod tests {
         let src = [SOS, 8, 11, EOS];
         let enc_out = encode_source(&store, &params, &cfg, &src);
         for beam in [1usize, 3] {
-            let opts = DecodeOptions { beam, min_len: 0 };
+            let opts = DecodeOptions {
+                beam,
+                min_len: 0,
+                ..Default::default()
+            };
             let plain = decode_encoded(&store, &params, &cfg, &enc_out, 10, opts);
             let prompted =
                 decode_encoded_prompted(&store, &params, &cfg, &enc_out, &[SOS], 10, opts);
@@ -847,7 +954,11 @@ mod tests {
         let enc_out = encode_source(&store, &params, &cfg, &src);
         let prompt = [SOS, 7, 9, 6];
         for beam in [1usize, 2] {
-            let opts = DecodeOptions { beam, min_len: 2 };
+            let opts = DecodeOptions {
+                beam,
+                min_len: 2,
+                ..Default::default()
+            };
             let out = decode_encoded_prompted(&store, &params, &cfg, &enc_out, &prompt, 12, opts);
             assert!(out.len() + prompt.len() <= 12);
             assert!(out.len() >= 2, "min_len counts generated tokens");
@@ -870,6 +981,101 @@ mod tests {
             DecodeOptions::default(),
         );
         assert!(at_cap.is_empty());
+    }
+
+    /// Regression (satellite fix): `beam = 0` is rejected with a
+    /// descriptive message at every decode entry point, and
+    /// `DecodeOptions::validate` reports it as an `Err`.
+    #[test]
+    fn zero_beam_is_invalid_and_validate_says_why() {
+        let opts = DecodeOptions {
+            beam: 0,
+            min_len: 0,
+            ..Default::default()
+        };
+        let err = opts.validate().unwrap_err();
+        assert!(err.contains("beam width must be at least 1"), "{err}");
+        assert!(DecodeOptions::default().validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "beam width must be at least 1")]
+    fn zero_beam_cached_decode_panics_descriptively() {
+        let (cfg, store, params) = trained_copy_model();
+        decode_with(
+            &store,
+            &params,
+            &cfg,
+            &[SOS, 6, 7, EOS],
+            8,
+            DecodeOptions {
+                beam: 0,
+                min_len: 0,
+                ..Default::default()
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "beam width must be at least 1")]
+    fn zero_beam_replay_decode_panics_descriptively() {
+        let (cfg, store, params) = trained_copy_model();
+        replay_decode_with(
+            &store,
+            &params,
+            &cfg,
+            &[SOS, 6, 7, EOS],
+            8,
+            DecodeOptions {
+                beam: 0,
+                min_len: 0,
+                ..Default::default()
+            },
+        );
+    }
+
+    /// The quantized single-request engine is self-consistent across its
+    /// entry points and cache layouts: on-the-fly quantization
+    /// (`precision: Int8`), prebuilt weights
+    /// (`decode_encoded_prompted_quant`), and the contiguous reference
+    /// layout all emit identical tokens, for greedy and beam.
+    #[test]
+    fn quant_entry_points_and_layouts_agree() {
+        let (cfg, store, params) = trained_copy_model();
+        let src = [SOS, 8, 11, EOS];
+        let enc_out = encode_source(&store, &params, &cfg, &src);
+        let qw = crate::infer::QuantDecoderWeights::new(&store, &params);
+        for beam in [1usize, 3] {
+            let opts = DecodeOptions {
+                beam,
+                min_len: 2,
+                precision: Precision::Int8,
+            };
+            let on_the_fly =
+                decode_encoded_prompted(&store, &params, &cfg, &enc_out, &[SOS], 10, opts);
+            let prebuilt = decode_encoded_prompted_quant(
+                &store,
+                &params,
+                &cfg,
+                &qw,
+                &enc_out,
+                &[SOS],
+                10,
+                opts,
+            );
+            let contiguous = decode_encoded_prompted_contiguous(
+                &store,
+                &params,
+                &cfg,
+                &enc_out,
+                &[SOS],
+                10,
+                opts,
+            );
+            assert_eq!(on_the_fly, prebuilt, "beam={beam}");
+            assert_eq!(on_the_fly, contiguous, "beam={beam} contiguous");
+            assert!(!on_the_fly.is_empty(), "min_len forces generation");
+        }
     }
 
     #[test]

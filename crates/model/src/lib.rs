@@ -42,10 +42,13 @@ pub use bpe::Bpe;
 pub use config::ModelConfig;
 pub use decode::{
     beam_decode, beam_decode_replay, decode_encoded, decode_encoded_prompted,
-    decode_encoded_prompted_contiguous, decode_with, greedy_decode, greedy_decode_replay,
-    replay_decode_with, DecodeOptions,
+    decode_encoded_prompted_contiguous, decode_encoded_prompted_quant, decode_with, greedy_decode,
+    greedy_decode_replay, replay_decode_with, DecodeOptions,
 };
-pub use infer::{decode_step, decode_step_batch, BatchScratch, DecoderCache};
+pub use infer::{
+    decode_step, decode_step_batch, decode_step_quant, BatchScratch, DecoderCache, DecoderWeights,
+    PackedDecoderWeights, Precision, QuantDecoderWeights,
+};
 pub use paged::{PagePool, PoolStats, PAGE_ROWS};
 pub use train::{evaluate, train, EpochStats, Example, TrainConfig, TrainReport};
 pub use transformer::{build_params, ForwardMode, TransformerParams};

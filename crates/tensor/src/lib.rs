@@ -18,6 +18,11 @@
 //!   the packed-rows [`batch_matmul`] / [`batch_linear`] kernels fuse N
 //!   concurrent requests' projections into one weight pass (each output row
 //!   bitwise-equal to its `vecmat`, so batching never changes logits);
+//! * [`QuantMat`] — symmetric per-output-channel **int8** weight
+//!   quantization with packed panels, plus the [`vecmat_q`] /
+//!   [`batch_matmul_q`] W8A8 kernels (exact `i32` accumulation, one
+//!   dequantize per output) that shrink weight traffic 4× on the
+//!   memory-bound decode step;
 //! * [`Tape`] / [`Var`] — reverse-mode autograd over a per-step tape, with
 //!   every op a transformer needs (matmul, softmax, layernorm, GELU,
 //!   embedding gather, fused cross-entropy, dropout, column slice/concat);
@@ -49,6 +54,7 @@ pub mod autograd;
 pub mod init;
 pub mod matmul;
 pub mod optim;
+pub mod quant;
 pub mod tensor;
 
 pub use autograd::{Grads, Tape, Var};
@@ -57,6 +63,7 @@ pub use matmul::{
     matmul_at, matmul_bt, vecmat, vecmat_acc, vecmat_bt, PackedMat,
 };
 pub use optim::{Adam, ParamId, ParamStore};
+pub use quant::{batch_linear_q, batch_matmul_q, quantize_row, vecmat_q, vecmat_q_pre, QuantMat};
 pub use tensor::Tensor;
 
 #[cfg(test)]

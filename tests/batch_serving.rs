@@ -117,3 +117,33 @@ fn service_reports_paged_pool_and_prefix_sharing() {
         assert_eq!(service.poll(t).as_ref(), Some(&expected));
     }
 }
+
+/// An int8-configured artifact serves end to end through the public API:
+/// the one-shot batch path and the submit/poll service both run the
+/// quantized lockstep kernels and agree exactly with the artifact's own
+/// single-request quantized `suggest` — on a *trained* assistant, whose
+/// confident logits make the agreement exact, not statistical.
+#[test]
+fn int8_artifact_serves_equivalently_through_batch_and_service() {
+    let mut assistant = tiny_assistant();
+    assistant.decode.precision = mpirical::Precision::Int8;
+    let buffers = [
+        "int main() { int rank; printf(\"a\\n\"); return 0; }",
+        "int main(int argc, char **argv) { double local = 0.0; return 0; }",
+        "int main() { int x = 1; if (x", // mid-edit, unparseable tail
+    ];
+    let sequential: Vec<_> = buffers.iter().map(|b| assistant.suggest(b)).collect();
+    assert_eq!(assistant.suggest_batch(&buffers), sequential);
+
+    let mut service = SuggestService::with_max_batch(&assistant, 2);
+    let tickets: Vec<_> = buffers.iter().map(|b| service.submit(b)).collect();
+    service.run();
+    for (ticket, want) in tickets.into_iter().zip(&sequential) {
+        assert_eq!(service.poll(ticket).as_ref(), Some(want));
+    }
+    assert_eq!(
+        service.pool_stats().pages_live,
+        0,
+        "pages freed after retiring"
+    );
+}

@@ -16,6 +16,14 @@
 //!    `decode_encoded_prompted_contiguous` reference outputs, again with
 //!    zero leaked pages.
 //!
+//! Properties 1 and 3 also run **quantized**: property 1 repeats each
+//! random walk through the int8 projection kernels (`decode_step_quant`)
+//! asserting paged-quant ≡ contiguous-quant bitwise per step, and property
+//! 3 replays every random schedule through an `Int8` scheduler against the
+//! contiguous-quant reference — quantization swaps the weight kernels but
+//! never touches the K/V storage walk, so the PR 3 storage-equivalence
+//! invariant must survive it unchanged.
+//!
 //! Case counts elevate via `PROPTEST_CASES` (CI runs the suite a second
 //! time with a larger count).
 
@@ -23,27 +31,37 @@ use mpirical_model::decode::{decode_encoded_prompted_contiguous, encode_source};
 use mpirical_model::transformer::{build_params, TransformerParams};
 use mpirical_model::vocab::{EOS, SOS};
 use mpirical_model::{
-    decode_step, BatchDecoder, BatchRequest, DecodeOptions, DecoderCache, ModelConfig, PagePool,
+    decode_step, decode_step_quant, BatchDecoder, BatchRequest, DecodeOptions, DecoderCache,
+    ModelConfig, PagePool, Precision, QuantDecoderWeights,
 };
 use mpirical_tensor::{ParamStore, Tensor};
 use proptest::prelude::*;
 use std::sync::OnceLock;
 
-/// One random multi-layer model + a few encoder outputs, built once for the
-/// whole suite (equivalence properties hold for any weights).
-fn fixture() -> &'static (ModelConfig, ParamStore, TransformerParams, Vec<Tensor>) {
-    static FIX: OnceLock<(ModelConfig, ParamStore, TransformerParams, Vec<Tensor>)> =
-        OnceLock::new();
+type Fixture = (
+    ModelConfig,
+    ParamStore,
+    TransformerParams,
+    Vec<Tensor>,
+    QuantDecoderWeights,
+);
+
+/// One random multi-layer model + a few encoder outputs + its int8
+/// decoder weights (quantized once, like an artifact would), built once
+/// for the whole suite (equivalence properties hold for any weights).
+fn fixture() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
     FIX.get_or_init(|| {
         let mut cfg = ModelConfig::tiny();
         cfg.vocab_size = 24;
         cfg.n_dec_layers = 2;
         let mut store = ParamStore::new();
         let params = build_params(&cfg, &mut store, 29);
-        let encs = (0..3)
+        let encs: Vec<Tensor> = (0..3)
             .map(|i| encode_source(&store, &params, &cfg, &[SOS, 6 + i, 7 + 2 * i, 9, EOS]))
             .collect();
-        (cfg, store, params, encs)
+        let qw = QuantDecoderWeights::new(&store, &params);
+        (cfg, store, params, encs, qw)
     })
 }
 
@@ -59,7 +77,7 @@ proptest! {
         tokens in proptest::collection::vec(1usize..24, 1..40),
         src in 0usize..3,
     ) {
-        let (cfg, store, params, encs) = fixture();
+        let (cfg, store, params, encs, qw) = fixture();
         let enc = &encs[src];
         let pool = PagePool::with_page_rows(cfg.d_head(), page_rows);
         let mut paged = DecoderCache::new_in_pool(store, params, cfg, enc, &pool);
@@ -72,6 +90,19 @@ proptest! {
         prop_assert!(pool.stats().pages_live > 0, "walk allocated pages");
         drop(paged);
         prop_assert_eq!(pool.stats().pages_live, 0, "pages leaked after drop");
+
+        // The same walk through the int8 kernels: quantization must not
+        // break the storage-equivalence invariant (bitwise, per step).
+        let qpool = PagePool::with_page_rows(cfg.d_head(), page_rows);
+        let mut qpaged = DecoderCache::new_in_pool(store, params, cfg, enc, &qpool);
+        let mut qreference = DecoderCache::new_contiguous(store, params, cfg, enc);
+        for (step, &tok) in tokens.iter().enumerate() {
+            let lp = decode_step_quant(store, params, cfg, qw, &mut qpaged, tok);
+            let lr = decode_step_quant(store, params, cfg, qw, &mut qreference, tok);
+            prop_assert_eq!(lp, lr, "quant page_rows={} step={}", page_rows, step);
+        }
+        drop(qpaged);
+        prop_assert_eq!(qpool.stats().pages_live, 0, "quant pages leaked after drop");
     }
 
     /// Property 2: random step/fork/drop interleavings over a shared pool.
@@ -82,7 +113,7 @@ proptest! {
         page_rows in prop_oneof![Just(1usize), Just(3), Just(16)],
         ops in proptest::collection::vec(((0usize..4, 1usize..24), 0usize..8), 1..60),
     ) {
-        let (cfg, store, params, encs) = fixture();
+        let (cfg, store, params, encs, _) = fixture();
         let enc = &encs[0];
         let pool = PagePool::with_page_rows(cfg.d_head(), page_rows);
         let mut pairs = vec![(
@@ -135,6 +166,9 @@ proptest! {
     /// Property 3: random request schedules through `BatchDecoder` —
     /// arbitrary prompts, caps, beam widths, late joins — match the
     /// contiguous single-request reference exactly, and the pool drains.
+    /// Each schedule runs **twice**: once in f32 and once through an
+    /// `Int8` scheduler against the contiguous-quant reference —
+    /// quantization must not break the storage-equivalence invariant.
     #[test]
     fn random_schedules_match_single_request_reference(
         specs in proptest::collection::vec(
@@ -146,10 +180,8 @@ proptest! {
             1..7,
         ),
     ) {
-        let (cfg, store, params, encs) = fixture();
+        let (cfg, store, params, encs, _) = fixture();
         let max_batch = 8usize; // ≥ the widest generated beam
-        let mut dec = BatchDecoder::new(store, params, cfg, max_batch);
-        let pool = dec.pool().clone();
 
         struct Spec {
             prompt: Vec<usize>,
@@ -163,49 +195,59 @@ proptest! {
             .map(|((extra, max_len), (min_len, beam), (join, src))| Spec {
                 prompt: std::iter::once(SOS).chain(extra).collect(),
                 max_len,
-                opts: DecodeOptions { beam, min_len },
+                opts: DecodeOptions { beam, min_len, ..Default::default() },
                 join,
                 src,
             })
             .collect();
 
-        let references: Vec<Vec<usize>> = specs
-            .iter()
-            .map(|s| {
-                decode_encoded_prompted_contiguous(
-                    store, params, cfg, &encs[s.src], &s.prompt, s.max_len, s.opts,
-                )
-            })
-            .collect();
+        for precision in [Precision::F32, Precision::Int8] {
+            let mut dec =
+                BatchDecoder::with_precision(store, params, cfg, max_batch, precision);
+            let pool = dec.pool().clone();
+            let opts_at = |s: &Spec| DecodeOptions { precision, ..s.opts };
 
-        // Late joins: requests are submitted at their join step while the
-        // scheduler is already decoding earlier ones.
-        let mut tickets: Vec<Option<u64>> = vec![None; specs.len()];
-        let last_join = specs.iter().map(|s| s.join).max().unwrap_or(0);
-        for t in 0..=last_join {
-            for (i, s) in specs.iter().enumerate() {
-                if s.join == t {
-                    tickets[i] = Some(dec.submit(BatchRequest {
-                        enc_out: encs[s.src].clone(),
-                        prompt: s.prompt.clone(),
-                        max_len: s.max_len,
-                        opts: s.opts,
-                    }));
+            let references: Vec<Vec<usize>> = specs
+                .iter()
+                .map(|s| {
+                    decode_encoded_prompted_contiguous(
+                        store, params, cfg, &encs[s.src], &s.prompt, s.max_len, opts_at(s),
+                    )
+                })
+                .collect();
+
+            // Late joins: requests are submitted at their join step while
+            // the scheduler is already decoding earlier ones.
+            let mut tickets: Vec<Option<u64>> = vec![None; specs.len()];
+            let last_join = specs.iter().map(|s| s.join).max().unwrap_or(0);
+            for t in 0..=last_join {
+                for (i, s) in specs.iter().enumerate() {
+                    if s.join == t {
+                        tickets[i] = Some(dec.submit(BatchRequest {
+                            enc_out: encs[s.src].clone(),
+                            prompt: s.prompt.clone(),
+                            max_len: s.max_len,
+                            opts: opts_at(s),
+                        }));
+                    }
                 }
+                dec.step();
             }
-            dec.step();
-        }
-        dec.run();
+            dec.run();
 
-        for (i, (ticket, want)) in tickets.iter().zip(&references).enumerate() {
-            let got = dec.poll(ticket.expect("submitted")).expect("retired");
+            for (i, (ticket, want)) in tickets.iter().zip(&references).enumerate() {
+                let got = dec.poll(ticket.expect("submitted")).expect("retired");
+                prop_assert_eq!(
+                    &got, want,
+                    "{:?} request {} (beam={} prompt_len={} max_len={})",
+                    precision, i, specs[i].opts.beam, specs[i].prompt.len(), specs[i].max_len
+                );
+            }
+            drop(dec);
             prop_assert_eq!(
-                &got, want,
-                "request {} (beam={} prompt_len={} max_len={})",
-                i, specs[i].opts.beam, specs[i].prompt.len(), specs[i].max_len
+                pool.stats().pages_live, 0,
+                "{:?} scheduler leaked pages", precision
             );
         }
-        drop(dec);
-        prop_assert_eq!(pool.stats().pages_live, 0, "scheduler leaked pages");
     }
 }

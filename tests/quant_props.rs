@@ -1,0 +1,151 @@
+//! Property-test suite for the int8 per-channel quantization kernels
+//! (shims/proptest) — the quantize→dequantize round-trip contract and the
+//! bitwise kernel semantics the quantized decode path rests on:
+//!
+//! 1. **Round-trip bound** — for random weight matrices across value
+//!    scales and shapes, every element's dequantization error is
+//!    ≤ `scale_j / 2` of its output channel, and zeros are preserved
+//!    *exactly* (an all-zero column gets scale 1, not NaN).
+//! 2. **Bitwise i32 reference** — `vecmat_q` equals a scalar
+//!    quantize-then-`i32`-accumulate reference bit for bit, and every row
+//!    of `batch_matmul_q` equals `vecmat_q` of that row bit for bit
+//!    (integer accumulation is order-invariant, so the blocking in the
+//!    kernels cannot — and must not — change a single bit).
+//! 3. **Per-channel error bound** — `|vecmat_q − vecmat|` stays within
+//!    [`QuantMat::channel_error_bound`], the worst-case bound derived from
+//!    the weight and activation scales.
+//!
+//! Case counts elevate via `PROPTEST_CASES` (CI runs the suite a second
+//! time with a larger count).
+
+use mpirical_tensor::{batch_matmul_q, quantize_row, vecmat, vecmat_q, QuantMat, Tensor};
+use proptest::prelude::*;
+
+/// Random `[k, n]` matrix with values spanning `±mag`, with a sprinkling
+/// of exact zeros (index-hashed, so shapes and zero positions co-vary).
+fn arb_matrix() -> impl Strategy<Value = Tensor> {
+    ((1usize..40, 1usize..40), 0.01f32..100.0).prop_flat_map(|((k, n), mag)| {
+        proptest::collection::vec(-1.0f32..1.0, k * n).prop_map(move |vals| {
+            let data: Vec<f32> = vals
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| if i % 11 == 3 { 0.0 } else { v * mag })
+                .collect();
+            Tensor::from_vec(&[k, n], data)
+        })
+    })
+}
+
+/// Scalar reference of the quantized product: quantize the activation with
+/// the shared [`quantize_row`], accumulate `q_v · q_m` in `i32` per output
+/// channel, dequantize once — the exact semantics `vecmat_q` promises.
+fn scalar_reference(v: &[f32], m: &QuantMat) -> Vec<f32> {
+    let (k, n) = m.shape();
+    let mut q = vec![0i8; k];
+    let vs = quantize_row(v, &mut q);
+    (0..n)
+        .map(|j| {
+            let mut acc = 0i32;
+            for (kk, &qv) in q.iter().enumerate() {
+                acc += qv as i32 * m.q_at(kk, j) as i32;
+            }
+            acc as f32 * vs * m.scales()[j]
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Property 1: per-channel round-trip error ≤ scale/2, zeros exact.
+    #[test]
+    fn roundtrip_error_bounded_and_zeros_exact(m in arb_matrix()) {
+        let (k, n) = (m.shape[0], m.shape[1]);
+        let qm = QuantMat::quantize(&m);
+        prop_assert_eq!(qm.shape(), (k, n));
+        let deq = qm.dequantize();
+        for kk in 0..k {
+            for j in 0..n {
+                let orig = m.data[kk * n + j];
+                let back = deq.data[kk * n + j];
+                if orig == 0.0 {
+                    prop_assert_eq!(back, 0.0, "zero at ({}, {}) must survive", kk, j);
+                }
+                let err = (orig - back).abs();
+                let half = qm.scales()[j] / 2.0;
+                prop_assert!(
+                    err <= half * (1.0 + 1e-6),
+                    "({}, {}): err {} exceeds scale/2 = {}", kk, j, err, half
+                );
+            }
+        }
+        // Scales are strictly positive (all-zero columns fall back to 1).
+        prop_assert!(qm.scales().iter().all(|&s| s > 0.0));
+    }
+
+    /// Property 2a: `vecmat_q` ≡ the scalar i32 reference, bitwise.
+    #[test]
+    fn vecmat_q_is_bitwise_i32_reference(
+        m in arb_matrix(),
+        seed in 0u32..1000,
+    ) {
+        let (k, n) = (m.shape[0], m.shape[1]);
+        let qm = QuantMat::quantize(&m);
+        let v: Vec<f32> = (0..k)
+            .map(|i| ((i as f32 + seed as f32) * 0.73).sin() * (1.0 + seed as f32 * 0.01))
+            .collect();
+        let mut out = vec![0.0f32; n];
+        vecmat_q(&v, &qm, &mut out);
+        prop_assert_eq!(out, scalar_reference(&v, &qm));
+    }
+
+    /// Property 2b: every `batch_matmul_q` row ≡ `vecmat_q` of that row,
+    /// bitwise, for any row count (the quantized batched decode promise).
+    #[test]
+    fn batch_rows_are_bitwise_vecmat_q(
+        m in arb_matrix(),
+        rows in 1usize..10,
+        seed in 0u32..1000,
+    ) {
+        let (k, n) = (m.shape[0], m.shape[1]);
+        let qm = QuantMat::quantize(&m);
+        let x: Vec<f32> = (0..rows * k)
+            .map(|i| ((i as f32 * 0.31 + seed as f32) * 0.57).cos() * 3.0)
+            .collect();
+        let mut q = vec![0i8; rows * k];
+        let mut scales = vec![0.0f32; rows];
+        let mut batched = vec![0.0f32; rows * n];
+        batch_matmul_q(&x, rows, &qm, &mut q, &mut scales, &mut batched);
+        let mut single = vec![0.0f32; n];
+        for r in 0..rows {
+            vecmat_q(&x[r * k..(r + 1) * k], &qm, &mut single);
+            prop_assert_eq!(&batched[r * n..(r + 1) * n], &single[..], "row {}", r);
+        }
+    }
+
+    /// Property 3: the quantized product tracks the exact f32 product
+    /// within the per-channel worst-case bound derived from the scales.
+    #[test]
+    fn quant_error_within_per_channel_scale_bound(
+        m in arb_matrix(),
+        seed in 0u32..1000,
+    ) {
+        let (k, n) = (m.shape[0], m.shape[1]);
+        let qm = QuantMat::quantize(&m);
+        let v: Vec<f32> = (0..k)
+            .map(|i| ((i as f32 + seed as f32 * 3.0) * 0.41).sin() * 2.0)
+            .collect();
+        let mut exact = vec![0.0f32; n];
+        vecmat(&v, &m, &mut exact);
+        let mut quant = vec![0.0f32; n];
+        vecmat_q(&v, &qm, &mut quant);
+        let bound = qm.channel_error_bound(&v);
+        for j in 0..n {
+            let err = (exact[j] - quant[j]).abs();
+            prop_assert!(
+                err <= bound[j] * (1.0 + 1e-4) + 1e-6,
+                "channel {}: err {} exceeds scale-derived bound {}", j, err, bound[j]
+            );
+        }
+    }
+}
