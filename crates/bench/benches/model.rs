@@ -12,7 +12,7 @@ use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion
 use mpirical_model::{
     build_params, decode::encode_source, decode_encoded, decode_with, replay_decode_with,
     transformer::encode, transformer::ForwardMode, BatchDecoder, BatchRequest, DecodeOptions,
-    Example, ModelConfig, TrainConfig, Vocab,
+    Example, ModelConfig, PollResult, SubmitOptions, TrainConfig, Vocab,
 };
 use mpirical_tensor::{matmul, Adam, ParamStore, Tape, Tensor};
 
@@ -240,6 +240,7 @@ fn bench_batch_decode(c: &mut Criterion) {
                     prompt: vec![mpirical_model::vocab::SOS],
                     max_len: 65,
                     opts,
+                    submit: SubmitOptions::default(),
                 })
                 .collect();
             black_box(dec.decode_all(reqs))
@@ -257,6 +258,7 @@ fn bench_batch_decode(c: &mut Criterion) {
                     prompt: vec![mpirical_model::vocab::SOS],
                     max_len: 65,
                     opts,
+                    submit: SubmitOptions::default(),
                 })
                 .collect();
             black_box(dec.decode_all(reqs))
@@ -306,6 +308,7 @@ fn bench_batch_beam(c: &mut Criterion) {
                 prompt: vec![mpirical_model::vocab::SOS],
                 max_len: 33,
                 opts,
+                submit: SubmitOptions::default(),
             })
             .collect()
     };
@@ -454,10 +457,173 @@ fn bench_decode_quant(c: &mut Criterion) {
                     prompt: vec![mpirical_model::vocab::SOS],
                     max_len: 65,
                     opts: qopts,
+                    submit: SubmitOptions::default(),
                 })
                 .collect();
             black_box(dec.decode_all(reqs))
         })
+    });
+    g.finish();
+}
+
+/// Interactive queue-wait under a saturating bulk load — the serving API
+/// v2 acceptance number, at the d=256 serving shape of
+/// `bench_batch_decode`.
+///
+/// Setup floods all 8 lanes with `Bulk` 64-token jobs, then submits an
+/// `Interactive` request capped at 8 generated tokens (the keystroke
+/// pattern: a few suggestions, fast) and **asserts** the preemption
+/// contract before any timing runs — the CI smoke: the interactive
+/// request is decoding one step after submission (a bulk lane yielded),
+/// finishes with zero recorded queue-wait steps, its tokens equal the
+/// single-request reference, and the preempted bulk job's final tokens
+/// are untouched. The FIFO baseline (the same late request submitted
+/// `Bulk`, i.e. the v1 admission policy) is asserted to wait many steps
+/// for a lane.
+///
+/// The timed pair then measures end-to-end interactive completion latency
+/// under the bulk flood: `priority_*` submits the late request
+/// interactive (preempts, ~10 lockstep steps), `fifo_*` submits it bulk
+/// (drains behind the 64-token jobs, ~70 steps) — the wall-clock gap *is*
+/// the queue wait the priority scheduler removes. Leftover bulk work is
+/// cancelled between iterations (also exercising cancel's page return on
+/// the hot path).
+fn bench_decode_priority(c: &mut Criterion) {
+    let cfg = ModelConfig {
+        vocab_size: 4096,
+        d_model: 256,
+        n_heads: 4,
+        d_ff: 1024,
+        n_enc_layers: 2,
+        n_dec_layers: 2,
+        max_enc_len: 64,
+        max_dec_len: 80,
+        dropout: 0.0,
+    };
+    let mut store = ParamStore::new();
+    let params = build_params(&cfg, &mut store, 1);
+    let enc_outs: Vec<Tensor> = (0..9)
+        .map(|r| {
+            let src: Vec<usize> = (0..48).map(|i| 6 + ((i * (r + 3)) % 200)).collect();
+            encode_source(&store, &params, &cfg, &src)
+        })
+        .collect();
+    let bulk_opts = DecodeOptions {
+        beam: 1,
+        min_len: 64,
+        ..Default::default()
+    };
+    let fast_opts = DecodeOptions {
+        beam: 1,
+        min_len: 8,
+        ..Default::default()
+    };
+    let bulk_req = |e: &Tensor| BatchRequest {
+        enc_out: e.clone(),
+        prompt: vec![mpirical_model::vocab::SOS],
+        max_len: 65,
+        opts: bulk_opts,
+        submit: SubmitOptions::bulk(),
+    };
+    let fast_req = |priority: bool| BatchRequest {
+        enc_out: enc_outs[8].clone(),
+        prompt: vec![mpirical_model::vocab::SOS],
+        max_len: 65,
+        opts: fast_opts,
+        submit: if priority {
+            SubmitOptions::interactive().with_max_new_tokens(8)
+        } else {
+            SubmitOptions::bulk().with_max_new_tokens(8)
+        },
+    };
+
+    // Acceptance smoke: preemption within 1 step, bitwise outputs, honest
+    // FIFO baseline.
+    {
+        let fast_ref = decode_encoded(&store, &params, &cfg, &enc_outs[8], 9, fast_opts);
+        let bulk_ref = decode_encoded(&store, &params, &cfg, &enc_outs[0], 65, bulk_opts);
+        let mut dec = BatchDecoder::new(&store, &params, &cfg, 8);
+        let bulk_ids: Vec<_> = enc_outs[..8]
+            .iter()
+            .map(|e| dec.submit(bulk_req(e)))
+            .collect();
+        for _ in 0..2 {
+            dec.step();
+        }
+        assert_eq!(dec.active(), 8, "bulk saturates every lane");
+        let fast = dec.submit(fast_req(true));
+        dec.step();
+        let PollResult::Decoding { tokens_so_far } = dec.poll(fast) else {
+            panic!("interactive request must be decoding one step after submit");
+        };
+        assert_eq!(tokens_so_far.len(), 1, "began decoding within 1 step");
+        assert_eq!(dec.preemptions(), 1, "one bulk lane yielded");
+        dec.run();
+        let PollResult::Done { ids, telemetry } = dec.poll(fast) else {
+            panic!("interactive finished");
+        };
+        assert_eq!(ids, fast_ref, "preempting path stays bitwise-identical");
+        assert_eq!(telemetry.queue_wait_steps, 0, "zero queue-wait steps");
+        assert_eq!(
+            dec.poll(bulk_ids[0]).into_output().expect("bulk finished"),
+            bulk_ref,
+            "preempted-and-resumed bulk tokens unchanged"
+        );
+
+        // FIFO baseline: the same request in the bulk class waits for a
+        // free lane behind the 64-token jobs.
+        let mut fifo = BatchDecoder::new(&store, &params, &cfg, 8);
+        for e in &enc_outs[..8] {
+            fifo.submit(bulk_req(e));
+        }
+        for _ in 0..2 {
+            fifo.step();
+        }
+        let slow = fifo.submit(fast_req(false));
+        let mut waited = 0u64;
+        while matches!(fifo.poll(slow), PollResult::Queued { .. }) {
+            fifo.step();
+            waited += 1;
+        }
+        assert!(
+            waited > 10,
+            "FIFO baseline must wait many steps for a lane (waited {waited})"
+        );
+    }
+
+    let mut g = c.benchmark_group("decode_priority");
+    g.sample_size(10);
+    // Long-lived schedulers (weights pack once, as in a service); each
+    // iteration floods the lanes, completes the late request, and cancels
+    // the leftover bulk work so the next iteration starts clean.
+    let run_iteration = |dec: &mut BatchDecoder, priority: bool| {
+        let bulk_ids: Vec<_> = enc_outs[..8]
+            .iter()
+            .map(|e| dec.submit(bulk_req(e)))
+            .collect();
+        for _ in 0..2 {
+            dec.step();
+        }
+        let fast = dec.submit(fast_req(priority));
+        loop {
+            dec.step();
+            if let PollResult::Done { ids, .. } = dec.poll(fast) {
+                black_box(ids);
+                break;
+            }
+        }
+        for id in bulk_ids {
+            dec.cancel(id);
+            black_box(dec.poll(id)); // drain Done/Cancelled markers
+        }
+    };
+    let mut dec = BatchDecoder::new(&store, &params, &cfg, 8);
+    g.bench_function("priority_interactive_8tok_under_bulk8", |b| {
+        b.iter(|| run_iteration(&mut dec, true))
+    });
+    let mut fifo = BatchDecoder::new(&store, &params, &cfg, 8);
+    g.bench_function("fifo_interactive_8tok_under_bulk8", |b| {
+        b.iter(|| run_iteration(&mut fifo, false))
     });
     g.finish();
 }
@@ -556,6 +722,7 @@ criterion_group!(
     bench_batch_decode,
     bench_batch_beam,
     bench_decode_quant,
+    bench_decode_priority,
     bench_cache_fork,
     bench_suggestion_latency
 );

@@ -33,8 +33,8 @@ use mpirical_model::decode::encode_source as model_encode;
 use mpirical_model::vocab::{EOS, SEP, SOS};
 use mpirical_model::{
     decode_encoded_prompted_quant, BatchDecoder, BatchRequest, DecodeOptions, DecoderWeights,
-    EpochStats, ModelConfig, Precision, QuantDecoderWeights, Seq2SeqModel, TrainConfig,
-    TrainReport, DEFAULT_MAX_BATCH,
+    EpochStats, ModelConfig, Precision, QuantDecoderWeights, Seq2SeqModel, SubmitOptions,
+    TrainConfig, TrainReport, DEFAULT_MAX_BATCH,
 };
 use serde::{Deserialize, Serialize};
 use std::borrow::Cow;
@@ -279,11 +279,21 @@ impl MpiRical {
     /// Build the [`BatchRequest`] for one source: tolerant-parse + encode,
     /// run the encoder, attach the artifact's [`DecodeOptions`] (beam
     /// included — the lockstep scheduler decodes beam requests natively).
-    /// The single construction point shared by
+    /// Submitted at the default scheduling options
+    /// ([`Priority::Interactive`](mpirical_model::Priority::Interactive),
+    /// no token cap); see [`batch_request_with`](Self::batch_request_with).
+    pub fn batch_request(&self, c_source: &str) -> BatchRequest {
+        self.batch_request_with(c_source, SubmitOptions::default())
+    }
+
+    /// [`batch_request`](Self::batch_request) with explicit
+    /// [`SubmitOptions`] — the priority class and optional generated-token
+    /// cap ride the request into the scheduler's admission queue. The
+    /// single construction point shared by
     /// [`predict_ids_batch`](Self::predict_ids_batch) and
     /// [`SuggestService`](crate::service::SuggestService), so the one-shot
     /// and daemon serving paths can never drift apart.
-    pub fn batch_request(&self, c_source: &str) -> BatchRequest {
+    pub fn batch_request_with(&self, c_source: &str, submit: SubmitOptions) -> BatchRequest {
         let m = &self.model;
         let src = self.encode_source(c_source);
         let enc_out = model_encode(&m.store, &m.params, &m.cfg, &src);
@@ -292,6 +302,7 @@ impl MpiRical {
             prompt: vec![SOS],
             max_len: m.cfg.max_dec_len,
             opts: self.decode,
+            submit,
         }
     }
 

@@ -21,7 +21,8 @@
 //!   line;
 //! * [`MpiRical::suggest_batch`] / [`SuggestService`] — N concurrent
 //!   suggestion requests through the batched lockstep decoder (continuous
-//!   batching; identical outputs to `suggest`);
+//!   batching; identical outputs to `suggest`), with request priorities +
+//!   preemption, streaming polls, and cancellation (serving API v2);
 //! * [`MpiRical::translate`] — full predicted parallel program;
 //! * [`evaluate_dataset`] — Table II metrics over a test split;
 //! * [`benchmark11`] — the eleven numerical-computation programs of
@@ -57,9 +58,11 @@ pub use baseline::{evaluate_baseline, insert_scaffolding, rule_based_predict};
 pub use benchmark11::{benchmark_programs, validate_program, BenchProgram, Validation};
 pub use encode::{build_vocab, encode_dataset, encode_record, InputFormat};
 pub use evaluate::{evaluate_dataset, evaluate_dataset_with_tolerance, EvalReport, Prediction};
-pub use mpirical_model::{PoolStats, Precision};
+pub use mpirical_model::{
+    PollResult, PoolStats, Precision, Priority, RequestId, RequestTelemetry, SubmitOptions,
+};
 pub use report::{histogram, render_table_two, table, two_column_table};
-pub use service::SuggestService;
+pub use service::{SuggestPoll, SuggestService};
 pub use tokenize::{calls_from_ids, calls_from_tokens, detokenize, tokenize_code};
 
 // Re-export the substrate crates under their paper roles for discoverability.

@@ -9,6 +9,23 @@
 //! requests retire continuously so a short completion never waits on a long
 //! one.
 //!
+//! # Serving API v2: priorities, streaming polls, cancellation
+//!
+//! [`submit_with`](SuggestService::submit_with) carries
+//! [`SubmitOptions`] — a [`Priority`](mpirical_model::Priority) class plus an optional generated-token
+//! cap — into the scheduler: an [`Interactive`](mpirical_model::Priority::Interactive)
+//! keystroke request preempts [`Bulk`](mpirical_model::Priority::Bulk) re-index lanes and
+//! starts decoding within one step (the preempted bulk work pauses with its
+//! KV pages intact and resumes unchanged). [`poll`](SuggestService::poll)
+//! returns a typed [`SuggestPoll`]: queue position, streaming partial
+//! suggestions while decoding, the finished suggestions plus scheduling
+//! telemetry ([`RequestTelemetry`]: queue-wait steps, decode steps,
+//! preemptions), a cancellation marker, or `Unknown` for a ticket the
+//! service never issued (so a daemon can detect client-side ticket bugs —
+//! the v1 `Option` return conflated all of these).
+//! [`cancel`](SuggestService::cancel) retires a request from the queue or
+//! mid-flight, returning its pages to the pool.
+//!
 //! The service decodes every request with the artifact's full
 //! [`DecodeOptions`](mpirical_model::DecodeOptions) — a beam-configured
 //! artifact runs **batched beam search** in the same lockstep loop (each
@@ -20,24 +37,78 @@
 //! so a daemon can export serving-memory telemetry.
 //!
 //! ```no_run
-//! use mpirical::{MpiRical, SuggestService};
+//! use mpirical::{MpiRical, SuggestPoll, SubmitOptions, SuggestService};
 //!
 //! let assistant = MpiRical::load("model.json").unwrap();
 //! let mut service = SuggestService::new(&assistant);
-//! let a = service.submit("int main() { int rank; return 0; }");
-//! let b = service.submit("int main() { double local = 0.0; return 0; }");
-//! service.run(); // or: step() inside the daemon's event loop
-//! for ticket in [a, b] {
-//!     for s in service.poll(ticket).unwrap() {
-//!         println!("insert {} at line {}", s.function, s.line);
+//! // A background re-index job and a keystroke-triggered request:
+//! let reindex = service.submit_with(
+//!     "int main() { double local = 0.0; return 0; }",
+//!     SubmitOptions::bulk(),
+//! );
+//! let keystroke = service.submit("int main() { int rank; return 0; }");
+//! loop {
+//!     if service.step() == 0 { break; }
+//!     // Streaming: partial suggestions are visible while decoding.
+//!     if let SuggestPoll::Decoding { partial } = service.poll(keystroke) {
+//!         println!("so far: {} suggestion(s)", partial.len());
 //!     }
 //! }
+//! match service.poll(keystroke) {
+//!     SuggestPoll::Done { suggestions, telemetry } => {
+//!         for s in &suggestions {
+//!             println!("insert {} at line {}", s.function, s.line);
+//!         }
+//!         println!("queue wait: {} steps", telemetry.queue_wait_steps);
+//!     }
+//!     other => panic!("unexpected state: {other:?}"),
+//! }
+//! service.cancel(reindex); // the editor closed; stop paying for it
 //! println!("peak KV bytes: {}", service.pool_stats().peak_bytes());
 //! ```
 
 use crate::assistant::{MpiRical, Suggestion};
 use crate::tokenize::calls_from_ids;
-use mpirical_model::{BatchDecoder, PoolStats, RequestId, DEFAULT_MAX_BATCH};
+use mpirical_model::{
+    BatchDecoder, PollResult, PoolStats, RequestId, RequestTelemetry, SubmitOptions,
+    DEFAULT_MAX_BATCH,
+};
+
+/// Typed lifecycle state of a suggestion request — the [`Suggestion`]-level
+/// mirror of the scheduler's [`PollResult`] (see
+/// [`SuggestService::poll`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SuggestPoll {
+    /// Waiting for lanes; `position` counts requests admitted first
+    /// (0 = next). Preempted requests re-enter this state, pages intact.
+    Queued { position: usize },
+    /// Decoding; `partial` holds the suggestions extractable from the
+    /// tokens generated so far. For a greedy artifact the underlying
+    /// token prefix is append-only, so partials only grow; for a beam
+    /// artifact they track the *current best* hypothesis, which can
+    /// switch between polls — treat each poll as a fresh snapshot.
+    Decoding { partial: Vec<Suggestion> },
+    /// Finished. Redeems once; later polls report `Unknown`.
+    Done {
+        suggestions: Vec<Suggestion>,
+        telemetry: RequestTelemetry,
+    },
+    /// Retired by [`SuggestService::cancel`]. Redeems once.
+    Cancelled,
+    /// Not a live ticket: never issued by this service, or already
+    /// redeemed.
+    Unknown,
+}
+
+impl SuggestPoll {
+    /// The finished suggestions, if `Done` — the v1 `Option` shape.
+    pub fn into_suggestions(self) -> Option<Vec<Suggestion>> {
+        match self {
+            SuggestPoll::Done { suggestions, .. } => Some(suggestions),
+            _ => None,
+        }
+    }
+}
 
 /// Submit/poll scheduler turning an [`MpiRical`] artifact into a shared
 /// generation backend (see module docs).
@@ -90,17 +161,37 @@ impl<'m> SuggestService<'m> {
         SuggestService { assistant, decoder }
     }
 
-    /// Queue a raw (possibly mid-edit) C buffer for suggestion. The
-    /// front-end work — tolerant parse, standardization, X-SBT, encoder
-    /// forward pass — happens here (via [`MpiRical::batch_request`], the
-    /// same construction `suggest_batch` uses); decoding happens across
-    /// subsequent [`step`](Self::step) calls.
+    /// Queue a raw (possibly mid-edit) C buffer for suggestion at the
+    /// default scheduling options ([`Priority::Interactive`](mpirical_model::Priority::Interactive), no token
+    /// cap). The front-end work — tolerant parse, standardization, X-SBT,
+    /// encoder forward pass — happens here (via
+    /// [`MpiRical::batch_request`], the same construction `suggest_batch`
+    /// uses); decoding happens across subsequent [`step`](Self::step)
+    /// calls.
     pub fn submit(&mut self, c_source: &str) -> RequestId {
-        self.decoder.submit(self.assistant.batch_request(c_source))
+        self.submit_with(c_source, SubmitOptions::default())
+    }
+
+    /// [`submit`](Self::submit) with explicit [`SubmitOptions`]: a
+    /// [`Priority`](mpirical_model::Priority) class (bulk re-index jobs yield their lanes to
+    /// interactive keystroke requests) and an optional cap on generated
+    /// tokens.
+    pub fn submit_with(&mut self, c_source: &str, submit: SubmitOptions) -> RequestId {
+        self.decoder
+            .submit(self.assistant.batch_request_with(c_source, submit))
+    }
+
+    /// Cancel a request: removed from the queue or from its lanes
+    /// mid-flight, every KV page returned to the pool. Returns `true` if
+    /// it was still pending (it will poll [`SuggestPoll::Cancelled`]
+    /// once); `false` if already finished, cancelled, or unknown.
+    pub fn cancel(&mut self, id: RequestId) -> bool {
+        self.decoder.cancel(id)
     }
 
     /// Advance every in-flight request by one token (admitting queued
-    /// requests into free lanes first). Returns the number of requests
+    /// requests into free lanes first, priority-first — an interactive
+    /// submission may preempt bulk lanes). Returns the number of requests
     /// advanced; `0` means the service is idle.
     pub fn step(&mut self) -> usize {
         self.decoder.step()
@@ -116,6 +207,23 @@ impl<'m> SuggestService<'m> {
         self.decoder.pending()
     }
 
+    /// Bulk lane preemptions performed so far (groups that yielded lanes
+    /// to interactive arrivals and later resumed).
+    pub fn preemptions(&self) -> u64 {
+        self.decoder.preemptions()
+    }
+
+    /// The aging bound in scheduler steps: queued bulk work is promoted to
+    /// the interactive class after waiting this long (starvation bound).
+    pub fn aging_steps(&self) -> u64 {
+        self.decoder.aging_steps()
+    }
+
+    /// Tune the aging bound (see [`aging_steps`](Self::aging_steps)).
+    pub fn set_aging_steps(&mut self, steps: u64) {
+        self.decoder.set_aging_steps(steps)
+    }
+
     /// Telemetry of the scheduler's page pool: live/peak/shared page
     /// counts, COW copy count, and byte sizes — the serving-memory numbers
     /// a daemon exports.
@@ -129,16 +237,41 @@ impl<'m> SuggestService<'m> {
         self.decoder.prefix_hits()
     }
 
-    /// Take a finished request's suggestions. `None` while it is still
-    /// queued or decoding; each ticket redeems once.
-    pub fn poll(&mut self, id: RequestId) -> Option<Vec<Suggestion>> {
-        let ids = self.decoder.poll(id)?;
-        Some(
-            calls_from_ids(&ids, &self.assistant.model.vocab)
-                .into_iter()
-                .map(Suggestion::from)
-                .collect(),
-        )
+    /// Report a request's lifecycle state (see [`SuggestPoll`]). `Done`
+    /// and `Cancelled` redeem **once**; `Queued`/`Decoding` polls repeat
+    /// freely — a streaming client polls every step and renders the
+    /// growing `partial` suggestions.
+    pub fn poll(&mut self, id: RequestId) -> SuggestPoll {
+        match self.decoder.poll(id) {
+            PollResult::Queued { position } => SuggestPoll::Queued { position },
+            PollResult::Decoding { tokens_so_far } => SuggestPoll::Decoding {
+                partial: self.suggestions_from(&tokens_so_far),
+            },
+            PollResult::Done { ids, telemetry } => SuggestPoll::Done {
+                suggestions: self.suggestions_from(&ids),
+                telemetry,
+            },
+            PollResult::Cancelled => SuggestPoll::Cancelled,
+            PollResult::Unknown => SuggestPoll::Unknown,
+        }
+    }
+
+    /// Deprecated v1 shape of [`poll`](Self::poll): `Some(suggestions)`
+    /// once finished, `None` otherwise — conflating still-pending,
+    /// cancelled, and unknown tickets (the ambiguity [`SuggestPoll`]
+    /// fixes). Consumes a `Cancelled` marker silently.
+    #[deprecated(note = "use `poll`, which returns a typed `SuggestPoll` \
+                         (queue position, streaming partial suggestions, \
+                         telemetry, cancellation, unknown-ticket detection)")]
+    pub fn poll_v1(&mut self, id: RequestId) -> Option<Vec<Suggestion>> {
+        self.poll(id).into_suggestions()
+    }
+
+    fn suggestions_from(&self, ids: &[usize]) -> Vec<Suggestion> {
+        calls_from_ids(ids, &self.assistant.model.vocab)
+            .into_iter()
+            .map(Suggestion::from)
+            .collect()
     }
 }
 
@@ -180,6 +313,14 @@ mod tests {
             .clone()
     }
 
+    /// Redeem a ticket that must be finished.
+    fn take(service: &mut SuggestService, id: RequestId) -> Vec<Suggestion> {
+        match service.poll(id) {
+            SuggestPoll::Done { suggestions, .. } => suggestions,
+            other => panic!("{id} not finished: {other:?}"),
+        }
+    }
+
     #[test]
     fn service_matches_direct_suggest() {
         let assistant = tiny_assistant();
@@ -193,22 +334,40 @@ mod tests {
         assert_eq!(service.pending(), 3);
         service.run();
         for (ticket, buffer) in tickets.into_iter().zip(buffers) {
-            let batched = service.poll(ticket).expect("finished");
+            let batched = take(&mut service, ticket);
             assert_eq!(batched, assistant.suggest(buffer), "buffer {buffer:?}");
-            assert_eq!(service.poll(ticket), None, "single redemption");
+            assert_eq!(service.poll(ticket), SuggestPoll::Unknown, "redeems once");
         }
     }
 
     #[test]
-    fn incremental_stepping_makes_progress() {
+    fn incremental_stepping_reports_lifecycle_states() {
         let assistant = tiny_assistant();
         let mut service = SuggestService::new(&assistant);
         let t = service.submit("int main() { int rank; return 0; }");
-        assert!(service.poll(t).is_none(), "nothing decoded yet");
-        // Drive manually, as a daemon event loop would.
-        while service.step() > 0 {}
-        assert!(service.poll(t).is_some());
+        assert_eq!(
+            service.poll(t),
+            SuggestPoll::Queued { position: 0 },
+            "nothing decoded yet — and the state says why"
+        );
+        // Drive manually, as a daemon event loop would: poll every step,
+        // taking the result the moment it appears (a `Done` poll redeems
+        // the ticket, so the client must capture it then).
+        let mut saw_decoding = false;
+        let mut finished = None;
+        while service.step() > 0 {
+            match service.poll(t) {
+                SuggestPoll::Decoding { .. } => saw_decoding = true,
+                SuggestPoll::Done { telemetry, .. } => finished = Some(telemetry),
+                other => panic!("unexpected state mid-decode: {other:?}"),
+            }
+        }
+        assert!(saw_decoding, "streaming polls observed the decode");
+        let telemetry = finished.expect("the retiring step reported Done");
+        assert_eq!(telemetry.queue_wait_steps, 0, "admitted on the first step");
+        assert!(telemetry.decode_steps > 0);
         assert_eq!(service.pending(), 0);
+        assert_eq!(service.poll(t), SuggestPoll::Unknown, "already redeemed");
     }
 
     /// A finished ticket stays redeemable while later requests churn
@@ -224,23 +383,41 @@ mod tests {
         let mid = service.submit("int main() { double local = 0.0; return 0; }");
         let late = service.submit("int main() { return 0; }");
         service.run();
-        let got = service.poll(early).expect("early ticket survives churn");
+        let got = take(&mut service, early);
         assert_eq!(got, assistant.suggest("int main() { int rank; return 0; }"));
-        assert!(service.poll(mid).is_some());
-        assert!(service.poll(late).is_some());
+        assert!(matches!(service.poll(mid), SuggestPoll::Done { .. }));
+        assert!(matches!(service.poll(late), SuggestPoll::Done { .. }));
     }
 
-    /// Duplicate polls: the second redemption returns `None` for every
-    /// ticket, finished or never-submitted.
+    /// The poll-ambiguity fix at the service level: unknown tickets report
+    /// `Unknown`, redeemed tickets report `Unknown`, pending tickets
+    /// report `Queued`/`Decoding` — all distinguishable.
     #[test]
-    fn duplicate_and_unknown_polls_return_none() {
+    fn duplicate_and_unknown_polls_are_distinguishable() {
         let assistant = tiny_assistant();
         let mut service = SuggestService::new(&assistant);
         let t = service.submit("int main() { int rank; return 0; }");
         service.run();
-        assert!(service.poll(t).is_some());
-        assert!(service.poll(t).is_none(), "second redemption");
-        assert!(service.poll(t + 1000).is_none(), "unknown ticket");
+        assert!(matches!(service.poll(t), SuggestPoll::Done { .. }));
+        assert_eq!(service.poll(t), SuggestPoll::Unknown, "second redemption");
+        let bogus = RequestId::from_raw(t.raw() + 1000);
+        assert_eq!(service.poll(bogus), SuggestPoll::Unknown, "unknown ticket");
+    }
+
+    /// The deprecated v1 wrapper keeps the old `Option` shape for one PR.
+    #[test]
+    #[allow(deprecated)]
+    fn poll_v1_wrapper_keeps_the_old_shape() {
+        let assistant = tiny_assistant();
+        let mut service = SuggestService::new(&assistant);
+        let t = service.submit("int main() { int rank; return 0; }");
+        assert!(service.poll_v1(t).is_none(), "pending maps to None");
+        service.run();
+        assert_eq!(
+            service.poll_v1(t).expect("finished"),
+            assistant.suggest("int main() { int rank; return 0; }")
+        );
+        assert!(service.poll_v1(t).is_none(), "redeems once");
     }
 
     /// Overflowing the queue (more requests than lanes) never reuses a
@@ -263,12 +440,114 @@ mod tests {
         service.run();
         // Redeem out of submission order.
         for &i in &[3usize, 0, 4, 1, 2] {
-            let got = service.poll(tickets[i]).expect("each ticket redeems");
+            let got = take(&mut service, tickets[i]);
             assert_eq!(got, assistant.suggest(buffers[i]), "buffer {i}");
         }
         for t in tickets {
-            assert!(service.poll(t).is_none(), "all redeemed already");
+            assert_eq!(service.poll(t), SuggestPoll::Unknown, "all redeemed");
         }
+    }
+
+    /// Priorities through the service: a bulk re-index job yields its lane
+    /// to a keystroke-triggered request, which starts within one step and
+    /// reports zero queue wait; the bulk job resumes and its suggestions
+    /// are unchanged.
+    #[test]
+    fn interactive_submission_preempts_bulk_job() {
+        let assistant = tiny_assistant();
+        let bulk_buf = "int main() { double local = 0.0; return 0; }";
+        let key_buf = "int main() { int rank; return 0; }";
+        let mut service = SuggestService::with_max_batch(&assistant, 1);
+        let bulk = service.submit_with(bulk_buf, SubmitOptions::bulk());
+        for _ in 0..2 {
+            service.step();
+        }
+        assert!(matches!(service.poll(bulk), SuggestPoll::Decoding { .. }));
+        let keystroke = service.submit(key_buf);
+        service.step();
+        assert!(
+            matches!(service.poll(keystroke), SuggestPoll::Decoding { .. }),
+            "keystroke request decodes on the very next step"
+        );
+        assert!(
+            matches!(service.poll(bulk), SuggestPoll::Queued { .. }),
+            "bulk job paused, not lost"
+        );
+        assert_eq!(service.preemptions(), 1);
+        service.run();
+        let SuggestPoll::Done {
+            suggestions,
+            telemetry,
+        } = service.poll(keystroke)
+        else {
+            panic!("keystroke finished");
+        };
+        assert_eq!(suggestions, assistant.suggest(key_buf));
+        assert_eq!(telemetry.queue_wait_steps, 0);
+        let SuggestPoll::Done {
+            suggestions,
+            telemetry,
+        } = service.poll(bulk)
+        else {
+            panic!("bulk finished");
+        };
+        assert_eq!(
+            suggestions,
+            assistant.suggest(bulk_buf),
+            "preempt/resume never changes output"
+        );
+        assert_eq!(telemetry.preemptions, 1);
+        assert_eq!(service.pool_stats().pages_live, 0);
+    }
+
+    /// Cancellation through the service: a queued and a mid-flight request
+    /// both retire as `Cancelled`, pages drain, and survivors are
+    /// unaffected.
+    #[test]
+    fn cancel_retires_requests_and_survivors_match() {
+        let assistant = tiny_assistant();
+        let buffers = [
+            "int main() { int rank; return 0; }",
+            "int main() { double local = 0.0; return 0; }",
+            "int main() { int size; return 0; }",
+        ];
+        let mut service = SuggestService::with_max_batch(&assistant, 1);
+        let keep = service.submit(buffers[0]);
+        let doomed_mid = service.submit(buffers[1]);
+        let doomed_queued = service.submit(buffers[2]);
+        service.step();
+        assert!(service.cancel(doomed_queued), "queued cancel");
+        // Let the first finish so the second starts decoding, then cancel
+        // it mid-flight.
+        while matches!(service.poll(doomed_mid), SuggestPoll::Queued { .. }) {
+            service.step();
+        }
+        assert!(service.cancel(doomed_mid), "mid-flight cancel");
+        service.run();
+        assert_eq!(service.poll(doomed_mid), SuggestPoll::Cancelled);
+        assert_eq!(service.poll(doomed_queued), SuggestPoll::Cancelled);
+        assert_eq!(take(&mut service, keep), assistant.suggest(buffers[0]));
+        assert!(!service.cancel(keep), "finished requests refuse cancel");
+        assert_eq!(service.pool_stats().pages_live, 0, "no leaked pages");
+    }
+
+    /// `max_new_tokens` flows through `submit_with` to the scheduler.
+    #[test]
+    fn token_cap_flows_through_submit_with() {
+        let assistant = tiny_assistant();
+        let mut service = SuggestService::new(&assistant);
+        let capped = service.submit_with(
+            "int main() { int rank; return 0; }",
+            SubmitOptions::interactive().with_max_new_tokens(0),
+        );
+        service.run();
+        let SuggestPoll::Done { suggestions, .. } = service.poll(capped) else {
+            panic!("finished");
+        };
+        assert!(
+            suggestions.is_empty(),
+            "a zero-token cap decodes nothing: {suggestions:?}"
+        );
     }
 
     /// An `Int8` artifact serves through the quantized lockstep kernels:
@@ -292,7 +571,7 @@ mod tests {
         let tickets: Vec<_> = buffers.iter().map(|b| service.submit(b)).collect();
         service.run();
         for (t, b) in tickets.into_iter().zip(buffers) {
-            assert_eq!(service.poll(t).unwrap(), assistant.suggest(b), "{b:?}");
+            assert_eq!(take(&mut service, t), assistant.suggest(b), "{b:?}");
         }
         assert_eq!(service.pool_stats().pages_live, 0);
     }
@@ -334,7 +613,7 @@ mod tests {
         let tickets: Vec<_> = buffers.iter().map(|b| service.submit(b)).collect();
         service.run();
         for (t, b) in tickets.into_iter().zip(buffers) {
-            assert_eq!(service.poll(t).unwrap(), assistant.suggest(b), "{b:?}");
+            assert_eq!(take(&mut service, t), assistant.suggest(b), "{b:?}");
         }
         let stats = service.pool_stats();
         assert!(stats.pages_peak > 0, "beam decoding allocated pages");
@@ -345,6 +624,6 @@ mod tests {
         let again = service.submit(buffers[0]);
         service.run();
         assert_eq!(service.prefix_hits(), 1);
-        assert_eq!(service.poll(again).unwrap(), assistant.suggest(buffers[0]));
+        assert_eq!(take(&mut service, again), assistant.suggest(buffers[0]));
     }
 }

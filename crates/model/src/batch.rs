@@ -1,4 +1,5 @@
-//! Batched multi-request decoding with continuous batching — the serving
+//! Batched multi-request decoding with continuous batching, request
+//! priorities, preemption, and a typed request lifecycle — the serving
 //! layer the ROADMAP's "heavy traffic" north star asks for.
 //!
 //! The KV-cached engine in [`infer`](crate::infer) decodes one generation at
@@ -9,6 +10,45 @@
 //! into packed-matrix kernels so each weight matrix is streamed once per
 //! step instead of once per request.
 //!
+//! # Request lifecycle (serving API v2)
+//!
+//! Every submitted request moves through a typed state machine that
+//! [`poll`](BatchDecoder::poll) reports as a [`PollResult`]:
+//!
+//! ```text
+//!                 admit (priority order)          retire
+//! submit ──▶ Queued ───────────────▶ Decoding ───────────▶ Done
+//!              ▲                        │  ▲
+//!              │   preempt (bulk lanes  │  │ resume: lane reassignment,
+//!              └────────yield)──────────┘  │ K/V pages stay alive (COW
+//!              cancel ──▶ Cancelled ◀── cancel   refcounts, no re-prefill)
+//! ```
+//!
+//! * **Typed submission** — [`BatchRequest`] carries [`SubmitOptions`]: a
+//!   [`Priority`] ([`Interactive`](Priority::Interactive) keystroke-latency
+//!   work vs [`Bulk`](Priority::Bulk) background re-indexing) and an
+//!   optional per-request cap on *generated* tokens.
+//! * **Priority admission** — the queue is a priority queue: highest
+//!   effective class first, FIFO ([`RequestId`] order) within a class. An
+//!   **aging** rule promotes any request that has waited
+//!   [`aging_steps`](BatchDecoder::aging_steps) scheduler steps to the
+//!   interactive class (and admits it preemption-immune), so bulk work can
+//!   never starve.
+//! * **Preemption** — when an interactive-class candidate (a fresh
+//!   interactive submission, or a request promoted by aging) finds every
+//!   lane held and unprotected bulk groups are running, the
+//!   youngest-admitted of them yield their lanes and re-enter the queue
+//!   *paused*: their paged KV caches stay alive (pages are refcounted), so
+//!   resuming is a lane reassignment, not a re-prefill, and the final
+//!   tokens are unchanged.
+//! * **Typed results + control** — [`poll`](BatchDecoder::poll)
+//!   distinguishes `Queued { position }`, `Decoding { tokens_so_far }`
+//!   (streaming partial output), `Done { ids, telemetry }`, `Cancelled`,
+//!   and `Unknown` (a ticket this scheduler never issued, or one already
+//!   redeemed — a daemon can now detect client bugs).
+//!   [`cancel`](BatchDecoder::cancel) retires a request from the queue or
+//!   mid-flight, returning every page it held to the pool.
+//!
 //! # Continuous batching
 //!
 //! The batch is not fixed at submission time. Requests queue via
@@ -17,12 +57,6 @@
 //! length cap) retires immediately, freeing its lanes for the next queued
 //! request **mid-flight** — no head-of-line blocking on the slowest
 //! generation, and a late `submit` joins the very next lockstep step.
-//!
-//! ```text
-//! submit ──▶ queue ──▶ lanes (≤ max_batch) ──▶ retired results
-//!                       ▲       │ step(): one token per live hypothesis
-//!                       └───────┘ free lanes → admit next queued request
-//! ```
 //!
 //! # Batched beam search
 //!
@@ -47,20 +81,23 @@
 //!
 //! # Equivalence
 //!
-//! Batching is a scheduling decision, not a numerical one: each hypothesis
-//! owns its [`DecoderCache`], per-element accumulation order in the fused
-//! kernels matches the single-request `vecmat` path exactly, token
-//! selection shares greedy's argmax and beam's expansion code, and paged
-//! storage is bitwise-equal to the contiguous reference. A request decoded
-//! in a full batch returns **the same tokens** as
+//! Batching — and now scheduling order, preemption, and cancellation of
+//! *other* requests — is a scheduling decision, not a numerical one: each
+//! hypothesis owns its [`DecoderCache`], per-element accumulation order in
+//! the fused kernels matches the single-request `vecmat` path exactly,
+//! token selection shares greedy's argmax and beam's expansion code, and
+//! paged storage is bitwise-equal to the contiguous reference. A request
+//! decoded in a full batch — even one preempted and resumed mid-flight —
+//! returns **the same tokens** as
 //! [`decode_encoded_prompted`](crate::decode::decode_encoded_prompted)
 //! would alone, for any beam width; the tests here and the property
-//! harness in `tests/paged_cache_props.rs` assert it.
+//! harnesses in `tests/paged_cache_props.rs` and `tests/serving_props.rs`
+//! assert it.
 //!
 //! # Example
 //!
 //! ```
-//! use mpirical_model::{BatchDecoder, BatchRequest, DecodeOptions, ModelConfig};
+//! use mpirical_model::{BatchDecoder, BatchRequest, DecodeOptions, ModelConfig, PollResult};
 //! use mpirical_model::decode::{decode_encoded, encode_source};
 //! use mpirical_model::transformer::build_params;
 //! use mpirical_tensor::ParamStore;
@@ -72,16 +109,24 @@
 //! let enc = encode_source(&store, &params, &cfg, &[1, 6, 7, 2]);
 //!
 //! let mut dec = BatchDecoder::new(&store, &params, &cfg, 4);
+//! // A background job and a keystroke-triggered request share the batch;
+//! // the interactive one is admitted first (and would preempt bulk lanes
+//! // if the scheduler were saturated).
+//! let bulk = dec.submit(BatchRequest::greedy(enc.clone(), 12).bulk());
 //! let a = dec.submit(BatchRequest::greedy(enc.clone(), 12));
-//! let b = dec.submit(BatchRequest::beam(enc.clone(), 12, 3)); // beam joins the same batch
+//! let b = dec.submit(BatchRequest::beam(enc.clone(), 12, 3));
 //! dec.run();
 //!
 //! // Batched outputs are exactly the single-request outputs.
 //! let greedy = decode_encoded(&store, &params, &cfg, &enc, 12, DecodeOptions::default());
 //! let beamed = decode_encoded(&store, &params, &cfg, &enc, 12,
 //!     DecodeOptions { beam: 3, min_len: 0, ..Default::default() });
-//! assert_eq!(dec.poll(a).unwrap(), greedy);
-//! assert_eq!(dec.poll(b).unwrap(), beamed);
+//! let PollResult::Done { ids, telemetry } = dec.poll(a) else { panic!("retired") };
+//! assert_eq!(ids, greedy);
+//! assert!(telemetry.decode_steps > 0);
+//! assert_eq!(dec.poll(b).into_output().unwrap(), beamed);
+//! assert_eq!(dec.poll(bulk).into_output().unwrap(), greedy);
+//! assert!(matches!(dec.poll(a), PollResult::Unknown), "ticket already redeemed");
 //! ```
 
 use crate::config::ModelConfig;
@@ -93,24 +138,175 @@ use crate::vocab::{EOS, SOS};
 use crate::DecodeOptions;
 use mpirical_tensor::{ParamStore, Tensor};
 use std::borrow::Cow;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
 
 /// Ticket identifying a submitted request; redeem with
 /// [`BatchDecoder::poll`].
-pub type RequestId = u64;
+///
+/// A newtype (not a bare `u64`) so tickets cannot be confused with counts,
+/// indices, or lane numbers at compile time. Construct one only by
+/// submitting a request; [`raw`](Self::raw)/[`from_raw`](Self::from_raw)
+/// exist for daemons that persist tickets across process boundaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RequestId(u64);
+
+impl RequestId {
+    /// The underlying ticket number (for logging / persistence).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuild a ticket from a persisted number. Polling a fabricated id
+    /// is safe: the scheduler reports it as [`PollResult::Unknown`].
+    pub fn from_raw(raw: u64) -> RequestId {
+        RequestId(raw)
+    }
+}
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "req#{}", self.0)
+    }
+}
+
+/// Scheduling class of a request. Ordered: `Interactive > Bulk`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Priority {
+    /// Background work (corpus re-index, batch generation): decodes when
+    /// lanes are free, yields its lanes to interactive arrivals, and is
+    /// protected from starvation by the aging rule.
+    Bulk,
+    /// Latency-sensitive work (a keystroke-triggered suggestion): admitted
+    /// before queued bulk work and allowed to preempt running bulk lanes.
+    /// The default, so v1 `submit` callers keep their FIFO behaviour.
+    #[default]
+    Interactive,
+}
+
+/// Per-request submission knobs, carried by [`BatchRequest`] and flowing
+/// through `MpiRical::batch_request` → [`BatchDecoder::submit`] and the
+/// service layer's `submit_with`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SubmitOptions {
+    /// Scheduling class (see [`Priority`]).
+    pub priority: Priority,
+    /// Optional cap on **generated** tokens, applied on top of the
+    /// request's `max_len` and the model's `max_dec_len` (an interactive
+    /// client often wants only the first few tokens fast).
+    pub max_new_tokens: Option<usize>,
+}
+
+impl SubmitOptions {
+    /// Interactive priority, no token cap (the default).
+    pub fn interactive() -> SubmitOptions {
+        SubmitOptions::default()
+    }
+
+    /// Bulk priority, no token cap.
+    pub fn bulk() -> SubmitOptions {
+        SubmitOptions {
+            priority: Priority::Bulk,
+            max_new_tokens: None,
+        }
+    }
+
+    /// Cap generated tokens at `n`.
+    pub fn with_max_new_tokens(mut self, n: usize) -> SubmitOptions {
+        self.max_new_tokens = Some(n);
+        self
+    }
+}
+
+/// Per-request scheduling telemetry, reported with the finished output so
+/// a serving daemon can export queue-health metrics per class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RequestTelemetry {
+    /// Scheduler steps that ran while this request sat in the queue
+    /// (initial wait plus any paused-after-preemption waits).
+    pub queue_wait_steps: u64,
+    /// Lockstep steps this request participated in (prefill included).
+    pub decode_steps: u64,
+    /// Times this request's lanes were preempted by interactive work.
+    pub preemptions: u64,
+}
+
+/// Typed lifecycle state returned by [`BatchDecoder::poll`].
+///
+/// `Done` and `Cancelled` redeem **once**: the first poll takes the state,
+/// later polls of the same ticket report `Unknown` — which is also what a
+/// ticket this scheduler never issued reports, so a daemon can distinguish
+/// "still pending" from "your client made this id up" (the v1 API's
+/// `Option<Vec<usize>>` conflated them).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PollResult {
+    /// Waiting for lanes; `position` is the number of queued requests that
+    /// would currently be admitted before this one (0 = next). A preempted
+    /// request re-enters this state but keeps its partial K/V pages.
+    Queued { position: usize },
+    /// Holding lanes and decoding; `tokens_so_far` streams the partial
+    /// generated ids. Append-only for greedy requests; a beam request
+    /// reports its *current best* hypothesis, which can switch between
+    /// polls — treat each poll as a snapshot, not a growing suffix.
+    Decoding { tokens_so_far: Vec<usize> },
+    /// Finished: generated ids (prompt stripped, no `<eos>`) plus
+    /// scheduling telemetry. Redeems once.
+    Done {
+        ids: Vec<usize>,
+        telemetry: RequestTelemetry,
+    },
+    /// Retired by [`BatchDecoder::cancel`]; every page it held is back in
+    /// the pool. Redeems once. Markers for never-polled cancellations are
+    /// bounded: past [`CANCELLED_MARKER_CAP`] outstanding markers the
+    /// oldest report `Unknown` instead.
+    Cancelled,
+    /// Not a live ticket: never issued by this scheduler, or already
+    /// redeemed.
+    Unknown,
+}
+
+impl PollResult {
+    /// The finished output, if this is `Done` — the v1 `Option` shape for
+    /// callers that only care about completion.
+    pub fn into_output(self) -> Option<Vec<usize>> {
+        match self {
+            PollResult::Done { ids, .. } => Some(ids),
+            _ => None,
+        }
+    }
+
+    /// True while the request is still queued or decoding.
+    pub fn is_pending(&self) -> bool {
+        matches!(
+            self,
+            PollResult::Queued { .. } | PollResult::Decoding { .. }
+        )
+    }
+}
 
 /// Default lane count for convenience constructors in the service layer.
 pub const DEFAULT_MAX_BATCH: usize = 8;
+
+/// Default aging bound: a queued request that has waited this many
+/// scheduler steps is promoted to the interactive class (and admitted
+/// preemption-immune), bounding bulk starvation. Tune per scheduler via
+/// [`BatchDecoder::set_aging_steps`].
+pub const DEFAULT_AGING_STEPS: u64 = 64;
 
 /// Retained prefill snapshots for prefix sharing (see module docs); small —
 /// each entry pins only its prompt's K/V pages plus one encoder output.
 const PREFIX_CACHE_CAP: usize = 16;
 
+/// Most `Cancelled` markers retained for unpolled cancellations; past this
+/// the oldest degrade to [`PollResult::Unknown`], keeping fire-and-forget
+/// [`cancel`](BatchDecoder::cancel) memory-bounded in a long-lived daemon.
+pub const CANCELLED_MARKER_CAP: usize = 1024;
+
 /// One queued generation request.
 ///
 /// Each request carries its *own* encoder output — requests in a batch are
 /// fully independent (different sources, different lengths) — plus a forced
-/// decoder prefix and per-request decoding knobs.
+/// decoder prefix, per-request decoding knobs, and scheduling options.
 #[derive(Debug, Clone)]
 pub struct BatchRequest {
     /// Encoder output `[T_enc, d_model]` for this request's source.
@@ -126,16 +322,20 @@ pub struct BatchRequest {
     /// reserves `beam` lanes); `min_len` suppresses `<eos>` until that many
     /// tokens are generated.
     pub opts: DecodeOptions,
+    /// Scheduling knobs: priority class and optional generated-token cap.
+    pub submit: SubmitOptions,
 }
 
 impl BatchRequest {
-    /// A plain greedy request: `<sos>` prompt, default options.
+    /// A plain greedy request: `<sos>` prompt, default options,
+    /// interactive priority.
     pub fn greedy(enc_out: Tensor, max_len: usize) -> BatchRequest {
         BatchRequest {
             enc_out,
             prompt: vec![SOS],
             max_len,
             opts: DecodeOptions::default(),
+            submit: SubmitOptions::default(),
         }
     }
 
@@ -150,7 +350,31 @@ impl BatchRequest {
                 min_len: 0,
                 ..Default::default()
             },
+            submit: SubmitOptions::default(),
         }
+    }
+
+    /// Builder: replace the scheduling options wholesale.
+    pub fn with_submit(mut self, submit: SubmitOptions) -> BatchRequest {
+        self.submit = submit;
+        self
+    }
+
+    /// Builder: set the priority class.
+    pub fn with_priority(mut self, priority: Priority) -> BatchRequest {
+        self.submit.priority = priority;
+        self
+    }
+
+    /// Builder: mark as background work ([`Priority::Bulk`]).
+    pub fn bulk(self) -> BatchRequest {
+        self.with_priority(Priority::Bulk)
+    }
+
+    /// Builder: cap generated tokens at `n`.
+    pub fn with_max_new_tokens(mut self, n: usize) -> BatchRequest {
+        self.submit.max_new_tokens = Some(n);
+        self
     }
 }
 
@@ -161,6 +385,15 @@ struct Group {
     id: RequestId,
     /// Lanes reserved for this request (= its beam width) for its lifetime.
     reserved: usize,
+    /// Scheduling class this request was submitted with.
+    priority: Priority,
+    /// Immune to preemption: interactive requests always, and bulk
+    /// requests admitted through the aging rule (their starvation bound
+    /// would be meaningless if they could be evicted again).
+    protected: bool,
+    /// Admission order stamp; preemption evicts the youngest-admitted
+    /// unprotected bulk group first.
+    admit_seq: u64,
     /// Live and finished hypotheses, in [`expand_beams`] order. Greedy
     /// groups keep exactly one.
     beams: Vec<Hypothesis>,
@@ -179,11 +412,73 @@ struct Group {
     /// Whether this group's prefilled cache is (or came from) a snapshot.
     snapshotted: bool,
     finished: bool,
+    /// Telemetry accumulators (see [`RequestTelemetry`]).
+    queue_wait_steps: u64,
+    decode_steps: u64,
+    preemptions: u64,
 }
 
 impl Group {
     fn is_beam(&self) -> bool {
         self.reserved > 1
+    }
+
+    /// Generated ids so far (prompt stripped): the single hypothesis for
+    /// greedy, the current best-scoring hypothesis for beam.
+    fn partial_ids(&self) -> Vec<usize> {
+        let best = if self.is_beam() {
+            self.beams.iter().max_by(|a, b| {
+                a.score()
+                    .partial_cmp(&b.score())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+        } else {
+            self.beams.first()
+        };
+        best.map(|h| h.ids[self.prompt_len..].to_vec())
+            .unwrap_or_default()
+    }
+
+    fn telemetry(&self) -> RequestTelemetry {
+        RequestTelemetry {
+            queue_wait_steps: self.queue_wait_steps,
+            decode_steps: self.decode_steps,
+            preemptions: self.preemptions,
+        }
+    }
+}
+
+/// A queue entry: a fresh request awaiting prefill, or a paused group
+/// preempted mid-flight (its caches — and their pool pages — stay alive,
+/// so resuming is a lane reassignment, not a re-prefill).
+enum QueueItem {
+    Fresh(BatchRequest),
+    Paused(Box<Group>),
+}
+
+struct QueueEntry {
+    id: RequestId,
+    priority: Priority,
+    /// `step_count` when this entry (re-)entered the queue.
+    enqueued_step: u64,
+    item: QueueItem,
+}
+
+impl QueueEntry {
+    fn lanes_needed(&self) -> usize {
+        match &self.item {
+            QueueItem::Fresh(req) => req.opts.beam,
+            QueueItem::Paused(g) => g.reserved,
+        }
+    }
+
+    /// Queue-wait steps accrued in *earlier* queue stints (paused groups
+    /// carry their history; fresh requests have none).
+    fn accrued_wait(&self) -> u64 {
+        match &self.item {
+            QueueItem::Fresh(_) => 0,
+            QueueItem::Paused(g) => g.queue_wait_steps,
+        }
     }
 }
 
@@ -217,8 +512,9 @@ fn prefix_key(enc_out: &Tensor, prompt: &[usize]) -> u64 {
     h
 }
 
-/// Lockstep multi-request decoder with continuous batching and batched
-/// beam search (see module docs for the scheduling model).
+/// Lockstep multi-request decoder with continuous batching, batched beam
+/// search, priority-aware admission, preemption, and cancellation (see
+/// module docs for the scheduling model).
 ///
 /// Borrowing rather than owning the model lets one trained model serve any
 /// number of decoders — the service layer holds the artifact, schedulers
@@ -238,13 +534,22 @@ pub struct BatchDecoder<'m> {
     /// newly admitted ones, beam forks and shared prefixes share pages COW.
     pool: PagePool,
     groups: Vec<Group>,
-    queue: VecDeque<(RequestId, BatchRequest)>,
-    done: HashMap<RequestId, Vec<usize>>,
+    queue: Vec<QueueEntry>,
+    done: HashMap<RequestId, (Vec<usize>, RequestTelemetry)>,
+    cancelled: BTreeSet<RequestId>,
     prefix_cache: Vec<PrefixEntry>,
     prefix_hits: u64,
     scratch: BatchScratch,
     logits: Vec<f32>,
-    next_id: RequestId,
+    next_id: u64,
+    /// Completed [`step`](Self::step) calls — the clock for aging and
+    /// queue-wait telemetry.
+    step_count: u64,
+    aging_steps: u64,
+    /// Monotone admission stamp (see [`Group::admit_seq`]).
+    admit_count: u64,
+    /// Total lane preemptions performed by this scheduler.
+    preemption_count: u64,
 }
 
 impl<'m> BatchDecoder<'m> {
@@ -321,18 +626,25 @@ impl<'m> BatchDecoder<'m> {
             max_batch,
             pool: PagePool::new(cfg.d_head()),
             groups: Vec::new(),
-            queue: VecDeque::new(),
+            queue: Vec::new(),
             done: HashMap::new(),
+            cancelled: BTreeSet::new(),
             prefix_cache: Vec::new(),
             prefix_hits: 0,
             scratch: BatchScratch::new(cfg, max_batch),
             logits: vec![0.0; max_batch * cfg.vocab_size],
             next_id: 0,
+            step_count: 0,
+            aging_steps: DEFAULT_AGING_STEPS,
+            admit_count: 0,
+            preemption_count: 0,
         }
     }
 
     /// Queue a request; it joins the batch at the next [`step`](Self::step)
-    /// with enough free lanes (a request reserves `beam` of them). Returns
+    /// with enough free lanes (a request reserves `beam` of them),
+    /// priority-first — an [`Interactive`](Priority::Interactive) request
+    /// may preempt running bulk lanes to start within one step. Returns
     /// the ticket for [`poll`](Self::poll).
     ///
     /// # Panics
@@ -358,10 +670,51 @@ impl<'m> BatchDecoder<'m> {
             self.max_batch
         );
         assert!(!req.prompt.is_empty(), "prompt must hold at least <sos>");
-        let id = self.next_id;
+        let id = RequestId(self.next_id);
         self.next_id += 1;
-        self.queue.push_back((id, req));
+        self.queue.push(QueueEntry {
+            id,
+            priority: req.submit.priority,
+            enqueued_step: self.step_count,
+            item: QueueItem::Fresh(req),
+        });
         id
+    }
+
+    /// Cancel a request: removes it from the queue or from its lanes
+    /// mid-flight, dropping its caches so every page it held returns to
+    /// the pool. Returns `true` if the request was still pending (it will
+    /// now poll as [`PollResult::Cancelled`], once); `false` if it had
+    /// already finished (its output stays redeemable), was already
+    /// cancelled, or was never submitted.
+    ///
+    /// Fire-and-forget is safe: the `Cancelled` marker a later poll would
+    /// redeem is retained for at most [`CANCELLED_MARKER_CAP`] requests —
+    /// beyond that the **oldest** markers degrade to
+    /// [`PollResult::Unknown`] — so a long-lived daemon that cancels
+    /// without polling never grows unbounded state.
+    pub fn cancel(&mut self, id: RequestId) -> bool {
+        if let Some(pos) = self.queue.iter().position(|e| e.id == id) {
+            self.queue.remove(pos);
+            self.mark_cancelled(id);
+            return true;
+        }
+        if let Some(pos) = self.groups.iter().position(|g| g.id == id) {
+            self.groups.remove(pos);
+            self.mark_cancelled(id);
+            return true;
+        }
+        false
+    }
+
+    /// Record a `Cancelled` marker, evicting the oldest (smallest ticket)
+    /// past [`CANCELLED_MARKER_CAP`] so fire-and-forget cancellation is
+    /// memory-bounded.
+    fn mark_cancelled(&mut self, id: RequestId) {
+        self.cancelled.insert(id);
+        while self.cancelled.len() > CANCELLED_MARKER_CAP {
+            self.cancelled.pop_first();
+        }
     }
 
     /// Requests currently decoding in lanes.
@@ -369,7 +722,8 @@ impl<'m> BatchDecoder<'m> {
         self.groups.len()
     }
 
-    /// Requests waiting for lanes.
+    /// Requests waiting for lanes (fresh submissions and preempted-paused
+    /// groups alike).
     pub fn queued(&self) -> usize {
         self.queue.len()
     }
@@ -382,6 +736,31 @@ impl<'m> BatchDecoder<'m> {
     /// The lane capacity this scheduler was built with.
     pub fn max_batch(&self) -> usize {
         self.max_batch
+    }
+
+    /// Completed [`step`](Self::step) calls — the scheduler clock that
+    /// aging and queue-wait telemetry count in.
+    pub fn steps_run(&self) -> u64 {
+        self.step_count
+    }
+
+    /// The aging bound: a queued request whose total wait reaches this
+    /// many steps is promoted to the interactive class and admitted
+    /// preemption-immune (see module docs).
+    pub fn aging_steps(&self) -> u64 {
+        self.aging_steps
+    }
+
+    /// Set the aging bound. `0` promotes every request immediately —
+    /// pure submission-order FIFO across classes, no preemption targets.
+    pub fn set_aging_steps(&mut self, steps: u64) {
+        self.aging_steps = steps;
+    }
+
+    /// Total lane preemptions performed (bulk groups that yielded lanes to
+    /// interactive arrivals).
+    pub fn preemptions(&self) -> u64 {
+        self.preemption_count
     }
 
     /// The projection precision this scheduler's weights were prepared
@@ -411,6 +790,76 @@ impl<'m> BatchDecoder<'m> {
     /// Lanes currently reserved by admitted requests.
     fn lanes_used(&self) -> usize {
         self.groups.iter().map(|g| g.reserved).sum()
+    }
+
+    /// Total queue wait of an entry: accrued history plus the current
+    /// stint.
+    fn entry_wait(&self, e: &QueueEntry) -> u64 {
+        e.accrued_wait() + (self.step_count - e.enqueued_step)
+    }
+
+    /// Admission sort key: `(class, submission order)` where class 0 is
+    /// interactive-effective (submitted interactive, or aged past the
+    /// bound) and ties break FIFO by ticket number. Smaller admits first.
+    fn entry_rank(&self, e: &QueueEntry) -> (u8, u64) {
+        let interactive =
+            e.priority == Priority::Interactive || self.entry_wait(e) >= self.aging_steps;
+        (u8::from(!interactive), e.id.0)
+    }
+
+    fn best_queued(&self) -> Option<usize> {
+        (0..self.queue.len()).min_by_key(|&i| self.entry_rank(&self.queue[i]))
+    }
+
+    /// 0-based admission position of a queued request (0 = next).
+    fn queue_position(&self, id: RequestId) -> Option<usize> {
+        let target = self.queue.iter().find(|e| e.id == id)?;
+        let rank = self.entry_rank(target);
+        Some(
+            self.queue
+                .iter()
+                .filter(|e| self.entry_rank(e) < rank)
+                .count(),
+        )
+    }
+
+    /// Evict unprotected bulk groups (youngest-admitted first) until at
+    /// least `short` more lanes are free. The evicted groups re-enter the
+    /// queue paused — hypotheses, caches, and pool pages intact — and
+    /// resume later from exactly where they stopped. Returns `false`
+    /// (doing nothing) if the preemptable lanes cannot cover `short`.
+    fn preempt_for(&mut self, mut short: usize) -> bool {
+        let mut victims: Vec<(u64, RequestId, usize)> = self
+            .groups
+            .iter()
+            .filter(|g| g.priority == Priority::Bulk && !g.protected)
+            .map(|g| (g.admit_seq, g.id, g.reserved))
+            .collect();
+        if victims.iter().map(|&(_, _, lanes)| lanes).sum::<usize>() < short {
+            return false;
+        }
+        victims.sort_by_key(|&(seq, _, _)| std::cmp::Reverse(seq));
+        for (_, id, lanes) in victims {
+            if short == 0 {
+                break;
+            }
+            let pos = self
+                .groups
+                .iter()
+                .position(|g| g.id == id)
+                .expect("victim is an active group");
+            let mut group = self.groups.remove(pos);
+            group.preemptions += 1;
+            self.preemption_count += 1;
+            self.queue.push(QueueEntry {
+                id: group.id,
+                priority: Priority::Bulk,
+                enqueued_step: self.step_count,
+                item: QueueItem::Paused(Box::new(group)),
+            });
+            short = short.saturating_sub(lanes);
+        }
+        true
     }
 
     /// Look up a retained prefill for `(enc_out, prompt)`; full equality
@@ -453,53 +902,116 @@ impl<'m> BatchDecoder<'m> {
     }
 
     /// Move queued requests into free lanes (continuous batching's "join"
-    /// half). Requests whose prompt already meets their length cap retire
-    /// immediately with an empty generation, exactly like the
-    /// single-request loop, which never steps in that case.
+    /// half), best-ranked first: interactive class before bulk, FIFO
+    /// within a class, aged bulk promoted. An interactive-*class*
+    /// candidate (submitted interactive, or promoted by aging) that does
+    /// not fit may evict unprotected bulk lanes
+    /// ([`preempt_for`](Self::preempt_for)); a plain bulk candidate blocks
+    /// at the head of its class. Requests whose prompt already meets their
+    /// length cap retire immediately with an empty generation, exactly
+    /// like the single-request loop, which never steps in that case.
     fn admit(&mut self) {
-        while let Some((_, req)) = self.queue.front() {
-            if self.lanes_used() + req.opts.beam > self.max_batch {
+        while let Some(best) = self.best_queued() {
+            let needed = self.queue[best].lanes_needed();
+            let free = self.max_batch - self.lanes_used();
+            if needed > free {
+                // Eviction rights follow the *effective* class: a promoted
+                // (aged) entry may evict too — otherwise an aged bulk entry
+                // at the head of the queue would block every interactive
+                // arrival behind it from ever preempting (head-of-line).
+                // Starvation-freedom survives because each promoted or
+                // interactive admission is protected, so the pool of
+                // evictable lanes only shrinks.
+                let evicts = self.entry_rank(&self.queue[best]).0 == 0;
+                if evicts && self.preempt_for(needed - free) {
+                    // Preemption may have re-ranked the queue (a paused
+                    // entry can age into the interactive class and outrank
+                    // the evictor), so loop back: the capacity check must
+                    // cover whatever is admitted next.
+                    continue;
+                }
                 break;
             }
-            let (id, req) = self.queue.pop_front().expect("peeked");
-            let limit = req.max_len.min(self.cfg.max_dec_len);
-            if req.prompt.len() >= limit {
-                self.done.insert(id, Vec::new());
-                continue;
+            let entry = self.queue.remove(best);
+            self.admit_entry(entry);
+        }
+    }
+
+    /// Place one queue entry into lanes: resume a paused group as-is (lane
+    /// reassignment — its caches never left the pool), or prefill a fresh
+    /// request.
+    fn admit_entry(&mut self, entry: QueueEntry) {
+        let wait_now = self.step_count - entry.enqueued_step;
+        let aged = self.entry_wait(&entry) >= self.aging_steps;
+        self.admit_count += 1;
+        let admit_seq = self.admit_count;
+        match entry.item {
+            QueueItem::Paused(mut group) => {
+                group.queue_wait_steps += wait_now;
+                group.protected = group.protected || aged;
+                group.admit_seq = admit_seq;
+                self.groups.push(*group);
             }
-            let key = prefix_key(&req.enc_out, &req.prompt);
-            let (cache, snapshotted) = match self.shared_prefill(key, &req.enc_out, &req.prompt) {
-                Some(cache) => (cache, true),
-                None => {
-                    let cache = DecoderCache::new_in_pool(
-                        self.store,
-                        self.params,
-                        self.cfg,
-                        &req.enc_out,
-                        &self.pool,
-                    );
-                    (cache, false)
+            QueueItem::Fresh(req) => {
+                let mut limit = req.max_len.min(self.cfg.max_dec_len);
+                if let Some(cap) = req.submit.max_new_tokens {
+                    limit = limit.min(req.prompt.len() + cap);
                 }
-            };
-            let mut group = Group {
-                id,
-                reserved: req.opts.beam,
-                beams: vec![Hypothesis::root(&req.prompt, cache)],
-                expansions: 0,
-                prompt_len: req.prompt.len(),
-                min_len: req.opts.min_len,
-                limit,
-                share_key: key,
-                // A snapshot-admitted group never stores another snapshot,
-                // so holding the tensor would just pin dead memory.
-                enc_out: (!snapshotted).then_some(req.enc_out),
-                snapshotted,
-                finished: false,
-            };
-            // A 1-token prompt is "prefilled" at birth: snapshot now so the
-            // next identical request shares the cross-K/V projections.
-            self.maybe_snapshot(&mut group);
-            self.groups.push(group);
+                if req.prompt.len() >= limit {
+                    self.done.insert(
+                        entry.id,
+                        (
+                            Vec::new(),
+                            RequestTelemetry {
+                                queue_wait_steps: wait_now,
+                                ..Default::default()
+                            },
+                        ),
+                    );
+                    return;
+                }
+                let key = prefix_key(&req.enc_out, &req.prompt);
+                let (cache, snapshotted) = match self.shared_prefill(key, &req.enc_out, &req.prompt)
+                {
+                    Some(cache) => (cache, true),
+                    None => {
+                        let cache = DecoderCache::new_in_pool(
+                            self.store,
+                            self.params,
+                            self.cfg,
+                            &req.enc_out,
+                            &self.pool,
+                        );
+                        (cache, false)
+                    }
+                };
+                let mut group = Group {
+                    id: entry.id,
+                    reserved: req.opts.beam,
+                    priority: entry.priority,
+                    protected: entry.priority == Priority::Interactive || aged,
+                    admit_seq,
+                    beams: vec![Hypothesis::root(&req.prompt, cache)],
+                    expansions: 0,
+                    prompt_len: req.prompt.len(),
+                    min_len: req.opts.min_len,
+                    limit,
+                    share_key: key,
+                    // A snapshot-admitted group never stores another
+                    // snapshot, so holding the tensor would pin dead memory.
+                    enc_out: (!snapshotted).then_some(req.enc_out),
+                    snapshotted,
+                    finished: false,
+                    queue_wait_steps: wait_now,
+                    decode_steps: 0,
+                    preemptions: 0,
+                };
+                // A 1-token prompt is "prefilled" at birth: snapshot now so
+                // the next identical request shares the cross-K/V
+                // projections.
+                self.maybe_snapshot(&mut group);
+                self.groups.push(group);
+            }
         }
     }
 
@@ -524,7 +1036,8 @@ impl<'m> BatchDecoder<'m> {
         self.store_prefill(group.share_key, &prompt, enc_out, &cache);
     }
 
-    /// Run one lockstep step: admit queued requests, advance every live
+    /// Run one lockstep step: admit queued requests (priority order,
+    /// preempting bulk lanes for interactive arrivals), advance every live
     /// hypothesis by one token, expand/retire finished requests. Returns
     /// the number of hypotheses advanced (0 means the scheduler is idle and
     /// [`run`](Self::run) would stop).
@@ -566,6 +1079,9 @@ impl<'m> BatchDecoder<'m> {
         let mut groups = std::mem::take(&mut self.groups);
         for group in &mut groups {
             let live: Vec<bool> = group.beams.iter().map(|h| h.cache.is_some()).collect();
+            if live.iter().any(|&l| l) {
+                group.decode_steps += 1;
+            }
             // Prefilling: the root hypothesis has prompt tokens left to
             // feed; its logits row is intentionally unused.
             let prefilling = group
@@ -599,8 +1115,8 @@ impl<'m> BatchDecoder<'m> {
                     || group.expansions >= group.limit - group.prompt_len
                 {
                     let beams = std::mem::take(&mut group.beams);
-                    self.done
-                        .insert(group.id, best_hypothesis_ids(beams, group.prompt_len));
+                    let ids = best_hypothesis_ids(beams, group.prompt_len);
+                    self.done.insert(group.id, (ids, group.telemetry()));
                     group.finished = true;
                 }
             } else {
@@ -618,22 +1134,50 @@ impl<'m> BatchDecoder<'m> {
                     }
                 }
                 if group.finished {
-                    self.done
-                        .insert(group.id, h.ids[group.prompt_len..].to_vec());
+                    let ids = h.ids[group.prompt_len..].to_vec();
+                    self.done.insert(group.id, (ids, group.telemetry()));
                 }
             }
         }
         groups.retain(|g| !g.finished);
         self.groups = groups;
+        self.step_count += 1;
         b
     }
 
-    /// Take a finished request's generated tokens (prompt stripped, no
-    /// `<eos>` — the shape [`decode_encoded`](crate::decode::decode_encoded)
-    /// returns). `None` while the request is still queued or decoding; each
-    /// ticket redeems once.
-    pub fn poll(&mut self, id: RequestId) -> Option<Vec<usize>> {
-        self.done.remove(&id)
+    /// Report a request's lifecycle state (see [`PollResult`]). `Done` and
+    /// `Cancelled` redeem **once** — the poll that observes them takes the
+    /// output/marker, and later polls of the same ticket report `Unknown`.
+    /// `Queued`/`Decoding` polls are free to repeat (a streaming client
+    /// polls `Decoding` every step for the growing partial output).
+    pub fn poll(&mut self, id: RequestId) -> PollResult {
+        if let Some((ids, telemetry)) = self.done.remove(&id) {
+            return PollResult::Done { ids, telemetry };
+        }
+        if self.cancelled.remove(&id) {
+            return PollResult::Cancelled;
+        }
+        if let Some(group) = self.groups.iter().find(|g| g.id == id) {
+            return PollResult::Decoding {
+                tokens_so_far: group.partial_ids(),
+            };
+        }
+        if let Some(position) = self.queue_position(id) {
+            return PollResult::Queued { position };
+        }
+        PollResult::Unknown
+    }
+
+    /// Deprecated v1 shape of [`poll`](Self::poll): `Some(ids)` once
+    /// finished, `None` for every other state — which conflates
+    /// still-pending, cancelled, and unknown tickets (the ambiguity the v2
+    /// [`PollResult`] exists to fix). Polling through this wrapper also
+    /// consumes a `Cancelled` marker silently.
+    #[deprecated(note = "use `poll`, which returns a typed `PollResult` \
+                         (queued position, streaming partial tokens, \
+                         cancellation, unknown-ticket detection)")]
+    pub fn poll_v1(&mut self, id: RequestId) -> Option<Vec<usize>> {
+        self.poll(id).into_output()
     }
 
     /// Step until every submitted request has retired.
@@ -647,7 +1191,10 @@ impl<'m> BatchDecoder<'m> {
         let ids: Vec<RequestId> = reqs.into_iter().map(|r| self.submit(r)).collect();
         self.run();
         ids.into_iter()
-            .map(|id| self.poll(id).expect("run() retires every request"))
+            .map(|id| match self.poll(id) {
+                PollResult::Done { ids, .. } => ids,
+                other => panic!("run() retires every request (got {other:?})"),
+            })
             .collect()
     }
 }
@@ -678,6 +1225,14 @@ mod tests {
     ) -> Tensor {
         let src = vec![SOS, 6 + (seed % 5), 7 + (seed % 7), 9, EOS];
         encode_source(store, params, cfg, &src)
+    }
+
+    /// Redeem a ticket that must be finished.
+    fn take(dec: &mut BatchDecoder, id: RequestId) -> Vec<usize> {
+        match dec.poll(id) {
+            PollResult::Done { ids, .. } => ids,
+            other => panic!("{id} not finished: {other:?}"),
+        }
     }
 
     #[test]
@@ -728,6 +1283,7 @@ mod tests {
                 prompt: p.to_vec(),
                 max_len: 18,
                 opts: DecodeOptions::default(),
+                submit: SubmitOptions::default(),
             })
             .collect();
         assert_eq!(dec.decode_all(reqs), refs);
@@ -765,6 +1321,7 @@ mod tests {
                     min_len,
                     ..Default::default()
                 },
+                submit: SubmitOptions::default(),
             })
             .collect();
         assert_eq!(dec.decode_all(reqs), refs);
@@ -793,9 +1350,9 @@ mod tests {
         dec.step();
         assert_eq!(dec.active(), 3);
         dec.run();
-        assert_eq!(dec.poll(a).unwrap(), refs[0]);
-        assert_eq!(dec.poll(b).unwrap(), refs[1]);
-        assert_eq!(dec.poll(c).unwrap(), refs[2]);
+        assert_eq!(take(&mut dec, a), refs[0]);
+        assert_eq!(take(&mut dec, b), refs[1]);
+        assert_eq!(take(&mut dec, c), refs[2]);
     }
 
     #[test]
@@ -816,7 +1373,7 @@ mod tests {
             assert!(dec.active() <= 2, "lane cap respected throughout");
         }
         for (id, want) in ids.into_iter().zip(refs) {
-            assert_eq!(dec.poll(id).unwrap(), want);
+            assert_eq!(take(&mut dec, id), want);
         }
     }
 
@@ -830,21 +1387,328 @@ mod tests {
             prompt: vec![SOS, 6, 7],
             max_len: 3,
             opts: DecodeOptions::default(),
+            submit: SubmitOptions::default(),
         });
         assert_eq!(dec.step(), 0, "nothing to decode");
-        assert_eq!(dec.poll(id).unwrap(), Vec::<usize>::new());
+        assert_eq!(take(&mut dec, id), Vec::<usize>::new());
     }
 
     #[test]
-    fn poll_redeems_once_and_only_after_finish() {
+    fn poll_redeems_once_and_reports_lifecycle_states() {
         let (cfg, store, params) = setup();
         let e = enc(&store, &params, &cfg, 2);
         let mut dec = BatchDecoder::new(&store, &params, &cfg, 1);
         let id = dec.submit(BatchRequest::greedy(e, 8));
-        assert_eq!(dec.poll(id), None, "not decoded yet");
+        assert_eq!(
+            dec.poll(id),
+            PollResult::Queued { position: 0 },
+            "queued until the first step admits it"
+        );
+        dec.step();
+        let PollResult::Decoding { tokens_so_far } = dec.poll(id) else {
+            panic!("decoding after one step");
+        };
+        assert_eq!(tokens_so_far.len(), 1, "one token per lockstep step");
         dec.run();
-        assert!(dec.poll(id).is_some());
-        assert_eq!(dec.poll(id), None, "ticket already redeemed");
+        assert!(matches!(dec.poll(id), PollResult::Done { .. }));
+        assert_eq!(dec.poll(id), PollResult::Unknown, "ticket already redeemed");
+    }
+
+    /// The v1-ambiguity satellite: an id this scheduler never issued is
+    /// `Unknown`, a pending id is `Queued`/`Decoding` — a daemon can now
+    /// tell a slow request from a client-side ticket bug.
+    #[test]
+    fn unknown_ticket_is_distinguishable_from_pending() {
+        let (cfg, store, params) = setup();
+        let e = enc(&store, &params, &cfg, 1);
+        let mut dec = BatchDecoder::new(&store, &params, &cfg, 1);
+        let id = dec.submit(BatchRequest::greedy(e, 8));
+        let bogus = RequestId::from_raw(id.raw() + 1000);
+        assert_eq!(dec.poll(bogus), PollResult::Unknown);
+        assert!(dec.poll(id).is_pending());
+        assert!(!dec.cancel(bogus), "cancelling an unknown id is a no-op");
+    }
+
+    /// The deprecated v1 wrapper keeps the old `Option` shape for one PR.
+    #[test]
+    #[allow(deprecated)]
+    fn poll_v1_wrapper_keeps_the_old_shape() {
+        let (cfg, store, params) = setup();
+        let e = enc(&store, &params, &cfg, 2);
+        let reference = decode_encoded(&store, &params, &cfg, &e, 8, DecodeOptions::default());
+        let mut dec = BatchDecoder::new(&store, &params, &cfg, 1);
+        let id = dec.submit(BatchRequest::greedy(e, 8));
+        assert_eq!(dec.poll_v1(id), None, "not decoded yet");
+        dec.run();
+        assert_eq!(dec.poll_v1(id), Some(reference));
+        assert_eq!(dec.poll_v1(id), None, "ticket already redeemed");
+    }
+
+    // -- priorities, preemption, cancellation ------------------------------
+
+    /// The acceptance pin: with every lane held by bulk work, a newly
+    /// submitted interactive request preempts a bulk group and begins
+    /// decoding on the very next step (queue wait 0), and *every* final
+    /// output — including the preempted-and-resumed bulk request's — stays
+    /// bitwise identical to the single-request reference.
+    #[test]
+    fn interactive_preempts_bulk_saturated_lanes_within_one_step() {
+        let (cfg, store, params) = setup();
+        let lanes = 8usize;
+        let encs: Vec<Tensor> = (0..=lanes).map(|i| enc(&store, &params, &cfg, i)).collect();
+        let long = DecodeOptions {
+            beam: 1,
+            min_len: 20,
+            ..Default::default()
+        };
+        let refs: Vec<Vec<usize>> = encs
+            .iter()
+            .take(lanes)
+            .map(|e| decode_encoded(&store, &params, &cfg, e, 24, long))
+            .collect();
+        let interactive_ref = decode_encoded(
+            &store,
+            &params,
+            &cfg,
+            &encs[lanes],
+            24,
+            DecodeOptions::default(),
+        );
+
+        let mut dec = BatchDecoder::new(&store, &params, &cfg, lanes);
+        let bulk_ids: Vec<RequestId> = encs
+            .iter()
+            .take(lanes)
+            .map(|e| {
+                dec.submit(BatchRequest {
+                    enc_out: e.clone(),
+                    prompt: vec![SOS],
+                    max_len: 24,
+                    opts: long,
+                    submit: SubmitOptions::bulk(),
+                })
+            })
+            .collect();
+        for _ in 0..3 {
+            dec.step();
+        }
+        assert_eq!(dec.active(), lanes, "bulk work saturates every lane");
+
+        let fast = dec.submit(BatchRequest::greedy(encs[lanes].clone(), 24));
+        dec.step();
+        let PollResult::Decoding { tokens_so_far } = dec.poll(fast) else {
+            panic!("interactive request must decode on the next step");
+        };
+        assert_eq!(tokens_so_far.len(), 1, "generated a token immediately");
+        assert_eq!(dec.preemptions(), 1, "exactly one bulk group yielded");
+        let paused = bulk_ids
+            .iter()
+            .filter(|&&id| matches!(dec.poll(id), PollResult::Queued { .. }))
+            .count();
+        assert_eq!(paused, 1, "the evicted bulk group is queued, not lost");
+
+        dec.run();
+        let PollResult::Done { ids, telemetry } = dec.poll(fast) else {
+            panic!("interactive finished");
+        };
+        assert_eq!(ids, interactive_ref);
+        assert_eq!(telemetry.queue_wait_steps, 0, "zero steps in the queue");
+        let mut resumed_preemptions = 0;
+        for (id, want) in bulk_ids.into_iter().zip(refs) {
+            let PollResult::Done { ids, telemetry } = dec.poll(id) else {
+                panic!("bulk finished");
+            };
+            assert_eq!(ids, want, "preempt/resume never changes tokens");
+            resumed_preemptions += telemetry.preemptions;
+        }
+        assert_eq!(resumed_preemptions, 1);
+    }
+
+    /// Priority admission: queued interactive work is admitted before
+    /// queued bulk work regardless of submission order, FIFO within each
+    /// class, and `Queued { position }` reports that order.
+    #[test]
+    fn admission_is_priority_first_fifo_within_class() {
+        let (cfg, store, params) = setup();
+        let e = enc(&store, &params, &cfg, 0);
+        let mut dec = BatchDecoder::new(&store, &params, &cfg, 1);
+        let hold = dec.submit(BatchRequest::greedy(e.clone(), 12));
+        dec.step(); // occupy the single lane
+        let b1 = dec.submit(BatchRequest::greedy(e.clone(), 12).bulk());
+        let b2 = dec.submit(BatchRequest::greedy(e.clone(), 12).bulk());
+        let i1 = dec.submit(BatchRequest::greedy(e.clone(), 12));
+        let i2 = dec.submit(BatchRequest::greedy(e, 12));
+        assert_eq!(dec.poll(i1), PollResult::Queued { position: 0 });
+        assert_eq!(dec.poll(i2), PollResult::Queued { position: 1 });
+        assert_eq!(dec.poll(b1), PollResult::Queued { position: 2 });
+        assert_eq!(dec.poll(b2), PollResult::Queued { position: 3 });
+        // Interactive never preempts interactive: the running request keeps
+        // its lane and the queue drains in class/FIFO order.
+        dec.run();
+        assert_eq!(dec.preemptions(), 0);
+        for id in [hold, i1, i2, b1, b2] {
+            assert!(matches!(dec.poll(id), PollResult::Done { .. }));
+        }
+    }
+
+    /// The aging bound: under a continuous interactive flood, a queued
+    /// bulk request is promoted after `aging_steps` and admitted
+    /// preemption-immune — it finishes while the flood continues, with a
+    /// queue wait close to the bound (no starvation).
+    #[test]
+    fn aged_bulk_is_admitted_and_protected_under_interactive_flood() {
+        let (cfg, store, params) = setup();
+        let e = enc(&store, &params, &cfg, 3);
+        let bulk_ref = decode_encoded(
+            &store,
+            &params,
+            &cfg,
+            &e,
+            12,
+            DecodeOptions {
+                beam: 1,
+                min_len: 6,
+                ..Default::default()
+            },
+        );
+        let mut dec = BatchDecoder::new(&store, &params, &cfg, 1);
+        dec.set_aging_steps(4);
+        let bulk = dec.submit(BatchRequest {
+            enc_out: e.clone(),
+            prompt: vec![SOS],
+            max_len: 12,
+            opts: DecodeOptions {
+                beam: 1,
+                min_len: 6,
+                ..Default::default()
+            },
+            submit: SubmitOptions::bulk(),
+        });
+        // Flood: one fresh interactive request per step, long enough that
+        // without aging the bulk request would wait forever.
+        let mut done_tel = None;
+        for step in 0..64 {
+            dec.submit(BatchRequest::greedy(e.clone(), 4).with_max_new_tokens(2));
+            dec.step();
+            if let PollResult::Done { ids, telemetry } = dec.poll(bulk) {
+                assert_eq!(ids, bulk_ref, "aged bulk output unchanged");
+                done_tel = Some(telemetry);
+                break;
+            }
+            assert!(step < 40, "bulk request starved under interactive flood");
+        }
+        let telemetry = done_tel.expect("bulk finished mid-flood");
+        assert!(
+            telemetry.queue_wait_steps >= 4,
+            "bulk waited at least the aging bound: {telemetry:?}"
+        );
+        assert!(
+            telemetry.queue_wait_steps <= 8,
+            "aged bulk admitted promptly after promotion: {telemetry:?}"
+        );
+        assert_eq!(
+            telemetry.preemptions, 0,
+            "aging-admitted bulk is immune to preemption"
+        );
+    }
+
+    /// Cancellation from every pending state: queued requests vanish
+    /// before taking lanes, mid-flight requests release their lanes and
+    /// pages, and both poll `Cancelled` exactly once. Finished requests
+    /// refuse cancellation and stay redeemable.
+    #[test]
+    fn cancel_retires_queued_and_mid_flight_requests_and_frees_pages() {
+        let (cfg, store, params) = setup();
+        let encs: Vec<Tensor> = (0..4).map(|i| enc(&store, &params, &cfg, i)).collect();
+        let mut dec = BatchDecoder::new(&store, &params, &cfg, 2);
+        let pool = dec.pool().clone();
+        let long = DecodeOptions {
+            beam: 1,
+            min_len: 16,
+            ..Default::default()
+        };
+        let mk = |e: &Tensor| BatchRequest {
+            enc_out: e.clone(),
+            prompt: vec![SOS],
+            max_len: 20,
+            opts: long,
+            submit: SubmitOptions::default(),
+        };
+        let running = dec.submit(mk(&encs[0]));
+        let doomed_mid = dec.submit(mk(&encs[1]));
+        let doomed_queued = dec.submit(mk(&encs[2]));
+        let survivor = dec.submit(mk(&encs[3]));
+        for _ in 0..4 {
+            dec.step();
+        }
+        let live_before = pool.stats().pages_live;
+        assert!(dec.cancel(doomed_mid), "mid-flight cancel succeeds");
+        assert!(
+            pool.stats().pages_live < live_before,
+            "cancelled lanes return pages immediately"
+        );
+        assert!(dec.cancel(doomed_queued), "queued cancel succeeds");
+        assert_eq!(dec.poll(doomed_mid), PollResult::Cancelled);
+        assert_eq!(dec.poll(doomed_mid), PollResult::Unknown, "redeems once");
+        dec.run();
+        assert_eq!(dec.poll(doomed_queued), PollResult::Cancelled);
+        for id in [running, survivor] {
+            let got = take(&mut dec, id);
+            assert_eq!(
+                got,
+                decode_encoded(
+                    &store,
+                    &params,
+                    &cfg,
+                    &encs[if id == running { 0 } else { 3 }],
+                    20,
+                    long
+                ),
+                "cancellation of others never changes survivors"
+            );
+        }
+        assert!(
+            !dec.cancel(running),
+            "finished requests cannot be cancelled"
+        );
+        drop(dec);
+        assert_eq!(pool.stats().pages_live, 0, "cancel leaks no pages");
+    }
+
+    /// `max_new_tokens` caps generation below `max_len`, and the capped
+    /// output is the reference output truncated at the cap boundary
+    /// (greedy is prefix-stable).
+    #[test]
+    fn max_new_tokens_caps_generation() {
+        let (cfg, store, params) = setup();
+        let e = enc(&store, &params, &cfg, 1);
+        let opts = DecodeOptions {
+            beam: 1,
+            min_len: 10,
+            ..Default::default()
+        };
+        let full = decode_encoded(&store, &params, &cfg, &e, 20, opts);
+        assert!(full.len() >= 10);
+        let mut dec = BatchDecoder::new(&store, &params, &cfg, 2);
+        let capped = dec.submit(BatchRequest {
+            enc_out: e.clone(),
+            prompt: vec![SOS],
+            max_len: 20,
+            opts,
+            submit: SubmitOptions::interactive().with_max_new_tokens(4),
+        });
+        let zero = dec.submit(BatchRequest {
+            enc_out: e,
+            prompt: vec![SOS],
+            max_len: 20,
+            opts,
+            submit: SubmitOptions::interactive().with_max_new_tokens(0),
+        });
+        dec.run();
+        // Cap counts generated tokens: prompt(1) + 4 = 5 ids total, so 4
+        // generated — exactly the first 4 of the uncapped trajectory.
+        assert_eq!(take(&mut dec, capped), full[..4].to_vec());
+        assert_eq!(take(&mut dec, zero), Vec::<usize>::new());
     }
 
     // -- batched beam search -----------------------------------------------
@@ -873,6 +1737,7 @@ mod tests {
                     prompt: vec![SOS],
                     max_len: 16,
                     opts,
+                    submit: SubmitOptions::default(),
                 })
                 .collect();
             assert_eq!(dec.decode_all(reqs), refs, "beam={beam}");
@@ -921,6 +1786,7 @@ mod tests {
                 prompt: vec![SOS],
                 max_len: 14,
                 opts,
+                submit: SubmitOptions::default(),
             })
             .collect();
         assert_eq!(dec.decode_all(reqs), refs);
@@ -944,14 +1810,17 @@ mod tests {
             prompt: prompt.to_vec(),
             max_len: 15,
             opts,
+            submit: SubmitOptions::default(),
         }]);
         assert_eq!(out[0], reference);
     }
 
     /// Beam requests queue when their reserved lanes don't fit, and drain
-    /// through freed lanes like any other request.
+    /// through freed lanes like any other request. A preempting
+    /// interactive beam request evicts as many bulk groups as its width
+    /// needs.
     #[test]
-    fn beam_reservation_respects_lane_capacity() {
+    fn beam_reservation_respects_lane_capacity_and_preempts_wide() {
         let (cfg, store, params) = setup();
         let encs: Vec<Tensor> = (0..3).map(|i| enc(&store, &params, &cfg, i)).collect();
         let opts = DecodeOptions {
@@ -973,15 +1842,66 @@ mod tests {
                     prompt: vec![SOS],
                     max_len: 12,
                     opts,
+                    submit: SubmitOptions::default(),
                 })
             })
             .collect();
         while dec.step() > 0 {
             assert!(dec.active() <= 2, "beam reservations cap concurrency");
         }
-        for (id, want) in ids.into_iter().zip(refs) {
-            assert_eq!(dec.poll(id).unwrap(), want);
+        for (id, want) in ids.into_iter().zip(&refs) {
+            assert_eq!(&take(&mut dec, id), want);
         }
+
+        // Wide preemption: 2 bulk beam-2 groups hold all 4 lanes; an
+        // interactive beam-4 request needs every lane, so both yield.
+        let long = DecodeOptions {
+            beam: 2,
+            min_len: 10,
+            ..Default::default()
+        };
+        let b0 = dec.submit(BatchRequest {
+            enc_out: encs[0].clone(),
+            prompt: vec![SOS],
+            max_len: 12,
+            opts: long,
+            submit: SubmitOptions::bulk(),
+        });
+        let b1 = dec.submit(BatchRequest {
+            enc_out: encs[1].clone(),
+            prompt: vec![SOS],
+            max_len: 12,
+            opts: long,
+            submit: SubmitOptions::bulk(),
+        });
+        dec.step();
+        assert_eq!(dec.active(), 2);
+        let wide_opts = DecodeOptions {
+            beam: 4,
+            min_len: 0,
+            ..Default::default()
+        };
+        let wide_ref = decode_encoded(&store, &params, &cfg, &encs[2], 12, wide_opts);
+        let wide = dec.submit(BatchRequest {
+            enc_out: encs[2].clone(),
+            prompt: vec![SOS],
+            max_len: 12,
+            opts: wide_opts,
+            submit: SubmitOptions::default(),
+        });
+        dec.step();
+        assert!(matches!(dec.poll(wide), PollResult::Decoding { .. }));
+        assert_eq!(dec.preemptions(), 2, "both bulk groups yielded");
+        dec.run();
+        assert_eq!(take(&mut dec, wide), wide_ref);
+        assert_eq!(
+            take(&mut dec, b0),
+            decode_encoded(&store, &params, &cfg, &encs[0], 12, long)
+        );
+        assert_eq!(
+            take(&mut dec, b1),
+            decode_encoded(&store, &params, &cfg, &encs[1], 12, long)
+        );
     }
 
     #[test]
@@ -1019,6 +1939,7 @@ mod tests {
                 min_len: 0,
                 ..Default::default()
             },
+            submit: SubmitOptions::default(),
         });
     }
 
@@ -1059,6 +1980,7 @@ mod tests {
                     min_len,
                     precision: Precision::Int8,
                 },
+                submit: SubmitOptions::default(),
             })
             .collect();
         assert_eq!(dec.decode_all(reqs), refs);
@@ -1083,6 +2005,7 @@ mod tests {
                 min_len: 0,
                 precision: Precision::Int8,
             },
+            submit: SubmitOptions::default(),
         });
     }
 
@@ -1103,9 +2026,9 @@ mod tests {
         let c = dec.submit(BatchRequest::greedy(e, 18));
         dec.run();
         assert_eq!(dec.prefix_hits(), 2, "twins fork the snapshot");
-        assert_eq!(dec.poll(a).unwrap(), reference);
-        assert_eq!(dec.poll(b).unwrap(), reference);
-        assert_eq!(dec.poll(c).unwrap(), reference);
+        assert_eq!(take(&mut dec, a), reference);
+        assert_eq!(take(&mut dec, b), reference);
+        assert_eq!(take(&mut dec, c), reference);
     }
 
     /// Every page goes back to the pool once the scheduler drops —
@@ -1128,6 +2051,7 @@ mod tests {
                     min_len: 0,
                     ..Default::default()
                 },
+                submit: SubmitOptions::default(),
             })
             .collect();
         dec.decode_all(reqs);
@@ -1135,5 +2059,82 @@ mod tests {
         assert!(mid.pages_peak > 0, "decoding allocated pages");
         drop(dec);
         assert_eq!(pool.stats().pages_live, 0, "no page outlives its owners");
+    }
+
+    /// Regression (review): an *aged* bulk entry at the head of the queue
+    /// must not block preemption — its promotion carries eviction rights,
+    /// so it evicts an unprotected running bulk lane itself (and is
+    /// admitted protected), instead of head-of-line-blocking every
+    /// interactive arrival behind it until the running job drains.
+    #[test]
+    fn aged_bulk_at_queue_head_preempts_instead_of_blocking() {
+        let (cfg, store, params) = setup();
+        let e = enc(&store, &params, &cfg, 0);
+        let long = DecodeOptions {
+            beam: 1,
+            min_len: 20,
+            ..Default::default()
+        };
+        let mut dec = BatchDecoder::new(&store, &params, &cfg, 1);
+        dec.set_aging_steps(3);
+        let running = dec.submit(BatchRequest {
+            enc_out: e.clone(),
+            prompt: vec![SOS],
+            max_len: 24,
+            opts: long,
+            submit: SubmitOptions::bulk(),
+        });
+        dec.step();
+        let aged = dec.submit(BatchRequest::greedy(e.clone(), 12).bulk());
+        for _ in 0..4 {
+            dec.step(); // `aged` waits past the 3-step aging bound
+        }
+        let interactive = dec.submit(BatchRequest::greedy(e.clone(), 12));
+        dec.step();
+        // The promoted entry outranks the interactive (older ticket) and
+        // evicted the running bulk job rather than blocking the queue.
+        assert!(
+            matches!(dec.poll(aged), PollResult::Decoding { .. }),
+            "promoted bulk decodes via its own eviction rights"
+        );
+        assert!(matches!(dec.poll(running), PollResult::Queued { .. }));
+        assert_eq!(dec.preemptions(), 1);
+        dec.run();
+        // Everyone still finishes with reference-identical output.
+        let short_ref = decode_encoded(&store, &params, &cfg, &e, 12, DecodeOptions::default());
+        assert_eq!(take(&mut dec, aged), short_ref);
+        assert_eq!(take(&mut dec, interactive), short_ref);
+        assert_eq!(
+            take(&mut dec, running),
+            decode_encoded(&store, &params, &cfg, &e, 24, long)
+        );
+    }
+
+    /// Regression (review): fire-and-forget cancellation is memory-bounded
+    /// — past [`CANCELLED_MARKER_CAP`] unpolled markers the oldest degrade
+    /// to `Unknown` while the newest still redeem `Cancelled`.
+    #[test]
+    fn unpolled_cancel_markers_are_bounded() {
+        let (cfg, store, params) = setup();
+        let e = enc(&store, &params, &cfg, 1);
+        let mut dec = BatchDecoder::new(&store, &params, &cfg, 1);
+        let ids: Vec<RequestId> = (0..CANCELLED_MARKER_CAP + 8)
+            .map(|_| {
+                let id = dec.submit(BatchRequest::greedy(e.clone(), 8));
+                assert!(dec.cancel(id), "queued cancel succeeds");
+                id
+            })
+            .collect();
+        assert_eq!(
+            dec.poll(ids[0]),
+            PollResult::Unknown,
+            "oldest markers evicted at the cap"
+        );
+        assert_eq!(
+            dec.poll(*ids.last().unwrap()),
+            PollResult::Cancelled,
+            "recent markers still redeem"
+        );
+        assert_eq!(dec.pending(), 0, "every request left the queue");
     }
 }

@@ -406,7 +406,10 @@ impl Hypothesis {
         }
     }
 
-    fn score(&self) -> f32 {
+    /// Length-normalized log-prob; shared with the batched scheduler's
+    /// partial-output polls (the "current best hypothesis" of a beam
+    /// request uses the same ranking as final selection).
+    pub(crate) fn score(&self) -> f32 {
         self.log_prob / self.ids.len() as f32
     }
 }

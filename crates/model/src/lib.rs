@@ -20,7 +20,9 @@
 //! * [`batch`] — the [`BatchDecoder`] lockstep scheduler: N concurrent
 //!   requests decoded with continuous batching, their per-step projections
 //!   fused into shared packed-matrix kernels (logits stay identical to the
-//!   single-request path);
+//!   single-request path), with priority-aware admission ([`Priority`],
+//!   aging, bulk-lane preemption), a typed [`PollResult`] lifecycle with
+//!   streaming partial tokens, and cancellation;
 //! * [`Seq2SeqModel`] — the bundled artifact (config + vocab + weights) with
 //!   JSON checkpointing.
 //!
@@ -37,7 +39,10 @@ pub mod train;
 pub mod transformer;
 pub mod vocab;
 
-pub use batch::{BatchDecoder, BatchRequest, RequestId, DEFAULT_MAX_BATCH};
+pub use batch::{
+    BatchDecoder, BatchRequest, PollResult, Priority, RequestId, RequestTelemetry, SubmitOptions,
+    DEFAULT_AGING_STEPS, DEFAULT_MAX_BATCH,
+};
 pub use bpe::Bpe;
 pub use config::ModelConfig;
 pub use decode::{

@@ -9,7 +9,7 @@
 //! Without arguments it trains a small model on the fly and runs the demo on
 //! a built-in buffer, including a mid-edit (unparseable) state.
 
-use mpirical::{MpiRical, MpiRicalConfig};
+use mpirical::{MpiRical, MpiRicalConfig, SubmitOptions, SuggestPoll};
 use mpirical_corpus::{generate_dataset, CorpusConfig};
 use mpirical_model::ModelConfig;
 
@@ -123,7 +123,9 @@ fn main() {
     let tickets: Vec<_> = buffers.iter().map(|(_, b)| service.submit(b)).collect();
     service.run();
     for ((who, _), ticket) in buffers.iter().zip(tickets) {
-        let suggestions = service.poll(ticket).expect("request finished");
+        let SuggestPoll::Done { suggestions, .. } = service.poll(ticket) else {
+            panic!("request finished");
+        };
         println!("{who}: {} suggestion(s)", suggestions.len());
         for s in &suggestions {
             println!("    line {:>3}: insert {}", s.line, s.function);
@@ -134,7 +136,7 @@ fn main() {
     // its prefilled K/V pages (copy-on-write) instead of re-projecting them.
     let retrigger = service.submit(&buffer);
     service.run();
-    service.poll(retrigger).expect("retrigger finished");
+    assert!(matches!(service.poll(retrigger), SuggestPoll::Done { .. }));
     let stats = service.pool_stats();
     println!(
         "\npaged KV cache: peak {} pages ({} KiB), {} COW copies, {} prefix hit(s)",
@@ -142,5 +144,62 @@ fn main() {
         stats.peak_bytes() / 1024,
         stats.cow_copies,
         service.prefix_hits(),
+    );
+
+    // Serving API v2: a background re-index job churns at Bulk priority;
+    // a keystroke-triggered request preempts its lane mid-flight (the
+    // bulk job pauses with its KV pages intact and resumes after), a
+    // second re-index becomes stale and is cancelled, and the poll states
+    // narrate the whole lifecycle.
+    println!("\n=== priorities: keystroke preempts a background re-index ===");
+    let mut service = mpirical::SuggestService::with_max_batch(&assistant, 1);
+    let reindex = service.submit_with(SECOND_BUFFER, SubmitOptions::bulk());
+    let stale = service.submit_with(DEMO_BUFFER, SubmitOptions::bulk());
+    for _ in 0..3 {
+        service.step();
+    }
+    let keystroke = service.submit(&buffer); // Interactive by default
+    service.step();
+    match service.poll(keystroke) {
+        SuggestPoll::Decoding { partial } => println!(
+            "keystroke request: decoding 1 step after submit ({} partial suggestion(s))",
+            partial.len()
+        ),
+        other => println!("keystroke request: {other:?}"),
+    }
+    if let SuggestPoll::Queued { position } = service.poll(reindex) {
+        println!("re-index job: paused at queue position {position} (pages retained)");
+    }
+    let cancelled = service.cancel(stale);
+    println!("stale re-index cancelled: {cancelled}");
+    service.run();
+    match service.poll(keystroke) {
+        SuggestPoll::Done {
+            suggestions,
+            telemetry,
+        } => println!(
+            "keystroke done: {} suggestion(s), {} queue-wait step(s), {} decode step(s)",
+            suggestions.len(),
+            telemetry.queue_wait_steps,
+            telemetry.decode_steps,
+        ),
+        other => println!("keystroke: {other:?}"),
+    }
+    match service.poll(reindex) {
+        SuggestPoll::Done {
+            suggestions,
+            telemetry,
+        } => println!(
+            "re-index done: {} suggestion(s), preempted {} time(s), output unchanged",
+            suggestions.len(),
+            telemetry.preemptions,
+        ),
+        other => println!("re-index: {other:?}"),
+    }
+    assert!(matches!(service.poll(stale), SuggestPoll::Cancelled));
+    println!(
+        "scheduler: {} preemption(s), {} live page(s) after drain",
+        service.preemptions(),
+        service.pool_stats().pages_live,
     );
 }

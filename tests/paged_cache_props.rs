@@ -32,7 +32,7 @@ use mpirical_model::transformer::{build_params, TransformerParams};
 use mpirical_model::vocab::{EOS, SOS};
 use mpirical_model::{
     decode_step, decode_step_quant, BatchDecoder, BatchRequest, DecodeOptions, DecoderCache,
-    ModelConfig, PagePool, Precision, QuantDecoderWeights,
+    ModelConfig, PagePool, Precision, QuantDecoderWeights, RequestId, SubmitOptions,
 };
 use mpirical_tensor::{ParamStore, Tensor};
 use proptest::prelude::*;
@@ -218,7 +218,7 @@ proptest! {
 
             // Late joins: requests are submitted at their join step while
             // the scheduler is already decoding earlier ones.
-            let mut tickets: Vec<Option<u64>> = vec![None; specs.len()];
+            let mut tickets: Vec<Option<RequestId>> = vec![None; specs.len()];
             let last_join = specs.iter().map(|s| s.join).max().unwrap_or(0);
             for t in 0..=last_join {
                 for (i, s) in specs.iter().enumerate() {
@@ -228,6 +228,7 @@ proptest! {
                             prompt: s.prompt.clone(),
                             max_len: s.max_len,
                             opts: opts_at(s),
+                            submit: SubmitOptions::default(),
                         }));
                     }
                 }
@@ -236,7 +237,10 @@ proptest! {
             dec.run();
 
             for (i, (ticket, want)) in tickets.iter().zip(&references).enumerate() {
-                let got = dec.poll(ticket.expect("submitted")).expect("retired");
+                let got = dec
+                    .poll(ticket.expect("submitted"))
+                    .into_output()
+                    .expect("retired");
                 prop_assert_eq!(
                     &got, want,
                     "{:?} request {} (beam={} prompt_len={} max_len={})",

@@ -37,7 +37,7 @@ use mpirical_model::transformer::build_params;
 use mpirical_model::vocab::{EOS, SOS};
 use mpirical_model::{
     decode_step, decode_step_quant, BatchDecoder, BatchRequest, DecodeOptions, DecoderCache,
-    ModelConfig, Precision, QuantDecoderWeights,
+    ModelConfig, Precision, QuantDecoderWeights, SubmitOptions,
 };
 use mpirical_tensor::{vecmat, vecmat_q, ParamStore, QuantMat, Tensor};
 
@@ -254,6 +254,7 @@ fn quant_scheduler_and_layouts_agree_on_random_artifacts() {
             prompt: vec![SOS],
             max_len: 24,
             opts,
+            submit: SubmitOptions::default(),
         }]);
         assert_eq!(single, batched[0], "beam={beam} lockstep vs single");
     }
