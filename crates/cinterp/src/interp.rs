@@ -255,8 +255,8 @@ impl<'a> Interp<'a> {
             Stmt::Break { .. } => Ok(Flow::Break),
             Stmt::Continue { .. } => Ok(Flow::Continue),
             Stmt::Block(b) => self.exec_block(b),
-            Stmt::Error { line, text } => Err(InterpError::Unsupported {
-                detail: format!("unparsed region `{text}`"),
+            Stmt::Error { line, lines } => Err(InterpError::Unsupported {
+                detail: format!("unparsed region `{}`", lines.join(" ")),
                 line: *line,
             }),
         }

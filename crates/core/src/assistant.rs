@@ -27,7 +27,7 @@
 use crate::encode::{build_vocab, encode_dataset, encode_record, InputFormat};
 use crate::tokenize::{calls_from_ids, detokenize, tokenize_code};
 use mpirical_corpus::Dataset;
-use mpirical_cparse::{parse_tolerant, print_program};
+use mpirical_cparse::{parse_tolerant, print_program, ParseHealth};
 use mpirical_metrics::CallSite;
 use mpirical_model::decode::encode_source as model_encode;
 use mpirical_model::vocab::{EOS, SEP, SOS};
@@ -49,6 +49,12 @@ pub struct Suggestion {
     pub function: String,
     /// 1-based line of the standardized program to insert the call at.
     pub line: u32,
+    /// True when the suggestion's line falls inside a dirty range of a
+    /// degraded (mid-edit) parse — the model was looking at an error region,
+    /// so the suggestion is demoted behind clean-region ones. Defaults false
+    /// so pre-existing serialized artifacts still deserialize.
+    #[serde(default)]
+    pub degraded: bool,
 }
 
 impl From<CallSite> for Suggestion {
@@ -56,8 +62,39 @@ impl From<CallSite> for Suggestion {
         Suggestion {
             function: c.name,
             line: c.line,
+            degraded: false,
         }
     }
+}
+
+/// Encoder ids for one source plus the front-end degradation summary
+/// ([`ParseHealth`]) observed while producing them. `health.dirty_lines`
+/// is in *canonical* (standardized) line space — the same space suggestion
+/// lines refer to.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EncodedSource {
+    pub ids: Vec<usize>,
+    pub health: ParseHealth,
+}
+
+/// [`MpiRical::suggest_report`] output: the suggestions (clean-region first)
+/// plus the parse health that produced them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SuggestReport {
+    pub suggestions: Vec<Suggestion>,
+    pub health: ParseHealth,
+}
+
+/// Flag suggestions that land inside the parse's dirty line ranges and
+/// demote them behind clean-region suggestions (stable within each class).
+pub(crate) fn apply_health(suggestions: &mut [Suggestion], health: &ParseHealth) {
+    if health.is_clean() {
+        return;
+    }
+    for s in suggestions.iter_mut() {
+        s.degraded = health.is_dirty_line(s.line);
+    }
+    suggestions.sort_by_key(|s| s.degraded);
 }
 
 /// Assistant configuration.
@@ -177,10 +214,20 @@ impl MpiRical {
 
     /// Encode raw (possibly incomplete) C source into encoder ids:
     /// tolerant-parse → standardize → X-SBT → `<sos> code <sep> xsbt <eos>`.
-    pub fn encode_source(&self, c_source: &str) -> Vec<usize> {
+    ///
+    /// The returned [`EncodedSource`] also carries the [`ParseHealth`] of the
+    /// front-end pass: error/recovery counts are the worse of the original
+    /// parse and the canonical reparse, while the dirty line ranges come from
+    /// the reparse so they live in the same canonical line space as
+    /// suggestion lines.
+    pub fn encode_source(&self, c_source: &str) -> EncodedSource {
         let parsed = parse_tolerant(c_source);
         let std_text = print_program(&parsed.program);
         let reparsed = parse_tolerant(&std_text);
+        let mut health = reparsed.health();
+        let original = parsed.health();
+        health.error_count = health.error_count.max(original.error_count);
+        health.recovery_events = health.recovery_events.max(original.recovery_events);
         let code_toks = tokenize_code(&std_text);
         let xsbt_toks: Vec<String> = match self.input_format {
             InputFormat::CodeOnly => vec![],
@@ -196,7 +243,7 @@ impl MpiRical {
         src.push(SEP);
         src.extend(self.model.vocab.encode(&xsbt_toks[..xsbt_take]));
         src.push(EOS);
-        src
+        EncodedSource { ids: src, health }
     }
 
     /// Generate from already-encoded source ids with the artifact's
@@ -231,16 +278,33 @@ impl MpiRical {
     /// [`Precision::Int8`]).
     pub fn predict_ids(&self, c_source: &str) -> Vec<usize> {
         let src = self.encode_source(c_source);
-        self.generate_ids(&src)
+        self.generate_ids(&src.ids)
     }
 
     /// Suggest MPI functions and their insertion lines (paper RQ1 + RQ2).
+    /// Suggestions whose lines fall inside a degraded parse's dirty ranges
+    /// are flagged [`Suggestion::degraded`] and demoted behind clean-region
+    /// ones; use [`suggest_report`](Self::suggest_report) to also see the
+    /// parse health itself.
     pub fn suggest(&self, c_source: &str) -> Vec<Suggestion> {
-        let ids = self.predict_ids(c_source);
-        calls_from_ids(&ids, &self.model.vocab)
+        self.suggest_report(c_source).suggestions
+    }
+
+    /// [`suggest`](Self::suggest) plus the front-end [`ParseHealth`], so a
+    /// caller can tell a clean-parse suggestion set from one produced around
+    /// unparseable mid-edit regions.
+    pub fn suggest_report(&self, c_source: &str) -> SuggestReport {
+        let src = self.encode_source(c_source);
+        let ids = self.generate_ids(&src.ids);
+        let mut suggestions: Vec<Suggestion> = calls_from_ids(&ids, &self.model.vocab)
             .into_iter()
             .map(Suggestion::from)
-            .collect()
+            .collect();
+        apply_health(&mut suggestions, &src.health);
+        SuggestReport {
+            suggestions,
+            health: src.health,
+        }
     }
 
     /// Predict token ids for many sources at once through the batched
@@ -258,8 +322,15 @@ impl MpiRical {
     /// [`BatchDecoder`]: mpirical_model::BatchDecoder
     /// [`predict_ids`]: Self::predict_ids
     pub fn predict_ids_batch(&self, sources: &[&str]) -> Vec<Vec<usize>> {
-        let m = &self.model;
         let reqs = sources.iter().map(|s| self.batch_request(s)).collect();
+        self.decode_requests(reqs)
+    }
+
+    /// Decode a set of prepared requests through the lockstep scheduler —
+    /// the shared tail of [`predict_ids_batch`](Self::predict_ids_batch) and
+    /// [`suggest_batch`](Self::suggest_batch).
+    fn decode_requests(&self, reqs: Vec<BatchRequest>) -> Vec<Vec<usize>> {
+        let m = &self.model;
         let lanes = DEFAULT_MAX_BATCH.max(self.decode.beam);
         let mut dec = match self.decode.precision {
             Precision::F32 => BatchDecoder::new(&m.store, &m.params, &m.cfg, lanes),
@@ -294,9 +365,16 @@ impl MpiRical {
     /// [`SuggestService`](crate::service::SuggestService), so the one-shot
     /// and daemon serving paths can never drift apart.
     pub fn batch_request_with(&self, c_source: &str, submit: SubmitOptions) -> BatchRequest {
+        self.request_from_encoded(&self.encode_source(c_source), submit)
+    }
+
+    /// Build a [`BatchRequest`] from an already-encoded source — the caller
+    /// keeps the [`EncodedSource::health`] to interpret the eventual output
+    /// (this is what [`SuggestService`](crate::service::SuggestService) does
+    /// per ticket).
+    pub fn request_from_encoded(&self, enc: &EncodedSource, submit: SubmitOptions) -> BatchRequest {
         let m = &self.model;
-        let src = self.encode_source(c_source);
-        let enc_out = model_encode(&m.store, &m.params, &m.cfg, &src);
+        let enc_out = model_encode(&m.store, &m.params, &m.cfg, &enc.ids);
         BatchRequest {
             enc_out,
             prompt: vec![SOS],
@@ -308,14 +386,24 @@ impl MpiRical {
 
     /// Batched [`suggest`](Self::suggest): one `Vec<Suggestion>` per source,
     /// in input order, decoded concurrently through the batch scheduler.
+    /// Per-source [`ParseHealth`] is applied exactly as in the sequential
+    /// path, so degraded-flagging and demotion cannot drift between the two.
     pub fn suggest_batch(&self, sources: &[&str]) -> Vec<Vec<Suggestion>> {
-        self.predict_ids_batch(sources)
+        let encoded: Vec<EncodedSource> = sources.iter().map(|s| self.encode_source(s)).collect();
+        let reqs = encoded
+            .iter()
+            .map(|e| self.request_from_encoded(e, SubmitOptions::default()))
+            .collect();
+        self.decode_requests(reqs)
             .into_iter()
-            .map(|ids| {
-                calls_from_ids(&ids, &self.model.vocab)
+            .zip(&encoded)
+            .map(|(ids, enc)| {
+                let mut suggestions: Vec<Suggestion> = calls_from_ids(&ids, &self.model.vocab)
                     .into_iter()
                     .map(Suggestion::from)
-                    .collect()
+                    .collect();
+                apply_health(&mut suggestions, &enc.health);
+                suggestions
             })
             .collect()
     }
@@ -547,9 +635,47 @@ mod tests {
     fn encode_source_tolerates_incomplete_code() {
         let assistant = tiny_assistant();
         // Mid-edit code with an unterminated block — the IDE scenario.
-        let ids = assistant.encode_source("int main() { int x = 1; if (x");
-        assert!(ids.len() >= 3);
-        assert_eq!(ids[0], SOS);
-        assert_eq!(*ids.last().unwrap(), EOS);
+        let enc = assistant.encode_source("int main() { int x = 1; if (x");
+        assert!(enc.ids.len() >= 3);
+        assert_eq!(enc.ids[0], SOS);
+        assert_eq!(*enc.ids.last().unwrap(), EOS);
+        assert!(!enc.health.is_clean(), "mid-edit parse reports degradation");
+    }
+
+    #[test]
+    fn encode_source_health_clean_on_valid_code() {
+        let assistant = tiny_assistant();
+        let enc = assistant.encode_source("int main() { int x = 1; return x; }");
+        assert!(enc.health.is_clean());
+        let report = assistant.suggest_report("int main() { int x = 1; return x; }");
+        assert!(report.health.is_clean());
+        assert!(report.suggestions.iter().all(|s| !s.degraded));
+    }
+
+    /// Degraded suggestions are flagged and demoted behind clean-region
+    /// ones, identically in `suggest` and `suggest_batch`.
+    #[test]
+    fn degraded_suggestions_flagged_and_demoted() {
+        let assistant = tiny_assistant();
+        let dirty = "int main() {\n    int rank;\n    = = broken\n    return 0;\n}\n";
+        let report = assistant.suggest_report(dirty);
+        assert!(!report.health.is_clean());
+        assert!(report.health.error_count >= 1);
+        // Demotion: once a degraded suggestion appears, no clean one after.
+        let first_degraded = report
+            .suggestions
+            .iter()
+            .position(|s| s.degraded)
+            .unwrap_or(report.suggestions.len());
+        assert!(
+            report.suggestions[first_degraded..]
+                .iter()
+                .all(|s| s.degraded),
+            "clean suggestions sort first: {:?}",
+            report.suggestions
+        );
+        // Batch path applies the same health transform.
+        let batched = assistant.suggest_batch(&[dirty]);
+        assert_eq!(batched[0], report.suggestions);
     }
 }

@@ -53,7 +53,7 @@ pub mod report;
 pub mod service;
 pub mod tokenize;
 
-pub use assistant::{MpiRical, MpiRicalConfig, Suggestion};
+pub use assistant::{EncodedSource, MpiRical, MpiRicalConfig, SuggestReport, Suggestion};
 pub use baseline::{evaluate_baseline, insert_scaffolding, rule_based_predict};
 pub use benchmark11::{benchmark_programs, validate_program, BenchProgram, Validation};
 pub use encode::{build_vocab, encode_dataset, encode_record, InputFormat};

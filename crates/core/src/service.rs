@@ -22,7 +22,12 @@
 //! telemetry ([`RequestTelemetry`]: queue-wait steps, decode steps,
 //! preemptions), a cancellation marker, or `Unknown` for a ticket the
 //! service never issued (so a daemon can detect client-side ticket bugs —
-//! the v1 `Option` return conflated all of these).
+//! the v1 `Option` return conflated all of these). `Done` also carries the
+//! buffer's front-end [`ParseHealth`], captured at submit time: an editor
+//! can tell a clean-parse result from one produced around broken regions,
+//! and suggestions inside dirty line ranges arrive flagged
+//! [`Suggestion::degraded`] and sorted last — same contract as
+//! [`MpiRical::suggest_report`](crate::MpiRical::suggest_report).
 //! [`cancel`](SuggestService::cancel) retires a request from the queue or
 //! mid-flight, returning its pages to the pool.
 //!
@@ -55,11 +60,14 @@
 //!     }
 //! }
 //! match service.poll(keystroke) {
-//!     SuggestPoll::Done { suggestions, telemetry } => {
+//!     SuggestPoll::Done { suggestions, telemetry, health } => {
 //!         for s in &suggestions {
 //!             println!("insert {} at line {}", s.function, s.line);
 //!         }
 //!         println!("queue wait: {} steps", telemetry.queue_wait_steps);
+//!         if !health.is_clean() {
+//!             println!("buffer was mid-edit: {} dirty range(s)", health.dirty_lines.len());
+//!         }
 //!     }
 //!     other => panic!("unexpected state: {other:?}"),
 //! }
@@ -67,12 +75,14 @@
 //! println!("peak KV bytes: {}", service.pool_stats().peak_bytes());
 //! ```
 
-use crate::assistant::{MpiRical, Suggestion};
+use crate::assistant::{apply_health, MpiRical, Suggestion};
 use crate::tokenize::calls_from_ids;
+use mpirical_cparse::ParseHealth;
 use mpirical_model::{
     BatchDecoder, PollResult, PoolStats, RequestId, RequestTelemetry, SubmitOptions,
     DEFAULT_MAX_BATCH,
 };
+use std::collections::HashMap;
 
 /// Typed lifecycle state of a suggestion request — the [`Suggestion`]-level
 /// mirror of the scheduler's [`PollResult`] (see
@@ -89,9 +99,16 @@ pub enum SuggestPoll {
     /// switch between polls — treat each poll as a fresh snapshot.
     Decoding { partial: Vec<Suggestion> },
     /// Finished. Redeems once; later polls report `Unknown`.
+    ///
+    /// `health` is the [`ParseHealth`] of the buffer as submitted: a
+    /// mid-edit buffer that parsed around broken regions reports its
+    /// error/recovery counts and dirty line ranges here, and any
+    /// suggestion landing inside a dirty range arrives with
+    /// [`Suggestion::degraded`] set (sorted after the clean ones).
     Done {
         suggestions: Vec<Suggestion>,
         telemetry: RequestTelemetry,
+        health: ParseHealth,
     },
     /// Retired by [`SuggestService::cancel`]. Redeems once.
     Cancelled,
@@ -115,6 +132,9 @@ impl SuggestPoll {
 pub struct SuggestService<'m> {
     assistant: &'m MpiRical,
     decoder: BatchDecoder<'m>,
+    /// Front-end parse health per live ticket, captured at submit time and
+    /// redeemed with the ticket (`Done` carries it; `Cancelled` drops it).
+    health: HashMap<RequestId, ParseHealth>,
 }
 
 impl<'m> SuggestService<'m> {
@@ -158,16 +178,21 @@ impl<'m> SuggestService<'m> {
                 std::borrow::Cow::Borrowed(assistant.int8_weights()),
             ),
         };
-        SuggestService { assistant, decoder }
+        SuggestService {
+            assistant,
+            decoder,
+            health: HashMap::new(),
+        }
     }
 
     /// Queue a raw (possibly mid-edit) C buffer for suggestion at the
     /// default scheduling options ([`Priority::Interactive`](mpirical_model::Priority::Interactive), no token
     /// cap). The front-end work — tolerant parse, standardization, X-SBT,
     /// encoder forward pass — happens here (via
-    /// [`MpiRical::batch_request`], the same construction `suggest_batch`
+    /// [`MpiRical::encode_source`], the same construction `suggest_batch`
     /// uses); decoding happens across subsequent [`step`](Self::step)
-    /// calls.
+    /// calls. The parse's [`ParseHealth`] is captured per ticket and
+    /// redeemed with [`SuggestPoll::Done`].
     pub fn submit(&mut self, c_source: &str) -> RequestId {
         self.submit_with(c_source, SubmitOptions::default())
     }
@@ -177,8 +202,12 @@ impl<'m> SuggestService<'m> {
     /// interactive keystroke requests) and an optional cap on generated
     /// tokens.
     pub fn submit_with(&mut self, c_source: &str, submit: SubmitOptions) -> RequestId {
-        self.decoder
-            .submit(self.assistant.batch_request_with(c_source, submit))
+        let enc = self.assistant.encode_source(c_source);
+        let id = self
+            .decoder
+            .submit(self.assistant.request_from_encoded(&enc, submit));
+        self.health.insert(id, enc.health);
+        id
     }
 
     /// Cancel a request: removed from the queue or from its lanes
@@ -244,14 +273,27 @@ impl<'m> SuggestService<'m> {
     pub fn poll(&mut self, id: RequestId) -> SuggestPoll {
         match self.decoder.poll(id) {
             PollResult::Queued { position } => SuggestPoll::Queued { position },
-            PollResult::Decoding { tokens_so_far } => SuggestPoll::Decoding {
-                partial: self.suggestions_from(&tokens_so_far),
-            },
-            PollResult::Done { ids, telemetry } => SuggestPoll::Done {
-                suggestions: self.suggestions_from(&ids),
-                telemetry,
-            },
-            PollResult::Cancelled => SuggestPoll::Cancelled,
+            PollResult::Decoding { tokens_so_far } => {
+                let mut partial = self.suggestions_from(&tokens_so_far);
+                if let Some(h) = self.health.get(&id) {
+                    apply_health(&mut partial, h);
+                }
+                SuggestPoll::Decoding { partial }
+            }
+            PollResult::Done { ids, telemetry } => {
+                let mut suggestions = self.suggestions_from(&ids);
+                let health = self.health.remove(&id).unwrap_or_default();
+                apply_health(&mut suggestions, &health);
+                SuggestPoll::Done {
+                    suggestions,
+                    telemetry,
+                    health,
+                }
+            }
+            PollResult::Cancelled => {
+                self.health.remove(&id);
+                SuggestPoll::Cancelled
+            }
             PollResult::Unknown => SuggestPoll::Unknown,
         }
     }
@@ -478,6 +520,7 @@ mod tests {
         let SuggestPoll::Done {
             suggestions,
             telemetry,
+            ..
         } = service.poll(keystroke)
         else {
             panic!("keystroke finished");
@@ -487,6 +530,7 @@ mod tests {
         let SuggestPoll::Done {
             suggestions,
             telemetry,
+            ..
         } = service.poll(bulk)
         else {
             panic!("bulk finished");
@@ -574,6 +618,45 @@ mod tests {
             assert_eq!(take(&mut service, t), assistant.suggest(b), "{b:?}");
         }
         assert_eq!(service.pool_stats().pages_live, 0);
+    }
+
+    /// The front-end resilience contract at the service level: `Done`
+    /// carries the submit-time [`ParseHealth`], a mid-edit buffer's
+    /// suggestions match the direct `suggest_report` path (flags, order,
+    /// and health all equal), and redeeming or cancelling a ticket drops
+    /// its health entry.
+    #[test]
+    fn done_polls_surface_parse_health() {
+        let assistant = tiny_assistant();
+        let clean_buf = "int main() { int rank; return 0; }";
+        let dirty_buf = "int main() {\n    int rank;\n    = = broken\n    return 0;\n}\n";
+        let mut service = SuggestService::new(&assistant);
+        let clean = service.submit(clean_buf);
+        let dirty = service.submit(dirty_buf);
+        let doomed = service.submit(dirty_buf);
+        assert!(service.cancel(doomed));
+        service.run();
+        let SuggestPoll::Done { health, .. } = service.poll(clean) else {
+            panic!("clean finished");
+        };
+        assert!(health.is_clean(), "valid buffer reports a clean parse");
+        let SuggestPoll::Done {
+            suggestions,
+            health,
+            ..
+        } = service.poll(dirty)
+        else {
+            panic!("dirty finished");
+        };
+        let report = assistant.suggest_report(dirty_buf);
+        assert!(!health.is_clean(), "mid-edit buffer reports degradation");
+        assert_eq!(health, report.health, "service and direct health agree");
+        assert_eq!(suggestions, report.suggestions, "parity incl. flags/order");
+        assert_eq!(service.poll(doomed), SuggestPoll::Cancelled);
+        assert!(
+            service.health.is_empty(),
+            "redeemed and cancelled tickets drop their health entries"
+        );
     }
 
     /// Regression (satellite fix): a zero-lane service and a zero-beam

@@ -57,10 +57,13 @@ impl Program {
 pub enum Item {
     Function(FunctionDef),
     Declaration(Declaration),
-    /// Unparseable region, retained verbatim for tolerance.
+    /// Unparseable region, retained verbatim for tolerance. `lines` holds the
+    /// skipped text grouped by original source line so the printer can
+    /// preserve the region's line count (RQ2 anchoring stays stable around
+    /// the hole).
     Error {
         line: u32,
-        text: String,
+        lines: Vec<String>,
     },
 }
 
@@ -198,10 +201,11 @@ pub enum Stmt {
         line: u32,
     },
     Block(Block),
-    /// Unparseable statement region retained verbatim.
+    /// Unparseable statement region retained verbatim, one entry per
+    /// original source line (so printing preserves the line count).
     Error {
         line: u32,
-        text: String,
+        lines: Vec<String>,
     },
 }
 

@@ -43,6 +43,70 @@ impl fmt::Display for Diagnostic {
     }
 }
 
+/// Summary of how degraded a tolerant parse is, threaded through the
+/// suggestion stack so callers can tell a clean-parse result from one
+/// produced around unparseable regions.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParseHealth {
+    /// Number of error-severity diagnostics.
+    pub error_count: usize,
+    /// Number of recovery events (error-node skips and anchor unwinds).
+    pub recovery_events: usize,
+    /// Merged, sorted 1-based line ranges (inclusive) touched by errors.
+    pub dirty_lines: Vec<(u32, u32)>,
+}
+
+impl ParseHealth {
+    /// Build from raw parts, normalizing the dirty ranges (sort, merge
+    /// overlapping or adjacent).
+    pub fn from_parts(
+        error_count: usize,
+        recovery_events: usize,
+        mut spans: Vec<(u32, u32)>,
+    ) -> Self {
+        spans.sort_unstable();
+        let mut dirty_lines: Vec<(u32, u32)> = Vec::new();
+        for (start, end) in spans {
+            let (start, end) = (start.min(end), start.max(end));
+            match dirty_lines.last_mut() {
+                Some((_, prev_end)) if start <= prev_end.saturating_add(1) => {
+                    *prev_end = (*prev_end).max(end);
+                }
+                _ => dirty_lines.push((start, end)),
+            }
+        }
+        ParseHealth {
+            error_count,
+            recovery_events,
+            dirty_lines,
+        }
+    }
+
+    /// True when the parse saw no errors and performed no recovery.
+    pub fn is_clean(&self) -> bool {
+        self.error_count == 0 && self.recovery_events == 0 && self.dirty_lines.is_empty()
+    }
+
+    /// Is `line` (1-based) inside any dirty range?
+    pub fn is_dirty_line(&self, line: u32) -> bool {
+        self.dirty_lines
+            .iter()
+            .any(|&(start, end)| start <= line && line <= end)
+    }
+
+    /// Combine two health summaries (e.g. original-source parse and the
+    /// canonical reparse): counts add range-wise via max, dirty ranges union.
+    pub fn merged_with(&self, other: &ParseHealth) -> ParseHealth {
+        let mut spans = self.dirty_lines.clone();
+        spans.extend_from_slice(&other.dirty_lines);
+        ParseHealth::from_parts(
+            self.error_count.max(other.error_count),
+            self.recovery_events.max(other.recovery_events),
+            spans,
+        )
+    }
+}
+
 /// Error returned by [`crate::parse_strict`] when the source contains
 /// constructs outside the supported subset or malformed syntax.
 #[derive(Debug, Clone)]
@@ -77,6 +141,26 @@ mod tests {
         assert_eq!(d.to_string(), "error:7: bad token");
         let w = Diagnostic::new(Severity::Warning, 2, "odd");
         assert_eq!(w.to_string(), "warning:2: odd");
+    }
+
+    #[test]
+    fn health_merges_and_sorts_ranges() {
+        let h = ParseHealth::from_parts(2, 1, vec![(7, 9), (1, 2), (3, 4), (8, 12)]);
+        assert_eq!(h.dirty_lines, vec![(1, 4), (7, 12)]);
+        assert!(h.is_dirty_line(1) && h.is_dirty_line(12) && h.is_dirty_line(8));
+        assert!(!h.is_dirty_line(5) && !h.is_dirty_line(13));
+        assert!(!h.is_clean());
+        assert!(ParseHealth::default().is_clean());
+    }
+
+    #[test]
+    fn health_merged_with_takes_max_counts() {
+        let a = ParseHealth::from_parts(1, 2, vec![(3, 3)]);
+        let b = ParseHealth::from_parts(4, 1, vec![(5, 6)]);
+        let m = a.merged_with(&b);
+        assert_eq!(m.error_count, 4);
+        assert_eq!(m.recovery_events, 2);
+        assert_eq!(m.dirty_lines, vec![(3, 3), (5, 6)]);
     }
 
     #[test]

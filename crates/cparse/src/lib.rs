@@ -45,7 +45,7 @@ pub use ast::{
     AssignOp, BinOp, Block, Declaration, Declarator, Expr, ForInit, FunctionDef, Init, Item, Param,
     Program, Stmt, TypeSpec, UnOp,
 };
-pub use error::{Diagnostic, ParseError, Severity};
+pub use error::{Diagnostic, ParseError, ParseHealth, Severity};
 pub use lexer::{lex, LexOutput};
 pub use parser::{parse_strict, parse_tolerant, ParseOutput};
 pub use printer::{print_program, render_expr, standardize};

@@ -1,15 +1,28 @@
 //! Error-tolerant recursive-descent parser for the C subset.
 //!
-//! Tolerance strategy (mirroring TreeSitter's behaviour that the paper relies
-//! on for live advising): a malformed statement or top-level item is consumed
-//! up to the next plausible synchronization point (`;` at depth zero or a
-//! closing `}`), recorded as an `Error` node holding the raw text, and parsing
-//! continues. [`parse_tolerant`] therefore always yields a [`Program`];
-//! [`parse_strict`] additionally fails if any error diagnostic was produced —
-//! this is the corpus inclusion gate (paper §V-A1, pycparser's role).
+//! Tolerance strategy (resilient-LL, mirroring TreeSitter's behaviour that
+//! the paper relies on for live advising): a malformed statement or top-level
+//! item is consumed up to the next token in its construct's *recovery set* —
+//! tokens that plausibly start the next statement or item — recorded as an
+//! `Error` node holding the raw text grouped per source line, and parsing
+//! continues. Two guarantees bound the blast radius of any single error:
+//!
+//! - **Statement-level recovery never crosses the enclosing block**: the
+//!   skip stops before a `}` at the statement's own depth, and tracks paren
+//!   and brace depth *separately* so a stray closer cannot mis-sync past the
+//!   statement boundary.
+//! - **Top-level anchoring**: a token sequence that looks like the start of a
+//!   function (`type [*]* ident (`) encountered at brace depth ≥ 1 closes
+//!   every open block and resumes parsing at top level, so an unclosed brace
+//!   in one function never absorbs the functions after it.
+//!
+//! [`parse_tolerant`] therefore always yields a [`Program`]; [`parse_strict`]
+//! additionally fails if any error diagnostic was produced — this is the
+//! corpus inclusion gate (paper §V-A1, pycparser's role). The degradation a
+//! tolerant parse suffered is summarized by [`ParseOutput::health`].
 
 use crate::ast::*;
-use crate::error::{Diagnostic, ParseError, Severity};
+use crate::error::{Diagnostic, ParseError, ParseHealth, Severity};
 use crate::lexer::{lex, LexOutput};
 use crate::token::{Keyword, Punct, Token, TokenKind};
 
@@ -18,6 +31,9 @@ use crate::token::{Keyword, Punct, Token, TokenKind};
 pub struct ParseOutput {
     pub program: Program,
     pub diagnostics: Vec<Diagnostic>,
+    /// Number of recovery events (error-node skips and anchor unwinds) the
+    /// parser performed to keep going.
+    pub recoveries: usize,
 }
 
 impl ParseOutput {
@@ -25,6 +41,56 @@ impl ParseOutput {
     /// is present in the tree.
     pub fn is_clean(&self) -> bool {
         !self.diagnostics.iter().any(|d| d.is_error()) && !has_error_nodes(&self.program)
+    }
+
+    /// Summarize how degraded this parse is: error diagnostics, recovery
+    /// events, and the merged source-line ranges the errors touch. Line
+    /// numbers refer to the source this output was parsed from, so calling
+    /// this on a reparse of printed text yields ranges in canonical space.
+    pub fn health(&self) -> ParseHealth {
+        let mut spans: Vec<(u32, u32)> = Vec::new();
+        let mut error_count = 0usize;
+        for d in &self.diagnostics {
+            if d.is_error() {
+                error_count += 1;
+                spans.push((d.line, d.line));
+            }
+        }
+        collect_error_spans(&self.program, &mut spans);
+        ParseHealth::from_parts(error_count, self.recoveries, spans)
+    }
+}
+
+fn collect_error_spans(p: &Program, out: &mut Vec<(u32, u32)>) {
+    fn span_of(line: u32, lines: &[String]) -> (u32, u32) {
+        (line, line + lines.len().saturating_sub(1) as u32)
+    }
+    fn stmt_spans(s: &Stmt, out: &mut Vec<(u32, u32)>) {
+        match s {
+            Stmt::Error { line, lines } => out.push(span_of(*line, lines)),
+            Stmt::Block(b) => b.stmts.iter().for_each(|s| stmt_spans(s, out)),
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                stmt_spans(then_branch, out);
+                if let Some(e) = else_branch {
+                    stmt_spans(e, out);
+                }
+            }
+            Stmt::While { body, .. } | Stmt::DoWhile { body, .. } | Stmt::For { body, .. } => {
+                stmt_spans(body, out)
+            }
+            _ => {}
+        }
+    }
+    for item in &p.items {
+        match item {
+            Item::Error { line, lines } => out.push(span_of(*line, lines)),
+            Item::Function(f) => f.body.stmts.iter().for_each(|s| stmt_spans(s, out)),
+            Item::Declaration(_) => {}
+        }
     }
 }
 
@@ -86,6 +152,53 @@ struct Parser {
     /// followed by another identifier at declaration position as a type name;
     /// this set seeds the well-known MPI typedefs).
     known_types: Vec<String>,
+    /// Set when an item anchor is seen at brace depth ≥ 1: every open block
+    /// unwinds (without consuming the anchor) so the item reparses at top
+    /// level. Cleared by `parse_program` after each item.
+    anchored: bool,
+    /// Count of recovery events (see [`ParseOutput::recoveries`]).
+    recoveries: usize,
+}
+
+/// Accumulates skipped tokens grouped by original source line, so `Error`
+/// nodes preserve the region's line structure (including blank lines).
+struct LineGroups {
+    lines: Vec<String>,
+    last_line: Option<u32>,
+}
+
+impl LineGroups {
+    fn new() -> Self {
+        LineGroups {
+            lines: Vec::new(),
+            last_line: None,
+        }
+    }
+
+    fn push(&mut self, t: &Token) {
+        let rendered = t.kind.render();
+        match self.last_line {
+            Some(last) if last == t.line => {
+                let cur = self.lines.last_mut().expect("last_line implies a line");
+                if !cur.is_empty() {
+                    cur.push(' ');
+                }
+                cur.push_str(&rendered);
+            }
+            Some(last) => {
+                // Preserve blank lines inside the skipped region.
+                for _ in last + 1..t.line {
+                    self.lines.push(String::new());
+                }
+                self.lines.push(rendered);
+                self.last_line = Some(t.line);
+            }
+            None => {
+                self.lines.push(rendered);
+                self.last_line = Some(t.line);
+            }
+        }
+    }
 }
 
 const MPI_TYPES: &[&str] = &[
@@ -107,6 +220,8 @@ impl Parser {
             pos: 0,
             diagnostics: lexed.diagnostics,
             known_types: MPI_TYPES.iter().map(|s| s.to_string()).collect(),
+            anchored: false,
+            recoveries: 0,
         }
     }
 
@@ -164,19 +279,31 @@ impl Parser {
         let mut directives = Vec::new();
         let mut items = Vec::new();
         while !self.at_eof() {
+            // An anchor unwind terminates at top level: the anchor token is
+            // still in the stream and reparses as an ordinary item.
+            self.anchored = false;
             if let TokenKind::Directive(d) = &self.peek().kind {
                 directives.push(d.clone());
                 self.bump();
                 continue;
             }
+            let save = self.pos;
             match self.parse_item() {
                 Some(item) => items.push(item),
                 None => {
-                    // Unrecoverable at this token: skip to a sync point.
+                    // Unrecoverable at this token: rewind to the item start
+                    // (so the error node keeps everything the failed attempt
+                    // consumed) and skip to the item recovery set.
+                    self.pos = save;
                     let line = self.peek().line;
-                    let text = self.skip_to_sync();
-                    if !text.is_empty() {
-                        items.push(Item::Error { line, text });
+                    let lines = self.skip_to_sync();
+                    self.recoveries += 1;
+                    if !lines.is_empty() {
+                        items.push(Item::Error { line, lines });
+                    }
+                    if self.pos == save {
+                        // No progress possible (can only happen at EOF).
+                        break;
                     }
                 }
             }
@@ -184,35 +311,91 @@ impl Parser {
         ParseOutput {
             program: Program { directives, items },
             diagnostics: self.diagnostics,
+            recoveries: self.recoveries,
         }
     }
 
-    /// Skip tokens until after a `;` at brace depth 0 or a balancing `}`,
-    /// returning the skipped text (for `Error` nodes).
-    fn skip_to_sync(&mut self) -> String {
-        let mut parts = Vec::new();
-        let mut depth = 0i32;
+    /// Item-level recovery: skip tokens until the item recovery set — the
+    /// next plausible item start (type start or directive at depth 0, or a
+    /// function anchor at any depth), after a `;` at depth 0, or after a
+    /// balancing `}`. Paren and brace depths are tracked separately and
+    /// clamped so stray closers cannot mis-sync. Returns the skipped text
+    /// grouped per source line.
+    fn skip_to_sync(&mut self) -> Vec<String> {
+        let mut grouped = LineGroups::new();
+        let mut paren = 0i32;
+        let mut brace = 0i32;
+        let mut consumed = false;
         while !self.at_eof() {
+            if consumed
+                && brace == 0
+                && paren == 0
+                && (self.at_type_start() || matches!(self.peek().kind, TokenKind::Directive(_)))
+            {
+                break;
+            }
+            if consumed && self.at_item_anchor() {
+                break;
+            }
             let t = self.bump();
+            consumed = true;
+            let mut stop = false;
             match &t.kind {
-                TokenKind::Punct(Punct::LBrace) => depth += 1,
+                TokenKind::Punct(Punct::LBrace) => brace += 1,
                 TokenKind::Punct(Punct::RBrace) => {
-                    parts.push(t.kind.render());
-                    depth -= 1;
-                    if depth <= 0 {
-                        break;
+                    brace -= 1;
+                    if brace <= 0 {
+                        brace = 0;
+                        stop = true;
                     }
-                    continue;
                 }
-                TokenKind::Punct(Punct::Semicolon) if depth == 0 => {
-                    parts.push(t.kind.render());
-                    break;
-                }
+                TokenKind::Punct(Punct::LParen) => paren += 1,
+                TokenKind::Punct(Punct::RParen) => paren = (paren - 1).max(0),
+                TokenKind::Punct(Punct::Semicolon) if brace == 0 && paren == 0 => stop = true,
                 _ => {}
             }
-            parts.push(t.kind.render());
+            grouped.push(&t);
+            if stop {
+                break;
+            }
         }
-        parts.join(" ")
+        grouped.lines
+    }
+
+    /// Does the upcoming token sequence look like the start of a function
+    /// definition or prototype: `type-words [*]* ident (`? This is the
+    /// top-level *anchor*: seen at brace depth ≥ 1 it proves a `}` was lost
+    /// above, so open blocks unwind instead of swallowing the next item.
+    /// Never true at a valid statement start (a declaration statement's name
+    /// is followed by `;`/`=`/`,`/`[`, not `(`).
+    fn at_item_anchor(&self) -> bool {
+        let mut off = 0usize;
+        match &self.peek_at(off).kind {
+            TokenKind::Keyword(k) if k.starts_type() => {
+                let tagged = matches!(k, Keyword::Struct | Keyword::Union | Keyword::Enum);
+                off += 1;
+                if tagged && matches!(self.peek_at(off).kind, TokenKind::Ident(_)) {
+                    off += 1;
+                }
+                while let TokenKind::Keyword(k2) = &self.peek_at(off).kind {
+                    if k2.starts_type() {
+                        off += 1;
+                    } else {
+                        break;
+                    }
+                }
+            }
+            TokenKind::Ident(name) if self.known_types.iter().any(|t| t == name) => off += 1,
+            _ => return false,
+        }
+        while self.peek_at(off).is_punct(Punct::Star) {
+            off += 1;
+        }
+        if !matches!(self.peek_at(off).kind, TokenKind::Ident(_)) {
+            return false;
+        }
+        off += 1;
+        self.peek_at(off).is_punct(Punct::LParen)
     }
 
     fn at_type_start(&self) -> bool {
@@ -399,42 +582,130 @@ impl Parser {
     fn parse_block(&mut self) -> Option<Block> {
         self.expect_punct(Punct::LBrace);
         let mut stmts = Vec::new();
-        while !self.at_eof() && !self.peek().is_punct(Punct::RBrace) {
+        loop {
+            if self.anchored || self.at_eof() || self.peek().is_punct(Punct::RBrace) {
+                break;
+            }
+            if self.at_item_anchor() {
+                // A function start at brace depth ≥ 1 means a `}` was lost
+                // above: close this (and every enclosing) block here so the
+                // error cannot absorb the next top-level item.
+                let line = self.peek().line;
+                self.error(
+                    line,
+                    "expected `}` before start of next function; closing open blocks",
+                );
+                self.recoveries += 1;
+                self.anchored = true;
+                break;
+            }
+            let save = self.pos;
             match self.parse_stmt() {
                 Some(s) => stmts.push(s),
                 None => {
+                    // Rewind to the statement start so the error node keeps
+                    // everything the failed attempt consumed, then skip to
+                    // the statement recovery set.
+                    self.pos = save;
                     let line = self.peek().line;
-                    let text = self.skip_stmt_error();
-                    stmts.push(Stmt::Error { line, text });
+                    let lines = self.skip_stmt_error();
+                    self.recoveries += 1;
+                    if !lines.is_empty() {
+                        stmts.push(Stmt::Error { line, lines });
+                    }
+                    if self.pos == save {
+                        break; // no progress possible
+                    }
                 }
             }
         }
-        self.expect_punct(Punct::RBrace);
+        if !self.anchored {
+            self.expect_punct(Punct::RBrace);
+        }
         Some(Block { stmts })
     }
 
-    /// On a statement-level error, consume up to and including the next `;`
-    /// at the current depth (or stop before `}`), returning the skipped text.
-    fn skip_stmt_error(&mut self) -> String {
-        let mut parts = Vec::new();
-        let mut depth = 0i32;
+    /// Statement-level recovery: consume up to and including the next `;` at
+    /// the statement's own depth, stopping *before* the enclosing block's
+    /// `}`, before any token in the statement recovery set (statement
+    /// keywords, type starts, identifiers, `{`, directives) once at depth 0,
+    /// or before a top-level anchor at any depth. Paren and brace depths are
+    /// tracked separately — a stray `)` clamps instead of mis-syncing the
+    /// brace depth. Returns the skipped text grouped per source line.
+    fn skip_stmt_error(&mut self) -> Vec<String> {
+        let mut grouped = LineGroups::new();
+        let mut paren = 0i32;
+        let mut brace = 0i32;
+        let mut consumed = false;
         while !self.at_eof() {
-            if depth == 0 && self.peek().is_punct(Punct::RBrace) {
+            if brace == 0 && self.peek().is_punct(Punct::RBrace) {
+                break;
+            }
+            if consumed
+                && ((brace == 0 && paren == 0 && self.at_stmt_recovery_point())
+                    || self.at_item_anchor())
+            {
                 break;
             }
             let t = self.bump();
+            consumed = true;
+            let mut stop = false;
             match &t.kind {
-                TokenKind::Punct(Punct::LBrace) | TokenKind::Punct(Punct::LParen) => depth += 1,
-                TokenKind::Punct(Punct::RBrace) | TokenKind::Punct(Punct::RParen) => depth -= 1,
-                TokenKind::Punct(Punct::Semicolon) if depth <= 0 => {
-                    parts.push(t.kind.render());
-                    break;
-                }
+                TokenKind::Punct(Punct::LBrace) => brace += 1,
+                TokenKind::Punct(Punct::RBrace) => brace -= 1, // brace > 0 here
+                TokenKind::Punct(Punct::LParen) => paren += 1,
+                TokenKind::Punct(Punct::RParen) => paren = (paren - 1).max(0),
+                TokenKind::Punct(Punct::Semicolon) if brace == 0 && paren == 0 => stop = true,
                 _ => {}
             }
-            parts.push(t.kind.render());
+            grouped.push(&t);
+            if stop {
+                break;
+            }
         }
-        parts.join(" ")
+        grouped.lines
+    }
+
+    /// Statement recovery set: tokens that plausibly start the next
+    /// statement. (`else` is deliberately absent — it can never start a
+    /// statement, so it belongs to the error region it trails.)
+    fn at_stmt_recovery_point(&self) -> bool {
+        match &self.peek().kind {
+            TokenKind::Keyword(k) => {
+                k.starts_type()
+                    || matches!(
+                        k,
+                        Keyword::If
+                            | Keyword::While
+                            | Keyword::Do
+                            | Keyword::For
+                            | Keyword::Return
+                            | Keyword::Break
+                            | Keyword::Continue
+                    )
+            }
+            TokenKind::Ident(_) | TokenKind::Directive(_) => true,
+            TokenKind::Punct(Punct::LBrace) => true,
+            _ => false,
+        }
+    }
+
+    /// Parse one statement for a branch body (`if`/`while`/`for`/`do`); on
+    /// failure, confine the damage to an `Error` statement instead of
+    /// propagating, so a successfully parsed header keeps its parsed
+    /// children.
+    fn parse_stmt_or_error(&mut self) -> Stmt {
+        let save = self.pos;
+        let line = self.peek().line;
+        match self.parse_stmt() {
+            Some(s) => s,
+            None => {
+                self.pos = save;
+                let lines = self.skip_stmt_error();
+                self.recoveries += 1;
+                Stmt::Error { line, lines }
+            }
+        }
     }
 
     fn parse_stmt(&mut self) -> Option<Stmt> {
@@ -450,10 +721,10 @@ impl Parser {
                 self.expect_punct(Punct::LParen);
                 let cond = self.parse_expr()?;
                 self.expect_punct(Punct::RParen);
-                let then_branch = Box::new(self.parse_stmt()?);
+                let then_branch = Box::new(self.parse_stmt_or_error());
                 let else_branch = if self.peek().is_keyword(Keyword::Else) {
                     self.bump();
-                    Some(Box::new(self.parse_stmt()?))
+                    Some(Box::new(self.parse_stmt_or_error()))
                 } else {
                     None
                 };
@@ -469,12 +740,12 @@ impl Parser {
                 self.expect_punct(Punct::LParen);
                 let cond = self.parse_expr()?;
                 self.expect_punct(Punct::RParen);
-                let body = Box::new(self.parse_stmt()?);
+                let body = Box::new(self.parse_stmt_or_error());
                 Some(Stmt::While { cond, body, line })
             }
             TokenKind::Keyword(Keyword::Do) => {
                 self.bump();
-                let body = Box::new(self.parse_stmt()?);
+                let body = Box::new(self.parse_stmt_or_error());
                 if !self.peek().is_keyword(Keyword::While) {
                     self.error(self.peek().line, "expected `while` after do-body");
                     return None;
@@ -513,7 +784,7 @@ impl Parser {
                     Some(self.parse_expr()?)
                 };
                 self.expect_punct(Punct::RParen);
-                let body = Box::new(self.parse_stmt()?);
+                let body = Box::new(self.parse_stmt_or_error());
                 Some(Stmt::For {
                     init,
                     cond,
@@ -1297,5 +1568,156 @@ int main(int argc, char **argv) {
         let src = "double square(double x) { return x * x; }\nint main() { double y = square(2.0); return 0; }";
         let prog = parse_strict(src).unwrap();
         assert_eq!(prog.functions().count(), 2);
+    }
+
+    // ---- resilience: anchoring, recovery sets, health ----------------------
+
+    /// Regression (tentpole): an unclosed brace in one function must not
+    /// absorb the functions after it. The anchor `int main(` at brace depth
+    /// ≥ 1 closes the open blocks and resumes at top level.
+    #[test]
+    fn unclosed_brace_does_not_absorb_next_function() {
+        let src = "double helper(double x) {\n    if (x > 0.0) {\n        x += 1.0;\n    return x;\n}\n\nint main(int argc, char **argv) {\n    MPI_Init(&argc, &argv);\n    double y = helper(2.0);\n    MPI_Finalize();\n    return 0;\n}\n";
+        let out = parse_tolerant(src);
+        assert!(!out.is_clean());
+        let names: Vec<&str> = out.program.functions().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["helper", "main"], "both functions survive");
+        let main = out.program.main().unwrap();
+        assert_eq!(
+            main.body.stmts.len(),
+            4,
+            "main's body is fully parsed: {:?}",
+            main.body.stmts
+        );
+        let mpi = out.program.calls_matching(|n| n.starts_with("MPI_"));
+        let names: Vec<&str> = mpi.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["MPI_Init", "MPI_Finalize"]);
+        assert!(out.recoveries >= 1, "anchor unwind counts as recovery");
+    }
+
+    /// The anchor also fires through several levels of unclosed nesting.
+    #[test]
+    fn anchor_unwinds_nested_unclosed_blocks() {
+        let src = "int f() {\n    while (1) {\n        if (2) {\n            int x = 3;\nint g() { return 7; }\n";
+        let out = parse_tolerant(src);
+        let names: Vec<&str> = out.program.functions().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["f", "g"]);
+        // f's parsed children survive inside the unwound nest.
+        let f = out.program.functions().next().unwrap();
+        assert!(matches!(f.body.stmts[0], Stmt::While { .. }));
+    }
+
+    /// Regression (satellite): a stray closing paren must not mis-sync
+    /// recovery past the statement boundary — `y = 1;` after `if (x))` is a
+    /// real statement, not part of the error region.
+    #[test]
+    fn stray_closer_confined_to_statement() {
+        let src = "int main() { int x = 0; int y = 0; if (x)) y = 1; return y; }";
+        let out = parse_tolerant(src);
+        assert!(!out.is_clean());
+        let main = out.program.main().unwrap();
+        let assigns = main
+            .body
+            .stmts
+            .iter()
+            .filter(|s| {
+                matches!(
+                    s,
+                    Stmt::Expr {
+                        expr: Some(Expr::Assign { .. }),
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(assigns, 1, "y = 1; parses as a real statement");
+        assert!(
+            matches!(main.body.stmts.last(), Some(Stmt::Return { .. })),
+            "return survives"
+        );
+        // The error region is the lone `)`, kept inside the if's branch.
+        let errors: Vec<&Stmt> = main.body.stmts.iter().collect();
+        assert!(errors.iter().any(|s| matches!(s, Stmt::If { .. })));
+    }
+
+    /// A parsed branch header keeps its successfully parsed children even
+    /// when the branch body is broken.
+    #[test]
+    fn branch_header_keeps_parsed_children() {
+        let src = "int main() { if (1) { int a = 1; @@; int b = 2; } return 0; }";
+        let out = parse_tolerant(src);
+        let main = out.program.main().unwrap();
+        match &main.body.stmts[0] {
+            Stmt::If { then_branch, .. } => match &**then_branch {
+                Stmt::Block(b) => {
+                    let decls = b
+                        .stmts
+                        .iter()
+                        .filter(|s| matches!(s, Stmt::Decl(_)))
+                        .count();
+                    assert_eq!(
+                        decls, 2,
+                        "both decls survive around the hole: {:?}",
+                        b.stmts
+                    );
+                }
+                other => panic!("expected block, got {other:?}"),
+            },
+            other => panic!("expected if, got {other:?}"),
+        }
+    }
+
+    /// Error nodes group skipped text by original source line.
+    #[test]
+    fn error_nodes_preserve_line_structure() {
+        let src = "int main() {\n    int a = 1;\n    = =\n    = = =\n    int b = 2;\n    return a + b;\n}\n";
+        let out = parse_tolerant(src);
+        let main = out.program.main().unwrap();
+        let error_lines: Vec<&Vec<String>> = main
+            .body
+            .stmts
+            .iter()
+            .filter_map(|s| match s {
+                Stmt::Error { lines, .. } => Some(lines),
+                _ => None,
+            })
+            .collect();
+        assert!(!error_lines.is_empty());
+        let total: usize = error_lines.iter().map(|l| l.len()).sum();
+        assert!(total >= 2, "two source lines of garbage: {error_lines:?}");
+        let decls = main
+            .body
+            .stmts
+            .iter()
+            .filter(|s| matches!(s, Stmt::Decl(_)))
+            .count();
+        assert_eq!(decls, 2);
+    }
+
+    #[test]
+    fn health_reports_dirty_ranges() {
+        let clean = parse_tolerant("int main() { return 0; }");
+        assert!(clean.health().is_clean());
+        assert_eq!(clean.recoveries, 0);
+
+        let src = "int main() {\n    int a = 1;\n    = = bad;\n    return a;\n}\n";
+        let out = parse_tolerant(src);
+        let health = out.health();
+        assert!(!health.is_clean());
+        assert!(health.error_count >= 1);
+        assert!(health.recovery_events >= 1);
+        assert!(health.is_dirty_line(3), "dirty: {:?}", health.dirty_lines);
+        assert!(!health.is_dirty_line(2));
+        assert!(!health.is_dirty_line(4));
+    }
+
+    /// Valid programs never trip the anchor: every benchmark-style construct
+    /// (declarations with calls, MPI typedefs, nested control flow) parses
+    /// identically to before.
+    #[test]
+    fn anchor_never_fires_on_clean_code() {
+        let out = parse_tolerant(PI_SRC);
+        assert!(out.is_clean());
+        assert_eq!(out.recoveries, 0);
     }
 }

@@ -80,7 +80,13 @@ impl Printer {
                     self.function(f);
                 }
                 Item::Declaration(d) => self.declaration_line(d),
-                Item::Error { text, .. } => self.line(text),
+                // One output line per original source line, so the error
+                // region's line count survives standardization.
+                Item::Error { lines, .. } => {
+                    for l in lines {
+                        self.line(l);
+                    }
+                }
             }
         }
     }
@@ -193,7 +199,11 @@ impl Printer {
                 self.indent -= 1;
                 self.line("}");
             }
-            Stmt::Error { text, .. } => self.line(text),
+            Stmt::Error { lines, .. } => {
+                for l in lines {
+                    self.line(l);
+                }
+            }
         }
     }
 
@@ -540,6 +550,23 @@ int main(int argc, char **argv) {
         let out = parse_tolerant("int main() { int a = 1; $$$bad$$$; return a; }");
         let printed = print_program(&out.program);
         assert!(printed.contains("bad"));
+    }
+
+    /// Regression (satellite): a multi-line error region prints one line per
+    /// original source line, so standardized line numbers after the region do
+    /// not drift (RQ2 anchoring).
+    #[test]
+    fn multi_line_error_region_preserves_line_count() {
+        let src = "int main() {\n    int a = 1;\n    = =\n    = = =\n    = =\n    MPI_Finalize();\n    return a;\n}\n";
+        let out = parse_tolerant(src);
+        let printed = print_program(&out.program);
+        // The three garbage source lines must occupy three printed lines.
+        let reparsed = parse_tolerant(&printed);
+        let calls = reparsed.program.calls_matching(|n| n == "MPI_Finalize");
+        assert_eq!(calls.len(), 1, "printed: {printed}");
+        // Canonical layout: line 1 `int main() {`, lines 2-5 body before the
+        // call (decl + 3 error lines), so MPI_Finalize lands on line 6.
+        assert_eq!(calls[0].1, 6, "printed: {printed}");
     }
 
     #[test]

@@ -96,7 +96,7 @@ pub fn kind_tree(prog: &Program) -> KindNode {
                 children.push(KindNode::branch("function_definition", fc));
             }
             Item::Declaration(d) => children.push(decl_node(d)),
-            Item::Error { text, .. } => children.push(KindNode::leaf("ERROR", text.clone())),
+            Item::Error { lines, .. } => children.push(KindNode::leaf("ERROR", lines.join(" "))),
         }
     }
     KindNode::branch("translation_unit", children)
@@ -202,7 +202,7 @@ fn stmt_node(s: &Stmt) -> KindNode {
         Stmt::Break { .. } => KindNode::branch("break_statement", vec![]),
         Stmt::Continue { .. } => KindNode::branch("continue_statement", vec![]),
         Stmt::Block(b) => block_node(b),
-        Stmt::Error { text, .. } => KindNode::leaf("ERROR", text.clone()),
+        Stmt::Error { lines, .. } => KindNode::leaf("ERROR", lines.join(" ")),
     }
 }
 

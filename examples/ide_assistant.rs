@@ -104,11 +104,22 @@ fn main() {
     println!("{}", assistant.translate(&buffer));
 
     println!("=== mid-edit buffer (unbalanced braces — TreeSitter-style tolerance) ===");
-    let suggestions = assistant.suggest(MID_EDIT_BUFFER);
+    let report = assistant.suggest_report(MID_EDIT_BUFFER);
     println!(
         "({} suggestions produced without crashing)",
-        suggestions.len()
+        report.suggestions.len()
     );
+    // ParseHealth narrates how degraded the front-end view was: error and
+    // recovery counts plus the dirty line ranges. Suggestions inside a
+    // dirty range carry `degraded: true` and sort after the clean ones.
+    println!(
+        "parse health: {} error(s), {} recovery event(s), dirty lines {:?}",
+        report.health.error_count, report.health.recovery_events, report.health.dirty_lines,
+    );
+    for s in &report.suggestions {
+        let tag = if s.degraded { "  [degraded]" } else { "" };
+        println!("    line {:>3}: insert {}{tag}", s.line, s.function);
+    }
 
     // Many developers, one model: the service path. All open buffers decode
     // concurrently through the batched lockstep scheduler — shared weight
@@ -123,12 +134,23 @@ fn main() {
     let tickets: Vec<_> = buffers.iter().map(|(_, b)| service.submit(b)).collect();
     service.run();
     for ((who, _), ticket) in buffers.iter().zip(tickets) {
-        let SuggestPoll::Done { suggestions, .. } = service.poll(ticket) else {
+        let SuggestPoll::Done {
+            suggestions,
+            health,
+            ..
+        } = service.poll(ticket)
+        else {
             panic!("request finished");
         };
-        println!("{who}: {} suggestion(s)", suggestions.len());
+        let state = if health.is_clean() {
+            "clean parse".to_string()
+        } else {
+            format!("mid-edit, dirty lines {:?}", health.dirty_lines)
+        };
+        println!("{who}: {} suggestion(s) ({state})", suggestions.len());
         for s in &suggestions {
-            println!("    line {:>3}: insert {}", s.line, s.function);
+            let tag = if s.degraded { "  [degraded]" } else { "" };
+            println!("    line {:>3}: insert {}{tag}", s.line, s.function);
         }
     }
 
@@ -177,6 +199,7 @@ fn main() {
         SuggestPoll::Done {
             suggestions,
             telemetry,
+            ..
         } => println!(
             "keystroke done: {} suggestion(s), {} queue-wait step(s), {} decode step(s)",
             suggestions.len(),
@@ -189,6 +212,7 @@ fn main() {
         SuggestPoll::Done {
             suggestions,
             telemetry,
+            ..
         } => println!(
             "re-index done: {} suggestion(s), preempted {} time(s), output unchanged",
             suggestions.len(),

@@ -185,6 +185,7 @@ fn serving_v2_priorities_preemption_and_cancellation_end_to_end() {
             SuggestPoll::Done {
                 suggestions,
                 telemetry,
+                ..
             } => keystroke_done = Some((suggestions, telemetry)),
             SuggestPoll::Unknown if keystroke_done.is_some() => {} // redeemed above
             other => panic!("unexpected keystroke state: {other:?}"),
@@ -200,6 +201,7 @@ fn serving_v2_priorities_preemption_and_cancellation_end_to_end() {
     let SuggestPoll::Done {
         suggestions,
         telemetry,
+        ..
     } = service.poll(bulk)
     else {
         panic!("bulk finished");

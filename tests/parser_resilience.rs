@@ -1,0 +1,518 @@
+//! Fault-injection harness for the resilient front-end.
+//!
+//! The paper's deployment scenario (§I, §VII) is an assistant watching a
+//! buffer *while the developer types*: the front-end sees truncated,
+//! unbalanced, half-deleted programs far more often than clean ones. This
+//! suite injects single-edit faults into every benchmark11 program and
+//! proptest-random sources, and asserts the three contracts the resilient
+//! parser promises:
+//!
+//! 1. **Totality** — no mutation panics anywhere in
+//!    lex → parse → print → X-SBT → encode → suggest; every call returns.
+//! 2. **Bounded blast radius** — corrupting one function never changes how
+//!    its neighbors parse: top-level items outside the mutated region are
+//!    bit-identical to the clean parse (matklad-style top-level anchoring).
+//! 3. **Line stability** — source lines outside the reported dirty ranges
+//!    keep their numbers, so RQ2-style line anchors survive mid-edit states.
+//!
+//! The model-dependent stages run against a deliberately *untrained* tiny
+//! artifact: resilience is a front-end property, and an untrained
+//! transformer exercises the same code paths at a fraction of the cost. The
+//! truncation sweep runs the **full** `suggest` path at every token
+//! boundary of every program by default; the larger mutation corpora go
+//! through the front-end stages by default and through full `suggest` when
+//! `RESILIENCE_FULL=1` (the CI mutation-corpus smoke step).
+
+use mpirical::cparse::{
+    lex, parse_tolerant, print_program, Item, Program, Punct, Token, TokenKind,
+};
+use mpirical::model::{DecodeOptions, ModelConfig, Seq2SeqModel, Vocab};
+use mpirical::{benchmark_programs, tokenize_code, InputFormat, MpiRical};
+use proptest::prelude::*;
+use std::sync::{Arc, OnceLock};
+
+/// An untrained tiny artifact: real vocab (built from the benchmark
+/// corpus), real encoder/decoder weights (random), tiny shapes so the
+/// exhaustive sweeps stay cheap. Shared across tests.
+fn untrained_assistant() -> &'static MpiRical {
+    static SHARED: OnceLock<MpiRical> = OnceLock::new();
+    SHARED.get_or_init(|| {
+        let token_seqs: Vec<Vec<String>> = benchmark_programs()
+            .iter()
+            .map(|p| tokenize_code(p.source))
+            .collect();
+        let vocab = Vocab::build(token_seqs.iter(), 1, 4096);
+        let mut cfg = ModelConfig::tiny();
+        cfg.max_enc_len = 96; // encode_source truncates longer inputs
+        cfg.max_dec_len = 4; // decode cost per mutation stays trivial
+        MpiRical {
+            model: Seq2SeqModel::new(cfg, vocab, 7),
+            input_format: InputFormat::CodeXsbt,
+            decode: DecodeOptions::default(),
+            quant: Arc::new(OnceLock::new()),
+        }
+    })
+}
+
+/// Rebuild source text from a (possibly mutated) token slice, preserving
+/// each token's original line number — blank lines are re-inserted for
+/// gaps, so line-anchored assertions survive token-level mutations.
+fn reconstruct(tokens: &[Token]) -> String {
+    let mut out = String::new();
+    let mut line = 1u32;
+    let mut first_on_line = true;
+    for t in tokens {
+        if matches!(t.kind, TokenKind::Eof) {
+            break;
+        }
+        while line < t.line {
+            out.push('\n');
+            line += 1;
+            first_on_line = true;
+        }
+        if !first_on_line {
+            out.push(' ');
+        }
+        out.push_str(&t.kind.render());
+        first_on_line = false;
+    }
+    out.push('\n');
+    out
+}
+
+/// Code tokens of `src` (EOF dropped).
+fn code_tokens(src: &str) -> Vec<Token> {
+    let mut toks = lex(src).tokens;
+    toks.retain(|t| !matches!(t.kind, TokenKind::Eof));
+    toks
+}
+
+/// Run the whole front-end on a mutated buffer and return the suggestion
+/// count — the totality assertion is that this function *returns*.
+fn front_end_total(src: &str) -> usize {
+    let out = parse_tolerant(src);
+    let printed = print_program(&out.program);
+    let reparsed = parse_tolerant(&printed);
+    let _xsbt = mpirical::xsbt::xsbt(&reparsed.program);
+    let enc = untrained_assistant().encode_source(src);
+    enc.ids.len()
+}
+
+/// Full pipeline through model decode — the expensive totality check.
+fn full_suggest_total(src: &str) {
+    let report = untrained_assistant().suggest_report(src);
+    // Degraded inputs must be *flagged*, not hidden: if the parse needed
+    // recovery, the health says so.
+    let parsed = parse_tolerant(src);
+    if parsed.recoveries > 0 {
+        assert!(
+            !report.health.is_clean(),
+            "recovered parse reported clean health for {src:?}"
+        );
+    }
+}
+
+/// Print a single top-level item through the canonical printer.
+fn print_item(item: &Item) -> String {
+    print_program(&Program {
+        directives: vec![],
+        items: vec![item.clone()],
+    })
+}
+
+/// Named functions of a parse, as (name, canonical text) pairs.
+fn function_texts(program: &Program) -> Vec<(String, String)> {
+    program
+        .items
+        .iter()
+        .filter_map(|i| match i {
+            Item::Function(f) => Some((f.name.clone(), print_item(i))),
+            _ => None,
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// 1. Totality sweeps
+// ---------------------------------------------------------------------------
+
+/// Every benchmark11 program, cut at **every token boundary**, through the
+/// full `suggest` path: never panics, always returns, degraded states are
+/// flagged via `ParseHealth`. (The satellite acceptance sweep.)
+#[test]
+fn truncation_sweep_full_suggest_never_panics() {
+    for p in benchmark_programs() {
+        let tokens = code_tokens(p.source);
+        for cut in 0..=tokens.len() {
+            let src = reconstruct(&tokens[..cut]);
+            full_suggest_total(&src);
+        }
+        // The full reconstruction is the same token stream — it must
+        // round-trip to a clean parse.
+        let full = reconstruct(&tokens);
+        assert!(
+            untrained_assistant()
+                .suggest_report(&full)
+                .health
+                .is_clean(),
+            "{}: clean program reported dirty health",
+            p.name
+        );
+    }
+}
+
+/// Delete each token in turn; the front-end survives every single-token
+/// deletion of every benchmark program. With `RESILIENCE_FULL=1` the sweep
+/// additionally runs full `suggest` per mutation.
+#[test]
+fn token_deletion_sweep_is_total() {
+    let full = std::env::var("RESILIENCE_FULL").is_ok_and(|v| v == "1");
+    for p in benchmark_programs() {
+        let tokens = code_tokens(p.source);
+        for i in 0..tokens.len() {
+            let mut mutated = tokens.clone();
+            mutated.remove(i);
+            let src = reconstruct(&mutated);
+            front_end_total(&src);
+            if full {
+                full_suggest_total(&src);
+            }
+        }
+    }
+}
+
+/// Unbalance every brace: delete each `{`/`}`, and duplicate each `}`.
+#[test]
+fn brace_unbalance_sweep_is_total() {
+    let full = std::env::var("RESILIENCE_FULL").is_ok_and(|v| v == "1");
+    for p in benchmark_programs() {
+        let tokens = code_tokens(p.source);
+        let mut mutants: Vec<Vec<Token>> = Vec::new();
+        for (i, t) in tokens.iter().enumerate() {
+            if t.is_punct(Punct::LBrace) || t.is_punct(Punct::RBrace) {
+                let mut m = tokens.clone();
+                m.remove(i);
+                mutants.push(m);
+            }
+            if t.is_punct(Punct::RBrace) {
+                let mut m = tokens.clone();
+                m.insert(i, t.clone());
+                mutants.push(m);
+            }
+        }
+        assert!(!mutants.is_empty(), "{}: no braces?", p.name);
+        for m in mutants {
+            let src = reconstruct(&m);
+            front_end_total(&src);
+            if full {
+                full_suggest_total(&src);
+            }
+        }
+    }
+}
+
+/// Cut the source immediately after every `"` — unterminated string
+/// literals (the classic mid-edit state) never escape the lexer's
+/// recovery.
+#[test]
+fn unterminated_string_truncations_are_total() {
+    for p in benchmark_programs() {
+        for (pos, ch) in p.source.char_indices() {
+            if ch == '"' {
+                let src = &p.source[..pos + 1];
+                front_end_total(src);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 2. Blast radius: one broken function never consumes its neighbors
+// ---------------------------------------------------------------------------
+
+const HELPER_BEFORE: &str = "int rb_before(int a) {\n    int t = a + 1;\n    return t;\n}\n";
+const HELPER_AFTER: &str = "int rb_after(int b) {\n    int u = b * 2;\n    return u;\n}\n";
+
+/// Single-edit corruptions of one text segment. Each returns `None` when
+/// the segment lacks the character it wants to break.
+fn corruptions(seg: &str) -> Vec<(&'static str, String)> {
+    let mut out = Vec::new();
+    if let Some(i) = seg.rfind('}') {
+        out.push((
+            "drop-last-closer",
+            format!("{}{}", &seg[..i], &seg[i + 1..]),
+        ));
+    }
+    if let Some(i) = seg.find('{') {
+        out.push((
+            "drop-first-opener",
+            format!("{}{}", &seg[..i], &seg[i + 1..]),
+        ));
+    }
+    if let Some(i) = seg.find('(') {
+        out.push((
+            "stray-closer",
+            format!("{})){}", &seg[..i + 1], &seg[i + 1..]),
+        ));
+    }
+    // Inject an unparseable statement after the midpoint's line break.
+    if let Some(off) = seg[seg.len() / 2..].find('\n') {
+        let at = seg.len() / 2 + off + 1;
+        out.push((
+            "inject-garbage",
+            format!("{}= = broken\n{}", &seg[..at], &seg[at..]),
+        ));
+    }
+    // Truncate mid-function (snap to a line break so we cut whole lines).
+    if let Some(off) = seg[seg.len() / 2..].find('\n') {
+        let at = seg.len() / 2 + off + 1;
+        out.push(("truncate-half", seg[..at].to_string()));
+    }
+    if let Some(i) = seg.find('"') {
+        out.push(("unterminate-string", seg[..i + 1].to_string()));
+    }
+    out
+}
+
+/// Corrupt one of three concatenated regions (helper / benchmark program /
+/// helper) every way `corruptions` knows, and assert every function
+/// *outside* the corrupted region parses bit-identical to the clean parse.
+#[test]
+fn blast_radius_bounded_to_mutated_function() {
+    for p in benchmark_programs() {
+        let segments = [HELPER_BEFORE, p.source, HELPER_AFTER];
+        let clean_src = segments.join("\n");
+        let clean = parse_tolerant(&clean_src);
+        assert!(
+            clean.health().is_clean(),
+            "{}: combined clean source must parse clean",
+            p.name
+        );
+        let clean_fns = function_texts(&clean.program);
+        // Which function names live in which segment?
+        let seg_names: Vec<Vec<String>> = segments
+            .iter()
+            .map(|s| {
+                parse_tolerant(s)
+                    .program
+                    .functions()
+                    .map(|f| f.name.clone())
+                    .collect()
+            })
+            .collect();
+        for victim in 0..segments.len() {
+            for (kind, corrupted) in corruptions(segments[victim]) {
+                let mut parts: Vec<&str> = segments.to_vec();
+                parts[victim] = &corrupted;
+                let src = parts.join("\n");
+                let out = parse_tolerant(&src);
+                let got = function_texts(&out.program);
+                for (name, text) in &clean_fns {
+                    if seg_names[victim].contains(name) {
+                        continue; // the victim itself may be degraded
+                    }
+                    let survived: Vec<&String> = got
+                        .iter()
+                        .filter(|(n, _)| n == name)
+                        .map(|(_, t)| t)
+                        .collect();
+                    assert_eq!(
+                        survived,
+                        vec![text],
+                        "{}: corrupting segment {victim} ({kind}) changed \
+                         untouched function `{name}`",
+                        p.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 3. Line stability outside the dirty range
+// ---------------------------------------------------------------------------
+
+/// Lines whose content can be replaced in place without multi-line
+/// consequences: simple one-line statements.
+fn replaceable_lines(src: &str) -> Vec<usize> {
+    src.lines()
+        .enumerate()
+        .filter(|(_, l)| {
+            let t = l.trim();
+            t.ends_with(';')
+                && !t.is_empty()
+                && !t.contains('{')
+                && !t.contains('}')
+                && !t.starts_with('#')
+                && ["if", "for", "while", "do", "else"]
+                    .iter()
+                    .all(|kw| !t.starts_with(kw))
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Replace single statement lines with garbage **in place** (same line
+/// count): the mutated line must be reported dirty, every MPI call off
+/// that line must keep its exact clean-parse line number, and the
+/// canonical print must keep the clean print's line count (the RQ2
+/// anchoring contract).
+#[test]
+fn line_numbers_stable_outside_dirty_ranges() {
+    for p in benchmark_programs() {
+        let clean = parse_tolerant(p.source);
+        let clean_calls = clean.program.calls_matching(|n| n.starts_with("MPI_"));
+        let clean_print_lines = print_program(&clean.program).lines().count();
+        for idx in replaceable_lines(p.source) {
+            // `= = =` routes entirely into one Error node (an identifier
+            // would re-parse as a bare expression statement under the
+            // missing-`;` tolerance and legitimately print on its own line).
+            let mutated_src: String = p
+                .source
+                .lines()
+                .enumerate()
+                .map(|(i, l)| if i == idx { "    = = =" } else { l })
+                .collect::<Vec<_>>()
+                .join("\n");
+            let out = parse_tolerant(&mutated_src);
+            let health = out.health();
+            let dirty_line = (idx + 1) as u32;
+            assert!(
+                health.is_dirty_line(dirty_line),
+                "{}: line {dirty_line} replaced by garbage but not dirty",
+                p.name
+            );
+            // Calls outside the dirty ranges match the clean parse exactly.
+            for (name, line) in out.program.calls_matching(|n| n.starts_with("MPI_")) {
+                if health.is_dirty_line(line) {
+                    continue;
+                }
+                assert!(
+                    clean_calls.contains(&(name.clone(), line)),
+                    "{}: call {name} moved to line {line} after mutating \
+                     line {dirty_line}",
+                    p.name
+                );
+            }
+            // Every clean call off the mutated line is still found, at the
+            // same line (deletion would shrink coverage silently).
+            for (name, line) in &clean_calls {
+                if *line == dirty_line {
+                    continue;
+                }
+                assert!(
+                    out.program
+                        .calls_matching(|n| n.starts_with("MPI_"))
+                        .contains(&(name.clone(), *line)),
+                    "{}: call {name} at line {line} lost after mutating \
+                     line {dirty_line}",
+                    p.name
+                );
+            }
+            // The printer preserves the error region's line count, so the
+            // canonical (standardized) text keeps its shape too.
+            assert_eq!(
+                print_program(&out.program).lines().count(),
+                clean_print_lines,
+                "{}: canonical line count drifted after mutating line \
+                 {dirty_line}",
+                p.name
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 4. Clean-path guardrails
+// ---------------------------------------------------------------------------
+
+/// Recovery machinery must be invisible on clean code: every benchmark
+/// program parses with zero recoveries and clean health through the full
+/// report path.
+#[test]
+fn clean_programs_report_clean_health() {
+    for p in benchmark_programs() {
+        let out = parse_tolerant(p.source);
+        assert_eq!(
+            out.recoveries, 0,
+            "{}: recovery fired on clean code",
+            p.name
+        );
+        assert!(out.health().is_clean(), "{}: dirty health", p.name);
+        let report = untrained_assistant().suggest_report(p.source);
+        assert!(report.health.is_clean(), "{}: dirty report", p.name);
+        assert!(
+            report.suggestions.iter().all(|s| !s.degraded),
+            "{}: clean parse produced degraded suggestions",
+            p.name
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 5. Random-source totality (proptest; honors PROPTEST_CASES)
+// ---------------------------------------------------------------------------
+
+/// Source-like strings biased toward the shapes mid-edit buffers take:
+/// partial headers, unbalanced delimiters, directives, half-typed calls.
+fn arb_source() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just("int ".to_string()),
+            Just("double ".to_string()),
+            Just("main".to_string()),
+            Just("x".to_string()),
+            Just(" = ".to_string()),
+            Just("1".to_string()),
+            Just("3.5".to_string()),
+            Just(";".to_string()),
+            Just("{".to_string()),
+            Just("}".to_string()),
+            Just("(".to_string()),
+            Just(")".to_string()),
+            Just("if ".to_string()),
+            Just("for ".to_string()),
+            Just("return ".to_string()),
+            Just("\"s\"".to_string()),
+            Just("\"".to_string()),
+            Just("+".to_string()),
+            Just(",".to_string()),
+            Just("&".to_string()),
+            Just("MPI_Send".to_string()),
+            Just("MPI_Init".to_string()),
+            Just("#include <mpi.h>\n".to_string()),
+            Just("\n".to_string()),
+            Just("/*".to_string()),
+            Just("'c'".to_string()),
+        ],
+        0..96,
+    )
+    .prop_map(|parts| parts.concat())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Any token soup survives the full path, model decode included, and a
+    /// degraded suggestion never appears alongside clean health.
+    #[test]
+    fn random_sources_total_through_suggest(src in arb_source()) {
+        let report = untrained_assistant().suggest_report(&src);
+        prop_assert!(
+            report.suggestions.iter().all(|s| !s.degraded) || !report.health.is_clean()
+        );
+    }
+
+    /// Truncating random sources at arbitrary *byte* boundaries (snapped to
+    /// char boundaries) is also total — the lexer sees genuinely torn text,
+    /// not just token-aligned cuts.
+    #[test]
+    fn random_byte_truncations_total(src in arb_source(), frac in 0.0f64..1.0) {
+        let mut cut = (src.len() as f64 * frac) as usize;
+        while cut < src.len() && !src.is_char_boundary(cut) {
+            cut += 1;
+        }
+        front_end_total(&src[..cut.min(src.len())]);
+    }
+}
