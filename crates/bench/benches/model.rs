@@ -559,7 +559,7 @@ fn bench_decode_priority(c: &mut Criterion) {
         assert_eq!(tokens_so_far.len(), 1, "began decoding within 1 step");
         assert_eq!(dec.preemptions(), 1, "one bulk lane yielded");
         dec.run();
-        let PollResult::Done { ids, telemetry } = dec.poll(fast) else {
+        let PollResult::Done { ids, telemetry, .. } = dec.poll(fast) else {
             panic!("interactive finished");
         };
         assert_eq!(ids, fast_ref, "preempting path stays bitwise-identical");
@@ -698,6 +698,7 @@ fn bench_suggestion_latency(c: &mut Criterion) {
         input_format: mpirical::InputFormat::CodeXsbt,
         decode: Default::default(),
         quant: Default::default(),
+        verify: None,
     };
     let src = "int main(int argc, char **argv) {\n    int rank, size;\n    double local = 0.0;\n    for (int i = 0; i < 100; i++) { local += i; }\n    printf(\"%f\\n\", local);\n    return 0;\n}\n";
 

@@ -16,6 +16,8 @@ pub enum InterpError {
     DivideByZero { line: u32 },
     /// The per-rank step budget was exhausted (runaway loop).
     StepLimit { limit: u64 },
+    /// The per-rank memory budget was exhausted (unbounded allocation).
+    MemoryLimit { limit: usize },
     /// Unsupported construct reached at runtime.
     Unsupported { detail: String, line: u32 },
     /// Error raised by the simulated MPI runtime.
@@ -30,7 +32,9 @@ impl InterpError {
             | InterpError::OutOfBounds { line, .. }
             | InterpError::DivideByZero { line }
             | InterpError::Unsupported { line, .. } => *line,
-            InterpError::StepLimit { .. } | InterpError::Mpi(_) => 0,
+            InterpError::StepLimit { .. }
+            | InterpError::MemoryLimit { .. }
+            | InterpError::Mpi(_) => 0,
         }
     }
 }
@@ -52,6 +56,12 @@ impl fmt::Display for InterpError {
             }
             InterpError::StepLimit { limit } => {
                 write!(f, "step limit of {limit} exceeded (runaway loop?)")
+            }
+            InterpError::MemoryLimit { limit } => {
+                write!(
+                    f,
+                    "memory limit of {limit} cells exceeded (runaway allocation?)"
+                )
             }
             InterpError::Unsupported { detail, line } => {
                 write!(f, "line {line}: unsupported: {detail}")

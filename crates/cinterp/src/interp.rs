@@ -16,12 +16,17 @@ use std::collections::HashMap;
 pub struct Limits {
     /// Statement/iteration budget before aborting as a runaway loop.
     pub step_limit: u64,
+    /// Memory-cell budget (16 bytes/cell) before aborting as a runaway
+    /// allocation. The default (~64 MiB per rank) is far above anything a
+    /// legitimate benchmark program needs.
+    pub cell_limit: usize,
 }
 
 impl Default for Limits {
     fn default() -> Self {
         Limits {
             step_limit: 50_000_000,
+            cell_limit: 4_000_000,
         }
     }
 }
@@ -109,7 +114,7 @@ impl<'a> Interp<'a> {
         self.mem.push_frame();
         // argc/argv exist but hold placeholder values.
         for p in &main.params {
-            let addr = self.mem.alloc(1);
+            let addr = self.alloc_checked(1)?;
             self.mem.define(
                 &p.name,
                 VarInfo {
@@ -128,6 +133,18 @@ impl<'a> Interp<'a> {
             _ => 0,
         };
         Ok((code, self.output))
+    }
+
+    /// Allocate `n` cells, enforcing the memory budget. Like `tick`, wakes
+    /// peers blocked on us before bailing so the world shuts down promptly.
+    fn alloc_checked(&mut self, n: usize) -> Result<usize, InterpError> {
+        if self.mem.size().saturating_add(n.max(1)) > self.limits.cell_limit {
+            let _ = self.comm.abort(87);
+            return Err(InterpError::MemoryLimit {
+                limit: self.limits.cell_limit,
+            });
+        }
+        Ok(self.mem.alloc(n))
     }
 
     fn tick(&mut self) -> Result<(), InterpError> {
@@ -288,7 +305,7 @@ impl<'a> Interp<'a> {
                 is_pointer: decl.pointer_depth > 0,
             };
             let total = info.total_cells();
-            let addr = self.mem.alloc(total);
+            let addr = self.alloc_checked(total)?;
             let info = VarInfo { addr, ..info };
             self.mem.define(&decl.name, info.clone());
             if let Some(init) = &decl.init {
@@ -754,7 +771,7 @@ impl<'a> Interp<'a> {
         self.mem.push_frame();
         for (p, v) in f.params.iter().zip(values) {
             let ctype = CType::from_words(&p.type_spec.words);
-            let addr = self.mem.alloc(1);
+            let addr = self.alloc_checked(1)?;
             let is_pointer = p.pointer_depth > 0 || p.array;
             self.mem.define(
                 &p.name,
@@ -810,7 +827,7 @@ impl<'a> Interp<'a> {
             });
         }
         let cells = (bytes as usize).div_ceil(elem.size_bytes()).max(1);
-        Ok(Value::Ptr(self.mem.alloc(cells)))
+        Ok(Value::Ptr(self.alloc_checked(cells)?))
     }
 
     // -- MPI bindings -----------------------------------------------------------

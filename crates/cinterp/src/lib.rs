@@ -328,6 +328,54 @@ mod tests {
     }
 
     #[test]
+    fn memory_limit_stops_unbounded_allocation() {
+        // An allocation loop must trip the cell budget with a classifiable
+        // error instead of hanging (or OOM-ing) the verifier.
+        let src = "int main() { while (1) { malloc(1000000 * sizeof(int)); } return 0; }";
+        let prog = mpirical_cparse::parse_strict(src).unwrap();
+        let mut cfg = RunConfig::new(1);
+        cfg.limits.cell_limit = 100_000;
+        let err = run_program(&prog, &cfg).unwrap_err();
+        assert!(matches!(err, InterpError::MemoryLimit { .. }), "{err}");
+    }
+
+    #[test]
+    fn memory_limit_stops_single_oversized_allocation() {
+        let src = "int main() { double *p = (double *)malloc(800000000); return 0; }";
+        let prog = mpirical_cparse::parse_strict(src).unwrap();
+        let err = run_program(&prog, &RunConfig::new(1)).unwrap_err();
+        assert!(matches!(err, InterpError::MemoryLimit { .. }), "{err}");
+    }
+
+    #[test]
+    fn memory_limit_aborts_peer_ranks_promptly() {
+        // Rank 1 blows the budget while rank 0 is blocked in a receive; the
+        // abort wake-up must end the world with the root cause, not a
+        // deadlock timeout.
+        let src = r#"#include <mpi.h>
+        int main(int argc, char **argv) {
+            int rank;
+            int buf = 0;
+            MPI_Status st;
+            MPI_Init(&argc, &argv);
+            MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+            if (rank == 0) {
+                MPI_Recv(&buf, 1, MPI_INT, 1, 5, MPI_COMM_WORLD, &st);
+            } else {
+                while (1) { malloc(1000000 * sizeof(int)); }
+            }
+            MPI_Finalize();
+            return 0;
+        }"#;
+        let prog = mpirical_cparse::parse_strict(src).unwrap();
+        let mut cfg = RunConfig::new(2);
+        cfg.limits.cell_limit = 100_000;
+        cfg.timeout = Duration::from_secs(30);
+        let err = run_program(&prog, &cfg).unwrap_err();
+        assert!(matches!(err, InterpError::MemoryLimit { .. }), "{err}");
+    }
+
+    #[test]
     fn undefined_variable_reported() {
         let err = run_source("int main() { return nope; }", 1).unwrap_err();
         assert!(matches!(err, InterpError::Undefined { .. }), "{err}");

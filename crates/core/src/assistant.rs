@@ -26,15 +26,16 @@
 
 use crate::encode::{build_vocab, encode_dataset, encode_record, InputFormat};
 use crate::tokenize::{calls_from_ids, detokenize, tokenize_code};
+use crate::verify::{self, Verdict, VerifyOptions, VerifyStats};
 use mpirical_corpus::Dataset;
-use mpirical_cparse::{parse_tolerant, print_program, ParseHealth};
+use mpirical_cparse::{parse_tolerant, print_program, ParseHealth, Program};
 use mpirical_metrics::CallSite;
 use mpirical_model::decode::encode_source as model_encode;
 use mpirical_model::vocab::{EOS, SEP, SOS};
 use mpirical_model::{
-    decode_encoded_prompted_quant, BatchDecoder, BatchRequest, DecodeOptions, DecoderWeights,
-    EpochStats, ModelConfig, Precision, QuantDecoderWeights, Seq2SeqModel, SubmitOptions,
-    TrainConfig, TrainReport, DEFAULT_MAX_BATCH,
+    decode_encoded_prompted_all, decode_encoded_prompted_all_quant, decode_encoded_prompted_quant,
+    BatchDecoder, BatchRequest, DecodeOptions, DecoderWeights, EpochStats, ModelConfig, Precision,
+    QuantDecoderWeights, Seq2SeqModel, SubmitOptions, TrainConfig, TrainReport, DEFAULT_MAX_BATCH,
 };
 use serde::{Deserialize, Serialize};
 use std::borrow::Cow;
@@ -55,6 +56,13 @@ pub struct Suggestion {
     /// so pre-existing serialized artifacts still deserialize.
     #[serde(default)]
     pub degraded: bool,
+    /// What the closed verification loop observed when this suggestion's
+    /// hypothesis was spliced into the source and executed on the
+    /// simulated MPI runtime ([`crate::verify`]); `None` when verification
+    /// is off or the hypothesis was past the verification budget. Defaults
+    /// `None` so pre-existing serialized artifacts still deserialize.
+    #[serde(default)]
+    pub verdict: Option<Verdict>,
 }
 
 impl From<CallSite> for Suggestion {
@@ -63,6 +71,7 @@ impl From<CallSite> for Suggestion {
             function: c.name,
             line: c.line,
             degraded: false,
+            verdict: None,
         }
     }
 }
@@ -83,6 +92,10 @@ pub struct EncodedSource {
 pub struct SuggestReport {
     pub suggestions: Vec<Suggestion>,
     pub health: ParseHealth,
+    /// Closed-loop verification telemetry (`None` when verification is
+    /// off). Defaults so pre-existing serialized reports still deserialize.
+    #[serde(default)]
+    pub verify: Option<VerifyStats>,
 }
 
 /// Flag suggestions that land inside the parse's dirty line ranges and
@@ -95,6 +108,16 @@ pub(crate) fn apply_health(suggestions: &mut [Suggestion], health: &ParseHealth)
         s.degraded = health.is_dirty_line(s.line);
     }
     suggestions.sort_by_key(|s| s.degraded);
+}
+
+/// The canonical (standardized) serial program for a raw source — the same
+/// tolerant-parse → print → reparse pipeline as
+/// [`MpiRical::encode_source`], so suggestion lines, dirty ranges, and the
+/// verifier's splice targets all live in one line space.
+pub(crate) fn canonical_program(c_source: &str) -> Program {
+    let parsed = parse_tolerant(c_source);
+    let std_text = print_program(&parsed.program);
+    parse_tolerant(&std_text).program
 }
 
 /// Assistant configuration.
@@ -115,6 +138,12 @@ pub struct MpiRicalConfig {
     /// trained artifact so `suggest`/`translate` use them.
     #[serde(default)]
     pub decode: DecodeOptions,
+    /// Closed-loop verification knobs (`Some` turns the loop on: every
+    /// suggestion path executes its candidates on the simulated MPI
+    /// runtime and re-ranks by observed semantics). Carried into the
+    /// trained artifact; defaults off.
+    #[serde(default)]
+    pub verify: Option<VerifyOptions>,
 }
 
 impl Default for MpiRicalConfig {
@@ -127,6 +156,7 @@ impl Default for MpiRicalConfig {
             vocab_max_size: 4096,
             seed: 0x5EED,
             decode: DecodeOptions::default(),
+            verify: None,
         }
     }
 }
@@ -156,6 +186,12 @@ pub struct MpiRical {
     /// share the cache through the `Arc`.
     #[serde(skip)]
     pub quant: Arc<OnceLock<DecoderWeights>>,
+    /// Closed-loop verification options; `Some` makes every suggestion
+    /// path splice, execute, and re-rank its beam hypotheses (see
+    /// [`crate::verify`]). `None` — the default, and what pre-existing
+    /// artifacts deserialize to — keeps the fast generate-only path.
+    #[serde(default)]
+    pub verify: Option<VerifyOptions>,
 }
 
 impl MpiRical {
@@ -184,6 +220,7 @@ impl MpiRical {
             input_format: cfg.input_format,
             decode: cfg.decode,
             quant: Arc::default(),
+            verify: cfg.verify.clone(),
         };
         if assistant.decode.precision == Precision::Int8 {
             assistant.quant_weights();
@@ -271,6 +308,84 @@ impl MpiRical {
         }
     }
 
+    /// Every beam hypothesis for already-encoded source ids, best model
+    /// score first. Element 0 is bitwise-identical to
+    /// [`generate_ids`](Self::generate_ids) — the closed verification loop
+    /// relies on this to be read-only with respect to the model's output.
+    fn generate_ids_all(&self, src: &[usize]) -> Vec<Vec<usize>> {
+        let m = &self.model;
+        let enc_out = model_encode(&m.store, &m.params, &m.cfg, src);
+        match self.decode.precision {
+            Precision::F32 => decode_encoded_prompted_all(
+                &m.store,
+                &m.params,
+                &m.cfg,
+                &enc_out,
+                &[SOS],
+                m.cfg.max_dec_len,
+                self.decode,
+            ),
+            Precision::Int8 => decode_encoded_prompted_all_quant(
+                &m.store,
+                &m.params,
+                &m.cfg,
+                self.quant_weights(),
+                &enc_out,
+                &[SOS],
+                m.cfg.max_dec_len,
+                self.decode,
+            ),
+        }
+    }
+
+    /// Execute up to `opts.max_hypotheses` hypotheses against the serial
+    /// `base` program, attach verdicts, and stably re-rank by verdict class
+    /// (`Verified` first, unverified next, observed failures last — pure
+    /// model-score order within each class). Returns the winning
+    /// hypothesis' suggestions plus the verification telemetry.
+    pub(crate) fn verify_and_rank(
+        &self,
+        base: &Program,
+        hypotheses: Vec<Vec<usize>>,
+        opts: &VerifyOptions,
+    ) -> (Vec<Suggestion>, VerifyStats) {
+        let mut stats = VerifyStats::default();
+        let ranked: Vec<(Vec<usize>, Option<Verdict>)> = hypotheses
+            .into_iter()
+            .enumerate()
+            .map(|(i, ids)| {
+                let verdict = if i < opts.max_hypotheses {
+                    let predicted = self.ids_to_source(&ids);
+                    let (v, runs) = verify::verify_prediction(base, &predicted, opts);
+                    stats.record(v, runs);
+                    Some(v)
+                } else {
+                    stats.unverified += 1;
+                    None
+                };
+                (ids, verdict)
+            })
+            .collect();
+        let (ids, verdict) = verify::rerank(ranked)
+            .into_iter()
+            .next()
+            .unwrap_or_default();
+        let suggestions = calls_from_ids(&ids, &self.model.vocab)
+            .into_iter()
+            .map(|c| Suggestion {
+                verdict,
+                ..Suggestion::from(c)
+            })
+            .collect();
+        (suggestions, stats)
+    }
+
+    /// Decoded ids rendered back to displayable predicted source text (the
+    /// same detokenization as [`translate`](Self::translate)).
+    pub(crate) fn ids_to_source(&self, ids: &[usize]) -> String {
+        detokenize(&self.model.vocab.decode(ids))
+    }
+
     /// Predict the full MPI-parallel program for the given source. Returns
     /// the decoded token ids. Runs the KV-cached incremental decoder with
     /// the artifact's [`DecodeOptions`] (greedy unless `decode.beam > 1`;
@@ -295,6 +410,17 @@ impl MpiRical {
     /// unparseable mid-edit regions.
     pub fn suggest_report(&self, c_source: &str) -> SuggestReport {
         let src = self.encode_source(c_source);
+        if let Some(vopts) = &self.verify {
+            let hypotheses = self.generate_ids_all(&src.ids);
+            let base = canonical_program(c_source);
+            let (mut suggestions, stats) = self.verify_and_rank(&base, hypotheses, vopts);
+            apply_health(&mut suggestions, &src.health);
+            return SuggestReport {
+                suggestions,
+                health: src.health,
+                verify: Some(stats),
+            };
+        }
         let ids = self.generate_ids(&src.ids);
         let mut suggestions: Vec<Suggestion> = calls_from_ids(&ids, &self.model.vocab)
             .into_iter()
@@ -304,6 +430,7 @@ impl MpiRical {
         SuggestReport {
             suggestions,
             health: src.health,
+            verify: None,
         }
     }
 
@@ -345,6 +472,26 @@ impl MpiRical {
             ),
         };
         dec.decode_all(reqs)
+    }
+
+    /// [`decode_requests`](Self::decode_requests) keeping the full ranked
+    /// hypothesis list per request — the batch-path twin of
+    /// [`generate_ids_all`](Self::generate_ids_all) for the closed
+    /// verification loop.
+    fn decode_requests_all(&self, reqs: Vec<BatchRequest>) -> Vec<Vec<Vec<usize>>> {
+        let m = &self.model;
+        let lanes = DEFAULT_MAX_BATCH.max(self.decode.beam);
+        let mut dec = match self.decode.precision {
+            Precision::F32 => BatchDecoder::new(&m.store, &m.params, &m.cfg, lanes),
+            Precision::Int8 => BatchDecoder::with_weights(
+                &m.store,
+                &m.params,
+                &m.cfg,
+                lanes,
+                Cow::Borrowed(self.int8_weights()),
+            ),
+        };
+        dec.decode_all_hypotheses(reqs)
     }
 
     /// Build the [`BatchRequest`] for one source: tolerant-parse + encode,
@@ -390,10 +537,23 @@ impl MpiRical {
     /// path, so degraded-flagging and demotion cannot drift between the two.
     pub fn suggest_batch(&self, sources: &[&str]) -> Vec<Vec<Suggestion>> {
         let encoded: Vec<EncodedSource> = sources.iter().map(|s| self.encode_source(s)).collect();
-        let reqs = encoded
+        let reqs: Vec<BatchRequest> = encoded
             .iter()
             .map(|e| self.request_from_encoded(e, SubmitOptions::default()))
             .collect();
+        if let Some(vopts) = &self.verify {
+            return self
+                .decode_requests_all(reqs)
+                .into_iter()
+                .zip(encoded.iter().zip(sources))
+                .map(|(hypotheses, (enc, source))| {
+                    let base = canonical_program(source);
+                    let (mut suggestions, _) = self.verify_and_rank(&base, hypotheses, vopts);
+                    apply_health(&mut suggestions, &enc.health);
+                    suggestions
+                })
+                .collect();
+        }
         self.decode_requests(reqs)
             .into_iter()
             .zip(&encoded)

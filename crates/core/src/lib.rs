@@ -52,6 +52,7 @@ pub mod evaluate;
 pub mod report;
 pub mod service;
 pub mod tokenize;
+pub mod verify;
 
 pub use assistant::{EncodedSource, MpiRical, MpiRicalConfig, SuggestReport, Suggestion};
 pub use baseline::{evaluate_baseline, insert_scaffolding, rule_based_predict};
@@ -64,6 +65,7 @@ pub use mpirical_model::{
 pub use report::{histogram, render_table_two, table, two_column_table};
 pub use service::{SuggestPoll, SuggestService};
 pub use tokenize::{calls_from_ids, calls_from_tokens, detokenize, tokenize_code};
+pub use verify::{Verdict, VerifyOptions, VerifyStats};
 
 // Re-export the substrate crates under their paper roles for discoverability.
 pub use mpirical_corpus as corpus;

@@ -12,7 +12,7 @@
 //! # Serving API v2: priorities, streaming polls, cancellation
 //!
 //! [`submit_with`](SuggestService::submit_with) carries
-//! [`SubmitOptions`] — a [`Priority`](mpirical_model::Priority) class plus an optional generated-token
+//! [`SubmitOptions`] — a [`Priority`] class plus an optional generated-token
 //! cap — into the scheduler: an [`Interactive`](mpirical_model::Priority::Interactive)
 //! keystroke request preempts [`Bulk`](mpirical_model::Priority::Bulk) re-index lanes and
 //! starts decoding within one step (the preempted bulk work pauses with its
@@ -60,13 +60,16 @@
 //!     }
 //! }
 //! match service.poll(keystroke) {
-//!     SuggestPoll::Done { suggestions, telemetry, health } => {
+//!     SuggestPoll::Done { suggestions, telemetry, health, verify } => {
 //!         for s in &suggestions {
 //!             println!("insert {} at line {}", s.function, s.line);
 //!         }
 //!         println!("queue wait: {} steps", telemetry.queue_wait_steps);
 //!         if !health.is_clean() {
 //!             println!("buffer was mid-edit: {} dirty range(s)", health.dirty_lines.len());
+//!         }
+//!         if let Some(stats) = verify {
+//!             println!("verified {} of {} hypotheses", stats.verified, stats.hypotheses);
 //!         }
 //!     }
 //!     other => panic!("unexpected state: {other:?}"),
@@ -75,11 +78,12 @@
 //! println!("peak KV bytes: {}", service.pool_stats().peak_bytes());
 //! ```
 
-use crate::assistant::{apply_health, MpiRical, Suggestion};
+use crate::assistant::{apply_health, canonical_program, MpiRical, Suggestion};
 use crate::tokenize::calls_from_ids;
-use mpirical_cparse::ParseHealth;
+use crate::verify::VerifyStats;
+use mpirical_cparse::{ParseHealth, Program};
 use mpirical_model::{
-    BatchDecoder, PollResult, PoolStats, RequestId, RequestTelemetry, SubmitOptions,
+    BatchDecoder, PollResult, PoolStats, Priority, RequestId, RequestTelemetry, SubmitOptions,
     DEFAULT_MAX_BATCH,
 };
 use std::collections::HashMap;
@@ -109,6 +113,12 @@ pub enum SuggestPoll {
         suggestions: Vec<Suggestion>,
         telemetry: RequestTelemetry,
         health: ParseHealth,
+        /// Closed-loop verification telemetry for a verifying artifact
+        /// (`assistant.verify` set): how many hypotheses were executed and
+        /// how they classified. `None` when verification is off. The
+        /// per-suggestion verdicts ride on
+        /// [`Suggestion::verdict`].
+        verify: Option<VerifyStats>,
     },
     /// Retired by [`SuggestService::cancel`]. Redeems once.
     Cancelled,
@@ -135,6 +145,30 @@ pub struct SuggestService<'m> {
     /// Front-end parse health per live ticket, captured at submit time and
     /// redeemed with the ticket (`Done` carries it; `Cancelled` drops it).
     health: HashMap<RequestId, ParseHealth>,
+    /// Verifying artifacts only: per-ticket splice base (the canonical
+    /// serial program) and priority class, captured at submit time.
+    tickets: HashMap<RequestId, Ticket>,
+    /// Decoded tickets awaiting verification, oldest first. Worked off one
+    /// per idle [`step`](SuggestService::step) (bulk semantics: never while
+    /// an interactive decode is in flight) or synchronously at
+    /// [`poll`](SuggestService::poll).
+    verify_queue: Vec<PendingVerify>,
+    /// Fully verified tickets awaiting redemption.
+    verify_done: HashMap<RequestId, SuggestPoll>,
+}
+
+/// Submit-time context a verifying service keeps per ticket.
+struct Ticket {
+    base: Program,
+    interactive: bool,
+}
+
+/// A ticket that finished decoding and now owes a verification pass.
+struct PendingVerify {
+    id: RequestId,
+    base: Program,
+    hypotheses: Vec<Vec<usize>>,
+    telemetry: RequestTelemetry,
 }
 
 impl<'m> SuggestService<'m> {
@@ -182,11 +216,14 @@ impl<'m> SuggestService<'m> {
             assistant,
             decoder,
             health: HashMap::new(),
+            tickets: HashMap::new(),
+            verify_queue: Vec::new(),
+            verify_done: HashMap::new(),
         }
     }
 
     /// Queue a raw (possibly mid-edit) C buffer for suggestion at the
-    /// default scheduling options ([`Priority::Interactive`](mpirical_model::Priority::Interactive), no token
+    /// default scheduling options ([`Priority::Interactive`], no token
     /// cap). The front-end work — tolerant parse, standardization, X-SBT,
     /// encoder forward pass — happens here (via
     /// [`MpiRical::encode_source`], the same construction `suggest_batch`
@@ -198,15 +235,25 @@ impl<'m> SuggestService<'m> {
     }
 
     /// [`submit`](Self::submit) with explicit [`SubmitOptions`]: a
-    /// [`Priority`](mpirical_model::Priority) class (bulk re-index jobs yield their lanes to
+    /// [`Priority`] class (bulk re-index jobs yield their lanes to
     /// interactive keystroke requests) and an optional cap on generated
     /// tokens.
     pub fn submit_with(&mut self, c_source: &str, submit: SubmitOptions) -> RequestId {
         let enc = self.assistant.encode_source(c_source);
+        let interactive = matches!(submit.priority, Priority::Interactive);
         let id = self
             .decoder
             .submit(self.assistant.request_from_encoded(&enc, submit));
         self.health.insert(id, enc.health);
+        if self.assistant.verify.is_some() {
+            self.tickets.insert(
+                id,
+                Ticket {
+                    base: canonical_program(c_source),
+                    interactive,
+                },
+            );
+        }
         id
     }
 
@@ -215,20 +262,105 @@ impl<'m> SuggestService<'m> {
     /// it was still pending (it will poll [`SuggestPoll::Cancelled`]
     /// once); `false` if already finished, cancelled, or unknown.
     pub fn cancel(&mut self, id: RequestId) -> bool {
-        self.decoder.cancel(id)
+        let cancelled = self.decoder.cancel(id);
+        if cancelled {
+            self.tickets.remove(&id);
+        }
+        cancelled
     }
 
     /// Advance every in-flight request by one token (admitting queued
     /// requests into free lanes first, priority-first — an interactive
     /// submission may preempt bulk lanes). Returns the number of requests
     /// advanced; `0` means the service is idle.
+    ///
+    /// On a verifying artifact, finished tickets move into the
+    /// verification queue here, and — bulk semantics, mirroring
+    /// [`SubmitOptions::bulk`] — one queued verification job runs per step
+    /// **only while no interactive decode is in flight**, so the closed
+    /// loop never delays keystroke traffic. Remaining jobs complete at
+    /// [`poll`](Self::poll) (synchronously) or on later idle steps.
     pub fn step(&mut self) -> usize {
-        self.decoder.step()
+        let n = self.decoder.step();
+        if self.assistant.verify.is_some() {
+            self.sweep_finished();
+            if !self.interactive_in_flight() {
+                self.verify_next();
+            }
+        }
+        n
     }
 
-    /// Step until every submitted request has finished.
+    /// Step until every submitted request has finished (including, on a
+    /// verifying artifact, all queued verification work).
     pub fn run(&mut self) {
-        self.decoder.run()
+        self.decoder.run();
+        if self.assistant.verify.is_some() {
+            self.sweep_finished();
+            while self.verify_next() {}
+        }
+    }
+
+    /// Move every decoder-finished verifying ticket into the verification
+    /// queue (redeeming the scheduler-level `Done` exactly once).
+    fn sweep_finished(&mut self) {
+        let mut ids: Vec<RequestId> = self.tickets.keys().copied().collect();
+        ids.sort_by_key(|id| id.raw());
+        for id in ids {
+            if let PollResult::Done {
+                hypotheses,
+                telemetry,
+                ..
+            } = self.decoder.poll(id)
+            {
+                let ticket = self.tickets.remove(&id).expect("swept ids are tracked");
+                self.verify_queue.push(PendingVerify {
+                    id,
+                    base: ticket.base,
+                    hypotheses,
+                    telemetry,
+                });
+            }
+        }
+    }
+
+    /// True while any interactive-class ticket is still queued or decoding.
+    fn interactive_in_flight(&self) -> bool {
+        self.tickets.values().any(|t| t.interactive)
+    }
+
+    /// Verify the oldest queued ticket, if any. Returns whether one ran.
+    fn verify_next(&mut self) -> bool {
+        if self.verify_queue.is_empty() {
+            return false;
+        }
+        let pending = self.verify_queue.remove(0);
+        self.finish_verified(pending);
+        true
+    }
+
+    /// Run the closed loop for one decoded ticket and park the finished
+    /// poll result for redemption.
+    fn finish_verified(&mut self, pending: PendingVerify) {
+        let vopts = self
+            .assistant
+            .verify
+            .as_ref()
+            .expect("finish_verified only runs on verifying artifacts");
+        let (mut suggestions, stats) =
+            self.assistant
+                .verify_and_rank(&pending.base, pending.hypotheses, vopts);
+        let health = self.health.remove(&pending.id).unwrap_or_default();
+        apply_health(&mut suggestions, &health);
+        self.verify_done.insert(
+            pending.id,
+            SuggestPoll::Done {
+                suggestions,
+                telemetry: pending.telemetry,
+                health,
+                verify: Some(stats),
+            },
+        );
     }
 
     /// Requests submitted but not yet finished.
@@ -271,6 +403,17 @@ impl<'m> SuggestService<'m> {
     /// freely — a streaming client polls every step and renders the
     /// growing `partial` suggestions.
     pub fn poll(&mut self, id: RequestId) -> SuggestPoll {
+        // Verifying artifacts: a finished ticket may already sit in the
+        // verification pipeline (its scheduler-level `Done` was redeemed by
+        // the sweep). A poll completes its verification synchronously — the
+        // client asked for the result now.
+        if let Some(i) = self.verify_queue.iter().position(|p| p.id == id) {
+            let pending = self.verify_queue.remove(i);
+            self.finish_verified(pending);
+        }
+        if let Some(done) = self.verify_done.remove(&id) {
+            return done;
+        }
         match self.decoder.poll(id) {
             PollResult::Queued { position } => SuggestPoll::Queued { position },
             PollResult::Decoding { tokens_so_far } => {
@@ -280,7 +423,25 @@ impl<'m> SuggestService<'m> {
                 }
                 SuggestPoll::Decoding { partial }
             }
-            PollResult::Done { ids, telemetry } => {
+            PollResult::Done {
+                ids,
+                hypotheses,
+                telemetry,
+            } => {
+                // A verifying ticket landing here finished between the last
+                // sweep and this poll: verify it now.
+                if let Some(ticket) = self.tickets.remove(&id) {
+                    self.finish_verified(PendingVerify {
+                        id,
+                        base: ticket.base,
+                        hypotheses,
+                        telemetry,
+                    });
+                    return self
+                        .verify_done
+                        .remove(&id)
+                        .expect("finish_verified parked the result");
+                }
                 let mut suggestions = self.suggestions_from(&ids);
                 let health = self.health.remove(&id).unwrap_or_default();
                 apply_health(&mut suggestions, &health);
@@ -288,10 +449,12 @@ impl<'m> SuggestService<'m> {
                     suggestions,
                     telemetry,
                     health,
+                    verify: None,
                 }
             }
             PollResult::Cancelled => {
                 self.health.remove(&id);
+                self.tickets.remove(&id);
                 SuggestPoll::Cancelled
             }
             PollResult::Unknown => SuggestPoll::Unknown,
@@ -657,6 +820,86 @@ mod tests {
             service.health.is_empty(),
             "redeemed and cancelled tickets drop their health entries"
         );
+    }
+
+    /// Verification runs at Bulk cadence: a retired request's hypotheses
+    /// wait in the verify queue while Interactive traffic is still
+    /// decoding, and only execute once the interactive lanes drain (or the
+    /// client polls, which completes its own verification synchronously).
+    #[test]
+    fn verification_defers_to_interactive_traffic() {
+        let mut assistant = tiny_assistant();
+        assistant.decode.min_len = 24; // interactive decodes ≥ 24 steps
+        assistant.verify = Some(crate::verify::VerifyOptions {
+            rank_counts: vec![2],
+            timeout_ms: 300,
+            step_limit: 100_000,
+            ..Default::default()
+        });
+        let mut service = SuggestService::with_max_batch(&assistant, 2);
+        let bulk = service.submit_with(
+            "int main() { double local = 0.0; return 0; }",
+            SubmitOptions::bulk().with_max_new_tokens(4),
+        );
+        let interactive = service.submit("int main() { int rank; return 0; }");
+        // Step until the bulk decode retires and is swept into the verify
+        // queue; `min_len` keeps the interactive request decoding past it.
+        while service.verify_queue.is_empty() {
+            assert!(service.step() > 0, "bulk request must retire");
+        }
+        assert!(
+            service.tickets.values().any(|t| t.interactive),
+            "interactive request still decoding when bulk retires"
+        );
+        // Deferral: while interactive traffic is in flight, stepping never
+        // executes the queued verification.
+        while service.tickets.values().any(|t| t.interactive) {
+            let queued = service.verify_queue.len();
+            service.step();
+            if service.tickets.values().any(|t| t.interactive) {
+                assert_eq!(service.verify_queue.len(), queued, "deferred");
+            }
+        }
+        // Interactive retired: the queue drains, and both tickets carry
+        // verification stats.
+        service.run();
+        assert!(service.verify_queue.is_empty());
+        for ticket in [bulk, interactive] {
+            let SuggestPoll::Done { verify, .. } = service.poll(ticket) else {
+                panic!("{ticket} finished");
+            };
+            assert!(verify.is_some(), "{ticket} carries verification stats");
+        }
+    }
+
+    /// A verifying ticket matches the direct `suggest_report` path:
+    /// identical verdict-ranked suggestions and identical stats.
+    #[test]
+    fn verifying_ticket_matches_direct_report() {
+        let mut assistant = tiny_assistant();
+        assistant.verify = Some(crate::verify::VerifyOptions {
+            rank_counts: vec![2],
+            timeout_ms: 300,
+            step_limit: 100_000,
+            ..Default::default()
+        });
+        let buffer = "int main() { int rank; return 0; }";
+        let want = assistant.suggest_report(buffer);
+        let mut service = SuggestService::new(&assistant);
+        let ticket = service.submit(buffer);
+        service.run();
+        let SuggestPoll::Done {
+            suggestions,
+            verify,
+            health,
+            ..
+        } = service.poll(ticket)
+        else {
+            panic!("finished");
+        };
+        assert_eq!(suggestions, want.suggestions);
+        assert_eq!(verify, want.verify);
+        assert_eq!(health, want.health);
     }
 
     /// Regression (satellite fix): a zero-lane service and a zero-beam

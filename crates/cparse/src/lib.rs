@@ -39,6 +39,7 @@ pub mod error;
 pub mod lexer;
 pub mod parser;
 pub mod printer;
+pub mod splice;
 pub mod token;
 
 pub use ast::{
@@ -49,6 +50,7 @@ pub use error::{Diagnostic, ParseError, ParseHealth, Severity};
 pub use lexer::{lex, LexOutput};
 pub use parser::{parse_strict, parse_tolerant, ParseOutput};
 pub use printer::{print_program, render_expr, standardize};
+pub use splice::splice_stmt;
 pub use token::{Keyword, Punct, Token, TokenKind};
 
 /// Count the code tokens of a source text (excludes preprocessor directives

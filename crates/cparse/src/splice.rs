@@ -1,0 +1,370 @@
+//! AST splicing: insert a statement at a target source line.
+//!
+//! The closed-loop verifier patches candidate MPI calls into a serial
+//! program's AST and executes the result — so the splice has to land a
+//! statement *inside* the right block at the right spot, never as stray
+//! text. The rules, in priority order:
+//!
+//! 1. Insert before the first statement whose line is at or past the
+//!    target (so a call suggested "at line N" runs before whatever is on
+//!    line N today).
+//! 2. If the target falls strictly inside a compound statement's span
+//!    (loop body, `if` branch, nested block), descend into it first.
+//! 3. If no statement is at or past the target, append at the tail of
+//!    `main`, before a trailing `return` — the natural home of
+//!    `MPI_Finalize`-style calls.
+//!
+//! Splicing never invents parse errors: the result is a plain AST node, so
+//! printing via [`print_program`](crate::printer::print_program) and
+//! reparsing is a fixpoint (pinned by the round-trip proptest below).
+
+use crate::ast::{Block, Item, Program, Stmt};
+
+/// Largest source line mentioned anywhere in the statement's subtree.
+fn stmt_max_line(s: &Stmt) -> u32 {
+    let own = s.line();
+    let inner = match s {
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => stmt_max_line(then_branch)
+            .max(else_branch.as_ref().map(|e| stmt_max_line(e)).unwrap_or(0)),
+        Stmt::While { body, .. } | Stmt::DoWhile { body, .. } | Stmt::For { body, .. } => {
+            stmt_max_line(body)
+        }
+        Stmt::Block(b) => b.stmts.iter().map(stmt_max_line).max().unwrap_or(0),
+        Stmt::Error { line, lines } => line + lines.len().saturating_sub(1) as u32,
+        _ => 0,
+    };
+    own.max(inner)
+}
+
+/// Try to insert `stmt` into `block` at `line`; hands the statement back if
+/// the target is past every statement in the block.
+fn insert_into_block(block: &mut Block, stmt: Stmt, line: u32) -> Option<Stmt> {
+    let mut pending = Some(stmt);
+    let mut insert_at = None;
+    for (i, existing) in block.stmts.iter_mut().enumerate() {
+        let start = existing.line();
+        if start != 0 && line <= start {
+            insert_at = Some(i);
+            break;
+        }
+        // The target sits inside this statement's subtree: descend into
+        // compound bodies so the splice lands in the innermost block.
+        if line <= stmt_max_line(existing) {
+            let s = pending.take().expect("pending statement");
+            match insert_into_stmt(existing, s, line) {
+                None => return None,
+                Some(back) => pending = Some(back),
+            }
+        }
+    }
+    let stmt = pending.take().expect("pending statement");
+    if let Some(i) = insert_at {
+        block.stmts.insert(i, stmt);
+        return None;
+    }
+    Some(stmt)
+}
+
+/// Descend into a compound statement's bodies; hands the statement back if
+/// `s` has no block to host it.
+fn insert_into_stmt(s: &mut Stmt, stmt: Stmt, line: u32) -> Option<Stmt> {
+    match s {
+        Stmt::Block(b) => insert_into_block(b, stmt, line),
+        Stmt::While { body, .. } | Stmt::DoWhile { body, .. } | Stmt::For { body, .. } => {
+            insert_into_stmt(body, stmt, line)
+        }
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            let stmt = insert_into_stmt(then_branch, stmt, line)?;
+            match else_branch {
+                Some(e) => insert_into_stmt(e, stmt, line),
+                None => Some(stmt),
+            }
+        }
+        _ => Some(stmt),
+    }
+}
+
+/// Splice `stmt` into `prog` at source line `line` (see the module docs for
+/// the placement rules). Returns the patched program; `prog` is untouched.
+///
+/// If the program has no function able to host the statement (no `main`,
+/// e.g. a pure declaration file), the program is returned unchanged.
+pub fn splice_stmt(prog: &Program, stmt: Stmt, line: u32) -> Program {
+    let mut out = prog.clone();
+    let mut pending = Some(stmt);
+    for item in &mut out.items {
+        if let Item::Function(f) = item {
+            let s = pending.take().expect("pending statement");
+            match insert_into_block(&mut f.body, s, line) {
+                None => return out,
+                Some(back) => pending = Some(back),
+            }
+        }
+    }
+    // Past every statement in every function: append at main's tail,
+    // before a trailing return if present.
+    let stmt = pending.take().expect("pending statement");
+    for item in &mut out.items {
+        if let Item::Function(f) = item {
+            if f.name == "main" {
+                let at = f
+                    .body
+                    .stmts
+                    .iter()
+                    .rposition(|s| matches!(s, Stmt::Return { .. }))
+                    .unwrap_or(f.body.stmts.len());
+                f.body.stmts.insert(at, stmt);
+                return out;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Expr;
+    use crate::parser::parse_strict;
+    use crate::printer::print_program;
+
+    fn mpi_call(name: &str, args: Vec<Expr>) -> Stmt {
+        Stmt::Expr {
+            expr: Some(Expr::Call {
+                callee: name.to_string(),
+                args,
+                line: 0,
+            }),
+            line: 0,
+        }
+    }
+
+    fn ident(name: &str) -> Expr {
+        Expr::Ident(name.to_string())
+    }
+
+    const BASE: &str = r#"int main(int argc, char **argv) {
+    int rank, size, i;
+    double local = 0.0, total = 0.0;
+    for (i = 0; i < 100; i++) {
+        local += i;
+    }
+    if (rank == 0) {
+        printf("%f\n", total);
+    }
+    return 0;
+}"#;
+
+    #[test]
+    fn splices_before_target_line() {
+        let prog = parse_strict(BASE).unwrap();
+        let patched = splice_stmt(&prog, mpi_call("MPI_Finalize", vec![]), 10);
+        let printed = print_program(&patched);
+        let reparsed = parse_strict(&printed).expect("splice stays parseable");
+        assert_eq!(print_program(&reparsed), printed);
+        let before_return = printed
+            .lines()
+            .position(|l| l.contains("MPI_Finalize"))
+            .unwrap();
+        let ret = printed
+            .lines()
+            .position(|l| l.contains("return 0"))
+            .unwrap();
+        assert!(before_return < ret, "{printed}");
+    }
+
+    #[test]
+    fn descends_into_loop_body() {
+        let prog = parse_strict(BASE).unwrap();
+        // Line 5 is inside the for body.
+        let patched = splice_stmt(
+            &prog,
+            mpi_call("MPI_Barrier", vec![ident("MPI_COMM_WORLD")]),
+            5,
+        );
+        let printed = print_program(&patched);
+        let lines: Vec<&str> = printed.lines().collect();
+        let call = lines
+            .iter()
+            .position(|l| l.contains("MPI_Barrier"))
+            .unwrap();
+        let loop_open = lines.iter().position(|l| l.contains("for (")).unwrap();
+        let loop_body = lines.iter().position(|l| l.contains("local += i")).unwrap();
+        assert!(
+            call > loop_open && call <= loop_body,
+            "call must land inside the loop body:\n{printed}"
+        );
+    }
+
+    #[test]
+    fn past_the_end_appends_before_trailing_return() {
+        let prog = parse_strict(BASE).unwrap();
+        let patched = splice_stmt(&prog, mpi_call("MPI_Finalize", vec![]), 999);
+        let printed = print_program(&patched);
+        let call = printed
+            .lines()
+            .position(|l| l.contains("MPI_Finalize"))
+            .unwrap();
+        let ret = printed
+            .lines()
+            .position(|l| l.contains("return 0"))
+            .unwrap();
+        assert_eq!(call + 1, ret, "{printed}");
+    }
+
+    #[test]
+    fn line_one_prepends() {
+        let prog = parse_strict(BASE).unwrap();
+        let patched = splice_stmt(
+            &prog,
+            mpi_call("MPI_Init", vec![ident("argc"), ident("argv")]),
+            1,
+        );
+        let printed = print_program(&patched);
+        let reparsed = parse_strict(&printed).expect("splice stays parseable");
+        assert_eq!(print_program(&reparsed), printed);
+        assert!(
+            printed.lines().nth(1).unwrap().contains("MPI_Init"),
+            "{printed}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::ast::Expr;
+    use crate::parser::parse_strict;
+    use crate::printer::{print_program, standardize};
+    use proptest::prelude::*;
+
+    const BASES: [&str; 4] = [
+        r#"int main(int argc, char **argv) {
+    int rank, size, i;
+    int n = 64;
+    double local = 0.0, total = 0.0;
+    for (i = rank; i < n; i += size) {
+        local += 4.0 / (1.0 + i * i);
+    }
+    if (rank == 0) {
+        printf("%f\n", total);
+    }
+    return 0;
+}"#,
+        r#"double square(double x) {
+    return x * x;
+}
+
+int main(int argc, char **argv) {
+    int rank;
+    double acc = 0.0;
+    int i = 0;
+    while (i < 10) {
+        acc += square(i);
+        i++;
+    }
+    printf("%f\n", acc);
+    return 0;
+}"#,
+        r#"int main() {
+    int data[16];
+    int i, j;
+    for (i = 0; i < 4; i++) {
+        for (j = 0; j < 4; j++) {
+            data[i * 4 + j] = i + j;
+        }
+    }
+    do {
+        i--;
+    } while (i > 0);
+    if (data[0] > 0) {
+        printf("%d\n", data[0]);
+    } else {
+        printf("none\n");
+    }
+    return 0;
+}"#,
+        r#"int N = 8;
+int main(int argc, char **argv) {
+    int rank, size;
+    long sum = 0;
+    for (int k = 0; k < N; k++) {
+        sum += k;
+    }
+    printf("%ld\n", sum);
+    return 0;
+}"#,
+    ];
+
+    const CALLS: [(&str, &[&str]); 5] = [
+        ("MPI_Init", &["argc", "argv"]),
+        ("MPI_Comm_rank", &["MPI_COMM_WORLD", "rank"]),
+        ("MPI_Comm_size", &["MPI_COMM_WORLD", "size"]),
+        ("MPI_Barrier", &["MPI_COMM_WORLD"]),
+        ("MPI_Finalize", &[]),
+    ];
+
+    fn call_stmt(idx: usize) -> Stmt {
+        let (name, args) = CALLS[idx];
+        Stmt::Expr {
+            expr: Some(Expr::Call {
+                callee: name.to_string(),
+                args: args.iter().map(|a| Expr::Ident(a.to_string())).collect(),
+                line: 0,
+            }),
+            line: 0,
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// Splice → print → reparse → print is a fixpoint: splicing never
+        /// invents a parse error, and the canonical print is stable.
+        #[test]
+        fn splice_print_reparse_roundtrip(
+            base_idx in 0usize..BASES.len(),
+            call_idx in 0usize..CALLS.len(),
+            line in 0u32..40,
+        ) {
+            let prog = parse_strict(BASES[base_idx]).expect("base parses");
+            let (_, canon) = standardize(&prog);
+            let patched = splice_stmt(&canon, call_stmt(call_idx), line);
+            let printed = print_program(&patched);
+            let reparsed = parse_strict(&printed)
+                .expect("spliced program must stay parseable");
+            prop_assert_eq!(print_program(&reparsed), printed);
+        }
+
+        /// The splice adds exactly one statement and leaves every other
+        /// statement intact (same multiset of printed lines plus one).
+        #[test]
+        fn splice_adds_exactly_one_line(
+            base_idx in 0usize..BASES.len(),
+            call_idx in 0usize..CALLS.len(),
+            line in 0u32..40,
+        ) {
+            let prog = parse_strict(BASES[base_idx]).expect("base parses");
+            let (before, canon) = standardize(&prog);
+            let patched = splice_stmt(&canon, call_stmt(call_idx), line);
+            let printed = print_program(&patched);
+            prop_assert_eq!(printed.lines().count(), before.lines().count() + 1);
+            let mut added: Vec<&str> = printed.lines().collect();
+            for l in before.lines() {
+                let i = added.iter().position(|a| *a == l);
+                prop_assert!(i.is_some(), "line {:?} vanished:\n{}", l, printed);
+                added.remove(i.unwrap());
+            }
+            prop_assert_eq!(added.len(), 1);
+            prop_assert!(added[0].contains("MPI_"), "{}", added[0]);
+        }
+    }
+}

@@ -62,7 +62,7 @@
 //!
 //! A request may decode with any `beam ≤ max_batch`. The scheduler reserves
 //! `beam` lanes for it and runs the *exact* single-request beam semantics —
-//! `expand_beams` and `best_hypothesis_ids` are literally shared with
+//! `expand_beams` and `ranked_hypothesis_ids` are literally shared with
 //! [`decode_encoded_prompted`](crate::decode::decode_encoded_prompted) — over
 //! hypotheses that are stepped in lockstep with every other request's.
 //! Hypothesis forks are copy-on-write page shares (all lanes draw from one
@@ -121,7 +121,7 @@
 //! let greedy = decode_encoded(&store, &params, &cfg, &enc, 12, DecodeOptions::default());
 //! let beamed = decode_encoded(&store, &params, &cfg, &enc, 12,
 //!     DecodeOptions { beam: 3, min_len: 0, ..Default::default() });
-//! let PollResult::Done { ids, telemetry } = dec.poll(a) else { panic!("retired") };
+//! let PollResult::Done { ids, telemetry, .. } = dec.poll(a) else { panic!("retired") };
 //! assert_eq!(ids, greedy);
 //! assert!(telemetry.decode_steps > 0);
 //! assert_eq!(dec.poll(b).into_output().unwrap(), beamed);
@@ -130,7 +130,7 @@
 //! ```
 
 use crate::config::ModelConfig;
-use crate::decode::{argmax_token, best_hypothesis_ids, expand_beams, Hypothesis};
+use crate::decode::{argmax_token, expand_beams, ranked_hypothesis_ids, Hypothesis};
 use crate::infer::{decode_step_batch, BatchScratch, DecoderCache, DecoderWeights, Precision};
 use crate::paged::{PagePool, PoolStats};
 use crate::transformer::TransformerParams;
@@ -250,9 +250,14 @@ pub enum PollResult {
     /// polls — treat each poll as a snapshot, not a growing suffix.
     Decoding { tokens_so_far: Vec<usize> },
     /// Finished: generated ids (prompt stripped, no `<eos>`) plus
-    /// scheduling telemetry. Redeems once.
+    /// scheduling telemetry. Redeems once. `hypotheses` carries *every*
+    /// final hypothesis' generated ids best-first — for greedy requests a
+    /// single entry, for beam requests the full final beam; `hypotheses[0]`
+    /// is always identical to `ids`. The closed-loop verifier re-ranks
+    /// these by observed semantics.
     Done {
         ids: Vec<usize>,
+        hypotheses: Vec<Vec<usize>>,
         telemetry: RequestTelemetry,
     },
     /// Retired by [`BatchDecoder::cancel`]; every page it held is back in
@@ -512,6 +517,11 @@ fn prefix_key(enc_out: &Tensor, prompt: &[usize]) -> u64 {
     h
 }
 
+/// A retired request's output, parked until its ticket is polled: the
+/// winning ids, every beam hypothesis (best first), and the scheduling
+/// telemetry.
+type RetiredOutput = (Vec<usize>, Vec<Vec<usize>>, RequestTelemetry);
+
 /// Lockstep multi-request decoder with continuous batching, batched beam
 /// search, priority-aware admission, preemption, and cancellation (see
 /// module docs for the scheduling model).
@@ -535,7 +545,7 @@ pub struct BatchDecoder<'m> {
     pool: PagePool,
     groups: Vec<Group>,
     queue: Vec<QueueEntry>,
-    done: HashMap<RequestId, (Vec<usize>, RequestTelemetry)>,
+    done: HashMap<RequestId, RetiredOutput>,
     cancelled: BTreeSet<RequestId>,
     prefix_cache: Vec<PrefixEntry>,
     prefix_hits: u64,
@@ -962,6 +972,7 @@ impl<'m> BatchDecoder<'m> {
                         entry.id,
                         (
                             Vec::new(),
+                            vec![Vec::new()],
                             RequestTelemetry {
                                 queue_wait_steps: wait_now,
                                 ..Default::default()
@@ -1115,8 +1126,9 @@ impl<'m> BatchDecoder<'m> {
                     || group.expansions >= group.limit - group.prompt_len
                 {
                     let beams = std::mem::take(&mut group.beams);
-                    let ids = best_hypothesis_ids(beams, group.prompt_len);
-                    self.done.insert(group.id, (ids, group.telemetry()));
+                    let ranked = ranked_hypothesis_ids(beams, group.prompt_len);
+                    let ids = ranked[0].clone();
+                    self.done.insert(group.id, (ids, ranked, group.telemetry()));
                     group.finished = true;
                 }
             } else {
@@ -1135,7 +1147,8 @@ impl<'m> BatchDecoder<'m> {
                 }
                 if group.finished {
                     let ids = h.ids[group.prompt_len..].to_vec();
-                    self.done.insert(group.id, (ids, group.telemetry()));
+                    self.done
+                        .insert(group.id, (ids.clone(), vec![ids], group.telemetry()));
                 }
             }
         }
@@ -1151,8 +1164,12 @@ impl<'m> BatchDecoder<'m> {
     /// `Queued`/`Decoding` polls are free to repeat (a streaming client
     /// polls `Decoding` every step for the growing partial output).
     pub fn poll(&mut self, id: RequestId) -> PollResult {
-        if let Some((ids, telemetry)) = self.done.remove(&id) {
-            return PollResult::Done { ids, telemetry };
+        if let Some((ids, hypotheses, telemetry)) = self.done.remove(&id) {
+            return PollResult::Done {
+                ids,
+                hypotheses,
+                telemetry,
+            };
         }
         if self.cancelled.remove(&id) {
             return PollResult::Cancelled;
@@ -1193,6 +1210,21 @@ impl<'m> BatchDecoder<'m> {
         ids.into_iter()
             .map(|id| match self.poll(id) {
                 PollResult::Done { ids, .. } => ids,
+                other => panic!("run() retires every request (got {other:?})"),
+            })
+            .collect()
+    }
+
+    /// [`decode_all`](Self::decode_all) keeping every request's full ranked
+    /// hypothesis list (score-descending; element 0 is the winner
+    /// `decode_all` would return) — consumers that re-rank the beam by
+    /// external evidence use this instead of polling by hand.
+    pub fn decode_all_hypotheses(&mut self, reqs: Vec<BatchRequest>) -> Vec<Vec<Vec<usize>>> {
+        let ids: Vec<RequestId> = reqs.into_iter().map(|r| self.submit(r)).collect();
+        self.run();
+        ids.into_iter()
+            .map(|id| match self.poll(id) {
+                PollResult::Done { hypotheses, .. } => hypotheses,
                 other => panic!("run() retires every request (got {other:?})"),
             })
             .collect()
@@ -1508,14 +1540,14 @@ mod tests {
         assert_eq!(paused, 1, "the evicted bulk group is queued, not lost");
 
         dec.run();
-        let PollResult::Done { ids, telemetry } = dec.poll(fast) else {
+        let PollResult::Done { ids, telemetry, .. } = dec.poll(fast) else {
             panic!("interactive finished");
         };
         assert_eq!(ids, interactive_ref);
         assert_eq!(telemetry.queue_wait_steps, 0, "zero steps in the queue");
         let mut resumed_preemptions = 0;
         for (id, want) in bulk_ids.into_iter().zip(refs) {
-            let PollResult::Done { ids, telemetry } = dec.poll(id) else {
+            let PollResult::Done { ids, telemetry, .. } = dec.poll(id) else {
                 panic!("bulk finished");
             };
             assert_eq!(ids, want, "preempt/resume never changes tokens");
@@ -1590,7 +1622,7 @@ mod tests {
         for step in 0..64 {
             dec.submit(BatchRequest::greedy(e.clone(), 4).with_max_new_tokens(2));
             dec.step();
-            if let PollResult::Done { ids, telemetry } = dec.poll(bulk) {
+            if let PollResult::Done { ids, telemetry, .. } = dec.poll(bulk) {
                 assert_eq!(ids, bulk_ref, "aged bulk output unchanged");
                 done_tel = Some(telemetry);
                 break;

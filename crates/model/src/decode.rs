@@ -233,6 +233,51 @@ pub fn decode_encoded_prompted_quant(
     })
 }
 
+/// [`decode_encoded_prompted`], but returning **every** final hypothesis'
+/// generated ids, best-first by length-normalized score. Greedy decoding
+/// (`beam == 1`) yields exactly one hypothesis; beam search yields the full
+/// final beam (up to `opts.beam` entries). The first entry is always
+/// bitwise-identical to what [`decode_encoded_prompted`] returns — the
+/// closed-loop verifier relies on this to re-rank candidates without
+/// perturbing the unverified output.
+#[allow(clippy::too_many_arguments)]
+pub fn decode_encoded_prompted_all(
+    store: &ParamStore,
+    params: &TransformerParams,
+    cfg: &ModelConfig,
+    enc_out: &Tensor,
+    prompt: &[usize],
+    max_len: usize,
+    opts: DecodeOptions,
+) -> Vec<Vec<usize>> {
+    decode_prompted_all_impl(store, params, cfg, prompt, max_len, opts, None, || {
+        DecoderCache::new(store, params, cfg, enc_out)
+    })
+}
+
+/// [`decode_encoded_prompted_all`] running the int8 quantized projection
+/// kernels against pre-quantized weights (see
+/// [`decode_encoded_prompted_quant`]).
+#[allow(clippy::too_many_arguments)]
+pub fn decode_encoded_prompted_all_quant(
+    store: &ParamStore,
+    params: &TransformerParams,
+    cfg: &ModelConfig,
+    qw: &QuantDecoderWeights,
+    enc_out: &Tensor,
+    prompt: &[usize],
+    max_len: usize,
+    opts: DecodeOptions,
+) -> Vec<Vec<usize>> {
+    let opts = DecodeOptions {
+        precision: Precision::Int8,
+        ..opts
+    };
+    decode_prompted_all_impl(store, params, cfg, prompt, max_len, opts, Some(qw), || {
+        DecoderCache::new(store, params, cfg, enc_out)
+    })
+}
+
 /// [`decode_encoded_prompted`] on the **contiguous** reference cache layout
 /// ([`DecoderCache::new_contiguous`]). Exists for the property-test harness
 /// and benchmarks, which pin the paged engine's outputs (and, step by step,
@@ -284,6 +329,27 @@ fn decode_prompted_impl(
     qw: Option<&QuantDecoderWeights>,
     new_cache: impl Fn() -> DecoderCache,
 ) -> Vec<usize> {
+    decode_prompted_all_impl(store, params, cfg, prompt, max_len, opts, qw, new_cache)
+        .into_iter()
+        .next()
+        .unwrap_or_default()
+}
+
+/// [`decode_prompted_impl`], but returning *every* hypothesis' generated
+/// ids best-first instead of only the winner. Greedy decoding yields a
+/// single hypothesis; beam search yields the final ranked beam. `ranked[0]`
+/// is always bitwise-identical to what [`decode_prompted_impl`] returns.
+#[allow(clippy::too_many_arguments)]
+fn decode_prompted_all_impl(
+    store: &ParamStore,
+    params: &TransformerParams,
+    cfg: &ModelConfig,
+    prompt: &[usize],
+    max_len: usize,
+    opts: DecodeOptions,
+    qw: Option<&QuantDecoderWeights>,
+    new_cache: impl Fn() -> DecoderCache,
+) -> Vec<Vec<usize>> {
     assert!(
         opts.beam >= 1,
         "beam width must be at least 1 (got 0); use beam = 1 for greedy"
@@ -303,14 +369,23 @@ fn decode_prompted_impl(
     };
     let limit = max_len.min(cfg.max_dec_len);
     if prompt.len() >= limit {
-        return Vec::new();
+        return vec![Vec::new()];
     }
     let mut cache = new_cache();
     for &tok in &prompt[..prompt.len() - 1] {
         step_at(store, params, cfg, qw, &mut cache, tok);
     }
     if opts.beam == 1 {
-        greedy_cached(store, params, cfg, qw, cache, prompt, limit, opts.min_len)
+        vec![greedy_cached(
+            store,
+            params,
+            cfg,
+            qw,
+            cache,
+            prompt,
+            limit,
+            opts.min_len,
+        )]
     } else {
         beam_cached(store, params, cfg, qw, cache, prompt, limit, opts)
     }
@@ -524,21 +599,28 @@ pub(crate) fn expand_beams(
     next
 }
 
-/// Final beam selection: the best hypothesis by length-normalized score,
-/// with the prompt stripped. Shared with the batched scheduler.
-pub(crate) fn best_hypothesis_ids(beams: Vec<Hypothesis>, prompt_len: usize) -> Vec<usize> {
-    beams
+/// Final beam ranking: every hypothesis' generated ids (prompt stripped),
+/// best-first by length-normalized score. Shared with the batched scheduler
+/// so single-request and batched rankings agree element-for-element.
+///
+/// Ties break toward the *higher* original index, which keeps `ranked[0]`
+/// bitwise-identical to the historical `max_by` selection (`max_by` returns
+/// the last maximum).
+pub(crate) fn ranked_hypothesis_ids(beams: Vec<Hypothesis>, prompt_len: usize) -> Vec<Vec<usize>> {
+    let mut indexed: Vec<(usize, Hypothesis)> = beams.into_iter().enumerate().collect();
+    indexed.sort_by(|(ia, a), (ib, b)| {
+        b.score()
+            .partial_cmp(&a.score())
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(ib.cmp(ia))
+    });
+    indexed
         .into_iter()
-        .max_by(|a, b| {
-            a.score()
-                .partial_cmp(&b.score())
-                .unwrap_or(std::cmp::Ordering::Equal)
-        })
-        .map(|h| {
+        .map(|(_, h)| {
             let mut ids = h.ids;
             ids.split_off(prompt_len)
         })
-        .unwrap_or_default()
+        .collect()
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -551,7 +633,7 @@ fn beam_cached(
     prompt: &[usize],
     limit: usize,
     opts: DecodeOptions,
-) -> Vec<usize> {
+) -> Vec<Vec<usize>> {
     let prompt_len = prompt.len();
     let mut beams = vec![Hypothesis::root(prompt, cache)];
     for _ in prompt_len..limit {
@@ -579,7 +661,7 @@ fn beam_cached(
         let row_refs: Vec<Option<&[f32]>> = rows.iter().map(|r| r.as_deref()).collect();
         beams = expand_beams(beams, &row_refs, opts.beam, opts.min_len, prompt_len);
     }
-    best_hypothesis_ids(beams, prompt_len)
+    ranked_hypothesis_ids(beams, prompt_len)
 }
 
 // ---------------------------------------------------------------------------

@@ -47,6 +47,7 @@ pub use bpe::Bpe;
 pub use config::ModelConfig;
 pub use decode::{
     beam_decode, beam_decode_replay, decode_encoded, decode_encoded_prompted,
+    decode_encoded_prompted_all, decode_encoded_prompted_all_quant,
     decode_encoded_prompted_contiguous, decode_encoded_prompted_quant, decode_with, greedy_decode,
     greedy_decode_replay, replay_decode_with, DecodeOptions,
 };

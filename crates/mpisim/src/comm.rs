@@ -12,7 +12,7 @@
 //! collectives from cross-talking.
 
 use crate::datatype::{Datatype, ReduceOp, Reducible};
-use crate::error::SimError;
+use crate::error::{BlockedOp, SimError};
 use bytes::Bytes;
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
@@ -65,6 +65,12 @@ pub(crate) struct Shared {
     abort_info: Mutex<Option<(usize, i32)>>,
     start: Instant,
     timeout: Duration,
+    /// Per-rank pending blocking operation, registered while a rank waits in
+    /// `recv`/`coll_recv`. A timeout snapshots this registry so the resulting
+    /// `SimError::Deadlock` can name every blocked rank — the signal a
+    /// verifier needs to tell a genuine wait cycle from a lone slow rank.
+    /// These are leaf locks: never acquired while waiting on a mailbox.
+    pending: Vec<Mutex<Option<String>>>,
 }
 
 impl Shared {
@@ -78,7 +84,29 @@ impl Shared {
             abort_info: Mutex::new(None),
             start: Instant::now(),
             timeout,
+            pending: (0..nranks).map(|_| Mutex::new(None)).collect(),
         })
+    }
+
+    /// All ranks currently blocked in a pending operation, rank order.
+    fn blocked_snapshot(&self) -> Vec<BlockedOp> {
+        self.pending
+            .iter()
+            .enumerate()
+            .filter_map(|(rank, slot)| slot.lock().clone().map(|op| BlockedOp { rank, op }))
+            .collect()
+    }
+}
+
+/// Clears a rank's pending-operation slot on every exit path of a blocking
+/// receive (match, error, abort wake-up, timeout).
+struct PendingGuard<'a> {
+    slot: &'a Mutex<Option<String>>,
+}
+
+impl Drop for PendingGuard<'_> {
+    fn drop(&mut self) {
+        *self.slot.lock() = None;
     }
 }
 
@@ -177,6 +205,11 @@ impl Comm {
             self.check_rank(r)?;
         }
         let deadline = Instant::now() + self.shared.timeout;
+        *self.shared.pending[self.rank].lock() =
+            Some(format!("recv(source={source:?}, tag={tag:?})"));
+        let _pending = PendingGuard {
+            slot: &self.shared.pending[self.rank],
+        };
         let mut mb = self.shared.mailboxes[self.rank].lock();
         loop {
             if self.shared.aborted.load(Ordering::SeqCst) {
@@ -226,6 +259,7 @@ impl Comm {
                 return Err(SimError::Deadlock {
                     rank: self.rank,
                     detail: format!("recv(source={source:?}, tag={tag:?}) timed out"),
+                    blocked: self.shared.blocked_snapshot(),
                 });
             }
         }
@@ -269,6 +303,11 @@ impl Comm {
         tag: i32,
     ) -> Result<Status, SimError> {
         let deadline = Instant::now() + self.shared.timeout;
+        *self.shared.pending[self.rank].lock() =
+            Some(format!("collective recv(source={source}, tag={tag})"));
+        let _pending = PendingGuard {
+            slot: &self.shared.pending[self.rank],
+        };
         let mut mb = self.shared.mailboxes[self.rank].lock();
         loop {
             if self.shared.aborted.load(Ordering::SeqCst) {
@@ -311,6 +350,7 @@ impl Comm {
                 return Err(SimError::Deadlock {
                     rank: self.rank,
                     detail: format!("collective recv from {source} (tag {tag}) timed out"),
+                    blocked: self.shared.blocked_snapshot(),
                 });
             }
         }

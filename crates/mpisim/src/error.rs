@@ -2,12 +2,29 @@
 
 use std::fmt;
 
+/// A rank observed blocked inside a pending operation when a deadlock
+/// timeout fired. Lets callers distinguish a genuine cyclic wait (several
+/// ranks each stuck in a receive) from a lone straggler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockedOp {
+    pub rank: usize,
+    /// Human-readable description of the pending operation, e.g.
+    /// `recv(source=Rank(1), tag=Value(7))`.
+    pub op: String,
+}
+
 /// Everything that can go wrong inside a simulated MPI program.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
     /// A receive (or collective) waited longer than the configured timeout —
     /// the simulation's stand-in for a hung MPI job.
-    Deadlock { rank: usize, detail: String },
+    Deadlock {
+        rank: usize,
+        detail: String,
+        /// Every rank that was blocked in a pending operation at the moment
+        /// the timeout fired (including `rank` itself), in rank order.
+        blocked: Vec<BlockedOp>,
+    },
     /// Receive datatype differs from the sent datatype.
     TypeMismatch {
         rank: usize,
@@ -45,8 +62,19 @@ impl SimError {
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::Deadlock { rank, detail } => {
-                write!(f, "rank {rank}: deadlock — {detail}")
+            SimError::Deadlock {
+                rank,
+                detail,
+                blocked,
+            } => {
+                write!(f, "rank {rank}: deadlock — {detail}")?;
+                if !blocked.is_empty() {
+                    write!(f, "; blocked ranks:")?;
+                    for b in blocked {
+                        write!(f, " [rank {} in {}]", b.rank, b.op)?;
+                    }
+                }
+                Ok(())
             }
             SimError::TypeMismatch {
                 rank,
@@ -88,9 +116,21 @@ mod tests {
         let e = SimError::Deadlock {
             rank: 3,
             detail: "recv tag 7".into(),
+            blocked: vec![
+                BlockedOp {
+                    rank: 1,
+                    op: "recv(source=Rank(3), tag=Value(7))".into(),
+                },
+                BlockedOp {
+                    rank: 3,
+                    op: "recv(source=Rank(1), tag=Value(7))".into(),
+                },
+            ],
         };
         assert_eq!(e.rank(), 3);
-        assert!(e.to_string().contains("deadlock"));
+        let text = e.to_string();
+        assert!(text.contains("deadlock"));
+        assert!(text.contains("rank 1 in recv(source=Rank(3)"), "{text}");
 
         let t = SimError::Truncation {
             rank: 1,

@@ -40,7 +40,7 @@ pub mod world;
 
 pub use comm::{Comm, Source, Status, Tag};
 pub use datatype::{Datatype, ReduceOp, Reducible};
-pub use error::SimError;
+pub use error::{BlockedOp, SimError};
 pub use world::{World, WorldConfig};
 
 #[cfg(test)]
@@ -199,6 +199,30 @@ mod tests {
         })
         .unwrap_err();
         assert!(matches!(err, SimError::Deadlock { .. }), "{err}");
+    }
+
+    #[test]
+    fn deadlock_names_blocked_ranks_and_pending_ops() {
+        // Classic recv/recv cycle: rank 0 waits on 1, rank 1 waits on 0.
+        // The timeout report must name BOTH blocked ranks and what each was
+        // waiting for, so a verifier can classify this as a deadlock rather
+        // than a generic timeout.
+        let cfg = WorldConfig::new(2).with_timeout(Duration::from_millis(150));
+        let err = World::run_with(cfg, |c| {
+            let peer = 1 - c.rank();
+            let mut buf = [0i32];
+            c.recv(&mut buf, Source::Rank(peer), Tag::Value(7))?;
+            Ok(())
+        })
+        .unwrap_err();
+        let SimError::Deadlock { blocked, .. } = &err else {
+            panic!("expected deadlock, got {err}");
+        };
+        assert_eq!(blocked.len(), 2, "{err}");
+        assert_eq!(blocked[0].rank, 0);
+        assert_eq!(blocked[1].rank, 1);
+        assert!(blocked[0].op.contains("recv(source=Rank(1), tag=Value(7))"));
+        assert!(blocked[1].op.contains("recv(source=Rank(0), tag=Value(7))"));
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! Without arguments it trains a small model on the fly and runs the demo on
 //! a built-in buffer, including a mid-edit (unparseable) state.
 
-use mpirical::{MpiRical, MpiRicalConfig, SubmitOptions, SuggestPoll};
+use mpirical::{MpiRical, MpiRicalConfig, SubmitOptions, SuggestPoll, VerifyOptions};
 use mpirical_corpus::{generate_dataset, CorpusConfig};
 use mpirical_model::ModelConfig;
 
@@ -226,4 +226,47 @@ fn main() {
         service.preemptions(),
         service.pool_stats().pages_live,
     );
+
+    // Closed-loop verification: every beam hypothesis is spliced into the
+    // buffer and executed on the simulated MPI runtime; suggestions carry
+    // the observed verdict and the report aggregates the telemetry. A
+    // candidate that deadlocks (or crashes, or diverges from the serial
+    // baseline) is demoted below the verified ones regardless of model
+    // score.
+    println!("\n=== closed-loop verification: execute before you suggest ===");
+    let mut verifying = assistant.clone();
+    verifying.verify = Some(VerifyOptions {
+        rank_counts: vec![2],
+        timeout_ms: 500,
+        step_limit: 200_000,
+        ..VerifyOptions::default()
+    });
+    for (who, buf) in buffers {
+        let report = verifying.suggest_report(buf);
+        println!("{who}:");
+        for s in &report.suggestions {
+            let verdict = match s.verdict {
+                Some(v) => v.to_string(),
+                None => "unverified (past budget)".to_string(),
+            };
+            println!("    line {:>3}: insert {}  [{verdict}]", s.line, s.function);
+        }
+        if let Some(stats) = report.verify {
+            println!(
+                "    stats: {} hypothesis(es) executed across {} simulator run(s) — \
+                 {} verified, {} deadlock, {} crash, {} type-mismatch, {} diverged, \
+                 {} timeout, {} not-executable, {} unverified",
+                stats.hypotheses,
+                stats.sim_runs,
+                stats.verified,
+                stats.deadlock,
+                stats.rank_crash,
+                stats.type_mismatch,
+                stats.diverged,
+                stats.timeout,
+                stats.not_executable,
+                stats.unverified,
+            );
+        }
+    }
 }

@@ -58,6 +58,7 @@ fn stripped_benchmark_programs_are_incomplete_but_wellformed() {
         let mut cfg = RunConfig::new(1);
         cfg.limits = Limits {
             step_limit: 200_000,
+            ..Limits::default()
         };
         match run_program(&input_prog, &cfg) {
             Ok(out) => assert_eq!(out.exit_codes, vec![0], "{}", p.name),

@@ -50,6 +50,7 @@ fn untrained_assistant() -> &'static MpiRical {
             input_format: InputFormat::CodeXsbt,
             decode: DecodeOptions::default(),
             quant: Arc::new(OnceLock::new()),
+            verify: None,
         }
     })
 }

@@ -250,7 +250,7 @@ proptest! {
                     "{:?} FIFO request {} diverged from the reference", precision, i
                 );
                 match poll {
-                    PollResult::Done { ids, telemetry } => {
+                    PollResult::Done { ids, telemetry, .. } => {
                         prop_assert_eq!(
                             ids, fifo_ids,
                             "{:?} request {} (bulk={} beam={} cancel_at={:?}): priority \
@@ -345,7 +345,7 @@ proptest! {
 
         for (id, src) in interactive_ids {
             match dec.poll(id) {
-                PollResult::Done { ids, telemetry } => {
+                PollResult::Done { ids, telemetry, .. } => {
                     let want = decode_encoded_prompted_contiguous(
                         store, params, cfg, &encs[src], &[SOS], 16,
                         DecodeOptions::default(),

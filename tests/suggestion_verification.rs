@@ -1,0 +1,451 @@
+//! Closed-loop suggestion verification: the confusion matrix of the
+//! execute-and-classify oracle (`mpirical::verify`), pinned end to end.
+//!
+//! Three layers of proof:
+//!
+//! 1. **Fault corpus** — hand-curated programs with known MPI bugs
+//!    (recv/recv deadlock cycles, datatype mismatches, wrong-root
+//!    collectives, a missing reduction, a runaway loop) must each land in
+//!    their exact verdict class, and every correct reference splice for
+//!    the benchmark11 set must come back `Verified`.
+//! 2. **Re-ranking** — demotion is total across classes but never
+//!    reorders two `Verified` candidates relative to pure model score
+//!    (stability, property-tested).
+//! 3. **Read-only** — enabling verification changes nothing about what
+//!    the model produces: suggestion ids are bitwise-identical with
+//!    verification on vs off (property-tested through a trained
+//!    artifact).
+
+use mpirical::cparse::{parse_strict, parse_tolerant, standardize};
+use mpirical::verify::{rerank, verify_prediction, verify_program};
+use mpirical::{
+    benchmark_programs, MpiRical, MpiRicalConfig, SubmitOptions, SuggestPoll, SuggestService,
+    Verdict, VerifyOptions,
+};
+use mpirical_corpus::{generate_dataset, remove_mpi_calls, CorpusConfig};
+use mpirical_model::ModelConfig;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+// ---------------------------------------------------------------------------
+// 1. Fault corpus: every seeded fault caught, every correct splice verified.
+// ---------------------------------------------------------------------------
+
+/// Options for the hand-written fault programs: one 2-rank world, tight
+/// timeout (the deadlock cases must not stall the suite).
+fn fault_opts() -> VerifyOptions {
+    VerifyOptions {
+        rank_counts: vec![2],
+        timeout_ms: 400,
+        step_limit: 200_000,
+        ..VerifyOptions::default()
+    }
+}
+
+/// Classify one complete fault program (the shape a patched suggestion has
+/// after splicing).
+fn classify(src: &str) -> Verdict {
+    let prog = parse_strict(src).expect("fault corpus programs are well-formed C");
+    verify_program(&prog, &fault_opts()).0
+}
+
+#[test]
+fn recv_recv_cycle_is_deadlock() {
+    // Both ranks block in MPI_Recv waiting on the other: the classic cycle.
+    let verdict = classify(
+        "int main(int argc, char **argv) {\n\
+         int rank;\n\
+         int x = 0;\n\
+         MPI_Init(&argc, &argv);\n\
+         MPI_Comm_rank(MPI_COMM_WORLD, &rank);\n\
+         if (rank == 0) {\n\
+         MPI_Recv(&x, 1, MPI_INT, 1, 0, MPI_COMM_WORLD, MPI_STATUS_IGNORE);\n\
+         }\n\
+         if (rank == 1) {\n\
+         MPI_Recv(&x, 1, MPI_INT, 0, 0, MPI_COMM_WORLD, MPI_STATUS_IGNORE);\n\
+         }\n\
+         MPI_Finalize();\n\
+         return 0;\n\
+         }",
+    );
+    assert_eq!(verdict, Verdict::Deadlock);
+}
+
+#[test]
+fn datatype_disagreement_is_type_mismatch() {
+    // Sender posts MPI_INT, receiver asks for MPI_DOUBLE.
+    let verdict = classify(
+        "int main(int argc, char **argv) {\n\
+         int rank;\n\
+         int ival = 7;\n\
+         double dval = 0.0;\n\
+         MPI_Init(&argc, &argv);\n\
+         MPI_Comm_rank(MPI_COMM_WORLD, &rank);\n\
+         if (rank == 0) {\n\
+         MPI_Send(&ival, 1, MPI_INT, 1, 0, MPI_COMM_WORLD);\n\
+         }\n\
+         if (rank == 1) {\n\
+         MPI_Recv(&dval, 1, MPI_DOUBLE, 0, 0, MPI_COMM_WORLD, MPI_STATUS_IGNORE);\n\
+         }\n\
+         MPI_Finalize();\n\
+         return 0;\n\
+         }",
+    );
+    assert_eq!(verdict, Verdict::TypeMismatch);
+}
+
+#[test]
+fn wrong_root_collective_is_rank_crash() {
+    // Bcast root 9 does not exist in a 2-rank world.
+    let verdict = classify(
+        "int main(int argc, char **argv) {\n\
+         int rank;\n\
+         double v = 1.0;\n\
+         MPI_Init(&argc, &argv);\n\
+         MPI_Comm_rank(MPI_COMM_WORLD, &rank);\n\
+         MPI_Bcast(&v, 1, MPI_DOUBLE, 9, MPI_COMM_WORLD);\n\
+         MPI_Finalize();\n\
+         return 0;\n\
+         }",
+    );
+    assert_eq!(verdict, Verdict::RankCrash);
+}
+
+#[test]
+fn missing_reduction_diverges_from_serial() {
+    // Each rank sums its stride of the domain but nobody reduces: root
+    // prints its partial. Serially that partial IS the full sum, so the
+    // 2-rank output is off by ~2x — exactly what the serial-baseline
+    // comparison exists to catch.
+    let verdict = classify(
+        "int main(int argc, char **argv) {\n\
+         int rank, size, i;\n\
+         double local = 0.0;\n\
+         MPI_Init(&argc, &argv);\n\
+         MPI_Comm_rank(MPI_COMM_WORLD, &rank);\n\
+         MPI_Comm_size(MPI_COMM_WORLD, &size);\n\
+         for (i = rank; i < 64; i += size) {\n\
+         local += i + 1.0;\n\
+         }\n\
+         if (rank == 0) {\n\
+         printf(\"sum = %.2f\\n\", local);\n\
+         }\n\
+         MPI_Finalize();\n\
+         return 0;\n\
+         }",
+    );
+    assert_eq!(verdict, Verdict::DivergedFromSerial);
+}
+
+#[test]
+fn runaway_loop_is_timeout() {
+    let verdict = classify(
+        "int main(int argc, char **argv) {\n\
+         int rank;\n\
+         int x = 0;\n\
+         MPI_Init(&argc, &argv);\n\
+         MPI_Comm_rank(MPI_COMM_WORLD, &rank);\n\
+         while (1) {\n\
+         x = x + 1;\n\
+         }\n\
+         MPI_Finalize();\n\
+         return 0;\n\
+         }",
+    );
+    assert_eq!(verdict, Verdict::Timeout);
+}
+
+#[test]
+fn syntactically_broken_patch_is_not_executable() {
+    let broken = parse_tolerant("int main() { int x = ; return 0; }").program;
+    let (verdict, runs) = verify_program(&broken, &fault_opts());
+    assert_eq!(verdict, Verdict::NotExecutable);
+    assert_eq!(runs, 0, "nothing may execute");
+}
+
+/// Options for the benchmark11 reference splices: the paper's 2/4-rank
+/// worlds plus the serial baseline, generous budgets (these programs do
+/// real numerical work), and a per-program numeric tolerance — programs
+/// flagged `deterministic_across_ranks: false` legitimately print
+/// rank-count-dependent values (per-rank RNG streams, gathered partials),
+/// so their numeric slack is wide while token structure stays exact.
+fn bench_opts(deterministic: bool) -> VerifyOptions {
+    VerifyOptions {
+        rank_counts: vec![2, 4],
+        timeout_ms: 20_000,
+        step_limit: 50_000_000,
+        rel_tol: if deterministic { 0.15 } else { 10.0 },
+        ..VerifyOptions::default()
+    }
+}
+
+#[test]
+fn benchmark11_reference_splices_all_verify() {
+    for p in benchmark_programs() {
+        // The reference "prediction" is the program's own canonical text;
+        // the base is the same program with its MPI calls stripped, exactly
+        // like the corpus pipeline builds training pairs. A correct splice
+        // must reconstruct the original behaviour.
+        let (canon_text, canon_prog) = standardize(&parse_strict(p.source).unwrap());
+        let stripped = remove_mpi_calls(&canon_prog).stripped;
+        let (_, base) = standardize(&stripped);
+        let (verdict, runs) = verify_prediction(
+            &base,
+            &canon_text,
+            &bench_opts(p.deterministic_across_ranks),
+        );
+        assert_eq!(verdict, Verdict::Verified, "{}", p.name);
+        assert_eq!(
+            runs, 3,
+            "{}: 2-rank + 4-rank worlds + serial baseline",
+            p.name
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 2. Re-ranking: total demotion across classes, stability within a class.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn rerank_demotes_failures_below_unverified_and_keeps_verified_order() {
+    // Input arrives in model-score order; "v1" beat "v2" on score.
+    let out: Vec<&str> = rerank(vec![
+        ("deadlocked-top-scorer", Some(Verdict::Deadlock)),
+        ("v1", Some(Verdict::Verified)),
+        ("past-budget", None),
+        ("v2", Some(Verdict::Verified)),
+        ("crashed", Some(Verdict::RankCrash)),
+    ])
+    .into_iter()
+    .map(|(tag, _)| tag)
+    .collect();
+    assert_eq!(
+        out,
+        [
+            "v1",
+            "v2",
+            "past-budget",
+            "deadlocked-top-scorer",
+            "crashed"
+        ]
+    );
+}
+
+const ALL_VERDICTS: [Option<Verdict>; 8] = [
+    Some(Verdict::Verified),
+    None,
+    Some(Verdict::Deadlock),
+    Some(Verdict::RankCrash),
+    Some(Verdict::TypeMismatch),
+    Some(Verdict::DivergedFromSerial),
+    Some(Verdict::Timeout),
+    Some(Verdict::NotExecutable),
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Re-ranking is a stable partition: verdict classes ascend, and inside
+    /// every class the original (model-score) order is untouched — in
+    /// particular two `Verified` candidates are never swapped.
+    #[test]
+    fn rerank_is_a_stable_class_partition(
+        picks in proptest::collection::vec(0usize..ALL_VERDICTS.len(), 0..24),
+    ) {
+        let input: Vec<(usize, Option<Verdict>)> = picks
+            .iter()
+            .enumerate()
+            .map(|(score_rank, &v)| (score_rank, ALL_VERDICTS[v]))
+            .collect();
+        let out = rerank(input.clone());
+
+        // Same multiset of candidates (input indices are unique).
+        let mut sorted_in = input.clone();
+        let mut sorted_out = out.clone();
+        sorted_in.sort_by_key(|&(i, _)| i);
+        sorted_out.sort_by_key(|&(i, _)| i);
+        prop_assert_eq!(sorted_in, sorted_out);
+
+        // Classes never descend.
+        prop_assert!(out
+            .windows(2)
+            .all(|w| Verdict::rank_class(w[0].1) <= Verdict::rank_class(w[1].1)));
+
+        // Within each class, model-score order (the input index) survives.
+        for class in 0u8..3 {
+            let order: Vec<usize> = out
+                .iter()
+                .filter(|&&(_, v)| Verdict::rank_class(v) == class)
+                .map(|&(i, _)| i)
+                .collect();
+            prop_assert!(
+                order.windows(2).all(|w| w[0] < w[1]),
+                "class {} reordered: {:?}",
+                class,
+                order
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 3. Through the model: read-only property + verdicts on real suggestions.
+// ---------------------------------------------------------------------------
+
+/// One tiny trained assistant (beam 2, so there is a beam to re-rank)
+/// shared by the whole file — training dominates test wall-clock.
+fn tiny_assistant() -> &'static MpiRical {
+    static ARTIFACT: OnceLock<MpiRical> = OnceLock::new();
+    ARTIFACT.get_or_init(|| {
+        let ccfg = CorpusConfig {
+            programs: 40,
+            seed: 29,
+            max_tokens: 320,
+            threads: 1,
+        };
+        let (_, ds, _) = generate_dataset(&ccfg);
+        let splits = ds.split(11);
+        let mut cfg = MpiRicalConfig {
+            model: ModelConfig::tiny(),
+            vocab_min_freq: 1,
+            ..Default::default()
+        };
+        cfg.model.max_enc_len = 256;
+        cfg.model.max_dec_len = 230;
+        cfg.train.epochs = 1;
+        cfg.train.batch_size = 8;
+        cfg.train.threads = 1;
+        cfg.train.validate = false;
+        cfg.decode.beam = 2;
+        MpiRical::train(&splits.train, &splits.val, &cfg, |_| {}).0
+    })
+}
+
+/// The same artifact with the verification loop switched on.
+fn verifying_assistant(opts: VerifyOptions) -> MpiRical {
+    let mut a = tiny_assistant().clone();
+    a.verify = Some(opts);
+    a
+}
+
+/// Fast execution budget for model-produced candidates (a 1-epoch tiny
+/// model predicts plenty of junk; junk must fail fast, not stall).
+fn model_opts() -> VerifyOptions {
+    VerifyOptions {
+        rank_counts: vec![2],
+        timeout_ms: 300,
+        step_limit: 100_000,
+        ..VerifyOptions::default()
+    }
+}
+
+const BUFFERS: [&str; 4] = [
+    "int main() { int rank; printf(\"a\\n\"); return 0; }",
+    "int main(int argc, char **argv) { double local = 0.0; return 0; }",
+    "int main() { int size; int i; for (i = 0; i < 4; i++) {} return 0; }",
+    "int main() { return 0; }",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Verification is read-only. With the loop enabled but the execution
+    /// budget at zero every hypothesis stays unverified, so the stable
+    /// re-rank is the identity — the suggestions (ids, functions, lines,
+    /// parse health) must be bitwise what the plain artifact produces,
+    /// and nothing may have touched the simulator.
+    #[test]
+    fn verification_is_read_only(idx in 0usize..BUFFERS.len()) {
+        let plain = tiny_assistant();
+        let read_only = verifying_assistant(VerifyOptions {
+            max_hypotheses: 0,
+            ..model_opts()
+        });
+        let src = BUFFERS[idx];
+
+        prop_assert_eq!(plain.predict_ids(src), read_only.predict_ids(src));
+
+        let off = plain.suggest_report(src);
+        let on = read_only.suggest_report(src);
+        prop_assert_eq!(&off.suggestions, &on.suggestions);
+        prop_assert_eq!(off.health, on.health);
+        prop_assert!(on.suggestions.iter().all(|s| s.verdict.is_none()));
+
+        let stats = on.verify.expect("loop enabled: stats present");
+        prop_assert_eq!(stats.hypotheses, 0, "budget zero: nothing executed");
+        prop_assert_eq!(stats.sim_runs, 0, "budget zero: simulator untouched");
+        prop_assert_eq!(stats.unverified, plain.decode.beam);
+    }
+}
+
+#[test]
+fn verified_report_carries_verdicts_and_stats() {
+    let verifying = verifying_assistant(model_opts());
+    for src in BUFFERS {
+        let report = verifying.suggest_report(src);
+        let stats = report.verify.expect("verification enabled");
+        assert_eq!(
+            stats.hypotheses + stats.unverified,
+            tiny_assistant().decode.beam,
+            "every hypothesis is accounted for"
+        );
+        assert_eq!(
+            stats.verified
+                + stats.deadlock
+                + stats.rank_crash
+                + stats.type_mismatch
+                + stats.diverged
+                + stats.timeout
+                + stats.not_executable,
+            stats.hypotheses,
+            "verdict counts partition the executed hypotheses"
+        );
+        // All suggestions of one report come from the winning hypothesis.
+        let verdicts: Vec<_> = report.suggestions.iter().map(|s| s.verdict).collect();
+        assert!(verdicts.windows(2).all(|w| w[0] == w[1]), "{verdicts:?}");
+        // The model's own prediction is untouched by the loop.
+        assert_eq!(
+            tiny_assistant().predict_ids(src),
+            verifying.predict_ids(src)
+        );
+    }
+}
+
+#[test]
+fn batch_and_service_agree_with_sequential_verification() {
+    let verifying = verifying_assistant(model_opts());
+    let sequential: Vec<_> = BUFFERS
+        .iter()
+        .map(|b| verifying.suggest_report(b))
+        .collect();
+
+    // One-shot batch path: same verdict-ranked suggestions, input order.
+    let batch = verifying.suggest_batch(&BUFFERS);
+    for (got, want) in batch.iter().zip(&sequential) {
+        assert_eq!(got, &want.suggestions);
+    }
+
+    // Service path: Done tickets carry the same suggestions plus stats.
+    let mut service = SuggestService::new(&verifying);
+    let tickets: Vec<_> = BUFFERS
+        .iter()
+        .map(|b| service.submit_with(b, SubmitOptions::bulk()))
+        .collect();
+    service.run();
+    for (ticket, want) in tickets.into_iter().zip(&sequential) {
+        match service.poll(ticket) {
+            SuggestPoll::Done {
+                suggestions,
+                verify,
+                health,
+                ..
+            } => {
+                assert_eq!(suggestions, want.suggestions);
+                assert_eq!(verify, want.verify);
+                assert_eq!(health, want.health);
+            }
+            other => panic!("ticket not finished: {other:?}"),
+        }
+    }
+}
