@@ -12,7 +12,8 @@ use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion
 use mpirical_model::{
     build_params, decode::encode_source, decode_encoded, decode_with, replay_decode_with,
     transformer::encode, transformer::ForwardMode, BatchDecoder, BatchRequest, DecodeOptions,
-    Example, ModelConfig, PollResult, SubmitOptions, TrainConfig, Vocab,
+    Engine, EngineConfig, EngineModel, Example, ModelConfig, PollResult, Precision, SubmitOptions,
+    TrainConfig, Vocab,
 };
 use mpirical_tensor::{matmul, Adam, ParamStore, Tape, Tensor};
 
@@ -693,13 +694,12 @@ fn bench_suggestion_latency(c: &mut Criterion) {
         ..Default::default()
     };
     let model = mpirical_model::Seq2SeqModel::new(cfg, vocab, 3);
-    let assistant = mpirical::MpiRical {
+    let assistant = mpirical::MpiRical::from_parts(
         model,
-        input_format: mpirical::InputFormat::CodeXsbt,
-        decode: Default::default(),
-        quant: Default::default(),
-        verify: None,
-    };
+        mpirical::InputFormat::CodeXsbt,
+        Default::default(),
+        None,
+    );
     let src = "int main(int argc, char **argv) {\n    int rank, size;\n    double local = 0.0;\n    for (int i = 0; i < 100; i++) { local += i; }\n    printf(\"%f\\n\", local);\n    return 0;\n}\n";
 
     let mut g = c.benchmark_group("assistant");
@@ -715,6 +715,92 @@ fn bench_suggestion_latency(c: &mut Criterion) {
     let _ = TrainConfig::default(); // keep the import exercised at all scales
 }
 
+/// Multi-worker engine scaling: one 16-request interactive burst decoded
+/// by 1, 2, and 4 `BatchDecoder` workers behind the shared admission
+/// front-end, at the serving-scale shape of `bench_batch_decode` (d=256).
+///
+/// Setup **asserts** that the 2- and 4-worker engines return exactly the
+/// 1-worker outputs — CI runs this group as a smoke check that sharded
+/// decoding stays bitwise identical — then times aggregate throughput per
+/// worker count. A request decodes entirely within one worker, so the
+/// scaling win comes from whole decoders running in parallel; on a ≥4-core
+/// host expect ≥1.7× at 4 workers (measured numbers live in CHANGES.md).
+fn bench_engine_scaling(c: &mut Criterion) {
+    let cfg = ModelConfig {
+        vocab_size: 4096,
+        d_model: 256,
+        n_heads: 4,
+        d_ff: 1024,
+        n_enc_layers: 2,
+        n_dec_layers: 2,
+        max_enc_len: 64,
+        max_dec_len: 80,
+        dropout: 0.0,
+    };
+    let mut store = ParamStore::new();
+    let params = build_params(&cfg, &mut store, 1);
+    let enc_outs: Vec<Tensor> = (0..8)
+        .map(|r| {
+            let src: Vec<usize> = (0..48).map(|i| 6 + ((i * (r + 3)) % 200)).collect();
+            encode_source(&store, &params, &cfg, &src)
+        })
+        .collect();
+    let opts = DecodeOptions {
+        beam: 1,
+        min_len: 64,
+        ..Default::default()
+    };
+    let burst = || -> Vec<BatchRequest> {
+        enc_outs
+            .iter()
+            .chain(enc_outs.iter())
+            .map(|e| BatchRequest {
+                enc_out: e.clone(),
+                prompt: vec![mpirical_model::vocab::SOS],
+                max_len: 65,
+                opts,
+                submit: SubmitOptions::default(),
+            })
+            .collect()
+    };
+
+    // Weights pack once; every worker count shares the same bundle.
+    let model = std::sync::Arc::new(EngineModel::new(
+        store.clone(),
+        params.clone(),
+        cfg.clone(),
+        Precision::F32,
+    ));
+    let engines: Vec<(usize, Engine)> = [1usize, 2, 4]
+        .iter()
+        .map(|&w| {
+            let mut ecfg = EngineConfig::with_workers(w);
+            ecfg.max_batch = 8;
+            (w, Engine::new(model.clone(), ecfg))
+        })
+        .collect();
+    let reference = engines[0].1.decode_all(burst());
+    for (w, e) in &engines[1..] {
+        assert_eq!(
+            e.decode_all(burst()),
+            reference,
+            "{w}-worker engine must match the 1-worker outputs bitwise"
+        );
+    }
+
+    let mut g = c.benchmark_group("engine_scaling");
+    g.sample_size(10);
+    for (w, e) in &engines {
+        g.bench_function(format!("engine{w}w_16reqs_greedy_64tok"), |b| {
+            b.iter(|| black_box(e.decode_all(burst())))
+        });
+    }
+    g.finish();
+    for (_, e) in engines {
+        e.shutdown();
+    }
+}
+
 criterion_group!(
     benches,
     bench_matmul,
@@ -725,6 +811,7 @@ criterion_group!(
     bench_decode_quant,
     bench_decode_priority,
     bench_cache_fork,
-    bench_suggestion_latency
+    bench_suggestion_latency,
+    bench_engine_scaling
 );
 criterion_main!(benches);

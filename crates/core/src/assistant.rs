@@ -34,13 +34,14 @@ use mpirical_model::decode::encode_source as model_encode;
 use mpirical_model::vocab::{EOS, SEP, SOS};
 use mpirical_model::{
     decode_encoded_prompted_all, decode_encoded_prompted_all_quant, decode_encoded_prompted_quant,
-    BatchDecoder, BatchRequest, DecodeOptions, DecoderWeights, EpochStats, ModelConfig, Precision,
-    QuantDecoderWeights, Seq2SeqModel, SubmitOptions, TrainConfig, TrainReport, DEFAULT_MAX_BATCH,
+    BatchDecoder, BatchRequest, DecodeOptions, DecoderWeights, Engine, EngineConfig, EngineModel,
+    EpochStats, ModelConfig, Precision, QuantDecoderWeights, Seq2SeqModel, SubmitOptions,
+    TrainConfig, TrainReport, DEFAULT_MAX_BATCH,
 };
 use serde::{Deserialize, Serialize};
 use std::borrow::Cow;
 use std::path::Path;
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// One assistance suggestion: insert `function` at `line` of the
 /// standardized (predicted) program.
@@ -186,6 +187,13 @@ pub struct MpiRical {
     /// share the cache through the `Arc`.
     #[serde(skip)]
     pub quant: Arc<OnceLock<DecoderWeights>>,
+    /// Cached [`EngineModel`] bundle for the sharded serving engine —
+    /// built on the first multi-core batch decode and reused for the
+    /// artifact's lifetime (invalidated if `decode.precision` changes, so
+    /// a re-configured artifact never serves stale-precision weights).
+    /// Not serialized; clones share the cache through the `Arc`.
+    #[serde(skip)]
+    pub(crate) engine_model: Arc<Mutex<Option<Arc<EngineModel>>>>,
     /// Closed-loop verification options; `Some` makes every suggestion
     /// path splice, execute, and re-rank its beam hypotheses (see
     /// [`crate::verify`]). `None` — the default, and what pre-existing
@@ -220,12 +228,34 @@ impl MpiRical {
             input_format: cfg.input_format,
             decode: cfg.decode,
             quant: Arc::default(),
+            engine_model: Arc::default(),
             verify: cfg.verify.clone(),
         };
         if assistant.decode.precision == Precision::Int8 {
             assistant.quant_weights();
         }
         (assistant, report)
+    }
+
+    /// Assemble an assistant directly from its parts — the escape hatch
+    /// for tests, benches, and callers reconstructing an artifact by hand
+    /// ([`train`](Self::train)/[`load`](Self::load) are the ordinary
+    /// paths). The quantized-weight and engine caches start empty and fill
+    /// lazily on first use.
+    pub fn from_parts(
+        model: Seq2SeqModel,
+        input_format: InputFormat,
+        decode: DecodeOptions,
+        verify: Option<VerifyOptions>,
+    ) -> MpiRical {
+        MpiRical {
+            model,
+            input_format,
+            decode,
+            quant: Arc::default(),
+            engine_model: Arc::default(),
+            verify,
+        }
     }
 
     /// The artifact's int8 decoder weights, quantized on first use and
@@ -453,10 +483,84 @@ impl MpiRical {
         self.decode_requests(reqs)
     }
 
-    /// Decode a set of prepared requests through the lockstep scheduler —
-    /// the shared tail of [`predict_ids_batch`](Self::predict_ids_batch) and
-    /// [`suggest_batch`](Self::suggest_batch).
+    /// The cached [`EngineModel`] bundle for the sharded serving engine,
+    /// built on first use from the artifact's current precision (an `Int8`
+    /// artifact hands its already-quantized weight cache to the bundle —
+    /// no re-quantization) and rebuilt only if `decode.precision` changes.
+    pub fn engine_model(&self) -> Arc<EngineModel> {
+        let mut slot = self
+            .engine_model
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(bundle) = slot.as_ref() {
+            if bundle.precision() == self.decode.precision {
+                return Arc::clone(bundle);
+            }
+        }
+        let m = &self.model;
+        let weights = match self.decode.precision {
+            Precision::F32 => DecoderWeights::for_precision(&m.store, &m.params, Precision::F32),
+            Precision::Int8 => self.int8_weights().clone(),
+        };
+        let bundle = Arc::new(EngineModel::with_weights(
+            m.store.clone(),
+            m.params.clone(),
+            m.cfg.clone(),
+            weights,
+        ));
+        *slot = Some(Arc::clone(&bundle));
+        bundle
+    }
+
+    /// Worker count the batch decode paths shard across for `reqs`
+    /// requests: one worker per request up to the machine's available
+    /// parallelism, capped at 8 (per-worker scratch and page pools are not
+    /// free). `MPIRICAL_ENGINE_WORKERS` overrides the cores/cap part —
+    /// `1` forces the inline single-scheduler reference path, higher
+    /// values force sharding even on small machines.
+    fn engine_workers(reqs: usize) -> usize {
+        let cores = std::env::var("MPIRICAL_ENGINE_WORKERS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+                    .min(8)
+            });
+        cores.min(reqs)
+    }
+
+    /// A sharded [`Engine`] over this artifact with `workers` workers, each
+    /// decoding up to the artifact's lane count.
+    fn engine(&self, workers: usize) -> Engine {
+        Engine::new(
+            self.engine_model(),
+            EngineConfig {
+                workers,
+                max_batch: DEFAULT_MAX_BATCH.max(self.decode.beam),
+                ..EngineConfig::default()
+            },
+        )
+    }
+
+    /// Decode a set of prepared requests — the shared tail of
+    /// [`predict_ids_batch`](Self::predict_ids_batch) and
+    /// [`suggest_batch`](Self::suggest_batch). With more than one request
+    /// and more than one available core this shards across a multi-worker
+    /// [`Engine`]; otherwise it runs one inline [`BatchDecoder`]. The two
+    /// paths produce **bitwise identical** ids (pinned by
+    /// `tests/parallel_engine_props.rs`), so the routing is a pure
+    /// throughput decision.
     fn decode_requests(&self, reqs: Vec<BatchRequest>) -> Vec<Vec<usize>> {
+        let workers = Self::engine_workers(reqs.len());
+        if workers > 1 {
+            let engine = self.engine(workers);
+            let out = engine.decode_all(reqs);
+            engine.shutdown();
+            return out;
+        }
         let m = &self.model;
         let lanes = DEFAULT_MAX_BATCH.max(self.decode.beam);
         let mut dec = match self.decode.precision {
@@ -477,8 +581,16 @@ impl MpiRical {
     /// [`decode_requests`](Self::decode_requests) keeping the full ranked
     /// hypothesis list per request — the batch-path twin of
     /// [`generate_ids_all`](Self::generate_ids_all) for the closed
-    /// verification loop.
+    /// verification loop. Shards across an [`Engine`] exactly like
+    /// [`decode_requests`](Self::decode_requests).
     fn decode_requests_all(&self, reqs: Vec<BatchRequest>) -> Vec<Vec<Vec<usize>>> {
+        let workers = Self::engine_workers(reqs.len());
+        if workers > 1 {
+            let engine = self.engine(workers);
+            let out = engine.decode_all_hypotheses(reqs);
+            engine.shutdown();
+            return out;
+        }
         let m = &self.model;
         let lanes = DEFAULT_MAX_BATCH.max(self.decode.beam);
         let mut dec = match self.decode.precision {

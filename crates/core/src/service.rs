@@ -83,10 +83,11 @@ use crate::tokenize::calls_from_ids;
 use crate::verify::VerifyStats;
 use mpirical_cparse::{ParseHealth, Program};
 use mpirical_model::{
-    BatchDecoder, PollResult, PoolStats, Priority, RequestId, RequestTelemetry, SubmitOptions,
-    DEFAULT_MAX_BATCH,
+    BatchDecoder, BatchRequest, Engine, EngineConfig, EngineTicket, PollResult, PoolStats,
+    Priority, RequestId, RequestTelemetry, SubmitOptions, DEFAULT_MAX_BATCH,
 };
 use std::collections::HashMap;
+use std::time::Duration;
 
 /// Typed lifecycle state of a suggestion request — the [`Suggestion`]-level
 /// mirror of the scheduler's [`PollResult`] (see
@@ -141,7 +142,7 @@ impl SuggestPoll {
 /// generation backend (see module docs).
 pub struct SuggestService<'m> {
     assistant: &'m MpiRical,
-    decoder: BatchDecoder<'m>,
+    backend: Backend<'m>,
     /// Front-end parse health per live ticket, captured at submit time and
     /// redeemed with the ticket (`Done` carries it; `Cancelled` drops it).
     health: HashMap<RequestId, ParseHealth>,
@@ -155,6 +156,52 @@ pub struct SuggestService<'m> {
     verify_queue: Vec<PendingVerify>,
     /// Fully verified tickets awaiting redemption.
     verify_done: HashMap<RequestId, SuggestPoll>,
+}
+
+/// The generation backend behind a [`SuggestService`]: one inline
+/// [`BatchDecoder`] stepped by the caller (the deterministic, step-precise
+/// reference — [`SuggestService::new`]), or a sharded multi-worker
+/// [`Engine`] whose workers decode autonomously
+/// ([`SuggestService::sharded`]). Both produce bitwise identical
+/// suggestions; they differ only in who drives the decode loop and how
+/// many cores it uses.
+enum Backend<'m> {
+    // Boxed: a BatchDecoder embeds its lane scratch (~700 bytes), the
+    // Engine handle is two Arcs — keep the enum pointer-sized either way.
+    Inline(Box<BatchDecoder<'m>>),
+    Sharded(Engine),
+}
+
+impl Backend<'_> {
+    fn submit(&mut self, req: BatchRequest) -> RequestId {
+        match self {
+            // Engine tickets and decoder ids are both dense u64 sequences,
+            // so the service can expose one `RequestId` currency for both.
+            Backend::Inline(dec) => dec.submit(req),
+            Backend::Sharded(engine) => RequestId::from_raw(engine.submit(req).raw()),
+        }
+    }
+
+    fn cancel(&mut self, id: RequestId) -> bool {
+        match self {
+            Backend::Inline(dec) => dec.cancel(id),
+            Backend::Sharded(engine) => engine.cancel(EngineTicket::from_raw(id.raw())),
+        }
+    }
+
+    fn poll(&mut self, id: RequestId) -> PollResult {
+        match self {
+            Backend::Inline(dec) => dec.poll(id),
+            Backend::Sharded(engine) => engine.poll(EngineTicket::from_raw(id.raw())),
+        }
+    }
+
+    fn pending(&self) -> usize {
+        match self {
+            Backend::Inline(dec) => dec.pending(),
+            Backend::Sharded(engine) => engine.pending(),
+        }
+    }
 }
 
 /// Submit-time context a verifying service keeps per ticket.
@@ -214,7 +261,54 @@ impl<'m> SuggestService<'m> {
         };
         SuggestService {
             assistant,
-            decoder,
+            backend: Backend::Inline(Box::new(decoder)),
+            health: HashMap::new(),
+            tickets: HashMap::new(),
+            verify_queue: Vec::new(),
+            verify_done: HashMap::new(),
+        }
+    }
+
+    /// Service backed by a sharded multi-worker [`Engine`]: `workers`
+    /// threads each run a private scheduler over its own page pool, so
+    /// aggregate throughput scales with cores while `submit`/`poll`/
+    /// `cancel` stay ordinary synchronous calls. Suggestions are bitwise
+    /// identical to the inline service ([`new`](Self::new)) — the engine
+    /// only changes *where* a request decodes, never its numerics.
+    ///
+    /// With a sharded backend, [`step`](Self::step) does not advance the
+    /// decode (workers run autonomously); it waits briefly and reports how
+    /// many requests are still in flight, so existing
+    /// `while service.step() > 0 {}` driver loops keep working.
+    pub fn sharded(assistant: &'m MpiRical, workers: usize) -> SuggestService<'m> {
+        let lanes = DEFAULT_MAX_BATCH.max(assistant.decode.beam);
+        SuggestService::sharded_with(
+            assistant,
+            EngineConfig {
+                workers,
+                max_batch: lanes,
+                ..EngineConfig::default()
+            },
+        )
+    }
+
+    /// [`sharded`](Self::sharded) with full [`EngineConfig`] control
+    /// (placement seed, per-worker lane count, aging bound, soft page
+    /// limit). The per-worker `max_batch` is raised to at least the
+    /// artifact's beam width so beam requests always fit one worker.
+    ///
+    /// # Panics
+    ///
+    /// If `cfg.workers` is 0 or the artifact's decode options are invalid.
+    pub fn sharded_with(assistant: &'m MpiRical, mut cfg: EngineConfig) -> SuggestService<'m> {
+        if let Err(e) = assistant.decode.validate() {
+            panic!("invalid artifact decode options: {e}");
+        }
+        cfg.max_batch = cfg.max_batch.max(assistant.decode.beam);
+        let engine = Engine::new(assistant.engine_model(), cfg);
+        SuggestService {
+            assistant,
+            backend: Backend::Sharded(engine),
             health: HashMap::new(),
             tickets: HashMap::new(),
             verify_queue: Vec::new(),
@@ -242,7 +336,7 @@ impl<'m> SuggestService<'m> {
         let enc = self.assistant.encode_source(c_source);
         let interactive = matches!(submit.priority, Priority::Interactive);
         let id = self
-            .decoder
+            .backend
             .submit(self.assistant.request_from_encoded(&enc, submit));
         self.health.insert(id, enc.health);
         if self.assistant.verify.is_some() {
@@ -262,8 +356,12 @@ impl<'m> SuggestService<'m> {
     /// it was still pending (it will poll [`SuggestPoll::Cancelled`]
     /// once); `false` if already finished, cancelled, or unknown.
     pub fn cancel(&mut self, id: RequestId) -> bool {
-        let cancelled = self.decoder.cancel(id);
-        if cancelled {
+        let cancelled = self.backend.cancel(id);
+        // Inline cancellation is authoritative (single-threaded), so the
+        // verification context can be dropped now. A sharded cancel can
+        // race a concurrent completion — keep the context until poll
+        // settles the outcome (its `Cancelled` branch drops it).
+        if cancelled && matches!(self.backend, Backend::Inline(_)) {
             self.tickets.remove(&id);
         }
         cancelled
@@ -280,8 +378,18 @@ impl<'m> SuggestService<'m> {
     /// **only while no interactive decode is in flight**, so the closed
     /// loop never delays keystroke traffic. Remaining jobs complete at
     /// [`poll`](Self::poll) (synchronously) or on later idle steps.
+    /// With a sharded backend the workers decode autonomously — `step`
+    /// waits briefly for progress and returns the number of requests still
+    /// in flight instead, so `while service.step() > 0 {}` loops drive
+    /// both backends.
     pub fn step(&mut self) -> usize {
-        let n = self.decoder.step();
+        let n = match &mut self.backend {
+            Backend::Inline(dec) => dec.step(),
+            Backend::Sharded(engine) => {
+                engine.drain_for(Duration::from_millis(1));
+                engine.pending()
+            }
+        };
         if self.assistant.verify.is_some() {
             self.sweep_finished();
             if !self.interactive_in_flight() {
@@ -294,10 +402,30 @@ impl<'m> SuggestService<'m> {
     /// Step until every submitted request has finished (including, on a
     /// verifying artifact, all queued verification work).
     pub fn run(&mut self) {
-        self.decoder.run();
+        match &mut self.backend {
+            Backend::Inline(dec) => dec.run(),
+            Backend::Sharded(engine) => engine.drain(),
+        }
         if self.assistant.verify.is_some() {
             self.sweep_finished();
             while self.verify_next() {}
+        }
+    }
+
+    /// Tear the service down and return the final per-pool page stats,
+    /// taken **after** every decoder has dropped its lanes and prefix
+    /// cache (one entry per engine worker; a single entry inline). Live
+    /// pages are zero here no matter what was still queued — the
+    /// leak-check hook for tests and graceful daemon exit. Unredeemed
+    /// tickets are abandoned.
+    pub fn shutdown(self) -> Vec<PoolStats> {
+        match self.backend {
+            Backend::Inline(dec) => {
+                let pool = dec.pool().clone();
+                drop(dec);
+                vec![pool.stats()]
+            }
+            Backend::Sharded(engine) => engine.shutdown(),
         }
     }
 
@@ -311,7 +439,7 @@ impl<'m> SuggestService<'m> {
                 hypotheses,
                 telemetry,
                 ..
-            } = self.decoder.poll(id)
+            } = self.backend.poll(id)
             {
                 let ticket = self.tickets.remove(&id).expect("swept ids are tracked");
                 self.verify_queue.push(PendingVerify {
@@ -365,37 +493,85 @@ impl<'m> SuggestService<'m> {
 
     /// Requests submitted but not yet finished.
     pub fn pending(&self) -> usize {
-        self.decoder.pending()
+        self.backend.pending()
+    }
+
+    /// Worker threads decoding for this service (1 for the inline backend).
+    pub fn workers(&self) -> usize {
+        match &self.backend {
+            Backend::Inline(_) => 1,
+            Backend::Sharded(engine) => engine.workers(),
+        }
     }
 
     /// Bulk lane preemptions performed so far (groups that yielded lanes
-    /// to interactive arrivals and later resumed).
+    /// to interactive arrivals and later resumed), summed over workers on
+    /// a sharded backend.
     pub fn preemptions(&self) -> u64 {
-        self.decoder.preemptions()
+        match &self.backend {
+            Backend::Inline(dec) => dec.preemptions(),
+            Backend::Sharded(engine) => engine.preemptions(),
+        }
     }
 
     /// The aging bound in scheduler steps: queued bulk work is promoted to
     /// the interactive class after waiting this long (starvation bound).
     pub fn aging_steps(&self) -> u64 {
-        self.decoder.aging_steps()
+        match &self.backend {
+            Backend::Inline(dec) => dec.aging_steps(),
+            Backend::Sharded(engine) => engine.aging_steps(),
+        }
     }
 
     /// Tune the aging bound (see [`aging_steps`](Self::aging_steps)).
+    ///
+    /// # Panics
+    ///
+    /// On a sharded backend — worker schedulers are configured at
+    /// construction; set [`EngineConfig::aging_steps`] and build with
+    /// [`sharded_with`](Self::sharded_with) instead.
     pub fn set_aging_steps(&mut self, steps: u64) {
-        self.decoder.set_aging_steps(steps)
+        match &mut self.backend {
+            Backend::Inline(dec) => dec.set_aging_steps(steps),
+            Backend::Sharded(_) => panic!(
+                "a sharded service configures aging at construction \
+                 (EngineConfig::aging_steps via SuggestService::sharded_with)"
+            ),
+        }
     }
 
     /// Telemetry of the scheduler's page pool: live/peak/shared page
     /// counts, COW copy count, and byte sizes — the serving-memory numbers
-    /// a daemon exports.
+    /// a daemon exports. A sharded backend sums across its workers' pools
+    /// (`pages_peak` becomes the sum of per-pool peaks: an upper bound on
+    /// the aggregate high-water mark, since workers may not peak
+    /// simultaneously).
     pub fn pool_stats(&self) -> PoolStats {
-        self.decoder.pool_stats()
+        match &self.backend {
+            Backend::Inline(dec) => dec.pool_stats(),
+            Backend::Sharded(engine) => {
+                let per_worker = engine.pool_stats();
+                let mut total = per_worker.first().copied().unwrap_or_default();
+                for s in &per_worker[1..] {
+                    total.pages_live += s.pages_live;
+                    total.pages_peak += s.pages_peak;
+                    total.pages_shared += s.pages_shared;
+                    total.cow_copies += s.cow_copies;
+                }
+                total
+            }
+        }
     }
 
     /// Requests admitted by sharing a retained identical-prompt prefill
     /// (the IDE-retrigger fast path) instead of prefilling from scratch.
+    /// Sharded backends count hits within each worker (prefix caches are
+    /// per worker).
     pub fn prefix_hits(&self) -> u64 {
-        self.decoder.prefix_hits()
+        match &self.backend {
+            Backend::Inline(dec) => dec.prefix_hits(),
+            Backend::Sharded(engine) => engine.prefix_hits(),
+        }
     }
 
     /// Report a request's lifecycle state (see [`SuggestPoll`]). `Done`
@@ -414,7 +590,7 @@ impl<'m> SuggestService<'m> {
         if let Some(done) = self.verify_done.remove(&id) {
             return done;
         }
-        match self.decoder.poll(id) {
+        match self.backend.poll(id) {
             PollResult::Queued { position } => SuggestPoll::Queued { position },
             PollResult::Decoding { tokens_so_far } => {
                 let mut partial = self.suggestions_from(&tokens_so_far);
@@ -951,5 +1127,65 @@ mod tests {
         service.run();
         assert_eq!(service.prefix_hits(), 1);
         assert_eq!(take(&mut service, again), assistant.suggest(buffers[0]));
+    }
+
+    /// The sharded multi-worker backend returns suggestion-for-suggestion
+    /// identical results to the inline single-scheduler service — the
+    /// engine changes where requests decode, never what they produce.
+    #[test]
+    fn sharded_service_matches_inline_service() {
+        let assistant = tiny_assistant();
+        let buffers = [
+            "int main() { int rank; printf(\"a\\n\"); return 0; }",
+            "int main() { double local = 0.0; return 0; }",
+            "int main() { int x = 1; if (x", // mid-edit buffer
+            "int main() { return 0; }",
+        ];
+        let mut inline = SuggestService::with_max_batch(&assistant, 2);
+        let inline_tickets: Vec<_> = buffers.iter().map(|b| inline.submit(b)).collect();
+        inline.run();
+        let reference: Vec<Vec<Suggestion>> = inline_tickets
+            .into_iter()
+            .map(|t| take(&mut inline, t))
+            .collect();
+
+        let mut sharded = SuggestService::sharded(&assistant, 2);
+        assert_eq!(sharded.workers(), 2);
+        let tickets: Vec<_> = buffers.iter().map(|b| sharded.submit(b)).collect();
+        sharded.run();
+        assert_eq!(sharded.pending(), 0);
+        for ((t, b), want) in tickets.into_iter().zip(buffers).zip(reference) {
+            assert_eq!(take(&mut sharded, t), want, "buffer {b:?}");
+            assert_eq!(sharded.poll(t), SuggestPoll::Unknown, "redeems once");
+        }
+    }
+
+    /// A sharded service drives the daemon event loop exactly like the
+    /// inline one: `step() > 0` while work is in flight, lifecycle states
+    /// via `poll`, cancellation included.
+    #[test]
+    fn sharded_service_step_loop_and_cancel() {
+        let assistant = tiny_assistant();
+        let mut service = SuggestService::sharded(&assistant, 2);
+        let keep = service.submit("int main() { int rank; return 0; }");
+        let drop_it = service.submit("int main() { double local = 0.0; return 0; }");
+        let was_pending = service.cancel(drop_it);
+        let mut steps = 0;
+        while service.step() > 0 {
+            steps += 1;
+            assert!(steps < 100_000, "sharded step loop failed to drain");
+        }
+        match service.poll(drop_it) {
+            SuggestPoll::Cancelled => assert!(was_pending),
+            SuggestPoll::Done { .. } => {} // finished before the cancel landed
+            other => panic!("cancelled ticket resolved as {other:?}"),
+        }
+        let got = take(&mut service, keep);
+        assert_eq!(got, assistant.suggest("int main() { int rank; return 0; }"));
+        // A live service may retain prefix-cache snapshot pages; shutdown
+        // drops every worker's decoder and must leave nothing behind.
+        for stats in service.shutdown() {
+            assert_eq!(stats.pages_live, 0, "worker leaked KV pages");
+        }
     }
 }

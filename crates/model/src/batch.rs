@@ -195,6 +195,16 @@ pub struct SubmitOptions {
     /// request's `max_len` and the model's `max_dec_len` (an interactive
     /// client often wants only the first few tokens fast).
     pub max_new_tokens: Option<usize>,
+    /// Optional deadline stamp for earliest-deadline-first ordering
+    /// **within** a priority class: among queued requests of the same
+    /// effective class, lower stamps are admitted first (`None` ranks after
+    /// every explicit deadline). The unit is caller-defined — epoch
+    /// milliseconds, a step count, any monotone urgency number — the
+    /// scheduler only compares stamps, never reads a clock. Aging still
+    /// outranks EDF: a request queued past the aging bound is admitted
+    /// before fresher entries regardless of their deadlines, so an
+    /// adversarial stream of early deadlines cannot starve anyone.
+    pub deadline: Option<u64>,
 }
 
 impl SubmitOptions {
@@ -207,13 +217,19 @@ impl SubmitOptions {
     pub fn bulk() -> SubmitOptions {
         SubmitOptions {
             priority: Priority::Bulk,
-            max_new_tokens: None,
+            ..SubmitOptions::default()
         }
     }
 
     /// Cap generated tokens at `n`.
     pub fn with_max_new_tokens(mut self, n: usize) -> SubmitOptions {
         self.max_new_tokens = Some(n);
+        self
+    }
+
+    /// Set the EDF deadline stamp (see [`SubmitOptions::deadline`]).
+    pub fn with_deadline(mut self, deadline: u64) -> SubmitOptions {
+        self.deadline = Some(deadline);
         self
     }
 }
@@ -225,10 +241,14 @@ pub struct RequestTelemetry {
     /// Scheduler steps that ran while this request sat in the queue
     /// (initial wait plus any paused-after-preemption waits).
     pub queue_wait_steps: u64,
-    /// Lockstep steps this request participated in (prefill included).
+    /// Lockstep steps this request participated in (prefill included, and
+    /// replay steps after a page eviction count again).
     pub decode_steps: u64,
     /// Times this request's lanes were preempted by interactive work.
     pub preemptions: u64,
+    /// Times this request's KV pages were evicted under pool memory
+    /// pressure (the request re-entered the queue and replayed its tokens).
+    pub evictions: u64,
 }
 
 /// Typed lifecycle state returned by [`BatchDecoder::poll`].
@@ -381,6 +401,12 @@ impl BatchRequest {
         self.submit.max_new_tokens = Some(n);
         self
     }
+
+    /// Builder: set the EDF deadline stamp (see [`SubmitOptions::deadline`]).
+    pub fn with_deadline(mut self, deadline: u64) -> BatchRequest {
+        self.submit.deadline = Some(deadline);
+        self
+    }
 }
 
 /// One admitted request: its hypotheses (one for greedy, up to `beam` once
@@ -417,10 +443,14 @@ struct Group {
     /// Whether this group's prefilled cache is (or came from) a snapshot.
     snapshotted: bool,
     finished: bool,
+    /// EDF deadline stamp carried from [`SubmitOptions::deadline`] (kept on
+    /// the group so pauses/evictions re-enter the queue with it intact).
+    deadline: Option<u64>,
     /// Telemetry accumulators (see [`RequestTelemetry`]).
     queue_wait_steps: u64,
     decode_steps: u64,
     preemptions: u64,
+    evictions: u64,
 }
 
 impl Group {
@@ -449,6 +479,7 @@ impl Group {
             queue_wait_steps: self.queue_wait_steps,
             decode_steps: self.decode_steps,
             preemptions: self.preemptions,
+            evictions: self.evictions,
         }
     }
 }
@@ -464,6 +495,8 @@ enum QueueItem {
 struct QueueEntry {
     id: RequestId,
     priority: Priority,
+    /// EDF deadline stamp (see [`SubmitOptions::deadline`]).
+    deadline: Option<u64>,
     /// `step_count` when this entry (re-)entered the queue.
     enqueued_step: u64,
     item: QueueItem,
@@ -560,6 +593,11 @@ pub struct BatchDecoder<'m> {
     admit_count: u64,
     /// Total lane preemptions performed by this scheduler.
     preemption_count: u64,
+    /// Soft cap on live pool pages; `None` = unbounded. See
+    /// [`set_page_limit`](Self::set_page_limit).
+    page_limit: Option<usize>,
+    /// Total page evictions performed under pool memory pressure.
+    eviction_count: u64,
 }
 
 impl<'m> BatchDecoder<'m> {
@@ -648,6 +686,8 @@ impl<'m> BatchDecoder<'m> {
             aging_steps: DEFAULT_AGING_STEPS,
             admit_count: 0,
             preemption_count: 0,
+            page_limit: None,
+            eviction_count: 0,
         }
     }
 
@@ -685,6 +725,7 @@ impl<'m> BatchDecoder<'m> {
         self.queue.push(QueueEntry {
             id,
             priority: req.submit.priority,
+            deadline: req.submit.deadline,
             enqueued_step: self.step_count,
             item: QueueItem::Fresh(req),
         });
@@ -773,6 +814,47 @@ impl<'m> BatchDecoder<'m> {
         self.preemption_count
     }
 
+    /// Soft cap on live pool pages (see [`set_page_limit`](Self::set_page_limit)).
+    pub fn page_limit(&self) -> Option<usize> {
+        self.page_limit
+    }
+
+    /// Set a soft cap on live pool pages, enabling priority-aware KV-page
+    /// eviction under memory pressure. While live pages exceed the cap *and*
+    /// a protected (interactive or aged-promoted) group is decoding, the
+    /// scheduler frees memory at each step in priority order: retained
+    /// prefill snapshots first (pure optimization state), then the
+    /// **youngest-admitted unprotected bulk greedy** groups — each evicted
+    /// group drops its self-attention KV pages, keeps its generated ids and
+    /// shared cross-K/V, and re-enters the queue paused; on re-admission it
+    /// replays its tokens through the normal prefill path, which rebuilds
+    /// the exact cache state bitwise, so the resumed output is identical to
+    /// an uninterrupted run. While over the cap, fresh *bulk* admissions are
+    /// also gated (interactive and aged entries still admit), so evicted
+    /// work does not thrash back in while pressure persists.
+    ///
+    /// The cap is soft in exactly one case: interactive pages are **never**
+    /// evicted, and a lone bulk group (no protected group present) may
+    /// exceed the cap, because evicting it cannot reduce its own
+    /// requirement — it would only replay into the same pressure forever.
+    /// Bulk *beam* groups are preempted (pages kept) but not page-evicted;
+    /// greedy replay is a pure token-feed, while beam replay would need the
+    /// full expansion history.
+    pub fn set_page_limit(&mut self, limit: Option<usize>) {
+        self.page_limit = limit;
+    }
+
+    /// Total page evictions performed under pool memory pressure.
+    pub fn evictions(&self) -> u64 {
+        self.eviction_count
+    }
+
+    /// Lanes currently reserved by admitted requests (capacity telemetry
+    /// for an admission front-end placing work across schedulers).
+    pub fn lanes_in_use(&self) -> usize {
+        self.lanes_used()
+    }
+
     /// The projection precision this scheduler's weights were prepared
     /// for; every submitted request must match it.
     pub fn precision(&self) -> Precision {
@@ -808,17 +890,31 @@ impl<'m> BatchDecoder<'m> {
         e.accrued_wait() + (self.step_count - e.enqueued_step)
     }
 
-    /// Admission sort key: `(class, submission order)` where class 0 is
-    /// interactive-effective (submitted interactive, or aged past the
-    /// bound) and ties break FIFO by ticket number. Smaller admits first.
-    fn entry_rank(&self, e: &QueueEntry) -> (u8, u64) {
-        let interactive =
-            e.priority == Priority::Interactive || self.entry_wait(e) >= self.aging_steps;
-        (u8::from(!interactive), e.id.0)
+    /// Admission sort key: `(class, aged, deadline, submission order)`.
+    /// Class 0 is interactive-effective (submitted interactive, or aged
+    /// past the bound). Within a class, entries aged past the bound admit
+    /// before fresher ones — the starvation guarantee EDF cannot be allowed
+    /// to break — then earliest deadline first (`None` after every explicit
+    /// stamp), then FIFO by ticket number. Smaller admits first.
+    fn entry_rank(&self, e: &QueueEntry) -> (u8, u8, u64, u64) {
+        let aged = self.entry_wait(e) >= self.aging_steps;
+        let interactive = e.priority == Priority::Interactive || aged;
+        (
+            u8::from(!interactive),
+            u8::from(!aged),
+            e.deadline.unwrap_or(u64::MAX),
+            e.id.0,
+        )
     }
 
-    fn best_queued(&self) -> Option<usize> {
-        (0..self.queue.len()).min_by_key(|&i| self.entry_rank(&self.queue[i]))
+    /// Best-ranked queue entry admissible right now: under pool pressure,
+    /// bulk-class entries stay queued (interactive and aged-promoted
+    /// entries always admit).
+    fn best_admissible(&self) -> Option<usize> {
+        let gated = self.pressure_gated();
+        (0..self.queue.len())
+            .filter(|&i| !gated || self.entry_rank(&self.queue[i]).0 == 0)
+            .min_by_key(|&i| self.entry_rank(&self.queue[i]))
     }
 
     /// 0-based admission position of a queued request (0 = next).
@@ -864,12 +960,78 @@ impl<'m> BatchDecoder<'m> {
             self.queue.push(QueueEntry {
                 id: group.id,
                 priority: Priority::Bulk,
+                deadline: group.deadline,
                 enqueued_step: self.step_count,
                 item: QueueItem::Paused(Box::new(group)),
             });
             short = short.saturating_sub(lanes);
         }
         true
+    }
+
+    /// Whether bulk admissions are currently gated by pool pressure.
+    fn pressure_gated(&self) -> bool {
+        self.page_limit
+            .is_some_and(|limit| self.pool.stats().pages_live >= limit)
+    }
+
+    /// Enforce the soft page cap (see [`set_page_limit`](Self::set_page_limit)):
+    /// drop prefill snapshots, then evict unprotected bulk greedy groups
+    /// youngest-first while a protected group needs the headroom.
+    fn evict_for_pressure(&mut self) {
+        let Some(limit) = self.page_limit else { return };
+        if self.pool.stats().pages_live <= limit {
+            return;
+        }
+        if !self.prefix_cache.is_empty() {
+            self.prefix_cache.clear();
+        }
+        while self.pool.stats().pages_live > limit {
+            // Eviction only helps if a never-evictable (protected) group
+            // benefits from the freed pages; a lone bulk group would just
+            // replay into the same pressure (see set_page_limit docs).
+            if !self.groups.iter().any(|g| g.protected) {
+                break;
+            }
+            let victim = self
+                .groups
+                .iter()
+                .filter(|g| g.priority == Priority::Bulk && !g.protected && !g.is_beam())
+                .max_by_key(|g| g.admit_seq)
+                .map(|g| g.id);
+            let Some(id) = victim else { break };
+            self.evict_group(id);
+        }
+    }
+
+    /// Evict one active greedy group's KV pages: the group keeps its ids
+    /// (prompt + generated so far) and shared cross-K/V, drops its
+    /// self-attention pages back to the pool, and re-enters the queue
+    /// paused. Re-admission replays the ids through the ordinary prefill
+    /// path; cache contents are a pure function of the fed token sequence,
+    /// so the rebuilt state — and the continued generation — is bitwise
+    /// identical to an uninterrupted run.
+    fn evict_group(&mut self, id: RequestId) {
+        let pos = self
+            .groups
+            .iter()
+            .position(|g| g.id == id)
+            .expect("eviction victim is an active group");
+        let mut group = self.groups.remove(pos);
+        for h in &mut group.beams {
+            if let Some(cache) = h.cache.as_mut() {
+                cache.evict_self_kv();
+            }
+        }
+        group.evictions += 1;
+        self.eviction_count += 1;
+        self.queue.push(QueueEntry {
+            id: group.id,
+            priority: Priority::Bulk,
+            deadline: group.deadline,
+            enqueued_step: self.step_count,
+            item: QueueItem::Paused(Box::new(group)),
+        });
     }
 
     /// Look up a retained prefill for `(enc_out, prompt)`; full equality
@@ -921,7 +1083,7 @@ impl<'m> BatchDecoder<'m> {
     /// length cap retire immediately with an empty generation, exactly
     /// like the single-request loop, which never steps in that case.
     fn admit(&mut self) {
-        while let Some(best) = self.best_queued() {
+        while let Some(best) = self.best_admissible() {
             let needed = self.queue[best].lanes_needed();
             let free = self.max_batch - self.lanes_used();
             if needed > free {
@@ -1013,9 +1175,11 @@ impl<'m> BatchDecoder<'m> {
                     enc_out: (!snapshotted).then_some(req.enc_out),
                     snapshotted,
                     finished: false,
+                    deadline: entry.deadline,
                     queue_wait_steps: wait_now,
                     decode_steps: 0,
                     preemptions: 0,
+                    evictions: 0,
                 };
                 // A 1-token prompt is "prefilled" at birth: snapshot now so
                 // the next identical request shares the cross-K/V
@@ -1053,6 +1217,7 @@ impl<'m> BatchDecoder<'m> {
     /// the number of hypotheses advanced (0 means the scheduler is idle and
     /// [`run`](Self::run) would stop).
     pub fn step(&mut self) -> usize {
+        self.evict_for_pressure();
         self.admit();
         // Gather every live hypothesis across groups, in group/beam order.
         let tokens: Vec<usize> = self
@@ -2168,5 +2333,112 @@ mod tests {
             "recent markers still redeem"
         );
         assert_eq!(dec.pending(), 0, "every request left the queue");
+    }
+
+    #[test]
+    fn page_limit_accessor_roundtrip() {
+        let (cfg, store, params) = setup();
+        let mut dec = BatchDecoder::new(&store, &params, &cfg, 2);
+        assert_eq!(dec.page_limit(), None, "no cap by default");
+        assert_eq!(dec.evictions(), 0);
+        dec.set_page_limit(Some(12));
+        assert_eq!(dec.page_limit(), Some(12));
+        dec.set_page_limit(None);
+        assert_eq!(dec.page_limit(), None);
+        assert_eq!(dec.evictions(), 0, "setting a cap alone evicts nothing");
+    }
+
+    #[test]
+    fn deadlines_order_admission_within_class_not_across() {
+        let (cfg, store, params) = setup();
+        let mut dec = BatchDecoder::new(&store, &params, &cfg, 1);
+        let hold = dec.submit(BatchRequest {
+            enc_out: enc(&store, &params, &cfg, 0),
+            prompt: vec![SOS],
+            max_len: 18,
+            opts: DecodeOptions {
+                min_len: 10,
+                ..Default::default()
+            },
+            submit: SubmitOptions::default(),
+        });
+        dec.step();
+        // Same class: earliest deadline first, `None` after every stamp.
+        let late = dec.submit(
+            BatchRequest::greedy(enc(&store, &params, &cfg, 1), 8)
+                .bulk()
+                .with_deadline(9),
+        );
+        let open = dec.submit(BatchRequest::greedy(enc(&store, &params, &cfg, 2), 8).bulk());
+        let early = dec.submit(
+            BatchRequest::greedy(enc(&store, &params, &cfg, 3), 8)
+                .bulk()
+                .with_deadline(2),
+        );
+        assert_eq!(dec.poll(early), PollResult::Queued { position: 0 });
+        assert_eq!(dec.poll(late), PollResult::Queued { position: 1 });
+        assert_eq!(dec.poll(open), PollResult::Queued { position: 2 });
+        // Across classes: a fresh interactive with no deadline still admits
+        // before every deadline-stamped bulk request.
+        let vip = dec.submit(BatchRequest::greedy(enc(&store, &params, &cfg, 4), 8));
+        assert_eq!(dec.poll(vip), PollResult::Queued { position: 0 });
+        assert_eq!(dec.poll(early), PollResult::Queued { position: 1 });
+        dec.run();
+        for id in [hold, late, open, early, vip] {
+            take(&mut dec, id);
+        }
+    }
+
+    #[test]
+    fn page_pressure_evicts_bulk_then_replays_bitwise() {
+        let (cfg, store, params) = setup();
+        let eb = enc(&store, &params, &cfg, 5);
+        let opts = DecodeOptions {
+            min_len: 12,
+            ..Default::default()
+        };
+        let reference = decode_encoded(&store, &params, &cfg, &eb, 20, opts);
+        let mut dec = BatchDecoder::new(&store, &params, &cfg, 2);
+        dec.set_aging_steps(6);
+        let bulk = dec.submit(
+            BatchRequest {
+                enc_out: eb,
+                prompt: vec![SOS],
+                max_len: 20,
+                opts,
+                submit: SubmitOptions::default(),
+            }
+            .bulk(),
+        );
+        for _ in 0..3 {
+            dec.step();
+        }
+        assert_eq!(dec.evictions(), 0, "no protected group, no eviction yet");
+        let inter = dec.submit(BatchRequest {
+            enc_out: enc(&store, &params, &cfg, 6),
+            prompt: vec![SOS],
+            max_len: 20,
+            opts: DecodeOptions {
+                min_len: 10,
+                ..Default::default()
+            },
+            submit: SubmitOptions::default(),
+        });
+        dec.set_page_limit(Some(1));
+        dec.run();
+        assert!(dec.evictions() >= 1, "pressure must evict the bulk group");
+        match dec.poll(bulk) {
+            PollResult::Done { ids, telemetry, .. } => {
+                assert_eq!(ids, reference, "replay after eviction is bitwise");
+                assert!(telemetry.evictions >= 1, "victim telemetry records it");
+            }
+            other => panic!("bulk unfinished: {other:?}"),
+        }
+        match dec.poll(inter) {
+            PollResult::Done { telemetry, .. } => {
+                assert_eq!(telemetry.evictions, 0, "interactive is never evicted");
+            }
+            other => panic!("interactive unfinished: {other:?}"),
+        }
     }
 }

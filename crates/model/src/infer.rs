@@ -250,6 +250,34 @@ impl Clone for DecoderCache {
     }
 }
 
+impl DecoderCache {
+    /// Drop all self-attention K/V rows, returning paged storage to the
+    /// pool, while keeping the shared cross-attention K/V projections. The
+    /// cache re-enters the freshly-constructed state (`len == 0`): feeding
+    /// the same token sequence back through rebuilds the exact same rows —
+    /// cache contents are a pure function of the fed tokens — which is what
+    /// lets the scheduler's page eviction replay a request bitwise.
+    pub(crate) fn evict_self_kv(&mut self) {
+        for lc in &mut self.layers {
+            match &mut lc.kv {
+                SelfKv::Contiguous { k, v } => {
+                    for buf in k.iter_mut().chain(v.iter_mut()) {
+                        buf.data.clear();
+                        buf.shape[0] = 0;
+                    }
+                }
+                SelfKv::Paged { k, v } => {
+                    let mut pool = self.pool.as_ref().expect("paged cache has a pool").lock();
+                    for buf in k.iter_mut().chain(v.iter_mut()) {
+                        buf.release(&mut pool);
+                    }
+                }
+            }
+        }
+        self.len = 0;
+    }
+}
+
 impl Drop for DecoderCache {
     /// Return every referenced page to the pool (paged storage only) so
     /// dropped hypotheses and retired lanes never leak pages.
@@ -623,10 +651,16 @@ fn self_attend_append(
             attend(q, k, v, scale, scores, ctx);
         }
         SelfKv::Paged { k, v } => {
-            let mut pool = pool.expect("paged cache has a pool").lock();
-            append_heads_paged(&mut pool, k, k_row);
-            append_heads_paged(&mut pool, v, v_row);
-            attend_paged(&pool, q, k, v, scale, scores, ctx);
+            let pool = pool.expect("paged cache has a pool");
+            {
+                // Exclusive lock only for the append; parallel lanes contend
+                // here briefly, then attend concurrently under read locks.
+                let mut inner = pool.lock();
+                append_heads_paged(&mut inner, k, k_row);
+                append_heads_paged(&mut inner, v, v_row);
+            }
+            let inner = pool.read();
+            attend_paged(&inner, q, k, v, scale, scores, ctx);
         }
     }
 }
@@ -1023,7 +1057,11 @@ pub struct BatchScratch {
     ctx: Vec<f32>,
     proj: Vec<f32>,
     ff: Vec<f32>,
+    /// Per-lane attention-score rows (`[max_batch, scores_cap]`): each lane
+    /// owns a disjoint slab so the per-lane attention sections can run on
+    /// worker threads without sharing scratch.
     scores: Vec<f32>,
+    scores_cap: usize,
     /// Memoized sinusoidal position rows (`[pos, d_model]`, grown on
     /// demand). `add_positional` burns ~d/2 `powf` calls per row; lanes in
     /// a batch usually sit at overlapping positions, so the scheduler
@@ -1062,8 +1100,10 @@ impl BatchScratch {
             proj: slab(),
             ff: vec![0.0; max_batch * cfg.d_ff],
             // Scores cover self-attention (≤ max_dec_len rows) and
-            // cross-attention (≤ max_enc_len rows) for any lane.
-            scores: vec![0.0; cfg.max_dec_len.max(cfg.max_enc_len)],
+            // cross-attention (≤ max_enc_len rows), one slab per lane so
+            // lanes can attend in parallel.
+            scores: vec![0.0; max_batch * cfg.max_dec_len.max(cfg.max_enc_len)],
+            scores_cap: cfg.max_dec_len.max(cfg.max_enc_len),
             pos_rows: Vec::new(),
             q8: vec![0; max_batch * d.max(cfg.d_ff)],
             qscales: vec![0.0; max_batch],
@@ -1129,6 +1169,78 @@ macro_rules! fused_linear {
     };
 }
 
+/// Work threshold (in multiply-add-ish flops across all lanes) below which
+/// the per-lane sections of [`decode_step_batch`] stay serial: the crossbeam
+/// scope spawn cost only pays for itself on serving-scale shapes. Mirrors
+/// `matmul`'s `PAR_THRESHOLD` approach.
+const LANE_PAR_THRESHOLD: usize = 1 << 17;
+
+/// Test override: `MPIRICAL_LANE_PAR=<n>` forces the per-lane sections onto
+/// `n` threads regardless of the work estimate, so the property suites can
+/// exercise the threaded code paths at tiny shapes. Read once per process.
+fn lane_par_override() -> Option<usize> {
+    static OVERRIDE: std::sync::OnceLock<Option<usize>> = std::sync::OnceLock::new();
+    *OVERRIDE.get_or_init(|| {
+        std::env::var("MPIRICAL_LANE_PAR")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+    })
+}
+
+/// Threads for a per-lane (embarrassingly parallel) section over `lanes`
+/// lanes of roughly `work_per_lane` flops each. Lanes never share state, and
+/// each lane's accumulation order is unchanged by the partitioning, so the
+/// thread count can never perturb a bit — it is purely a latency decision.
+fn lane_threads(lanes: usize, work_per_lane: usize) -> usize {
+    if lanes < 2 {
+        return 1;
+    }
+    if let Some(forced) = lane_par_override() {
+        return forced.min(lanes);
+    }
+    if lanes.saturating_mul(work_per_lane) < LANE_PAR_THRESHOLD {
+        return 1;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(lanes)
+}
+
+/// LayerNorm one row per lane (`x[i·d..]` → `normed[i·d..]`), partitioning
+/// lanes across scoped threads when the batch is wide enough. Each row is
+/// normalized by the same [`ln_row`] the serial path calls, so the output is
+/// bitwise identical at any thread count.
+fn ln_rows_batch(b: usize, d: usize, x: &[f32], gamma: &Tensor, beta: &Tensor, normed: &mut [f32]) {
+    let threads = lane_threads(b, 10 * d);
+    if threads <= 1 {
+        for i in 0..b {
+            ln_row(
+                &x[i * d..(i + 1) * d],
+                gamma,
+                beta,
+                &mut normed[i * d..(i + 1) * d],
+            );
+        }
+        return;
+    }
+    let lanes_per = b.div_ceil(threads);
+    crossbeam::scope(|scope| {
+        for (x_chunk, out_chunk) in x[..b * d]
+            .chunks(lanes_per * d)
+            .zip(normed[..b * d].chunks_mut(lanes_per * d))
+        {
+            scope.spawn(move |_| {
+                for (row, out) in x_chunk.chunks(d).zip(out_chunk.chunks_mut(d)) {
+                    ln_row(row, gamma, beta, out);
+                }
+            });
+        }
+    })
+    .expect("lane threads do not panic");
+}
+
 /// Process one decoder token for **each of N independent requests** in
 /// lockstep, writing one logits row per lane into `logits` (`[N, vocab]`,
 /// lane order).
@@ -1151,6 +1263,14 @@ macro_rules! fused_linear {
 /// to what a standalone [`decode_step`] on that lane's cache would produce.
 /// Lanes never read each other's state; batching is a scheduling decision,
 /// not a numerical one. `decode::tests` and `batch::tests` pin this.
+///
+/// The per-lane sections (LayerNorm rows, K/V append, self- and
+/// cross-attention) additionally partition lanes across crossbeam scoped
+/// threads above a work threshold — the same row-partition scheme `matmul`
+/// uses. Each lane's accumulation order is fixed regardless of which thread
+/// runs it, so the thread count affects latency only, never a bit of the
+/// logits (`tests/parallel_engine_props.rs` pins this under a forced
+/// thread-count override).
 ///
 /// # Precision
 ///
@@ -1231,14 +1351,7 @@ pub fn decode_step_batch(
         // Self-attention block: fused Q/K/V projections over the packed
         // rows, then per-lane cache append + attention.
         let (g1, b1) = (store.value(layer.ln1.gamma), store.value(layer.ln1.beta));
-        for i in 0..b {
-            ln_row(
-                &s.x[i * d..(i + 1) * d],
-                g1,
-                b1,
-                &mut s.normed[i * d..(i + 1) * d],
-            );
-        }
+        ln_rows_batch(b, d, &s.x, g1, b1, &mut s.normed);
         let sa = &layer.self_attn;
         fused_linear!(
             weights,
@@ -1270,19 +1383,58 @@ pub fn decode_step_batch(
             store.value(sa.bv),
             &mut s.v[..b * d]
         );
-        for (i, cache) in caches.iter_mut().enumerate() {
-            let pool = cache.pool.clone();
-            let lc = &mut cache.layers[li];
-            self_attend_append(
-                lc,
-                pool.as_ref(),
-                &s.q[i * d..(i + 1) * d],
-                &s.k[i * d..(i + 1) * d],
-                &s.v[i * d..(i + 1) * d],
-                scale,
-                &mut s.scores,
-                &mut s.ctx[i * d..(i + 1) * d],
-            );
+        // Per-lane K/V append + attention. Lanes own disjoint caches, score
+        // slabs, and ctx rows, so wide batches partition lanes across scoped
+        // threads exactly like `matmul` partitions output rows; each lane's
+        // accumulation order is untouched, so logits stay bitwise identical
+        // to the serial walk.
+        let cap = s.scores_cap;
+        let threads = lane_threads(b, 2 * d * (max_pos + 1));
+        if threads <= 1 {
+            for (i, cache) in caches.iter_mut().enumerate() {
+                let pool = cache.pool.clone();
+                let lc = &mut cache.layers[li];
+                self_attend_append(
+                    lc,
+                    pool.as_ref(),
+                    &s.q[i * d..(i + 1) * d],
+                    &s.k[i * d..(i + 1) * d],
+                    &s.v[i * d..(i + 1) * d],
+                    scale,
+                    &mut s.scores[i * cap..(i + 1) * cap],
+                    &mut s.ctx[i * d..(i + 1) * d],
+                );
+            }
+        } else {
+            let lanes_per = b.div_ceil(threads);
+            let (q, k, v) = (&s.q[..b * d], &s.k[..b * d], &s.v[..b * d]);
+            crossbeam::scope(|scope| {
+                for (ci, ((cache_chunk, ctx_chunk), scores_chunk)) in caches
+                    .chunks_mut(lanes_per)
+                    .zip(s.ctx[..b * d].chunks_mut(lanes_per * d))
+                    .zip(s.scores[..b * cap].chunks_mut(lanes_per * cap))
+                    .enumerate()
+                {
+                    scope.spawn(move |_| {
+                        for (j, cache) in cache_chunk.iter_mut().enumerate() {
+                            let i = ci * lanes_per + j;
+                            let pool = cache.pool.clone();
+                            let lc = &mut cache.layers[li];
+                            self_attend_append(
+                                lc,
+                                pool.as_ref(),
+                                &q[i * d..(i + 1) * d],
+                                &k[i * d..(i + 1) * d],
+                                &v[i * d..(i + 1) * d],
+                                scale,
+                                &mut scores_chunk[j * cap..(j + 1) * cap],
+                                &mut ctx_chunk[j * d..(j + 1) * d],
+                            );
+                        }
+                    });
+                }
+            })
+            .expect("lane threads do not panic");
         }
         fused_linear!(
             weights,
@@ -1300,14 +1452,7 @@ pub fn decode_step_batch(
 
         // Cross-attention block over each lane's precomputed encoder K/V.
         let (g2, b2) = (store.value(layer.ln2.gamma), store.value(layer.ln2.beta));
-        for i in 0..b {
-            ln_row(
-                &s.x[i * d..(i + 1) * d],
-                g2,
-                b2,
-                &mut s.normed[i * d..(i + 1) * d],
-            );
-        }
+        ln_rows_batch(b, d, &s.x, g2, b2, &mut s.normed);
         let ca = &layer.cross_attn;
         fused_linear!(
             weights,
@@ -1319,16 +1464,49 @@ pub fn decode_step_batch(
             store.value(ca.bq),
             &mut s.q[..b * d]
         );
-        for (i, cache) in caches.iter_mut().enumerate() {
-            let lc = &cache.layers[li];
-            attend(
-                &s.q[i * d..(i + 1) * d],
-                &lc.cross_k,
-                &lc.cross_v,
-                scale,
-                &mut s.scores,
-                &mut s.ctx[i * d..(i + 1) * d],
-            );
+        // Cross-attention reads per-lane encoder K/V (shared `Arc`s, never
+        // mutated), so the same lane partitioning applies.
+        let t_enc = caches[0].layers[li].cross_k[0].shape[0];
+        let threads = lane_threads(b, 2 * d * t_enc);
+        if threads <= 1 {
+            for (i, cache) in caches.iter_mut().enumerate() {
+                let lc = &cache.layers[li];
+                attend(
+                    &s.q[i * d..(i + 1) * d],
+                    &lc.cross_k,
+                    &lc.cross_v,
+                    scale,
+                    &mut s.scores[i * cap..(i + 1) * cap],
+                    &mut s.ctx[i * d..(i + 1) * d],
+                );
+            }
+        } else {
+            let lanes_per = b.div_ceil(threads);
+            let q = &s.q[..b * d];
+            crossbeam::scope(|scope| {
+                for (ci, ((cache_chunk, ctx_chunk), scores_chunk)) in caches
+                    .chunks(lanes_per)
+                    .zip(s.ctx[..b * d].chunks_mut(lanes_per * d))
+                    .zip(s.scores[..b * cap].chunks_mut(lanes_per * cap))
+                    .enumerate()
+                {
+                    scope.spawn(move |_| {
+                        for (j, cache) in cache_chunk.iter().enumerate() {
+                            let i = ci * lanes_per + j;
+                            let lc = &cache.layers[li];
+                            attend(
+                                &q[i * d..(i + 1) * d],
+                                &lc.cross_k,
+                                &lc.cross_v,
+                                scale,
+                                &mut scores_chunk[j * cap..(j + 1) * cap],
+                                &mut ctx_chunk[j * d..(j + 1) * d],
+                            );
+                        }
+                    });
+                }
+            })
+            .expect("lane threads do not panic");
         }
         fused_linear!(
             weights,
@@ -1348,14 +1526,7 @@ pub fn decode_step_batch(
         // elementwise so one pass over the packed slab matches the
         // single-request row-at-a-time application exactly.
         let (g3, b3) = (store.value(layer.ln3.gamma), store.value(layer.ln3.beta));
-        for i in 0..b {
-            ln_row(
-                &s.x[i * d..(i + 1) * d],
-                g3,
-                b3,
-                &mut s.normed[i * d..(i + 1) * d],
-            );
-        }
+        ln_rows_batch(b, d, &s.x, g3, b3, &mut s.normed);
         let dff = cfg.d_ff;
         fused_linear!(
             weights,
@@ -1388,14 +1559,7 @@ pub fn decode_step_batch(
         store.value(params.dec_ln.gamma),
         store.value(params.dec_ln.beta),
     );
-    for i in 0..b {
-        ln_row(
-            &s.x[i * d..(i + 1) * d],
-            g,
-            be,
-            &mut s.normed[i * d..(i + 1) * d],
-        );
-    }
+    ln_rows_batch(b, d, &s.x, g, be, &mut s.normed);
     fused_linear!(
         weights,
         s,

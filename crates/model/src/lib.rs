@@ -33,6 +33,7 @@ pub mod batch;
 pub mod bpe;
 pub mod config;
 pub mod decode;
+pub mod engine;
 pub mod infer;
 pub mod paged;
 pub mod train;
@@ -51,6 +52,7 @@ pub use decode::{
     decode_encoded_prompted_contiguous, decode_encoded_prompted_quant, decode_with, greedy_decode,
     greedy_decode_replay, replay_decode_with, DecodeOptions,
 };
+pub use engine::{Engine, EngineConfig, EngineModel, EngineTicket};
 pub use infer::{
     decode_step, decode_step_batch, decode_step_quant, BatchScratch, DecoderCache, DecoderWeights,
     PackedDecoderWeights, Precision, QuantDecoderWeights,

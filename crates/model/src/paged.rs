@@ -45,13 +45,17 @@
 //! `mpirical_tensor::matmul` and the property suite in
 //! `tests/paged_cache_props.rs`.
 //!
-//! The pool handle is an `Rc<RefCell<…>>`: decoding is single-threaded per
-//! scheduler, forks share the pool by cloning the handle, and
-//! caches release their pages on `Drop` without threading a `&mut pool`
-//! through every call site.
+//! The pool handle is an `Arc<RwLock<…>>` (the offline `parking_lot` shim):
+//! forks share the pool by cloning the handle and caches release their pages
+//! on `Drop` without threading a `&mut pool` through every call site, while
+//! the handle stays `Send + Sync` so lanes of one scheduler can append and
+//! attend from worker threads and the sharded engine can move whole pools
+//! into per-worker threads. Mutation (append/fork/release) takes the write
+//! lock briefly; attention reads take the read lock, so parallel lanes read
+//! shared pages concurrently.
 
-use std::cell::{RefCell, RefMut};
-use std::rc::Rc;
+use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::Arc;
 
 /// Rows per page of the default pool (see module docs for the trade-off).
 pub const PAGE_ROWS: usize = 16;
@@ -68,8 +72,9 @@ struct Page {
     refs: u32,
 }
 
-/// The pool's mutable state, accessed through [`PagePool::lock`]. One
-/// borrow per decoder layer per step keeps `RefCell` traffic negligible.
+/// The pool's mutable state, accessed through [`PagePool::lock`] (exclusive)
+/// or [`PagePool::read`] (shared). One lock per decoder layer per step keeps
+/// lock traffic negligible.
 #[derive(Debug)]
 pub(crate) struct PoolInner {
     row_width: usize,
@@ -177,7 +182,7 @@ impl PoolStats {
 /// a handle share its pages).
 #[derive(Debug, Clone)]
 pub struct PagePool {
-    inner: Rc<RefCell<PoolInner>>,
+    inner: Arc<RwLock<PoolInner>>,
 }
 
 impl PagePool {
@@ -192,7 +197,7 @@ impl PagePool {
         assert!(row_width >= 1, "row width must be at least 1");
         assert!(page_rows >= 1, "page size must be at least 1 row");
         PagePool {
-            inner: Rc::new(RefCell::new(PoolInner {
+            inner: Arc::new(RwLock::new(PoolInner {
                 row_width,
                 page_rows,
                 pages: Vec::new(),
@@ -206,22 +211,29 @@ impl PagePool {
 
     /// Floats per row (the attention head width the pool was sized for).
     pub fn row_width(&self) -> usize {
-        self.inner.borrow().row_width
+        self.inner.read().row_width
     }
 
-    /// Borrow the pool state mutably (one borrow per layer per decode step).
-    pub(crate) fn lock(&self) -> RefMut<'_, PoolInner> {
-        self.inner.borrow_mut()
+    /// Take the exclusive write lock (appends, forks, releases — one brief
+    /// lock per layer per decode step).
+    pub(crate) fn lock(&self) -> RwLockWriteGuard<'_, PoolInner> {
+        self.inner.write()
+    }
+
+    /// Take a shared read lock (attention walks page data concurrently
+    /// across lanes).
+    pub(crate) fn read(&self) -> RwLockReadGuard<'_, PoolInner> {
+        self.inner.read()
     }
 
     /// Whether `other` is a handle to this same pool.
     pub fn same_pool(&self, other: &PagePool) -> bool {
-        Rc::ptr_eq(&self.inner, &other.inner)
+        Arc::ptr_eq(&self.inner, &other.inner)
     }
 
     /// Current pool telemetry.
     pub fn stats(&self) -> PoolStats {
-        let inner = self.inner.borrow();
+        let inner = self.inner.read();
         PoolStats {
             pages_live: inner.live,
             pages_peak: inner.peak_live,

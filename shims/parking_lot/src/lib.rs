@@ -1,7 +1,8 @@
-//! Offline stand-in for `parking_lot`: [`Mutex`] whose `lock()` returns the
-//! guard directly (poisoning is swallowed, like parking_lot's no-poisoning
-//! semantics) and [`Condvar`] whose `wait_until` takes the guard by `&mut`
-//! and an absolute `Instant` deadline. Backed by `std::sync`.
+//! Offline stand-in for `parking_lot`: [`Mutex`] and [`RwLock`] whose lock
+//! methods return the guard directly (poisoning is swallowed, like
+//! parking_lot's no-poisoning semantics) and [`Condvar`] with both untimed
+//! [`wait`](Condvar::wait) and deadline-based [`wait_until`](Condvar::wait_until)
+//! taking the guard by `&mut`. Backed by `std::sync`.
 
 use std::ops::{Deref, DerefMut};
 use std::time::Instant;
@@ -12,7 +13,7 @@ pub struct Mutex<T> {
     inner: std::sync::Mutex<T>,
 }
 
-/// Guard wrapper; holds an `Option` so [`Condvar::wait_until`] can move the
+/// Guard wrapper; holds an `Option` so [`Condvar::wait`] can move the
 /// underlying std guard out and back (std's wait API is by-value).
 pub struct MutexGuard<'a, T> {
     inner: Option<std::sync::MutexGuard<'a, T>>,
@@ -32,6 +33,24 @@ impl<T> Mutex<T> {
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         MutexGuard { inner: Some(guard) }
     }
+
+    /// Non-blocking lock attempt; `None` if another thread holds the lock.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(guard) => Some(MutexGuard { inner: Some(guard) }),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
+                inner: Some(p.into_inner()),
+            }),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Consume the mutex, returning the value it protects.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
 }
 
 impl<'a, T> Deref for MutexGuard<'a, T> {
@@ -47,6 +66,88 @@ impl<'a, T> DerefMut for MutexGuard<'a, T> {
     }
 }
 
+/// Reader/writer lock with parking_lot's panic-free API: `read()` and
+/// `write()` return guards directly, no poisoning.
+#[derive(Debug, Default)]
+pub struct RwLock<T> {
+    inner: std::sync::RwLock<T>,
+}
+
+/// Shared-access guard returned by [`RwLock::read`].
+pub struct RwLockReadGuard<'a, T> {
+    inner: std::sync::RwLockReadGuard<'a, T>,
+}
+
+/// Exclusive-access guard returned by [`RwLock::write`].
+pub struct RwLockWriteGuard<'a, T> {
+    inner: std::sync::RwLockWriteGuard<'a, T>,
+}
+
+impl<T> RwLock<T> {
+    pub fn new(value: T) -> RwLock<T> {
+        RwLock {
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Take a shared read lock; any number of readers may hold it at once.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        let inner = self
+            .inner
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        RwLockReadGuard { inner }
+    }
+
+    /// Take the exclusive write lock.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        let inner = self
+            .inner
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        RwLockWriteGuard { inner }
+    }
+
+    /// Non-blocking write attempt; `None` if any reader or writer holds the
+    /// lock.
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match self.inner.try_write() {
+            Ok(inner) => Some(RwLockWriteGuard { inner }),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(RwLockWriteGuard {
+                inner: p.into_inner(),
+            }),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Consume the lock, returning the value it protects.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+impl<'a, T> Deref for RwLockReadGuard<'a, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<'a, T> Deref for RwLockWriteGuard<'a, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<'a, T> DerefMut for RwLockWriteGuard<'a, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
 /// Result of a timed condvar wait.
 #[derive(Debug, Clone, Copy)]
 pub struct WaitTimeoutResult {
@@ -59,7 +160,7 @@ impl WaitTimeoutResult {
     }
 }
 
-/// Condition variable with deadline-based waits.
+/// Condition variable with untimed and deadline-based waits.
 #[derive(Debug, Default)]
 pub struct Condvar {
     inner: std::sync::Condvar,
@@ -76,6 +177,17 @@ impl Condvar {
 
     pub fn notify_all(&self) {
         self.inner.notify_all();
+    }
+
+    /// Block until notified. Spurious wakeups possible, as with any condvar;
+    /// callers re-check their predicate in a loop.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let std_guard = guard.inner.take().expect("guard present");
+        let std_guard = self
+            .inner
+            .wait(std_guard)
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        guard.inner = Some(std_guard);
     }
 
     /// Wait until notified or `deadline` passes. Spurious wakeups possible,
@@ -112,6 +224,45 @@ mod tests {
     }
 
     #[test]
+    fn try_lock_fails_while_held() {
+        let m = Mutex::new(0);
+        let g = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(g);
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn rwlock_allows_concurrent_readers() {
+        let l = RwLock::new(7);
+        let r1 = l.read();
+        let r2 = l.read();
+        assert_eq!((*r1, *r2), (7, 7));
+        assert!(l.try_write().is_none(), "readers block the writer");
+        drop((r1, r2));
+        *l.write() += 1;
+        assert_eq!(*l.read(), 8);
+    }
+
+    #[test]
+    fn rwlock_writer_excludes_readers_across_threads() {
+        let l = Arc::new(RwLock::new(0u64));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let l = Arc::clone(&l);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    *l.write() += 1;
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*l.read(), 4000, "writes are exclusive, none lost");
+    }
+
+    #[test]
     fn wait_until_times_out() {
         let m = Mutex::new(());
         let cv = Condvar::new();
@@ -136,5 +287,60 @@ mod tests {
             assert!(!cv.wait_until(&mut g, deadline).timed_out(), "deadlocked");
         }
         t.join().unwrap();
+    }
+
+    #[test]
+    fn notify_one_wakes_exactly_one_waiter_at_a_time() {
+        // Two waiters each decrement a token counter when woken; tokens are
+        // handed out one notify_one() at a time, so the counter never goes
+        // negative and both waiters eventually exit.
+        let state = Arc::new((Mutex::new(0i32), Condvar::new()));
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let state = Arc::clone(&state);
+            handles.push(std::thread::spawn(move || {
+                let (m, cv) = &*state;
+                let mut g = m.lock();
+                while *g == 0 {
+                    cv.wait(&mut g);
+                }
+                *g -= 1;
+                assert!(*g >= 0, "woke without a token");
+            }));
+        }
+        let (m, cv) = &*state;
+        for _ in 0..2 {
+            *m.lock() += 1;
+            cv.notify_one();
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*m.lock(), 0, "each wake consumed exactly one token");
+    }
+
+    #[test]
+    fn notify_all_wakes_every_waiter() {
+        let state = Arc::new((Mutex::new(false), Condvar::new()));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let state = Arc::clone(&state);
+            handles.push(std::thread::spawn(move || {
+                let (m, cv) = &*state;
+                let mut g = m.lock();
+                while !*g {
+                    cv.wait(&mut g);
+                }
+            }));
+        }
+        // Give the waiters a moment to park, then release all of them with a
+        // single broadcast.
+        std::thread::sleep(Duration::from_millis(20));
+        let (m, cv) = &*state;
+        *m.lock() = true;
+        cv.notify_all();
+        for h in handles {
+            h.join().unwrap();
+        }
     }
 }

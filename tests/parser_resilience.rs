@@ -29,7 +29,7 @@ use mpirical::cparse::{
 use mpirical::model::{DecodeOptions, ModelConfig, Seq2SeqModel, Vocab};
 use mpirical::{benchmark_programs, tokenize_code, InputFormat, MpiRical};
 use proptest::prelude::*;
-use std::sync::{Arc, OnceLock};
+use std::sync::OnceLock;
 
 /// An untrained tiny artifact: real vocab (built from the benchmark
 /// corpus), real encoder/decoder weights (random), tiny shapes so the
@@ -45,13 +45,12 @@ fn untrained_assistant() -> &'static MpiRical {
         let mut cfg = ModelConfig::tiny();
         cfg.max_enc_len = 96; // encode_source truncates longer inputs
         cfg.max_dec_len = 4; // decode cost per mutation stays trivial
-        MpiRical {
-            model: Seq2SeqModel::new(cfg, vocab, 7),
-            input_format: InputFormat::CodeXsbt,
-            decode: DecodeOptions::default(),
-            quant: Arc::new(OnceLock::new()),
-            verify: None,
-        }
+        MpiRical::from_parts(
+            Seq2SeqModel::new(cfg, vocab, 7),
+            InputFormat::CodeXsbt,
+            DecodeOptions::default(),
+            None,
+        )
     })
 }
 
