@@ -725,6 +725,12 @@ fn bench_suggestion_latency(c: &mut Criterion) {
 /// worker count. A request decodes entirely within one worker, so the
 /// scaling win comes from whole decoders running in parallel; on a ≥4-core
 /// host expect ≥1.7× at 4 workers (measured numbers live in CHANGES.md).
+///
+/// The `prefix_shared` variant decodes the IDE-retrigger shape: the same
+/// 33-token prompt with one edited token per request. Setup asserts (on a
+/// sequenced 2-worker engine) that the radix index reports the repeats as
+/// partial hits and prefills strictly fewer rows than the exact-match
+/// baseline, which prefills every distinct prompt in full.
 fn bench_engine_scaling(c: &mut Criterion) {
     let cfg = ModelConfig {
         vocab_size: 4096,
@@ -788,11 +794,76 @@ fn bench_engine_scaling(c: &mut Criterion) {
         );
     }
 
+    // Near-identical burst: one base prompt, one edited token per repeat
+    // (the edit lands in the prompt's second 16-row page, so the first
+    // page still radix-shares).
+    let base_prompt: Vec<usize> = std::iter::once(mpirical_model::vocab::SOS)
+        .chain((0..32).map(|i| 6 + (i * 11) % 200))
+        .collect();
+    let shared_burst = || -> Vec<BatchRequest> {
+        (0..16)
+            .map(|r| {
+                let mut prompt = base_prompt.clone();
+                if r > 0 {
+                    prompt[20] = 6 + (210 + r) % 300;
+                }
+                BatchRequest {
+                    enc_out: enc_outs[0].clone(),
+                    prompt,
+                    max_len: 65,
+                    opts,
+                    submit: SubmitOptions::default(),
+                }
+            })
+            .collect()
+    };
+    // Sequenced, so every lookup happens after the previous member's
+    // prefill was retained: the radix path must beat the exact-match
+    // baseline (all 16 prompts are distinct, so exact matching would
+    // prefill every one in full).
+    {
+        let seq = Engine::new(model.clone(), {
+            let mut ecfg = EngineConfig::with_workers(2);
+            ecfg.max_batch = 8;
+            ecfg
+        });
+        let reqs = shared_burst();
+        let exact_match_rows = (base_prompt.len() as u64 - 1) * reqs.len() as u64;
+        for req in reqs {
+            let ticket = seq.submit(req);
+            seq.drain();
+            assert!(
+                matches!(seq.poll(ticket), mpirical_model::PollResult::Done { .. }),
+                "sequenced prefix-shared request did not finish"
+            );
+        }
+        let s = seq.prefix_stats();
+        assert_eq!(s.partial_hits, 15, "every repeat shares the unedited page");
+        assert!(
+            s.prefilled_rows < exact_match_rows,
+            "radix sharing must prefill fewer rows than exact-match \
+             ({} vs {exact_match_rows})",
+            s.prefilled_rows,
+        );
+        seq.shutdown();
+    }
+    let shared_reference = engines[0].1.decode_all(shared_burst());
+    for (w, e) in &engines[1..] {
+        assert_eq!(
+            e.decode_all(shared_burst()),
+            shared_reference,
+            "{w}-worker engine must match the 1-worker prefix-shared outputs bitwise"
+        );
+    }
+
     let mut g = c.benchmark_group("engine_scaling");
     g.sample_size(10);
     for (w, e) in &engines {
         g.bench_function(format!("engine{w}w_16reqs_greedy_64tok"), |b| {
             b.iter(|| black_box(e.decode_all(burst())))
+        });
+        g.bench_function(format!("engine{w}w_16reqs_prefix_shared_32tok"), |b| {
+            b.iter(|| black_box(e.decode_all(shared_burst())))
         });
     }
     g.finish();

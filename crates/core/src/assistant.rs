@@ -35,8 +35,8 @@ use mpirical_model::vocab::{EOS, SEP, SOS};
 use mpirical_model::{
     decode_encoded_prompted_all, decode_encoded_prompted_all_quant, decode_encoded_prompted_quant,
     BatchDecoder, BatchRequest, DecodeOptions, DecoderWeights, Engine, EngineConfig, EngineModel,
-    EpochStats, ModelConfig, Precision, QuantDecoderWeights, Seq2SeqModel, SubmitOptions,
-    TrainConfig, TrainReport, DEFAULT_MAX_BATCH,
+    EpochStats, ModelConfig, Precision, PrefixStats, QuantDecoderWeights, Seq2SeqModel,
+    SubmitOptions, TrainConfig, TrainReport, DEFAULT_MAX_BATCH,
 };
 use serde::{Deserialize, Serialize};
 use std::borrow::Cow;
@@ -97,6 +97,16 @@ pub struct SuggestReport {
     /// off). Defaults so pre-existing serialized reports still deserialize.
     #[serde(default)]
     pub verify: Option<VerifyStats>,
+    /// Prefix-sharing telemetry from the batch scheduler's radix index —
+    /// exact hits, page-aligned partial hits, misses, and shared vs.
+    /// freshly-prefilled row counts ([`PrefixStats::hit_rate`] is the
+    /// headline number). `Some` on the batch path
+    /// ([`MpiRical::suggest_batch_reports`], one fleet-wide snapshot
+    /// repeated per report); `None` on the single-shot path, which decodes
+    /// without a scheduler. Defaults so pre-existing serialized reports
+    /// still deserialize.
+    #[serde(default)]
+    pub prefix: Option<PrefixStats>,
 }
 
 /// Flag suggestions that land inside the parse's dirty line ranges and
@@ -449,6 +459,7 @@ impl MpiRical {
                 suggestions,
                 health: src.health,
                 verify: Some(stats),
+                prefix: None,
             };
         }
         let ids = self.generate_ids(&src.ids);
@@ -461,6 +472,7 @@ impl MpiRical {
             suggestions,
             health: src.health,
             verify: None,
+            prefix: None,
         }
     }
 
@@ -514,7 +526,7 @@ impl MpiRical {
 
     /// Worker count the batch decode paths shard across for `reqs`
     /// requests: one worker per request up to the machine's available
-    /// parallelism, capped at 8 (per-worker scratch and page pools are not
+    /// parallelism, capped at 8 (per-worker scratch buffers are not
     /// free). `MPIRICAL_ENGINE_WORKERS` overrides the cores/cap part —
     /// `1` forces the inline single-scheduler reference path, higher
     /// values force sharding even on small machines.
@@ -554,12 +566,21 @@ impl MpiRical {
     /// `tests/parallel_engine_props.rs`), so the routing is a pure
     /// throughput decision.
     fn decode_requests(&self, reqs: Vec<BatchRequest>) -> Vec<Vec<usize>> {
+        self.decode_requests_stats(reqs).0
+    }
+
+    /// [`decode_requests`](Self::decode_requests) plus the scheduler's
+    /// final [`PrefixStats`] snapshot — taken from the shared radix index
+    /// after the batch drains (and, on the sharded path, before shutdown
+    /// clears it).
+    fn decode_requests_stats(&self, reqs: Vec<BatchRequest>) -> (Vec<Vec<usize>>, PrefixStats) {
         let workers = Self::engine_workers(reqs.len());
         if workers > 1 {
             let engine = self.engine(workers);
             let out = engine.decode_all(reqs);
+            let prefix = engine.prefix_stats();
             engine.shutdown();
-            return out;
+            return (out, prefix);
         }
         let m = &self.model;
         let lanes = DEFAULT_MAX_BATCH.max(self.decode.beam);
@@ -575,21 +596,26 @@ impl MpiRical {
                 Cow::Borrowed(self.int8_weights()),
             ),
         };
-        dec.decode_all(reqs)
+        let out = dec.decode_all(reqs);
+        (out, dec.prefix_stats())
     }
 
-    /// [`decode_requests`](Self::decode_requests) keeping the full ranked
-    /// hypothesis list per request — the batch-path twin of
+    /// [`decode_requests_stats`](Self::decode_requests_stats) keeping the
+    /// full ranked hypothesis list per request — the batch-path twin of
     /// [`generate_ids_all`](Self::generate_ids_all) for the closed
     /// verification loop. Shards across an [`Engine`] exactly like
     /// [`decode_requests`](Self::decode_requests).
-    fn decode_requests_all(&self, reqs: Vec<BatchRequest>) -> Vec<Vec<Vec<usize>>> {
+    fn decode_requests_all_stats(
+        &self,
+        reqs: Vec<BatchRequest>,
+    ) -> (Vec<Vec<Vec<usize>>>, PrefixStats) {
         let workers = Self::engine_workers(reqs.len());
         if workers > 1 {
             let engine = self.engine(workers);
             let out = engine.decode_all_hypotheses(reqs);
+            let prefix = engine.prefix_stats();
             engine.shutdown();
-            return out;
+            return (out, prefix);
         }
         let m = &self.model;
         let lanes = DEFAULT_MAX_BATCH.max(self.decode.beam);
@@ -603,7 +629,8 @@ impl MpiRical {
                 Cow::Borrowed(self.int8_weights()),
             ),
         };
-        dec.decode_all_hypotheses(reqs)
+        let out = dec.decode_all_hypotheses(reqs);
+        (out, dec.prefix_stats())
     }
 
     /// Build the [`BatchRequest`] for one source: tolerant-parse + encode,
@@ -648,34 +675,59 @@ impl MpiRical {
     /// Per-source [`ParseHealth`] is applied exactly as in the sequential
     /// path, so degraded-flagging and demotion cannot drift between the two.
     pub fn suggest_batch(&self, sources: &[&str]) -> Vec<Vec<Suggestion>> {
+        self.suggest_batch_reports(sources)
+            .into_iter()
+            .map(|r| r.suggestions)
+            .collect()
+    }
+
+    /// [`suggest_batch`](Self::suggest_batch) with full per-source
+    /// [`SuggestReport`]s: parse health, verification telemetry (on a
+    /// verifying artifact), and the batch scheduler's prefix-sharing
+    /// telemetry. Every report in the batch carries the same fleet-wide
+    /// [`PrefixStats`] snapshot — near-identical buffers (the IDE-retrigger
+    /// workload) show up as partial hits and a high
+    /// [`hit_rate`](PrefixStats::hit_rate).
+    pub fn suggest_batch_reports(&self, sources: &[&str]) -> Vec<SuggestReport> {
         let encoded: Vec<EncodedSource> = sources.iter().map(|s| self.encode_source(s)).collect();
         let reqs: Vec<BatchRequest> = encoded
             .iter()
             .map(|e| self.request_from_encoded(e, SubmitOptions::default()))
             .collect();
         if let Some(vopts) = &self.verify {
-            return self
-                .decode_requests_all(reqs)
+            let (all, prefix) = self.decode_requests_all_stats(reqs);
+            return all
                 .into_iter()
-                .zip(encoded.iter().zip(sources))
+                .zip(encoded.into_iter().zip(sources))
                 .map(|(hypotheses, (enc, source))| {
                     let base = canonical_program(source);
-                    let (mut suggestions, _) = self.verify_and_rank(&base, hypotheses, vopts);
+                    let (mut suggestions, stats) = self.verify_and_rank(&base, hypotheses, vopts);
                     apply_health(&mut suggestions, &enc.health);
-                    suggestions
+                    SuggestReport {
+                        suggestions,
+                        health: enc.health,
+                        verify: Some(stats),
+                        prefix: Some(prefix),
+                    }
                 })
                 .collect();
         }
-        self.decode_requests(reqs)
+        let (ids_all, prefix) = self.decode_requests_stats(reqs);
+        ids_all
             .into_iter()
-            .zip(&encoded)
+            .zip(encoded)
             .map(|(ids, enc)| {
                 let mut suggestions: Vec<Suggestion> = calls_from_ids(&ids, &self.model.vocab)
                     .into_iter()
                     .map(Suggestion::from)
                     .collect();
                 apply_health(&mut suggestions, &enc.health);
-                suggestions
+                SuggestReport {
+                    suggestions,
+                    health: enc.health,
+                    verify: None,
+                    prefix: Some(prefix),
+                }
             })
             .collect()
     }

@@ -60,8 +60,8 @@ pub use benchmark11::{benchmark_programs, validate_program, BenchProgram, Valida
 pub use encode::{build_vocab, encode_dataset, encode_record, InputFormat};
 pub use evaluate::{evaluate_dataset, evaluate_dataset_with_tolerance, EvalReport, Prediction};
 pub use mpirical_model::{
-    Engine, EngineConfig, EngineModel, EngineTicket, PollResult, PoolStats, Precision, Priority,
-    RequestId, RequestTelemetry, SubmitOptions,
+    Engine, EngineConfig, EngineModel, EngineTicket, PollResult, PoolStats, Precision, PrefixStats,
+    Priority, RequestId, RequestTelemetry, SubmitOptions,
 };
 pub use report::{histogram, render_table_two, table, two_column_table};
 pub use service::{SuggestPoll, SuggestService};

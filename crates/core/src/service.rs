@@ -84,7 +84,7 @@ use crate::verify::VerifyStats;
 use mpirical_cparse::{ParseHealth, Program};
 use mpirical_model::{
     BatchDecoder, BatchRequest, Engine, EngineConfig, EngineTicket, PollResult, PoolStats,
-    Priority, RequestId, RequestTelemetry, SubmitOptions, DEFAULT_MAX_BATCH,
+    PrefixStats, Priority, RequestId, RequestTelemetry, SubmitOptions, DEFAULT_MAX_BATCH,
 };
 use std::collections::HashMap;
 use std::time::Duration;
@@ -412,10 +412,11 @@ impl<'m> SuggestService<'m> {
         }
     }
 
-    /// Tear the service down and return the final per-pool page stats,
-    /// taken **after** every decoder has dropped its lanes and prefix
-    /// cache (one entry per engine worker; a single entry inline). Live
-    /// pages are zero here no matter what was still queued — the
+    /// Tear the service down and return the final page stats, taken
+    /// **after** every decoder has dropped its lanes and the shared
+    /// prefix index has been cleared (a sharded backend runs one pool
+    /// across all workers, so the vector has a single entry either way).
+    /// Live pages are zero here no matter what was still queued — the
     /// leak-check hook for tests and graceful daemon exit. Unredeemed
     /// tickets are abandoned.
     pub fn shutdown(self) -> Vec<PoolStats> {
@@ -542,10 +543,8 @@ impl<'m> SuggestService<'m> {
 
     /// Telemetry of the scheduler's page pool: live/peak/shared page
     /// counts, COW copy count, and byte sizes — the serving-memory numbers
-    /// a daemon exports. A sharded backend sums across its workers' pools
-    /// (`pages_peak` becomes the sum of per-pool peaks: an upper bound on
-    /// the aggregate high-water mark, since workers may not peak
-    /// simultaneously).
+    /// a daemon exports. A sharded backend allocates all workers' lanes
+    /// from one shared pool, so these are already fleet-wide numbers.
     pub fn pool_stats(&self) -> PoolStats {
         match &self.backend {
             Backend::Inline(dec) => dec.pool_stats(),
@@ -563,14 +562,28 @@ impl<'m> SuggestService<'m> {
         }
     }
 
-    /// Requests admitted by sharing a retained identical-prompt prefill
-    /// (the IDE-retrigger fast path) instead of prefilling from scratch.
-    /// Sharded backends count hits within each worker (prefix caches are
-    /// per worker).
+    /// Requests admitted by sharing a retained prefill that covered the
+    /// **whole** prompt (the IDE-retrigger fast path) instead of
+    /// prefilling from scratch. Sharded backends share one radix index
+    /// across workers, so a prefill retained on one worker is a hit on
+    /// any other. Partial (page-aligned) prefix reuse is reported by
+    /// [`prefix_stats`](Self::prefix_stats).
     pub fn prefix_hits(&self) -> u64 {
         match &self.backend {
             Backend::Inline(dec) => dec.prefix_hits(),
             Backend::Sharded(engine) => engine.prefix_hits(),
+        }
+    }
+
+    /// Full prefix-sharing telemetry from the radix index: exact hits,
+    /// partial (page-aligned) hits, misses, rows served from shared pages
+    /// vs. freshly prefilled, plus insertion/eviction churn. The
+    /// [`PrefixStats::hit_rate`] is the headline cache-effectiveness
+    /// number a daemon exports.
+    pub fn prefix_stats(&self) -> PrefixStats {
+        match &self.backend {
+            Backend::Inline(dec) => dec.prefix_stats(),
+            Backend::Sharded(engine) => engine.prefix_stats(),
         }
     }
 

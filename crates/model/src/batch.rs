@@ -71,13 +71,19 @@
 //!
 //! # Prefix sharing
 //!
-//! Requests with an **identical (encoder output, prompt)** pair — the IDE
-//! retrigger pattern: the same buffer re-submitted on every keystroke pause
-//! — skip prefill entirely: the scheduler snapshots each request's
-//! prefilled cache (a COW fork) and admits an identical request as another
-//! fork of that snapshot, sharing the prompt's K/V pages outright. Equality
-//! is verified byte-for-byte (the hash is only a filter), so this is a pure
-//! scheduling shortcut: outputs are unchanged.
+//! Prefilled caches are retained in a radix tree over token prefixes at
+//! page granularity (see [`crate::radix`]). An **identical**
+//! `(encoder output, prompt)` resubmit — the IDE retrigger pattern — skips
+//! prefill entirely, as before; a **near-identical** prompt (same encoder
+//! output, shared leading tokens) now forks the longest page-aligned
+//! matching prefix COW and prefills only the unmatched suffix. Encoder
+//! equality is verified byte-for-byte (the hash is only a filter), shared
+//! pages are read-only, and appends copy-on-write, so this is a pure
+//! scheduling shortcut: outputs are unchanged. Under
+//! [`BatchDecoder::with_shared`] a fleet of schedulers shares one index
+//! and one pool, so the sharing crosses workers. [`BatchDecoder::prefix_stats`]
+//! counts full hits, partial hits, and misses — hit *rates* and shared vs
+//! prefilled rows are both observable.
 //!
 //! # Equivalence
 //!
@@ -133,6 +139,7 @@ use crate::config::ModelConfig;
 use crate::decode::{argmax_token, expand_beams, ranked_hypothesis_ids, Hypothesis};
 use crate::infer::{decode_step_batch, BatchScratch, DecoderCache, DecoderWeights, Precision};
 use crate::paged::{PagePool, PoolStats};
+use crate::radix::{PrefixIndex, PrefixStats};
 use crate::transformer::TransformerParams;
 use crate::vocab::{EOS, SOS};
 use crate::DecodeOptions;
@@ -318,10 +325,6 @@ pub const DEFAULT_MAX_BATCH: usize = 8;
 /// [`BatchDecoder::set_aging_steps`].
 pub const DEFAULT_AGING_STEPS: u64 = 64;
 
-/// Retained prefill snapshots for prefix sharing (see module docs); small —
-/// each entry pins only its prompt's K/V pages plus one encoder output.
-const PREFIX_CACHE_CAP: usize = 16;
-
 /// Most `Cancelled` markers retained for unpolled cancellations; past this
 /// the oldest degrade to [`PollResult::Unknown`], keeping fire-and-forget
 /// [`cancel`](BatchDecoder::cancel) memory-bounded in a long-lived daemon.
@@ -435,7 +438,7 @@ struct Group {
     min_len: usize,
     /// Generation stops once ids reach this length (prompt included).
     limit: usize,
-    /// Prefix-sharing key of `(enc_out, prompt)`.
+    /// Prefix-sharing key of the encoder output alone.
     share_key: u64,
     /// The request's encoder output, retained until the prefill snapshot is
     /// stored (then dropped — the cache carries the projected cross-K/V).
@@ -520,27 +523,16 @@ impl QueueEntry {
     }
 }
 
-/// A retained prefilled cache keyed by `(enc_out, prompt)`.
-struct PrefixEntry {
-    key: u64,
-    prompt: Vec<usize>,
-    enc_out: Tensor,
-    /// Cache covering `prompt[..len-1]` — exactly the state a fresh lane
-    /// reaches after prefill. Forked (COW) into every admitted twin.
-    cache: DecoderCache,
-}
-
-/// FNV-1a over the prompt ids and the encoder output's shape and raw f32
-/// bits. A filter only — admit verifies full equality before sharing.
-fn prefix_key(enc_out: &Tensor, prompt: &[usize]) -> u64 {
+/// FNV-1a over the encoder output's shape and raw f32 bits — the prefix
+/// index groups retained prefills by encoder output (prompts radix-share
+/// *within* a group), so the key must not mix prompt ids in. A filter only
+/// — the index verifies full encoder-output equality before sharing.
+fn prefix_key(enc_out: &Tensor) -> u64 {
     let mut h = 0xcbf29ce484222325u64;
     let mut eat = |bytes: u64| {
         h ^= bytes;
         h = h.wrapping_mul(0x100000001b3);
     };
-    for &id in prompt {
-        eat(id as u64);
-    }
     for &s in &enc_out.shape {
         eat(s as u64);
     }
@@ -575,12 +567,17 @@ pub struct BatchDecoder<'m> {
     max_batch: usize,
     /// One page pool for every lane: retired requests recycle pages into
     /// newly admitted ones, beam forks and shared prefixes share pages COW.
+    /// Private by default; [`with_shared`](Self::with_shared) lets a fleet
+    /// of schedulers draw from one pool.
     pool: PagePool,
     groups: Vec<Group>,
     queue: Vec<QueueEntry>,
     done: HashMap<RequestId, RetiredOutput>,
     cancelled: BTreeSet<RequestId>,
-    prefix_cache: Vec<PrefixEntry>,
+    /// Radix prefix index over retained prefill snapshots (see
+    /// [`crate::radix`]); private by default, fleet-shared via
+    /// [`with_shared`](Self::with_shared). Its snapshots live in `pool`.
+    prefix: PrefixIndex,
     prefix_hits: u64,
     scratch: BatchScratch,
     logits: Vec<f32>,
@@ -661,23 +658,62 @@ impl<'m> BatchDecoder<'m> {
         max_batch: usize,
         weights: Cow<'m, DecoderWeights>,
     ) -> BatchDecoder<'m> {
+        BatchDecoder::with_shared(
+            store,
+            params,
+            cfg,
+            max_batch,
+            weights,
+            PagePool::new(cfg.d_head()),
+            PrefixIndex::new(),
+        )
+    }
+
+    /// [`with_weights`](Self::with_weights) drawing pages from a caller's
+    /// [`PagePool`] and prefix snapshots from a caller's [`PrefixIndex`] —
+    /// the fleet constructor: the sharded [`Engine`](crate::engine::Engine)
+    /// hands every worker the same pool and index, so a prefill computed by
+    /// one scheduler is COW-shared by a matching request on any other.
+    /// Sharing is bitwise-transparent (shared pages are read-only; appends
+    /// into a shared partial page copy-on-write), so fleet outputs equal
+    /// the private-pool outputs exactly.
+    ///
+    /// # Panics
+    ///
+    /// If `max_batch` is 0, `cfg.vocab_size` is unset, or the pool's row
+    /// width differs from `cfg.d_head()`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_shared(
+        store: &'m ParamStore,
+        params: &'m TransformerParams,
+        cfg: &'m ModelConfig,
+        max_batch: usize,
+        weights: Cow<'m, DecoderWeights>,
+        pool: PagePool,
+        prefix: PrefixIndex,
+    ) -> BatchDecoder<'m> {
         assert!(
             max_batch >= 1,
             "BatchDecoder needs at least one lane (got max_batch = 0)"
         );
         assert!(cfg.vocab_size > 0, "model config has no vocabulary");
+        assert_eq!(
+            pool.row_width(),
+            cfg.d_head(),
+            "pool row width must match the model's head width"
+        );
         BatchDecoder {
             store,
             params,
             cfg,
             weights,
             max_batch,
-            pool: PagePool::new(cfg.d_head()),
+            pool,
             groups: Vec::new(),
             queue: Vec::new(),
             done: HashMap::new(),
             cancelled: BTreeSet::new(),
-            prefix_cache: Vec::new(),
+            prefix,
             prefix_hits: 0,
             scratch: BatchScratch::new(cfg, max_batch),
             logits: vec![0.0; max_batch * cfg.vocab_size],
@@ -873,10 +909,25 @@ impl<'m> BatchDecoder<'m> {
         self.pool.stats()
     }
 
-    /// Requests admitted by forking a retained identical-prompt prefill
-    /// instead of prefilling from scratch.
+    /// Requests admitted by forking a retained prefill that covered their
+    /// **whole** prompt — prefill skipped outright. Partial-prefix shares
+    /// show up in [`prefix_stats`](Self::prefix_stats) instead.
     pub fn prefix_hits(&self) -> u64 {
         self.prefix_hits
+    }
+
+    /// Telemetry of the radix prefix index behind this scheduler: full and
+    /// partial hits, misses, shared vs prefilled rows (see
+    /// [`PrefixStats`]). Index-global — under [`with_shared`](Self::with_shared)
+    /// the counts cover the whole fleet.
+    pub fn prefix_stats(&self) -> PrefixStats {
+        self.prefix.stats()
+    }
+
+    /// The radix prefix index behind this scheduler. Cloning the handle
+    /// shares it (see [`with_shared`](Self::with_shared)).
+    pub fn prefix_index(&self) -> &PrefixIndex {
+        &self.prefix
     }
 
     /// Lanes currently reserved by admitted requests.
@@ -976,16 +1027,16 @@ impl<'m> BatchDecoder<'m> {
     }
 
     /// Enforce the soft page cap (see [`set_page_limit`](Self::set_page_limit)):
-    /// drop prefill snapshots, then evict unprotected bulk greedy groups
+    /// drop prefix-index snapshots one coldest-first unit at a time (pure
+    /// optimization state, and only as many as pressure demands — never a
+    /// wholesale clear), then evict unprotected bulk greedy groups
     /// youngest-first while a protected group needs the headroom.
     fn evict_for_pressure(&mut self) {
         let Some(limit) = self.page_limit else { return };
         if self.pool.stats().pages_live <= limit {
             return;
         }
-        if !self.prefix_cache.is_empty() {
-            self.prefix_cache.clear();
-        }
+        while self.pool.stats().pages_live > limit && self.prefix.evict_coldest() {}
         while self.pool.stats().pages_live > limit {
             // Eviction only helps if a never-evictable (protected) group
             // benefits from the freed pages; a lone bulk group would just
@@ -1031,45 +1082,6 @@ impl<'m> BatchDecoder<'m> {
             deadline: group.deadline,
             enqueued_step: self.step_count,
             item: QueueItem::Paused(Box::new(group)),
-        });
-    }
-
-    /// Look up a retained prefill for `(enc_out, prompt)`; full equality
-    /// checked, hash is a filter.
-    fn shared_prefill(
-        &mut self,
-        key: u64,
-        enc_out: &Tensor,
-        prompt: &[usize],
-    ) -> Option<DecoderCache> {
-        let entry = self.prefix_cache.iter().find(|e| {
-            e.key == key
-                && e.prompt == prompt
-                && e.enc_out.shape == enc_out.shape
-                && e.enc_out.data == enc_out.data
-        })?;
-        self.prefix_hits += 1;
-        Some(entry.cache.clone())
-    }
-
-    /// Retain `cache` (a COW fork of it) as the canonical prefill for this
-    /// group's `(enc_out, prompt)`, evicting the oldest entry at capacity.
-    fn store_prefill(&mut self, key: u64, prompt: &[usize], enc_out: Tensor, cache: &DecoderCache) {
-        if self
-            .prefix_cache
-            .iter()
-            .any(|e| e.key == key && e.prompt == prompt)
-        {
-            return;
-        }
-        if self.prefix_cache.len() >= PREFIX_CACHE_CAP {
-            self.prefix_cache.remove(0);
-        }
-        self.prefix_cache.push(PrefixEntry {
-            key,
-            prompt: prompt.to_vec(),
-            enc_out,
-            cache: cache.clone(),
         });
     }
 
@@ -1143,10 +1155,20 @@ impl<'m> BatchDecoder<'m> {
                     );
                     return;
                 }
-                let key = prefix_key(&req.enc_out, &req.prompt);
-                let (cache, snapshotted) = match self.shared_prefill(key, &req.enc_out, &req.prompt)
+                let key = prefix_key(&req.enc_out);
+                let needed = req.prompt.len() - 1;
+                // Longest retained page-aligned prefix: full coverage skips
+                // prefill outright; partial coverage prefills only the
+                // unmatched suffix (the root feeds `ids[cache.len()..]`, so
+                // no scheduling change is needed); an enc-group-only match
+                // still shares the cross-attention projections.
+                let (cache, snapshotted) = match self.prefix.lookup(key, &req.enc_out, &req.prompt)
                 {
-                    Some(cache) => (cache, true),
+                    Some((cache, rows)) if rows >= needed => {
+                        self.prefix_hits += 1;
+                        (cache, true)
+                    }
+                    Some((cache, _)) => (cache, false),
                     None => {
                         let cache = DecoderCache::new_in_pool(
                             self.store,
@@ -1191,8 +1213,10 @@ impl<'m> BatchDecoder<'m> {
     }
 
     /// Retain this group's prefill once its root cache reaches
-    /// `prompt_len - 1` rows — the exact state an identical later request
-    /// needs to skip prefill.
+    /// `prompt_len - 1` rows: the radix index stores one snapshot per whole
+    /// page of fed tokens plus the full-prompt state, so a later request
+    /// sharing *any* page-aligned prefix (not just the identical prompt)
+    /// forks instead of prefilling.
     fn maybe_snapshot(&mut self, group: &mut Group) {
         if group.snapshotted {
             return;
@@ -1206,9 +1230,8 @@ impl<'m> BatchDecoder<'m> {
         let Some(enc_out) = group.enc_out.take() else {
             return;
         };
-        let prompt = root.ids[..group.prompt_len].to_vec();
-        let cache = cache.clone();
-        self.store_prefill(group.share_key, &prompt, enc_out, &cache);
+        let prompt = &root.ids[..group.prompt_len];
+        self.prefix.insert(group.share_key, enc_out, prompt, cache);
     }
 
     /// Run one lockstep step: admit queued requests (priority order,
@@ -1400,6 +1423,7 @@ impl<'m> BatchDecoder<'m> {
 mod tests {
     use super::*;
     use crate::decode::{decode_encoded, decode_encoded_prompted, encode_source};
+    use crate::radix::PREFIX_CACHE_CAP;
     use crate::transformer::build_params;
     use crate::vocab::SOS;
 
@@ -2226,6 +2250,92 @@ mod tests {
         assert_eq!(take(&mut dec, a), reference);
         assert_eq!(take(&mut dec, b), reference);
         assert_eq!(take(&mut dec, c), reference);
+    }
+
+    /// The radix index shares the longest page-aligned prefix between
+    /// *near*-identical prompts (the IDE one-edited-line pattern): the
+    /// second request forks the first's leading page and prefills only the
+    /// suffix, bitwise-identically to a from-scratch decode.
+    #[test]
+    fn near_identical_prompts_share_pages_and_prefill_less() {
+        let (cfg, store, params) = setup();
+        let e = enc(&store, &params, &cfg, 2);
+        // 18-token prompts: 17 prefill rows = one full 16-row page + 1.
+        let base: Vec<usize> = std::iter::once(SOS)
+            .chain((0..17).map(|i| 3 + i % 20))
+            .collect();
+        let mut edited = base.clone();
+        edited[16] += 1; // diverge *after* the first page's 16 fed tokens
+        let refs: Vec<Vec<usize>> = [&base, &edited]
+            .iter()
+            .map(|p| {
+                decode_encoded_prompted(&store, &params, &cfg, &e, p, 24, DecodeOptions::default())
+            })
+            .collect();
+
+        let mut dec = BatchDecoder::new(&store, &params, &cfg, 4);
+        let mut req = BatchRequest::greedy(e.clone(), 24);
+        req.prompt = base.clone();
+        let a = dec.submit(req);
+        dec.run();
+        let after_first = dec.prefix_stats();
+        assert_eq!(after_first.misses, 1, "an empty index misses");
+        assert_eq!(after_first.prefilled_rows, 17);
+
+        let mut req = BatchRequest::greedy(e.clone(), 24);
+        req.prompt = edited.clone();
+        let b = dec.submit(req);
+        dec.run();
+        let s = dec.prefix_stats();
+        assert_eq!(s.partial_hits, 1, "one edited line still shares a page");
+        assert_eq!(s.shared_rows, 16, "the full leading page is forked");
+        assert_eq!(
+            s.prefilled_rows - after_first.prefilled_rows,
+            1,
+            "only the unmatched suffix is prefilled"
+        );
+        assert_eq!(dec.prefix_hits(), 0, "a partial share is not a full hit");
+
+        // An identical resubmit of the base prompt skips prefill outright.
+        let mut req = BatchRequest::greedy(e, 24);
+        req.prompt = base;
+        let c = dec.submit(req);
+        dec.run();
+        assert_eq!(dec.prefix_hits(), 1);
+        assert_eq!(dec.prefix_stats().hits, 1);
+
+        assert_eq!(take(&mut dec, a), refs[0]);
+        assert_eq!(take(&mut dec, b), refs[1], "partial share stays bitwise");
+        assert_eq!(take(&mut dec, c), refs[0]);
+    }
+
+    /// Regression: eviction at capacity must be LRU, not FIFO — the hot
+    /// entry (the buffer being actively edited, resubmitted between every
+    /// churn insertion) survives `PREFIX_CACHE_CAP` insertions of distinct
+    /// cold entries.
+    #[test]
+    fn hot_prefix_entry_survives_cap_churn() {
+        let (cfg, store, params) = setup();
+        let hot = enc(&store, &params, &cfg, 0);
+        let mut dec = BatchDecoder::new(&store, &params, &cfg, 4);
+        dec.decode_all(vec![BatchRequest::greedy(hot.clone(), 10)]);
+        assert_eq!(dec.prefix_hits(), 0, "first submission prefills");
+        for seed in 1..=PREFIX_CACHE_CAP {
+            // Re-touch the hot prompt, then churn in a distinct one.
+            dec.decode_all(vec![
+                BatchRequest::greedy(hot.clone(), 10),
+                BatchRequest::greedy(enc(&store, &params, &cfg, seed), 10),
+            ]);
+        }
+        let hits_before = dec.prefix_hits();
+        assert_eq!(hits_before, PREFIX_CACHE_CAP as u64, "every re-touch hit");
+        dec.decode_all(vec![BatchRequest::greedy(hot, 10)]);
+        assert_eq!(
+            dec.prefix_hits(),
+            hits_before + 1,
+            "hot entry survived PREFIX_CACHE_CAP insertions (LRU, not FIFO)"
+        );
+        assert!(dec.prefix_stats().evictions >= 1, "capacity did evict");
     }
 
     /// Every page goes back to the pool once the scheduler drops —

@@ -4,9 +4,12 @@
 //! One `BatchDecoder` already overlaps N requests in lockstep, but a single
 //! scheduler is one thread: aggregate throughput stops at one core (plus
 //! whatever the fused kernels parallelize internally). The [`Engine`] scales
-//! out instead: each worker thread owns a private `BatchDecoder` — its own
-//! page pool, prefix cache, and scheduler clock — and the front-end routes
-//! requests to workers:
+//! out instead: each worker thread owns a private `BatchDecoder` scheduler
+//! — its own lanes and scheduler clock — while all workers draw pages from
+//! **one shared [`PagePool`]** and prefill snapshots from **one shared
+//! radix [`PrefixIndex`]** (see [`crate::radix`]): a prefix prefilled by
+//! any worker is COW-shared by a matching request landing on any other.
+//! The front-end routes requests to workers:
 //!
 //! * **Priority-aware placement.** Interactive requests are placed into a
 //!   specific worker's inbox at submit time, so they start decoding on the
@@ -33,8 +36,12 @@
 //! a request decodes entirely within one worker's `BatchDecoder`, whose
 //! per-lane numerics are pinned bitwise to the single-request reference
 //! (see [`decode_step_batch`](crate::decode_step_batch)), and lanes never
-//! read each other's state — so neither placement, stealing order, nor
-//! co-scheduled traffic can perturb a logit. What *does* vary with timing
+//! read each other's *mutable* state — shared prefix pages are read-only
+//! (an append into a shared partial page copies-on-write first), and the
+//! K/V rows behind a shared prefix are a pure function of
+//! `(enc_out, fed tokens)`, identical no matter which worker computed them
+//! — so neither placement, stealing order, nor co-scheduled traffic can
+//! perturb a logit. What *does* vary with timing
 //! is scheduling telemetry (queue waits, preemptions) and which worker ran
 //! a stolen bulk request. `tests/parallel_engine_props.rs` drives random
 //! schedules through worker counts {1, 2, 4} and asserts token equality
@@ -54,7 +61,8 @@ use crate::batch::{
 };
 use crate::config::ModelConfig;
 use crate::infer::{DecoderWeights, Precision};
-use crate::paged::PoolStats;
+use crate::paged::{PagePool, PoolStats};
+use crate::radix::{PrefixIndex, PrefixStats};
 use crate::transformer::TransformerParams;
 use crate::Seq2SeqModel;
 use mpirical_tensor::ParamStore;
@@ -142,7 +150,9 @@ pub struct EngineConfig {
     pub max_batch: usize,
     /// Per-worker aging bound (see [`BatchDecoder::set_aging_steps`]).
     pub aging_steps: u64,
-    /// Per-worker soft page cap (see [`BatchDecoder::set_page_limit`]).
+    /// Soft page cap (see [`BatchDecoder::set_page_limit`]). Workers share
+    /// one pool, so the cap counts pages **fleet-wide**: any worker over it
+    /// sheds prefix snapshots / bulk lanes by its own scheduler's policy.
     pub page_limit: Option<usize>,
     /// Placement seed: rotates the tie-break order of interactive
     /// placement. Same seed + same worker count ⇒ identical placement for
@@ -239,20 +249,17 @@ struct State {
     placements: Vec<(EngineTicket, usize)>,
     /// Bulk jobs pulled from the shared backlog by workers.
     bulk_steals: u64,
-    /// Latest published per-worker pool telemetry (final values after
-    /// [`Engine::shutdown`] reflect dropped decoders — zero live pages
-    /// unless something leaked).
-    pool_stats: Vec<PoolStats>,
-    /// Latest published per-worker scheduler telemetry.
+    /// Latest published per-worker scheduler telemetry. (Pool and prefix
+    /// telemetry need no publishing: the shared pool and index are read
+    /// directly.)
     sched_stats: Vec<WorkerSched>,
     next_ticket: u64,
 }
 
-/// Per-worker scheduler counters published alongside pool telemetry.
+/// Per-worker scheduler counters published each step.
 #[derive(Debug, Clone, Copy, Default)]
 struct WorkerSched {
     preemptions: u64,
-    prefix_hits: u64,
 }
 
 impl State {
@@ -269,7 +276,6 @@ impl State {
             placed_lanes: vec![0; workers],
             placements: Vec::new(),
             bulk_steals: 0,
-            pool_stats: vec![PoolStats::default(); workers],
             sched_stats: vec![WorkerSched::default(); workers],
             next_ticket: 0,
         }
@@ -297,6 +303,10 @@ impl State {
 struct Shared {
     model: Arc<EngineModel>,
     cfg: EngineConfig,
+    /// The fleet-wide page pool every worker's lanes draw from.
+    pool: PagePool,
+    /// The fleet-wide radix prefix index (snapshots live in `pool`).
+    prefix: PrefixIndex,
     state: Mutex<State>,
     /// Workers park here when idle; submit/cancel/shutdown notify it.
     work: Condvar,
@@ -329,9 +339,12 @@ impl Engine {
     /// panic in the workers' `BatchDecoder` constructors).
     pub fn new(model: Arc<EngineModel>, cfg: EngineConfig) -> Engine {
         assert!(cfg.workers >= 1, "engine needs at least one worker");
+        let pool = PagePool::new(model.cfg.d_head());
         let shared = Arc::new(Shared {
             model,
             cfg,
+            pool,
+            prefix: PrefixIndex::new(),
             state: Mutex::new(State::new(cfg.workers)),
             work: Condvar::new(),
             progress: Condvar::new(),
@@ -518,9 +531,11 @@ impl Engine {
         self.shared.state.lock().bulk_steals
     }
 
-    /// Latest published per-worker page-pool telemetry.
+    /// Telemetry of the fleet-wide page pool (every worker draws from one
+    /// shared pool, so this is a single-entry list — the shape is kept for
+    /// callers that sum over entries).
     pub fn pool_stats(&self) -> Vec<PoolStats> {
-        self.shared.state.lock().pool_stats.clone()
+        vec![self.shared.pool.stats()]
     }
 
     /// Preemptions across every worker's scheduler (bulk groups that
@@ -530,12 +545,17 @@ impl Engine {
         st.sched_stats.iter().map(|s| s.preemptions).sum()
     }
 
-    /// Prefix-cache admissions across every worker's scheduler. Each worker
-    /// has a private prefix cache, so hits only occur between requests that
-    /// landed on the same worker.
+    /// Full prefix hits — admissions whose whole prompt was covered by a
+    /// retained prefill. The index is shared by every worker, so hits occur
+    /// between requests regardless of which worker each landed on.
     pub fn prefix_hits(&self) -> u64 {
-        let st = self.shared.state.lock();
-        st.sched_stats.iter().map(|s| s.prefix_hits).sum()
+        self.shared.prefix.stats().hits
+    }
+
+    /// Telemetry of the fleet-wide radix prefix index: full/partial hits,
+    /// misses, shared vs prefilled rows (see [`PrefixStats`]).
+    pub fn prefix_stats(&self) -> PrefixStats {
+        self.shared.prefix.stats()
     }
 
     /// The aging bound every worker's scheduler was configured with.
@@ -594,16 +614,20 @@ impl Engine {
         self.shared.progress.notify_all();
     }
 
-    /// Shut down and join every worker, returning each pool's **final**
-    /// telemetry, captured after its decoder dropped — so `pages_live == 0`
-    /// on every entry unless pages actually leaked (the property harness's
-    /// closing assertion).
+    /// Shut down and join every worker, returning the shared pool's
+    /// **final** telemetry (a single-entry list), captured after every
+    /// decoder dropped and the prefix index was cleared — so
+    /// `pages_live == 0` unless pages actually leaked (the property
+    /// harness's closing assertion).
     pub fn shutdown(mut self) -> Vec<PoolStats> {
         self.begin_shutdown();
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
-        self.shared.state.lock().pool_stats.clone()
+        // Retained prefix snapshots pin pool pages by design; drop them so
+        // the final stats expose only genuine leaks.
+        self.shared.prefix.clear();
+        vec![self.shared.pool.stats()]
     }
 }
 
@@ -614,19 +638,23 @@ impl Drop for Engine {
             for h in self.handles.drain(..) {
                 let _ = h.join();
             }
+            self.shared.prefix.clear();
         }
     }
 }
 
-/// One worker: a private `BatchDecoder` driven by a pull-step-harvest loop.
+/// One worker: a private `BatchDecoder` scheduler over the fleet-shared
+/// pool and prefix index, driven by a pull-step-harvest loop.
 fn worker_loop(shared: &Shared, w: usize) {
     let model = &shared.model;
-    let mut dec = BatchDecoder::with_weights(
+    let mut dec = BatchDecoder::with_shared(
         &model.store,
         &model.params,
         &model.cfg,
         shared.cfg.max_batch,
         Cow::Borrowed(&model.weights),
+        shared.pool.clone(),
+        shared.prefix.clone(),
     );
     dec.set_aging_steps(shared.cfg.aging_steps);
     dec.set_page_limit(shared.cfg.page_limit);
@@ -705,10 +733,8 @@ fn worker_loop(shared: &Shared, w: usize) {
             for (t, r) in resolved {
                 st.finish(t, r);
             }
-            st.pool_stats[w] = dec.pool_stats();
             st.sched_stats[w] = WorkerSched {
                 preemptions: dec.preemptions(),
-                prefix_hits: dec.prefix_hits(),
             };
             drop(st);
             if any_resolved {
@@ -716,12 +742,11 @@ fn worker_loop(shared: &Shared, w: usize) {
             }
         }
     }
-    // Shutdown: dropping the decoder releases every group, snapshot, and
-    // prefix-cache page; publish the pool's final (post-drop) telemetry.
-    let pool = dec.pool().clone();
+    // Shutdown: dropping the decoder releases every group's pages back to
+    // the shared pool (retained prefix snapshots belong to the shared
+    // index, cleared by Engine::shutdown after every worker joins).
     let final_sched = WorkerSched {
         preemptions: dec.preemptions(),
-        prefix_hits: dec.prefix_hits(),
     };
     drop(dec);
     let mut st = shared.state.lock();
@@ -729,7 +754,6 @@ fn worker_loop(shared: &Shared, w: usize) {
     for (ticket, _) in live {
         st.finish(ticket, Resolution::Cancelled);
     }
-    st.pool_stats[w] = pool.stats();
     drop(st);
     shared.progress.notify_all();
 }
@@ -770,6 +794,7 @@ mod tests {
     use crate::decode::{decode_encoded, encode_source, DecodeOptions};
     use crate::transformer::build_params;
     use crate::vocab::{EOS, SOS};
+    use crate::SubmitOptions;
     use mpirical_tensor::Tensor;
 
     /// A random (untrained) multi-layer model — the engine's equivalence
@@ -863,6 +888,74 @@ mod tests {
                 .collect(),
         );
         assert_eq!(out, singles);
+        for (w, s) in engine.shutdown().into_iter().enumerate() {
+            assert_eq!(s.pages_live, 0, "worker {w} leaked pages");
+        }
+    }
+
+    /// A prefill retained by whichever worker decodes first is visible to
+    /// every other worker through the shared radix index: a sequenced
+    /// resubmit of a near-identical prompt reports a partial hit (and an
+    /// identical prompt an exact hit) no matter which worker picks it up,
+    /// with outputs bitwise equal to the unshared reference path.
+    #[test]
+    fn radix_index_is_shared_across_workers() {
+        let (cfg, store, params) = setup();
+        let e = enc(&store, &params, &cfg, 3);
+        let base: Vec<usize> = std::iter::once(SOS)
+            .chain((0..17).map(|i| 3 + i % 20))
+            .collect();
+        let mut edited = base.clone();
+        edited[16] += 1;
+        let reference = |prompt: &[usize]| {
+            crate::decode::decode_encoded_prompted(
+                &store,
+                &params,
+                &cfg,
+                &e,
+                prompt,
+                24,
+                DecodeOptions::default(),
+            )
+        };
+        let engine = engine_over(
+            &store,
+            &params,
+            &cfg,
+            EngineConfig {
+                workers: 2,
+                max_batch: 2,
+                ..EngineConfig::default()
+            },
+        );
+        let submit_one = |prompt: &[usize]| {
+            let ticket = engine.submit(BatchRequest {
+                enc_out: e.clone(),
+                prompt: prompt.to_vec(),
+                max_len: 24,
+                opts: DecodeOptions::default(),
+                submit: SubmitOptions::default(),
+            });
+            engine.drain();
+            match engine.poll(ticket) {
+                PollResult::Done { ids, .. } => ids,
+                other => panic!("sequenced request not done: {other:?}"),
+            }
+        };
+        // Sequenced so the retained prefill exists before the next lookup;
+        // drains between submits let different workers serve each request.
+        assert_eq!(submit_one(&base), reference(&base));
+        assert_eq!(submit_one(&edited), reference(&edited));
+        assert_eq!(submit_one(&base), reference(&base));
+        let s = engine.prefix_stats();
+        assert_eq!(s.misses, 1, "only the first prompt prefills cold");
+        assert_eq!(s.partial_hits, 1, "the edited prompt shares a prefix");
+        assert_eq!(s.hits, 1, "the identical resubmit shares everything");
+        assert!(
+            s.shared_rows >= 16,
+            "at least one whole page served from the index (got {})",
+            s.shared_rows
+        );
         for (w, s) in engine.shutdown().into_iter().enumerate() {
             assert_eq!(s.pages_live, 0, "worker {w} leaked pages");
         }

@@ -36,6 +36,7 @@ pub mod decode;
 pub mod engine;
 pub mod infer;
 pub mod paged;
+pub mod radix;
 pub mod train;
 pub mod transformer;
 pub mod vocab;
@@ -58,6 +59,7 @@ pub use infer::{
     PackedDecoderWeights, Precision, QuantDecoderWeights,
 };
 pub use paged::{PagePool, PoolStats, PAGE_ROWS};
+pub use radix::{PrefixIndex, PrefixStats, PREFIX_CACHE_CAP};
 pub use train::{evaluate, train, EpochStats, Example, TrainConfig, TrainReport};
 pub use transformer::{build_params, ForwardMode, TransformerParams};
 pub use vocab::{Vocab, EOS, NL, PAD, SEP, SOS, UNK};

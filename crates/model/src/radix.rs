@@ -1,0 +1,679 @@
+//! Radix-tree prefix index: longest-common-prefix KV-cache sharing at page
+//! granularity, shared by every scheduler that holds a handle.
+//!
+//! The exact-match prefix cache (PR 4) only helped the *identical*-resubmit
+//! pattern: the same `(enc_out, prompt)` pair byte for byte. IDE traffic is
+//! mostly **near**-identical — the same buffer with one edited line, many
+//! buffers sharing a header — so the exact cache almost never hit. This
+//! module replaces it with the RadixAttention/vLLM-style structure
+//! production serving stacks use:
+//!
+//! * **Enc-scoped trees.** Decoder self-attention K/V rows are a pure
+//!   function of `(enc_out, fed tokens)`, so sharing is only sound between
+//!   requests whose encoder outputs are byte-identical. The index groups
+//!   entries by `enc_out` (an FNV-1a key is the filter; full shape + data
+//!   equality is the test — a hash collision creates a *separate* group,
+//!   never a false share). Even a 0-row match pays: the group's `proto`
+//!   cache shares the cross-attention K/V projections through `Arc`s, so an
+//!   enc-group hit skips re-projecting the encoder output entirely.
+//! * **Page-granular radix nodes.** Under each group, a radix tree over
+//!   token chunks of [`PAGE_ROWS`] (the pool's
+//!   page size): a node at depth `d` holds a COW snapshot
+//!   (`DecoderCache::fork_prefix`) of the first `d` *pages* of K/V rows.
+//!   `PrefixIndex::lookup` walks the tree for the longest
+//!   page-aligned prefix of the request's prompt; the request forks that
+//!   snapshot (refcount bumps, no row data moves) and prefills only the
+//!   unmatched suffix. Exact full-prompt entries sit beside the tree so an
+//!   identical resubmit still skips prefill completely, unaligned tail
+//!   included.
+//! * **LRU eviction, one unit at a time.** Every hit refreshes a logical
+//!   clock on the touched path, so the buffer being actively edited is the
+//!   *last* thing evicted (the old cache was FIFO — the hottest entry went
+//!   first). At [`PREFIX_CACHE_CAP`] groups the coldest group goes;
+//!   under pool memory pressure `PrefixIndex::evict_coldest`
+//!   drops the single coldest leaf/exact entry per call (the old cache
+//!   cleared itself wholesale). Eviction is refcount-aware for free:
+//!   dropping a snapshot only decrefs its pages, so pages still referenced
+//!   by live requests stay resident.
+//! * **Fleet-shared.** The handle is `Arc<Mutex<…>>`: the sharded
+//!   [`Engine`](crate::engine::Engine) hands one index (and one
+//!   [`PagePool`](crate::paged::PagePool)) to every worker, so a prefill
+//!   computed on worker 0 is shared by a near-identical request landing on
+//!   worker 3. Prefill numerics are batch-invariant (the property suites
+//!   pin this), so cross-worker sharing is bitwise-transparent.
+//!
+//! Telemetry is global to the index: [`PrefixStats`] counts hits, partial
+//! hits, and misses — so a hit *rate* is computable — plus shared vs
+//! prefilled rows, the row-level measure of bandwidth saved.
+
+use crate::infer::DecoderCache;
+use crate::paged::PAGE_ROWS;
+use mpirical_tensor::Tensor;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Most encoder-output groups the index retains; at capacity the
+/// least-recently-touched group is evicted wholesale. Also caps the
+/// exact-entry list within each group. Small — each retained snapshot pins
+/// only its prompt's K/V pages (COW-shared with any live request) plus one
+/// encoder output per group.
+pub const PREFIX_CACHE_CAP: usize = 16;
+
+/// Aggregate prefix-index telemetry (see [`PrefixIndex::stats`]).
+///
+/// Hits and misses are **both** counted, so a hit rate is computable —
+/// `shared_rows` vs `prefilled_rows` is the row-level version of the same
+/// story: every shared row is a prefill step (one full decoder pass) that
+/// never ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PrefixStats {
+    /// Lookups fully covered by a retained prefix (prefill skipped).
+    pub hits: u64,
+    /// Lookups that matched a shorter prefix (or just the encoder group);
+    /// only the unmatched suffix was prefilled.
+    pub partial_hits: u64,
+    /// Lookups with no matching encoder group at all.
+    pub misses: u64,
+    /// K/V rows handed out by COW fork instead of being recomputed.
+    pub shared_rows: u64,
+    /// K/V rows the querying requests still had to prefill.
+    pub prefilled_rows: u64,
+    /// Prefill snapshots stored (new radix paths and exact entries alike).
+    pub insertions: u64,
+    /// Entries evicted (capacity LRU and memory-pressure eviction).
+    pub evictions: u64,
+}
+
+impl PrefixStats {
+    /// Total lookups served.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.partial_hits + self.misses
+    }
+
+    /// Fraction of lookups that shared *something* (full or partial);
+    /// `0.0` before any lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.lookups();
+        if lookups == 0 {
+            return 0.0;
+        }
+        (self.hits + self.partial_hits) as f64 / lookups as f64
+    }
+}
+
+/// One radix-tree edge: `tokens` is the page-sized chunk of prompt ids this
+/// node extends its parent's prefix by; `cache` snapshots exactly the K/V
+/// rows those fed tokens produce (a page-aligned COW fork).
+struct Node {
+    tokens: Vec<usize>,
+    cache: DecoderCache,
+    children: Vec<Node>,
+    last_touch: u64,
+}
+
+/// One full-prompt prefill snapshot (covers the unaligned tail a radix node
+/// cannot).
+struct ExactEntry {
+    prompt: Vec<usize>,
+    cache: DecoderCache,
+    last_touch: u64,
+}
+
+/// All retained state for one distinct encoder output.
+struct EncGroup {
+    /// FNV-1a filter over `(prompt, enc_out)` as computed by the caller;
+    /// only a filter — `enc_out` equality is always verified.
+    key: u64,
+    enc_out: Tensor,
+    /// A 0-row fork: no K/V pages, but the cross-attention K/V `Arc`s — the
+    /// fallback share when no token prefix matches.
+    proto: DecoderCache,
+    children: Vec<Node>,
+    exact: Vec<ExactEntry>,
+    last_touch: u64,
+}
+
+impl EncGroup {
+    fn matches(&self, key: u64, enc_out: &Tensor) -> bool {
+        self.key == key && self.enc_out.shape == enc_out.shape && self.enc_out.data == enc_out.data
+    }
+}
+
+struct IndexInner {
+    groups: Vec<EncGroup>,
+    /// Logical LRU clock, bumped once per lookup/insert.
+    clock: u64,
+    stats: PrefixStats,
+    /// Rows per page — must match the pool behind every inserted cache.
+    page_rows: usize,
+}
+
+/// Shared handle to a radix prefix index (cheap to clone; schedulers that
+/// share a handle share its snapshots). See module docs for the structure.
+#[derive(Clone)]
+pub struct PrefixIndex {
+    inner: Arc<Mutex<IndexInner>>,
+}
+
+impl Default for PrefixIndex {
+    fn default() -> PrefixIndex {
+        PrefixIndex::new()
+    }
+}
+
+impl std::fmt::Debug for PrefixIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("PrefixIndex")
+            .field("groups", &inner.groups.len())
+            .field("stats", &inner.stats)
+            .finish()
+    }
+}
+
+impl PrefixIndex {
+    /// An empty index at the pool's default [`PAGE_ROWS`] granularity.
+    pub fn new() -> PrefixIndex {
+        PrefixIndex::with_page_rows(PAGE_ROWS)
+    }
+
+    /// An empty index matching a pool built with
+    /// [`PagePool::with_page_rows`](crate::paged::PagePool::with_page_rows)
+    /// — the match unit must equal the pool's page size or prefix forks
+    /// would not be page-aligned.
+    pub(crate) fn with_page_rows(page_rows: usize) -> PrefixIndex {
+        assert!(page_rows >= 1, "page size must be at least 1 row");
+        PrefixIndex {
+            inner: Arc::new(Mutex::new(IndexInner {
+                groups: Vec::new(),
+                clock: 0,
+                stats: PrefixStats::default(),
+                page_rows,
+            })),
+        }
+    }
+
+    /// Whether `other` is a handle to this same index.
+    pub fn same_index(&self, other: &PrefixIndex) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// Current telemetry snapshot.
+    pub fn stats(&self) -> PrefixStats {
+        self.inner.lock().stats
+    }
+
+    /// Longest retained prefix for `(enc_out, prompt)`: the returned cache
+    /// is a COW fork covering `rows` of the prompt's `len - 1` prefill
+    /// rows (the last prompt token is fed on the first generation step, so
+    /// it never has a cached row). `rows == len - 1` means prefill is
+    /// skipped entirely; smaller means the caller prefills the suffix;
+    /// `rows == 0` still shares the group's cross-attention projections.
+    /// `None` means no byte-identical encoder output is retained. Every
+    /// touched path node has its recency refreshed (the LRU half of the
+    /// eviction story).
+    pub(crate) fn lookup(
+        &self,
+        key: u64,
+        enc_out: &Tensor,
+        prompt: &[usize],
+    ) -> Option<(DecoderCache, usize)> {
+        let needed = prompt.len().checked_sub(1).expect("prompt holds <sos>");
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let clock = inner.clock;
+        let page = inner.page_rows;
+        let IndexInner { groups, stats, .. } = &mut *inner;
+        let Some(group) = groups.iter_mut().find(|g| g.matches(key, enc_out)) else {
+            stats.misses += 1;
+            stats.prefilled_rows += needed as u64;
+            return None;
+        };
+        group.last_touch = clock;
+        // An exact full-prompt entry covers all rows, unaligned tail
+        // included.
+        if let Some(e) = group.exact.iter_mut().find(|e| e.prompt == prompt) {
+            e.last_touch = clock;
+            stats.hits += 1;
+            stats.shared_rows += needed as u64;
+            return Some((e.cache.clone(), needed));
+        }
+        // Walk the radix tree: how many whole pages of the prompt's fed
+        // tokens are retained?
+        let mut depth = 0usize;
+        {
+            let mut cur: &Vec<Node> = &group.children;
+            let mut rows = 0usize;
+            while rows + page <= needed {
+                let Some(pos) = cur
+                    .iter()
+                    .position(|n| n.tokens == prompt[rows..rows + page])
+                else {
+                    break;
+                };
+                depth += 1;
+                rows += page;
+                cur = &cur[pos].children;
+            }
+        }
+        // Re-walk mutably, refreshing recency along the path and forking
+        // the deepest node's snapshot.
+        let mut cache = None;
+        let mut rows = 0usize;
+        let mut cur = &mut group.children;
+        for d in 0..depth {
+            let pos = cur
+                .iter()
+                .position(|n| n.tokens == prompt[rows..rows + page])
+                .expect("first walk found this path");
+            let node = &mut cur[pos];
+            node.last_touch = clock;
+            rows += page;
+            if d + 1 == depth {
+                cache = Some(node.cache.clone());
+            }
+            cur = &mut node.children;
+        }
+        // No token prefix retained: share the group's 0-row proto — the
+        // cross-attention K/V projections still come for free.
+        let cache = cache.unwrap_or_else(|| group.proto.clone());
+        if rows == needed {
+            stats.hits += 1;
+        } else {
+            stats.partial_hits += 1;
+            stats.prefilled_rows += (needed - rows) as u64;
+        }
+        stats.shared_rows += rows as u64;
+        Some((cache, rows))
+    }
+
+    /// Retain `cache` — a prefill covering `prompt.len() - 1` rows — as
+    /// snapshots: one radix node per whole page of fed tokens (COW prefix
+    /// forks) plus one exact full-prompt entry for the unaligned tail.
+    /// Re-inserting a retained prompt only refreshes recency. At
+    /// [`PREFIX_CACHE_CAP`] groups the coldest group is evicted first
+    /// (LRU — a hot group's hits keep it resident).
+    pub(crate) fn insert(&self, key: u64, enc_out: Tensor, prompt: &[usize], cache: &DecoderCache) {
+        let fed = prompt.len().checked_sub(1).expect("prompt holds <sos>");
+        debug_assert_eq!(fed, cache.len(), "cache must cover exactly the prefill");
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let clock = inner.clock;
+        let page = inner.page_rows;
+        let IndexInner { groups, stats, .. } = &mut *inner;
+        let gpos = match groups.iter().position(|g| g.matches(key, &enc_out)) {
+            Some(pos) => pos,
+            None => {
+                if groups.len() >= PREFIX_CACHE_CAP {
+                    let coldest = groups
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, g)| g.last_touch)
+                        .map(|(i, _)| i)
+                        .expect("at capacity means non-empty");
+                    groups.remove(coldest);
+                    stats.evictions += 1;
+                }
+                groups.push(EncGroup {
+                    key,
+                    proto: cache.fork_prefix(0),
+                    enc_out,
+                    children: Vec::new(),
+                    exact: Vec::new(),
+                    last_touch: clock,
+                });
+                groups.len() - 1
+            }
+        };
+        let group = &mut groups[gpos];
+        group.last_touch = clock;
+        // One radix node per whole page of fed tokens (find-or-create).
+        let mut rows = 0usize;
+        let mut cur = &mut group.children;
+        while rows + page <= fed {
+            let chunk = &prompt[rows..rows + page];
+            rows += page;
+            let pos = match cur.iter().position(|n| n.tokens == *chunk) {
+                Some(pos) => pos,
+                None => {
+                    stats.insertions += 1;
+                    cur.push(Node {
+                        tokens: chunk.to_vec(),
+                        cache: cache.fork_prefix(rows),
+                        children: Vec::new(),
+                        last_touch: clock,
+                    });
+                    cur.len() - 1
+                }
+            };
+            let node = &mut cur[pos];
+            node.last_touch = clock;
+            cur = &mut node.children;
+        }
+        // The exact entry covers the unaligned tail; a page-aligned prefill
+        // is already fully covered by its deepest radix node.
+        if rows == fed {
+            return;
+        }
+        if let Some(e) = group.exact.iter_mut().find(|e| e.prompt == prompt) {
+            e.last_touch = clock;
+            return;
+        }
+        if group.exact.len() >= PREFIX_CACHE_CAP {
+            let coldest = group
+                .exact
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_touch)
+                .map(|(i, _)| i)
+                .expect("at capacity means non-empty");
+            group.exact.remove(coldest);
+            stats.evictions += 1;
+        }
+        stats.insertions += 1;
+        group.exact.push(ExactEntry {
+            prompt: prompt.to_vec(),
+            cache: cache.clone(),
+            last_touch: clock,
+        });
+    }
+
+    /// Evict the single least-recently-touched unit — a leaf radix node, an
+    /// exact entry, or an entirely bare group — returning whether anything
+    /// was evicted. One unit per call, so memory-pressure eviction frees
+    /// the coldest branch first instead of clearing the index wholesale.
+    /// Refcount-aware by construction: dropping a snapshot only decrefs its
+    /// pages, so rows still shared with live requests stay resident.
+    pub(crate) fn evict_coldest(&self) -> bool {
+        #[derive(Clone, Copy)]
+        enum Unit {
+            Group(usize),
+            Leaf(usize),
+            Exact(usize, usize),
+        }
+        let mut inner = self.inner.lock();
+        let IndexInner { groups, stats, .. } = &mut *inner;
+        let mut coldest: Option<(u64, Unit)> = None;
+        let mut consider = |touch: u64, unit: Unit| {
+            if coldest.is_none_or(|(t, _)| touch < t) {
+                coldest = Some((touch, unit));
+            }
+        };
+        for (gi, g) in groups.iter().enumerate() {
+            if g.children.is_empty() && g.exact.is_empty() {
+                consider(g.last_touch, Unit::Group(gi));
+                continue;
+            }
+            if let Some(touch) = coldest_leaf_touch(&g.children) {
+                consider(touch, Unit::Leaf(gi));
+            }
+            for (ei, e) in g.exact.iter().enumerate() {
+                consider(e.last_touch, Unit::Exact(gi, ei));
+            }
+        }
+        let Some((touch, unit)) = coldest else {
+            return false;
+        };
+        match unit {
+            Unit::Group(gi) => {
+                groups.remove(gi);
+            }
+            Unit::Leaf(gi) => {
+                let removed = remove_leaf_with_touch(&mut groups[gi].children, touch);
+                debug_assert!(removed, "coldest leaf was just located");
+            }
+            Unit::Exact(gi, ei) => {
+                groups[gi].exact.remove(ei);
+            }
+        }
+        stats.evictions += 1;
+        true
+    }
+
+    /// Drop every retained snapshot (their pages return to the pool unless
+    /// a live request still shares them). Telemetry is kept.
+    pub fn clear(&self) {
+        self.inner.lock().groups.clear();
+    }
+}
+
+/// The smallest `last_touch` among leaf nodes of `nodes`' subtrees.
+fn coldest_leaf_touch(nodes: &[Node]) -> Option<u64> {
+    nodes
+        .iter()
+        .map(|n| {
+            if n.children.is_empty() {
+                n.last_touch
+            } else {
+                coldest_leaf_touch(&n.children).expect("non-empty children have leaves")
+            }
+        })
+        .min()
+}
+
+/// Remove the first leaf whose `last_touch` equals `touch`; returns whether
+/// one was found.
+fn remove_leaf_with_touch(nodes: &mut Vec<Node>, touch: u64) -> bool {
+    for i in 0..nodes.len() {
+        if nodes[i].children.is_empty() {
+            if nodes[i].last_touch == touch {
+                nodes.remove(i);
+                return true;
+            }
+        } else if remove_leaf_with_touch(&mut nodes[i].children, touch) {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::decode::encode_source;
+    use crate::infer::decode_step;
+    use crate::paged::PagePool;
+    use crate::transformer::{build_params, TransformerParams};
+    use crate::vocab::{EOS, SOS};
+    use mpirical_tensor::ParamStore;
+
+    fn setup() -> (ModelConfig, ParamStore, TransformerParams) {
+        let mut cfg = ModelConfig::tiny();
+        cfg.vocab_size = 24;
+        let mut store = ParamStore::new();
+        let params = build_params(&cfg, &mut store, 11);
+        (cfg, store, params)
+    }
+
+    fn enc(
+        store: &ParamStore,
+        params: &TransformerParams,
+        cfg: &ModelConfig,
+        seed: usize,
+    ) -> Tensor {
+        let src = vec![SOS, 6 + (seed % 5), 7 + (seed % 7), 9, EOS];
+        encode_source(store, params, cfg, &src)
+    }
+
+    /// Prefill a cache in `pool` by feeding `prompt[..len-1]`, exactly as
+    /// the scheduler does before the first generation step.
+    fn prefill(
+        store: &ParamStore,
+        params: &TransformerParams,
+        cfg: &ModelConfig,
+        pool: &PagePool,
+        enc_out: &Tensor,
+        prompt: &[usize],
+    ) -> DecoderCache {
+        let mut cache = DecoderCache::new_in_pool(store, params, cfg, enc_out, pool);
+        for &t in &prompt[..prompt.len() - 1] {
+            decode_step(store, params, cfg, &mut cache, t);
+        }
+        cache
+    }
+
+    /// Feed the rest of `prompt` into a (possibly prefix-forked) cache and
+    /// return the first-generation-step logits.
+    fn finish_and_logits(
+        store: &ParamStore,
+        params: &TransformerParams,
+        cfg: &ModelConfig,
+        cache: &mut DecoderCache,
+        prompt: &[usize],
+    ) -> Vec<f32> {
+        for &t in &prompt[cache.len()..prompt.len() - 1] {
+            decode_step(store, params, cfg, cache, t);
+        }
+        decode_step(store, params, cfg, cache, prompt[prompt.len() - 1])
+    }
+
+    #[test]
+    fn hash_collision_with_different_enc_out_keeps_both_groups() {
+        // Regression for the old exact-match cache's `store_prefill` dedup,
+        // which compared only `(key, prompt)`: a hash-colliding pair with a
+        // *different* encoder output was silently treated as already stored
+        // and the wrong prefill survived. The index must key groups on full
+        // encoder equality, with the hash as a filter only.
+        let (cfg, store, params) = setup();
+        let pool = PagePool::new(cfg.d_head());
+        let index = PrefixIndex::new();
+        let prompt = vec![SOS];
+        let (enc_a, enc_b) = (enc(&store, &params, &cfg, 0), enc(&store, &params, &cfg, 1));
+        assert_ne!(enc_a.data, enc_b.data, "encoder outputs must differ");
+        let colliding_key = 42u64; // caller-supplied; force the collision
+        let cache_a = prefill(&store, &params, &cfg, &pool, &enc_a, &prompt);
+        let cache_b = prefill(&store, &params, &cfg, &pool, &enc_b, &prompt);
+        index.insert(colliding_key, enc_a.clone(), &prompt, &cache_a);
+        index.insert(colliding_key, enc_b.clone(), &prompt, &cache_b);
+
+        // Both lookups hit, and each continues bitwise as its own encoder
+        // output demands — neither returns the other's prefill.
+        for (enc_out, reference) in [(&enc_a, &cache_a), (&enc_b, &cache_b)] {
+            let (mut shared, rows) = index
+                .lookup(colliding_key, enc_out, &prompt)
+                .expect("collision must not evict either group");
+            assert_eq!(rows, 0);
+            let got = finish_and_logits(&store, &params, &cfg, &mut shared, &prompt);
+            let mut fresh = reference.clone();
+            let want = finish_and_logits(&store, &params, &cfg, &mut fresh, &prompt);
+            assert_eq!(got, want, "shared prefill diverged from its own enc_out");
+        }
+        assert_eq!(index.stats().hits, 2);
+    }
+
+    #[test]
+    fn group_eviction_is_lru_not_fifo() {
+        // Regression for the old cache's FIFO `remove(0)`: under churn the
+        // hottest entry (the buffer being actively edited) was the first
+        // evicted. Hits must refresh recency, so a hot group survives
+        // `PREFIX_CACHE_CAP` further insertions.
+        let (cfg, store, params) = setup();
+        let pool = PagePool::new(cfg.d_head());
+        let index = PrefixIndex::new();
+        let prompt = vec![SOS];
+        let hot = enc(&store, &params, &cfg, 0);
+        let hot_cache = prefill(&store, &params, &cfg, &pool, &hot, &prompt);
+        index.insert(0, hot.clone(), &prompt, &hot_cache);
+        for seed in 1..=PREFIX_CACHE_CAP {
+            // Touch the hot group between insertions, as an actively
+            // edited buffer would.
+            assert!(
+                index.lookup(0, &hot, &prompt).is_some(),
+                "hot group evicted after {} insertions",
+                seed - 1
+            );
+            let cold = enc(&store, &params, &cfg, seed);
+            let cold_cache = prefill(&store, &params, &cfg, &pool, &cold, &prompt);
+            index.insert(seed as u64, cold.clone(), &prompt, &cold_cache);
+        }
+        assert!(
+            index.lookup(0, &hot, &prompt).is_some(),
+            "hot group must survive PREFIX_CACHE_CAP insertions under LRU"
+        );
+        assert!(index.stats().evictions >= 1, "capacity eviction happened");
+        // The evicted group was a *cold* one.
+        let cold_1 = enc(&store, &params, &cfg, 1);
+        assert!(
+            index.lookup(1, &cold_1, &prompt).is_none(),
+            "the coldest group is the one evicted"
+        );
+        index.clear();
+        drop(hot_cache);
+        assert_eq!(pool.stats().pages_live, 0);
+    }
+
+    #[test]
+    fn partial_lookup_shares_page_aligned_prefix_bitwise() {
+        let (cfg, store, params) = setup();
+        // 2-row pages so a short prompt spans several pages.
+        let pool = PagePool::with_page_rows(cfg.d_head(), 2);
+        let index = PrefixIndex::with_page_rows(2);
+        let enc_out = enc(&store, &params, &cfg, 3);
+        let full = vec![SOS, 5, 6, 7, 8]; // fed = 4 rows = 2 full pages
+        let cache = prefill(&store, &params, &cfg, &pool, &enc_out, &full);
+        index.insert(7, enc_out.clone(), &full, &cache);
+
+        // A near-identical prompt: shares the first page, diverges after.
+        let edited = vec![SOS, 5, 9, 7, 8];
+        let (mut shared, rows) = index
+            .lookup(7, &enc_out, &edited)
+            .expect("enc group matches");
+        assert_eq!(rows, 2, "longest page-aligned common prefix is one page");
+        let got = finish_and_logits(&store, &params, &cfg, &mut shared, &edited);
+        let mut fresh = prefill(&store, &params, &cfg, &pool, &enc_out, &edited);
+        let want = decode_step(&store, &params, &cfg, &mut fresh, edited[4]);
+        assert_eq!(got, want, "partial share must continue bitwise");
+
+        // The identical prompt skips prefill entirely.
+        let (skip, rows) = index.lookup(7, &enc_out, &full).expect("exact hit");
+        assert_eq!(rows, full.len() - 1);
+        drop(skip);
+
+        let s = index.stats();
+        assert_eq!((s.hits, s.partial_hits, s.misses), (1, 1, 0));
+        assert_eq!(s.shared_rows, 2 + 4);
+        assert_eq!(s.prefilled_rows, 2);
+        assert!(s.hit_rate() > 0.99);
+
+        // A different encoder output misses outright.
+        let other = enc(&store, &params, &cfg, 4);
+        assert!(index.lookup(9, &other, &edited).is_none());
+        assert_eq!(index.stats().misses, 1);
+
+        drop((shared, fresh, cache));
+        index.clear();
+        assert_eq!(pool.stats().pages_live, 0, "no leaked pages");
+    }
+
+    #[test]
+    fn evict_coldest_frees_one_unit_at_a_time() {
+        let (cfg, store, params) = setup();
+        let pool = PagePool::with_page_rows(cfg.d_head(), 2);
+        let index = PrefixIndex::with_page_rows(2);
+        let enc_out = enc(&store, &params, &cfg, 0);
+        // Two prompts sharing a first page, each with an unaligned tail:
+        // 2 radix nodes + 1 shared parent node + 2 exact entries.
+        let p1 = vec![SOS, 5, 6, 7];
+        let p2 = vec![SOS, 5, 8, 9];
+        let c1 = prefill(&store, &params, &cfg, &pool, &enc_out, &p1);
+        let c2 = prefill(&store, &params, &cfg, &pool, &enc_out, &p2);
+        index.insert(1, enc_out.clone(), &p1, &c1);
+        index.insert(1, enc_out.clone(), &p2, &c2);
+        drop((c1, c2));
+        let live_before = pool.stats().pages_live;
+        assert!(live_before > 0);
+
+        let mut evicted = 0;
+        while index.evict_coldest() {
+            evicted += 1;
+            assert!(evicted <= 16, "eviction must terminate");
+        }
+        // 1 shared page node + 2 exact entries + finally the bare group.
+        assert_eq!(evicted, 4);
+        assert_eq!(index.stats().evictions, 4);
+        assert_eq!(pool.stats().pages_live, 0, "all snapshot pages returned");
+        assert!(!index.evict_coldest(), "empty index has nothing to evict");
+    }
+}

@@ -1,6 +1,6 @@
 //! Property-test harness for the paged KV cache (shims/proptest).
 //!
-//! Three properties over randomized decode schedules:
+//! Four properties over randomized decode schedules:
 //!
 //! 1. **Bitwise storage equivalence** — for arbitrary token walks and page
 //!    sizes (including 1-row pages), `decode_step` on paged storage emits
@@ -16,13 +16,20 @@
 //!    `decode_encoded_prompted_contiguous` reference outputs, again with
 //!    zero leaked pages.
 //!
-//! Properties 1 and 3 also run **quantized**: property 1 repeats each
+//! 4. **Radix prefix sharing** — families of near-identical prompts (one
+//!    encoder output, random single-token edits of a shared base) decode
+//!    bitwise-equal to the no-sharing contiguous reference, concurrently
+//!    and sequenced; the sequenced order pins the radix index's hit
+//!    accounting (one cold miss, then hits/partial hits); the pool always
+//!    drains to zero.
+//!
+//! Properties 1, 3 and 4 also run **quantized**: property 1 repeats each
 //! random walk through the int8 projection kernels (`decode_step_quant`)
-//! asserting paged-quant ≡ contiguous-quant bitwise per step, and property
-//! 3 replays every random schedule through an `Int8` scheduler against the
-//! contiguous-quant reference — quantization swaps the weight kernels but
-//! never touches the K/V storage walk, so the PR 3 storage-equivalence
-//! invariant must survive it unchanged.
+//! asserting paged-quant ≡ contiguous-quant bitwise per step, and
+//! properties 3 and 4 replay every random schedule through an `Int8`
+//! scheduler against the contiguous-quant reference — quantization swaps
+//! the weight kernels but never touches the K/V storage walk, so the PR 3
+//! storage-equivalence invariant must survive it unchanged.
 //!
 //! Case counts elevate via `PROPTEST_CASES` (CI runs the suite a second
 //! time with a larger count).
@@ -251,6 +258,99 @@ proptest! {
             prop_assert_eq!(
                 pool.stats().pages_live, 0,
                 "{:?} scheduler leaked pages", precision
+            );
+        }
+    }
+}
+
+proptest! {
+    // Each case decodes two whole families per precision; few default
+    // cases keep tier-1 fast (CI elevates via PROPTEST_CASES).
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Property 4: radix prefix sharing is bitwise-transparent. A family
+    /// of near-identical prompts — one encoder output, random single-token
+    /// edits of a shared base — decodes exactly like the contiguous
+    /// single-request reference whether the members run concurrently (the
+    /// scheduler may share pages mid-flight) or sequenced. The sequenced
+    /// order makes the accounting deterministic: only the first member
+    /// prefills cold; every later member finds the encoder group and
+    /// shares at least the cross-attention projection (plus any
+    /// page-aligned token prefix). The pool drains to zero either way.
+    #[test]
+    fn near_identical_prompt_families_share_bitwise(
+        base_extra in proptest::collection::vec(6usize..24, 4..20),
+        edits in proptest::collection::vec((1usize..20, 6usize..24), 1..5),
+        src in 0usize..3,
+    ) {
+        let (cfg, store, params, encs, _) = fixture();
+        let base: Vec<usize> = std::iter::once(SOS).chain(base_extra).collect();
+        let mut family = vec![base.clone()];
+        for (pos, val) in edits {
+            let mut p = base.clone();
+            let at = 1 + pos % (p.len() - 1);
+            p[at] = val;
+            family.push(p);
+        }
+        let max_len = (base.len() + 6).min(cfg.max_dec_len);
+        for precision in [Precision::F32, Precision::Int8] {
+            let opts = DecodeOptions { precision, ..Default::default() };
+            let references: Vec<Vec<usize>> = family
+                .iter()
+                .map(|p| decode_encoded_prompted_contiguous(
+                    store, params, cfg, &encs[src], p, max_len, opts,
+                ))
+                .collect();
+            let request = |p: &Vec<usize>| BatchRequest {
+                enc_out: encs[src].clone(),
+                prompt: p.clone(),
+                max_len,
+                opts,
+                submit: SubmitOptions::default(),
+            };
+
+            // Concurrent: the whole family in one batch. What gets shared
+            // mid-flight is scheduler-internal; the tokens must not depend
+            // on it.
+            let mut dec = BatchDecoder::with_precision(store, params, cfg, 8, precision);
+            let pool = dec.pool().clone();
+            let got = dec.decode_all(family.iter().map(request).collect());
+            prop_assert_eq!(
+                &got, &references,
+                "{:?}: concurrent radix sharing changed tokens", precision
+            );
+            drop(dec);
+            prop_assert_eq!(
+                pool.stats().pages_live, 0,
+                "{:?}: concurrent family leaked pages", precision
+            );
+
+            // Sequenced: each member's retained prefill exists before the
+            // next lookup, so the hit accounting is deterministic.
+            let mut dec = BatchDecoder::with_precision(store, params, cfg, 8, precision);
+            let pool = dec.pool().clone();
+            for (p, want) in family.iter().zip(&references) {
+                let id = dec.submit(request(p));
+                dec.run();
+                let got = dec.poll(id).into_output().expect("retired");
+                prop_assert_eq!(
+                    &got, want,
+                    "{:?}: sequenced radix sharing changed tokens", precision
+                );
+            }
+            let s = dec.prefix_stats();
+            prop_assert_eq!(
+                s.misses, 1,
+                "{:?}: only the first family member prefills cold", precision
+            );
+            prop_assert_eq!(
+                s.hits + s.partial_hits, family.len() as u64 - 1,
+                "{:?}: every later member shares through the index", precision
+            );
+            drop(dec);
+            prop_assert_eq!(
+                pool.stats().pages_live, 0,
+                "{:?}: sequenced family leaked pages", precision
             );
         }
     }

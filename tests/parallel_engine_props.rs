@@ -29,6 +29,13 @@
 //! 5. **EDF + aging** — earlier deadlines admit first within a priority
 //!    class, and a proptest over adversarial early-deadline interactive
 //!    streams shows aging still bounds bulk starvation.
+//! 6. **Cross-worker radix sharing** — families of near-identical prompts
+//!    (one encoder output, random single-token edits of a shared base)
+//!    stay bitwise pinned to the reference at every worker count and
+//!    precision while the workers share one radix prefix index; a
+//!    sequenced 2-worker schedule pins the hit accounting (one cold miss,
+//!    then hits/partial hits regardless of which worker serves each
+//!    member); every run leaves zero live pages.
 //!
 //! Case counts elevate via `PROPTEST_CASES` (CI runs the suite a second
 //! time with a larger count).
@@ -718,6 +725,113 @@ proptest! {
                 );
             }
             other => panic!("bulk request unfinished: {other:?}"),
+        }
+    }
+}
+
+proptest! {
+    // Each case decodes the family through 8 engines (3 worker counts + a
+    // sequenced run, × 2 precisions); few default cases keep tier-1 fast
+    // (CI elevates via PROPTEST_CASES).
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Property 6: cross-worker radix sharing is bitwise-transparent. The
+    /// engines share one prefix index and one page pool across workers, so
+    /// a prefill retained by any worker may seed any other worker's
+    /// admission — and the tokens must not depend on whether that
+    /// happened. The sequenced 2-worker run then pins the accounting:
+    /// after the first member's cold prefill, every later member hits the
+    /// shared index no matter which worker picks it up.
+    #[test]
+    fn radix_sharing_is_worker_count_invariant(
+        base_extra in proptest::collection::vec(6usize..24, 4..16),
+        edits in proptest::collection::vec((1usize..16, 6usize..24), 1..5),
+        src in 0usize..3,
+    ) {
+        let (cfg, store, params, encs, f32_model, int8_model) = fixture();
+        let base: Vec<usize> = std::iter::once(SOS).chain(base_extra).collect();
+        let mut family = vec![base.clone()];
+        for (pos, val) in edits {
+            let mut p = base.clone();
+            let at = 1 + pos % (p.len() - 1);
+            p[at] = val;
+            family.push(p);
+        }
+        let max_len = (base.len() + 6).min(cfg.max_dec_len);
+        for (precision, model) in [
+            (Precision::F32, f32_model),
+            (Precision::Int8, int8_model),
+        ] {
+            let opts = DecodeOptions { precision, ..Default::default() };
+            let references: Vec<Vec<usize>> = family
+                .iter()
+                .map(|p| decode_encoded_prompted_contiguous(
+                    store, params, cfg, &encs[src], p, max_len, opts,
+                ))
+                .collect();
+            let request = |p: &Vec<usize>| BatchRequest {
+                enc_out: encs[src].clone(),
+                prompt: p.clone(),
+                max_len,
+                opts,
+                submit: SubmitOptions::default(),
+            };
+            for workers in [1usize, 2, 4] {
+                let engine = Engine::new(
+                    Arc::clone(model),
+                    EngineConfig { workers, max_batch: 4, ..EngineConfig::default() },
+                );
+                let got = engine.decode_all(family.iter().map(request).collect());
+                prop_assert_eq!(
+                    &got, &references,
+                    "{:?} {} workers: radix sharing changed tokens", precision, workers
+                );
+                prop_assert_eq!(
+                    engine.prefix_stats().lookups(), family.len() as u64,
+                    "{:?} {} workers: every admission consults the shared index",
+                    precision, workers
+                );
+                for (w, stats) in engine.shutdown().into_iter().enumerate() {
+                    prop_assert_eq!(
+                        stats.pages_live, 0,
+                        "{:?} {} workers: worker {} leaked pages", precision, workers, w
+                    );
+                }
+            }
+
+            // Sequenced across 2 workers: each member's retained prefill
+            // exists before the next lookup, so the accounting is
+            // deterministic even though any worker may serve any member.
+            let engine = Engine::new(
+                Arc::clone(model),
+                EngineConfig { workers: 2, max_batch: 4, ..EngineConfig::default() },
+            );
+            for (p, want) in family.iter().zip(&references) {
+                let ticket = engine.submit(request(p));
+                engine.drain();
+                match engine.poll(ticket) {
+                    PollResult::Done { ids, .. } => prop_assert_eq!(
+                        &ids, want,
+                        "{:?} sequenced: radix sharing changed tokens", precision
+                    ),
+                    other => panic!("sequenced member unfinished: {other:?}"),
+                }
+            }
+            let s = engine.prefix_stats();
+            prop_assert_eq!(
+                s.misses, 1,
+                "{:?} sequenced: only the first family member prefills cold", precision
+            );
+            prop_assert_eq!(
+                s.hits + s.partial_hits, family.len() as u64 - 1,
+                "{:?} sequenced: every later member shares through the index", precision
+            );
+            for (w, stats) in engine.shutdown().into_iter().enumerate() {
+                prop_assert_eq!(
+                    stats.pages_live, 0,
+                    "{:?} sequenced: worker {} leaked pages", precision, w
+                );
+            }
         }
     }
 }
