@@ -531,16 +531,35 @@ impl MpiRical {
     /// `1` forces the inline single-scheduler reference path, higher
     /// values force sharding even on small machines.
     fn engine_workers(reqs: usize) -> usize {
-        let cores = std::env::var("MPIRICAL_ENGINE_WORKERS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&n| n >= 1)
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(1)
-                    .min(8)
-            });
+        let var = std::env::var("MPIRICAL_ENGINE_WORKERS").ok();
+        Self::engine_workers_from(var.as_deref(), reqs)
+    }
+
+    /// [`engine_workers`](Self::engine_workers) with the environment
+    /// override passed explicitly, so the parse policy is testable without
+    /// mutating process-global state. An invalid override (non-numeric or
+    /// `0`) panics with a descriptive message instead of being silently
+    /// ignored — a deployment that sets the knob wrong should find out at
+    /// the first decode, not run forever on a default it never asked for.
+    fn engine_workers_from(var: Option<&str>, reqs: usize) -> usize {
+        let cores = match var {
+            Some(raw) => raw
+                .trim()
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .unwrap_or_else(|| {
+                    panic!(
+                        "MPIRICAL_ENGINE_WORKERS must be a positive worker count, got {raw:?} \
+                     (set 1 to force the inline single-scheduler path, or unset the variable \
+                     to auto-detect from available parallelism)"
+                    )
+                }),
+            None => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(8),
+        };
         cores.min(reqs)
     }
 
@@ -1001,5 +1020,42 @@ mod tests {
         // Batch path applies the same health transform.
         let batched = assistant.suggest_batch(&[dirty]);
         assert_eq!(batched[0], report.suggestions);
+    }
+
+    /// Regression (satellite fix): an invalid `MPIRICAL_ENGINE_WORKERS`
+    /// override used to be silently ignored via `.ok()` chaining — the
+    /// deployment ran on auto-detected cores while believing it had pinned
+    /// the worker count. The parse policy now rejects bad values loudly.
+    /// (Tested through the env-free helper so no process-global state is
+    /// mutated under the parallel test harness.)
+    #[test]
+    fn engine_workers_override_valid_values_and_default() {
+        assert_eq!(MpiRical::engine_workers_from(Some("3"), 8), 3);
+        assert_eq!(MpiRical::engine_workers_from(Some(" 2 "), 8), 2, "trimmed");
+        assert_eq!(
+            MpiRical::engine_workers_from(Some("16"), 4),
+            4,
+            "capped at the request count"
+        );
+        assert_eq!(MpiRical::engine_workers_from(Some("1"), 8), 1);
+        let auto = MpiRical::engine_workers_from(None, 8);
+        assert!((1..=8).contains(&auto), "auto-detect stays in [1, 8]");
+        assert_eq!(
+            MpiRical::engine_workers_from(None, 1),
+            1,
+            "one request never shards"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "MPIRICAL_ENGINE_WORKERS must be a positive worker count")]
+    fn engine_workers_override_zero_is_rejected_loudly() {
+        MpiRical::engine_workers_from(Some("0"), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "MPIRICAL_ENGINE_WORKERS must be a positive worker count")]
+    fn engine_workers_override_garbage_is_rejected_loudly() {
+        MpiRical::engine_workers_from(Some("all-the-cores"), 8);
     }
 }

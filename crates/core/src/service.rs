@@ -86,13 +86,18 @@ use mpirical_model::{
     BatchDecoder, BatchRequest, Engine, EngineConfig, EngineTicket, PollResult, PoolStats,
     PrefixStats, Priority, RequestId, RequestTelemetry, SubmitOptions, DEFAULT_MAX_BATCH,
 };
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::ops::Deref;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Typed lifecycle state of a suggestion request — the [`Suggestion`]-level
 /// mirror of the scheduler's [`PollResult`] (see
-/// [`SuggestService::poll`]).
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// [`SuggestService::poll`]). Serializable, so a serving daemon can put the
+/// state on the wire verbatim (the `mpirical-server` crate does exactly
+/// that).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum SuggestPoll {
     /// Waiting for lanes; `position` counts requests admitted first
     /// (0 = next). Preempted requests re-enter this state, pages intact.
@@ -141,7 +146,7 @@ impl SuggestPoll {
 /// Submit/poll scheduler turning an [`MpiRical`] artifact into a shared
 /// generation backend (see module docs).
 pub struct SuggestService<'m> {
-    assistant: &'m MpiRical,
+    assistant: AssistantHandle<'m>,
     backend: Backend<'m>,
     /// Front-end parse health per live ticket, captured at submit time and
     /// redeemed with the ticket (`Done` carries it; `Cancelled` drops it).
@@ -170,6 +175,26 @@ enum Backend<'m> {
     // Engine handle is two Arcs — keep the enum pointer-sized either way.
     Inline(Box<BatchDecoder<'m>>),
     Sharded(Engine),
+}
+
+/// How a [`SuggestService`] holds its artifact: borrowed for the classic
+/// in-process constructors, or owned (`Arc`) so a long-lived daemon thread
+/// can carry the whole service without tying it to a caller's stack frame
+/// ([`SuggestService::owned`] — the service is then `'static` and `Send`).
+enum AssistantHandle<'m> {
+    Borrowed(&'m MpiRical),
+    Owned(Arc<MpiRical>),
+}
+
+impl Deref for AssistantHandle<'_> {
+    type Target = MpiRical;
+
+    fn deref(&self) -> &MpiRical {
+        match self {
+            AssistantHandle::Borrowed(a) => a,
+            AssistantHandle::Owned(a) => a,
+        }
+    }
 }
 
 impl Backend<'_> {
@@ -260,7 +285,7 @@ impl<'m> SuggestService<'m> {
             ),
         };
         SuggestService {
-            assistant,
+            assistant: AssistantHandle::Borrowed(assistant),
             backend: Backend::Inline(Box::new(decoder)),
             health: HashMap::new(),
             tickets: HashMap::new(),
@@ -307,7 +332,48 @@ impl<'m> SuggestService<'m> {
         cfg.max_batch = cfg.max_batch.max(assistant.decode.beam);
         let engine = Engine::new(assistant.engine_model(), cfg);
         SuggestService {
+            assistant: AssistantHandle::Borrowed(assistant),
+            backend: Backend::Sharded(engine),
+            health: HashMap::new(),
+            tickets: HashMap::new(),
+            verify_queue: Vec::new(),
+            verify_done: HashMap::new(),
+        }
+    }
+
+    /// [`sharded`](Self::sharded), but **owning** the artifact: the service
+    /// carries an `Arc<MpiRical>` instead of a borrow, so its lifetime is
+    /// `'static` and it is `Send` — a serving daemon can move it into a
+    /// dedicated service thread and keep it alive for the process lifetime
+    /// (the `mpirical-server` daemon does exactly this). Behaviour is
+    /// identical to the borrowed sharded service: same engine, same bitwise
+    /// outputs.
+    pub fn owned(assistant: Arc<MpiRical>, workers: usize) -> SuggestService<'static> {
+        let lanes = DEFAULT_MAX_BATCH.max(assistant.decode.beam);
+        SuggestService::owned_with(
             assistant,
+            EngineConfig {
+                workers,
+                max_batch: lanes,
+                ..EngineConfig::default()
+            },
+        )
+    }
+
+    /// [`owned`](Self::owned) with full [`EngineConfig`] control — the
+    /// owning counterpart of [`sharded_with`](Self::sharded_with).
+    ///
+    /// # Panics
+    ///
+    /// If `cfg.workers` is 0 or the artifact's decode options are invalid.
+    pub fn owned_with(assistant: Arc<MpiRical>, mut cfg: EngineConfig) -> SuggestService<'static> {
+        if let Err(e) = assistant.decode.validate() {
+            panic!("invalid artifact decode options: {e}");
+        }
+        cfg.max_batch = cfg.max_batch.max(assistant.decode.beam);
+        let engine = Engine::new(assistant.engine_model(), cfg);
+        SuggestService {
+            assistant: AssistantHandle::Owned(assistant),
             backend: Backend::Sharded(engine),
             health: HashMap::new(),
             tickets: HashMap::new(),
@@ -552,10 +618,7 @@ impl<'m> SuggestService<'m> {
                 let per_worker = engine.pool_stats();
                 let mut total = per_worker.first().copied().unwrap_or_default();
                 for s in &per_worker[1..] {
-                    total.pages_live += s.pages_live;
-                    total.pages_peak += s.pages_peak;
-                    total.pages_shared += s.pages_shared;
-                    total.cow_copies += s.cow_copies;
+                    total.absorb(s);
                 }
                 total
             }
@@ -648,17 +711,6 @@ impl<'m> SuggestService<'m> {
             }
             PollResult::Unknown => SuggestPoll::Unknown,
         }
-    }
-
-    /// Deprecated v1 shape of [`poll`](Self::poll): `Some(suggestions)`
-    /// once finished, `None` otherwise — conflating still-pending,
-    /// cancelled, and unknown tickets (the ambiguity [`SuggestPoll`]
-    /// fixes). Consumes a `Cancelled` marker silently.
-    #[deprecated(note = "use `poll`, which returns a typed `SuggestPoll` \
-                         (queue position, streaming partial suggestions, \
-                         telemetry, cancellation, unknown-ticket detection)")]
-    pub fn poll_v1(&mut self, id: RequestId) -> Option<Vec<Suggestion>> {
-        self.poll(id).into_suggestions()
     }
 
     fn suggestions_from(&self, ids: &[usize]) -> Vec<Suggestion> {
@@ -796,22 +848,6 @@ mod tests {
         assert_eq!(service.poll(t), SuggestPoll::Unknown, "second redemption");
         let bogus = RequestId::from_raw(t.raw() + 1000);
         assert_eq!(service.poll(bogus), SuggestPoll::Unknown, "unknown ticket");
-    }
-
-    /// The deprecated v1 wrapper keeps the old `Option` shape for one PR.
-    #[test]
-    #[allow(deprecated)]
-    fn poll_v1_wrapper_keeps_the_old_shape() {
-        let assistant = tiny_assistant();
-        let mut service = SuggestService::new(&assistant);
-        let t = service.submit("int main() { int rank; return 0; }");
-        assert!(service.poll_v1(t).is_none(), "pending maps to None");
-        service.run();
-        assert_eq!(
-            service.poll_v1(t).expect("finished"),
-            assistant.suggest("int main() { int rank; return 0; }")
-        );
-        assert!(service.poll_v1(t).is_none(), "redeems once");
     }
 
     /// Overflowing the queue (more requests than lanes) never reuses a
@@ -1199,6 +1235,85 @@ mod tests {
         // drops every worker's decoder and must leave nothing behind.
         for stats in service.shutdown() {
             assert_eq!(stats.pages_live, 0, "worker leaked KV pages");
+        }
+    }
+
+    /// The owned service is what a daemon thread carries: `'static`, `Send`,
+    /// movable across threads, and suggestion-for-suggestion identical to
+    /// the borrowed inline reference.
+    #[test]
+    fn owned_service_is_send_and_matches_inline() {
+        fn assert_send<T: Send>(t: T) -> T {
+            t
+        }
+        let assistant = tiny_assistant();
+        let buffers = [
+            "int main() { int rank; return 0; }",
+            "int main() { double local = 0.0; return 0; }",
+            "int main() { int x = 1; if (x", // mid-edit buffer
+        ];
+        let mut inline = SuggestService::new(&assistant);
+        let inline_tickets: Vec<_> = buffers.iter().map(|b| inline.submit(b)).collect();
+        inline.run();
+        let reference: Vec<Vec<Suggestion>> = inline_tickets
+            .into_iter()
+            .map(|t| take(&mut inline, t))
+            .collect();
+
+        let owned = assert_send(SuggestService::owned(Arc::new(assistant), 2));
+        // Drive it from another thread, as the daemon's service thread does.
+        let handle = std::thread::spawn(move || {
+            let mut service = owned;
+            let tickets: Vec<_> = buffers.iter().map(|b| service.submit(b)).collect();
+            service.run();
+            let got: Vec<Vec<Suggestion>> =
+                tickets.into_iter().map(|t| take(&mut service, t)).collect();
+            for stats in service.shutdown() {
+                assert_eq!(stats.pages_live, 0, "owned service leaked KV pages");
+            }
+            got
+        });
+        let got = handle.join().expect("service thread");
+        assert_eq!(got, reference, "owned sharded == borrowed inline");
+    }
+
+    /// Every `SuggestPoll` state survives a JSON round-trip unchanged —
+    /// the daemon puts these on the wire verbatim.
+    #[test]
+    fn suggest_poll_serializes_round_trip() {
+        let states = vec![
+            SuggestPoll::Queued { position: 3 },
+            SuggestPoll::Decoding {
+                partial: vec![Suggestion {
+                    function: "MPI_Send".to_string(),
+                    line: 7,
+                    degraded: false,
+                    verdict: None,
+                }],
+            },
+            SuggestPoll::Done {
+                suggestions: vec![Suggestion {
+                    function: "MPI_Allreduce".to_string(),
+                    line: 12,
+                    degraded: true,
+                    verdict: None,
+                }],
+                telemetry: RequestTelemetry {
+                    queue_wait_steps: 2,
+                    decode_steps: 40,
+                    preemptions: 1,
+                    evictions: 0,
+                },
+                health: ParseHealth::default(),
+                verify: None,
+            },
+            SuggestPoll::Cancelled,
+            SuggestPoll::Unknown,
+        ];
+        for state in states {
+            let json = serde_json::to_string(&state).expect("serializes");
+            let back: SuggestPoll = serde_json::from_str(&json).expect("deserializes");
+            assert_eq!(back, state, "round-trip of {json}");
         }
     }
 }

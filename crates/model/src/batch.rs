@@ -144,6 +144,7 @@ use crate::transformer::TransformerParams;
 use crate::vocab::{EOS, SOS};
 use crate::DecodeOptions;
 use mpirical_tensor::{ParamStore, Tensor};
+use serde::{Deserialize, Serialize};
 use std::borrow::Cow;
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
@@ -178,7 +179,9 @@ impl fmt::Display for RequestId {
 }
 
 /// Scheduling class of a request. Ordered: `Interactive > Bulk`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub enum Priority {
     /// Background work (corpus re-index, batch generation): decodes when
     /// lanes are free, yields its lanes to interactive arrivals, and is
@@ -193,8 +196,9 @@ pub enum Priority {
 
 /// Per-request submission knobs, carried by [`BatchRequest`] and flowing
 /// through `MpiRical::batch_request` → [`BatchDecoder::submit`] and the
-/// service layer's `submit_with`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// service layer's `submit_with`. Serializable so a network daemon can
+/// carry it verbatim inside its wire `Submit` request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct SubmitOptions {
     /// Scheduling class (see [`Priority`]).
     pub priority: Priority,
@@ -243,7 +247,7 @@ impl SubmitOptions {
 
 /// Per-request scheduling telemetry, reported with the finished output so
 /// a serving daemon can export queue-health metrics per class.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct RequestTelemetry {
     /// Scheduler steps that ran while this request sat in the queue
     /// (initial wait plus any paused-after-preemption waits).
@@ -1373,18 +1377,6 @@ impl<'m> BatchDecoder<'m> {
         PollResult::Unknown
     }
 
-    /// Deprecated v1 shape of [`poll`](Self::poll): `Some(ids)` once
-    /// finished, `None` for every other state — which conflates
-    /// still-pending, cancelled, and unknown tickets (the ambiguity the v2
-    /// [`PollResult`] exists to fix). Polling through this wrapper also
-    /// consumes a `Cancelled` marker silently.
-    #[deprecated(note = "use `poll`, which returns a typed `PollResult` \
-                         (queued position, streaming partial tokens, \
-                         cancellation, unknown-ticket detection)")]
-    pub fn poll_v1(&mut self, id: RequestId) -> Option<Vec<usize>> {
-        self.poll(id).into_output()
-    }
-
     /// Step until every submitted request has retired.
     pub fn run(&mut self) {
         while self.step() > 0 {}
@@ -1648,21 +1640,6 @@ mod tests {
         assert_eq!(dec.poll(bogus), PollResult::Unknown);
         assert!(dec.poll(id).is_pending());
         assert!(!dec.cancel(bogus), "cancelling an unknown id is a no-op");
-    }
-
-    /// The deprecated v1 wrapper keeps the old `Option` shape for one PR.
-    #[test]
-    #[allow(deprecated)]
-    fn poll_v1_wrapper_keeps_the_old_shape() {
-        let (cfg, store, params) = setup();
-        let e = enc(&store, &params, &cfg, 2);
-        let reference = decode_encoded(&store, &params, &cfg, &e, 8, DecodeOptions::default());
-        let mut dec = BatchDecoder::new(&store, &params, &cfg, 1);
-        let id = dec.submit(BatchRequest::greedy(e, 8));
-        assert_eq!(dec.poll_v1(id), None, "not decoded yet");
-        dec.run();
-        assert_eq!(dec.poll_v1(id), Some(reference));
-        assert_eq!(dec.poll_v1(id), None, "ticket already redeemed");
     }
 
     // -- priorities, preemption, cancellation ------------------------------

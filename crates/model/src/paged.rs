@@ -55,6 +55,7 @@
 //! shared pages concurrently.
 
 use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// Rows per page of the default pool (see module docs for the trade-off).
@@ -149,8 +150,9 @@ impl PoolInner {
     }
 }
 
-/// Aggregate pool telemetry (see [`PagePool::stats`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// Aggregate pool telemetry (see [`PagePool::stats`]). Serializable so a
+/// serving daemon can export it over the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct PoolStats {
     /// Pages currently referenced by at least one buffer.
     pub pages_live: usize,
@@ -175,6 +177,17 @@ impl PoolStats {
     /// High-water resident bytes.
     pub fn peak_bytes(&self) -> usize {
         self.pages_peak * self.page_bytes
+    }
+
+    /// Fold another pool's counters into this one (fleet-wide totals for
+    /// multi-pool deployments). Page geometry is taken from `self`; peaks
+    /// sum, which over-reports a fleet peak whose pools peaked at
+    /// different times — fine for a telemetry ceiling.
+    pub fn absorb(&mut self, other: &PoolStats) {
+        self.pages_live += other.pages_live;
+        self.pages_peak += other.pages_peak;
+        self.pages_shared += other.pages_shared;
+        self.cow_copies += other.cow_copies;
     }
 }
 

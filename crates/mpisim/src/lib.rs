@@ -206,8 +206,10 @@ mod tests {
         // Classic recv/recv cycle: rank 0 waits on 1, rank 1 waits on 0.
         // The timeout report must name BOTH blocked ranks and what each was
         // waiting for, so a verifier can classify this as a deadlock rather
-        // than a generic timeout.
-        let cfg = WorldConfig::new(2).with_timeout(Duration::from_millis(150));
+        // than a generic timeout. The timeout is wall-clock: it must be
+        // generous enough that both rank threads get scheduled into their
+        // recv even on a machine saturated by the rest of the test suite.
+        let cfg = WorldConfig::new(2).with_timeout(Duration::from_millis(750));
         let err = World::run_with(cfg, |c| {
             let peer = 1 - c.rank();
             let mut buf = [0i32];

@@ -1,0 +1,114 @@
+//! The daemon entry point.
+//!
+//! ```text
+//! serve [--addr HOST:PORT] [--workers N] [--budget N] (--demo | ARTIFACT.json)
+//! ```
+//!
+//! `--demo` trains a small artifact on the synthetic corpus at startup so
+//! the quickstart works without a checkpoint on disk; otherwise the
+//! positional argument is a trained artifact saved by `MpiRical::save`.
+//! The process exits after a client sends `Drain` (the graceful-shutdown
+//! path); Ctrl-C is the ungraceful one.
+
+use mpirical::corpus::{generate_dataset, CorpusConfig};
+use mpirical::{MpiRical, MpiRicalConfig};
+use mpirical_server::{Server, ServerConfig};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: serve [--addr HOST:PORT] [--workers N] [--budget N] (--demo | ARTIFACT.json)"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut cfg = ServerConfig {
+        addr: "127.0.0.1:7117".to_string(),
+        ..ServerConfig::default()
+    };
+    let mut demo = false;
+    let mut artifact_path: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => match args.next() {
+                Some(v) => cfg.addr = v,
+                None => return usage(),
+            },
+            "--workers" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.workers = v,
+                None => return usage(),
+            },
+            "--budget" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.pending_budget = v,
+                None => return usage(),
+            },
+            "--demo" => demo = true,
+            "--help" | "-h" => return usage(),
+            other if !other.starts_with('-') => artifact_path = Some(other.to_string()),
+            _ => return usage(),
+        }
+    }
+
+    let assistant = if demo {
+        eprintln!("serve: training a demo artifact on the synthetic corpus...");
+        Arc::new(demo_assistant())
+    } else {
+        let Some(path) = artifact_path else {
+            return usage();
+        };
+        match MpiRical::load(&path) {
+            Ok(a) => Arc::new(a),
+            Err(e) => {
+                eprintln!("serve: cannot load artifact {path:?}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    let server = match Server::start(assistant, cfg.clone()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve: cannot bind {}: {e}", cfg.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "serve: listening on {} ({} engine workers, budget {})",
+        server.addr(),
+        cfg.workers,
+        cfg.pending_budget
+    );
+    server.wait_drained();
+    println!("serve: drained, exiting");
+    server.shutdown();
+    ExitCode::SUCCESS
+}
+
+/// A small artifact trained at startup — enough signal for the example
+/// round-trip without needing a checkpoint on disk.
+fn demo_assistant() -> MpiRical {
+    let ccfg = CorpusConfig {
+        programs: 40,
+        seed: 33,
+        max_tokens: 320,
+        threads: 1,
+    };
+    let (_, dataset, _) = generate_dataset(&ccfg);
+    let splits = dataset.split(7);
+    let mut cfg = MpiRicalConfig {
+        model: mpirical::model::ModelConfig::tiny(),
+        vocab_min_freq: 1,
+        ..Default::default()
+    };
+    cfg.model.max_enc_len = 256;
+    cfg.model.max_dec_len = 230;
+    cfg.train.epochs = 1;
+    cfg.train.batch_size = 8;
+    cfg.train.threads = 1;
+    cfg.train.validate = false;
+    MpiRical::train(&splits.train, &splits.val, &cfg, |_| {}).0
+}

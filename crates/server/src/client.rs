@@ -1,0 +1,148 @@
+//! Blocking client for the daemon's wire protocol — what an IDE plugin
+//! (or this workspace's tests) uses to talk to a running `serve` daemon.
+//!
+//! One [`Client`] wraps one TCP connection and speaks strict
+//! request/response: every call writes one frame and reads one frame.
+//! Ticket ids are plain `u64`s, valid across connections — dropping the
+//! client and reconnecting does not lose submitted work
+//! (reconnect-and-repoll).
+
+use crate::framing::{read_frame, write_frame};
+use crate::protocol::{Request, Response, ServerStats};
+use mpirical::{PoolStats, SubmitOptions, SuggestPoll};
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A blocking connection to a running daemon.
+pub struct Client {
+    stream: TcpStream,
+}
+
+/// Outcome of a submission at the admission boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Submitted {
+    /// Admitted; redeem the ticket with [`Client::poll`]/[`Client::wait`].
+    Ticket(u64),
+    /// Load shed: retry after roughly this many scheduler steps.
+    Busy {
+        /// The server's backoff hint.
+        retry_after_steps: u64,
+    },
+    /// Refused outright (the daemon is draining).
+    Rejected {
+        /// Human-readable refusal reason.
+        reason: String,
+    },
+}
+
+impl Client {
+    /// Connect to a daemon.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Send one request and read its response — the raw protocol call the
+    /// typed helpers below wrap.
+    pub fn request(&mut self, request: &Request) -> io::Result<Response> {
+        let json = serde_json::to_string(request).map_err(io::Error::from)?;
+        write_frame(&mut self.stream, json.as_bytes())?;
+        let payload = read_frame(&mut self.stream).map_err(io::Error::from)?;
+        let text = std::str::from_utf8(&payload)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        serde_json::from_str(text).map_err(io::Error::from)
+    }
+
+    /// Submit a C buffer at default options.
+    pub fn submit(&mut self, source: &str) -> io::Result<Submitted> {
+        self.submit_with(source, SubmitOptions::default())
+    }
+
+    /// Submit a C buffer with explicit scheduling options.
+    pub fn submit_with(&mut self, source: &str, options: SubmitOptions) -> io::Result<Submitted> {
+        let response = self.request(&Request::Submit {
+            source: source.to_string(),
+            options,
+        })?;
+        match response {
+            Response::Submitted { id } => Ok(Submitted::Ticket(id)),
+            Response::Busy { retry_after_steps } => Ok(Submitted::Busy { retry_after_steps }),
+            Response::Rejected { reason } => Ok(Submitted::Rejected { reason }),
+            other => Err(unexpected("Submit", &other)),
+        }
+    }
+
+    /// Report a ticket's lifecycle state (one wire poll).
+    pub fn poll(&mut self, id: u64) -> io::Result<SuggestPoll> {
+        match self.request(&Request::Poll { id })? {
+            Response::Poll { state } => Ok(state),
+            other => Err(unexpected("Poll", &other)),
+        }
+    }
+
+    /// Poll until the ticket leaves the pending states, sleeping briefly
+    /// between polls. Returns `Done`, `Cancelled`, or `Unknown`.
+    pub fn wait(&mut self, id: u64) -> io::Result<SuggestPoll> {
+        loop {
+            match self.poll(id)? {
+                SuggestPoll::Queued { .. } | SuggestPoll::Decoding { .. } => {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                terminal => return Ok(terminal),
+            }
+        }
+    }
+
+    /// Cancel a queued or mid-flight request; `true` if it was still
+    /// pending.
+    pub fn cancel(&mut self, id: u64) -> io::Result<bool> {
+        match self.request(&Request::Cancel { id })? {
+            Response::Cancel { was_pending } => Ok(was_pending),
+            other => Err(unexpected("Cancel", &other)),
+        }
+    }
+
+    /// Snapshot the daemon's serving telemetry.
+    pub fn stats(&mut self) -> io::Result<ServerStats> {
+        match self.request(&Request::Stats)? {
+            Response::Stats { stats } => Ok(stats),
+            other => Err(unexpected("Stats", &other)),
+        }
+    }
+
+    /// Gracefully drain the daemon: blocks until every in-flight request
+    /// finished and the engine shut down, then returns the final pool
+    /// stats (`pages_live == 0` unless pages leaked).
+    pub fn drain(&mut self) -> io::Result<PoolStats> {
+        match self.request(&Request::Drain)? {
+            Response::Drained { pool } => Ok(pool),
+            other => Err(unexpected("Drain", &other)),
+        }
+    }
+
+    /// Write raw bytes **without** framing — the fault-injection escape
+    /// hatch the fuzz suite uses to feed the daemon garbage.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        use std::io::Write;
+        self.stream.write_all(bytes)?;
+        self.stream.flush()
+    }
+
+    /// Read one response frame without having sent a request — pairs with
+    /// [`send_raw`](Self::send_raw) in tests that hand-craft frames.
+    pub fn recv_response(&mut self) -> io::Result<Response> {
+        let payload = read_frame(&mut self.stream).map_err(io::Error::from)?;
+        let text = std::str::from_utf8(&payload)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        serde_json::from_str(text).map_err(io::Error::from)
+    }
+}
+
+fn unexpected(request: &str, response: &Response) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("daemon answered {request} with an unexpected response: {response:?}"),
+    )
+}
